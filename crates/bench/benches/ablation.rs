@@ -1,0 +1,99 @@
+//! Ablations of this implementation's design choices (DESIGN.md):
+//!
+//! * **Theorem-2 early stop** on/off — same results, fewer buckets.
+//! * **Identity-style `CodeHasher`** vs SipHash for bucket lookup — the
+//!   table is on the per-probe hot path.
+//! * **GQR reset cost** (per-query argsort of flipping costs) as a function
+//!   of code length — the price GQR pays instead of QR's full bucket sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gqr_bench::models::ModelKind;
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::probe::{GenerateQdRanking, Prober};
+use gqr_core::table::HashTable;
+use gqr_dataset::{DatasetSpec, Scale};
+use gqr_l2h::QueryEncoding;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_early_stop(c: &mut Criterion) {
+    let ds = DatasetSpec::cifar60k().scale(Scale::Smoke).generate(61);
+    let model = ModelKind::Itq.train(ds.as_slice(), ds.dim(), 10, 0);
+    let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
+    let engine = QueryEngine::new(model.as_ref(), &table, ds.as_slice(), ds.dim());
+    let q = ds.sample_queries(1, 5).remove(0);
+
+    let mut group = c.benchmark_group("early_stop_ablation");
+    group.sample_size(40);
+    for (label, early_stop) in [("off", false), ("on", true)] {
+        let params = SearchParams {
+            k: 10,
+            n_candidates: 1_000,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| b.iter(|| black_box(engine.search(black_box(&q), &params))));
+    }
+    group.finish();
+}
+
+fn bench_code_hasher(c: &mut Criterion) {
+    // 60k codes in a 16-bit space, 4096 random lookups per iteration.
+    let mut rng = ChaCha8Rng::seed_from_u64(71);
+    let codes: Vec<u64> = (0..60_000).map(|_| rng.gen_range(0..(1u64 << 16))).collect();
+    let lookups: Vec<u64> = (0..4096).map(|_| rng.gen_range(0..(1u64 << 16))).collect();
+
+    let fast = HashTable::from_codes(16, &codes);
+    let mut sip: HashMap<u64, Vec<u32>> = HashMap::new();
+    for (i, &code) in codes.iter().enumerate() {
+        sip.entry(code).or_default().push(i as u32);
+    }
+
+    let mut group = c.benchmark_group("bucket_lookup_hasher");
+    group.sample_size(50);
+    group.bench_function("code_hasher", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &l in &lookups {
+                acc += fast.bucket(l).len();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("siphash", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &l in &lookups {
+                acc += sip.get(&l).map(Vec::len).unwrap_or(0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_gqr_reset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gqr_reset_cost");
+    group.sample_size(50);
+    let mut rng = ChaCha8Rng::seed_from_u64(81);
+    for &m in &[12usize, 20, 32, 64] {
+        let q = QueryEncoding {
+            code: rng.gen::<u64>() & if m == 64 { u64::MAX } else { (1u64 << m) - 1 },
+            flip_costs: (0..m).map(|_| rng.gen::<f64>()).collect(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut p = GenerateQdRanking::new(m);
+            b.iter(|| {
+                p.reset(black_box(&q));
+                black_box(p.peek_cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_early_stop, bench_code_hasher, bench_gqr_reset);
+criterion_main!(benches);

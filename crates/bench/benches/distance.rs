@@ -1,0 +1,49 @@
+//! The exact re-rank kernel: squared Euclidean distance at descriptor
+//! dimensionalities (Table 1's 128/384/512/960).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gqr_linalg::vecops::sq_dist_f32;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_sq_dist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sq_dist_f32");
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for &dim in &[32usize, 128, 384, 960] {
+        let a: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+        let b_: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            bench.iter(|| black_box(sq_dist_f32(black_box(&a), black_box(&b_))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rerank_batch(c: &mut Criterion) {
+    // Re-ranking one bucket's worth of items (the EP = 10 expectation) plus
+    // a large candidate batch.
+    let mut group = c.benchmark_group("rerank");
+    group.sample_size(30);
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let dim = 128;
+    let q: Vec<f32> = (0..dim).map(|_| rng.gen()).collect();
+    for &batch in &[10usize, 1000] {
+        let items: Vec<f32> = (0..batch * dim).map(|_| rng.gen()).collect();
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bench, _| {
+            bench.iter(|| {
+                let mut topk = gqr_core::topk::TopK::new(20);
+                for (i, row) in items.chunks_exact(dim).enumerate() {
+                    topk.push(sq_dist_f32(&q, row), i as u32);
+                }
+                black_box(topk.kth_dist())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sq_dist, bench_rerank_batch);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Single-query end-to-end latency at a fixed candidate budget, per
+//! querying method — the microscopic version of the Fig 7 comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gqr_bench::models::ModelKind;
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::table::HashTable;
+use gqr_dataset::{DatasetSpec, Scale};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let ds = DatasetSpec::cifar60k().scale(Scale::Smoke).generate(51);
+    let model = ModelKind::Itq.train(ds.as_slice(), ds.dim(), 10, 0);
+    let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
+    let mut engine = QueryEngine::new(model.as_ref(), &table, ds.as_slice(), ds.dim());
+    engine.enable_mih(2);
+    let q = ds.sample_queries(1, 9).remove(0);
+
+    let mut group = c.benchmark_group("search_200_candidates");
+    group.sample_size(50);
+    for strategy in [
+        ProbeStrategy::HammingRanking,
+        ProbeStrategy::GenerateHammingRanking,
+        ProbeStrategy::QdRanking,
+        ProbeStrategy::GenerateQdRanking,
+        ProbeStrategy::MultiIndexHashing { blocks: 2 },
+    ] {
+        let params = SearchParams { k: 20, n_candidates: 200, strategy, early_stop: false, ..Default::default() };
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| black_box(engine.search(black_box(&q), &params)))
+        });
+    }
+    // GQR with the Theorem-2 early stop.
+    let params = SearchParams {
+        k: 20,
+        n_candidates: 200,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        early_stop: true,
+        ..Default::default()
+    };
+    group.bench_function("GQR+early_stop", |b| {
+        b.iter(|| black_box(engine.search(black_box(&q), &params)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

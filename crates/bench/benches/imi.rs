@@ -1,0 +1,41 @@
+//! Inverted multi-index micro-benchmarks: multi-sequence traversal and
+//! candidate collection (the retrieval half of the OPQ+IMI comparator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gqr_dataset::{DatasetSpec, Scale};
+use gqr_vq::imi::{ImiOptions, InvertedMultiIndex};
+use gqr_vq::kmeans::KMeansOptions;
+use std::hint::black_box;
+
+fn bench_imi(c: &mut Criterion) {
+    let ds = DatasetSpec::sift1m().scale(Scale::Smoke).generate(41);
+    let imi = InvertedMultiIndex::build(
+        ds.as_slice(),
+        ds.dim(),
+        &ImiOptions { k: 32, kmeans: KMeansOptions { seed: 7, ..Default::default() } },
+    );
+    let q = ds.sample_queries(1, 3).remove(0);
+
+    let mut group = c.benchmark_group("imi");
+    group.sample_size(30);
+    group.bench_function("traverse_first_cell", |b| {
+        b.iter(|| black_box(imi.traverse(black_box(&q)).next()))
+    });
+    for &cells in &[16usize, 256] {
+        group.bench_with_input(BenchmarkId::new("traverse_cells", cells), &cells, |b, &n| {
+            b.iter(|| {
+                let mut t = imi.traverse(&q);
+                for _ in 0..n {
+                    black_box(t.next());
+                }
+            })
+        });
+    }
+    group.bench_function("collect_500_candidates", |b| {
+        b.iter(|| black_box(imi.collect_candidates(&q, 500)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_imi);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Per-bucket generation cost of the four probers — the mechanism behind
+//! Figs 6 and 7: HR/QR pay an upfront sort over all occupied buckets, GHR
+//! and GQR produce buckets on demand.
+//!
+//! `first_bucket` measures the slow start (reset + one bucket);
+//! `next_1000` measures steady-state generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gqr_core::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
+use gqr_core::table::HashTable;
+use gqr_l2h::QueryEncoding;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// A table with `buckets` random occupied codes in an `m`-bit space.
+fn random_table(m: usize, buckets: usize, seed: u64) -> HashTable {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let span = 1u64 << m;
+    let codes: Vec<u64> = (0..buckets).map(|_| rng.gen_range(0..span)).collect();
+    HashTable::from_codes(m, &codes)
+}
+
+fn query(m: usize, seed: u64) -> QueryEncoding {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    QueryEncoding {
+        code: rng.gen_range(0..(1u64 << m)),
+        flip_costs: (0..m).map(|_| rng.gen::<f64>() * 2.0).collect(),
+    }
+}
+
+fn bench_first_bucket(c: &mut Criterion) {
+    let mut group = c.benchmark_group("first_bucket");
+    group.sample_size(20);
+    for &(m, buckets) in &[(14usize, 4_000usize), (18, 60_000), (20, 200_000)] {
+        let table = random_table(m, buckets, 1);
+        let q = query(m, 2);
+        group.bench_with_input(BenchmarkId::new("HR", buckets), &(), |b, _| {
+            let mut p = HammingRanking::new(&table);
+            b.iter(|| {
+                p.reset(&q);
+                black_box(p.next_bucket())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("QR", buckets), &(), |b, _| {
+            let mut p = QdRanking::new(&table);
+            b.iter(|| {
+                p.reset(&q);
+                black_box(p.next_bucket())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("GHR", buckets), &(), |b, _| {
+            let mut p = GenerateHammingRanking::new(m);
+            b.iter(|| {
+                p.reset(&q);
+                black_box(p.next_bucket())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("GQR", buckets), &(), |b, _| {
+            let mut p = GenerateQdRanking::new(m);
+            b.iter(|| {
+                p.reset(&q);
+                black_box(p.next_bucket())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_next_1000(c: &mut Criterion) {
+    let mut group = c.benchmark_group("next_1000_buckets");
+    group.sample_size(20);
+    let m = 20;
+    let q = query(m, 3);
+    group.bench_function("GHR", |b| {
+        let mut p = GenerateHammingRanking::new(m);
+        b.iter(|| {
+            p.reset(&q);
+            for _ in 0..1000 {
+                black_box(p.next_bucket());
+            }
+        })
+    });
+    group.bench_function("GQR", |b| {
+        let mut p = GenerateQdRanking::new(m);
+        b.iter(|| {
+            p.reset(&q);
+            for _ in 0..1000 {
+                black_box(p.next_bucket());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_first_bucket, bench_next_1000);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Micro-kernels of QD ranking: quantization-distance evaluation, sign
+//! quantization, and query encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gqr_core::code::{hamming, quantization_distance};
+use gqr_l2h::{sign_code, HashModel, QueryEncoding};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_qd_vs_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indicator_eval");
+    group.sample_size(30);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    for &m in &[16usize, 32, 64] {
+        let span_mask = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+        let q = QueryEncoding {
+            code: rng.gen::<u64>() & span_mask,
+            flip_costs: (0..m).map(|_| rng.gen::<f64>()).collect(),
+        };
+        let buckets: Vec<u64> = (0..1024).map(|_| rng.gen::<u64>() & span_mask).collect();
+        group.bench_with_input(BenchmarkId::new("qd", m), &(), |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &bk in &buckets {
+                    acc += quantization_distance(black_box(&q), black_box(bk));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hamming", m), &(), |b, _| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &bk in &buckets {
+                    acc += hamming(black_box(q.code), black_box(bk));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let dim = 128;
+    let n = 2000;
+    let data: Vec<f32> = (0..n * dim).map(|_| rng.gen::<f32>() - 0.5).collect();
+    let model = gqr_l2h::pcah::Pcah::train(&data, dim, 16).unwrap();
+    let x: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>()).collect();
+
+    group.bench_function("pcah_encode_item", |b| b.iter(|| black_box(model.encode(black_box(&x)))));
+    group.bench_function("pcah_encode_query", |b| {
+        b.iter(|| black_box(model.encode_query(black_box(&x))))
+    });
+    let proj: Vec<f64> = (0..16).map(|_| rng.gen::<f64>() - 0.5).collect();
+    group.bench_function("sign_code", |b| b.iter(|| black_box(sign_code(black_box(&proj)))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_qd_vs_hamming, bench_encode);
+criterion_main!(benches);

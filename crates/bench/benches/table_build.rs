@@ -1,0 +1,33 @@
+//! Index-construction cost: encoding a dataset and building the hash table
+//! (plus the MIH side index the appendix baseline needs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gqr_bench::models::ModelKind;
+use gqr_core::probe::mih::MihIndex;
+use gqr_core::table::HashTable;
+use gqr_dataset::{DatasetSpec, Scale};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let ds = DatasetSpec::sift1m().scale(Scale::Smoke).generate(21);
+    let model = ModelKind::Itq.train(ds.as_slice(), ds.dim(), 12, 0);
+
+    let mut group = c.benchmark_group("table_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.n() as u64));
+    group.bench_function(BenchmarkId::new("hash_table", ds.n()), |b| {
+        b.iter(|| black_box(HashTable::build(model.as_ref(), ds.as_slice(), ds.dim())))
+    });
+
+    let codes: Vec<u64> = ds.rows().map(|r| model.encode(r)).collect();
+    group.bench_function(BenchmarkId::new("from_codes", ds.n()), |b| {
+        b.iter(|| black_box(HashTable::from_codes(12, &codes)))
+    });
+    group.bench_function(BenchmarkId::new("mih_2_blocks", ds.n()), |b| {
+        b.iter(|| black_box(MihIndex::build(12, &codes, 2)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Trainer cost comparison — the mechanism behind Table 2: PCAH trains in
+//! one eigendecomposition, ITQ adds rotation iterations, OPQ pays k-means
+//! per subspace per round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gqr_bench::models::ModelKind;
+use gqr_bench::runner::{OpqImiConfig, OpqImiEngine};
+use gqr_dataset::{DatasetSpec, Scale};
+use std::hint::black_box;
+
+fn bench_trainers(c: &mut Criterion) {
+    let ds = DatasetSpec::cifar60k().scale(Scale::Smoke).generate(31);
+    let data = ds.as_slice();
+    let (dim, m) = (ds.dim(), 10);
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    for kind in [ModelKind::Pcah, ModelKind::Itq, ModelKind::Sh, ModelKind::Kmh, ModelKind::Lsh] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(kind.train(data, dim, m, 1)))
+        });
+    }
+    group.bench_function("OPQ+IMI", |b| {
+        b.iter(|| {
+            black_box(OpqImiEngine::train(
+                data,
+                dim,
+                &OpqImiConfig { imi_k: 32, pq_ks: 32, opq_rounds: 2, ..Default::default() },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trainers);
+criterion_main!(benches);

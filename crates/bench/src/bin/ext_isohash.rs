@@ -1,0 +1,5 @@
+//! Extension: IsoHash under GQR/GHR/HR.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::ext_isohash::run(&cfg)
+}

@@ -1,0 +1,5 @@
+//! Extension: ITQ+GQR vs Multi-Probe LSH (operationalizes the paper's §5/§7 contrast).
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::ext_mplsh::run(&cfg)
+}

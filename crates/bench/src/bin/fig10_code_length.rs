@@ -1,0 +1,5 @@
+//! Regenerates Fig 10: time-to-90%-recall vs code length.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig10_code_length::run(&cfg)
+}

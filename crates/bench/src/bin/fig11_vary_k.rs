@@ -1,0 +1,5 @@
+//! Regenerates Fig 11: speedup over HR for k in {1,10,50,100}.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig11_vary_k::run(&cfg)
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 12: multi-table GHR vs single-table GQR.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig12_multi_table::run(&cfg)
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figs 15-16: GQR vs GHR/HR with spectral hashing.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig7_gqr_vs_hr::run_sh(&cfg)
+}

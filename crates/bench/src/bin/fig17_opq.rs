@@ -1,0 +1,5 @@
+//! Regenerates Fig 17: PCAH+GQR vs OPQ+IMI.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig17_opq::run(&cfg)
+}

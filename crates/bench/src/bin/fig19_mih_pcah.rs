@@ -1,0 +1,5 @@
+//! Regenerates Fig 19: MIH vs GHR/GQR with PCAH.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig_mih::run_pcah(&cfg)
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 20: K-means hashing with GQR vs GHR.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig20_kmh::run(&cfg)
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figs 21-22 + Table 3: eight additional datasets.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig21_additional::run(&cfg)
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 2: buckets per Hamming distance (C(m, r)).
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig2_bucket_counts::run(&cfg)
+}

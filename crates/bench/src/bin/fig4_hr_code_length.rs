@@ -1,0 +1,5 @@
+//! Regenerates Fig 4: Hamming ranking's code-length trade-off.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig4_hr_code_length::run(&cfg)
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig 6: GQR vs QR (slow start).
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig6_gqr_vs_qr::run(&cfg)
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figs 7-9: GQR vs GHR/HR with ITQ.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::fig7_gqr_vs_hr::run(&cfg)
+}

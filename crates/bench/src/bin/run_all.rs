@@ -1,0 +1,43 @@
+//! Runs the entire evaluation: every table and figure of the paper, in
+//! order, into one results directory. `--scale smoke` finishes in a couple
+//! of minutes; `--scale default` is the laptop-scale reproduction recorded
+//! in EXPERIMENTS.md.
+
+use gqr_bench::experiments as ex;
+use std::io;
+use std::time::Instant;
+
+type Job = (&'static str, fn(&gqr_bench::Config) -> io::Result<()>);
+
+fn main() -> io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    let jobs: Vec<Job> = vec![
+        ("Table 1 (datasets)", ex::table1_datasets::run),
+        ("Fig 2 (bucket counts)", ex::fig2_bucket_counts::run),
+        ("Fig 4 (HR code length)", ex::fig4_hr_code_length::run),
+        ("Fig 6 (GQR vs QR)", ex::fig6_gqr_vs_qr::run),
+        ("Figs 7-9 (GQR vs HR, ITQ)", ex::fig7_gqr_vs_hr::run),
+        ("Fig 10 (code length)", ex::fig10_code_length::run),
+        ("Fig 11 (vary k)", ex::fig11_vary_k::run),
+        ("Fig 12 (multi-table)", ex::fig12_multi_table::run),
+        ("Figs 13-14 (PCAH)", ex::fig7_gqr_vs_hr::run_pcah),
+        ("Figs 15-16 (SH)", ex::fig7_gqr_vs_hr::run_sh),
+        ("Fig 17 (OPQ+IMI)", ex::fig17_opq::run),
+        ("Table 2 (training cost)", ex::table2_training_cost::run),
+        ("Fig 18 (MIH, ITQ)", ex::fig_mih::run_itq),
+        ("Fig 19 (MIH, PCAH)", ex::fig_mih::run_pcah),
+        ("Fig 20 (KMH)", ex::fig20_kmh::run),
+        ("Figs 21-22 + Table 3 (additional datasets)", ex::fig21_additional::run),
+        ("Extension: Multi-Probe LSH vs GQR", ex::ext_mplsh::run),
+        ("Extension: IsoHash under GQR/GHR/HR", ex::ext_isohash::run),
+    ];
+    let total = Instant::now();
+    for (name, job) in jobs {
+        let start = Instant::now();
+        println!("=== {name} ===");
+        job(&cfg)?;
+        println!("=== {name} done in {:.1}s ===\n", start.elapsed().as_secs_f64());
+    }
+    println!("all experiments done in {:.1}s; results in {}/", total.elapsed().as_secs_f64(), cfg.out_dir);
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1: dataset statistics and linear-search baseline.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::table1_datasets::run(&cfg)
+}

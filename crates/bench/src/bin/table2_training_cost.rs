@@ -1,0 +1,5 @@
+//! Regenerates Table 2: OPQ vs PCAH training cost.
+fn main() -> std::io::Result<()> {
+    let cfg = gqr_bench::Config::parse(std::env::args().skip(1));
+    gqr_bench::experiments::table2_training_cost::run(&cfg)
+}

@@ -1,0 +1,120 @@
+//! Minimal CLI parsing shared by the experiment binaries (no external
+//! argument-parsing crate: flags are few and uniform).
+
+use gqr_dataset::Scale;
+
+/// Common experiment configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Dataset scale: `smoke`, `default`, or `paper`.
+    pub scale: Scale,
+    /// Queries per dataset.
+    pub n_queries: usize,
+    /// Nearest neighbors per query (paper default: 20).
+    pub k: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV/JSON results.
+    pub out_dir: String,
+    /// Worker threads for ground truth (`0` = all cores).
+    pub threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scale: Scale::Default,
+            n_queries: 200,
+            k: 20,
+            seed: 42,
+            out_dir: "results".to_string(),
+            threads: 0,
+        }
+    }
+}
+
+impl Config {
+    /// Parse `--scale`, `--queries`, `--k`, `--seed`, `--out`, `--threads`
+    /// from an iterator of arguments (usually `std::env::args().skip(1)`).
+    /// Unknown flags abort with a usage message; this is an experiment
+    /// harness, not a public CLI surface.
+    pub fn parse(args: impl Iterator<Item = String>) -> Config {
+        let mut cfg = Config::default();
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| die(&format!("missing value for {name}")))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    let v = value("--scale");
+                    cfg.scale = Scale::parse(&v)
+                        .unwrap_or_else(|| die(&format!("bad --scale '{v}' (smoke|default|paper)")));
+                }
+                "--queries" => cfg.n_queries = parse_num(&value("--queries"), "--queries"),
+                "--k" => cfg.k = parse_num(&value("--k"), "--k"),
+                "--seed" => cfg.seed = parse_num::<u64>(&value("--seed"), "--seed"),
+                "--out" => cfg.out_dir = value("--out"),
+                "--threads" => cfg.threads = parse_num(&value("--threads"), "--threads"),
+                "--help" | "-h" => {
+                    eprintln!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown flag '{other}'\n{USAGE}")),
+            }
+        }
+        // Smoke scale defaults to fewer queries unless overridden; keep
+        // runs snappy in CI.
+        if cfg.scale == Scale::Smoke && cfg.n_queries == Config::default().n_queries {
+            cfg.n_queries = 50;
+        }
+        cfg
+    }
+}
+
+const USAGE: &str = "flags: --scale smoke|default|paper  --queries N  --k K  --seed S  --out DIR  --threads T";
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| die(&format!("bad number '{s}' for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Config {
+        Config::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse(&[]);
+        assert_eq!(c.k, 20);
+        assert_eq!(c.scale, Scale::Default);
+        assert_eq!(c.out_dir, "results");
+    }
+
+    #[test]
+    fn flags_override() {
+        let c = parse(&["--scale", "smoke", "--k", "5", "--queries", "7", "--seed", "9", "--out", "x", "--threads", "2"]);
+        assert_eq!(c.scale, Scale::Smoke);
+        assert_eq!(c.k, 5);
+        assert_eq!(c.n_queries, 7);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.out_dir, "x");
+        assert_eq!(c.threads, 2);
+    }
+
+    #[test]
+    fn smoke_reduces_queries_by_default() {
+        let c = parse(&["--scale", "smoke"]);
+        assert_eq!(c.n_queries, 50);
+        let c = parse(&["--scale", "smoke", "--queries", "123"]);
+        assert_eq!(c.n_queries, 123);
+    }
+}

@@ -1,0 +1,72 @@
+//! Per-dataset experiment fixture: data, queries, ground truth, code length.
+
+use crate::cli::Config;
+use gqr_dataset::{brute_force_knn, Dataset, DatasetSpec, GroundTruth};
+
+/// Everything an experiment needs for one dataset: generated data, held-out
+/// queries, exact ground truth, and the paper's code-length choice.
+pub struct ExperimentContext {
+    /// The generated dataset.
+    pub dataset: Dataset,
+    /// Query vectors.
+    pub queries: Vec<Vec<f32>>,
+    /// Exact k-NN ids per query (k = `cfg.k`).
+    pub ground_truth: GroundTruth,
+    /// Code length from the paper's `m ≈ log2(n/10)` rule.
+    pub code_length: usize,
+    /// Seconds spent on the brute-force ground truth — also the "linear
+    /// search" baseline of Table 1 (scaled: `n_queries` queries, not 1000).
+    pub linear_search_s: f64,
+}
+
+impl ExperimentContext {
+    /// Generate data + queries and compute exact ground truth.
+    pub fn prepare(spec: &DatasetSpec, cfg: &Config) -> ExperimentContext {
+        Self::prepare_with_k(spec, cfg, cfg.k)
+    }
+
+    /// Same, with an explicit ground-truth depth (Fig 11 varies k).
+    pub fn prepare_with_k(spec: &DatasetSpec, cfg: &Config, k: usize) -> ExperimentContext {
+        let spec = spec.clone().scale(cfg.scale);
+        let dataset = spec.generate(cfg.seed);
+        let queries = dataset.sample_queries(cfg.n_queries, cfg.seed ^ 0x9e3779b9);
+        let start = std::time::Instant::now();
+        let ground_truth = brute_force_knn(&dataset, &queries, k, cfg.threads);
+        let linear_search_s = start.elapsed().as_secs_f64();
+        ExperimentContext {
+            dataset,
+            queries,
+            ground_truth,
+            code_length: spec.code_length(),
+            linear_search_s,
+        }
+    }
+
+    /// Item count.
+    pub fn n(&self) -> usize {
+        self.dataset.n()
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dataset.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqr_dataset::Scale;
+
+    #[test]
+    fn prepare_smoke_context() {
+        let cfg = Config { scale: Scale::Smoke, n_queries: 5, k: 3, ..Default::default() };
+        let ctx = ExperimentContext::prepare(&DatasetSpec::cifar60k(), &cfg);
+        assert_eq!(ctx.queries.len(), 5);
+        assert_eq!(ctx.ground_truth.len(), 5);
+        assert_eq!(ctx.ground_truth[0].len(), 3);
+        assert!(ctx.code_length >= 8);
+        assert!(ctx.linear_search_s > 0.0);
+        assert_eq!(ctx.n(), 2_000);
+    }
+}

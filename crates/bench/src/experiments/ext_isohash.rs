@@ -1,0 +1,29 @@
+//! Extension experiment: IsoHash (isotropic bit variances) under the three
+//! querying methods.
+//!
+//! Not a paper figure. IsoHash equalizes per-bit projected variances, which
+//! makes Hamming distance *less* wrong than under PCAH (every bit carries
+//! the same information) — so the GQR-over-GHR gap here isolates what QD's
+//! query-specific magnitudes add beyond per-bit calibration.
+
+use crate::cli::Config;
+use crate::experiments::strategies_over_datasets;
+use crate::models::ModelKind;
+use gqr_core::engine::ProbeStrategy;
+use gqr_dataset::DatasetSpec;
+use std::io;
+
+/// Run IsoHash × {GQR, GHR, HR} on the two mid-size datasets.
+pub fn run(cfg: &Config) -> io::Result<()> {
+    strategies_over_datasets(
+        cfg,
+        &[DatasetSpec::cifar60k(), DatasetSpec::gist1m()],
+        ModelKind::IsoHash,
+        &[
+            ProbeStrategy::GenerateQdRanking,
+            ProbeStrategy::GenerateHammingRanking,
+            ProbeStrategy::HammingRanking,
+        ],
+        "ext_isohash",
+    )
+}

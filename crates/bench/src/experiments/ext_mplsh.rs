@@ -1,0 +1,107 @@
+//! Extension experiment: ITQ+GQR versus Multi-Probe LSH.
+//!
+//! Not a paper figure — it operationalizes the paper's §1/§5/§7 discussion:
+//! L2H with a good querying method should beat data-oblivious LSH even with
+//! query-directed multi-probing, and Multi-Probe LSH needs multiple tables
+//! plus de-duplication while GQR runs on one table. Reported per dataset:
+//! recall at equal unique-candidate budgets, plus Multi-Probe's invalid-set
+//! and duplicate overhead counters.
+
+use crate::cli::Config;
+use crate::context::ExperimentContext;
+use crate::models::ModelKind;
+use crate::runner::engine_for;
+use gqr_core::engine::{ProbeStrategy, SearchParams};
+use gqr_core::table::HashTable;
+use gqr_dataset::DatasetSpec;
+use gqr_eval::report::Reporter;
+use gqr_mplsh::{MpLshIndex, MpLshParams};
+use std::io;
+use std::time::Instant;
+
+/// Run the extension comparison on the two mid-size datasets.
+pub fn run(cfg: &Config) -> io::Result<()> {
+    let reporter = Reporter::new(&cfg.out_dir)?;
+    let mut rows = Vec::new();
+    for spec in [DatasetSpec::cifar60k(), DatasetSpec::gist1m()] {
+        let ctx = ExperimentContext::prepare(&spec, cfg);
+        let data = ctx.dataset.as_slice();
+
+        let model = ModelKind::Itq.train(data, ctx.dim(), ctx.code_length, cfg.seed);
+        let table = HashTable::build(model.as_ref(), data, ctx.dim());
+        let engine = engine_for(model.as_ref(), &table, &ctx);
+
+        let width = 1.5 * MpLshIndex::suggest_width(data, ctx.dim());
+        let mplsh = MpLshIndex::build(
+            data,
+            ctx.dim(),
+            &MpLshParams { tables: 6, hashes_per_table: 8, bucket_width: width, seed: cfg.seed },
+        );
+
+        for budget in [ctx.n() / 200, ctx.n() / 50, ctx.n() / 10] {
+            // ITQ + GQR (single table).
+            let params = SearchParams {
+                k: cfg.k,
+                n_candidates: budget,
+                strategy: ProbeStrategy::GenerateQdRanking,
+                early_stop: false,
+                ..Default::default()
+            };
+            let start = Instant::now();
+            let mut gqr_found = 0usize;
+            for (q, t) in ctx.queries.iter().zip(&ctx.ground_truth) {
+                let res = engine.search(q, &params);
+                gqr_found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+            }
+            let gqr_time = start.elapsed().as_secs_f64();
+            let gqr_recall = gqr_found as f64 / (cfg.k * ctx.queries.len()) as f64;
+
+            // Multi-Probe LSH (6 tables).
+            let start = Instant::now();
+            let mut mp_found = 0usize;
+            let mut invalid = 0usize;
+            let mut dups = 0usize;
+            for (q, t) in ctx.queries.iter().zip(&ctx.ground_truth) {
+                let (res, stats) = mplsh.search(q, data, cfg.k, budget, 1024);
+                mp_found += res.iter().filter(|(id, _)| t.contains(id)).count();
+                invalid += stats.invalid_sets;
+                dups += stats.duplicates_skipped;
+            }
+            let mp_time = start.elapsed().as_secs_f64();
+            let mp_recall = mp_found as f64 / (cfg.k * ctx.queries.len()) as f64;
+
+            println!(
+                "[ext_mplsh] {} budget {budget}: ITQ+GQR {gqr_recall:.3} in {gqr_time:.2}s — \
+                 MPLSH(6 tables) {mp_recall:.3} in {mp_time:.2}s ({} invalid sets, {} dups)",
+                ctx.dataset.name(),
+                invalid,
+                dups
+            );
+            rows.push(vec![
+                ctx.dataset.name().to_string(),
+                budget.to_string(),
+                format!("{gqr_recall:.4}"),
+                format!("{gqr_time:.4}"),
+                format!("{mp_recall:.4}"),
+                format!("{mp_time:.4}"),
+                invalid.to_string(),
+                dups.to_string(),
+            ]);
+        }
+    }
+    reporter.write_csv(
+        "ext_mplsh_vs_gqr.csv",
+        &[
+            "dataset",
+            "budget",
+            "itq_gqr_recall",
+            "itq_gqr_time_s",
+            "mplsh_recall",
+            "mplsh_time_s",
+            "mplsh_invalid_sets",
+            "mplsh_duplicates",
+        ],
+        &rows,
+    )?;
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Figure 11: speedup of GQR/GHR over HR at 90% recall as the number of
+//! target neighbors `k` varies in {1, 10, 50, 100}.
+//!
+//! Ground truth is recomputed per `k`. The paper's shape: GQR's speedup is
+//! largest at small `k` (few good buckets suffice, so bucket *order*
+//! dominates) and narrows as `k` grows.
+
+use crate::cli::Config;
+use crate::context::ExperimentContext;
+use crate::models::ModelKind;
+use crate::runner::{budget_ladder, engine_for, strategy_curve};
+use gqr_core::engine::ProbeStrategy;
+use gqr_core::table::HashTable;
+use gqr_dataset::DatasetSpec;
+use gqr_eval::curve::time_to_recall;
+use gqr_eval::report::Reporter;
+use std::io;
+
+/// Regenerate Fig 11 (the paper uses TINY5M and SIFT10M).
+pub fn run(cfg: &Config) -> io::Result<()> {
+    let reporter = Reporter::new(&cfg.out_dir)?;
+    let mut rows = Vec::new();
+    for spec in [DatasetSpec::tiny5m(), DatasetSpec::sift10m()] {
+        for &k in &[1usize, 10, 50, 100] {
+            let ctx = ExperimentContext::prepare_with_k(&spec, cfg, k);
+            let model = ModelKind::Itq.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, cfg.seed);
+            let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+            let engine = engine_for(model.as_ref(), &table, &ctx);
+            let budgets = budget_ladder(ctx.n(), k, 0.6);
+
+            let t90 = |s: ProbeStrategy| {
+                let curve = strategy_curve(s.name(), &engine, s, &ctx, k, &budgets);
+                time_to_recall(&curve, 0.90)
+            };
+            let hr = t90(ProbeStrategy::HammingRanking);
+            let ghr = t90(ProbeStrategy::GenerateHammingRanking);
+            let gqr = t90(ProbeStrategy::GenerateQdRanking);
+            let speedup = |x: Option<f64>| match (hr, x) {
+                (Some(h), Some(v)) if v > 0.0 => format!("{:.2}", h / v),
+                _ => "n/a".to_string(),
+            };
+            println!(
+                "[fig11] {} k={k}: speedup over HR — GHR {}, GQR {}",
+                ctx.dataset.name(),
+                speedup(ghr),
+                speedup(gqr)
+            );
+            rows.push(vec![
+                ctx.dataset.name().to_string(),
+                k.to_string(),
+                speedup(ghr),
+                speedup(gqr),
+                hr.map(|v| format!("{v:.4}")).unwrap_or_else(|| "unreached".into()),
+            ]);
+        }
+    }
+    reporter.write_csv(
+        "fig11_vary_k.csv",
+        &["dataset", "k", "ghr_speedup", "gqr_speedup", "hr_time_s"],
+        &rows,
+    )?;
+    Ok(())
+}

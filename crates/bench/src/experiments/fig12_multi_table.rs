@@ -1,0 +1,91 @@
+//! Figure 12: multi-table GHR versus single-table GQR.
+//!
+//! The paper's memory argument: GHR needs ~30 hash tables to approach the
+//! recall–time profile of GQR with *one* table, so QD ranking buys the
+//! multi-table recall boost without the multi-table memory bill. Tables use
+//! ITQ trained with different rotation seeds.
+
+use crate::cli::Config;
+use crate::context::ExperimentContext;
+use crate::experiments::sanitize;
+use crate::models::ModelKind;
+use crate::runner::{budget_ladder, engine_for, multi_table_curve, strategy_curve};
+use gqr_core::engine::ProbeStrategy;
+use gqr_core::multi_table::MultiTableIndex;
+use gqr_core::table::HashTable;
+use gqr_dataset::DatasetSpec;
+use gqr_eval::report::Reporter;
+use gqr_l2h::HashModel;
+use std::io;
+
+/// Regenerate Fig 12 (the paper uses TINY5M and SIFT10M with 1/10/20/30
+/// tables).
+pub fn run(cfg: &Config) -> io::Result<()> {
+    let reporter = Reporter::new(&cfg.out_dir)?;
+    let table_counts = [1usize, 10, 20, 30];
+    for spec in [DatasetSpec::tiny5m(), DatasetSpec::sift10m()] {
+        let mut ctx = ExperimentContext::prepare(&spec, cfg);
+        // Multi-table curves re-run each budget, so trim the query set to
+        // keep the figure affordable.
+        let q_cap = ctx.queries.len().min(100);
+        ctx.queries.truncate(q_cap);
+        ctx.ground_truth.truncate(q_cap);
+
+        // Short ladder: multi-table search lacks incremental checkpointing.
+        let full = budget_ladder(ctx.n(), cfg.k, 0.5);
+        let step = (full.len() / 6).max(1);
+        let budgets: Vec<usize> = full.iter().copied().step_by(step).chain([*full.last().unwrap()]).collect();
+        let mut budgets = budgets;
+        budgets.dedup();
+
+        let max_tables = *table_counts.iter().max().unwrap();
+        let models: Vec<Box<dyn HashModel>> = (0..max_tables)
+            .map(|t| {
+                ModelKind::Itq.train(
+                    ctx.dataset.as_slice(),
+                    ctx.dim(),
+                    ctx.code_length,
+                    cfg.seed.wrapping_add(t as u64 * 7919),
+                )
+            })
+            .collect();
+
+        let mut curves = Vec::new();
+        for &t in &table_counts {
+            let refs: Vec<&dyn HashModel> = models[..t].iter().map(|m| m.as_ref()).collect();
+            let index = MultiTableIndex::build(refs, ctx.dataset.as_slice(), ctx.dim());
+            let label = format!("GHR ({t})");
+            let curve = multi_table_curve(
+                &label,
+                &index,
+                ProbeStrategy::GenerateHammingRanking,
+                &ctx,
+                cfg.k,
+                &budgets,
+            );
+            println!(
+                "[fig12] {} {label}: final recall {:.3} in {:.3}s, ~{:.1} MB of tables",
+                ctx.dataset.name(),
+                curve.points.last().unwrap().recall,
+                curve.points.last().unwrap().total_time_s,
+                index.approx_bytes() as f64 / 1e6
+            );
+            curves.push(curve);
+        }
+
+        // Single-table GQR reference.
+        let table = HashTable::build(models[0].as_ref(), ctx.dataset.as_slice(), ctx.dim());
+        let engine = engine_for(models[0].as_ref(), &table, &ctx);
+        let gqr = strategy_curve("GQR (1)", &engine, ProbeStrategy::GenerateQdRanking, &ctx, cfg.k, &budgets);
+        println!(
+            "[fig12] {} GQR (1): final recall {:.3} in {:.3}s",
+            ctx.dataset.name(),
+            gqr.points.last().unwrap().recall,
+            gqr.points.last().unwrap().total_time_s
+        );
+        curves.push(gqr);
+
+        reporter.write_curves(&format!("fig12_multi_table_{}.csv", sanitize(ctx.dataset.name())), &curves)?;
+    }
+    Ok(())
+}

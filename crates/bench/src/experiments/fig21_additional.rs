@@ -1,0 +1,69 @@
+//! Figures 21–22 and Table 3: the eight additional NNS-benchmark datasets.
+//!
+//! ITQ+GQR and PCAH+GQR versus OPQ+IMI on image/audio/text stand-ins. The
+//! paper's conclusion: GQR boosts one or both binary-hashing pipelines to
+//! OPQ's level on most datasets, with no clear winner on the rest.
+
+use crate::cli::Config;
+use crate::context::ExperimentContext;
+use crate::experiments::sanitize;
+use crate::models::ModelKind;
+use crate::runner::{budget_ladder, engine_for, strategy_curve, OpqImiConfig, OpqImiEngine};
+use gqr_core::engine::ProbeStrategy;
+use gqr_core::table::HashTable;
+use gqr_dataset::stats::summarize;
+use gqr_dataset::DatasetSpec;
+use gqr_eval::report::Reporter;
+use std::io;
+
+/// Regenerate Figs 21–22 and the Table 3 statistics CSV.
+pub fn run(cfg: &Config) -> io::Result<()> {
+    let reporter = Reporter::new(&cfg.out_dir)?;
+    let mut table3 = Vec::new();
+    for spec in DatasetSpec::table3() {
+        let ctx = ExperimentContext::prepare(&spec, cfg);
+        let s = summarize(&ctx.dataset);
+        table3.push(vec![
+            s.name.clone(),
+            s.dim.to_string(),
+            s.n.to_string(),
+            ctx.code_length.to_string(),
+        ]);
+
+        let budgets = budget_ladder(ctx.n(), cfg.k, 0.5);
+        let mut curves = Vec::new();
+        for kind in [ModelKind::Itq, ModelKind::Pcah] {
+            let model = kind.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, cfg.seed);
+            let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+            let engine = engine_for(model.as_ref(), &table, &ctx);
+            curves.push(strategy_curve(
+                format!("{}+GQR", kind.name()),
+                &engine,
+                ProbeStrategy::GenerateQdRanking,
+                &ctx,
+                cfg.k,
+                &budgets,
+            ));
+        }
+        let vq = OpqImiEngine::train(
+            ctx.dataset.as_slice(),
+            ctx.dim(),
+            &OpqImiConfig { seed: cfg.seed, ..Default::default() },
+        );
+        curves.push(vq.curve("OPQ+IMI", &ctx, cfg.k, &budgets));
+
+        for c in &curves {
+            let last = c.points.last().unwrap();
+            println!(
+                "[fig21] {} {:<9} final recall {:.3} in {:.3}s",
+                ctx.dataset.name(),
+                c.label,
+                last.recall,
+                last.total_time_s
+            );
+        }
+        reporter.write_curves(&format!("fig21_22_{}.csv", sanitize(ctx.dataset.name())), &curves)?;
+    }
+    reporter.write_csv("table3_datasets.csv", &["dataset", "dim", "items", "code_length"], &table3)?;
+    Ok(())
+}

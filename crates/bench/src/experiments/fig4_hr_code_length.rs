@@ -1,0 +1,62 @@
+//! Figure 4: Hamming ranking's code-length trade-off on CIFAR.
+//!
+//! (a) recall–precision: longer codes distinguish buckets better, so
+//! precision at a given recall *rises* with code length.
+//! (b) recall–time: longer codes slow retrieval (more buckets to sort and
+//! probe), so efficiency *falls* with code length.
+//!
+//! The paper uses m ∈ {16, 32, 64} on CIFAR60K; the scaled stand-in uses a
+//! ladder around its own `log2(n/10)` operating point for the same contrast.
+
+use crate::cli::Config;
+use crate::context::ExperimentContext;
+use crate::experiments::sanitize;
+use crate::models::ModelKind;
+use crate::runner::{budget_ladder, engine_for, strategy_curve};
+use gqr_core::engine::ProbeStrategy;
+use gqr_core::table::HashTable;
+use gqr_dataset::DatasetSpec;
+use gqr_eval::report::Reporter;
+use std::io;
+
+/// Regenerate Fig 4 (both panels share one CSV; precision is derived from
+/// recall·k / items evaluated).
+pub fn run(cfg: &Config) -> io::Result<()> {
+    let reporter = Reporter::new(&cfg.out_dir)?;
+    let ctx = ExperimentContext::prepare(&DatasetSpec::cifar60k(), cfg);
+    let base_m = ctx.code_length;
+    let code_lengths = [base_m, base_m + 4, base_m + 8];
+
+    let mut rows = Vec::new();
+    for &m in &code_lengths {
+        let model = ModelKind::Itq.train(ctx.dataset.as_slice(), ctx.dim(), m, cfg.seed);
+        let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+        let engine = engine_for(model.as_ref(), &table, &ctx);
+        let budgets = budget_ladder(ctx.n(), cfg.k, 0.5);
+        let label = format!("HR-{m}");
+        let curve = strategy_curve(&label, &engine, ProbeStrategy::HammingRanking, &ctx, cfg.k, &budgets);
+        for p in &curve.points {
+            let precision = if p.mean_items > 0.0 {
+                (p.recall * cfg.k as f64) / p.mean_items
+            } else {
+                0.0
+            };
+            rows.push(vec![
+                label.clone(),
+                p.budget.to_string(),
+                format!("{:.6}", p.recall),
+                format!("{precision:.6}"),
+                format!("{:.6}", p.total_time_s),
+                format!("{:.1}", p.mean_items),
+            ]);
+        }
+        let last = curve.points.last().expect("non-empty");
+        println!("[fig4] {label}: final recall {:.3} in {:.3}s", last.recall, last.total_time_s);
+    }
+    reporter.write_csv(
+        &format!("fig4_hr_code_length_{}.csv", sanitize(ctx.dataset.name())),
+        &["label", "budget", "recall", "precision", "total_time_s", "mean_items"],
+        &rows,
+    )?;
+    Ok(())
+}

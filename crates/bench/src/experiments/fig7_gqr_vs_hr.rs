@@ -1,0 +1,59 @@
+//! Figures 7, 8 and 9: GQR versus HR/GHR with ITQ.
+//!
+//! One measurement pass produces all three artifacts: the recall–time
+//! curves (Fig 7), the recall–items curves (Fig 8 — same checkpoints, items
+//! axis), and the time to reach 80/85/90/95% recall (Fig 9), since the
+//! curve CSV carries `total_time_s` and `mean_items` per checkpoint and the
+//! time-at-recall table is interpolated from it.
+
+use crate::cli::Config;
+use crate::experiments::strategies_over_datasets;
+use crate::models::ModelKind;
+use gqr_core::engine::ProbeStrategy;
+use gqr_dataset::DatasetSpec;
+use std::io;
+
+/// Regenerate Figs 7/8/9 (ITQ, four main datasets).
+pub fn run(cfg: &Config) -> io::Result<()> {
+    strategies_over_datasets(
+        cfg,
+        &DatasetSpec::table1(),
+        ModelKind::Itq,
+        &[
+            ProbeStrategy::GenerateQdRanking,
+            ProbeStrategy::GenerateHammingRanking,
+            ProbeStrategy::HammingRanking,
+        ],
+        "fig7_8_9_itq",
+    )
+}
+
+/// Same comparison with PCAH — Figures 13 and 14.
+pub fn run_pcah(cfg: &Config) -> io::Result<()> {
+    strategies_over_datasets(
+        cfg,
+        &DatasetSpec::table1(),
+        ModelKind::Pcah,
+        &[
+            ProbeStrategy::GenerateQdRanking,
+            ProbeStrategy::GenerateHammingRanking,
+            ProbeStrategy::HammingRanking,
+        ],
+        "fig13_14_pcah",
+    )
+}
+
+/// Same comparison with spectral hashing — Figures 15 and 16.
+pub fn run_sh(cfg: &Config) -> io::Result<()> {
+    strategies_over_datasets(
+        cfg,
+        &DatasetSpec::table1(),
+        ModelKind::Sh,
+        &[
+            ProbeStrategy::GenerateQdRanking,
+            ProbeStrategy::GenerateHammingRanking,
+            ProbeStrategy::HammingRanking,
+        ],
+        "fig15_16_sh",
+    )
+}

@@ -1,0 +1,30 @@
+//! Figures 18 and 19: multi-index hashing versus GHR and GQR.
+//!
+//! The appendix result: at bucket-index code lengths (`m ≈ log2(n/10)`)
+//! very few buckets are empty, so MIH's de-duplication/filter overhead
+//! makes it *slightly worse* than plain hash lookup, while GQR beats both —
+//! an efficient Hamming-space search does not fix Hamming distance's
+//! coarseness.
+
+use crate::cli::Config;
+use crate::experiments::strategies_over_datasets;
+use crate::models::ModelKind;
+use gqr_core::engine::ProbeStrategy;
+use gqr_dataset::DatasetSpec;
+use std::io;
+
+const STRATEGIES: [ProbeStrategy; 3] = [
+    ProbeStrategy::GenerateQdRanking,
+    ProbeStrategy::GenerateHammingRanking,
+    ProbeStrategy::MultiIndexHashing { blocks: 2 },
+];
+
+/// Regenerate Fig 18 (ITQ).
+pub fn run_itq(cfg: &Config) -> io::Result<()> {
+    strategies_over_datasets(cfg, &DatasetSpec::table1(), ModelKind::Itq, &STRATEGIES, "fig18_mih_itq")
+}
+
+/// Regenerate Fig 19 (PCAH).
+pub fn run_pcah(cfg: &Config) -> io::Result<()> {
+    strategies_over_datasets(cfg, &DatasetSpec::table1(), ModelKind::Pcah, &STRATEGIES, "fig19_mih_pcah")
+}

@@ -1,0 +1,132 @@
+//! One module per paper artifact. Every `run(cfg)` regenerates its figure
+//! or table into `cfg.out_dir` and prints a short summary to stdout.
+
+pub mod ext_isohash;
+pub mod ext_mplsh;
+pub mod fig10_code_length;
+pub mod fig11_vary_k;
+pub mod fig12_multi_table;
+pub mod fig17_opq;
+pub mod fig20_kmh;
+pub mod fig21_additional;
+pub mod fig2_bucket_counts;
+pub mod fig4_hr_code_length;
+pub mod fig6_gqr_vs_qr;
+pub mod fig7_gqr_vs_hr;
+pub mod fig_mih;
+pub mod table1_datasets;
+pub mod table2_training_cost;
+
+use crate::cli::Config;
+use crate::context::ExperimentContext;
+use crate::models::ModelKind;
+use crate::runner::{budget_ladder, engine_for, strategy_curve};
+use gqr_core::engine::ProbeStrategy;
+use gqr_core::table::HashTable;
+use gqr_dataset::DatasetSpec;
+use gqr_eval::curve::{time_to_recall, RecallCurve};
+use gqr_eval::report::Reporter;
+use std::io;
+
+/// Recall operating points used by the paper's time-at-recall bar charts.
+pub const RECALL_TARGETS: [f64; 4] = [0.80, 0.85, 0.90, 0.95];
+
+/// Measure the given strategies with one trained model on one dataset.
+/// Returns the curves in strategy order.
+pub(crate) fn run_strategies(
+    ctx: &ExperimentContext,
+    kind: ModelKind,
+    strategies: &[ProbeStrategy],
+    k: usize,
+    seed: u64,
+    ladder_frac: f64,
+) -> Vec<RecallCurve> {
+    let model = kind.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, seed);
+    let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+    let mut engine = engine_for(model.as_ref(), &table, ctx);
+    if strategies.iter().any(|s| matches!(s, ProbeStrategy::MultiIndexHashing { .. })) {
+        let blocks = strategies
+            .iter()
+            .find_map(|s| match s {
+                ProbeStrategy::MultiIndexHashing { blocks } => Some(*blocks),
+                _ => None,
+            })
+            .expect("checked above");
+        engine.enable_mih(blocks);
+    }
+    let budgets = budget_ladder(ctx.n(), k, ladder_frac);
+    strategies
+        .iter()
+        .map(|&s| strategy_curve(s.name(), &engine, s, ctx, k, &budgets))
+        .collect()
+}
+
+/// The standard figure shape: several datasets × several strategies with one
+/// trainer. Writes `{prefix}_{dataset}.csv` (recall–time long format) plus a
+/// combined time-at-recall CSV, mirroring the paper's paired
+/// curve/bar-chart figures.
+pub(crate) fn strategies_over_datasets(
+    cfg: &Config,
+    specs: &[DatasetSpec],
+    kind: ModelKind,
+    strategies: &[ProbeStrategy],
+    prefix: &str,
+) -> io::Result<()> {
+    let reporter = Reporter::new(&cfg.out_dir)?;
+    let mut tar_rows: Vec<Vec<String>> = Vec::new();
+    for spec in specs {
+        let ctx = ExperimentContext::prepare(spec, cfg);
+        println!(
+            "[{prefix}] {}: n={} dim={} m={} ({} queries)",
+            ctx.dataset.name(),
+            ctx.n(),
+            ctx.dim(),
+            ctx.code_length,
+            ctx.queries.len()
+        );
+        let curves = run_strategies(&ctx, kind, strategies, cfg.k, cfg.seed, 0.5);
+        let file = format!("{prefix}_{}.csv", sanitize(ctx.dataset.name()));
+        reporter.write_curves(&file, &curves)?;
+        println!("{}", gqr_eval::plot::ascii_chart(&curves, gqr_eval::plot::Axis::Time, 64, 16));
+        for curve in &curves {
+            for &target in &RECALL_TARGETS {
+                let t = time_to_recall(curve, target);
+                tar_rows.push(vec![
+                    ctx.dataset.name().to_string(),
+                    curve.label.clone(),
+                    format!("{target:.2}"),
+                    t.map(|v| format!("{v:.4}")).unwrap_or_else(|| "unreached".into()),
+                ]);
+            }
+            let last = curve.points.last().expect("non-empty curve");
+            println!(
+                "  {:<4} final recall {:.3} in {:.3}s",
+                curve.label, last.recall, last.total_time_s
+            );
+        }
+    }
+    reporter.write_csv(
+        &format!("{prefix}_time_at_recall.csv"),
+        &["dataset", "method", "recall", "total_time_s"],
+        &tar_rows,
+    )?;
+    Ok(())
+}
+
+/// File-name-safe dataset label.
+pub(crate) fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("CIFAR60K-sim"), "cifar60k_sim");
+        assert_eq!(sanitize("GLOVE1.2M-sim"), "glove1_2m_sim");
+    }
+}

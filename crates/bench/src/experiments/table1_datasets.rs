@@ -1,0 +1,45 @@
+//! Table 1: dataset statistics and linear-search time.
+//!
+//! The paper reports the four main datasets' size, dimensionality, and the
+//! wall time of brute-force search for 1000 queries. The synthetic stand-ins
+//! report the same columns at the configured scale, normalized to per-query
+//! milliseconds so numbers are comparable across query counts.
+
+use crate::cli::Config;
+use crate::context::ExperimentContext;
+use gqr_dataset::stats::summarize;
+use gqr_dataset::DatasetSpec;
+use gqr_eval::report::{markdown_table, Reporter};
+use std::io;
+
+/// Regenerate Table 1.
+pub fn run(cfg: &Config) -> io::Result<()> {
+    let reporter = Reporter::new(&cfg.out_dir)?;
+    let header = ["dataset", "dim", "items", "megabytes", "linear_search_s", "per_query_ms"];
+    let mut rows = Vec::new();
+    for spec in DatasetSpec::table1() {
+        let ctx = ExperimentContext::prepare(&spec, cfg);
+        let s = summarize(&ctx.dataset);
+        let per_query_ms = 1000.0 * ctx.linear_search_s / ctx.queries.len().max(1) as f64;
+        println!(
+            "[table1] {}: {} × {} ({:.1} MB), linear search {:.3}s for {} queries",
+            s.name,
+            s.n,
+            s.dim,
+            s.megabytes,
+            ctx.linear_search_s,
+            ctx.queries.len()
+        );
+        rows.push(vec![
+            s.name,
+            s.dim.to_string(),
+            s.n.to_string(),
+            format!("{:.1}", s.megabytes),
+            format!("{:.3}", ctx.linear_search_s),
+            format!("{per_query_ms:.3}"),
+        ]);
+    }
+    reporter.write_csv("table1_datasets.csv", &header, &rows)?;
+    println!("{}", markdown_table(&header, &rows));
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Table 2: training cost of OPQ versus PCAH.
+//!
+//! Wall time, CPU time and memory for training each model on the Fig 17
+//! datasets. The paper's point: OPQ costs one to two orders of magnitude
+//! more to train, which is what PCAH+GQR lets you avoid. Peak RSS is a
+//! process-wide high-water mark, so the binary also reports the models'
+//! analytic sizes.
+
+use crate::cli::Config;
+use crate::context::ExperimentContext;
+use crate::experiments::fig17_opq::datasets;
+use crate::models::ModelKind;
+use crate::runner::{OpqImiConfig, OpqImiEngine};
+use gqr_eval::report::{markdown_table, Reporter};
+use gqr_eval::timer::measure;
+use std::io;
+
+/// Regenerate Table 2.
+pub fn run(cfg: &Config) -> io::Result<()> {
+    let reporter = Reporter::new(&cfg.out_dir)?;
+    let header = [
+        "dataset",
+        "opq_wall_s",
+        "pcah_wall_s",
+        "opq_cpu_s",
+        "pcah_cpu_s",
+        "opq_model_mb",
+        "peak_rss_mb",
+    ];
+    let mut rows = Vec::new();
+    for spec in datasets() {
+        let ctx = ExperimentContext::prepare(&spec, cfg);
+        let data = ctx.dataset.as_slice();
+
+        let (opq_engine, opq_usage) = measure(|| {
+            OpqImiEngine::train(data, ctx.dim(), &OpqImiConfig { seed: cfg.seed, ..Default::default() })
+        });
+        let (_pcah, pcah_usage) =
+            measure(|| ModelKind::Pcah.train(data, ctx.dim(), ctx.code_length, cfg.seed));
+
+        println!(
+            "[table2] {}: OPQ {:.2}s wall / {:.2}s cpu — PCAH {:.2}s wall / {:.2}s cpu",
+            ctx.dataset.name(),
+            opq_usage.wall_s,
+            opq_usage.cpu_s.unwrap_or(f64::NAN),
+            pcah_usage.wall_s,
+            pcah_usage.cpu_s.unwrap_or(f64::NAN),
+        );
+        rows.push(vec![
+            ctx.dataset.name().to_string(),
+            format!("{:.2}", opq_usage.wall_s),
+            format!("{:.2}", pcah_usage.wall_s),
+            opq_usage.cpu_s.map(|v| format!("{v:.2}")).unwrap_or_else(|| "n/a".into()),
+            pcah_usage.cpu_s.map(|v| format!("{v:.2}")).unwrap_or_else(|| "n/a".into()),
+            format!("{:.2}", opq_engine.opq().model_bytes() as f64 / 1e6),
+            opq_usage.peak_rss_mb.map(|v| format!("{v:.0}")).unwrap_or_else(|| "n/a".into()),
+        ]);
+    }
+    reporter.write_csv("table2_training_cost.csv", &header, &rows)?;
+    println!("{}", markdown_table(&header, &rows));
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the `gqr` reproduction: everything the `fig*` and
+//! `table*` binaries share.
+//!
+//! Each paper artifact (figure or table) has a function in [`experiments`]
+//! that regenerates it into CSV/JSON files under `results/`; the binaries in
+//! `src/bin/` are thin CLI wrappers, and `run_all` executes the whole
+//! evaluation. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! recorded paper-vs-measured outcomes.
+
+
+#![warn(missing_docs)]
+pub mod cli;
+pub mod context;
+pub mod experiments;
+pub mod models;
+pub mod runner;
+
+pub use cli::Config;
+pub use context::ExperimentContext;
+pub use models::ModelKind;

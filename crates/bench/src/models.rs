@@ -1,0 +1,87 @@
+//! The L2H model zoo used across experiments.
+
+use gqr_l2h::isoh::{IsoHash, IsoHashOptions};
+use gqr_l2h::itq::{Itq, ItqOptions};
+use gqr_l2h::kmh::{KmeansHashing, KmhOptions};
+use gqr_l2h::lsh::Lsh;
+use gqr_l2h::pcah::Pcah;
+use gqr_l2h::sh::SpectralHashing;
+use gqr_l2h::HashModel;
+
+/// Which hash-function learning algorithm to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Iterative quantization (the paper's default trainer, §6.1).
+    Itq,
+    /// PCA hashing.
+    Pcah,
+    /// Spectral hashing.
+    Sh,
+    /// K-means hashing (appendix).
+    Kmh,
+    /// Sign random projections.
+    Lsh,
+    /// Isotropic hashing (extension).
+    IsoHash,
+}
+
+impl ModelKind {
+    /// Short name for labels and file names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Itq => "ITQ",
+            ModelKind::Pcah => "PCAH",
+            ModelKind::Sh => "SH",
+            ModelKind::Kmh => "KMH",
+            ModelKind::Lsh => "LSH",
+            ModelKind::IsoHash => "IsoHash",
+        }
+    }
+
+    /// Train on row-major `data` with code length `m`.
+    ///
+    /// Panics on trainer errors: experiment configurations are fixed by the
+    /// harness, so an error here is a harness bug, not user input.
+    pub fn train(&self, data: &[f32], dim: usize, m: usize, seed: u64) -> Box<dyn HashModel> {
+        match self {
+            ModelKind::Itq => Box::new(
+                Itq::train_with(data, dim, m, &ItqOptions { seed, ..Default::default() })
+                    .expect("ITQ training"),
+            ),
+            ModelKind::Pcah => Box::new(Pcah::train(data, dim, m).expect("PCAH training")),
+            ModelKind::Sh => Box::new(SpectralHashing::train(data, dim, m).expect("SH training")),
+            ModelKind::Kmh => Box::new(
+                KmeansHashing::train_with(data, dim, m, &KmhOptions { seed, ..Default::default() })
+                    .expect("KMH training"),
+            ),
+            ModelKind::Lsh => Box::new(Lsh::train(data, dim, m, seed).expect("LSH training")),
+            ModelKind::IsoHash => Box::new(
+                IsoHash::train_with(data, dim, m, &IsoHashOptions { seed, ..Default::default() })
+                    .expect("IsoHash training"),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_train_and_encode() {
+        let mut data = Vec::new();
+        for i in 0..300u32 {
+            data.push((i % 17) as f32 - 8.0);
+            data.push((i % 23) as f32 - 11.0);
+            data.push((i % 5) as f32);
+            data.push((i % 29) as f32 - 14.0);
+        }
+        for kind in [ModelKind::Itq, ModelKind::Pcah, ModelKind::Sh, ModelKind::Kmh, ModelKind::Lsh, ModelKind::IsoHash] {
+            let model = kind.train(&data, 4, 4, 1);
+            assert_eq!(model.code_length(), 4, "{}", kind.name());
+            let qe = model.encode_query(&data[..4]);
+            assert_eq!(qe.flip_costs.len(), 4, "{}", kind.name());
+            assert_eq!(qe.code, model.encode(&data[..4]), "{}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Shared measurement runners: budget ladders, per-strategy curves, the
+//! multi-table runner, and the OPQ+IMI comparator engine.
+
+use crate::context::ExperimentContext;
+use gqr_core::engine::{Checkpoint, ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::multi_table::MultiTableIndex;
+use gqr_core::table::HashTable;
+use gqr_core::topk::TopK;
+use gqr_eval::curve::{recall_time_curve, RecallCurve};
+use gqr_l2h::HashModel;
+use gqr_linalg::vecops::sq_dist_f32;
+use gqr_vq::imi::{ImiOptions, InvertedMultiIndex};
+use gqr_vq::kmeans::KMeansOptions;
+use gqr_vq::opq::{Opq, OpqOptions};
+use gqr_vq::pq::PqOptions;
+use std::time::Instant;
+
+/// Geometric ladder of candidate budgets from `~n/1000` up to `frac·n`,
+/// the x-axis resolution of every recall curve.
+pub fn budget_ladder(n: usize, k: usize, frac: f64) -> Vec<usize> {
+    let max = ((n as f64 * frac) as usize).max(k + 1).min(n);
+    let mut budgets = Vec::new();
+    // Start fine enough to resolve small-k operating points (Fig 11's k = 1
+    // reaches 90% recall within a couple of buckets).
+    let mut b = (n / 5000).max(k).max(10);
+    while b < max {
+        budgets.push(b);
+        b = (b as f64 * 1.6).ceil() as usize;
+    }
+    budgets.push(max);
+    budgets.dedup();
+    budgets
+}
+
+/// Measure one strategy's recall–time curve on a prepared context.
+pub fn strategy_curve(
+    label: impl Into<String>,
+    engine: &QueryEngine<'_, dyn HashModel + '_>,
+    strategy: ProbeStrategy,
+    ctx: &ExperimentContext,
+    k: usize,
+    budgets: &[usize],
+) -> RecallCurve {
+    let params = SearchParams { k, n_candidates: usize::MAX, strategy, early_stop: false, ..Default::default() };
+    recall_time_curve(label, &ctx.queries, &ctx.ground_truth, budgets, |q, b| {
+        let full = SearchParams { n_candidates: *b.last().expect("budgets non-empty"), ..params };
+        let (_, cps) = engine.search_traced(q, &full, b);
+        cps
+    })
+}
+
+/// Multi-table recall–time curve. `MultiTableIndex::search` has no traced
+/// variant, so each budget is timed as an independent search — the paper's
+/// methodology (a batch per operating point), just costlier; budgets ladders
+/// for multi-table figures are kept short.
+pub fn multi_table_curve(
+    label: impl Into<String>,
+    index: &MultiTableIndex<'_>,
+    strategy: ProbeStrategy,
+    ctx: &ExperimentContext,
+    k: usize,
+    budgets: &[usize],
+) -> RecallCurve {
+    recall_time_curve(label, &ctx.queries, &ctx.ground_truth, budgets, |q, bs| {
+        bs.iter()
+            .map(|&b| {
+                let params = SearchParams { k, n_candidates: b, strategy, early_stop: false, ..Default::default() };
+                let start = Instant::now();
+                let res = index.search(q, &params);
+                Checkpoint {
+                    budget: b,
+                    items_evaluated: res.stats.items_evaluated,
+                    buckets_probed: res.stats.buckets_probed,
+                    elapsed: start.elapsed(),
+                    top_ids: res.neighbors.iter().map(|&(id, _)| id).collect(),
+                }
+            })
+            .collect()
+    })
+}
+
+/// How OPQ+IMI scores candidates before the top-k cut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RerankMode {
+    /// Exact distances on the original vectors — the same evaluation the
+    /// L2H pipelines get, so recall-per-candidate comparisons are apples to
+    /// apples (used for Figs 17/21/22).
+    Exact,
+    /// Asymmetric distance computation on the stored PQ codes — what a
+    /// production OPQ+IMI deployment does; cheaper per candidate, lossier.
+    Adc,
+}
+
+/// The §6.5 comparator: OPQ rotation + inverted multi-index retrieval +
+/// candidate re-rank ([`RerankMode`]).
+pub struct OpqImiEngine<'a> {
+    opq: Opq,
+    imi: InvertedMultiIndex,
+    data: &'a [f32],
+    dim: usize,
+    rerank: RerankMode,
+    /// PQ codes per item (row-major n × m_pq), present when `rerank == Adc`.
+    codes: Vec<u8>,
+    code_len: usize,
+}
+
+/// Configuration for [`OpqImiEngine::train`].
+#[derive(Clone, Debug)]
+pub struct OpqImiConfig {
+    /// PQ subspaces for the OPQ codebooks.
+    pub pq_subspaces: usize,
+    /// PQ codebook size.
+    pub pq_ks: usize,
+    /// OPQ alternating rounds.
+    pub opq_rounds: usize,
+    /// IMI codebook size per half (`K`; the index has `K²` cells).
+    pub imi_k: usize,
+    /// Training seed.
+    pub seed: u64,
+    /// Rows used for OPQ training (subsampled for speed, like the paper's
+    /// training sets).
+    pub train_rows: usize,
+    /// Candidate scoring mode.
+    pub rerank: RerankMode,
+}
+
+impl Default for OpqImiConfig {
+    fn default() -> Self {
+        OpqImiConfig {
+            pq_subspaces: 4,
+            pq_ks: 64,
+            opq_rounds: 4,
+            imi_k: 64,
+            seed: 0,
+            train_rows: 20_000,
+            rerank: RerankMode::Exact,
+        }
+    }
+}
+
+impl<'a> OpqImiEngine<'a> {
+    /// Train OPQ on (a subsample of) `data`, rotate everything, and build
+    /// the inverted multi-index over the rotated vectors.
+    pub fn train(data: &'a [f32], dim: usize, cfg: &OpqImiConfig) -> OpqImiEngine<'a> {
+        let n = data.len() / dim;
+        let train = if cfg.train_rows > 0 && n > cfg.train_rows {
+            let stride = n / cfg.train_rows;
+            let mut t = Vec::with_capacity(cfg.train_rows * dim);
+            for i in (0..n).step_by(stride.max(1)).take(cfg.train_rows) {
+                t.extend_from_slice(&data[i * dim..(i + 1) * dim]);
+            }
+            t
+        } else {
+            data.to_vec()
+        };
+        let opq = Opq::train(
+            &train,
+            dim,
+            cfg.pq_subspaces,
+            &OpqOptions {
+                rounds: cfg.opq_rounds,
+                pq: PqOptions {
+                    ks: cfg.pq_ks.min(train.len() / dim),
+                    kmeans: KMeansOptions { seed: cfg.seed, max_iters: 15, ..Default::default() },
+                },
+            },
+        );
+        // Rotate the full dataset once and index it.
+        let mut rotated = Vec::with_capacity(data.len());
+        for row in data.chunks_exact(dim) {
+            rotated.extend_from_slice(&opq.rotate(row));
+        }
+        let imi = InvertedMultiIndex::build(
+            &rotated,
+            dim,
+            &ImiOptions {
+                k: cfg.imi_k.min(n),
+                kmeans: KMeansOptions { seed: cfg.seed ^ 0x1111, max_iters: 15, threads: 0, ..Default::default() },
+            },
+        );
+        // PQ codes for ADC re-ranking (over the rotated vectors, so the
+        // query-side table is built from the rotated query).
+        let (codes, code_len) = if cfg.rerank == RerankMode::Adc {
+            let m_pq = opq.pq().n_subspaces();
+            let mut codes = Vec::with_capacity(n * m_pq);
+            for row in rotated.chunks_exact(dim) {
+                codes.extend_from_slice(&opq.pq().encode(row));
+            }
+            (codes, m_pq)
+        } else {
+            (Vec::new(), 0)
+        };
+        OpqImiEngine { opq, imi, data, dim, rerank: cfg.rerank, codes, code_len }
+    }
+
+    /// Checkpointed k-NN search compatible with the curve runner: traverse
+    /// IMI cells in ascending score, re-rank candidates exactly, snapshot at
+    /// each budget.
+    pub fn search_traced(&self, query: &[f32], k: usize, budgets: &[usize]) -> Vec<Checkpoint> {
+        let start = Instant::now();
+        let rotated_q = self.opq.rotate(query);
+        let adc_table = (self.rerank == RerankMode::Adc)
+            .then(|| self.opq.pq().distance_table(&rotated_q));
+        let mut traversal = self.imi.traverse(&rotated_q);
+        let mut topk = TopK::new(k);
+        let mut evaluated = 0usize;
+        let mut cells = 0usize;
+        let mut cps = Vec::with_capacity(budgets.len());
+
+        for &budget in budgets {
+            while evaluated < budget {
+                let Some((u, v, _score)) = traversal.next() else { break };
+                cells += 1;
+                for &id in self.imi.cell(u, v) {
+                    let dist = match &adc_table {
+                        Some(table) => gqr_vq::pq::ProductQuantizer::adc(
+                            table,
+                            &self.codes[id as usize * self.code_len..(id as usize + 1) * self.code_len],
+                        ),
+                        None => {
+                            let row = &self.data
+                                [id as usize * self.dim..(id as usize + 1) * self.dim];
+                            sq_dist_f32(query, row)
+                        }
+                    };
+                    topk.push(dist, id);
+                    evaluated += 1;
+                }
+            }
+            cps.push(Checkpoint {
+                budget,
+                items_evaluated: evaluated,
+                buckets_probed: cells,
+                elapsed: start.elapsed(),
+                top_ids: topk.ids_unordered().collect(),
+            });
+        }
+        cps
+    }
+
+    /// Recall–time curve for this engine.
+    pub fn curve(
+        &self,
+        label: impl Into<String>,
+        ctx: &ExperimentContext,
+        k: usize,
+        budgets: &[usize],
+    ) -> RecallCurve {
+        recall_time_curve(label, &ctx.queries, &ctx.ground_truth, budgets, |q, b| {
+            self.search_traced(q, k, b)
+        })
+    }
+
+    /// The trained OPQ model (for Table 2's memory column).
+    pub fn opq(&self) -> &Opq {
+        &self.opq
+    }
+}
+
+/// Build a [`QueryEngine`] over a boxed model (the common pattern in the
+/// experiment functions).
+pub fn engine_for<'e>(
+    model: &'e dyn HashModel,
+    table: &'e HashTable,
+    ctx: &'e ExperimentContext,
+) -> QueryEngine<'e, dyn HashModel + 'e> {
+    QueryEngine::new(model, table, ctx.dataset.as_slice(), ctx.dim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::Config;
+    use crate::models::ModelKind;
+    use gqr_dataset::{DatasetSpec, Scale};
+
+    fn smoke_ctx() -> ExperimentContext {
+        let cfg = Config { scale: Scale::Smoke, n_queries: 10, k: 5, ..Default::default() };
+        ExperimentContext::prepare(&DatasetSpec::cifar60k(), &cfg)
+    }
+
+    #[test]
+    fn ladder_is_ascending_and_bounded() {
+        let b = budget_ladder(100_000, 20, 0.5);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*b.last().unwrap(), 50_000);
+        assert!(b[0] >= 20);
+    }
+
+    #[test]
+    fn ladder_small_n() {
+        let b = budget_ladder(100, 20, 1.0);
+        assert_eq!(*b.last().unwrap(), 100);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn strategy_curve_reaches_full_recall_when_probing_everything() {
+        let ctx = smoke_ctx();
+        let model = ModelKind::Pcah.train(ctx.dataset.as_slice(), ctx.dim(), 8, 1);
+        let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+        let engine = engine_for(model.as_ref(), &table, &ctx);
+        let budgets = vec![50, ctx.n()];
+        let curve = strategy_curve("GQR", &engine, ProbeStrategy::GenerateQdRanking, &ctx, 5, &budgets);
+        let last = curve.points.last().unwrap();
+        assert!(last.recall > 0.999, "full probing must find everything, got {}", last.recall);
+        assert!(curve.points[0].recall <= last.recall + 1e-12);
+    }
+
+    #[test]
+    fn opq_imi_engine_finds_exact_knn_when_exhaustive() {
+        let ctx = smoke_ctx();
+        let eng = OpqImiEngine::train(
+            ctx.dataset.as_slice(),
+            ctx.dim(),
+            &OpqImiConfig { imi_k: 8, pq_ks: 16, pq_subspaces: 2, opq_rounds: 2, seed: 3, train_rows: 0, ..Default::default() },
+        );
+        let budgets = vec![ctx.n()];
+        let curve = eng.curve("OPQ+IMI", &ctx, 5, &budgets);
+        assert!(curve.points[0].recall > 0.999, "got {}", curve.points[0].recall);
+    }
+
+    #[test]
+    fn adc_rerank_is_lossy_but_useful() {
+        let ctx = smoke_ctx();
+        let cfg = OpqImiConfig {
+            imi_k: 8,
+            pq_ks: 32,
+            pq_subspaces: 4,
+            opq_rounds: 2,
+            seed: 3,
+            train_rows: 0,
+            rerank: RerankMode::Adc,
+        };
+        let adc = OpqImiEngine::train(ctx.dataset.as_slice(), ctx.dim(), &cfg);
+        let exact = OpqImiEngine::train(
+            ctx.dataset.as_slice(),
+            ctx.dim(),
+            &OpqImiConfig { rerank: RerankMode::Exact, ..cfg },
+        );
+        let budgets = vec![ctx.n()];
+        let r_adc = adc.curve("ADC", &ctx, 5, &budgets).points[0].recall;
+        let r_exact = exact.curve("Exact", &ctx, 5, &budgets).points[0].recall;
+        assert!(r_exact > 0.999, "exact rerank exhaustive must be perfect: {r_exact}");
+        assert!(r_adc > 0.4, "ADC rerank should still be useful: {r_adc}");
+        assert!(r_adc <= r_exact + 1e-9, "quantized scoring cannot beat exact");
+    }
+
+    #[test]
+    fn multi_table_curve_runs() {
+        let ctx = smoke_ctx();
+        let m1 = ModelKind::Lsh.train(ctx.dataset.as_slice(), ctx.dim(), 8, 1);
+        let m2 = ModelKind::Lsh.train(ctx.dataset.as_slice(), ctx.dim(), 8, 2);
+        let idx = MultiTableIndex::build(vec![m1.as_ref(), m2.as_ref()], ctx.dataset.as_slice(), ctx.dim());
+        let curve = multi_table_curve("GHR(2)", &idx, ProbeStrategy::GenerateHammingRanking, &ctx, 5, &[100, 2000]);
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.points[1].recall > 0.99);
+    }
+}

@@ -1,0 +1,78 @@
+//! Smoke tests: each experiment function runs end-to-end at smoke scale and
+//! produces its CSV artifacts. Guards the harness itself (CLI plumbing,
+//! reporters, dataset presets) — the numbers are checked elsewhere.
+
+use gqr_bench::experiments as ex;
+use gqr_bench::Config;
+use gqr_dataset::Scale;
+use std::path::{Path, PathBuf};
+
+fn cfg(tag: &str) -> (Config, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("gqr_exp_smoke_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = Config {
+        scale: Scale::Smoke,
+        n_queries: 10,
+        k: 5,
+        seed: 7,
+        out_dir: dir.to_str().unwrap().to_string(),
+        threads: 1,
+    };
+    (cfg, dir)
+}
+
+fn assert_csv(dir: &Path, name: &str) {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing artifact {}: {e}", path.display()));
+    assert!(text.lines().count() > 1, "{name} must have data rows");
+}
+
+#[test]
+fn table1_and_fig2_produce_artifacts() {
+    let (cfg, dir) = cfg("t1f2");
+    ex::table1_datasets::run(&cfg).unwrap();
+    ex::fig2_bucket_counts::run(&cfg).unwrap();
+    assert_csv(&dir, "table1_datasets.csv");
+    assert_csv(&dir, "fig2_bucket_counts.csv");
+    // Fig 2 is exact: check one binomial.
+    let text = std::fs::read_to_string(dir.join("fig2_bucket_counts.csv")).unwrap();
+    assert!(text.contains("20,10,184756"), "C(20,10) row present");
+}
+
+#[test]
+fn fig6_curves_have_expected_labels() {
+    let (cfg, dir) = cfg("f6");
+    ex::fig6_gqr_vs_qr::run(&cfg).unwrap();
+    assert_csv(&dir, "fig6_gqr_vs_qr_time_at_recall.csv");
+    let text = std::fs::read_to_string(dir.join("fig6_gqr_vs_qr_cifar60k_sim.csv")).unwrap();
+    assert!(text.contains("GQR,") && text.contains("QR,"));
+}
+
+#[test]
+fn fig4_reports_precision_column() {
+    let (cfg, dir) = cfg("f4");
+    ex::fig4_hr_code_length::run(&cfg).unwrap();
+    let text = std::fs::read_to_string(dir.join("fig4_hr_code_length_cifar60k_sim.csv")).unwrap();
+    assert!(text.starts_with("label,budget,recall,precision"));
+    assert!(text.contains("HR-"));
+}
+
+#[test]
+fn fig17_includes_all_three_pipelines() {
+    let (cfg, dir) = cfg("f17");
+    ex::fig17_opq::run(&cfg).unwrap();
+    let text = std::fs::read_to_string(dir.join("fig17_opq_cifar60k_sim.csv")).unwrap();
+    for label in ["PCAH+GQR", "PCAH+GHR", "OPQ+IMI"] {
+        assert!(text.contains(label), "missing {label}");
+    }
+}
+
+#[test]
+fn ext_mplsh_counts_overheads() {
+    let (cfg, dir) = cfg("extm");
+    ex::ext_mplsh::run(&cfg).unwrap();
+    let text = std::fs::read_to_string(dir.join("ext_mplsh_vs_gqr.csv")).unwrap();
+    assert!(text.starts_with("dataset,budget,itq_gqr_recall"));
+    assert!(text.lines().count() >= 4);
+}

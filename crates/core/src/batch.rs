@@ -1,0 +1,167 @@
+//! Batch query execution: the paper times 1000-query batches; services run
+//! query streams. Parallelism is over queries (shared immutable index).
+
+use crate::engine::{SearchParams, SearchResult};
+use crate::table::HashTable;
+use gqr_l2h::HashModel;
+
+impl<M: HashModel + ?Sized> crate::engine::QueryEngine<'_, M> {
+    /// Run one search per query, in parallel over `threads` OS threads
+    /// (`0` = all cores). Results keep query order. Falls back to the serial
+    /// path for tiny batches where spawn overhead dominates.
+    pub fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        params: &SearchParams,
+        threads: usize,
+    ) -> Vec<SearchResult> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        let mut results: Vec<Option<SearchResult>> = vec![None; queries.len()];
+        if threads <= 1 || queries.len() < 8 {
+            for (q, slot) in queries.iter().zip(results.iter_mut()) {
+                *slot = Some(self.search(q, params));
+            }
+        } else {
+            let chunk = queries.len().div_ceil(threads);
+            crossbeam::scope(|scope| {
+                for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                    scope.spawn(move |_| {
+                        for (q, slot) in qs.iter().zip(out.iter_mut()) {
+                            *slot = Some(self.search(q, params));
+                        }
+                    });
+                }
+            })
+            .expect("batch search worker panicked");
+        }
+        results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+}
+
+/// Convenience: aggregate recall of a result batch against ground truth.
+pub fn batch_recall(results: &[SearchResult], truth: &[Vec<u32>]) -> f64 {
+    assert_eq!(results.len(), truth.len());
+    if results.is_empty() {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    for (res, t) in results.iter().zip(truth) {
+        if t.is_empty() {
+            acc += 1.0;
+            continue;
+        }
+        let found = res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+        acc += found as f64 / t.len() as f64;
+    }
+    acc / results.len() as f64
+}
+
+/// Build one [`HashTable`] per model in parallel (index-construction path
+/// for multi-table deployments).
+pub fn build_tables_parallel(
+    models: &[&dyn HashModel],
+    data: &[f32],
+    dim: usize,
+    threads: usize,
+) -> Vec<HashTable> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    if threads <= 1 || models.len() == 1 {
+        return models.iter().map(|m| HashTable::build(*m, data, dim)).collect();
+    }
+    let mut tables: Vec<Option<HashTable>> = (0..models.len()).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (model, slot) in models.iter().zip(tables.iter_mut()) {
+            scope.spawn(move |_| {
+                *slot = Some(HashTable::build(*model, data, dim));
+            });
+        }
+    })
+    .expect("table build worker panicked");
+    tables.into_iter().map(|t| t.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ProbeStrategy, QueryEngine};
+    use gqr_l2h::pcah::Pcah;
+
+    fn grid() -> Vec<f32> {
+        let mut data = Vec::new();
+        for i in 0..300u32 {
+            data.push((i % 20) as f32);
+            data.push((i / 20) as f32 + ((i % 3) as f32) * 0.01);
+        }
+        data
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let data = grid();
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let table = HashTable::build(&model, &data, 2);
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let queries: Vec<Vec<f32>> = (0..30).map(|i| vec![(i % 19) as f32 + 0.3, (i / 2) as f32]).collect();
+        let params = SearchParams {
+            k: 5,
+            n_candidates: 60,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            ..Default::default()
+        };
+        let serial = engine.search_batch(&queries, &params, 1);
+        let parallel = engine.search_batch(&queries, &params, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.neighbors, b.neighbors);
+        }
+    }
+
+    #[test]
+    fn batch_recall_aggregates() {
+        let data = grid();
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let table = HashTable::build(&model, &data, 2);
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let queries: Vec<Vec<f32>> = vec![vec![0.0, 0.0], vec![5.0, 5.0]];
+        let truth = vec![vec![0u32], vec![105u32]];
+        let params = SearchParams { k: 1, n_candidates: usize::MAX, ..Default::default() };
+        let results = engine.search_batch(&queries, &params, 2);
+        let r = batch_recall(&results, &truth);
+        assert!(r > 0.49, "at least one exact hit expected, got {r}");
+    }
+
+    #[test]
+    fn parallel_table_builds_match() {
+        let data = grid();
+        let m1 = Pcah::train(&data, 2, 2).unwrap();
+        let m2 = Pcah::train(&data, 2, 1).unwrap();
+        let models: Vec<&dyn gqr_l2h::HashModel> = vec![&m1, &m2];
+        let serial = build_tables_parallel(&models, &data, 2, 1);
+        let parallel = build_tables_parallel(&models, &data, 2, 2);
+        assert_eq!(serial.len(), 2);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.n_buckets(), b.n_buckets());
+            assert_eq!(a.n_items(), b.n_items());
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let data = grid();
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let table = HashTable::build(&model, &data, 2);
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let out = engine.search_batch(&[], &SearchParams::default(), 4);
+        assert!(out.is_empty());
+        assert_eq!(batch_recall(&[], &[]), 1.0);
+    }
+}

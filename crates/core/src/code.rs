@@ -1,0 +1,170 @@
+//! Binary-code primitives: Hamming distance, quantization distance, and
+//! combinatorics over `u64`-packed codes.
+
+use gqr_l2h::QueryEncoding;
+
+/// Hamming distance between two `m`-bit codes (bits above `m` must be zero).
+#[inline]
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Quantization distance (paper Definition 1):
+/// `dist(q, b) = Σᵢ (cᵢ(q) ⊕ bᵢ) · costᵢ`, where `costᵢ` is the query's
+/// per-bit flipping cost (`|pᵢ(q)|` for sign-threshold models).
+///
+/// Iterates only over the set bits of the XOR, so the cost is proportional
+/// to the Hamming distance rather than `m`.
+#[inline]
+pub fn quantization_distance(query: &QueryEncoding, bucket: u64) -> f64 {
+    let mut diff = query.code ^ bucket;
+    let mut qd = 0.0;
+    while diff != 0 {
+        let i = diff.trailing_zeros() as usize;
+        qd += query.flip_costs[i];
+        diff &= diff - 1;
+    }
+    qd
+}
+
+/// Number of `m`-bit codes at Hamming distance exactly `r` from any code:
+/// the binomial coefficient `C(m, r)` (paper Fig 2).
+pub fn codes_at_distance(m: usize, r: usize) -> u128 {
+    if r > m {
+        return 0;
+    }
+    let r = r.min(m - r);
+    let mut acc: u128 = 1;
+    for i in 0..r {
+        acc = acc * (m - i) as u128 / (i + 1) as u128;
+    }
+    acc
+}
+
+/// Iterator over all `m`-bit masks with exactly `k` set bits, in increasing
+/// numeric order (Gosper's hack). Used by generate-to-probe Hamming ranking
+/// to enumerate flip masks radius by radius without any allocation.
+#[derive(Clone, Debug)]
+pub struct FixedWeightMasks {
+    next: Option<u64>,
+    limit: u64,
+}
+
+impl FixedWeightMasks {
+    /// Masks of weight `k` within `m` bits. `k == 0` yields exactly `0`.
+    /// Panics if `m > 64` or `k > m`.
+    pub fn new(m: usize, k: usize) -> FixedWeightMasks {
+        assert!(m <= 64, "codes are packed in u64");
+        assert!(k <= m, "weight cannot exceed width");
+        let limit = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+        let first = if k == 0 { 0 } else { (1u64 << k) - 1 };
+        FixedWeightMasks { next: Some(first), limit }
+    }
+}
+
+impl Iterator for FixedWeightMasks {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let v = self.next?;
+        if v > self.limit {
+            self.next = None;
+            return None;
+        }
+        // Gosper's hack: next integer with the same popcount.
+        self.next = if v == 0 {
+            None
+        } else {
+            let c = v & v.wrapping_neg();
+            let r = v.wrapping_add(c);
+            if r == 0 {
+                None // overflowed u64: no more masks
+            } else {
+                Some((((r ^ v) >> 2) / c) | r)
+            }
+        };
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qe(code: u64, costs: &[f64]) -> QueryEncoding {
+        QueryEncoding { code, flip_costs: costs.to_vec() }
+    }
+
+    #[test]
+    fn hamming_basic() {
+        assert_eq!(hamming(0b1010, 0b1010), 0);
+        assert_eq!(hamming(0b1010, 0b0101), 4);
+        assert_eq!(hamming(0, u64::MAX), 64);
+    }
+
+    #[test]
+    fn qd_matches_paper_example() {
+        // Paper Fig 3: p(q1) = (−0.2, −0.8) ⇒ c(q1) = (0,0), costs (0.2, 0.8).
+        // QD: (0,0)→0, (1,0)→0.2, (0,1)→0.8, (1,1)→1.0.
+        let q = qe(0b00, &[0.2, 0.8]);
+        assert!((quantization_distance(&q, 0b00) - 0.0).abs() < 1e-12);
+        assert!((quantization_distance(&q, 0b01) - 0.2).abs() < 1e-12);
+        assert!((quantization_distance(&q, 0b10) - 0.8).abs() < 1e-12);
+        assert!((quantization_distance(&q, 0b11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qd_distinguishes_equal_hamming_buckets() {
+        let q = qe(0b00, &[0.2, 0.8]);
+        let b1 = 0b01; // flip cheap bit
+        let b2 = 0b10; // flip expensive bit
+        assert_eq!(hamming(q.code, b1), hamming(q.code, b2));
+        assert!(quantization_distance(&q, b1) < quantization_distance(&q, b2));
+    }
+
+    #[test]
+    fn codes_at_distance_binomials() {
+        assert_eq!(codes_at_distance(20, 0), 1);
+        assert_eq!(codes_at_distance(20, 1), 20);
+        assert_eq!(codes_at_distance(20, 10), 184_756);
+        assert_eq!(codes_at_distance(20, 20), 1);
+        assert_eq!(codes_at_distance(20, 21), 0);
+        // Fig 2's shape: the count peaks at r = m/2.
+        assert!(codes_at_distance(20, 10) > codes_at_distance(20, 4));
+    }
+
+    #[test]
+    fn fixed_weight_masks_enumerate_exactly_once() {
+        for m in [1usize, 4, 6] {
+            for k in 0..=m {
+                let masks: Vec<u64> = FixedWeightMasks::new(m, k).collect();
+                assert_eq!(masks.len() as u128, codes_at_distance(m, k), "m={m} k={k}");
+                let set: std::collections::HashSet<u64> = masks.iter().copied().collect();
+                assert_eq!(set.len(), masks.len(), "duplicates for m={m} k={k}");
+                for &mask in &masks {
+                    assert_eq!(mask.count_ones() as usize, k);
+                    assert!(mask < (1u64 << m));
+                }
+                // Increasing numeric order.
+                assert!(masks.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_weight_masks_full_width() {
+        // k == m: single mask of all ones.
+        let masks: Vec<u64> = FixedWeightMasks::new(8, 8).collect();
+        assert_eq!(masks, vec![0xFF]);
+        // m = 64 edge: weight-1 masks are all powers of two (64 of them).
+        let count = FixedWeightMasks::new(64, 1).count();
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    fn qd_zero_cost_bits_are_free() {
+        let q = qe(0b000, &[0.0, 0.5, 0.0]);
+        assert_eq!(quantization_distance(&q, 0b101), 0.0);
+        assert!((quantization_distance(&q, 0b111) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,578 @@
+//! The query engine: prober + hash table + exact re-rank = k-NN search.
+//!
+//! Implements the querying stage of the paper's §2.2: *retrieval* asks a
+//! [`Prober`] for bucket codes and gathers their items, *evaluation*
+//! computes exact distances and maintains the running top-k (re-ranking is
+//! incremental, which also enables the checkpointed instrumentation behind
+//! every recall–time curve in the evaluation).
+
+use crate::probe::mih::MihIndex;
+use crate::probe::{
+    GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking,
+};
+use crate::stats::ProbeStats;
+use crate::table::HashTable;
+use crate::topk::TopK;
+use gqr_l2h::HashModel;
+use gqr_linalg::vecops::Metric;
+use std::time::{Duration, Instant};
+
+/// Which querying method to use (paper §3–§5 and appendix).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeStrategy {
+    /// Hamming ranking: sort all occupied buckets by Hamming distance (HR).
+    HammingRanking,
+    /// Hash lookup / generate-to-probe Hamming ranking (GHR).
+    GenerateHammingRanking,
+    /// QD ranking: sort all occupied buckets by quantization distance (QR).
+    QdRanking,
+    /// Generate-to-probe QD ranking (GQR) — the paper's contribution.
+    GenerateQdRanking,
+    /// Multi-index hashing with this many substring blocks (appendix).
+    MultiIndexHashing {
+        /// Number of substring hash tables.
+        blocks: usize,
+    },
+}
+
+impl ProbeStrategy {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProbeStrategy::HammingRanking => "HR",
+            ProbeStrategy::GenerateHammingRanking => "GHR",
+            ProbeStrategy::QdRanking => "QR",
+            ProbeStrategy::GenerateQdRanking => "GQR",
+            ProbeStrategy::MultiIndexHashing { .. } => "MIH",
+        }
+    }
+}
+
+/// Search-time parameters (Algorithm 1/2 inputs).
+///
+/// §4.2 of the paper: the candidate count is the default stopping criterion,
+/// "but other stopping criteria can also be used, such as probing a certain
+/// number of buckets, after a period of time or early stop" — all four are
+/// supported and compose (whichever fires first stops the search).
+#[derive(Clone, Copy, Debug)]
+pub struct SearchParams {
+    /// Number of nearest neighbors to return.
+    pub k: usize,
+    /// Candidate budget `N`: stop probing once this many items have been
+    /// evaluated (the last bucket is always finished).
+    pub n_candidates: usize,
+    /// Querying method.
+    pub strategy: ProbeStrategy,
+    /// Stop early when the Theorem-2 lower bound `(µ·QD)²` of the next
+    /// bucket exceeds the current k-th best squared distance. Requires a QD
+    /// strategy and a linear model (`spectral_norm()` available); ignored
+    /// otherwise.
+    pub early_stop: bool,
+    /// Stop after probing this many buckets (occupied or not), if set.
+    pub max_buckets: Option<usize>,
+    /// Stop once this much wall time has elapsed, if set (checked between
+    /// buckets — a bucket in flight is finished, so treat this as a soft
+    /// deadline of one bucket's granularity).
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            k: 10,
+            n_candidates: 1_000,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            max_buckets: None,
+            time_limit: None,
+        }
+    }
+}
+
+/// Result of one search.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// `(item id, squared distance)`, ascending by distance, length ≤ k.
+    pub neighbors: Vec<(u32, f32)>,
+    /// Probe instrumentation.
+    pub stats: ProbeStats,
+}
+
+/// State of the running top-k recorded mid-search (drives recall–time and
+/// recall–items curves without re-running the search per budget).
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Candidate budget this checkpoint corresponds to.
+    pub budget: usize,
+    /// Items actually evaluated when the checkpoint fired (≥ budget unless
+    /// the table ran out).
+    pub items_evaluated: usize,
+    /// Buckets probed so far.
+    pub buckets_probed: usize,
+    /// Wall-clock time since the search started (includes the prober's
+    /// upfront sorting, so HR/QR's slow start is visible here).
+    pub elapsed: Duration,
+    /// Unordered ids of the current top-k.
+    pub top_ids: Vec<u32>,
+}
+
+/// A querying engine over one hash table.
+pub struct QueryEngine<'a, M: HashModel + ?Sized> {
+    model: &'a M,
+    table: &'a HashTable,
+    data: &'a [f32],
+    dim: usize,
+    metric: Metric,
+    mih: Option<MihIndex>,
+}
+
+impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
+    /// Engine over `table` built from `model`, with `data` (row-major,
+    /// `dim` columns) available for exact re-ranking.
+    pub fn new(model: &'a M, table: &'a HashTable, data: &'a [f32], dim: usize) -> Self {
+        assert_eq!(model.dim(), dim, "model and data dimensionality differ");
+        assert!(data.len().is_multiple_of(dim), "data must be n×dim");
+        // Dynamic tables (insert/remove) may hold fewer items than the data
+        // buffer has rows; every indexed id must stay addressable.
+        if let Some(max_id) = table.max_id() {
+            assert!(
+                (max_id as usize) < data.len() / dim,
+                "table references id {max_id} beyond the data buffer"
+            );
+        }
+        QueryEngine { model, table, data, dim, metric: Metric::SquaredEuclidean, mih: None }
+    }
+
+    /// Switch the exact-evaluation metric (builder style). The probing order
+    /// is unchanged — QD over the model's projections — which is exactly the
+    /// paper's "other similarity metrics can be adapted" point; pair an
+    /// angular metric with an angle-preserving model (e.g. sign random
+    /// projections) for sensible probe quality. Note the Theorem-2 early
+    /// stop is Euclidean-only and is ignored under other metrics.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The exact-evaluation metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Build the multi-index-hashing side index (required before using
+    /// [`ProbeStrategy::MultiIndexHashing`]). Codes are recovered from the
+    /// table, not re-encoded.
+    pub fn enable_mih(&mut self, blocks: usize) {
+        let n = self.table.n_items();
+        let mut codes = vec![0u64; n];
+        for (code, items) in self.table.occupied() {
+            for &id in items {
+                codes[id as usize] = code;
+            }
+        }
+        self.mih = Some(MihIndex::build(self.table.code_length(), &codes, blocks));
+    }
+
+    /// The hash table.
+    pub fn table(&self) -> &HashTable {
+        self.table
+    }
+
+    /// The hashing model.
+    pub fn model(&self) -> &M {
+        self.model
+    }
+
+    /// The row-major item vectors.
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Item dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// k-NN search with the given parameters.
+    pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+        let (result, _) = self.search_traced(query, params, &[]);
+        result
+    }
+
+    /// k-NN search that additionally snapshots the running top-k at each
+    /// candidate `budget` (ascending). The final result uses the full
+    /// `params.n_candidates` budget.
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+        budgets: &[usize],
+    ) -> (SearchResult, Vec<Checkpoint>) {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        debug_assert!(budgets.windows(2).all(|w| w[0] <= w[1]), "budgets must ascend");
+        let start = Instant::now();
+        match params.strategy {
+            ProbeStrategy::MultiIndexHashing { .. } => self.run_mih(query, params, budgets, start),
+            _ => self.run_buckets(query, params, budgets, start, None),
+        }
+    }
+
+    /// k-NN restricted to items accepted by `filter` (attribute-constrained
+    /// search). Items rejected by the predicate are skipped *before* the
+    /// distance computation and do not count toward the candidate budget,
+    /// so the search keeps probing until it has evaluated `n_candidates`
+    /// *matching* items (or another stop criterion fires). Bucket
+    /// strategies only — MIH has no filtered path.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+        mut filter: impl FnMut(u32) -> bool,
+    ) -> SearchResult {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        assert!(
+            !matches!(params.strategy, ProbeStrategy::MultiIndexHashing { .. }),
+            "filtered search is not supported for MIH"
+        );
+        let start = Instant::now();
+        let (result, _) = self.run_buckets(query, params, &[], start, Some(&mut filter));
+        result
+    }
+
+    fn run_buckets(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+        budgets: &[usize],
+        start: Instant,
+        mut filter: Option<&mut dyn FnMut(u32) -> bool>,
+    ) -> (SearchResult, Vec<Checkpoint>) {
+        let qe = self.model.encode_query(query);
+        let mut prober: Box<dyn Prober + '_> = match params.strategy {
+            ProbeStrategy::HammingRanking => Box::new(HammingRanking::new(self.table)),
+            ProbeStrategy::GenerateHammingRanking => {
+                Box::new(GenerateHammingRanking::new(self.table.code_length()))
+            }
+            ProbeStrategy::QdRanking => Box::new(QdRanking::new(self.table)),
+            ProbeStrategy::GenerateQdRanking => {
+                Box::new(GenerateQdRanking::new(self.table.code_length()))
+            }
+            ProbeStrategy::MultiIndexHashing { .. } => unreachable!("handled by run_mih"),
+        };
+        prober.reset(&qe);
+
+        // Early-stop constant µ = 1/(σ_max(H)·√m), Theorem 2.
+        let qd_strategy = matches!(
+            params.strategy,
+            ProbeStrategy::QdRanking | ProbeStrategy::GenerateQdRanking
+        );
+        let mu = if params.early_stop && qd_strategy && self.metric == Metric::SquaredEuclidean {
+            self.model
+                .spectral_norm()
+                .map(|m_norm| 1.0 / (m_norm * (self.table.code_length() as f64).sqrt()))
+        } else {
+            None
+        };
+
+        let mut topk = TopK::new(params.k);
+        let mut stats = ProbeStats::default();
+        let mut checkpoints = Vec::with_capacity(budgets.len());
+        let mut next_budget = budgets.iter().copied().peekable();
+
+        let n_items = self.table.n_items();
+        while stats.items_evaluated < params.n_candidates && stats.items_evaluated < n_items {
+            if params.max_buckets.is_some_and(|mb| stats.buckets_probed >= mb) {
+                break;
+            }
+            if params.time_limit.is_some_and(|tl| start.elapsed() >= tl) {
+                break;
+            }
+            if let (Some(mu), Some(dk)) = (mu, topk.kth_dist()) {
+                if let Some(qd) = prober.peek_cost() {
+                    let bound = mu * qd;
+                    if (bound * bound) as f32 >= dk {
+                        break; // no remaining bucket can improve the top-k
+                    }
+                }
+            }
+            let Some(code) = prober.next_bucket() else { break };
+            stats.buckets_probed += 1;
+            let items = self.table.bucket(code);
+            if items.is_empty() {
+                stats.empty_buckets += 1;
+                continue;
+            }
+            stats.items_collected += items.len();
+            for &id in items {
+                if let Some(f) = filter.as_deref_mut() {
+                    if !f(id) {
+                        continue;
+                    }
+                }
+                let row = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
+                topk.push(self.metric.eval(query, row), id);
+                stats.items_evaluated += 1;
+            }
+            while let Some(&b) = next_budget.peek() {
+                if stats.items_evaluated < b {
+                    break;
+                }
+                next_budget.next();
+                checkpoints.push(self.snapshot(b, &stats, start, &topk));
+            }
+        }
+        // Flush budgets the table couldn't fill.
+        for b in next_budget {
+            checkpoints.push(self.snapshot(b, &stats, start, &topk));
+        }
+        (SearchResult { neighbors: topk.into_sorted(), stats }, checkpoints)
+    }
+
+    fn run_mih(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+        budgets: &[usize],
+        start: Instant,
+    ) -> (SearchResult, Vec<Checkpoint>) {
+        let mih = self
+            .mih
+            .as_ref()
+            .expect("call enable_mih() before searching with MultiIndexHashing");
+        let code = self.model.encode(query);
+        let mut searcher = mih.search(code);
+        let mut topk = TopK::new(params.k);
+        let mut stats = ProbeStats::default();
+        let mut checkpoints = Vec::with_capacity(budgets.len());
+        let mut next_budget = budgets.iter().copied().peekable();
+        let mut batch = Vec::new();
+
+        while stats.items_evaluated < params.n_candidates {
+            if params.time_limit.is_some_and(|tl| start.elapsed() >= tl) {
+                break;
+            }
+            batch.clear();
+            if searcher.next_batch(&mut batch).is_none() {
+                break;
+            }
+            stats.items_collected += batch.len();
+            for &id in &batch {
+                let row = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
+                topk.push(self.metric.eval(query, row), id);
+            }
+            stats.items_evaluated += batch.len();
+            while let Some(&b) = next_budget.peek() {
+                if stats.items_evaluated < b {
+                    break;
+                }
+                next_budget.next();
+                stats.buckets_probed = searcher.lookups();
+                stats.duplicates_skipped = searcher.duplicates();
+                checkpoints.push(self.snapshot(b, &stats, start, &topk));
+            }
+        }
+        stats.buckets_probed = searcher.lookups();
+        stats.duplicates_skipped = searcher.duplicates();
+        for b in next_budget {
+            checkpoints.push(self.snapshot(b, &stats, start, &topk));
+        }
+        (SearchResult { neighbors: topk.into_sorted(), stats }, checkpoints)
+    }
+
+    fn snapshot(&self, budget: usize, stats: &ProbeStats, start: Instant, topk: &TopK) -> Checkpoint {
+        Checkpoint {
+            budget,
+            items_evaluated: stats.items_evaluated,
+            buckets_probed: stats.buckets_probed,
+            elapsed: start.elapsed(),
+            top_ids: topk.ids_unordered().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqr_l2h::pcah::Pcah;
+    use gqr_linalg::vecops::sq_dist_f32;
+
+    /// 400 points on a 20×20 grid with mild jitter; exact k-NN is easy to
+    /// verify by brute force.
+    fn grid() -> (Vec<f32>, usize) {
+        let mut data = Vec::new();
+        for i in 0..400u32 {
+            data.push((i % 20) as f32 + 0.001 * ((i * 7) % 13) as f32);
+            data.push((i / 20) as f32);
+        }
+        (data, 2)
+    }
+
+    fn brute_force(data: &[f32], dim: usize, q: &[f32], k: usize) -> Vec<u32> {
+        let mut d: Vec<(f32, u32)> = data
+            .chunks_exact(dim)
+            .enumerate()
+            .map(|(i, row)| (sq_dist_f32(q, row), i as u32))
+            .collect();
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        d.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    fn engine_fixture() -> (Vec<f32>, Pcah, HashTable) {
+        let (data, dim) = grid();
+        let model = Pcah::train(&data, dim, 2).unwrap();
+        let table = HashTable::build(&model, &data, dim);
+        (data, model, table)
+    }
+
+    #[test]
+    fn exhaustive_probing_returns_exact_knn_for_all_strategies() {
+        let (data, model, table) = engine_fixture();
+        let mut engine = QueryEngine::new(&model, &table, &data, 2);
+        engine.enable_mih(2);
+        let q = [7.3f32, 11.2];
+        let expect = brute_force(&data, 2, &q, 5);
+        for strategy in [
+            ProbeStrategy::HammingRanking,
+            ProbeStrategy::GenerateHammingRanking,
+            ProbeStrategy::QdRanking,
+            ProbeStrategy::GenerateQdRanking,
+            ProbeStrategy::MultiIndexHashing { blocks: 2 },
+        ] {
+            let params = SearchParams { k: 5, n_candidates: usize::MAX, strategy, early_stop: false, ..Default::default() };
+            let res = engine.search(&q, &params);
+            let ids: Vec<u32> = res.neighbors.iter().map(|&(i, _)| i).collect();
+            assert_eq!(ids, expect, "strategy {} must find exact kNN when probing everything", strategy.name());
+            assert_eq!(res.stats.items_evaluated, 400, "{}", strategy.name());
+        }
+    }
+
+    #[test]
+    fn gqr_and_qr_probe_identical_bucket_sequences() {
+        // Same order ⇒ same stats and same neighbors for any budget.
+        let (data, model, table) = engine_fixture();
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let q = [3.9f32, 2.1];
+        for budget in [10usize, 50, 200] {
+            let pq = SearchParams {
+                k: 5,
+                n_candidates: budget,
+                strategy: ProbeStrategy::QdRanking,
+                early_stop: false,
+                ..Default::default()
+            };
+            let pg = SearchParams { strategy: ProbeStrategy::GenerateQdRanking, ..pq };
+            let a = engine.search(&q, &pq);
+            let b = engine.search(&q, &pg);
+            assert_eq!(a.neighbors, b.neighbors, "budget {budget}");
+            assert_eq!(a.stats.items_evaluated, b.stats.items_evaluated);
+        }
+    }
+
+    #[test]
+    fn hr_probes_only_occupied_buckets_ghr_generates_all() {
+        let (data, model, table) = engine_fixture();
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let q = [0.0f32, 0.0];
+        let params = SearchParams {
+            k: 3,
+            n_candidates: usize::MAX,
+            strategy: ProbeStrategy::HammingRanking,
+            early_stop: false,
+            ..Default::default()
+        };
+        let hr = engine.search(&q, &params);
+        assert_eq!(hr.stats.empty_buckets, 0, "HR only visits occupied buckets");
+        let ghr = engine.search(
+            &q,
+            &SearchParams { strategy: ProbeStrategy::GenerateHammingRanking, ..params },
+        );
+        assert_eq!(ghr.stats.buckets_probed, 4, "GHR enumerates the full 2^m space");
+        assert_eq!(ghr.stats.buckets_probed - ghr.stats.empty_buckets, hr.stats.buckets_probed);
+    }
+
+    #[test]
+    fn budget_limits_evaluation() {
+        let (data, model, table) = engine_fixture();
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let params = SearchParams {
+            k: 3,
+            n_candidates: 30,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            ..Default::default()
+        };
+        let res = engine.search(&[5.0, 5.0], &params);
+        assert!(res.stats.items_evaluated >= 30, "budget reached");
+        // The engine finishes the bucket it is in, so allow one bucket of
+        // overshoot but not more than the whole table.
+        assert!(res.stats.items_evaluated < 400);
+    }
+
+    #[test]
+    fn checkpoints_record_monotone_progress() {
+        let (data, model, table) = engine_fixture();
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let params = SearchParams {
+            k: 5,
+            n_candidates: usize::MAX,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            ..Default::default()
+        };
+        let budgets = [10usize, 50, 100, 400];
+        let (_, cps) = engine.search_traced(&[10.0, 10.0], &params, &budgets);
+        assert_eq!(cps.len(), budgets.len());
+        for (cp, &b) in cps.iter().zip(&budgets) {
+            assert_eq!(cp.budget, b);
+            assert!(cp.items_evaluated >= b.min(400));
+            assert_eq!(cp.top_ids.len(), 5);
+        }
+        assert!(cps.windows(2).all(|w| w[0].elapsed <= w[1].elapsed));
+        assert!(cps.windows(2).all(|w| w[0].items_evaluated <= w[1].items_evaluated));
+    }
+
+    #[test]
+    fn early_stop_preserves_exactness_with_full_budget() {
+        // The Theorem-2 bound is conservative: stopping early must never
+        // change the returned neighbors when the budget is unlimited.
+        let (data, model, table) = engine_fixture();
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let q = [12.2f32, 4.7];
+        let base = SearchParams {
+            k: 5,
+            n_candidates: usize::MAX,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            ..Default::default()
+        };
+        let with_stop = SearchParams { early_stop: true, ..base };
+        let a = engine.search(&q, &base);
+        let b = engine.search(&q, &with_stop);
+        assert_eq!(a.neighbors, b.neighbors);
+        assert!(
+            b.stats.buckets_probed <= a.stats.buckets_probed,
+            "early stop may only reduce probing"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "enable_mih")]
+    fn mih_without_enable_panics() {
+        let (data, model, table) = engine_fixture();
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let params = SearchParams {
+            strategy: ProbeStrategy::MultiIndexHashing { blocks: 2 },
+            ..Default::default()
+        };
+        let _ = engine.search(&[0.0, 0.0], &params);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(ProbeStrategy::HammingRanking.name(), "HR");
+        assert_eq!(ProbeStrategy::GenerateHammingRanking.name(), "GHR");
+        assert_eq!(ProbeStrategy::QdRanking.name(), "QR");
+        assert_eq!(ProbeStrategy::GenerateQdRanking.name(), "GQR");
+        assert_eq!(ProbeStrategy::MultiIndexHashing { blocks: 2 }.name(), "MIH");
+    }
+}

@@ -1,0 +1,144 @@
+//! Generate-to-probe Hamming ranking (GHR), a.k.a. hash lookup: enumerate
+//! bucket codes in ascending Hamming distance from the query code, on
+//! demand, by XOR-ing fixed-weight flip masks.
+
+use super::Prober;
+use crate::code::FixedWeightMasks;
+use gqr_l2h::QueryEncoding;
+
+/// On-demand Hamming-distance bucket generator.
+///
+/// Radius `r` runs from 0 to `m`; within a radius, flip masks come from
+/// Gosper's-hack enumeration (increasing numeric order — the paper breaks
+/// intra-radius ties arbitrarily). No allocation after construction.
+#[derive(Clone, Debug)]
+pub struct GenerateHammingRanking {
+    m: usize,
+    code: u64,
+    radius: usize,
+    masks: FixedWeightMasks,
+    pending: Option<u64>,
+    exhausted: bool,
+}
+
+impl GenerateHammingRanking {
+    /// Prober over an `m`-bit code space.
+    pub fn new(m: usize) -> GenerateHammingRanking {
+        assert!((1..=64).contains(&m), "code length must be in 1..=64");
+        GenerateHammingRanking {
+            m,
+            code: 0,
+            radius: 0,
+            masks: FixedWeightMasks::new(m, 0),
+            pending: None,
+            exhausted: true,
+        }
+    }
+
+    /// Advance to the next flip mask, rolling over to the next radius.
+    fn advance(&mut self) -> Option<u64> {
+        loop {
+            if let Some(mask) = self.masks.next() {
+                return Some(mask);
+            }
+            if self.radius >= self.m {
+                return None;
+            }
+            self.radius += 1;
+            self.masks = FixedWeightMasks::new(self.m, self.radius);
+        }
+    }
+
+    /// Ensure `pending` holds the next mask, if any.
+    fn fill(&mut self) {
+        if self.pending.is_none() && !self.exhausted {
+            match self.advance() {
+                Some(m) => self.pending = Some(m),
+                None => self.exhausted = true,
+            }
+        }
+    }
+}
+
+impl Prober for GenerateHammingRanking {
+    fn reset(&mut self, query: &QueryEncoding) {
+        debug_assert_eq!(query.flip_costs.len(), self.m);
+        self.code = query.code;
+        self.radius = 0;
+        self.masks = FixedWeightMasks::new(self.m, 0);
+        self.pending = None;
+        self.exhausted = false;
+    }
+
+    fn peek_cost(&mut self) -> Option<f64> {
+        self.fill();
+        self.pending.map(|m| m.count_ones() as f64)
+    }
+
+    fn next_bucket(&mut self) -> Option<u64> {
+        self.fill();
+        let mask = self.pending.take()?;
+        Some(self.code ^ mask)
+    }
+
+    fn name(&self) -> &'static str {
+        "GHR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::hamming;
+    use crate::probe::test_support::{drain, qe};
+
+    #[test]
+    fn emits_every_code_once_in_ascending_hamming_order() {
+        let m = 6;
+        let q = qe(0b101010, &[1.0; 6]);
+        let mut p = GenerateHammingRanking::new(m);
+        let buckets = drain(&mut p, &q);
+        assert_eq!(buckets.len(), 1 << m);
+        let set: std::collections::HashSet<u64> = buckets.iter().copied().collect();
+        assert_eq!(set.len(), buckets.len());
+        let dists: Vec<u32> = buckets.iter().map(|&b| hamming(b, q.code)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "non-decreasing radius");
+        assert_eq!(buckets[0], q.code, "query's own bucket first");
+    }
+
+    #[test]
+    fn peek_matches_emitted_radius() {
+        let q = qe(0b0011, &[1.0; 4]);
+        let mut p = GenerateHammingRanking::new(4);
+        p.reset(&q);
+        while let Some(cost) = p.peek_cost() {
+            let b = p.next_bucket().unwrap();
+            assert_eq!(cost as u32, hamming(b, q.code));
+        }
+        assert!(p.next_bucket().is_none());
+    }
+
+    #[test]
+    fn reset_restarts_cleanly() {
+        let mut p = GenerateHammingRanking::new(4);
+        let q1 = qe(0b0000, &[1.0; 4]);
+        let first = drain(&mut p, &q1);
+        let q2 = qe(0b1111, &[1.0; 4]);
+        let second = drain(&mut p, &q2);
+        assert_eq!(first.len(), 16);
+        assert_eq!(second.len(), 16);
+        assert_eq!(second[0], 0b1111);
+    }
+
+    #[test]
+    fn exhaustion_is_sticky() {
+        let mut p = GenerateHammingRanking::new(2);
+        p.reset(&qe(0, &[1.0; 2]));
+        for _ in 0..4 {
+            assert!(p.next_bucket().is_some());
+        }
+        assert!(p.next_bucket().is_none());
+        assert!(p.peek_cost().is_none());
+        assert!(p.next_bucket().is_none());
+    }
+}

@@ -1,0 +1,301 @@
+//! Generate-to-probe QD ranking (GQR, Algorithms 2–4): emit buckets in
+//! ascending quantization distance *on demand* using a min-heap over sorted
+//! flipping vectors and the `Append`/`Swap` generation tree.
+//!
+//! Sketch (paper §5): sort the query's flipping costs ascending (the *sorted
+//! projected vector*); a *sorted flipping vector* `v̄` marks which sorted
+//! positions to flip. The generation tree rooted at `v̄ = 10…0` reaches every
+//! non-zero `v̄` exactly once (Property 1) via
+//!
+//! * `Append(v̄)`: set the bit right of the rightmost 1 — QD grows by
+//!   `p̄[j+1]`,
+//! * `Swap(v̄)`: move the rightmost 1 one position right — QD grows by
+//!   `p̄[j+1] − p̄[j] ≥ 0`,
+//!
+//! so children never have smaller QD than their parent (Property 2) and a
+//! min-heap dequeues flipping vectors in exactly ascending QD. Both masks
+//! and their pre-permuted counterparts are `u64`s updated with two bit ops —
+//! no allocation per bucket, heap size ≤ number of buckets generated.
+
+use super::Prober;
+use gqr_l2h::QueryEncoding;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry: a sorted flipping vector, its QD, and the same flips mapped
+/// back to original bit positions (so emitting a bucket is one XOR).
+#[derive(Copy, Clone, Debug)]
+struct Entry {
+    qd: f64,
+    /// Flips in sorted-cost space; bit `i` flips the `i`-th cheapest cost.
+    sorted_mask: u64,
+    /// The same flips mapped through the sort permutation to code space.
+    orig_mask: u64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.qd == other.qd && self.sorted_mask == other.sorted_mask
+    }
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop the smallest QD.
+        // Mask tiebreak keeps emission deterministic under equal costs.
+        other
+            .qd
+            .partial_cmp(&self.qd)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.sorted_mask.cmp(&self.sorted_mask))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// On-demand quantization-distance bucket generator (the paper's GQR).
+#[derive(Clone, Debug)]
+pub struct GenerateQdRanking {
+    m: usize,
+    code: u64,
+    /// Flipping costs sorted ascending (`p̄(q)`).
+    sorted_costs: Vec<f64>,
+    /// `perm[i]` = original bit index of the `i`-th smallest cost (the
+    /// paper's mapping `y = f(x)`).
+    perm: Vec<u32>,
+    /// Scratch for the argsort.
+    order: Vec<u32>,
+    heap: BinaryHeap<Entry>,
+    emitted_root: bool,
+    exhausted: bool,
+}
+
+impl GenerateQdRanking {
+    /// Prober over an `m`-bit code space.
+    pub fn new(m: usize) -> GenerateQdRanking {
+        assert!((1..=64).contains(&m), "code length must be in 1..=64");
+        GenerateQdRanking {
+            m,
+            code: 0,
+            sorted_costs: Vec::with_capacity(m),
+            perm: Vec::with_capacity(m),
+            order: (0..m as u32).collect(),
+            heap: BinaryHeap::new(),
+            emitted_root: true,
+            exhausted: true,
+        }
+    }
+
+    /// Current heap size (exposed for the paper's memory claim: at iteration
+    /// `i` the heap holds at most `i` entries).
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl Prober for GenerateQdRanking {
+    fn reset(&mut self, query: &QueryEncoding) {
+        assert_eq!(query.flip_costs.len(), self.m, "flip costs must match code length");
+        self.code = query.code;
+
+        // Argsort costs ascending → sorted projected vector + permutation.
+        self.order.clear();
+        self.order.extend(0..self.m as u32);
+        let costs = &query.flip_costs;
+        self.order.sort_unstable_by(|&a, &b| {
+            costs[a as usize]
+                .partial_cmp(&costs[b as usize])
+                .unwrap_or(Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        self.perm.clear();
+        self.sorted_costs.clear();
+        for &i in &self.order {
+            self.perm.push(i);
+            self.sorted_costs.push(costs[i as usize]);
+        }
+
+        self.heap.clear();
+        // Seed: v̄ʳ = (1, 0, …, 0) — flip only the cheapest bit.
+        self.heap.push(Entry {
+            qd: self.sorted_costs[0],
+            sorted_mask: 1,
+            orig_mask: 1u64 << self.perm[0],
+        });
+        self.emitted_root = false;
+        self.exhausted = false;
+    }
+
+    fn peek_cost(&mut self) -> Option<f64> {
+        if self.exhausted {
+            return None;
+        }
+        if !self.emitted_root {
+            return Some(0.0);
+        }
+        self.heap.peek().map(|e| e.qd)
+    }
+
+    fn next_bucket(&mut self) -> Option<u64> {
+        if self.exhausted {
+            return None;
+        }
+        if !self.emitted_root {
+            // The all-zero flipping vector (the query's own bucket, QD 0) is
+            // handled outside the tree — Algorithm 4 line 3.
+            self.emitted_root = true;
+            return Some(self.code);
+        }
+        let Some(top) = self.heap.pop() else {
+            self.exhausted = true;
+            return None;
+        };
+        // j = index of the rightmost (highest-index) set bit of v̄.
+        let j = (63 - top.sorted_mask.leading_zeros()) as usize;
+        if j + 1 < self.m {
+            let step = self.sorted_costs[j + 1];
+            // Append: v̄⁺ keeps bit j and sets bit j+1.
+            self.heap.push(Entry {
+                qd: top.qd + step,
+                sorted_mask: top.sorted_mask | (1u64 << (j + 1)),
+                orig_mask: top.orig_mask | (1u64 << self.perm[j + 1]),
+            });
+            // Swap: v̄⁻ moves bit j to j+1.
+            self.heap.push(Entry {
+                qd: top.qd + step - self.sorted_costs[j],
+                sorted_mask: (top.sorted_mask & !(1u64 << j)) | (1u64 << (j + 1)),
+                orig_mask: (top.orig_mask & !(1u64 << self.perm[j])) | (1u64 << self.perm[j + 1]),
+            });
+        }
+        Some(self.code ^ top.orig_mask)
+    }
+
+    fn name(&self) -> &'static str {
+        "GQR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::quantization_distance;
+    use crate::probe::test_support::{drain, qe};
+
+    #[test]
+    fn emits_every_bucket_exactly_once() {
+        let m = 10;
+        let costs: Vec<f64> = (0..m).map(|i| ((i * 7919 + 13) % 97) as f64 / 10.0).collect();
+        let q = qe(0b1100110011, &costs);
+        let mut p = GenerateQdRanking::new(m);
+        let buckets = drain(&mut p, &q);
+        assert_eq!(buckets.len(), 1 << m);
+        let set: std::collections::HashSet<u64> = buckets.iter().copied().collect();
+        assert_eq!(set.len(), 1 << m, "each bucket exactly once (R1)");
+    }
+
+    #[test]
+    fn qd_is_nondecreasing_and_matches_definition() {
+        let m = 8;
+        let costs = vec![0.5, 0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.4];
+        let q = qe(0b10110100, &costs);
+        let mut p = GenerateQdRanking::new(m);
+        p.reset(&q);
+        let mut last = f64::NEG_INFINITY;
+        while let Some(peek) = p.peek_cost() {
+            let b = p.next_bucket().unwrap();
+            let qd = quantization_distance(&q, b);
+            assert!((peek - qd).abs() < 1e-9, "peek must equal the emitted bucket's QD");
+            assert!(qd >= last - 1e-12, "ascending QD (R2): {qd} after {last}");
+            last = qd;
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_sort() {
+        // Exhaustive check against sorting all 2^m buckets by QD.
+        let m = 9;
+        let costs: Vec<f64> = (0..m).map(|i| (1.3f64.powi(i as i32) * 0.1) % 1.0).collect();
+        let q = qe(0b010101010, &costs);
+        let mut p = GenerateQdRanking::new(m);
+        let emitted = drain(&mut p, &q);
+        let mut brute: Vec<u64> = (0..(1u64 << m)).collect();
+        brute.sort_by(|&a, &b| {
+            quantization_distance(&q, a)
+                .partial_cmp(&quantization_distance(&q, b))
+                .unwrap()
+        });
+        // Orders can differ inside exact-QD ties; compare the QD sequences.
+        for (e, b) in emitted.iter().zip(&brute) {
+            let qe_ = quantization_distance(&q, *e);
+            let qb = quantization_distance(&q, *b);
+            assert!((qe_ - qb).abs() < 1e-9, "QD sequence must match brute force");
+        }
+    }
+
+    #[test]
+    fn first_bucket_is_query_bucket_second_is_cheapest_flip() {
+        let costs = vec![0.9, 0.05, 0.4];
+        let q = qe(0b111, &costs);
+        let mut p = GenerateQdRanking::new(3);
+        p.reset(&q);
+        assert_eq!(p.next_bucket(), Some(0b111));
+        // Cheapest flip is bit 1 (cost 0.05).
+        assert_eq!(p.next_bucket(), Some(0b101));
+    }
+
+    #[test]
+    fn heap_stays_small() {
+        // Paper: at iteration i the heap holds at most i entries (each pop
+        // pushes ≤ 2). Check the much stronger practical bound too.
+        let m = 16;
+        let costs: Vec<f64> = (0..m).map(|i| i as f64 + 1.0).collect();
+        let q = qe(0, &costs);
+        let mut p = GenerateQdRanking::new(m);
+        p.reset(&q);
+        for i in 1..=4096 {
+            p.next_bucket().unwrap();
+            assert!(p.heap_len() <= i + 1, "heap {} at iteration {}", p.heap_len(), i);
+        }
+    }
+
+    #[test]
+    fn zero_costs_do_not_break_ordering() {
+        // KMH can produce zero flipping costs; ties must still emit each
+        // bucket once in non-decreasing order.
+        let costs = vec![0.0, 0.0, 0.5, 1.0];
+        let q = qe(0b0110, &costs);
+        let mut p = GenerateQdRanking::new(4);
+        let buckets = drain(&mut p, &q);
+        assert_eq!(buckets.len(), 16);
+        let set: std::collections::HashSet<u64> = buckets.iter().copied().collect();
+        assert_eq!(set.len(), 16);
+        let qds: Vec<f64> = buckets.iter().map(|&b| quantization_distance(&q, b)).collect();
+        assert!(qds.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn m_equals_one() {
+        let q = qe(0b1, &[0.3]);
+        let mut p = GenerateQdRanking::new(1);
+        let buckets = drain(&mut p, &q);
+        assert_eq!(buckets, vec![0b1, 0b0]);
+    }
+
+    #[test]
+    fn reset_reuses_cleanly_across_queries() {
+        let mut p = GenerateQdRanking::new(4);
+        let a = drain(&mut p, &qe(0b0000, &[0.1, 0.2, 0.3, 0.4]));
+        let b = drain(&mut p, &qe(0b1111, &[0.4, 0.3, 0.2, 0.1]));
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 16);
+        assert_eq!(a[0], 0b0000);
+        assert_eq!(b[0], 0b1111);
+        assert_eq!(b[1], 0b0111, "cheapest flip of second query is bit 3");
+    }
+}

@@ -1,0 +1,133 @@
+//! Hamming ranking (HR): the incumbent querying method. Sorts *all occupied
+//! buckets* by Hamming distance to the query code before probing — paying
+//! the paper's "slow start" cost up front.
+
+use super::Prober;
+use crate::code::hamming;
+use crate::table::HashTable;
+use gqr_l2h::QueryEncoding;
+
+/// Upfront-sorting Hamming prober over one table's occupied buckets.
+///
+/// Sorting is a bucket sort into `m + 1` radius levels (`O(B)`), exactly the
+/// "efficient bucket sort" the paper credits HR with; ties within a level
+/// keep the table's arbitrary iteration order.
+pub struct HammingRanking<'t> {
+    table: &'t HashTable,
+    /// Bucket codes grouped by radius; `levels[r]` holds codes at Hamming
+    /// distance `r` from the query.
+    levels: Vec<Vec<u64>>,
+    radius: usize,
+    cursor: usize,
+}
+
+impl<'t> HammingRanking<'t> {
+    /// Prober over `table`'s occupied buckets.
+    pub fn new(table: &'t HashTable) -> HammingRanking<'t> {
+        let m = table.code_length();
+        HammingRanking { table, levels: vec![Vec::new(); m + 1], radius: 0, cursor: 0 }
+    }
+
+    fn skip_empty_levels(&mut self) {
+        while self.radius < self.levels.len() && self.cursor >= self.levels[self.radius].len() {
+            self.radius += 1;
+            self.cursor = 0;
+        }
+    }
+}
+
+impl Prober for HammingRanking<'_> {
+    fn reset(&mut self, query: &QueryEncoding) {
+        for level in &mut self.levels {
+            level.clear();
+        }
+        // The upfront O(B) pass over every occupied bucket — the cost QR/HR
+        // pay before the first probe.
+        for code in self.table.codes() {
+            let r = hamming(code, query.code) as usize;
+            self.levels[r].push(code);
+        }
+        self.radius = 0;
+        self.cursor = 0;
+    }
+
+    fn peek_cost(&mut self) -> Option<f64> {
+        self.skip_empty_levels();
+        (self.radius < self.levels.len()).then_some(self.radius as f64)
+    }
+
+    fn next_bucket(&mut self) -> Option<u64> {
+        self.skip_empty_levels();
+        if self.radius >= self.levels.len() {
+            return None;
+        }
+        let code = self.levels[self.radius][self.cursor];
+        self.cursor += 1;
+        Some(code)
+    }
+
+    fn name(&self) -> &'static str {
+        "HR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::test_support::{drain, qe};
+
+    fn table() -> HashTable {
+        // Occupied buckets: 0b0000, 0b0011, 0b0111, 0b1111.
+        HashTable::from_codes(4, &[0b0000, 0b0011, 0b0011, 0b0111, 0b1111])
+    }
+
+    #[test]
+    fn probes_occupied_buckets_in_radius_order() {
+        let t = table();
+        let mut p = HammingRanking::new(&t);
+        let buckets = drain(&mut p, &qe(0b0000, &[1.0; 4]));
+        assert_eq!(buckets, vec![0b0000, 0b0011, 0b0111, 0b1111]);
+    }
+
+    #[test]
+    fn only_occupied_buckets_are_emitted() {
+        let t = table();
+        let mut p = HammingRanking::new(&t);
+        let buckets = drain(&mut p, &qe(0b1000, &[1.0; 4]));
+        assert_eq!(buckets.len(), 4, "exactly the occupied buckets");
+        for b in buckets {
+            assert!(t.contains(b));
+        }
+    }
+
+    #[test]
+    fn peek_reports_radius() {
+        let t = table();
+        let mut p = HammingRanking::new(&t);
+        let q = qe(0b0000, &[1.0; 4]);
+        p.reset(&q);
+        assert_eq!(p.peek_cost(), Some(0.0));
+        p.next_bucket();
+        assert_eq!(p.peek_cost(), Some(2.0));
+    }
+
+    #[test]
+    fn reset_between_queries() {
+        let t = table();
+        let mut p = HammingRanking::new(&t);
+        let a = drain(&mut p, &qe(0b0000, &[1.0; 4]));
+        let b = drain(&mut p, &qe(0b1111, &[1.0; 4]));
+        assert_eq!(a.first(), Some(&0b0000));
+        assert_eq!(b.first(), Some(&0b1111));
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn empty_table_yields_nothing() {
+        let t = HashTable::from_codes(4, &[]);
+        let mut p = HammingRanking::new(&t);
+        p.reset(&qe(0, &[1.0; 4]));
+        assert!(p.peek_cost().is_none());
+        assert!(p.next_bucket().is_none());
+    }
+}

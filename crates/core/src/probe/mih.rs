@@ -1,0 +1,290 @@
+//! Multi-index hashing (Norouzi, Punjani & Fleet, CVPR 2012/TPAMI 2014) —
+//! the appendix baseline (paper Figs 18–19).
+//!
+//! The `m`-bit code is chopped into `s` substrings, each indexed in its own
+//! hash table. By pigeonhole, an item whose full code is within Hamming
+//! distance `d` of the query matches at least one substring within
+//! `⌊d/s⌋`; so probing every substring table out to radius `r'` finds *all*
+//! items with full distance `≤ s·(r'+1) − 1`. Candidates are de-duplicated
+//! and filtered by their full-code distance — the overhead that makes MIH
+//! slightly slower than plain hash lookup at the short code lengths used for
+//! bucket indexes (the appendix's observation).
+
+use crate::code::{hamming, FixedWeightMasks};
+use std::collections::HashMap;
+
+/// One substring block: bit range and substring hash table.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct Block {
+    /// First bit of the substring in the full code.
+    lo: usize,
+    /// Substring width in bits.
+    bits: usize,
+    /// substring code → item ids.
+    table: HashMap<u32, Vec<u32>>,
+}
+
+impl Block {
+    #[inline]
+    fn extract(&self, code: u64) -> u32 {
+        ((code >> self.lo) & ((1u64 << self.bits) - 1)) as u32
+    }
+}
+
+/// A built multi-index-hashing index over one table's codes.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct MihIndex {
+    m: usize,
+    blocks: Vec<Block>,
+    /// Full code per item, for the filtering step.
+    codes: Vec<u64>,
+}
+
+impl MihIndex {
+    /// Build with `s` substring blocks over per-item `codes` of length
+    /// `code_length`. Panics unless `1 ≤ s ≤ code_length ≤ 63`.
+    pub fn build(code_length: usize, codes: &[u64], s: usize) -> MihIndex {
+        assert!((1..64).contains(&code_length), "code length must be in 1..=63");
+        assert!(s >= 1 && s <= code_length, "need 1 <= s <= m");
+        let base = code_length / s;
+        let extra = code_length % s;
+        let mut blocks = Vec::with_capacity(s);
+        let mut lo = 0;
+        for b in 0..s {
+            let bits = base + usize::from(b < extra);
+            let mut table: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (i, &code) in codes.iter().enumerate() {
+                let sub = ((code >> lo) & ((1u64 << bits) - 1)) as u32;
+                table.entry(sub).or_default().push(i as u32);
+            }
+            blocks.push(Block { lo, bits, table });
+            lo += bits;
+        }
+        MihIndex { m: code_length, blocks, codes: codes.to_vec() }
+    }
+
+    /// Number of substring blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Code length `m`.
+    pub fn code_length(&self) -> usize {
+        self.m
+    }
+
+    /// Start a search for `query_code`; the searcher yields item-id batches
+    /// in ascending *full* Hamming distance.
+    pub fn search(&self, query_code: u64) -> MihSearcher<'_> {
+        MihSearcher {
+            index: self,
+            query: query_code,
+            radius: 0,
+            levels: vec![Vec::new(); self.m + 1],
+            emitted_level: 0,
+            visited: vec![false; self.codes.len()],
+            remaining: self.codes.len(),
+            lookups: 0,
+            duplicates: 0,
+        }
+    }
+}
+
+/// Progressive MIH search state for one query.
+pub struct MihSearcher<'a> {
+    index: &'a MihIndex,
+    query: u64,
+    /// Next per-block substring radius to expand.
+    radius: usize,
+    /// Items found so far, grouped by full Hamming distance.
+    levels: Vec<Vec<u32>>,
+    /// Levels `< emitted_level` have already been handed out.
+    emitted_level: usize,
+    visited: Vec<bool>,
+    remaining: usize,
+    lookups: usize,
+    duplicates: usize,
+}
+
+impl MihSearcher<'_> {
+    /// Append the next confirmed batch of item ids (one full-distance level)
+    /// to `out`. Returns the level's Hamming distance, or `None` when every
+    /// indexed item has been emitted. Batches arrive in strictly ascending
+    /// full distance; empty levels are skipped.
+    pub fn next_batch(&mut self, out: &mut Vec<u32>) -> Option<u32> {
+        loop {
+            // Confirmed bound: after expanding substring radius r' in every
+            // block, all items with full distance ≤ s·(r'+1) − 1 are found.
+            // `self.radius` counts radii already expanded, so the bound is
+            // s·radius − 1 (−1 before the first expansion: nothing is safe).
+            let s = self.index.blocks.len();
+            let confirmed = (s * self.radius) as isize - 1;
+
+            // Emit the next non-empty confirmed level, if any.
+            while (self.emitted_level as isize) <= confirmed.min(self.index.m as isize) {
+                let level = &mut self.levels[self.emitted_level];
+                let dist = self.emitted_level as u32;
+                self.emitted_level += 1;
+                if !level.is_empty() {
+                    out.append(level);
+                    return Some(dist);
+                }
+            }
+
+            if self.remaining == 0 {
+                // Every indexed item has been found; flush unemitted levels
+                // without waiting for the pigeonhole bound to catch up.
+                while self.emitted_level <= self.index.m {
+                    let dist = self.emitted_level as u32;
+                    let level = &mut self.levels[self.emitted_level];
+                    self.emitted_level += 1;
+                    if !level.is_empty() {
+                        out.append(level);
+                        return Some(dist);
+                    }
+                }
+                return None;
+            }
+            if self.emitted_level > self.index.m {
+                return None;
+            }
+
+            // Expand one more substring radius across all blocks.
+            let r = self.radius;
+            self.radius += 1;
+            for block in &self.index.blocks {
+                if r > block.bits {
+                    continue;
+                }
+                let q_sub = block.extract(self.query);
+                for mask in FixedWeightMasks::new(block.bits, r) {
+                    self.lookups += 1;
+                    let probe = q_sub ^ (mask as u32);
+                    let Some(items) = block.table.get(&probe) else { continue };
+                    for &id in items {
+                        let v = &mut self.visited[id as usize];
+                        if *v {
+                            self.duplicates += 1;
+                            continue;
+                        }
+                        *v = true;
+                        self.remaining -= 1;
+                        let full = hamming(self.index.codes[id as usize], self.query) as usize;
+                        self.levels[full].push(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Substring-bucket lookups performed so far.
+    pub fn lookups(&self) -> usize {
+        self.lookups
+    }
+
+    /// Duplicate candidate hits suppressed so far (MIH's extra cost).
+    pub fn duplicates(&self) -> usize {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_codes() -> Vec<u64> {
+        vec![0b000000, 0b000001, 0b000011, 0b111000, 0b111111, 0b101010]
+    }
+
+    #[test]
+    fn batches_ascend_in_full_distance_and_cover_everything() {
+        let codes = toy_codes();
+        let mih = MihIndex::build(6, &codes, 2);
+        let mut s = mih.search(0b000000);
+        let mut out = Vec::new();
+        let mut last = -1i64;
+        let mut all = Vec::new();
+        while let Some(d) = s.next_batch(&mut out) {
+            assert!((d as i64) > last, "levels strictly ascending");
+            last = d as i64;
+            for &id in &out {
+                assert_eq!(hamming(codes[id as usize], 0), d, "item in wrong level");
+            }
+            all.extend_from_slice(&out);
+            out.clear();
+        }
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5], "every item emitted exactly once");
+    }
+
+    #[test]
+    fn first_batch_is_exact_match_bucket() {
+        let codes = toy_codes();
+        let mih = MihIndex::build(6, &codes, 3);
+        let mut s = mih.search(0b111111);
+        let mut out = Vec::new();
+        let d = s.next_batch(&mut out).unwrap();
+        assert_eq!(d, 0);
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_emitted() {
+        // Item 0b000000 matches the query substring in *both* blocks at
+        // radius 0 when query == item ⇒ second hit is a duplicate.
+        let codes = vec![0b0000u64, 0b0000];
+        let mih = MihIndex::build(4, &codes, 2);
+        let mut s = mih.search(0b0000);
+        let mut out = Vec::new();
+        assert_eq!(s.next_batch(&mut out), Some(0));
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+        assert!(s.duplicates() >= 2, "each item hit again via the second block");
+    }
+
+    #[test]
+    fn agrees_with_brute_force_order() {
+        // Random-ish codes; MIH emission order must equal sorting by
+        // Hamming distance (levels, any order inside a level).
+        let codes: Vec<u64> = (0..64u64).map(|i| (i * 2654435761) % 256).collect();
+        let mih = MihIndex::build(8, &codes, 2);
+        let q = 0b1010_0101u64;
+        let mut s = mih.search(q);
+        let mut out = Vec::new();
+        let mut emitted = Vec::new();
+        while s.next_batch(&mut out).is_some() {
+            emitted.extend_from_slice(&out);
+            out.clear();
+        }
+        assert_eq!(emitted.len(), 64);
+        let dists: Vec<u32> = emitted.iter().map(|&i| hamming(codes[i as usize], q)).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn uneven_block_split() {
+        // m = 7, s = 2 → blocks of 4 and 3 bits.
+        let codes = vec![0b0000000u64, 0b1111111];
+        let mih = MihIndex::build(7, &codes, 2);
+        assert_eq!(mih.n_blocks(), 2);
+        let mut s = mih.search(0);
+        let mut out = Vec::new();
+        let mut total = 0;
+        while s.next_batch(&mut out).is_some() {
+            total += out.len();
+            out.clear();
+        }
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn lookups_grow_with_radius() {
+        let codes = vec![0b111111u64]; // only a far item forces deep radii
+        let mih = MihIndex::build(6, &codes, 2);
+        let mut s = mih.search(0);
+        let mut out = Vec::new();
+        assert!(s.next_batch(&mut out).is_some());
+        assert!(s.lookups() > 2, "must have expanded past radius 0");
+    }
+}

@@ -1,0 +1,71 @@
+//! Probing strategies: the order in which buckets are examined.
+//!
+//! A [`Prober`] emits bucket codes in the order its strategy dictates. The
+//! four paper strategies:
+//!
+//! | | sorts everything upfront | generates on demand |
+//! |---|---|---|
+//! | **Hamming distance** | [`HammingRanking`] (HR) | [`GenerateHammingRanking`] (GHR / hash lookup) |
+//! | **Quantization distance** | [`QdRanking`] (QR) | [`GenerateQdRanking`] (GQR) |
+//!
+//! HR/QR pay an `O(B)`–`O(B log B)` sort before the first bucket is probed —
+//! the paper's *slow start* problem; GHR/GQR produce the `i`-th bucket in
+//! `O(log i)` (GQR) or amortized `O(1)` (GHR) when asked. Multi-index
+//! hashing lives in [`mih`] because it retrieves items, not whole-code
+//! buckets.
+
+pub mod ghr;
+pub mod gqr;
+pub mod hr;
+pub mod mih;
+pub mod qr;
+
+pub use ghr::GenerateHammingRanking;
+pub use gqr::GenerateQdRanking;
+pub use hr::HammingRanking;
+pub use qr::QdRanking;
+
+use gqr_l2h::QueryEncoding;
+
+/// A source of bucket codes in strategy order for one query.
+///
+/// Implementations are reset per query via [`Prober::reset`] so heaps and
+/// scratch buffers are reused across a query batch (no per-probe
+/// allocation on the hot path).
+pub trait Prober {
+    /// Prepare for a new query.
+    fn reset(&mut self, query: &QueryEncoding);
+
+    /// Cost indicator of the bucket that [`Prober::next_bucket`] would
+    /// return: QD for the QD probers, Hamming distance for the Hamming
+    /// probers. `None` when exhausted. Multi-table search uses this to merge
+    /// probers across tables.
+    fn peek_cost(&mut self) -> Option<f64>;
+
+    /// Next bucket code to probe, or `None` when the code space (or the
+    /// occupied-bucket list) is exhausted.
+    fn next_bucket(&mut self) -> Option<u64>;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use gqr_l2h::QueryEncoding;
+
+    /// Query encoding with explicit costs for prober tests.
+    pub fn qe(code: u64, costs: &[f64]) -> QueryEncoding {
+        QueryEncoding { code, flip_costs: costs.to_vec() }
+    }
+
+    /// Collect all buckets a prober emits after a reset.
+    pub fn drain(p: &mut dyn super::Prober, q: &QueryEncoding) -> Vec<u64> {
+        p.reset(q);
+        let mut out = Vec::new();
+        while let Some(b) = p.next_bucket() {
+            out.push(b);
+        }
+        out
+    }
+}

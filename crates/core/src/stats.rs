@@ -1,0 +1,54 @@
+//! Probe-level instrumentation reported with every search.
+
+use serde::Serialize;
+
+/// Counters accumulated during one search (or one query batch when summed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ProbeStats {
+    /// Bucket codes handed out by the prober (occupied or not).
+    pub buckets_probed: usize,
+    /// Probed codes that had no bucket in the table. Only generate-to-probe
+    /// strategies can hit empty codes; HR/QR sort occupied buckets only.
+    pub empty_buckets: usize,
+    /// Item ids collected from probed buckets (before dedup).
+    pub items_collected: usize,
+    /// Items whose exact distance was computed.
+    pub items_evaluated: usize,
+    /// Candidates skipped because another table already produced them
+    /// (multi-table search only).
+    pub duplicates_skipped: usize,
+}
+
+impl ProbeStats {
+    /// Merge counters from another search (for batch totals).
+    pub fn merge(&mut self, other: &ProbeStats) {
+        self.buckets_probed += other.buckets_probed;
+        self.empty_buckets += other.empty_buckets;
+        self.items_collected += other.items_collected;
+        self.items_evaluated += other.items_evaluated;
+        self.duplicates_skipped += other.duplicates_skipped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = ProbeStats {
+            buckets_probed: 1,
+            empty_buckets: 2,
+            items_collected: 3,
+            items_evaluated: 4,
+            duplicates_skipped: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.buckets_probed, 2);
+        assert_eq!(a.empty_buckets, 4);
+        assert_eq!(a.items_collected, 6);
+        assert_eq!(a.items_evaluated, 8);
+        assert_eq!(a.duplicates_skipped, 10);
+    }
+}

@@ -1,0 +1,259 @@
+//! The hash table: bucket code → item ids.
+
+use gqr_l2h::HashModel;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Identity-style hasher for bucket codes. Codes are short (≤ 64 bits) and
+/// already well-mixed by the hash functions, so hashing them again with
+/// SipHash wastes the hot lookup path; a multiply-fold is enough.
+#[derive(Default)]
+pub struct CodeHasher(u64);
+
+impl Hasher for CodeHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("CodeHasher only hashes u64 bucket codes");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        // Fibonacci multiply to spread low-entropy codes across buckets.
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type CodeMap<V> = HashMap<u64, V, BuildHasherDefault<CodeHasher>>;
+
+/// A single hash table: every item is stored in the bucket of its binary
+/// code. Item payloads (the vectors) stay outside; buckets hold `u32` ids.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct HashTable {
+    code_length: usize,
+    buckets: CodeMap<Vec<u32>>,
+    n_items: usize,
+    /// Largest item id ever inserted (not lowered on remove); the engine
+    /// checks its data buffer covers this.
+    max_id: Option<u32>,
+}
+
+impl HashTable {
+    /// Hash every row of `data` (row-major, `dim` columns) with `model`.
+    pub fn build<M: HashModel + ?Sized>(model: &M, data: &[f32], dim: usize) -> HashTable {
+        assert_eq!(model.dim(), dim, "model and data dimensionality differ");
+        assert!(data.len().is_multiple_of(dim), "data must be n×dim");
+        let n = data.len() / dim;
+        let mut buckets: CodeMap<Vec<u32>> = HashMap::default();
+        for (i, row) in data.chunks_exact(dim).enumerate() {
+            buckets.entry(model.encode(row)).or_default().push(i as u32);
+        }
+        let max_id = n.checked_sub(1).map(|i| i as u32);
+        HashTable { code_length: model.code_length(), buckets, n_items: n, max_id }
+    }
+
+    /// Build from precomputed codes (one per item).
+    pub fn from_codes(code_length: usize, codes: &[u64]) -> HashTable {
+        let mut buckets: CodeMap<Vec<u32>> = HashMap::default();
+        for (i, &c) in codes.iter().enumerate() {
+            debug_assert!(code_length == 64 || c < (1u64 << code_length));
+            buckets.entry(c).or_default().push(i as u32);
+        }
+        let max_id = codes.len().checked_sub(1).map(|i| i as u32);
+        HashTable { code_length, buckets, n_items: codes.len(), max_id }
+    }
+
+    /// Code length `m`.
+    #[inline]
+    pub fn code_length(&self) -> usize {
+        self.code_length
+    }
+
+    /// Number of indexed items.
+    #[inline]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Largest item id ever inserted, if any (not lowered by removals).
+    #[inline]
+    pub fn max_id(&self) -> Option<u32> {
+        self.max_id
+    }
+
+    /// Number of occupied buckets (`B` in the paper's complexity analysis).
+    #[inline]
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Item ids in bucket `code`, or an empty slice.
+    #[inline]
+    pub fn bucket(&self, code: u64) -> &[u32] {
+        self.buckets.get(&code).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether bucket `code` holds any items.
+    #[inline]
+    pub fn contains(&self, code: u64) -> bool {
+        self.buckets.contains_key(&code)
+    }
+
+    /// Iterate over `(code, items)` pairs of occupied buckets (arbitrary
+    /// order). HR and QR consume this to sort all buckets upfront.
+    pub fn occupied(&self) -> impl Iterator<Item = (u64, &[u32])> + '_ {
+        self.buckets.iter().map(|(&c, v)| (c, v.as_slice()))
+    }
+
+    /// All occupied bucket codes (arbitrary order).
+    pub fn codes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.buckets.keys().copied()
+    }
+
+    /// Expected items per bucket over occupied buckets (the paper targets
+    /// `EP = 10` when choosing `m`).
+    pub fn mean_bucket_size(&self) -> f64 {
+        if self.buckets.is_empty() {
+            0.0
+        } else {
+            self.n_items as f64 / self.buckets.len() as f64
+        }
+    }
+
+    /// Insert an item id under its code (incremental indexing). The caller
+    /// owns id assignment; inserting an id twice creates two entries.
+    pub fn insert(&mut self, code: u64, id: u32) {
+        debug_assert!(self.code_length == 64 || code < (1u64 << self.code_length));
+        self.buckets.entry(code).or_default().push(id);
+        self.n_items += 1;
+        self.max_id = Some(self.max_id.map_or(id, |m| m.max(id)));
+    }
+
+    /// Hash and insert one item vector.
+    pub fn insert_item<M: HashModel + ?Sized>(&mut self, model: &M, item: &[f32], id: u32) {
+        assert_eq!(model.code_length(), self.code_length, "model/table code length mismatch");
+        self.insert(model.encode(item), id);
+    }
+
+    /// Remove one occurrence of `id` from bucket `code`. Returns whether the
+    /// id was present; the bucket is dropped when it empties.
+    pub fn remove(&mut self, code: u64, id: u32) -> bool {
+        let Some(items) = self.buckets.get_mut(&code) else { return false };
+        let Some(pos) = items.iter().position(|&x| x == id) else { return false };
+        items.swap_remove(pos);
+        if items.is_empty() {
+            self.buckets.remove(&code);
+        }
+        self.n_items -= 1;
+        true
+    }
+
+    /// Approximate heap size of the table in bytes (keys + id payload), used
+    /// by the memory-consumption comparisons (Fig 12 discussion).
+    pub fn approx_bytes(&self) -> usize {
+        let per_bucket = std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>();
+        self.buckets.len() * per_bucket + self.n_items * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqr_l2h::pcah::Pcah;
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let mut table = HashTable::from_codes(4, &[0b0001, 0b0010]);
+        table.insert(0b0001, 7);
+        assert_eq!(table.n_items(), 3);
+        assert_eq!(table.bucket(0b0001), &[0, 7]);
+
+        assert!(table.remove(0b0001, 0));
+        assert_eq!(table.bucket(0b0001), &[7]);
+        assert!(!table.remove(0b0001, 99), "absent id");
+        assert!(!table.remove(0b1111, 7), "absent bucket");
+
+        assert!(table.remove(0b0001, 7));
+        assert!(!table.contains(0b0001), "emptied bucket is dropped");
+        assert_eq!(table.n_items(), 1);
+    }
+
+    #[test]
+    fn insert_item_uses_model_encoding() {
+        let data = grid_data();
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let mut table = HashTable::build(&model, &data, 2);
+        let new_item = [3.0f32, -1.0];
+        table.insert_item(&model, &new_item, 100);
+        let code = model.encode(&new_item);
+        assert!(table.bucket(code).contains(&100));
+        assert_eq!(table.n_items(), 101);
+    }
+
+    fn grid_data() -> Vec<f32> {
+        let mut data = Vec::new();
+        for i in 0..100u32 {
+            data.push((i % 10) as f32 - 4.5);
+            data.push((i / 10) as f32 - 4.5);
+        }
+        data
+    }
+
+    #[test]
+    fn every_item_lands_in_exactly_one_bucket() {
+        let data = grid_data();
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let table = HashTable::build(&model, &data, 2);
+        assert_eq!(table.n_items(), 100);
+        let total: usize = table.occupied().map(|(_, items)| items.len()).sum();
+        assert_eq!(total, 100);
+        let mut seen = [false; 100];
+        for (_, items) in table.occupied() {
+            for &i in items {
+                assert!(!seen[i as usize]);
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bucket_lookup_matches_encoding() {
+        let data = grid_data();
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let table = HashTable::build(&model, &data, 2);
+        for (i, row) in data.chunks_exact(2).enumerate() {
+            let code = model.encode(row);
+            assert!(table.bucket(code).contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn missing_bucket_is_empty() {
+        let table = HashTable::from_codes(4, &[0b0001, 0b0001, 0b1000]);
+        assert_eq!(table.bucket(0b0001), &[0, 1]);
+        assert_eq!(table.bucket(0b0010), &[] as &[u32]);
+        assert!(!table.contains(0b0010));
+        assert_eq!(table.n_buckets(), 2);
+        assert!((table.mean_bucket_size() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_codes_roundtrip_through_codes_iter() {
+        let codes = [1u64, 5, 5, 9, 1];
+        let table = HashTable::from_codes(4, &codes);
+        let mut occupied: Vec<u64> = table.codes().collect();
+        occupied.sort_unstable();
+        assert_eq!(occupied, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_content() {
+        let small = HashTable::from_codes(4, &[1, 2]);
+        let big = HashTable::from_codes(4, &(0..1000u64).map(|i| i % 16).collect::<Vec<_>>());
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+}

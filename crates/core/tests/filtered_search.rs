@@ -1,0 +1,110 @@
+//! Attribute-filtered k-NN: the engine keeps probing until enough
+//! *matching* candidates have been evaluated, and never returns a rejected
+//! item.
+
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::table::HashTable;
+use gqr_l2h::lsh::Lsh;
+use gqr_linalg::vecops::sq_dist_f32;
+
+fn fixture() -> (Vec<f32>, Lsh, HashTable) {
+    let mut data = Vec::new();
+    for i in 0..2000u32 {
+        data.push((i % 40) as f32);
+        data.push((i / 40) as f32 + 0.001 * (i % 11) as f32);
+    }
+    let model = Lsh::train(&data, 2, 9, 5).unwrap();
+    let table = HashTable::build(&model, &data, 2);
+    (data, model, table)
+}
+
+#[test]
+fn filter_excludes_rejected_ids() {
+    let (data, model, table) = fixture();
+    let engine = QueryEngine::new(&model, &table, &data, 2);
+    let params = SearchParams {
+        k: 10,
+        n_candidates: usize::MAX,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        ..Default::default()
+    };
+    // Only even ids are eligible.
+    let res = engine.search_filtered(&[20.0, 25.0], &params, |id| id % 2 == 0);
+    assert_eq!(res.neighbors.len(), 10);
+    assert!(res.neighbors.iter().all(|&(id, _)| id % 2 == 0));
+}
+
+#[test]
+fn filtered_exhaustive_matches_brute_force_over_subset() {
+    let (data, model, table) = fixture();
+    let engine = QueryEngine::new(&model, &table, &data, 2);
+    let q = [13.0f32, 29.0];
+    let params = SearchParams {
+        k: 5,
+        n_candidates: usize::MAX,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        ..Default::default()
+    };
+    let eligible = |id: u32| id % 3 == 1;
+    let res = engine.search_filtered(&q, &params, eligible);
+
+    let mut brute: Vec<(u32, f32)> = data
+        .chunks_exact(2)
+        .enumerate()
+        .filter(|(i, _)| eligible(*i as u32))
+        .map(|(i, row)| (i as u32, sq_dist_f32(&q, row)))
+        .collect();
+    brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    brute.truncate(5);
+    assert_eq!(res.neighbors, brute);
+}
+
+#[test]
+fn budget_counts_matching_items_only() {
+    let (data, model, table) = fixture();
+    let engine = QueryEngine::new(&model, &table, &data, 2);
+    let params = SearchParams {
+        k: 5,
+        n_candidates: 50,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        ..Default::default()
+    };
+    // A very selective filter forces deeper probing than the unfiltered
+    // search would need for the same budget.
+    let selective = engine.search_filtered(&[5.0, 5.0], &params, |id| id % 10 == 0);
+    let unfiltered = engine.search(&[5.0, 5.0], &params);
+    assert!(selective.stats.items_evaluated >= 50);
+    assert!(
+        selective.stats.buckets_probed > unfiltered.stats.buckets_probed,
+        "selective filter must probe more buckets ({} vs {})",
+        selective.stats.buckets_probed,
+        unfiltered.stats.buckets_probed
+    );
+}
+
+#[test]
+fn reject_all_returns_empty() {
+    let (data, model, table) = fixture();
+    let engine = QueryEngine::new(&model, &table, &data, 2);
+    let params = SearchParams {
+        k: 5,
+        n_candidates: 100,
+        strategy: ProbeStrategy::GenerateHammingRanking,
+        ..Default::default()
+    };
+    let res = engine.search_filtered(&[1.0, 1.0], &params, |_| false);
+    assert!(res.neighbors.is_empty());
+    assert_eq!(res.stats.items_evaluated, 0);
+}
+
+#[test]
+#[should_panic(expected = "not supported for MIH")]
+fn mih_filter_rejected() {
+    let (data, model, table) = fixture();
+    let engine = QueryEngine::new(&model, &table, &data, 2);
+    let params = SearchParams {
+        strategy: ProbeStrategy::MultiIndexHashing { blocks: 2 },
+        ..Default::default()
+    };
+    let _ = engine.search_filtered(&[0.0, 0.0], &params, |_| true);
+}

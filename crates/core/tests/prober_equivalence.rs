@@ -1,0 +1,124 @@
+//! Cross-prober semantics on randomized tables:
+//!
+//! * GQR ≡ QR (identical QD sequences over occupied buckets),
+//! * GHR ≡ HR on occupied buckets (identical radius sequences),
+//! * MIH emits the same item set per Hamming level as GHR-driven retrieval.
+
+use gqr_core::code::{hamming, quantization_distance};
+use gqr_core::probe::mih::MihIndex;
+use gqr_core::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
+use gqr_core::table::HashTable;
+use gqr_l2h::QueryEncoding;
+use proptest::prelude::*;
+
+fn scenario() -> impl Strategy<Value = (usize, Vec<u64>, u64, Vec<f64>)> {
+    (4usize..9).prop_flat_map(|m| {
+        let span = 1u64 << m;
+        (
+            Just(m),
+            prop::collection::vec(0..span, 5..60),
+            0..span,
+            prop::collection::vec(0.0f64..3.0, m),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn gqr_visits_occupied_buckets_in_qr_order((m, codes, qcode, costs) in scenario()) {
+        let table = HashTable::from_codes(m, &codes);
+        let q = QueryEncoding { code: qcode, flip_costs: costs };
+
+        let mut qr = QdRanking::new(&table);
+        qr.reset(&q);
+        let mut qr_seq = Vec::new();
+        while let Some(b) = qr.next_bucket() {
+            qr_seq.push(quantization_distance(&q, b));
+        }
+
+        let mut gqr = GenerateQdRanking::new(m);
+        gqr.reset(&q);
+        let mut gqr_seq = Vec::new();
+        while let Some(b) = gqr.next_bucket() {
+            if table.contains(b) {
+                gqr_seq.push(quantization_distance(&q, b));
+            }
+        }
+        prop_assert_eq!(qr_seq.len(), gqr_seq.len());
+        for (a, b) in qr_seq.iter().zip(&gqr_seq) {
+            prop_assert!((a - b).abs() < 1e-9, "QD sequences diverge: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ghr_visits_occupied_buckets_in_hr_order((m, codes, qcode, costs) in scenario()) {
+        let table = HashTable::from_codes(m, &codes);
+        let q = QueryEncoding { code: qcode, flip_costs: costs };
+
+        let mut hr = HammingRanking::new(&table);
+        hr.reset(&q);
+        let mut hr_seq = Vec::new();
+        while let Some(b) = hr.next_bucket() {
+            hr_seq.push(hamming(b, q.code));
+        }
+
+        let mut ghr = GenerateHammingRanking::new(m);
+        ghr.reset(&q);
+        let mut ghr_seq = Vec::new();
+        while let Some(b) = ghr.next_bucket() {
+            if table.contains(b) {
+                ghr_seq.push(hamming(b, q.code));
+            }
+        }
+        prop_assert_eq!(hr_seq, ghr_seq);
+    }
+
+    #[test]
+    fn mih_levels_match_hamming_distances((m, codes, qcode, _costs) in scenario()) {
+        for blocks in [2usize, 3] {
+            if blocks > m {
+                continue;
+            }
+            let mih = MihIndex::build(m, &codes, blocks);
+            let mut s = mih.search(qcode);
+            let mut out = Vec::new();
+            let mut seen = vec![false; codes.len()];
+            let mut last_level = -1i64;
+            while let Some(level) = s.next_batch(&mut out) {
+                prop_assert!((level as i64) > last_level);
+                last_level = level as i64;
+                for &id in &out {
+                    prop_assert_eq!(hamming(codes[id as usize], qcode), level);
+                    prop_assert!(!seen[id as usize], "item {id} twice");
+                    seen[id as usize] = true;
+                }
+                out.clear();
+            }
+            prop_assert!(seen.iter().all(|&s| s), "blocks={blocks}: every item must be emitted");
+        }
+    }
+
+    #[test]
+    fn probe_costs_monotone_for_all_probers((m, codes, qcode, costs) in scenario()) {
+        let table = HashTable::from_codes(m, &codes);
+        let q = QueryEncoding { code: qcode, flip_costs: costs };
+        let mut hr = HammingRanking::new(&table);
+        let mut qr = QdRanking::new(&table);
+        let mut ghr = GenerateHammingRanking::new(m);
+        let mut gqr = GenerateQdRanking::new(m);
+        let probers: [&mut dyn Prober; 4] = [&mut hr, &mut qr, &mut ghr, &mut gqr];
+        for p in probers {
+            p.reset(&q);
+            let mut last = f64::NEG_INFINITY;
+            while let Some(c) = p.peek_cost() {
+                prop_assert!(c >= last - 1e-9, "{}: cost regressed", p.name());
+                last = c;
+                if p.next_bucket().is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The four stopping criteria of §4.2 compose: candidate budget, bucket
+//! budget, wall-clock deadline, and the Theorem-2 early stop.
+
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::table::HashTable;
+use gqr_l2h::lsh::Lsh;
+use std::time::Duration;
+
+fn fixture() -> (Vec<f32>, Lsh, HashTable) {
+    let mut data = Vec::new();
+    for i in 0..3000u32 {
+        data.push((i % 50) as f32 + 0.001 * (i % 7) as f32);
+        data.push((i / 50) as f32);
+    }
+    let model = Lsh::train(&data, 2, 10, 3).unwrap();
+    let table = HashTable::build(&model, &data, 2);
+    (data, model, table)
+}
+
+#[test]
+fn max_buckets_caps_probing() {
+    let (data, model, table) = fixture();
+    let engine = QueryEngine::new(&model, &table, &data, 2);
+    for cap in [1usize, 5, 50] {
+        let params = SearchParams {
+            k: 5,
+            n_candidates: usize::MAX,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            max_buckets: Some(cap),
+            ..Default::default()
+        };
+        let res = engine.search(&[25.0, 30.0], &params);
+        assert!(
+            res.stats.buckets_probed <= cap,
+            "cap {cap}: probed {}",
+            res.stats.buckets_probed
+        );
+    }
+}
+
+#[test]
+fn time_limit_zero_stops_after_at_most_one_bucket() {
+    let (data, model, table) = fixture();
+    let engine = QueryEngine::new(&model, &table, &data, 2);
+    let params = SearchParams {
+        k: 5,
+        n_candidates: usize::MAX,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        time_limit: Some(Duration::ZERO),
+        ..Default::default()
+    };
+    let res = engine.search(&[25.0, 30.0], &params);
+    // The deadline is checked before each bucket; with a zero deadline the
+    // loop exits immediately.
+    assert_eq!(res.stats.buckets_probed, 0);
+    assert!(res.neighbors.is_empty());
+}
+
+#[test]
+fn generous_limits_do_not_change_results() {
+    let (data, model, table) = fixture();
+    let engine = QueryEngine::new(&model, &table, &data, 2);
+    let base = SearchParams {
+        k: 5,
+        n_candidates: 500,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        ..Default::default()
+    };
+    let limited = SearchParams {
+        max_buckets: Some(usize::MAX),
+        time_limit: Some(Duration::from_secs(3600)),
+        ..base
+    };
+    let q = [10.0f32, 12.0];
+    assert_eq!(engine.search(&q, &base).neighbors, engine.search(&q, &limited).neighbors);
+}
+
+#[test]
+fn whichever_criterion_fires_first_wins() {
+    let (data, model, table) = fixture();
+    let engine = QueryEngine::new(&model, &table, &data, 2);
+    // Bucket cap far tighter than candidate budget.
+    let params = SearchParams {
+        k: 5,
+        n_candidates: 10_000,
+        strategy: ProbeStrategy::GenerateHammingRanking,
+        max_buckets: Some(3),
+        ..Default::default()
+    };
+    let res = engine.search(&[0.0, 0.0], &params);
+    assert!(res.stats.buckets_probed <= 3);
+    assert!(res.stats.items_evaluated < 10_000);
+}

@@ -1,0 +1,174 @@
+//! `fvecs` / `ivecs` IO — the TEXMEX formats used by GIST1M/SIFT1M et al.
+//!
+//! Each record is a little-endian `i32` count `d` followed by `d` payload
+//! entries (`f32` for fvecs, `i32` for ivecs). Provided so users with the
+//! real benchmark files can swap them in for the synthetic stand-ins.
+
+use crate::Dataset;
+use bytes::{Buf, BufMut, BytesMut};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Read an `.fvecs` file into a [`Dataset`].
+///
+/// Fails with `InvalidData` on ragged dimensions, non-positive dimension
+/// headers, or truncated records.
+pub fn read_fvecs(path: impl AsRef<Path>, name: impl Into<String>) -> io::Result<Dataset> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    parse_fvecs(&raw, name)
+}
+
+/// Parse fvecs-format bytes.
+pub fn parse_fvecs(mut raw: &[u8], name: impl Into<String>) -> io::Result<Dataset> {
+    let mut dim: Option<usize> = None;
+    let mut data = Vec::new();
+    while raw.has_remaining() {
+        if raw.remaining() < 4 {
+            return Err(invalid("truncated dimension header"));
+        }
+        let d = raw.get_i32_le();
+        if d <= 0 {
+            return Err(invalid("non-positive vector dimension"));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(expect) if expect != d => return Err(invalid("ragged vector dimensions")),
+            _ => {}
+        }
+        if raw.remaining() < 4 * d {
+            return Err(invalid("truncated vector payload"));
+        }
+        for _ in 0..d {
+            data.push(raw.get_f32_le());
+        }
+    }
+    let dim = dim.ok_or_else(|| invalid("empty fvecs file"))?;
+    Ok(Dataset::new(name, dim, data))
+}
+
+/// Write a [`Dataset`] in fvecs format.
+pub fn write_fvecs(path: impl AsRef<Path>, ds: &Dataset) -> io::Result<()> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    let mut buf = BytesMut::with_capacity(4 + 4 * ds.dim());
+    for row in ds.rows() {
+        buf.clear();
+        buf.put_i32_le(ds.dim() as i32);
+        for &x in row {
+            buf.put_f32_le(x);
+        }
+        writer.write_all(&buf)?;
+    }
+    writer.flush()
+}
+
+/// Read an `.ivecs` file (e.g. TEXMEX ground-truth id lists).
+pub fn read_ivecs(path: impl AsRef<Path>) -> io::Result<Vec<Vec<i32>>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    parse_ivecs(&raw)
+}
+
+/// Parse ivecs-format bytes.
+pub fn parse_ivecs(mut raw: &[u8]) -> io::Result<Vec<Vec<i32>>> {
+    let mut out = Vec::new();
+    while raw.has_remaining() {
+        if raw.remaining() < 4 {
+            return Err(invalid("truncated dimension header"));
+        }
+        let d = raw.get_i32_le();
+        if d < 0 {
+            return Err(invalid("negative record length"));
+        }
+        let d = d as usize;
+        if raw.remaining() < 4 * d {
+            return Err(invalid("truncated record payload"));
+        }
+        let mut rec = Vec::with_capacity(d);
+        for _ in 0..d {
+            rec.push(raw.get_i32_le());
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Write id lists in ivecs format.
+pub fn write_ivecs(path: impl AsRef<Path>, records: &[Vec<i32>]) -> io::Result<()> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    let mut buf = BytesMut::new();
+    for rec in records {
+        buf.clear();
+        buf.put_i32_le(rec.len() as i32);
+        for &x in rec {
+            buf.put_i32_le(x);
+        }
+        writer.write_all(&buf)?;
+    }
+    writer.flush()
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let ds = Dataset::new("toy", 3, vec![1.0, -2.5, 0.0, 4.0, 5.0, 6.5]);
+        let dir = std::env::temp_dir().join("gqr_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.fvecs");
+        write_fvecs(&path, &ds).unwrap();
+        let back = read_fvecs(&path, "toy").unwrap();
+        assert_eq!(back.dim(), 3);
+        assert_eq!(back.as_slice(), ds.as_slice());
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let recs = vec![vec![1, 2, 3], vec![], vec![7]];
+        let dir = std::env::temp_dir().join("gqr_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.ivecs");
+        write_ivecs(&path, &recs).unwrap();
+        assert_eq!(read_ivecs(&path).unwrap(), recs);
+    }
+
+    #[test]
+    fn parse_rejects_ragged() {
+        let mut bytes = BytesMut::new();
+        bytes.put_i32_le(2);
+        bytes.put_f32_le(1.0);
+        bytes.put_f32_le(2.0);
+        bytes.put_i32_le(3); // different dimension
+        bytes.put_f32_le(1.0);
+        bytes.put_f32_le(2.0);
+        bytes.put_f32_le(3.0);
+        let err = parse_fvecs(&bytes, "bad").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn parse_rejects_truncation() {
+        let mut bytes = BytesMut::new();
+        bytes.put_i32_le(4);
+        bytes.put_f32_le(1.0); // only one of four floats
+        assert!(parse_fvecs(&bytes, "bad").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_empty_and_nonpositive_dim() {
+        assert!(parse_fvecs(&[], "bad").is_err());
+        let mut bytes = BytesMut::new();
+        bytes.put_i32_le(0);
+        assert!(parse_fvecs(&bytes, "bad").is_err());
+    }
+}

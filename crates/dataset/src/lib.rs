@@ -1,0 +1,199 @@
+//! Datasets for the `gqr` reproduction: synthetic stand-ins for the paper's
+//! benchmark sets, `fvecs`/`ivecs` IO, and parallel ground-truth computation.
+//!
+//! The paper (Li et al., SIGMOD 2018) evaluates on CIFAR60K, GIST1M, TINY5M,
+//! SIFT10M and eight additional NNS-benchmark datasets. Those binaries are not
+//! redistributable here, so [`synthetic`] provides clustered Gaussian-mixture
+//! generators whose (dimension, cardinality) mirror each paper dataset at a
+//! configurable [`synthetic::Scale`]. Every compared querying method sees the
+//! same point set, so the paper's *relative* claims are preserved.
+//!
+//! # Example
+//!
+//! ```
+//! use gqr_dataset::synthetic::{DatasetSpec, Scale};
+//!
+//! let ds = DatasetSpec::cifar60k().scale(Scale::Smoke).generate(42);
+//! assert!(ds.n() > 0);
+//! let queries = ds.sample_queries(10, 7);
+//! let gt = gqr_dataset::ground_truth::brute_force_knn(&ds, &queries, 5, 1);
+//! assert_eq!(gt.len(), 10);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod ground_truth;
+pub mod io;
+pub mod stats;
+pub mod synthetic;
+
+pub use ground_truth::{brute_force_knn, brute_force_knn_metric, GroundTruth};
+pub use synthetic::{DatasetSpec, Scale};
+
+/// An in-memory dataset of `n` dense `f32` vectors of equal dimension,
+/// stored contiguously row-major.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    name: String,
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Dataset {
+    /// Wrap a row-major buffer. Panics if `data.len()` is not a multiple of
+    /// `dim`.
+    pub fn new(name: impl Into<String>, dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(data.len().is_multiple_of(dim), "buffer length must be a multiple of dim");
+        Dataset { name: name.into(), dim, data }
+    }
+
+    /// Human-readable dataset name (e.g. `"CIFAR60K-sim"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of items.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow item `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterate over all items.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Bytes of vector payload (excluding metadata).
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Hold out `n_queries` rows as queries: returns the remaining dataset
+    /// (row order preserved, held-out rows removed) and the extracted query
+    /// vectors. This is the paper's evaluation protocol — queries are real
+    /// items that are *not* in the index. Panics if `n_queries >= n`.
+    pub fn split_queries(self, n_queries: usize, seed: u64) -> (Dataset, Vec<Vec<f32>>) {
+        use rand::{Rng, SeedableRng};
+        let n = self.n();
+        assert!(n_queries < n, "cannot hold out every row");
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x5711_7001);
+        let mut held = vec![false; n];
+        let mut picked = 0;
+        while picked < n_queries {
+            let i = rng.gen_range(0..n);
+            if !held[i] {
+                held[i] = true;
+                picked += 1;
+            }
+        }
+        let mut queries = Vec::with_capacity(n_queries);
+        let mut rest = Vec::with_capacity((n - n_queries) * self.dim);
+        for (i, row) in self.data.chunks_exact(self.dim).enumerate() {
+            if held[i] {
+                queries.push(row.to_vec());
+            } else {
+                rest.extend_from_slice(row);
+            }
+        }
+        (Dataset::new(self.name, self.dim, rest), queries)
+    }
+
+    /// Draw `k` query vectors near (but not in) the dataset: rows sampled
+    /// with replacement, perturbed by small Gaussian noise scaled to the
+    /// average per-dimension spread — mirroring the paper's held-out query
+    /// sampling.
+    pub fn sample_queries(&self, k: usize, seed: u64) -> Vec<Vec<f32>> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x5eed_cafe);
+        let scale = stats::per_dim_std(self).iter().copied().sum::<f32>() / self.dim as f32;
+        let noise = 0.05 * scale;
+        (0..k)
+            .map(|_| {
+                let base = self.row(rng.gen_range(0..self.n()));
+                base.iter()
+                    .map(|&x| x + noise * gqr_linalg::qr::gaussian(&mut rng) as f32)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_accessors() {
+        let ds = Dataset::new("toy", 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(ds.n(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.row(1), &[3.0, 4.0]);
+        assert_eq!(ds.rows().count(), 3);
+        assert_eq!(ds.payload_bytes(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn ragged_buffer_panics() {
+        let _ = Dataset::new("bad", 3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn split_queries_holds_out_rows() {
+        let ds = Dataset::new("toy", 2, (0..40).map(|i| i as f32).collect());
+        let (rest, queries) = ds.split_queries(5, 3);
+        assert_eq!(rest.n(), 15);
+        assert_eq!(queries.len(), 5);
+        // Every held-out query was a row of the original, and is gone from
+        // the remainder.
+        for q in &queries {
+            assert_eq!(q.len(), 2);
+            assert!(q[1] - q[0] == 1.0, "rows were (2i, 2i+1) pairs");
+            assert!(!rest.rows().any(|r| r == q.as_slice()));
+        }
+    }
+
+    #[test]
+    fn split_queries_deterministic() {
+        let make = || Dataset::new("toy", 2, (0..40).map(|i| i as f32).collect());
+        let (_, q1) = make().split_queries(4, 9);
+        let (_, q2) = make().split_queries(4, 9);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold out every row")]
+    fn split_queries_rejects_full_holdout() {
+        let ds = Dataset::new("toy", 2, vec![0.0; 8]);
+        let _ = ds.split_queries(4, 1);
+    }
+
+    #[test]
+    fn sample_queries_shape_and_determinism() {
+        let ds = Dataset::new("toy", 2, (0..20).map(|i| i as f32).collect());
+        let q1 = ds.sample_queries(4, 9);
+        let q2 = ds.sample_queries(4, 9);
+        assert_eq!(q1.len(), 4);
+        assert_eq!(q1[0].len(), 2);
+        assert_eq!(q1, q2, "same seed must give same queries");
+    }
+}

@@ -1,0 +1,24 @@
+//! Evaluation harness: the measurement code behind every figure and table.
+//!
+//! One shared implementation of the paper's metrics keeps all experiment
+//! binaries consistent:
+//!
+//! * [`metrics`] — recall@k, precision, and set helpers.
+//! * [`curve`] — recall–time / recall–items curve runners built on the query
+//!   engine's checkpointed search, plus `time_to_recall` interpolation (the
+//!   quantity behind Figs 9–11, 14, 16).
+//! * [`timer`] — wall clock, Linux CPU time, and peak-RSS sampling for the
+//!   training-cost comparison (Table 2).
+//! * [`plot`] — ASCII recall-curve charts for terminal output.
+//! * [`report`] — CSV/Markdown/JSON emission under `results/`.
+
+
+#![warn(missing_docs)]
+pub mod curve;
+pub mod metrics;
+pub mod plot;
+pub mod report;
+pub mod timer;
+
+pub use curve::{recall_items_curve, recall_time_curve, time_to_recall, CurvePoint, RecallCurve};
+pub use metrics::{precision, recall};

@@ -1,0 +1,62 @@
+//! Recall and precision (paper §2.3).
+
+/// Recall@k: the fraction of the true `k` nearest neighbors present in
+/// `returned`. `truth` must hold the true neighbors (only its first
+/// `truth_k = truth.len()` entries define the target set); `returned` may be
+/// unordered.
+pub fn recall(returned: &[u32], truth: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut sorted = truth.to_vec();
+    sorted.sort_unstable();
+    let hits = returned.iter().filter(|id| sorted.binary_search(id).is_ok()).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Precision: fraction of `retrieved_count` evaluated items that are true
+/// neighbors actually found (`hits`). The paper plots this against recall in
+/// Fig 4a.
+pub fn precision(hits: usize, retrieved_count: usize) -> f64 {
+    if retrieved_count == 0 {
+        0.0
+    } else {
+        hits as f64 / retrieved_count as f64
+    }
+}
+
+/// Count of returned ids that appear in the truth set.
+pub fn hits(returned: &[u32], truth: &[u32]) -> usize {
+    let mut sorted = truth.to_vec();
+    sorted.sort_unstable();
+    returned.iter().filter(|id| sorted.binary_search(id).is_ok()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_counts_overlap() {
+        assert_eq!(recall(&[1, 2, 3], &[2, 3, 4]), 2.0 / 3.0);
+        assert_eq!(recall(&[], &[1, 2]), 0.0);
+        assert_eq!(recall(&[5, 6], &[]), 1.0, "empty truth is trivially found");
+        assert_eq!(recall(&[1, 2], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn recall_is_order_insensitive() {
+        assert_eq!(recall(&[3, 1, 2], &[1, 2, 3]), 1.0);
+    }
+
+    #[test]
+    fn precision_basic() {
+        assert_eq!(precision(5, 100), 0.05);
+        assert_eq!(precision(0, 0), 0.0);
+    }
+
+    #[test]
+    fn hits_counts() {
+        assert_eq!(hits(&[1, 2, 3, 9], &[2, 9, 17]), 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Terminal plotting: render recall curves as ASCII charts so experiment
+//! binaries can show the figure *shape* without leaving the terminal.
+
+use crate::curve::RecallCurve;
+
+/// Render a set of recall curves into a fixed-size ASCII chart.
+///
+/// The x axis is the chosen [`Axis`] (log-scaled for time, linear for
+/// items); the y axis is recall in [0, 1]. Each curve gets a distinct
+/// glyph; overlapping points show the later curve's glyph.
+pub fn ascii_chart(curves: &[RecallCurve], axis: Axis, width: usize, height: usize) -> String {
+    let width = width.clamp(20, 200);
+    let height = height.clamp(5, 60);
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+    // Collect x range over all points.
+    let xs: Vec<f64> = curves
+        .iter()
+        .flat_map(|c| c.points.iter().map(|p| axis.value(p)))
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .collect();
+    if xs.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in &xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let log = matches!(axis, Axis::Time);
+    let (lo_t, hi_t) = if log { (lo.ln(), hi.ln()) } else { (lo, hi) };
+    let span = (hi_t - lo_t).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (ci, curve) in curves.iter().enumerate() {
+        let glyph = glyphs[ci % glyphs.len()];
+        for p in &curve.points {
+            let x = axis.value(p);
+            if !(x.is_finite() && x > 0.0) {
+                continue;
+            }
+            let xt = if log { x.ln() } else { x };
+            let col = (((xt - lo_t) / span) * (width - 1) as f64).round() as usize;
+            let row = ((1.0 - p.recall.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("recall\n");
+    for (r, row) in grid.iter().enumerate() {
+        let label = 1.0 - r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{label:5.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("      +{}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "       {:<12} … {:>12}  ({})\n",
+        format_si(lo),
+        format_si(hi),
+        axis.label()
+    ));
+    for (ci, curve) in curves.iter().enumerate() {
+        out.push_str(&format!("       {} {}\n", glyphs[ci % glyphs.len()], curve.label));
+    }
+    out
+}
+
+/// Which x axis to plot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    /// Total wall time per query batch (log scale) — the recall–time curve.
+    Time,
+    /// Mean items evaluated per query (linear) — the recall–items curve.
+    Items,
+}
+
+impl Axis {
+    fn value(&self, p: &crate::curve::CurvePoint) -> f64 {
+        match self {
+            Axis::Time => p.total_time_s,
+            Axis::Items => p.mean_items,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Axis::Time => "total seconds, log scale",
+            Axis::Items => "items evaluated per query",
+        }
+    }
+}
+
+fn format_si(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}k", v / 1e3)
+    } else if v >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::CurvePoint;
+
+    fn curve(label: &str, points: &[(usize, f64, f64)]) -> RecallCurve {
+        RecallCurve {
+            label: label.into(),
+            points: points
+                .iter()
+                .map(|&(b, r, t)| CurvePoint {
+                    budget: b,
+                    recall: r,
+                    total_time_s: t,
+                    mean_items: b as f64,
+                    mean_buckets: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn chart_contains_labels_and_glyphs() {
+        let a = curve("GQR", &[(10, 0.2, 0.01), (100, 0.8, 0.1), (1000, 0.99, 1.0)]);
+        let b = curve("GHR", &[(10, 0.1, 0.01), (100, 0.6, 0.2), (1000, 0.97, 2.0)]);
+        let chart = ascii_chart(&[a, b], Axis::Time, 40, 10);
+        assert!(chart.contains("GQR"));
+        assert!(chart.contains("GHR"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("log scale"));
+        assert!(chart.lines().count() > 10);
+    }
+
+    #[test]
+    fn items_axis_uses_mean_items() {
+        let a = curve("X", &[(10, 0.5, 0.01), (100, 0.9, 0.1)]);
+        let chart = ascii_chart(&[a], Axis::Items, 30, 6);
+        assert!(chart.contains("items evaluated"));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert_eq!(ascii_chart(&[], Axis::Time, 40, 10), "(no data)\n");
+        let z = curve("Z", &[(0, 0.0, 0.0)]);
+        assert_eq!(ascii_chart(&[z], Axis::Time, 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn higher_recall_appears_on_higher_rows() {
+        let a = curve("A", &[(10, 0.0, 0.01), (1000, 1.0, 1.0)]);
+        let chart = ascii_chart(&[a], Axis::Time, 30, 11);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Row 1 is recall 1.0; the last grid row is recall 0.0.
+        assert!(lines[1].starts_with(" 1.00"));
+        assert!(lines[1].contains('*'), "recall-1 point on the top row");
+        assert!(lines[11].starts_with(" 0.00"));
+        assert!(lines[11].contains('*'), "recall-0 point on the bottom row");
+    }
+}

@@ -1,0 +1,147 @@
+//! Result emission: CSV files, Markdown tables, and JSON records under a
+//! results directory. Every experiment binary routes its output through
+//! these helpers so EXPERIMENTS.md entries are regenerable byte-for-byte.
+
+use crate::curve::RecallCurve;
+use serde::Serialize;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A results directory (created on demand).
+pub struct Reporter {
+    dir: PathBuf,
+}
+
+impl Reporter {
+    /// Reporter rooted at `dir` (e.g. `results/`).
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Reporter> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Reporter { dir })
+    }
+
+    /// Root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Write rows as CSV with the given header.
+    pub fn write_csv(&self, name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
+        let path = self.dir.join(name);
+        let mut w = BufWriter::new(File::create(&path)?);
+        writeln!(w, "{}", header.join(","))?;
+        for row in rows {
+            debug_assert_eq!(row.len(), header.len(), "row width must match header");
+            writeln!(w, "{}", row.join(","))?;
+        }
+        w.flush()?;
+        Ok(path)
+    }
+
+    /// Serialize any record set as pretty JSON.
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> io::Result<PathBuf> {
+        let path = self.dir.join(name);
+        let mut w = BufWriter::new(File::create(&path)?);
+        serde_json::to_writer_pretty(&mut w, value)?;
+        w.flush()?;
+        Ok(path)
+    }
+
+    /// Write a set of curves (one figure panel) as long-format CSV:
+    /// `label,budget,recall,total_time_s,mean_items,mean_buckets`.
+    pub fn write_curves(&self, name: &str, curves: &[RecallCurve]) -> io::Result<PathBuf> {
+        let rows: Vec<Vec<String>> = curves
+            .iter()
+            .flat_map(|c| {
+                c.points.iter().map(move |p| {
+                    vec![
+                        c.label.clone(),
+                        p.budget.to_string(),
+                        format!("{:.6}", p.recall),
+                        format!("{:.6}", p.total_time_s),
+                        format!("{:.1}", p.mean_items),
+                        format!("{:.1}", p.mean_buckets),
+                    ]
+                })
+            })
+            .collect();
+        self.write_csv(
+            name,
+            &["label", "budget", "recall", "total_time_s", "mean_items", "mean_buckets"],
+            &rows,
+        )
+    }
+}
+
+/// Render rows as a GitHub-flavoured Markdown table.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&header.join(" | "));
+    out.push_str(" |\n|");
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::CurvePoint;
+
+    fn tmp() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gqr_report_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let r = Reporter::new(tmp()).unwrap();
+        let path = r
+            .write_csv("t.csv", &["a", "b"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]])
+            .unwrap();
+        let text = fs::read_to_string(path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn curves_csv_long_format() {
+        let r = Reporter::new(tmp()).unwrap();
+        let curve = RecallCurve {
+            label: "GQR".into(),
+            points: vec![CurvePoint { budget: 10, recall: 0.5, total_time_s: 0.25, mean_items: 10.0, mean_buckets: 3.0 }],
+        };
+        let path = r.write_curves("c.csv", &[curve]).unwrap();
+        let text = fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("label,budget,recall"));
+        assert!(text.contains("GQR,10,0.500000,0.250000,10.0,3.0"));
+    }
+
+    #[test]
+    fn json_is_valid() {
+        let r = Reporter::new(tmp()).unwrap();
+        #[derive(Serialize)]
+        struct Rec {
+            x: u32,
+        }
+        let path = r.write_json("j.json", &vec![Rec { x: 1 }, Rec { x: 2 }]).unwrap();
+        let text = fs::read_to_string(path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v[1]["x"], 2);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["x", "y"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t, "| x | y |\n|---|---|\n| 1 | 2 |\n");
+    }
+}

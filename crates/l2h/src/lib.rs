@@ -1,0 +1,293 @@
+//! Learning-to-hash trainers for the `gqr` workspace.
+//!
+//! The paper's querying methods (QR/GQR in `gqr-core`) are *general*: they
+//! work with any L2H algorithm that maps an item to a projected real vector
+//! and quantizes it to a binary code. This crate provides the learners the
+//! paper evaluates with:
+//!
+//! * [`lsh::Lsh`] — sign random projections (data-independent baseline),
+//! * [`pcah::Pcah`] — PCA hashing,
+//! * [`itq::Itq`] — iterative quantization (PCA + learned rotation),
+//! * [`sh::SpectralHashing`] — spectral hashing (analytic Laplacian
+//!   eigenfunctions along principal directions),
+//! * [`kmh::KmeansHashing`] — K-means hashing (appendix experiment), whose
+//!   flipping costs come from codeword distances instead of `|pᵢ(q)|`,
+//! * [`ssh::Ssh`] — semi-supervised hashing (extension; the paper lists SSH
+//!   among compatible learners),
+//! * [`isoh::IsoHash`] — isotropic hashing (extension): equalizes per-bit
+//!   variances so QD flipping costs are comparable across bits.
+//!
+//! All models implement [`HashModel`]: `encode` produces the `m`-bit bucket
+//! code of an item, and `encode_query` additionally produces the per-bit
+//! **flipping costs** that drive quantization-distance ranking. For
+//! sign-threshold models the flipping cost of bit `i` is `|pᵢ(q)|`, exactly
+//! the paper's Definition 1.
+//!
+//! # Example
+//!
+//! ```
+//! use gqr_l2h::{HashModel, pcah::Pcah};
+//!
+//! // Tiny 2-D dataset, 2-bit codes.
+//! let data = vec![1.0f32, 0.0, -1.0, 0.0, 0.0, 1.5, 0.0, -1.5];
+//! let model = Pcah::train(&data, 2, 2).unwrap();
+//! let q = model.encode_query(&[1.0, 0.2]);
+//! assert_eq!(q.flip_costs.len(), 2);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod isoh;
+pub mod itq;
+pub mod kmh;
+pub mod lsh;
+pub mod pcah;
+pub mod sh;
+pub mod ssh;
+
+use gqr_linalg::Matrix;
+
+/// Maximum supported code length: codes are packed into a `u64`.
+pub const MAX_CODE_LENGTH: usize = 64;
+
+/// Errors produced by trainers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// Fewer training rows than the algorithm needs.
+    NotEnoughData {
+        /// Rows required.
+        needed: usize,
+        /// Rows provided.
+        got: usize,
+    },
+    /// Requested code length is zero, exceeds [`MAX_CODE_LENGTH`], or exceeds
+    /// what the trainer can produce for this dimensionality.
+    BadCodeLength {
+        /// Requested length.
+        requested: usize,
+        /// Maximum supported for this configuration.
+        max: usize,
+    },
+    /// Input buffer is not `n × dim`.
+    RaggedData,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NotEnoughData { needed, got } => {
+                write!(f, "not enough training rows: need {needed}, got {got}")
+            }
+            TrainError::BadCodeLength { requested, max } => {
+                write!(f, "bad code length {requested} (max {max})")
+            }
+            TrainError::RaggedData => write!(f, "training buffer is not a multiple of dim"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// A query's code plus the information QD ranking needs: per-bit flipping
+/// costs (for sign-threshold models, `|pᵢ(q)|`).
+#[derive(Clone, Debug)]
+pub struct QueryEncoding {
+    /// The query's own bucket code (bit `i` in position `i`).
+    pub code: u64,
+    /// Cost of flipping bit `i` of the code — the paper's `|pᵢ(q)|` term in
+    /// Definition 1 (or the codeword-distance delta for K-means hashing).
+    /// Always non-negative, `flip_costs.len() == code_length`.
+    pub flip_costs: Vec<f64>,
+}
+
+/// A trained hashing model: items → `m`-bit codes, queries → codes +
+/// flipping costs.
+///
+/// Implementations must be deterministic and thread-safe; the query engine
+/// encodes items and queries from multiple threads.
+pub trait HashModel: Send + Sync {
+    /// Input dimensionality `d`.
+    fn dim(&self) -> usize;
+
+    /// Code length `m` (≤ [`MAX_CODE_LENGTH`]).
+    fn code_length(&self) -> usize;
+
+    /// Bucket code of an item (indexing path).
+    fn encode(&self, x: &[f32]) -> u64;
+
+    /// Code and per-bit flipping costs of a query (search path).
+    fn encode_query(&self, q: &[f32]) -> QueryEncoding;
+
+    /// The spectral norm `σ_max(H)` of the hashing matrix, when the model is
+    /// linear (Theorem 1). Used to materialize the Theorem-2 lower bound
+    /// `‖o − q‖ ≥ dist(q, b) / (σ_max·√m)` for early stopping; `None` for
+    /// non-linear models (SH, KMH).
+    fn spectral_norm(&self) -> Option<f64> {
+        None
+    }
+
+    /// Short algorithm name for reports ("ITQ", "PCAH", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Quantize a projected vector by sign thresholding: bit `i` is 1 iff
+/// `p[i] ≥ 0` (the paper's §2.1 quantization rule).
+#[inline]
+pub fn sign_code(projection: &[f64]) -> u64 {
+    debug_assert!(projection.len() <= MAX_CODE_LENGTH);
+    let mut code = 0u64;
+    for (i, &p) in projection.iter().enumerate() {
+        if p >= 0.0 {
+            code |= 1u64 << i;
+        }
+    }
+    code
+}
+
+/// Shared plumbing for linear models (`LSH`, `PCAH`, `ITQ`): a hashing matrix
+/// `W` (`m×d`) and a bias so that `p(q) = W·q + bias`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct LinearHasher {
+    w: Matrix,
+    bias: Vec<f64>,
+    spectral_norm: f64,
+}
+
+impl LinearHasher {
+    /// Build from a hashing matrix and bias; precomputes `σ_max(W)`.
+    pub fn new(w: Matrix, bias: Vec<f64>) -> LinearHasher {
+        assert_eq!(w.rows(), bias.len(), "one bias per hash function");
+        assert!(w.rows() <= MAX_CODE_LENGTH, "code length exceeds u64 packing");
+        let spectral_norm = w.spectral_norm();
+        LinearHasher { w, bias, spectral_norm }
+    }
+
+    /// Code length `m`.
+    #[inline]
+    pub fn code_length(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Input dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// The hashing matrix `W`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.w
+    }
+
+    /// `σ_max(W)` (Theorem 1's constant `M`).
+    pub fn spectral_norm(&self) -> f64 {
+        self.spectral_norm
+    }
+
+    /// Projected vector `p(x) = W·x + bias`.
+    pub fn project(&self, x: &[f32]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "input dimensionality mismatch");
+        let mut out = self.bias.clone();
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = self.w.row(r);
+            let mut acc = 0.0f64;
+            for (&wi, &xi) in row.iter().zip(x) {
+                acc += wi * xi as f64;
+            }
+            *o += acc;
+        }
+        out
+    }
+
+    /// Item encoding: sign-threshold the projection.
+    pub fn encode(&self, x: &[f32]) -> u64 {
+        sign_code(&self.project(x))
+    }
+
+    /// Query encoding: code plus `|pᵢ(q)|` flipping costs.
+    pub fn encode_query(&self, q: &[f32]) -> QueryEncoding {
+        let p = self.project(q);
+        let code = sign_code(&p);
+        let flip_costs = p.into_iter().map(f64::abs).collect();
+        QueryEncoding { code, flip_costs }
+    }
+}
+
+/// Validate an `n×dim` training buffer and code length; returns `n`.
+pub(crate) fn check_training_input(
+    data: &[f32],
+    dim: usize,
+    m: usize,
+    max_m: usize,
+    min_rows: usize,
+) -> Result<usize, TrainError> {
+    if dim == 0 || !data.len().is_multiple_of(dim) {
+        return Err(TrainError::RaggedData);
+    }
+    if m == 0 || m > max_m.min(MAX_CODE_LENGTH) {
+        return Err(TrainError::BadCodeLength { requested: m, max: max_m.min(MAX_CODE_LENGTH) });
+    }
+    let n = data.len() / dim;
+    if n < min_rows {
+        return Err(TrainError::NotEnoughData { needed: min_rows, got: n });
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_code_thresholds_at_zero() {
+        assert_eq!(sign_code(&[1.0, -1.0, 0.0, -0.5]), 0b0101);
+        assert_eq!(sign_code(&[]), 0);
+        assert_eq!(sign_code(&[-1.0; 8]), 0);
+        assert_eq!(sign_code(&[1.0; 8]), 0xFF);
+    }
+
+    #[test]
+    fn linear_hasher_projection_and_code() {
+        // W = [[1,0],[0,-1]], bias = [0, 0.5]: p(x) = (x0, 0.5 − x1).
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        let h = LinearHasher::new(w, vec![0.0, 0.5]);
+        let p = h.project(&[2.0, 3.0]);
+        assert!((p[0] - 2.0).abs() < 1e-12);
+        assert!((p[1] + 2.5).abs() < 1e-12);
+        assert_eq!(h.encode(&[2.0, 3.0]), 0b01);
+        let qe = h.encode_query(&[2.0, 3.0]);
+        assert_eq!(qe.code, 0b01);
+        assert!((qe.flip_costs[0] - 2.0).abs() < 1e-12);
+        assert!((qe.flip_costs[1] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_hasher_spectral_norm() {
+        let w = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        let h = LinearHasher::new(w, vec![0.0, 0.0]);
+        assert!((h.spectral_norm() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn check_training_input_errors() {
+        assert_eq!(check_training_input(&[1.0, 2.0, 3.0], 2, 2, 8, 1), Err(TrainError::RaggedData));
+        assert_eq!(
+            check_training_input(&[1.0, 2.0], 2, 0, 8, 1),
+            Err(TrainError::BadCodeLength { requested: 0, max: 8 })
+        );
+        assert_eq!(
+            check_training_input(&[1.0, 2.0], 2, 2, 8, 5),
+            Err(TrainError::NotEnoughData { needed: 5, got: 1 })
+        );
+        assert_eq!(check_training_input(&[1.0, 2.0, 3.0, 4.0], 2, 2, 8, 2), Ok(2));
+    }
+
+    #[test]
+    fn train_error_display() {
+        let e = TrainError::NotEnoughData { needed: 5, got: 1 };
+        assert!(e.to_string().contains("need 5"));
+        let e = TrainError::BadCodeLength { requested: 99, max: 64 };
+        assert!(e.to_string().contains("99"));
+        assert!(TrainError::RaggedData.to_string().contains("multiple of dim"));
+    }
+}

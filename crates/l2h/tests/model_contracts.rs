@@ -1,0 +1,96 @@
+//! The `HashModel` contract, enforced across every trainer: the querying
+//! layer (GQR in particular) relies on these invariants.
+
+use gqr_l2h::isoh::IsoHash;
+use gqr_l2h::itq::Itq;
+use gqr_l2h::kmh::KmeansHashing;
+use gqr_l2h::lsh::Lsh;
+use gqr_l2h::pcah::Pcah;
+use gqr_l2h::sh::SpectralHashing;
+use gqr_l2h::ssh::{pairs_from_labels, Ssh};
+use gqr_l2h::HashModel;
+use proptest::prelude::*;
+
+fn train_all(data: &[f32], dim: usize, m: usize) -> Vec<Box<dyn HashModel>> {
+    let labels: Vec<u32> = (0..data.len() / dim).map(|i| (i % 3) as u32).collect();
+    let pairs = pairs_from_labels(&labels, 5);
+    vec![
+        Box::new(Lsh::train(data, dim, m, 1).unwrap()),
+        Box::new(Pcah::train(data, dim, m.min(dim)).unwrap()),
+        Box::new(Itq::train(data, dim, m.min(dim)).unwrap()),
+        Box::new(SpectralHashing::train(data, dim, m).unwrap()),
+        Box::new(KmeansHashing::train(data, dim, m.min(dim * 4)).unwrap()),
+        Box::new(Ssh::train(data, dim, m.min(dim), &pairs).unwrap()),
+        Box::new(IsoHash::train(data, dim, m.min(dim)).unwrap()),
+    ]
+}
+
+fn data_strategy() -> impl Strategy<Value = (usize, Vec<f32>)> {
+    (3usize..6, 40usize..90).prop_flat_map(|(dim, n)| {
+        (Just(dim), prop::collection::vec(-6.0f32..6.0, dim * n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn contract_holds_for_every_model((dim, data) in data_strategy()) {
+        let m = 3;
+        for model in train_all(&data, dim, m) {
+            let name = model.name();
+            prop_assert_eq!(model.dim(), dim, "{}", name);
+            let eff_m = model.code_length();
+            prop_assert!((1..=64).contains(&eff_m), "{}", name);
+            let span = if eff_m == 64 { u64::MAX } else { (1u64 << eff_m) - 1 };
+
+            for row in data.chunks_exact(dim).take(10) {
+                // encode is deterministic and within the code span.
+                let c1 = model.encode(row);
+                let c2 = model.encode(row);
+                prop_assert_eq!(c1, c2, "{} determinism", name);
+                prop_assert!(c1 <= span, "{} code {} exceeds span", name, c1);
+
+                // encode_query agrees with encode and provides one
+                // non-negative finite cost per bit.
+                let qe = model.encode_query(row);
+                prop_assert_eq!(qe.code, c1, "{} query/item code mismatch", name);
+                prop_assert_eq!(qe.flip_costs.len(), eff_m, "{}", name);
+                for &c in &qe.flip_costs {
+                    prop_assert!(c >= 0.0 && c.is_finite(), "{} bad flip cost {c}", name);
+                }
+            }
+
+            // Spectral norm, when exposed, is positive and finite.
+            if let Some(sn) = model.spectral_norm() {
+                prop_assert!(sn > 0.0 && sn.is_finite(), "{} spectral norm {sn}", name);
+            }
+        }
+    }
+
+    #[test]
+    fn similar_items_collide_more_than_distant_ones((dim, data) in data_strategy()) {
+        // Weak similarity-preservation smoke check shared by all models:
+        // a tiny perturbation of an item must flip no more bits on average
+        // than a full reflection of it.
+        let m = 4;
+        for model in train_all(&data, dim, m) {
+            let mut near_flips = 0u32;
+            let mut far_flips = 0u32;
+            for row in data.chunks_exact(dim).take(12) {
+                let base = model.encode(row);
+                let near: Vec<f32> = row.iter().map(|&x| x + 1e-4).collect();
+                let far: Vec<f32> = row.iter().map(|&x| -x + 0.5).collect();
+                near_flips += (base ^ model.encode(&near)).count_ones();
+                far_flips += (base ^ model.encode(&far)).count_ones();
+            }
+            prop_assert!(
+                near_flips <= far_flips,
+                "{}: near flips {} > far flips {}",
+                model.name(),
+                near_flips,
+                far_flips
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Small dense linear algebra for the `gqr` workspace.
+//!
+//! Learning-to-hash trainers (PCAH, ITQ, SH) and the OPQ comparator need a
+//! handful of dense kernels over small matrices: covariance eigendecomposition
+//! (`d×d`, `d ≤ ~1000`), SVD of `m×m` correlation matrices (`m ≤ 64`), QR for
+//! random rotations, and PCA. This crate implements exactly that subset with
+//! `f64` accumulation; it is not a general-purpose BLAS.
+//!
+//! All matrices are dense and row-major ([`Matrix`]). Decompositions:
+//!
+//! * [`eigen::symmetric_eigen`] — cyclic Jacobi for symmetric matrices
+//!   (unconditionally convergent, exact enough for covariance spectra).
+//! * [`svd::svd`] — thin SVD built from the Jacobi eigendecomposition of the
+//!   Gram matrix, with sign/orientation fix-ups.
+//! * [`qr::qr`] — modified Gram–Schmidt with re-orthogonalization.
+//! * [`pca::Pca`] — mean-centering + top-k principal directions.
+//!
+//! # Example
+//!
+//! ```
+//! use gqr_linalg::{Matrix, symmetric_eigen};
+//!
+//! let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+//! let e = symmetric_eigen(&a);
+//! assert!((e.values[0] - 3.0).abs() < 1e-10);
+//! assert!((e.values[1] - 1.0).abs() < 1e-10);
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod eigen;
+pub mod matrix;
+pub mod pca;
+pub mod qr;
+pub mod svd;
+pub mod vecops;
+
+pub use eigen::{symmetric_eigen, Eigen};
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use qr::{qr, random_orthonormal, random_rotation};
+pub use svd::{svd, Svd};

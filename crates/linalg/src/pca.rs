@@ -1,0 +1,177 @@
+//! Principal component analysis over `f32` row-major datasets.
+
+use crate::eigen::symmetric_eigen;
+use crate::matrix::Matrix;
+use crate::vecops::mean_rows;
+
+/// Fitted PCA model: dataset mean plus the top-`k` principal directions.
+///
+/// Directions are stored as rows of `components` (`k×d`), sorted by
+/// explained variance (descending). Projection of an item `x` is
+/// `components · (x − mean)`.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Pca {
+    /// Dataset mean (`d`).
+    pub mean: Vec<f64>,
+    /// Principal directions as rows (`k×d`).
+    pub components: Matrix,
+    /// Variance captured by each component, descending (`k`).
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit PCA on `n` rows of dimension `dim` stored contiguously in `data`,
+    /// keeping the top `k ≤ dim` components.
+    ///
+    /// Cost is `O(n·d²)` for the covariance plus a `d×d` Jacobi solve — fine
+    /// for the descriptor dimensionalities (`d ≤ ~1000`) used here. Panics if
+    /// `k > dim` or `data` is not a multiple of `dim`.
+    pub fn fit(data: &[f32], dim: usize, k: usize) -> Pca {
+        assert!(dim > 0 && k > 0 && k <= dim, "need 0 < k <= dim");
+        assert!(data.len().is_multiple_of(dim), "data length must be a multiple of dim");
+        let n = data.len() / dim;
+        assert!(n > 1, "PCA needs at least two rows");
+
+        let mean = mean_rows(data, dim);
+        // Covariance C = (1/(n-1)) Σ (x−µ)(x−µ)ᵀ, accumulated in f64.
+        let mut cov = Matrix::zeros(dim, dim);
+        let mut centered = vec![0.0f64; dim];
+        for row in data.chunks_exact(dim) {
+            for ((c, &x), m) in centered.iter_mut().zip(row).zip(&mean) {
+                *c = x as f64 - m;
+            }
+            for i in 0..dim {
+                let ci = centered[i];
+                if ci == 0.0 {
+                    continue;
+                }
+                // Upper triangle only; mirrored below.
+                let cov_row = cov.row_mut(i);
+                for j in i..dim {
+                    cov_row[j] += ci * centered[j];
+                }
+            }
+        }
+        let scale = 1.0 / (n as f64 - 1.0);
+        for i in 0..dim {
+            for j in i..dim {
+                let v = cov[(i, j)] * scale;
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+
+        let eig = symmetric_eigen(&cov);
+        let mut components = Matrix::zeros(k, dim);
+        for c in 0..k {
+            for r in 0..dim {
+                components[(c, r)] = eig.vectors[(r, c)];
+            }
+        }
+        Pca {
+            mean,
+            components,
+            explained_variance: eig.values[..k].to_vec(),
+        }
+    }
+
+    /// Project one item onto the principal directions.
+    pub fn project(&self, x: &[f32]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len());
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(&xi, m)| xi as f64 - m).collect();
+        self.components.matvec(&centered)
+    }
+
+    /// Project every row of a dataset; returns an `n×k` matrix.
+    pub fn project_all(&self, data: &[f32], dim: usize) -> Matrix {
+        assert_eq!(dim, self.mean.len());
+        let n = data.len() / dim;
+        let k = self.components.rows();
+        let mut out = Matrix::zeros(n, k);
+        for (i, row) in data.chunks_exact(dim).enumerate() {
+            let p = self.project(row);
+            out.row_mut(i).copy_from_slice(&p);
+        }
+        out
+    }
+
+    /// Number of retained components.
+    pub fn k(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2-D data stretched along the (1,1) diagonal: first component must align
+    /// with the diagonal and capture most of the variance.
+    #[test]
+    fn recovers_dominant_direction() {
+        let mut data = Vec::new();
+        for i in 0..200 {
+            let t = (i as f32 / 100.0) - 1.0; // [-1, 1)
+            let noise = ((i * 37) % 17) as f32 / 170.0 - 0.05;
+            data.push(10.0 * t + noise);
+            data.push(10.0 * t - noise);
+        }
+        let pca = Pca::fit(&data, 2, 2);
+        let c0 = pca.components.row(0);
+        let cos = (c0[0] + c0[1]).abs() / (2.0f64).sqrt();
+        assert!(cos > 0.999, "first PC not aligned with diagonal: {c0:?}");
+        assert!(pca.explained_variance[0] > 50.0 * pca.explained_variance[1]);
+    }
+
+    #[test]
+    fn projection_is_mean_centered() {
+        let data = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3 rows, dim 2
+        let pca = Pca::fit(&data, 2, 1);
+        // Projections of the three points must sum to ~0 (mean removed).
+        let s: f64 = data.chunks_exact(2).map(|r| pca.project(r)[0]).sum();
+        assert!(s.abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut data = Vec::new();
+        for i in 0..50 {
+            for j in 0..4 {
+                data.push(((i * (j + 3) + j * j) % 23) as f32 - 11.0);
+            }
+        }
+        let pca = Pca::fit(&data, 4, 3);
+        let ct = pca.components.transpose(); // d×k
+        assert!(ct.is_orthonormal(1e-8));
+    }
+
+    #[test]
+    fn explained_variance_descending() {
+        let mut data = Vec::new();
+        for i in 0..100 {
+            data.push(i as f32);
+            data.push((i % 7) as f32);
+            data.push((i % 3) as f32);
+        }
+        let pca = Pca::fit(&data, 3, 3);
+        assert!(pca.explained_variance[0] >= pca.explained_variance[1]);
+        assert!(pca.explained_variance[1] >= pca.explained_variance[2]);
+    }
+
+    #[test]
+    fn project_all_matches_project() {
+        let data = vec![1.0f32, 0.0, 0.0, 1.0, 1.0, 1.0, -1.0, 0.5];
+        let pca = Pca::fit(&data, 2, 2);
+        let all = pca.project_all(&data, 2);
+        for (i, row) in data.chunks_exact(2).enumerate() {
+            let p = pca.project(row);
+            assert!((all[(i, 0)] - p[0]).abs() < 1e-12);
+            assert!((all[(i, 1)] - p[1]).abs() < 1e-12);
+        }
+    }
+}

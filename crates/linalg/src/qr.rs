@@ -1,0 +1,165 @@
+//! QR factorization and random orthogonal matrices.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// QR factorization `A = Q · R` by modified Gram–Schmidt with one
+/// re-orthogonalization pass ("twice is enough").
+///
+/// For an `r×c` input with `r ≥ c`, returns thin `Q` (`r×c`, orthonormal
+/// columns) and upper-triangular `R` (`c×c`). Columns that collapse to zero
+/// (rank deficiency) are replaced with vectors orthogonal to the previous
+/// ones so `Q` is always orthonormal.
+pub fn qr(a: &Matrix) -> (Matrix, Matrix) {
+    let (rows, cols) = a.shape();
+    assert!(rows >= cols, "qr expects rows >= cols (thin QR)");
+    let mut q = a.clone();
+    let mut r = Matrix::zeros(cols, cols);
+
+    for j in 0..cols {
+        // Two orthogonalization passes for stability.
+        for _pass in 0..2 {
+            for i in 0..j {
+                let mut proj = 0.0;
+                for k in 0..rows {
+                    proj += q[(k, i)] * q[(k, j)];
+                }
+                r[(i, j)] += proj;
+                for k in 0..rows {
+                    let qki = q[(k, i)];
+                    q[(k, j)] -= proj * qki;
+                }
+            }
+        }
+        let mut norm = 0.0;
+        for k in 0..rows {
+            norm += q[(k, j)] * q[(k, j)];
+        }
+        let norm = norm.sqrt();
+        if norm > 1e-12 {
+            r[(j, j)] = norm;
+            for k in 0..rows {
+                q[(k, j)] /= norm;
+            }
+        } else {
+            // Rank-deficient column: substitute any unit vector orthogonal to
+            // the ones already produced; R gets a zero diagonal entry.
+            r[(j, j)] = 0.0;
+            'seed: for seed in 0..rows {
+                for k in 0..rows {
+                    q[(k, j)] = if k == seed { 1.0 } else { 0.0 };
+                }
+                for i in 0..j {
+                    let mut proj = 0.0;
+                    for k in 0..rows {
+                        proj += q[(k, i)] * q[(k, j)];
+                    }
+                    for k in 0..rows {
+                        let qki = q[(k, i)];
+                        q[(k, j)] -= proj * qki;
+                    }
+                }
+                let mut n2 = 0.0;
+                for k in 0..rows {
+                    n2 += q[(k, j)] * q[(k, j)];
+                }
+                if n2.sqrt() > 1e-6 {
+                    let n = n2.sqrt();
+                    for k in 0..rows {
+                        q[(k, j)] /= n;
+                    }
+                    break 'seed;
+                }
+            }
+        }
+    }
+    (q, r)
+}
+
+/// Random matrix with orthonormal columns (`rows×cols`, `rows ≥ cols`),
+/// drawn Haar-like by QR of an iid Gaussian matrix.
+pub fn random_orthonormal<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    assert!(rows >= cols);
+    let mut g = Matrix::zeros(rows, cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            g[(i, j)] = gaussian(rng);
+        }
+    }
+    let (mut q, r) = qr(&g);
+    // Fix signs by R's diagonal so the distribution is Haar.
+    for j in 0..cols {
+        if r[(j, j)] < 0.0 {
+            for i in 0..rows {
+                q[(i, j)] = -q[(i, j)];
+            }
+        }
+    }
+    q
+}
+
+/// Random `n×n` rotation (orthogonal matrix).
+pub fn random_rotation<R: Rng>(n: usize, rng: &mut R) -> Matrix {
+    random_orthonormal(n, n, rng)
+}
+
+/// Standard normal via Box–Muller (avoids pulling in `rand_distr`).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let (q, r) = qr(&a);
+        assert!(q.is_orthonormal(1e-10));
+        assert!(q.matmul(&r).distance(&a) < 1e-10);
+        // R upper triangular.
+        assert_eq!(r[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn qr_rank_deficient_still_orthonormal() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let (q, _r) = qr(&a);
+        assert!(q.is_orthonormal(1e-8));
+    }
+
+    #[test]
+    fn random_rotation_is_orthogonal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 16] {
+            let rot = random_rotation(n, &mut rng);
+            assert!(rot.is_orthonormal(1e-9), "n={n}");
+            // Determinant ±1 implied by orthogonality; rotation preserves norms.
+            let v: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+            let rv = rot.matvec(&v);
+            let n1: f64 = v.iter().map(|x| x * x).sum();
+            let n2: f64 = rv.iter().map(|x| x * x).sum();
+            assert!((n1 - n2).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_standard() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

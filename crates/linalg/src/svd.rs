@@ -1,0 +1,185 @@
+//! Thin singular value decomposition built on the Jacobi eigensolver.
+
+use crate::eigen::symmetric_eigen;
+use crate::matrix::Matrix;
+
+/// Thin SVD `A = U · diag(singular_values) · Vᵀ`.
+///
+/// For an `r×c` input, `u` is `r×k`, `v` is `c×k` with `k = min(r, c)`.
+/// Singular values are non-negative and sorted descending.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors as columns (`r×k`).
+    pub u: Matrix,
+    /// Singular values, descending, length `k`.
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors as columns (`c×k`).
+    pub v: Matrix,
+}
+
+/// Compute the thin SVD of `a` via the eigendecomposition of the smaller Gram
+/// matrix (`AᵀA` or `AAᵀ`).
+///
+/// The Gram-matrix route squares the condition number, which is fine here:
+/// the workspace only decomposes small, well-conditioned correlation matrices
+/// (ITQ's `m×m` update, OPQ's `d×d` rotation solve). Singular vectors paired
+/// with numerically-zero singular values are completed to an orthonormal
+/// basis by Gram–Schmidt against the already-recovered ones.
+pub fn svd(a: &Matrix) -> Svd {
+    let (r, c) = a.shape();
+    assert!(r > 0 && c > 0, "svd of empty matrix");
+    if r >= c {
+        // Eigen of AᵀA (c×c): A v_i = σ_i u_i.
+        let gram = a.transpose().matmul(a);
+        let e = symmetric_eigen(&gram);
+        let k = c;
+        let singular_values: Vec<f64> = e.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+        let v = e.vectors; // c×c
+        let mut u = Matrix::zeros(r, k);
+        let scale_floor = singular_values.first().copied().unwrap_or(0.0) * 1e-9;
+        let mut degenerate = Vec::new();
+        for i in 0..k {
+            let vi = v.col(i);
+            let avi = a.matvec(&vi);
+            if singular_values[i] > scale_floor && singular_values[i] > 0.0 {
+                for (row, &x) in avi.iter().enumerate() {
+                    u[(row, i)] = x / singular_values[i];
+                }
+            } else {
+                degenerate.push(i);
+            }
+        }
+        complete_basis(&mut u, &degenerate);
+        // `A·v/σ` amplifies eigenvector error by σ_max/σ, so columns paired
+        // with small singular values drift from orthogonality. One MGS QR
+        // pass (columns are already ordered by descending σ, so the accurate
+        // leading columns are untouched) restores an orthonormal U.
+        let (q, _) = crate::qr::qr(&u);
+        Svd { u: q, singular_values, v }
+    } else {
+        // Transpose trick: svd(Aᵀ) then swap U/V.
+        let s = svd(&a.transpose());
+        Svd { u: s.v, singular_values: s.singular_values, v: s.u }
+    }
+}
+
+/// Fill the listed columns of `m` with unit vectors orthogonal to all other
+/// columns (modified Gram–Schmidt against the full matrix).
+fn complete_basis(m: &mut Matrix, cols: &[usize]) {
+    if cols.is_empty() {
+        return;
+    }
+    let (rows, k) = m.shape();
+    for &ci in cols {
+        // Try canonical basis vectors until one survives orthogonalization.
+        'attempt: for seed in 0..rows {
+            let mut cand = vec![0.0f64; rows];
+            cand[seed] = 1.0;
+            for other in 0..k {
+                if other == ci {
+                    continue;
+                }
+                let proj: f64 = (0..rows).map(|r| cand[r] * m[(r, other)]).sum();
+                for r in 0..rows {
+                    cand[r] -= proj * m[(r, other)];
+                }
+            }
+            let norm: f64 = cand.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-6 {
+                for r in 0..rows {
+                    m[(r, ci)] = cand[r] / norm;
+                }
+                break 'attempt;
+            }
+        }
+    }
+}
+
+/// Solve the orthogonal Procrustes problem: the orthogonal `R` minimizing
+/// `‖A − B·R‖_F`, i.e. `R = V·Uᵀ` where `BᵀA = U·Σ·Vᵀ`... with the convention
+/// used by ITQ's update step: given `C = BᵀV` (correlation between target
+/// codes and projections), the optimal rotation is `R = S·Ŝᵀ` for
+/// `C = Ŝ·Ω·Sᵀ`.
+///
+/// Concretely: returns the orthogonal matrix `R = V_svd · U_svdᵀ` of
+/// `svd(c)`, which maximizes `trace(Rᵀ·c)` over orthogonal `R`... i.e. the
+/// nearest orthogonal matrix to `c` (polar factor).
+pub fn nearest_orthogonal(c: &Matrix) -> Matrix {
+    assert_eq!(c.rows(), c.cols(), "polar factor needs a square matrix");
+    let s = svd(c);
+    s.u.matmul(&s.v.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(s: &Svd) -> Matrix {
+        let k = s.singular_values.len();
+        let mut sig = Matrix::zeros(k, k);
+        for i in 0..k {
+            sig[(i, i)] = s.singular_values[i];
+        }
+        s.u.matmul(&sig).matmul(&s.v.transpose())
+    }
+
+    #[test]
+    fn svd_of_diagonal() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        let s = svd(&a);
+        assert!((s.singular_values[0] - 4.0).abs() < 1e-10);
+        assert!((s.singular_values[1] - 3.0).abs() < 1e-10);
+        assert!(reconstruct(&s).distance(&a) < 1e-9);
+    }
+
+    #[test]
+    fn svd_rectangular_tall() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let s = svd(&a);
+        assert_eq!(s.u.shape(), (3, 2));
+        assert_eq!(s.v.shape(), (2, 2));
+        assert!(reconstruct(&s).distance(&a) < 1e-9);
+        assert!(s.u.is_orthonormal(1e-9));
+        assert!(s.v.is_orthonormal(1e-9));
+    }
+
+    #[test]
+    fn svd_rectangular_wide() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let s = svd(&a);
+        assert_eq!(s.u.shape(), (2, 2));
+        assert_eq!(s.v.shape(), (3, 2));
+        assert!(reconstruct(&s).distance(&a) < 1e-9);
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Rank-1 matrix: second singular value 0, basis still orthonormal.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let s = svd(&a);
+        assert!(s.singular_values[1].abs() < 1e-9);
+        assert!(s.u.is_orthonormal(1e-8));
+        assert!(reconstruct(&s).distance(&a) < 1e-8);
+    }
+
+    #[test]
+    fn singular_values_nonnegative_descending() {
+        let a = Matrix::from_rows(&[&[0.0, -2.0], &[1.0, 0.0]]);
+        let s = svd(&a);
+        assert!(s.singular_values[0] >= s.singular_values[1]);
+        assert!(s.singular_values[1] >= 0.0);
+        assert!((s.singular_values[0] - 2.0).abs() < 1e-10);
+        assert!((s.singular_values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn nearest_orthogonal_of_rotationish() {
+        // Slightly perturbed rotation should snap back to an orthogonal matrix.
+        let t = 0.3f64;
+        let a = Matrix::from_rows(&[&[t.cos() + 0.01, -t.sin()], &[t.sin(), t.cos() - 0.02]]);
+        let r = nearest_orthogonal(&a);
+        assert!(r.is_orthonormal(1e-9));
+        // Should be close to the original rotation.
+        assert!(r[(0, 0)] > 0.9 && r[(1, 1)] > 0.9);
+    }
+}

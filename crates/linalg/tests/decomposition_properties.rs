@@ -1,0 +1,122 @@
+//! Property-based tests of the decomposition kernels: reconstruction,
+//! orthogonality, and ordering invariants on random matrices.
+
+use gqr_linalg::{qr, svd, symmetric_eigen, Matrix};
+use proptest::prelude::*;
+
+/// Random square matrix entries in [-5, 5].
+fn square(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f64..5.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data))
+}
+
+/// Random rectangular matrix.
+fn rect(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f64..5.0, r * c)
+        .prop_map(move |data| Matrix::from_vec(r, c, data))
+}
+
+fn symmetrize(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut s = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            s[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn eigen_reconstructs_symmetric_matrices(a in square(5)) {
+        let s = symmetrize(&a);
+        let e = symmetric_eigen(&s);
+        // A = V Λ Vᵀ
+        let n = 5;
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        let scale = s.frobenius_norm().max(1.0);
+        prop_assert!(rec.distance(&s) < 1e-8 * scale, "reconstruction error too large");
+        prop_assert!(e.vectors.is_orthonormal(1e-8));
+        // Eigenvalues sorted descending.
+        prop_assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn eigen_trace_equals_eigenvalue_sum(a in square(4)) {
+        let s = symmetrize(&a);
+        let e = symmetric_eigen(&s);
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((sum - s.trace()).abs() < 1e-8 * s.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn svd_reconstructs_and_is_orthonormal(a in rect(6, 3)) {
+        let s = svd(&a);
+        let k = 3;
+        let mut sig = Matrix::zeros(k, k);
+        for i in 0..k {
+            sig[(i, i)] = s.singular_values[i];
+        }
+        let rec = s.u.matmul(&sig).matmul(&s.v.transpose());
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(rec.distance(&a) < 1e-7 * scale);
+        prop_assert!(s.u.is_orthonormal(1e-7));
+        prop_assert!(s.v.is_orthonormal(1e-7));
+        prop_assert!(s.singular_values.iter().all(|&v| v >= 0.0));
+        prop_assert!(s.singular_values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn svd_top_singular_value_matches_spectral_norm(a in rect(4, 4)) {
+        let s = svd(&a);
+        let pn = a.spectral_norm();
+        let scale = s.singular_values[0].max(1.0);
+        prop_assert!(
+            (s.singular_values[0] - pn).abs() < 1e-5 * scale,
+            "svd σ_max {} vs power-iteration {}",
+            s.singular_values[0],
+            pn
+        );
+    }
+
+    #[test]
+    fn qr_reconstructs_with_orthonormal_q(a in rect(5, 3)) {
+        let (q, r) = qr(&a);
+        prop_assert!(q.is_orthonormal(1e-8));
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(q.matmul(&r).distance(&a) < 1e-8 * scale);
+        // R upper triangular.
+        for i in 0..3 {
+            for j in 0..i {
+                prop_assert!(r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_orthogonal_is_orthogonal_and_idempotent(a in square(3)) {
+        // Skip near-singular inputs where the polar factor is ill-defined.
+        let s = svd(&a);
+        prop_assume!(s.singular_values[2] > 1e-3);
+        let r1 = gqr_linalg::svd::nearest_orthogonal(&a);
+        prop_assert!(r1.is_orthonormal(1e-7));
+        let r2 = gqr_linalg::svd::nearest_orthogonal(&r1);
+        prop_assert!(r1.distance(&r2) < 1e-6, "polar factor of an orthogonal matrix is itself");
+    }
+
+    #[test]
+    fn spectral_norm_bounds_matvec(a in rect(4, 6), v in prop::collection::vec(-3.0f64..3.0, 6)) {
+        let sn = a.spectral_norm();
+        let av = a.matvec(&v);
+        let nv: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nav: f64 = av.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(nav <= sn * nv * (1.0 + 1e-8) + 1e-9, "‖Av‖ = {nav} > σ·‖v‖ = {}", sn * nv);
+    }
+}

@@ -1,0 +1,278 @@
+//! Query-directed perturbation sequences (Lv et al. §4.4).
+//!
+//! For a query, each E2LSH function contributes two candidate perturbations:
+//! `δ = −1` (step to the bucket below, cost = squared distance to the lower
+//! boundary) and `δ = +1` (bucket above). Sorting all `2M` candidates by
+//! cost and expanding subsets with the *shift*/*expand* operations on a
+//! min-heap yields perturbation sets in exactly increasing total score.
+//! Sets that use both `+1` and `−1` of the same function are **invalid**
+//! and skipped at emission (their children must still be generated).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A query's projection state for one table: integer code plus boundary
+/// distances per hash function.
+#[derive(Clone, Debug)]
+pub struct QueryProjection {
+    /// Integer hash values `h_i = ⌊f_i/W⌋`, length `M`.
+    pub codes: Vec<i32>,
+    /// `(function index, delta, squared boundary distance)` sorted ascending
+    /// by distance, length `2M`.
+    sorted: Vec<(u32, i8, f64)>,
+    /// `partner[j]` = position of the opposite-delta entry of the same
+    /// function.
+    partner: Vec<u32>,
+}
+
+impl QueryProjection {
+    /// Build from raw projection values `f_i` and bucket width `W`.
+    /// `codes[i] = floor(f_i / w)`; boundary distances derive from the
+    /// fractional parts.
+    pub fn new(f: &[f64], w: f64) -> QueryProjection {
+        assert!(w > 0.0, "bucket width must be positive");
+        let m = f.len();
+        assert!((1..=32).contains(&m), "1..=32 hash functions per table");
+        let mut codes = Vec::with_capacity(m);
+        let mut entries: Vec<(u32, i8, f64)> = Vec::with_capacity(2 * m);
+        for (i, &fi) in f.iter().enumerate() {
+            let h = (fi / w).floor();
+            codes.push(h as i32);
+            let down = fi - h * w; // distance to lower boundary, in [0, w)
+            let up = w - down;
+            entries.push((i as u32, -1, down * down));
+            entries.push((i as u32, 1, up * up));
+        }
+        entries.sort_by(|a, b| {
+            a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1))
+        });
+        let mut partner = vec![0u32; 2 * m];
+        for (pos, &(i, d, _)) in entries.iter().enumerate() {
+            for (pos2, &(i2, d2, _)) in entries.iter().enumerate() {
+                if i2 == i && d2 == -d {
+                    partner[pos] = pos2 as u32;
+                }
+            }
+        }
+        QueryProjection { codes, sorted: entries, partner }
+    }
+
+    /// Number of hash functions `M`.
+    pub fn m(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+/// A perturbation set: indices into the sorted candidate list, as a bitmask
+/// (≤ 64 candidates).
+#[derive(Copy, Clone, Debug)]
+struct SetEntry {
+    score: f64,
+    mask: u64,
+    /// Highest set index (the "last" element the shift/expand operate on).
+    max_idx: u32,
+}
+
+impl PartialEq for SetEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.mask == other.mask
+    }
+}
+
+impl Eq for SetEntry {}
+
+impl Ord for SetEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on score via reversal; mask tiebreak for determinism.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.mask.cmp(&self.mask))
+    }
+}
+
+impl PartialOrd for SetEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Iterator over perturbed bucket keys for one table, in non-decreasing
+/// perturbation score. The first emission is the query's own (unperturbed)
+/// bucket with score 0.
+pub struct PerturbationSequence<'a> {
+    proj: &'a QueryProjection,
+    heap: BinaryHeap<SetEntry>,
+    emitted_home: bool,
+    /// Scratch for building bucket keys.
+    key: Vec<i32>,
+    /// Statistics: generated sets that were invalid (the overhead GQR
+    /// avoids — see crate docs).
+    pub invalid_generated: usize,
+}
+
+impl<'a> PerturbationSequence<'a> {
+    /// Start a sequence for `proj`.
+    pub fn new(proj: &'a QueryProjection) -> PerturbationSequence<'a> {
+        let mut heap = BinaryHeap::new();
+        if !proj.sorted.is_empty() {
+            heap.push(SetEntry { score: proj.sorted[0].2, mask: 1, max_idx: 0 });
+        }
+        PerturbationSequence {
+            proj,
+            heap,
+            emitted_home: false,
+            key: Vec::with_capacity(proj.m()),
+            invalid_generated: 0,
+        }
+    }
+
+    /// A set is valid when no function appears with both deltas.
+    fn is_valid(&self, mask: u64) -> bool {
+        let mut m = mask;
+        while m != 0 {
+            let j = m.trailing_zeros();
+            if mask & (1u64 << self.proj.partner[j as usize]) != 0 {
+                return false;
+            }
+            m &= m - 1;
+        }
+        true
+    }
+
+    /// Materialize the bucket key for a perturbation mask.
+    fn key_for(&mut self, mask: u64) -> &[i32] {
+        self.key.clear();
+        self.key.extend_from_slice(&self.proj.codes);
+        let mut m = mask;
+        while m != 0 {
+            let j = m.trailing_zeros() as usize;
+            let (func, delta, _) = self.proj.sorted[j];
+            self.key[func as usize] += delta as i32;
+            m &= m - 1;
+        }
+        &self.key
+    }
+
+    /// Next `(bucket key, score)`; `None` when the candidate space is
+    /// exhausted. Note Multi-Probe only reaches buckets within ±1 per hash
+    /// function — unlike GQR it cannot enumerate the whole table.
+    pub fn next_bucket(&mut self) -> Option<(Vec<i32>, f64)> {
+        if !self.emitted_home {
+            self.emitted_home = true;
+            return Some((self.proj.codes.clone(), 0.0));
+        }
+        let n = self.proj.sorted.len();
+        loop {
+            let top = self.heap.pop()?;
+            let j = top.max_idx as usize;
+            if j + 1 < n {
+                let step = self.proj.sorted[j + 1].2;
+                // Expand: add candidate j+1.
+                self.heap.push(SetEntry {
+                    score: top.score + step,
+                    mask: top.mask | (1u64 << (j + 1)),
+                    max_idx: top.max_idx + 1,
+                });
+                // Shift: move candidate j to j+1.
+                self.heap.push(SetEntry {
+                    score: top.score + step - self.proj.sorted[j].2,
+                    mask: (top.mask & !(1u64 << j)) | (1u64 << (j + 1)),
+                    max_idx: top.max_idx + 1,
+                });
+            }
+            if self.is_valid(top.mask) {
+                let score = top.score;
+                let key = self.key_for(top.mask).to_vec();
+                return Some((key, score));
+            }
+            self.invalid_generated += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proj(f: &[f64], w: f64) -> QueryProjection {
+        QueryProjection::new(f, w)
+    }
+
+    #[test]
+    fn codes_are_floor_quantization() {
+        let p = proj(&[0.4, 1.9, -0.3], 1.0);
+        assert_eq!(p.codes, vec![0, 1, -1]);
+    }
+
+    #[test]
+    fn home_bucket_first_then_nondecreasing_scores() {
+        let p = proj(&[0.4, 1.9, -0.3], 1.0);
+        let mut seq = PerturbationSequence::new(&p);
+        let (home, s0) = seq.next_bucket().unwrap();
+        assert_eq!(home, p.codes);
+        assert_eq!(s0, 0.0);
+        let mut last = 0.0;
+        let mut count = 0;
+        while let Some((_, s)) = seq.next_bucket() {
+            assert!(s >= last - 1e-12, "scores must not decrease");
+            last = s;
+            count += 1;
+            if count > 200 {
+                break;
+            }
+        }
+        assert!(count > 5, "several perturbations reachable");
+    }
+
+    #[test]
+    fn cheapest_perturbation_flips_nearest_boundary() {
+        // f = 1.95 with W = 1: distance up = 0.05 → first perturbation is +1
+        // on that function.
+        let p = proj(&[0.5, 1.95], 1.0);
+        let mut seq = PerturbationSequence::new(&p);
+        seq.next_bucket(); // home
+        let (key, score) = seq.next_bucket().unwrap();
+        assert_eq!(key, vec![0, 2], "bump the function closest to a boundary");
+        assert!((score - 0.0025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_invalid_sets_are_emitted_and_each_key_once_within_horizon() {
+        let p = proj(&[0.3, 0.6, 1.2, -0.9], 1.0);
+        let mut seq = PerturbationSequence::new(&p);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let Some((key, _)) = seq.next_bucket() else { break };
+            // Emitted keys differ from home by at most ±1 per coordinate.
+            for (k, h) in key.iter().zip(&p.codes) {
+                assert!((k - h).abs() <= 1);
+            }
+            assert!(seen.insert(key.clone()), "duplicate key {key:?}");
+        }
+        assert!(
+            seq.invalid_generated > 0,
+            "the ±1-conflict sets the paper mentions must occur and be skipped"
+        );
+    }
+
+    #[test]
+    fn exhausts_at_3_pow_m_keys() {
+        // With M functions the reachable keys are exactly 3^M (δ ∈ {−1,0,1}).
+        let p = proj(&[0.25, 0.75], 1.0);
+        let mut seq = PerturbationSequence::new(&p);
+        let mut count = 0;
+        while seq.next_bucket().is_some() {
+            count += 1;
+            assert!(count <= 9, "must terminate at 3^2 keys");
+        }
+        assert_eq!(count, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_width_rejected() {
+        let _ = proj(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the Multi-Probe perturbation sequence: compared
+//! against brute-force enumeration of all `3^M` perturbed keys.
+
+use gqr_mplsh::{PerturbationSequence, QueryProjection};
+use proptest::prelude::*;
+
+/// Brute force: every delta vector in {−1, 0, 1}^M with its score.
+fn brute_force(f: &[f64], w: f64) -> Vec<(Vec<i32>, f64)> {
+    let m = f.len();
+    let codes: Vec<i32> = f.iter().map(|&fi| (fi / w).floor() as i32).collect();
+    let down: Vec<f64> = f
+        .iter()
+        .zip(&codes)
+        .map(|(&fi, &h)| {
+            let d = fi - h as f64 * w;
+            d * d
+        })
+        .collect();
+    let up: Vec<f64> = f
+        .iter()
+        .zip(&codes)
+        .map(|(&fi, &h)| {
+            let d = w - (fi - h as f64 * w);
+            d * d
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for combo in 0..3usize.pow(m as u32) {
+        let mut c = combo;
+        let mut key = codes.clone();
+        let mut score = 0.0;
+        for i in 0..m {
+            match c % 3 {
+                0 => {}
+                1 => {
+                    key[i] -= 1;
+                    score += down[i];
+                }
+                _ => {
+                    key[i] += 1;
+                    score += up[i];
+                }
+            }
+            c /= 3;
+        }
+        out.push((key, score));
+    }
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sequence_matches_brute_force_scores(
+        f in prop::collection::vec(-20.0f64..20.0, 1..5),
+        w in 0.3f64..4.0,
+    ) {
+        let proj = QueryProjection::new(&f, w);
+        let mut seq = PerturbationSequence::new(&proj);
+        let expect = brute_force(&f, w);
+        let mut got = Vec::new();
+        while let Some((key, score)) = seq.next_bucket() {
+            got.push((key, score));
+        }
+        prop_assert_eq!(got.len(), expect.len(), "must emit exactly 3^M keys");
+        for ((_, gs), (_, es)) in got.iter().zip(&expect) {
+            prop_assert!((gs - es).abs() < 1e-9, "score sequence diverges: {gs} vs {es}");
+        }
+        // Every key appears exactly once.
+        let keys: std::collections::HashSet<Vec<i32>> = got.iter().map(|(k, _)| k.clone()).collect();
+        prop_assert_eq!(keys.len(), got.len());
+    }
+
+    #[test]
+    fn scores_never_decrease(
+        f in prop::collection::vec(-50.0f64..50.0, 1..7),
+        w in 0.5f64..3.0,
+    ) {
+        let proj = QueryProjection::new(&f, w);
+        let mut seq = PerturbationSequence::new(&proj);
+        let mut last = -1.0f64;
+        let mut count = 0;
+        while let Some((_, s)) = seq.next_bucket() {
+            prop_assert!(s >= last - 1e-9);
+            last = s;
+            count += 1;
+            if count > 500 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn perturbed_keys_stay_within_one_step(
+        f in prop::collection::vec(-9.0f64..9.0, 2..6),
+        w in 0.5f64..2.0,
+    ) {
+        let proj = QueryProjection::new(&f, w);
+        let home = proj.codes.clone();
+        let mut seq = PerturbationSequence::new(&proj);
+        for _ in 0..64 {
+            let Some((key, _)) = seq.next_bucket() else { break };
+            for (k, h) in key.iter().zip(&home) {
+                prop_assert!((k - h).abs() <= 1);
+            }
+        }
+    }
+}

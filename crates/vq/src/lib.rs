@@ -1,0 +1,36 @@
+//! Vector-quantization comparators for the `gqr` reproduction.
+//!
+//! §6.5 of the paper compares PCAH/ITQ + GQR against **OPQ + IMI**, the
+//! state-of-the-art vector-quantization pipeline of its day. This crate
+//! implements that pipeline from scratch:
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding and empty-cluster
+//!   reseeding (also reused by K-means hashing in `gqr-l2h`).
+//! * [`pq`] — product quantization: per-subspace codebooks + asymmetric
+//!   distance computation.
+//! * [`opq`] — optimized product quantization (non-parametric): alternating
+//!   rotation/codebook optimization via orthogonal Procrustes.
+//! * [`imi`] — the inverted multi-index with the multi-sequence algorithm
+//!   that visits cells in ascending lower-bound distance.
+//!
+//! # Example
+//!
+//! ```
+//! use gqr_vq::kmeans::{kmeans, KMeansOptions};
+//!
+//! let data = vec![0.0f32, 0.0, 0.1, 0.0, 10.0, 10.0, 10.1, 10.0];
+//! let km = kmeans(&data, 2, 2, &KMeansOptions { seed: 1, ..Default::default() });
+//! assert_eq!(km.centroids.len(), 4); // 2 centroids × dim 2
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod imi;
+pub mod kmeans;
+pub mod opq;
+pub mod pq;
+
+pub use imi::InvertedMultiIndex;
+pub use kmeans::{kmeans, KMeans, KMeansOptions};
+pub use opq::Opq;
+pub use pq::ProductQuantizer;

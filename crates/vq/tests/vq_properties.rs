@@ -1,0 +1,125 @@
+//! Property-based tests of the vector-quantization stack.
+
+use gqr_vq::imi::{ImiOptions, InvertedMultiIndex};
+use gqr_vq::kmeans::{kmeans, KMeansOptions};
+use gqr_vq::pq::{PqOptions, ProductQuantizer};
+use proptest::prelude::*;
+
+/// Random dataset: n rows × dim, values in [-8, 8].
+fn dataset() -> impl Strategy<Value = (usize, Vec<f32>)> {
+    (2usize..5, 24usize..64).prop_flat_map(|(dim, n)| {
+        (Just(dim), prop::collection::vec(-8.0f32..8.0, dim * n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn kmeans_assignments_are_nearest((dim, data) in dataset()) {
+        let k = 4;
+        let km = kmeans(&data, dim, k, &KMeansOptions { seed: 1, ..Default::default() });
+        for (i, row) in data.chunks_exact(dim).enumerate() {
+            let assigned = km.assignments[i];
+            let d_assigned = gqr_linalg::vecops::sq_dist_f32(row, km.centroid(assigned as usize));
+            for c in 0..k {
+                let d = gqr_linalg::vecops::sq_dist_f32(row, km.centroid(c));
+                prop_assert!(d_assigned <= d + 1e-4, "item {i} not assigned to nearest centroid");
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_matches_assignments((dim, data) in dataset()) {
+        let km = kmeans(&data, dim, 3, &KMeansOptions { seed: 2, ..Default::default() });
+        let manual: f64 = data
+            .chunks_exact(dim)
+            .zip(&km.assignments)
+            .map(|(row, &a)| gqr_linalg::vecops::sq_dist_f32(row, km.centroid(a as usize)) as f64)
+            .sum();
+        prop_assert!((manual - km.inertia).abs() < 1e-4 * manual.max(1.0));
+    }
+
+    #[test]
+    fn pq_adc_equals_distance_to_reconstruction((dim, data) in dataset()) {
+        prop_assume!(dim >= 2);
+        let pq = ProductQuantizer::train(
+            &data,
+            dim,
+            2,
+            &PqOptions { ks: 4, kmeans: KMeansOptions { seed: 3, ..Default::default() } },
+        );
+        let q = &data[..dim];
+        let table = pq.distance_table(q);
+        for row in data.chunks_exact(dim).take(10) {
+            let code = pq.encode(row);
+            let rec = pq.decode(&code);
+            let exact = gqr_linalg::vecops::sq_dist_f32(q, &rec);
+            let adc = ProductQuantizer::adc(&table, &code);
+            prop_assert!((exact - adc).abs() < 1e-2 * exact.max(1.0) + 1e-3);
+        }
+    }
+
+    #[test]
+    fn pq_reconstruction_error_is_bounded_by_data_spread((dim, data) in dataset()) {
+        prop_assume!(dim >= 2);
+        let pq = ProductQuantizer::train(
+            &data,
+            dim,
+            2,
+            &PqOptions { ks: 8.min(data.len() / dim), kmeans: KMeansOptions { seed: 4, ..Default::default() } },
+        );
+        // Quantizing to the nearest of ≥ 8 codewords can never be worse than
+        // the spread around the global mean (k-means with k=1).
+        let n = data.len() / dim;
+        let mut mean = vec![0.0f32; dim];
+        for row in data.chunks_exact(dim) {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x / n as f32;
+            }
+        }
+        let spread: f64 = data
+            .chunks_exact(dim)
+            .map(|row| gqr_linalg::vecops::sq_dist_f32(row, &mean) as f64)
+            .sum::<f64>()
+            / n as f64;
+        prop_assert!(pq.quantization_error(&data) <= spread + 1e-6);
+    }
+
+    #[test]
+    fn imi_scores_never_decrease_and_cover_all_cells((dim, data) in dataset()) {
+        prop_assume!(dim >= 2);
+        let k = 3;
+        let imi = InvertedMultiIndex::build(
+            &data,
+            dim,
+            &ImiOptions { k, kmeans: KMeansOptions { seed: 5, ..Default::default() } },
+        );
+        let q = &data[..dim];
+        let mut last = f32::NEG_INFINITY;
+        let mut count = 0;
+        for (_, _, score) in imi.traverse(q) {
+            prop_assert!(score >= last - 1e-5);
+            last = score;
+            count += 1;
+        }
+        prop_assert_eq!(count, k * k);
+    }
+
+    #[test]
+    fn imi_first_cell_is_nearest_cell((dim, data) in dataset()) {
+        prop_assume!(dim >= 2);
+        let k = 3;
+        let imi = InvertedMultiIndex::build(
+            &data,
+            dim,
+            &ImiOptions { k, kmeans: KMeansOptions { seed: 6, ..Default::default() } },
+        );
+        let q = &data[..dim];
+        let mut cells: Vec<(usize, usize, f32)> = imi.traverse(q).collect();
+        let first = cells.remove(0);
+        for (_, _, score) in cells {
+            prop_assert!(first.2 <= score + 1e-5);
+        }
+    }
+}

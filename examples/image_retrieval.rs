@@ -1,0 +1,79 @@
+//! Content-based image retrieval: the workload the paper's introduction
+//! motivates (similar-item retrieval over GIST-like descriptors).
+//!
+//! Simulates a retrieval service over one million-scale descriptor set
+//! (scaled down by default), builds a PCAH index — the cheapest trainer —
+//! and serves top-20 "similar image" queries with GQR, reporting the
+//! recall/latency trade-off at several candidate budgets.
+//!
+//! ```sh
+//! cargo run --release --example image_retrieval
+//! ```
+
+use gqr::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let ds = DatasetSpec::gist1m().generate(1);
+    let m = 13; // ≈ log2(100_000 / 10)
+    println!("catalog: {} descriptors × {} dims", ds.n(), ds.dim());
+
+    let t0 = Instant::now();
+    let model = Pcah::train(ds.as_slice(), ds.dim(), m).expect("training");
+    println!("PCAH trained in {:?} (no iterations, just one eigendecomposition)", t0.elapsed());
+
+    let t0 = Instant::now();
+    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    println!("indexed in {:?} ({} buckets)", t0.elapsed(), table.n_buckets());
+
+    let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+    let queries = ds.sample_queries(200, 99);
+    let truth = brute_force_knn(&ds, &queries, 20, 0);
+
+    println!("\n  budget   recall@20   p50 latency");
+    for budget in [200usize, 1_000, 5_000, 20_000] {
+        let params = SearchParams {
+            k: 20,
+            n_candidates: budget,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            ..Default::default()
+        };
+        let mut latencies = Vec::with_capacity(queries.len());
+        let mut found = 0usize;
+        for (q, t) in queries.iter().zip(&truth) {
+            let start = Instant::now();
+            let res = engine.search(q, &params);
+            latencies.push(start.elapsed());
+            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+        }
+        latencies.sort();
+        let recall = found as f64 / (20 * queries.len()) as f64;
+        println!(
+            "  {budget:>6}   {recall:>9.3}   {:?}",
+            latencies[latencies.len() / 2]
+        );
+    }
+
+    // A single "more like this" lookup, end to end.
+    let probe_img = ds.row(1234).to_vec();
+    let params = SearchParams {
+        k: 5,
+        n_candidates: 2_000,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        early_stop: false,
+        ..Default::default()
+    };
+    let res = engine.search(&probe_img, &params);
+    println!("\nimages most similar to #1234 (squared distances):");
+    for (id, dist) in &res.neighbors {
+        println!("  #{id:<7} {dist:.4}");
+    }
+    println!(
+        "probed {} buckets, evaluated {} of {} descriptors ({:.2}%)",
+        res.stats.buckets_probed,
+        res.stats.items_evaluated,
+        ds.n(),
+        100.0 * res.stats.items_evaluated as f64 / ds.n() as f64
+    );
+}

@@ -1,0 +1,71 @@
+//! Memory-constrained deployment: one GQR table versus many GHR tables.
+//!
+//! The paper's §6.3.5 argument as an operational decision: if your service
+//! has a memory budget, multi-table hash lookup buys recall with RAM, while
+//! GQR reaches the same recall with a single table. This example prices
+//! both options at equal recall.
+//!
+//! ```sh
+//! cargo run --release --example memory_budget
+//! ```
+
+use gqr::core::multi_table::MultiTableIndex;
+use gqr::l2h::itq::{Itq, ItqOptions};
+use gqr::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let ds = DatasetSpec::tiny5m().generate(17);
+    let m = 14;
+    println!("dataset: {} × {}, {}-bit codes", ds.n(), ds.dim(), m);
+
+    // Train one model per table with different rotation seeds.
+    let n_tables = 8;
+    let models: Vec<Itq> = (0..n_tables)
+        .map(|s| {
+            Itq::train_with(
+                ds.as_slice(),
+                ds.dim(),
+                m,
+                &ItqOptions { seed: s as u64, ..Default::default() },
+            )
+            .expect("training")
+        })
+        .collect();
+
+    let queries = ds.sample_queries(100, 3);
+    let truth = brute_force_knn(&ds, &queries, 20, 0);
+    let budget = ds.n() / 50;
+
+    let measure = |index: &MultiTableIndex<'_>, strategy: ProbeStrategy, label: &str| {
+        let params = SearchParams { k: 20, n_candidates: budget, strategy, early_stop: false, ..Default::default() };
+        let start = Instant::now();
+        let mut found = 0usize;
+        for (q, t) in queries.iter().zip(&truth) {
+            let res = index.search(q, &params);
+            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+        }
+        let recall = found as f64 / (20 * queries.len()) as f64;
+        println!(
+            "  {label:<12} recall@20 {recall:.3}  {:>7.1} ms total  {:>6.2} MB of tables",
+            start.elapsed().as_secs_f64() * 1e3,
+            index.approx_bytes() as f64 / 1e6
+        );
+        recall
+    };
+
+    println!("\ncandidate budget {budget} items/query, 100 queries:");
+    let single = MultiTableIndex::build(vec![&models[0] as &dyn HashModel], ds.as_slice(), ds.dim());
+    let gqr_recall = measure(&single, ProbeStrategy::GenerateQdRanking, "GQR × 1");
+    measure(&single, ProbeStrategy::GenerateHammingRanking, "GHR × 1");
+
+    for t in [2usize, 4, 8] {
+        let refs: Vec<&dyn HashModel> = models[..t].iter().map(|m| m as &dyn HashModel).collect();
+        let index = MultiTableIndex::build(refs, ds.as_slice(), ds.dim());
+        let r = measure(&index, ProbeStrategy::GenerateHammingRanking, &format!("GHR × {t}"));
+        if r >= gqr_recall {
+            println!("  → hash lookup needed {t} tables ({}× the memory) to match one GQR table", t);
+            break;
+        }
+    }
+}

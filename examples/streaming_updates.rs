@@ -1,0 +1,73 @@
+//! A live index: items arrive and depart while queries keep running.
+//!
+//! Demonstrates `HashTable::{insert_item, remove}` — the incremental path a
+//! retrieval service uses between periodic re-trains. The hash functions
+//! stay fixed (ITQ trained on the initial snapshot); only bucket membership
+//! changes.
+//!
+//! ```sh
+//! cargo run --release --example streaming_updates
+//! ```
+
+use gqr::prelude::*;
+
+fn main() {
+    // Initial catalog: first 15k items; 5k more arrive later.
+    let full = DatasetSpec::cifar60k().generate(8);
+    let dim = full.dim();
+    let initial = 15_000;
+    let snapshot = Dataset::new("snapshot", dim, full.as_slice()[..initial * dim].to_vec());
+
+    let m = 11;
+    let model = Itq::train(snapshot.as_slice(), dim, m).expect("training");
+    let mut table = HashTable::build(&model, snapshot.as_slice(), dim);
+    println!(
+        "initial index: {} items, {} buckets",
+        table.n_items(),
+        table.n_buckets()
+    );
+
+    // Stream in the remaining items.
+    let t0 = std::time::Instant::now();
+    for id in initial..full.n() {
+        table.insert_item(&model, full.row(id), id as u32);
+    }
+    println!(
+        "streamed {} arrivals in {:?} ({:.1} µs/insert)",
+        full.n() - initial,
+        t0.elapsed(),
+        t0.elapsed().as_micros() as f64 / (full.n() - initial) as f64
+    );
+
+    // Retire every 10th item.
+    let t0 = std::time::Instant::now();
+    let mut removed = 0;
+    for id in (0..full.n()).step_by(10) {
+        let code = model.encode(full.row(id));
+        if table.remove(code, id as u32) {
+            removed += 1;
+        }
+    }
+    println!("retired {removed} items in {:?}", t0.elapsed());
+
+    // Queries see the current membership: retired items never come back.
+    let engine = QueryEngine::new(&model, &table, full.as_slice(), dim);
+    let params = SearchParams { k: 10, n_candidates: 2_000, ..Default::default() };
+    let queries = full.sample_queries(50, 3);
+    let mut stale = 0;
+    for q in &queries {
+        let res = engine.search(q, &params);
+        stale += res.neighbors.iter().filter(|(id, _)| id % 10 == 0).count();
+    }
+    println!(
+        "{} queries served; {} results referenced retired items (must be 0)",
+        queries.len(),
+        stale
+    );
+    assert_eq!(stale, 0);
+    println!(
+        "index now holds {} items in {} buckets",
+        table.n_items(),
+        table.n_buckets()
+    );
+}

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Render EXPERIMENTS.md's measured sections from results/*.csv.
+
+Run after `run_all`:
+    python3 scripts/summarize_results.py results >> EXPERIMENTS.md
+(The repo's EXPERIMENTS.md was produced exactly this way.)
+"""
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def read(path):
+    with open(path) as fh:
+        return list(csv.DictReader(fh))
+
+
+def tar_table(rows, datasets=None):
+    """Time-at-recall rows -> {dataset: {method: {recall: time}}}."""
+    out = defaultdict(lambda: defaultdict(dict))
+    for r in rows:
+        if datasets and r["dataset"] not in datasets:
+            continue
+        t = r["total_time_s"]
+        out[r["dataset"]][r["method"]][r["recall"]] = (
+            None if t == "unreached" else float(t)
+        )
+    return out
+
+
+def speedup_at(tar, dataset, base, other, recall="0.90"):
+    b = tar[dataset].get(base, {}).get(recall)
+    o = tar[dataset].get(other, {}).get(recall)
+    if b is None or o is None:
+        return None
+    return b / o if o > 0 else None
+
+
+def fmt(x, digits=2):
+    return "n/a" if x is None else f"{x:.{digits}f}"
+
+
+def main(results: Path):
+    print()
+
+    # ---- Figs 7/8/9 and friends: speedups at 90% recall ----------------
+    for prefix, title in [
+        ("fig6_gqr_vs_qr", "Fig 6 — GQR vs QR (slow start)"),
+        ("fig7_8_9_itq", "Figs 7–9 — GQR vs GHR vs HR (ITQ)"),
+        ("fig13_14_pcah", "Figs 13–14 — PCAH"),
+        ("fig15_16_sh", "Figs 15–16 — SH"),
+        ("fig18_mih_itq", "Fig 18 — MIH (ITQ)"),
+        ("fig19_mih_pcah", "Fig 19 — MIH (PCAH)"),
+        ("fig20_kmh", "Fig 20 — K-means hashing"),
+        ("ext_isohash", "Extension — IsoHash"),
+    ]:
+        f = results / f"{prefix}_time_at_recall.csv"
+        if not f.exists():
+            continue
+        tar = tar_table(read(f))
+        print(f"### {title}\n")
+        methods = sorted({m for d in tar.values() for m in d})
+        ref = [m for m in ("GQR",) if m in methods][0]
+        others = [m for m in methods if m != ref]
+        header = "| dataset | " + " | ".join(
+            f"t₉₀ {m} (s)" for m in [ref] + others
+        ) + " | " + " | ".join(f"{m}/{ref} speedup" for m in others) + " |"
+        print(header)
+        print("|" + "---|" * (1 + len(methods) + len(others)))
+        for ds in tar:
+            t_ref = tar[ds].get(ref, {}).get("0.90")
+            cells = [fmt(tar[ds].get(m, {}).get("0.90"), 3) for m in [ref] + others]
+            sp = [fmt(speedup_at(tar, ds, m, ref)) for m in others]
+            print(f"| {ds} | " + " | ".join(cells) + " | " + " | ".join(sp) + " |")
+        print()
+
+    # ---- Fig 10: U-shape ------------------------------------------------
+    f = results / "fig10_code_length.csv"
+    if f.exists():
+        rows = read(f)
+        print("### Fig 10 — code length sweep (t₉₀ seconds)\n")
+        by = defaultdict(dict)
+        for r in rows:
+            key = (r["dataset"], r["method"])
+            t = r["time_to_90pct_s"]
+            by[key][int(r["code_length"])] = (
+                None if t == "unreached" else float(t)
+            )
+        lengths = sorted({m for v in by.values() for m in v})
+        print("| dataset | method | " + " | ".join(f"m={m}" for m in lengths) + " |")
+        print("|" + "---|" * (2 + len(lengths)))
+        for (ds, method), v in sorted(by.items()):
+            print(
+                f"| {ds} | {method} | "
+                + " | ".join(fmt(v.get(m), 3) for m in lengths)
+                + " |"
+            )
+        print()
+
+    # ---- Fig 11 ---------------------------------------------------------
+    f = results / "fig11_vary_k.csv"
+    if f.exists():
+        print("### Fig 11 — speedup over HR at 90% recall, varying k\n")
+        print("| dataset | k | GHR speedup | GQR speedup |")
+        print("|---|---|---|---|")
+        for r in read(f):
+            print(f"| {r['dataset']} | {r['k']} | {r['ghr_speedup']} | {r['gqr_speedup']} |")
+        print()
+
+    # ---- Fig 17 / 21-22: final-recall-time pairs ------------------------
+    for stem, title in [("fig17_opq_", "Fig 17 — PCAH+GQR vs OPQ+IMI"),
+                        ("fig21_22_", "Figs 21–22 — additional datasets")]:
+        files = sorted(results.glob(f"{stem}*.csv"))
+        files = [f for f in files if "time_at_recall" not in f.name]
+        if not files:
+            continue
+        print(f"### {title} (time to 90% recall, interpolated)\n")
+        print("| dataset | method | t₉₀ (s) |")
+        print("|---|---|---|")
+        for f in files:
+            rows = read(f)
+            series = defaultdict(list)
+            for r in rows:
+                series[r["label"]].append((float(r["recall"]), float(r["total_time_s"])))
+            ds = f.stem[len(stem):]
+            for label, pts in series.items():
+                pts.sort(key=lambda p: p[1])
+                t90 = None
+                prev = None
+                for rec, t in pts:
+                    if rec >= 0.90:
+                        if prev and rec > prev[0]:
+                            frac = (0.90 - prev[0]) / (rec - prev[0])
+                            t90 = prev[1] + frac * (t - prev[1])
+                        else:
+                            t90 = t
+                        break
+                    prev = (rec, t)
+                print(f"| {ds} | {label} | {fmt(t90, 3)} |")
+        print()
+
+    # ---- Tables ----------------------------------------------------------
+    for name, title in [("table1_datasets.csv", "Table 1 — datasets"),
+                        ("table2_training_cost.csv", "Table 2 — training cost"),
+                        ("table3_datasets.csv", "Table 3 — additional datasets"),
+                        ("ext_mplsh_vs_gqr.csv", "Extension — Multi-Probe LSH vs GQR"),
+                        ("fig11_vary_k.csv", None)]:
+        if title is None:
+            continue
+        f = results / name
+        if not f.exists():
+            continue
+        rows = read(f)
+        if not rows:
+            continue
+        print(f"### {title}\n")
+        cols = list(rows[0].keys())
+        print("| " + " | ".join(cols) + " |")
+        print("|" + "---|" * len(cols))
+        for r in rows:
+            print("| " + " | ".join(r[c] for c in cols) + " |")
+        print()
+
+
+if __name__ == "__main__":
+    main(Path(sys.argv[1] if len(sys.argv) > 1 else "results"))

@@ -1,0 +1,299 @@
+//! `gqr` — command-line ANN search over fvecs files.
+//!
+//! ```text
+//! gqr generate --preset cifar60k --scale smoke --out data.fvecs
+//! gqr train    --data data.fvecs --algo itq --bits 12 --model model.json
+//! gqr build    --data data.fvecs --model model.json --index index.json
+//! gqr query    --data data.fvecs --model model.json --index index.json --row 5 --k 10
+//! gqr eval     --data data.fvecs --model model.json --index index.json --queries 100 --k 10
+//! ```
+//!
+//! Models and indexes are stored as JSON (every workspace type derives
+//! serde); datasets use the TEXMEX `fvecs` format so real GIST/SIFT files
+//! drop in directly.
+
+use gqr::core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr::core::table::HashTable;
+use gqr::dataset::{brute_force_knn, io as dsio, Dataset, DatasetSpec, Scale};
+use gqr::l2h::isoh::IsoHash;
+use gqr::l2h::itq::Itq;
+use gqr::l2h::kmh::KmeansHashing;
+use gqr::l2h::lsh::Lsh;
+use gqr::l2h::pcah::Pcah;
+use gqr::l2h::sh::SpectralHashing;
+use gqr::l2h::HashModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::process::exit;
+
+/// On-disk model container: a tagged union over the trainers.
+#[derive(Serialize, Deserialize)]
+#[serde(tag = "algo", rename_all = "lowercase")]
+enum ModelFile {
+    Itq(Itq),
+    Pcah(Pcah),
+    Sh(SpectralHashing),
+    Kmh(KmeansHashing),
+    Lsh(Lsh),
+    Isohash(IsoHash),
+}
+
+impl ModelFile {
+    fn as_model(&self) -> &dyn HashModel {
+        match self {
+            ModelFile::Itq(m) => m,
+            ModelFile::Pcah(m) => m,
+            ModelFile::Sh(m) => m,
+            ModelFile::Kmh(m) => m,
+            ModelFile::Lsh(m) => m,
+            ModelFile::Isohash(m) => m,
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit(None);
+    }
+    let command = args.remove(0);
+    let flags = parse_flags(&args);
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "train" => cmd_train(&flags),
+        "build" => cmd_build(&flags),
+        "query" => cmd_query(&flags),
+        "eval" => cmd_eval(&flags),
+        "--help" | "-h" | "help" => {
+            usage_and_exit(None);
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(msg) = result {
+        usage_and_exit(Some(&msg));
+    }
+}
+
+fn usage_and_exit(err: Option<&str>) -> ! {
+    if let Some(e) = err {
+        eprintln!("error: {e}\n");
+    }
+    eprintln!(
+        "gqr — ANN search with quantization-distance ranking (SIGMOD 2018)\n\
+         \n\
+         commands:\n\
+         \x20 generate --preset NAME --scale smoke|default|paper --out FILE [--seed S]\n\
+         \x20 train    --data FILE --algo itq|pcah|sh|kmh|lsh|isohash --bits M --model FILE [--seed S]\n\
+         \x20 build    --data FILE --model FILE --index FILE\n\
+         \x20 query    --data FILE --model FILE --index FILE --row I --k K\n\
+         \x20          [--strategy gqr|ghr|hr|qr] [--candidates N]\n\
+         \x20 eval     --data FILE --model FILE --index FILE --queries N --k K [--candidates N]\n\
+         \n\
+         presets: cifar60k gist1m tiny5m sift10m sift1m deep1m msong1m glove1.2m\n\
+         \x20        glove2.2m audio50k nuswide ukbench1m imagenet2.3m"
+    );
+    exit(if err.is_some() { 2 } else { 0 });
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            usage_and_exit(Some(&format!("expected a --flag, got '{flag}'")));
+        };
+        let Some(value) = it.next() else {
+            usage_and_exit(Some(&format!("missing value for --{name}")));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    flags
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+}
+
+fn get_num<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str) -> Result<T, String> {
+    get(flags, name)?.parse().map_err(|_| format!("bad number for --{name}"))
+}
+
+fn preset(name: &str) -> Result<DatasetSpec, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "cifar60k" => DatasetSpec::cifar60k(),
+        "gist1m" => DatasetSpec::gist1m(),
+        "tiny5m" => DatasetSpec::tiny5m(),
+        "sift10m" => DatasetSpec::sift10m(),
+        "sift1m" => DatasetSpec::sift1m(),
+        "deep1m" => DatasetSpec::deep1m(),
+        "msong1m" => DatasetSpec::msong1m(),
+        "glove1.2m" => DatasetSpec::glove1_2m(),
+        "glove2.2m" => DatasetSpec::glove2_2m(),
+        "audio50k" => DatasetSpec::audio50k(),
+        "nuswide" => DatasetSpec::nuswide(),
+        "ukbench1m" => DatasetSpec::ukbench1m(),
+        "imagenet2.3m" => DatasetSpec::imagenet2_3m(),
+        other => return Err(format!("unknown preset '{other}'")),
+    })
+}
+
+fn strategy(name: &str) -> Result<ProbeStrategy, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "gqr" => ProbeStrategy::GenerateQdRanking,
+        "qr" => ProbeStrategy::QdRanking,
+        "ghr" => ProbeStrategy::GenerateHammingRanking,
+        "hr" => ProbeStrategy::HammingRanking,
+        other => return Err(format!("unknown strategy '{other}'")),
+    })
+}
+
+fn load_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
+    let path = get(flags, "data")?;
+    dsio::read_fvecs(path, path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn load_model(flags: &HashMap<String, String>) -> Result<ModelFile, String> {
+    let path = get(flags, "model")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn save_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
+    let text = serde_json::to_string(value).map_err(|e| e.to_string())?;
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let spec = preset(get(flags, "preset")?)?;
+    let scale = Scale::parse(flags.get("scale").map(String::as_str).unwrap_or("default"))
+        .ok_or("bad --scale (smoke|default|paper)")?;
+    let seed: u64 = flags.get("seed").map(|s| s.parse().map_err(|_| "bad --seed")).transpose()?.unwrap_or(42);
+    let out = get(flags, "out")?;
+    let spec = spec.scale(scale);
+    let ds = spec.generate(seed);
+    dsio::write_fvecs(out, &ds).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} vectors × {} dims to {out}", ds.n(), ds.dim());
+    println!("suggested code length (paper's log2(n/10) rule): {}", spec.code_length());
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let bits: usize = get_num(flags, "bits")?;
+    let seed: u64 = flags.get("seed").map(|s| s.parse().map_err(|_| "bad --seed")).transpose()?.unwrap_or(0);
+    let algo = get(flags, "algo")?;
+    let start = std::time::Instant::now();
+    let model = match algo.to_ascii_lowercase().as_str() {
+        "itq" => ModelFile::Itq(Itq::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?),
+        "pcah" => ModelFile::Pcah(Pcah::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?),
+        "sh" => ModelFile::Sh(SpectralHashing::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?),
+        "kmh" => ModelFile::Kmh(KmeansHashing::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?),
+        "lsh" => ModelFile::Lsh(Lsh::train(ds.as_slice(), ds.dim(), bits, seed).map_err(|e| e.to_string())?),
+        "isohash" => ModelFile::Isohash(IsoHash::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?),
+        other => return Err(format!("unknown algo '{other}'")),
+    };
+    let out = get(flags, "model")?;
+    save_json(out, &model)?;
+    println!(
+        "trained {} ({} bits) on {} × {} in {:?}; model saved to {out}",
+        model.as_model().name(),
+        bits,
+        ds.n(),
+        ds.dim(),
+        start.elapsed()
+    );
+    Ok(())
+}
+
+fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let model = load_model(flags)?;
+    let start = std::time::Instant::now();
+    let table = HashTable::build(model.as_model(), ds.as_slice(), ds.dim());
+    let out = get(flags, "index")?;
+    save_json(out, &table)?;
+    println!(
+        "indexed {} items into {} buckets (mean occupancy {:.1}) in {:?}; index saved to {out}",
+        table.n_items(),
+        table.n_buckets(),
+        table.mean_bucket_size(),
+        start.elapsed()
+    );
+    Ok(())
+}
+
+fn load_engine_parts(
+    flags: &HashMap<String, String>,
+) -> Result<(Dataset, ModelFile, HashTable), String> {
+    let ds = load_dataset(flags)?;
+    let model = load_model(flags)?;
+    let path = get(flags, "index")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let table: HashTable = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    Ok((ds, model, table))
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (ds, model, table) = load_engine_parts(flags)?;
+    let row: usize = get_num(flags, "row")?;
+    if row >= ds.n() {
+        return Err(format!("--row {row} out of range (n = {})", ds.n()));
+    }
+    let k: usize = get_num(flags, "k")?;
+    let n_candidates: usize =
+        flags.get("candidates").map(|s| s.parse().map_err(|_| "bad --candidates")).transpose()?.unwrap_or(1_000);
+    let strat = strategy(flags.get("strategy").map(String::as_str).unwrap_or("gqr"))?;
+
+    let engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
+    let params = SearchParams { k, n_candidates, strategy: strat, early_stop: false, ..Default::default() };
+    let query = ds.row(row).to_vec();
+    let start = std::time::Instant::now();
+    let res = engine.search(&query, &params);
+    println!(
+        "{} nearest neighbors of row {row} ({} in {:?}, {} buckets probed, {} items evaluated):",
+        k,
+        strat.name(),
+        start.elapsed(),
+        res.stats.buckets_probed,
+        res.stats.items_evaluated
+    );
+    for (id, dist) in &res.neighbors {
+        println!("  #{id:<8} sq-dist {dist:.5}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (ds, model, table) = load_engine_parts(flags)?;
+    let n_queries: usize = get_num(flags, "queries")?;
+    let k: usize = get_num(flags, "k")?;
+    let n_candidates: usize =
+        flags.get("candidates").map(|s| s.parse().map_err(|_| "bad --candidates")).transpose()?.unwrap_or(1_000);
+
+    let queries = ds.sample_queries(n_queries, 7);
+    let truth = brute_force_knn(&ds, &queries, k, 0);
+    let engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
+
+    println!("strategy  recall@{k}   total time  (budget {n_candidates}/query, {n_queries} queries)");
+    for strat in [
+        ProbeStrategy::GenerateQdRanking,
+        ProbeStrategy::GenerateHammingRanking,
+        ProbeStrategy::HammingRanking,
+        ProbeStrategy::QdRanking,
+    ] {
+        let params = SearchParams { k, n_candidates, strategy: strat, early_stop: false, ..Default::default() };
+        let start = std::time::Instant::now();
+        let mut found = 0usize;
+        for (q, t) in queries.iter().zip(&truth) {
+            let res = engine.search(q, &params);
+            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+        }
+        println!(
+            "{:<9} {:>8.3}   {:>9.3?}",
+            strat.name(),
+            found as f64 / (k * queries.len()) as f64,
+            start.elapsed()
+        );
+    }
+    Ok(())
+}

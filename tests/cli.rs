@@ -1,0 +1,103 @@
+//! End-to-end test of the `gqr` command-line tool: generate → train →
+//! build → query → eval, through real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gqr"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gqr_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline_works() {
+    let dir = tmpdir("pipeline");
+    let data = dir.join("d.fvecs");
+    let model = dir.join("m.json");
+    let index = dir.join("i.json");
+
+    let out = bin()
+        .args(["generate", "--preset", "audio50k", "--scale", "smoke"])
+        .args(["--out", data.to_str().unwrap(), "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists());
+
+    let out = bin()
+        .args(["train", "--data", data.to_str().unwrap(), "--algo", "pcah", "--bits", "8"])
+        .args(["--model", model.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["build", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "build failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["query", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap(), "--row", "3", "--k", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "query failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("#3"), "the row itself must be its own nearest neighbor:\n{text}");
+
+    let out = bin()
+        .args(["eval", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap(), "--queries", "10", "--k", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "eval failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("GQR") && text.contains("HR"), "eval table:\n{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("commands:"), "usage must be printed");
+}
+
+#[test]
+fn missing_flag_reports_which() {
+    let out = bin().args(["train", "--algo", "itq"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--data"), "must name the missing flag: {err}");
+}
+
+#[test]
+fn bad_strategy_rejected() {
+    let dir = tmpdir("badstrat");
+    let data = dir.join("d.fvecs");
+    let model = dir.join("m.json");
+    let index = dir.join("i.json");
+    for (args, _) in [
+        (vec!["generate", "--preset", "audio50k", "--scale", "smoke", "--out", data.to_str().unwrap()], ()),
+        (vec!["train", "--data", data.to_str().unwrap(), "--algo", "lsh", "--bits", "6", "--model", model.to_str().unwrap()], ()),
+        (vec!["build", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(), "--index", index.to_str().unwrap()], ()),
+    ] {
+        assert!(bin().args(&args).output().unwrap().status.success());
+    }
+    let out = bin()
+        .args(["query", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap(), "--row", "0", "--k", "2", "--strategy", "warp"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
+}

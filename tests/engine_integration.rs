@@ -1,0 +1,192 @@
+//! Cross-crate integration: every trainer × every querying method on real
+//! (synthetic) data, verified against brute-force ground truth.
+
+use gqr::prelude::*;
+
+/// Small but non-trivial fixture shared by the tests.
+fn fixture() -> (Dataset, Vec<Vec<f32>>, Vec<Vec<u32>>) {
+    let ds = DatasetSpec::cifar60k().scale(Scale::Smoke).generate(123);
+    let queries = ds.sample_queries(20, 9);
+    let truth = brute_force_knn(&ds, &queries, 10, 2);
+    (ds, queries, truth)
+}
+
+fn models(ds: &Dataset, m: usize) -> Vec<Box<dyn HashModel>> {
+    vec![
+        Box::new(Itq::train(ds.as_slice(), ds.dim(), m).unwrap()),
+        Box::new(Pcah::train(ds.as_slice(), ds.dim(), m).unwrap()),
+        Box::new(SpectralHashing::train(ds.as_slice(), ds.dim(), m).unwrap()),
+        Box::new(KmeansHashing::train(ds.as_slice(), ds.dim(), m).unwrap()),
+        Box::new(Lsh::train(ds.as_slice(), ds.dim(), m, 5).unwrap()),
+    ]
+}
+
+#[test]
+fn every_trainer_and_strategy_is_exact_when_exhaustive() {
+    let (ds, queries, truth) = fixture();
+    for model in models(&ds, 8) {
+        let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
+        let mut engine = QueryEngine::new(model.as_ref(), &table, ds.as_slice(), ds.dim());
+        engine.enable_mih(2);
+        for strategy in [
+            ProbeStrategy::HammingRanking,
+            ProbeStrategy::GenerateHammingRanking,
+            ProbeStrategy::QdRanking,
+            ProbeStrategy::GenerateQdRanking,
+            ProbeStrategy::MultiIndexHashing { blocks: 2 },
+        ] {
+            let params =
+                SearchParams { k: 10, n_candidates: usize::MAX, strategy, early_stop: false, ..Default::default() };
+            for (q, t) in queries.iter().zip(&truth) {
+                let res = engine.search(q, &params);
+                let ids: Vec<u32> = res.neighbors.iter().map(|&(i, _)| i).collect();
+                assert_eq!(
+                    &ids, t,
+                    "{} + {} must return exact kNN when probing everything",
+                    model.name(),
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gqr_recall_is_monotone_in_budget() {
+    let (ds, queries, truth) = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
+    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+    let mut last_recall = 0.0f64;
+    for budget in [20usize, 100, 500, 2000] {
+        let params = SearchParams {
+            k: 10,
+            n_candidates: budget,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            ..Default::default()
+        };
+        let mut found = 0usize;
+        for (q, t) in queries.iter().zip(&truth) {
+            let res = engine.search(q, &params);
+            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+        }
+        let recall = found as f64 / (10 * queries.len()) as f64;
+        assert!(
+            recall + 1e-9 >= last_recall,
+            "recall must not drop as the budget grows: {recall} < {last_recall} at {budget}"
+        );
+        last_recall = recall;
+    }
+    assert!(last_recall > 0.999, "exhaustive budget finds everything");
+}
+
+#[test]
+fn gqr_equals_qr_for_every_model() {
+    // Algorithm 2 is semantically identical to Algorithm 1 (R1 + R2).
+    let (ds, queries, _) = fixture();
+    for model in models(&ds, 8) {
+        let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
+        let engine = QueryEngine::new(model.as_ref(), &table, ds.as_slice(), ds.dim());
+        for budget in [50usize, 300] {
+            for q in queries.iter().take(5) {
+                let qr = engine.search(
+                    q,
+                    &SearchParams {
+                        k: 5,
+                        n_candidates: budget,
+                        strategy: ProbeStrategy::QdRanking,
+                        early_stop: false,
+                        ..Default::default()
+                    },
+                );
+                let gqr = engine.search(
+                    q,
+                    &SearchParams {
+                        k: 5,
+                        n_candidates: budget,
+                        strategy: ProbeStrategy::GenerateQdRanking,
+                        early_stop: false,
+                        ..Default::default()
+                    },
+                );
+                // Identical probe order within QD ties is not guaranteed, but
+                // the *distances* of the results must agree (same buckets up
+                // to equal-QD permutations, same candidate count).
+                let dq: Vec<f32> = qr.neighbors.iter().map(|&(_, d)| d).collect();
+                let dg: Vec<f32> = gqr.neighbors.iter().map(|&(_, d)| d).collect();
+                assert_eq!(dq.len(), dg.len(), "{}", model.name());
+                for (a, b) in dq.iter().zip(&dg) {
+                    assert!(
+                        (a - b).abs() <= 1e-5 * a.abs().max(1.0),
+                        "{}: QR/GQR result distances diverge: {a} vs {b}",
+                        model.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gqr_beats_or_matches_hamming_on_candidate_quality() {
+    // Fig 8's claim at the integration level: at equal candidate budgets,
+    // GQR's recall (averaged over queries) is at least GHR's.
+    let (ds, queries, truth) = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 10).unwrap();
+    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+    let budget = 100;
+    let recall = |strategy: ProbeStrategy| {
+        let params = SearchParams { k: 10, n_candidates: budget, strategy, early_stop: false, ..Default::default() };
+        let mut found = 0usize;
+        for (q, t) in queries.iter().zip(&truth) {
+            let res = engine.search(q, &params);
+            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+        }
+        found as f64 / (10 * queries.len()) as f64
+    };
+    let gqr = recall(ProbeStrategy::GenerateQdRanking);
+    let ghr = recall(ProbeStrategy::GenerateHammingRanking);
+    assert!(
+        gqr >= ghr - 0.02,
+        "GQR recall ({gqr:.3}) must not lose to GHR ({ghr:.3}) at equal budget"
+    );
+}
+
+#[test]
+fn multi_table_recall_tracks_single_table_across_budgets() {
+    // Fig 12's qualitative claim. At any *single* budget a multi-table
+    // index can lose to a lucky single table (budgets split across tables),
+    // so compare the recall summed over a budget ladder, with slack.
+    let (ds, queries, truth) = fixture();
+    let ms: Vec<Lsh> = (0..4).map(|s| Lsh::train(ds.as_slice(), ds.dim(), 10, s).unwrap()).collect();
+    let budgets = [40usize, 80, 160, 320, 640];
+    let recall_auc = |n_tables: usize| {
+        let refs: Vec<&dyn HashModel> = ms[..n_tables].iter().map(|m| m as &dyn HashModel).collect();
+        let idx = MultiTableIndex::build(refs, ds.as_slice(), ds.dim());
+        let mut auc = 0.0;
+        for &budget in &budgets {
+            let params = SearchParams {
+                k: 10,
+                n_candidates: budget,
+                strategy: ProbeStrategy::GenerateHammingRanking,
+                early_stop: false,
+                ..Default::default()
+            };
+            let mut found = 0usize;
+            for (q, t) in queries.iter().zip(&truth) {
+                let res = idx.search(q, &params);
+                found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+            }
+            auc += found as f64 / (10 * queries.len()) as f64;
+        }
+        auc / budgets.len() as f64
+    };
+    let one = recall_auc(1);
+    let four = recall_auc(4);
+    assert!(
+        four >= one - 0.05,
+        "four tables (mean recall {four:.3}) should track one table ({one:.3}) across budgets"
+    );
+}

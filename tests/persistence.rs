@@ -1,0 +1,99 @@
+//! Serialization round-trips: a trained index must behave identically after
+//! save/load (the deployment path of a real retrieval service).
+
+use gqr::prelude::*;
+use gqr::vq::imi::{ImiOptions, InvertedMultiIndex};
+use gqr::vq::kmeans::KMeansOptions;
+use gqr::vq::opq::{Opq, OpqOptions};
+use gqr::vq::pq::PqOptions;
+
+fn fixture() -> Dataset {
+    DatasetSpec::audio50k().scale(Scale::Smoke).generate(77)
+}
+
+/// Serialize + deserialize through serde_json (the format the harness's
+/// reporters use). Behavior, not just field equality, is compared.
+fn roundtrip<T: serde::Serialize + serde::de::DeserializeOwned>(value: &T) -> T {
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn linear_models_roundtrip() {
+    let ds = fixture();
+    let queries = ds.sample_queries(10, 1);
+
+    let itq = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
+    let itq2: Itq = roundtrip(&itq);
+    let pcah = Pcah::train(ds.as_slice(), ds.dim(), 8).unwrap();
+    let pcah2: Pcah = roundtrip(&pcah);
+    let lsh = Lsh::train(ds.as_slice(), ds.dim(), 8, 3).unwrap();
+    let lsh2: Lsh = roundtrip(&lsh);
+
+    for q in &queries {
+        assert_eq!(itq.encode(q), itq2.encode(q));
+        assert_eq!(pcah.encode(q), pcah2.encode(q));
+        assert_eq!(lsh.encode(q), lsh2.encode(q));
+        let a = itq.encode_query(q);
+        let b = itq2.encode_query(q);
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.flip_costs, b.flip_costs);
+    }
+    assert_eq!(itq.spectral_norm(), itq2.spectral_norm());
+}
+
+#[test]
+fn nonlinear_models_roundtrip() {
+    let ds = fixture();
+    let queries = ds.sample_queries(10, 2);
+
+    let sh = SpectralHashing::train(ds.as_slice(), ds.dim(), 10).unwrap();
+    let sh2: SpectralHashing = roundtrip(&sh);
+    let kmh = KmeansHashing::train(ds.as_slice(), ds.dim(), 8).unwrap();
+    let kmh2: KmeansHashing = roundtrip(&kmh);
+
+    for q in &queries {
+        assert_eq!(sh.encode(q), sh2.encode(q));
+        assert_eq!(kmh.encode(q), kmh2.encode(q));
+        assert_eq!(sh.encode_query(q).flip_costs, sh2.encode_query(q).flip_costs);
+        assert_eq!(kmh.encode_query(q).flip_costs, kmh2.encode_query(q).flip_costs);
+    }
+}
+
+#[test]
+fn hash_table_roundtrip_preserves_search_results() {
+    let ds = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
+    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table2: HashTable = roundtrip(&table);
+    assert_eq!(table.n_items(), table2.n_items());
+    assert_eq!(table.n_buckets(), table2.n_buckets());
+
+    let engine1 = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+    let engine2 = QueryEngine::new(&model, &table2, ds.as_slice(), ds.dim());
+    let params = SearchParams { k: 5, n_candidates: 200, ..Default::default() };
+    for q in ds.sample_queries(10, 3) {
+        assert_eq!(engine1.search(&q, &params).neighbors, engine2.search(&q, &params).neighbors);
+    }
+}
+
+#[test]
+fn vq_models_roundtrip() {
+    let ds = fixture();
+    let pq_opts = PqOptions { ks: 8, kmeans: KMeansOptions { seed: 5, ..Default::default() } };
+    let opq = Opq::train(ds.as_slice(), ds.dim(), 2, &OpqOptions { rounds: 2, pq: pq_opts.clone() });
+    let opq2: Opq = roundtrip(&opq);
+    let imi = InvertedMultiIndex::build(
+        ds.as_slice(),
+        ds.dim(),
+        &ImiOptions { k: 8, kmeans: KMeansOptions { seed: 6, ..Default::default() } },
+    );
+    let imi2: InvertedMultiIndex = roundtrip(&imi);
+
+    for q in ds.sample_queries(5, 4) {
+        assert_eq!(opq.encode(&q), opq2.encode(&q));
+        let c1: Vec<(usize, usize)> = imi.traverse(&q).map(|(u, v, _)| (u, v)).take(8).collect();
+        let c2: Vec<(usize, usize)> = imi2.traverse(&q).map(|(u, v, _)| (u, v)).take(8).collect();
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based verification of the paper's theorems on live models.
+//!
+//! * Theorem 1/Corollary 1: projections are Lipschitz with constant
+//!   `σ_max(H)`.
+//! * Theorem 2: `‖o − q‖ ≥ µ·dist(q, b)` with `µ = 1/(σ_max·√m)` for every
+//!   item `o` in bucket `b`.
+//! * GQR Properties 1–2 under arbitrary (including degenerate) flipping
+//!   costs.
+
+use gqr::core::probe::{GenerateQdRanking, Prober};
+use gqr::core::quantization_distance;
+use gqr::prelude::*;
+use proptest::prelude::*;
+
+/// Random small datasets: n rows of dimension d in [-range, range].
+fn dataset_strategy() -> impl Strategy<Value = (usize, Vec<f32>)> {
+    (2usize..6, 30usize..80).prop_flat_map(|(dim, n)| {
+        (
+            Just(dim),
+            prop::collection::vec(-10.0f32..10.0, dim * n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn theorem1_projection_is_bounded((dim, data) in dataset_strategy()) {
+        let m = dim.min(4);
+        let model = Pcah::train(&data, dim, m).unwrap();
+        let sigma = model.spectral_norm().unwrap();
+        let h = model.hasher();
+        // ‖p(x) − p(y)‖₂ ≤ σ_max·‖x − y‖₂ for arbitrary pairs.
+        for pair in data.chunks_exact(dim).collect::<Vec<_>>().windows(2) {
+            let (x, y) = (pair[0], pair[1]);
+            let px = h.project(x);
+            let py = h.project(y);
+            let dp: f64 = px.iter().zip(&py).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let dx: f64 = x
+                .iter()
+                .zip(y)
+                .map(|(a, b)| ((a - b) as f64) * ((a - b) as f64))
+                .sum::<f64>()
+                .sqrt();
+            // Relative slack: inputs are f32, projections f64.
+            prop_assert!(
+                dp <= sigma * dx * (1.0 + 1e-6) + 1e-6,
+                "Lipschitz violated: {dp} > {sigma}·{dx}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_qd_lower_bounds_true_distance((dim, data) in dataset_strategy()) {
+        let m = dim.min(4);
+        let model = Itq::train(&data, dim, m).unwrap();
+        let table = HashTable::build(&model, &data, dim);
+        let sigma = model.spectral_norm().unwrap();
+        let mu = 1.0 / (sigma * (m as f64).sqrt());
+
+        // Use the first few rows as queries.
+        for q in data.chunks_exact(dim).take(5) {
+            let enc = model.encode_query(q);
+            for (bucket, items) in table.occupied() {
+                let qd = quantization_distance(&enc, bucket);
+                for &id in items {
+                    let o = &data[id as usize * dim..(id as usize + 1) * dim];
+                    let true_dist = gqr::linalg::vecops::sq_dist_f32(q, o).sqrt() as f64;
+                    prop_assert!(
+                        true_dist + 1e-4 >= mu * qd,
+                        "Theorem 2 violated: ‖o−q‖ = {true_dist} < µ·QD = {}",
+                        mu * qd
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gqr_emits_each_bucket_once_in_qd_order(
+        code in 0u64..256,
+        costs in prop::collection::vec(0.0f64..5.0, 8),
+    ) {
+        let enc = QueryEncoding { code, flip_costs: costs };
+        let mut p = GenerateQdRanking::new(8);
+        p.reset(&enc);
+        let mut seen = std::collections::HashSet::new();
+        let mut last = f64::NEG_INFINITY;
+        while let Some(b) = p.next_bucket() {
+            prop_assert!(seen.insert(b), "bucket {b:#b} emitted twice");
+            let qd = quantization_distance(&enc, b);
+            prop_assert!(qd + 1e-9 >= last, "QD regressed: {qd} after {last}");
+            last = qd;
+        }
+        prop_assert_eq!(seen.len(), 256, "all buckets reached (Property 1)");
+    }
+
+    #[test]
+    fn sign_models_flip_costs_are_abs_projection((dim, data) in dataset_strategy()) {
+        let m = dim.min(3);
+        let model = Pcah::train(&data, dim, m).unwrap();
+        for q in data.chunks_exact(dim).take(4) {
+            let enc = model.encode_query(q);
+            let p = model.hasher().project(q);
+            for (c, pi) in enc.flip_costs.iter().zip(&p) {
+                prop_assert!((c - pi.abs()).abs() < 1e-12);
+            }
+            prop_assert_eq!(enc.code, model.encode(q));
+        }
+    }
+}
+
+/// Deterministic spot check of the paper's Fig 3b worked example.
+#[test]
+fn paper_fig3_worked_example() {
+    let enc = QueryEncoding { code: 0b00, flip_costs: vec![0.2, 0.8] };
+    let expected = [(0b00u64, 0.0f64), (0b01, 0.2), (0b10, 0.8), (0b11, 1.0)];
+    for (bucket, qd) in expected {
+        assert!((quantization_distance(&enc, bucket) - qd).abs() < 1e-12);
+    }
+    // GQR emits them in exactly this order.
+    let mut p = GenerateQdRanking::new(2);
+    p.reset(&enc);
+    let order: Vec<u64> = std::iter::from_fn(|| p.next_bucket()).collect();
+    assert_eq!(order, vec![0b00, 0b01, 0b10, 0b11]);
+}
