@@ -35,7 +35,9 @@ fn bench_early_stop(c: &mut Criterion) {
             early_stop,
             ..Default::default()
         };
-        group.bench_function(label, |b| b.iter(|| black_box(engine.search(black_box(&q), &params))));
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.search(black_box(&q), &params)))
+        });
     }
     group.finish();
 }
@@ -43,7 +45,9 @@ fn bench_early_stop(c: &mut Criterion) {
 fn bench_code_hasher(c: &mut Criterion) {
     // 60k codes in a 16-bit space, 4096 random lookups per iteration.
     let mut rng = ChaCha8Rng::seed_from_u64(71);
-    let codes: Vec<u64> = (0..60_000).map(|_| rng.gen_range(0..(1u64 << 16))).collect();
+    let codes: Vec<u64> = (0..60_000)
+        .map(|_| rng.gen_range(0..(1u64 << 16)))
+        .collect();
     let lookups: Vec<u64> = (0..4096).map(|_| rng.gen_range(0..(1u64 << 16))).collect();
 
     let fast = HashTable::from_codes(16, &codes);
@@ -95,5 +99,10 @@ fn bench_gqr_reset(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_early_stop, bench_code_hasher, bench_gqr_reset);
+criterion_group!(
+    benches,
+    bench_early_stop,
+    bench_code_hasher,
+    bench_gqr_reset
+);
 criterion_main!(benches);

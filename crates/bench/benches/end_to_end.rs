@@ -25,7 +25,13 @@ fn bench_search(c: &mut Criterion) {
         ProbeStrategy::GenerateQdRanking,
         ProbeStrategy::MultiIndexHashing { blocks: 2 },
     ] {
-        let params = SearchParams { k: 20, n_candidates: 200, strategy, early_stop: false, ..Default::default() };
+        let params = SearchParams {
+            k: 20,
+            n_candidates: 200,
+            strategy,
+            early_stop: false,
+            ..Default::default()
+        };
         group.bench_function(strategy.name(), |b| {
             b.iter(|| black_box(engine.search(black_box(&q), &params)))
         });

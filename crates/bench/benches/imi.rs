@@ -12,7 +12,13 @@ fn bench_imi(c: &mut Criterion) {
     let imi = InvertedMultiIndex::build(
         ds.as_slice(),
         ds.dim(),
-        &ImiOptions { k: 32, kmeans: KMeansOptions { seed: 7, ..Default::default() } },
+        &ImiOptions {
+            k: 32,
+            kmeans: KMeansOptions {
+                seed: 7,
+                ..Default::default()
+            },
+        },
     );
     let q = ds.sample_queries(1, 3).remove(0);
 
@@ -22,14 +28,18 @@ fn bench_imi(c: &mut Criterion) {
         b.iter(|| black_box(imi.traverse(black_box(&q)).next()))
     });
     for &cells in &[16usize, 256] {
-        group.bench_with_input(BenchmarkId::new("traverse_cells", cells), &cells, |b, &n| {
-            b.iter(|| {
-                let mut t = imi.traverse(&q);
-                for _ in 0..n {
-                    black_box(t.next());
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("traverse_cells", cells),
+            &cells,
+            |b, &n| {
+                b.iter(|| {
+                    let mut t = imi.traverse(&q);
+                    for _ in 0..n {
+                        black_box(t.next());
+                    }
+                })
+            },
+        );
     }
     group.bench_function("collect_500_candidates", |b| {
         b.iter(|| black_box(imi.collect_candidates(&q, 500)))

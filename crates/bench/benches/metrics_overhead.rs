@@ -1,0 +1,58 @@
+//! Observability tax: single-query latency with metrics disabled (the
+//! default), enabled, and on an engine built before the metrics layer
+//! existed semantics-wise (no registry attached at all — identical to
+//! disabled, kept as the regression reference). The disabled path must cost
+//! only the per-phase branch, so "disabled" and "none" should be
+//! indistinguishable and "enabled" should stay within a few percent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gqr_bench::models::ModelKind;
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::metrics::MetricsRegistry;
+use gqr_core::table::HashTable;
+use gqr_dataset::{DatasetSpec, Scale};
+use std::hint::black_box;
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let ds = DatasetSpec::cifar60k().scale(Scale::Smoke).generate(51);
+    let model = ModelKind::Itq.train(ds.as_slice(), ds.dim(), 10, 0);
+    let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
+    let q = ds.sample_queries(1, 9).remove(0);
+    let params = SearchParams {
+        k: 20,
+        n_candidates: 200,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        early_stop: false,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("metrics_overhead_gqr_200");
+    group.sample_size(50);
+    // Pre-existing construction path: no registry ever attached.
+    let engine = QueryEngine::new(model.as_ref(), &table, ds.as_slice(), ds.dim());
+    group.bench_function("none", |b| {
+        b.iter(|| black_box(engine.search(black_box(&q), &params)))
+    });
+    // Explicitly disabled registry: the instrumented code runs, each span is
+    // a single branch, no clock reads.
+    let engine = QueryEngine::new(model.as_ref(), &table, ds.as_slice(), ds.dim())
+        .with_metrics(MetricsRegistry::disabled());
+    group.bench_function("disabled", |b| {
+        b.iter(|| black_box(engine.search(black_box(&q), &params)))
+    });
+    // Enabled registry: two `Instant::now` calls per span plus one atomic
+    // histogram record per non-zero phase at flush.
+    let metrics = MetricsRegistry::enabled();
+    let engine = QueryEngine::new(model.as_ref(), &table, ds.as_slice(), ds.dim())
+        .with_metrics(metrics.clone());
+    group.bench_function("enabled", |b| {
+        b.iter(|| black_box(engine.search(black_box(&q), &params)))
+    });
+    group.finish();
+    // Keep the registry alive to the end so "enabled" can't be optimized
+    // into a disabled-like path.
+    black_box(metrics.snapshot());
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

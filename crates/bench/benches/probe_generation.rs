@@ -6,7 +6,9 @@
 //! `next_1000` measures steady-state generation throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gqr_core::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
+use gqr_core::probe::{
+    GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking,
+};
 use gqr_core::table::HashTable;
 use gqr_l2h::QueryEncoding;
 use rand::{Rng, SeedableRng};

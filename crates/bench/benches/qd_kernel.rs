@@ -51,12 +51,16 @@ fn bench_encode(c: &mut Criterion) {
     let model = gqr_l2h::pcah::Pcah::train(&data, dim, 16).unwrap();
     let x: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>()).collect();
 
-    group.bench_function("pcah_encode_item", |b| b.iter(|| black_box(model.encode(black_box(&x)))));
+    group.bench_function("pcah_encode_item", |b| {
+        b.iter(|| black_box(model.encode(black_box(&x))))
+    });
     group.bench_function("pcah_encode_query", |b| {
         b.iter(|| black_box(model.encode_query(black_box(&x))))
     });
     let proj: Vec<f64> = (0..16).map(|_| rng.gen::<f64>() - 0.5).collect();
-    group.bench_function("sign_code", |b| b.iter(|| black_box(sign_code(black_box(&proj)))));
+    group.bench_function("sign_code", |b| {
+        b.iter(|| black_box(sign_code(black_box(&proj))))
+    });
     group.finish();
 }
 

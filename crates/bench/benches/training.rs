@@ -15,7 +15,13 @@ fn bench_trainers(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("training");
     group.sample_size(10);
-    for kind in [ModelKind::Pcah, ModelKind::Itq, ModelKind::Sh, ModelKind::Kmh, ModelKind::Lsh] {
+    for kind in [
+        ModelKind::Pcah,
+        ModelKind::Itq,
+        ModelKind::Sh,
+        ModelKind::Kmh,
+        ModelKind::Lsh,
+    ] {
         group.bench_function(kind.name(), |b| {
             b.iter(|| black_box(kind.train(data, dim, m, 1)))
         });
@@ -25,7 +31,12 @@ fn bench_trainers(c: &mut Criterion) {
             black_box(OpqImiEngine::train(
                 data,
                 dim,
-                &OpqImiConfig { imi_k: 32, pq_ks: 32, opq_rounds: 2, ..Default::default() },
+                &OpqImiConfig {
+                    imi_k: 32,
+                    pq_ks: 32,
+                    opq_rounds: 2,
+                    ..Default::default()
+                },
             ))
         })
     });

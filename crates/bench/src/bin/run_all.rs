@@ -27,7 +27,10 @@ fn main() -> io::Result<()> {
         ("Fig 18 (MIH, ITQ)", ex::fig_mih::run_itq),
         ("Fig 19 (MIH, PCAH)", ex::fig_mih::run_pcah),
         ("Fig 20 (KMH)", ex::fig20_kmh::run),
-        ("Figs 21-22 + Table 3 (additional datasets)", ex::fig21_additional::run),
+        (
+            "Figs 21-22 + Table 3 (additional datasets)",
+            ex::fig21_additional::run,
+        ),
         ("Extension: Multi-Probe LSH vs GQR", ex::ext_mplsh::run),
         ("Extension: IsoHash under GQR/GHR/HR", ex::ext_isohash::run),
     ];
@@ -36,8 +39,15 @@ fn main() -> io::Result<()> {
         let start = Instant::now();
         println!("=== {name} ===");
         job(&cfg)?;
-        println!("=== {name} done in {:.1}s ===\n", start.elapsed().as_secs_f64());
+        println!(
+            "=== {name} done in {:.1}s ===\n",
+            start.elapsed().as_secs_f64()
+        );
     }
-    println!("all experiments done in {:.1}s; results in {}/", total.elapsed().as_secs_f64(), cfg.out_dir);
+    println!(
+        "all experiments done in {:.1}s; results in {}/",
+        total.elapsed().as_secs_f64(),
+        cfg.out_dir
+    );
     Ok(())
 }

@@ -43,13 +43,15 @@ impl Config {
         let mut args = args.peekable();
         while let Some(flag) = args.next() {
             let mut value = |name: &str| {
-                args.next().unwrap_or_else(|| die(&format!("missing value for {name}")))
+                args.next()
+                    .unwrap_or_else(|| die(&format!("missing value for {name}")))
             };
             match flag.as_str() {
                 "--scale" => {
                     let v = value("--scale");
-                    cfg.scale = Scale::parse(&v)
-                        .unwrap_or_else(|| die(&format!("bad --scale '{v}' (smoke|default|paper)")));
+                    cfg.scale = Scale::parse(&v).unwrap_or_else(|| {
+                        die(&format!("bad --scale '{v}' (smoke|default|paper)"))
+                    });
                 }
                 "--queries" => cfg.n_queries = parse_num(&value("--queries"), "--queries"),
                 "--k" => cfg.k = parse_num(&value("--k"), "--k"),
@@ -72,10 +74,12 @@ impl Config {
     }
 }
 
-const USAGE: &str = "flags: --scale smoke|default|paper  --queries N  --k K  --seed S  --out DIR  --threads T";
+const USAGE: &str =
+    "flags: --scale smoke|default|paper  --queries N  --k K  --seed S  --out DIR  --threads T";
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
-    s.parse().unwrap_or_else(|_| die(&format!("bad number '{s}' for {flag}")))
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad number '{s}' for {flag}")))
 }
 
 fn die(msg: &str) -> ! {
@@ -101,7 +105,20 @@ mod tests {
 
     #[test]
     fn flags_override() {
-        let c = parse(&["--scale", "smoke", "--k", "5", "--queries", "7", "--seed", "9", "--out", "x", "--threads", "2"]);
+        let c = parse(&[
+            "--scale",
+            "smoke",
+            "--k",
+            "5",
+            "--queries",
+            "7",
+            "--seed",
+            "9",
+            "--out",
+            "x",
+            "--threads",
+            "2",
+        ]);
         assert_eq!(c.scale, Scale::Smoke);
         assert_eq!(c.k, 5);
         assert_eq!(c.n_queries, 7);

@@ -1,6 +1,7 @@
 //! Per-dataset experiment fixture: data, queries, ground truth, code length.
 
 use crate::cli::Config;
+use gqr_core::metrics::MetricsRegistry;
 use gqr_dataset::{brute_force_knn, Dataset, DatasetSpec, GroundTruth};
 
 /// Everything an experiment needs for one dataset: generated data, held-out
@@ -17,6 +18,10 @@ pub struct ExperimentContext {
     /// Seconds spent on the brute-force ground truth — also the "linear
     /// search" baseline of Table 1 (scaled: `n_queries` queries, not 1000).
     pub linear_search_s: f64,
+    /// Shared per-dataset metrics registry (enabled). Engines built through
+    /// [`crate::runner::engine_for`] record phase spans here; experiments
+    /// export it via `Reporter::write_metrics` as `metrics_*.{json,prom}`.
+    pub metrics: MetricsRegistry,
 }
 
 impl ExperimentContext {
@@ -39,6 +44,7 @@ impl ExperimentContext {
             ground_truth,
             code_length: spec.code_length(),
             linear_search_s,
+            metrics: MetricsRegistry::enabled(),
         }
     }
 
@@ -60,7 +66,12 @@ mod tests {
 
     #[test]
     fn prepare_smoke_context() {
-        let cfg = Config { scale: Scale::Smoke, n_queries: 5, k: 3, ..Default::default() };
+        let cfg = Config {
+            scale: Scale::Smoke,
+            n_queries: 5,
+            k: 3,
+            ..Default::default()
+        };
         let ctx = ExperimentContext::prepare(&DatasetSpec::cifar60k(), &cfg);
         assert_eq!(ctx.queries.len(), 5);
         assert_eq!(ctx.ground_truth.len(), 5);
@@ -68,5 +79,6 @@ mod tests {
         assert!(ctx.code_length >= 8);
         assert!(ctx.linear_search_s > 0.0);
         assert_eq!(ctx.n(), 2_000);
+        assert!(ctx.metrics.is_enabled());
     }
 }

@@ -35,7 +35,12 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         let mplsh = MpLshIndex::build(
             data,
             ctx.dim(),
-            &MpLshParams { tables: 6, hashes_per_table: 8, bucket_width: width, seed: cfg.seed },
+            &MpLshParams {
+                tables: 6,
+                hashes_per_table: 8,
+                bucket_width: width,
+                seed: cfg.seed,
+            },
         );
 
         for budget in [ctx.n() / 200, ctx.n() / 50, ctx.n() / 10] {
@@ -51,7 +56,11 @@ pub fn run(cfg: &Config) -> io::Result<()> {
             let mut gqr_found = 0usize;
             for (q, t) in ctx.queries.iter().zip(&ctx.ground_truth) {
                 let res = engine.search(q, &params);
-                gqr_found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+                gqr_found += res
+                    .neighbors
+                    .iter()
+                    .filter(|(id, _)| t.contains(id))
+                    .count();
             }
             let gqr_time = start.elapsed().as_secs_f64();
             let gqr_recall = gqr_found as f64 / (cfg.k * ctx.queries.len()) as f64;
@@ -62,7 +71,7 @@ pub fn run(cfg: &Config) -> io::Result<()> {
             let mut invalid = 0usize;
             let mut dups = 0usize;
             for (q, t) in ctx.queries.iter().zip(&ctx.ground_truth) {
-                let (res, stats) = mplsh.search(q, data, cfg.k, budget, 1024);
+                let (res, stats) = mplsh.search_metered(q, data, cfg.k, budget, 1024, &ctx.metrics);
                 mp_found += res.iter().filter(|(id, _)| t.contains(id)).count();
                 invalid += stats.invalid_sets;
                 dups += stats.duplicates_skipped;
@@ -88,6 +97,13 @@ pub fn run(cfg: &Config) -> io::Result<()> {
                 dups.to_string(),
             ]);
         }
+        reporter.write_metrics(
+            &format!(
+                "ext_mplsh_{}",
+                crate::experiments::sanitize(ctx.dataset.name())
+            ),
+            &ctx.metrics,
+        )?;
     }
     reporter.write_csv(
         "ext_mplsh_vs_gqr.csv",

@@ -51,19 +51,22 @@ pub fn run(cfg: &Config) -> io::Result<()> {
             let engine = engine_for(model.as_ref(), &table, &ctx);
             let budgets = budget_ladder(ctx.n(), cfg.k, 0.6);
             for &strategy in &STRATEGIES {
-                let curve = strategy_curve(strategy.name(), &engine, strategy, &ctx, cfg.k, &budgets);
+                let curve =
+                    strategy_curve(strategy.name(), &engine, strategy, &ctx, cfg.k, &budgets);
                 let t90 = time_to_recall(&curve, 0.90);
                 println!(
                     "[fig10] {} m={m} {}: t(90%) = {}",
                     ctx.dataset.name(),
                     strategy.name(),
-                    t90.map(|v| format!("{v:.3}s")).unwrap_or_else(|| "unreached".into())
+                    t90.map(|v| format!("{v:.3}s"))
+                        .unwrap_or_else(|| "unreached".into())
                 );
                 rows.push(vec![
                     ctx.dataset.name().to_string(),
                     m.to_string(),
                     strategy.name().to_string(),
-                    t90.map(|v| format!("{v:.4}")).unwrap_or_else(|| "unreached".into()),
+                    t90.map(|v| format!("{v:.4}"))
+                        .unwrap_or_else(|| "unreached".into()),
                 ]);
             }
         }

@@ -23,7 +23,8 @@ pub fn run(cfg: &Config) -> io::Result<()> {
     for spec in [DatasetSpec::tiny5m(), DatasetSpec::sift10m()] {
         for &k in &[1usize, 10, 50, 100] {
             let ctx = ExperimentContext::prepare_with_k(&spec, cfg, k);
-            let model = ModelKind::Itq.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, cfg.seed);
+            let model =
+                ModelKind::Itq.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, cfg.seed);
             let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
             let engine = engine_for(model.as_ref(), &table, &ctx);
             let budgets = budget_ladder(ctx.n(), k, 0.6);
@@ -50,7 +51,8 @@ pub fn run(cfg: &Config) -> io::Result<()> {
                 k.to_string(),
                 speedup(ghr),
                 speedup(gqr),
-                hr.map(|v| format!("{v:.4}")).unwrap_or_else(|| "unreached".into()),
+                hr.map(|v| format!("{v:.4}"))
+                    .unwrap_or_else(|| "unreached".into()),
             ]);
         }
     }

@@ -34,7 +34,12 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         // Short ladder: multi-table search lacks incremental checkpointing.
         let full = budget_ladder(ctx.n(), cfg.k, 0.5);
         let step = (full.len() / 6).max(1);
-        let budgets: Vec<usize> = full.iter().copied().step_by(step).chain([*full.last().unwrap()]).collect();
+        let budgets: Vec<usize> = full
+            .iter()
+            .copied()
+            .step_by(step)
+            .chain([*full.last().unwrap()])
+            .collect();
         let mut budgets = budgets;
         budgets.dedup();
 
@@ -53,7 +58,8 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         let mut curves = Vec::new();
         for &t in &table_counts {
             let refs: Vec<&dyn HashModel> = models[..t].iter().map(|m| m.as_ref()).collect();
-            let index = MultiTableIndex::build(refs, ctx.dataset.as_slice(), ctx.dim());
+            let index = MultiTableIndex::build(refs, ctx.dataset.as_slice(), ctx.dim())
+                .with_metrics(ctx.metrics.clone());
             let label = format!("GHR ({t})");
             let curve = multi_table_curve(
                 &label,
@@ -76,7 +82,14 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         // Single-table GQR reference.
         let table = HashTable::build(models[0].as_ref(), ctx.dataset.as_slice(), ctx.dim());
         let engine = engine_for(models[0].as_ref(), &table, &ctx);
-        let gqr = strategy_curve("GQR (1)", &engine, ProbeStrategy::GenerateQdRanking, &ctx, cfg.k, &budgets);
+        let gqr = strategy_curve(
+            "GQR (1)",
+            &engine,
+            ProbeStrategy::GenerateQdRanking,
+            &ctx,
+            cfg.k,
+            &budgets,
+        );
         println!(
             "[fig12] {} GQR (1): final recall {:.3} in {:.3}s",
             ctx.dataset.name(),
@@ -85,7 +98,14 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         );
         curves.push(gqr);
 
-        reporter.write_curves(&format!("fig12_multi_table_{}.csv", sanitize(ctx.dataset.name())), &curves)?;
+        reporter.write_curves(
+            &format!("fig12_multi_table_{}.csv", sanitize(ctx.dataset.name())),
+            &curves,
+        )?;
+        reporter.write_metrics(
+            &format!("fig12_multi_table_{}", sanitize(ctx.dataset.name())),
+            &ctx.metrics,
+        )?;
     }
     Ok(())
 }

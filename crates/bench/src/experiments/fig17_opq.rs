@@ -34,17 +34,36 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         let budgets = budget_ladder(ctx.n(), cfg.k, 0.5);
         let mut curves = Vec::new();
 
-        let model = ModelKind::Pcah.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, cfg.seed);
+        let model =
+            ModelKind::Pcah.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, cfg.seed);
         let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
         let engine = engine_for(model.as_ref(), &table, &ctx);
-        curves.push(strategy_curve("PCAH+GQR", &engine, ProbeStrategy::GenerateQdRanking, &ctx, cfg.k, &budgets));
-        curves.push(strategy_curve("PCAH+GHR", &engine, ProbeStrategy::GenerateHammingRanking, &ctx, cfg.k, &budgets));
+        curves.push(strategy_curve(
+            "PCAH+GQR",
+            &engine,
+            ProbeStrategy::GenerateQdRanking,
+            &ctx,
+            cfg.k,
+            &budgets,
+        ));
+        curves.push(strategy_curve(
+            "PCAH+GHR",
+            &engine,
+            ProbeStrategy::GenerateHammingRanking,
+            &ctx,
+            cfg.k,
+            &budgets,
+        ));
 
         let vq = OpqImiEngine::train(
             ctx.dataset.as_slice(),
             ctx.dim(),
-            &OpqImiConfig { seed: cfg.seed, ..Default::default() },
-        );
+            &OpqImiConfig {
+                seed: cfg.seed,
+                ..Default::default()
+            },
+        )
+        .with_metrics(ctx.metrics.clone());
         curves.push(vq.curve("OPQ+IMI", &ctx, cfg.k, &budgets));
 
         for c in &curves {
@@ -57,7 +76,14 @@ pub fn run(cfg: &Config) -> io::Result<()> {
                 last.total_time_s
             );
         }
-        reporter.write_curves(&format!("fig17_opq_{}.csv", sanitize(ctx.dataset.name())), &curves)?;
+        reporter.write_curves(
+            &format!("fig17_opq_{}.csv", sanitize(ctx.dataset.name())),
+            &curves,
+        )?;
+        reporter.write_metrics(
+            &format!("fig17_opq_{}", sanitize(ctx.dataset.name())),
+            &ctx.metrics,
+        )?;
     }
     Ok(())
 }

@@ -23,7 +23,10 @@ pub fn run(cfg: &Config) -> io::Result<()> {
             DatasetSpec::sift1m(),
         ],
         ModelKind::Kmh,
-        &[ProbeStrategy::GenerateQdRanking, ProbeStrategy::GenerateHammingRanking],
+        &[
+            ProbeStrategy::GenerateQdRanking,
+            ProbeStrategy::GenerateHammingRanking,
+        ],
         "fig20_kmh",
     )
 }

@@ -48,7 +48,10 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         let vq = OpqImiEngine::train(
             ctx.dataset.as_slice(),
             ctx.dim(),
-            &OpqImiConfig { seed: cfg.seed, ..Default::default() },
+            &OpqImiConfig {
+                seed: cfg.seed,
+                ..Default::default()
+            },
         );
         curves.push(vq.curve("OPQ+IMI", &ctx, cfg.k, &budgets));
 
@@ -62,8 +65,15 @@ pub fn run(cfg: &Config) -> io::Result<()> {
                 last.total_time_s
             );
         }
-        reporter.write_curves(&format!("fig21_22_{}.csv", sanitize(ctx.dataset.name())), &curves)?;
+        reporter.write_curves(
+            &format!("fig21_22_{}.csv", sanitize(ctx.dataset.name())),
+            &curves,
+        )?;
     }
-    reporter.write_csv("table3_datasets.csv", &["dataset", "dim", "items", "code_length"], &table3)?;
+    reporter.write_csv(
+        "table3_datasets.csv",
+        &["dataset", "dim", "items", "code_length"],
+        &table3,
+    )?;
     Ok(())
 }

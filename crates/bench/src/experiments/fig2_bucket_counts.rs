@@ -15,10 +15,18 @@ pub fn run(cfg: &Config) -> io::Result<()> {
     let mut rows = Vec::new();
     for m in [12usize, 16, 20, 24] {
         for r in 0..=m {
-            rows.push(vec![m.to_string(), r.to_string(), codes_at_distance(m, r).to_string()]);
+            rows.push(vec![
+                m.to_string(),
+                r.to_string(),
+                codes_at_distance(m, r).to_string(),
+            ]);
         }
     }
-    reporter.write_csv("fig2_bucket_counts.csv", &["code_length", "hamming_distance", "buckets"], &rows)?;
+    reporter.write_csv(
+        "fig2_bucket_counts.csv",
+        &["code_length", "hamming_distance", "buckets"],
+        &rows,
+    )?;
     // The paper's headline numbers: ~184756 buckets at r = 10 for m = 20.
     println!(
         "[fig2] m=20: C(20,10) = {} buckets share Hamming distance 10 (paper Fig 2 peak)",

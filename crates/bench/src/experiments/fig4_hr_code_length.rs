@@ -34,7 +34,14 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         let engine = engine_for(model.as_ref(), &table, &ctx);
         let budgets = budget_ladder(ctx.n(), cfg.k, 0.5);
         let label = format!("HR-{m}");
-        let curve = strategy_curve(&label, &engine, ProbeStrategy::HammingRanking, &ctx, cfg.k, &budgets);
+        let curve = strategy_curve(
+            &label,
+            &engine,
+            ProbeStrategy::HammingRanking,
+            &ctx,
+            cfg.k,
+            &budgets,
+        );
         for p in &curve.points {
             let precision = if p.mean_items > 0.0 {
                 (p.recall * cfg.k as f64) / p.mean_items
@@ -51,11 +58,21 @@ pub fn run(cfg: &Config) -> io::Result<()> {
             ]);
         }
         let last = curve.points.last().expect("non-empty");
-        println!("[fig4] {label}: final recall {:.3} in {:.3}s", last.recall, last.total_time_s);
+        println!(
+            "[fig4] {label}: final recall {:.3} in {:.3}s",
+            last.recall, last.total_time_s
+        );
     }
     reporter.write_csv(
         &format!("fig4_hr_code_length_{}.csv", sanitize(ctx.dataset.name())),
-        &["label", "budget", "recall", "precision", "total_time_s", "mean_items"],
+        &[
+            "label",
+            "budget",
+            "recall",
+            "precision",
+            "total_time_s",
+            "mean_items",
+        ],
         &rows,
     )?;
     Ok(())

@@ -21,10 +21,22 @@ const STRATEGIES: [ProbeStrategy; 3] = [
 
 /// Regenerate Fig 18 (ITQ).
 pub fn run_itq(cfg: &Config) -> io::Result<()> {
-    strategies_over_datasets(cfg, &DatasetSpec::table1(), ModelKind::Itq, &STRATEGIES, "fig18_mih_itq")
+    strategies_over_datasets(
+        cfg,
+        &DatasetSpec::table1(),
+        ModelKind::Itq,
+        &STRATEGIES,
+        "fig18_mih_itq",
+    )
 }
 
 /// Regenerate Fig 19 (PCAH).
 pub fn run_pcah(cfg: &Config) -> io::Result<()> {
-    strategies_over_datasets(cfg, &DatasetSpec::table1(), ModelKind::Pcah, &STRATEGIES, "fig19_mih_pcah")
+    strategies_over_datasets(
+        cfg,
+        &DatasetSpec::table1(),
+        ModelKind::Pcah,
+        &STRATEGIES,
+        "fig19_mih_pcah",
+    )
 }

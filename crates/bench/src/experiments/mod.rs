@@ -44,7 +44,10 @@ pub(crate) fn run_strategies(
     let model = kind.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, seed);
     let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
     let mut engine = engine_for(model.as_ref(), &table, ctx);
-    if strategies.iter().any(|s| matches!(s, ProbeStrategy::MultiIndexHashing { .. })) {
+    if strategies
+        .iter()
+        .any(|s| matches!(s, ProbeStrategy::MultiIndexHashing { .. }))
+    {
         let blocks = strategies
             .iter()
             .find_map(|s| match s {
@@ -87,7 +90,15 @@ pub(crate) fn strategies_over_datasets(
         let curves = run_strategies(&ctx, kind, strategies, cfg.k, cfg.seed, 0.5);
         let file = format!("{prefix}_{}.csv", sanitize(ctx.dataset.name()));
         reporter.write_curves(&file, &curves)?;
-        println!("{}", gqr_eval::plot::ascii_chart(&curves, gqr_eval::plot::Axis::Time, 64, 16));
+        let (mj, mp) = reporter.write_metrics(
+            &format!("{prefix}_{}", sanitize(ctx.dataset.name())),
+            &ctx.metrics,
+        )?;
+        println!("  metrics: {} + {}", mj.display(), mp.display());
+        println!(
+            "{}",
+            gqr_eval::plot::ascii_chart(&curves, gqr_eval::plot::Axis::Time, 64, 16)
+        );
         for curve in &curves {
             for &target in &RECALL_TARGETS {
                 let t = time_to_recall(curve, target);
@@ -95,7 +106,8 @@ pub(crate) fn strategies_over_datasets(
                     ctx.dataset.name().to_string(),
                     curve.label.clone(),
                     format!("{target:.2}"),
-                    t.map(|v| format!("{v:.4}")).unwrap_or_else(|| "unreached".into()),
+                    t.map(|v| format!("{v:.4}"))
+                        .unwrap_or_else(|| "unreached".into()),
                 ]);
             }
             let last = curve.points.last().expect("non-empty curve");
@@ -116,7 +128,13 @@ pub(crate) fn strategies_over_datasets(
 /// File-name-safe dataset label.
 pub(crate) fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -15,7 +15,14 @@ use std::io;
 /// Regenerate Table 1.
 pub fn run(cfg: &Config) -> io::Result<()> {
     let reporter = Reporter::new(&cfg.out_dir)?;
-    let header = ["dataset", "dim", "items", "megabytes", "linear_search_s", "per_query_ms"];
+    let header = [
+        "dataset",
+        "dim",
+        "items",
+        "megabytes",
+        "linear_search_s",
+        "per_query_ms",
+    ];
     let mut rows = Vec::new();
     for spec in DatasetSpec::table1() {
         let ctx = ExperimentContext::prepare(&spec, cfg);

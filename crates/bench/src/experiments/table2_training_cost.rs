@@ -33,7 +33,14 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         let data = ctx.dataset.as_slice();
 
         let (opq_engine, opq_usage) = measure(|| {
-            OpqImiEngine::train(data, ctx.dim(), &OpqImiConfig { seed: cfg.seed, ..Default::default() })
+            OpqImiEngine::train(
+                data,
+                ctx.dim(),
+                &OpqImiConfig {
+                    seed: cfg.seed,
+                    ..Default::default()
+                },
+            )
         });
         let (_pcah, pcah_usage) =
             measure(|| ModelKind::Pcah.train(data, ctx.dim(), ctx.code_length, cfg.seed));
@@ -50,10 +57,19 @@ pub fn run(cfg: &Config) -> io::Result<()> {
             ctx.dataset.name().to_string(),
             format!("{:.2}", opq_usage.wall_s),
             format!("{:.2}", pcah_usage.wall_s),
-            opq_usage.cpu_s.map(|v| format!("{v:.2}")).unwrap_or_else(|| "n/a".into()),
-            pcah_usage.cpu_s.map(|v| format!("{v:.2}")).unwrap_or_else(|| "n/a".into()),
+            opq_usage
+                .cpu_s
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "n/a".into()),
+            pcah_usage
+                .cpu_s
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "n/a".into()),
             format!("{:.2}", opq_engine.opq().model_bytes() as f64 / 1e6),
-            opq_usage.peak_rss_mb.map(|v| format!("{v:.0}")).unwrap_or_else(|| "n/a".into()),
+            opq_usage
+                .peak_rss_mb
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "n/a".into()),
         ]);
     }
     reporter.write_csv("table2_training_cost.csv", &header, &rows)?;

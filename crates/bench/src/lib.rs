@@ -7,7 +7,6 @@
 //! evaluation. See DESIGN.md for the experiment index and EXPERIMENTS.md for
 //! recorded paper-vs-measured outcomes.
 
-
 #![warn(missing_docs)]
 pub mod cli;
 pub mod context;

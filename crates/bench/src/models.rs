@@ -45,19 +45,43 @@ impl ModelKind {
     pub fn train(&self, data: &[f32], dim: usize, m: usize, seed: u64) -> Box<dyn HashModel> {
         match self {
             ModelKind::Itq => Box::new(
-                Itq::train_with(data, dim, m, &ItqOptions { seed, ..Default::default() })
-                    .expect("ITQ training"),
+                Itq::train_with(
+                    data,
+                    dim,
+                    m,
+                    &ItqOptions {
+                        seed,
+                        ..Default::default()
+                    },
+                )
+                .expect("ITQ training"),
             ),
             ModelKind::Pcah => Box::new(Pcah::train(data, dim, m).expect("PCAH training")),
             ModelKind::Sh => Box::new(SpectralHashing::train(data, dim, m).expect("SH training")),
             ModelKind::Kmh => Box::new(
-                KmeansHashing::train_with(data, dim, m, &KmhOptions { seed, ..Default::default() })
-                    .expect("KMH training"),
+                KmeansHashing::train_with(
+                    data,
+                    dim,
+                    m,
+                    &KmhOptions {
+                        seed,
+                        ..Default::default()
+                    },
+                )
+                .expect("KMH training"),
             ),
             ModelKind::Lsh => Box::new(Lsh::train(data, dim, m, seed).expect("LSH training")),
             ModelKind::IsoHash => Box::new(
-                IsoHash::train_with(data, dim, m, &IsoHashOptions { seed, ..Default::default() })
-                    .expect("IsoHash training"),
+                IsoHash::train_with(
+                    data,
+                    dim,
+                    m,
+                    &IsoHashOptions {
+                        seed,
+                        ..Default::default()
+                    },
+                )
+                .expect("IsoHash training"),
             ),
         }
     }
@@ -76,7 +100,14 @@ mod tests {
             data.push((i % 5) as f32);
             data.push((i % 29) as f32 - 14.0);
         }
-        for kind in [ModelKind::Itq, ModelKind::Pcah, ModelKind::Sh, ModelKind::Kmh, ModelKind::Lsh, ModelKind::IsoHash] {
+        for kind in [
+            ModelKind::Itq,
+            ModelKind::Pcah,
+            ModelKind::Sh,
+            ModelKind::Kmh,
+            ModelKind::Lsh,
+            ModelKind::IsoHash,
+        ] {
             let model = kind.train(&data, 4, 4, 1);
             assert_eq!(model.code_length(), 4, "{}", kind.name());
             let qe = model.encode_query(&data[..4]);

@@ -3,6 +3,7 @@
 
 use crate::context::ExperimentContext;
 use gqr_core::engine::{Checkpoint, ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::metrics::{MetricsRegistry, Phase, PhaseSpans};
 use gqr_core::multi_table::MultiTableIndex;
 use gqr_core::table::HashTable;
 use gqr_core::topk::TopK;
@@ -41,9 +42,18 @@ pub fn strategy_curve(
     k: usize,
     budgets: &[usize],
 ) -> RecallCurve {
-    let params = SearchParams { k, n_candidates: usize::MAX, strategy, early_stop: false, ..Default::default() };
+    let params = SearchParams {
+        k,
+        n_candidates: usize::MAX,
+        strategy,
+        early_stop: false,
+        ..Default::default()
+    };
     recall_time_curve(label, &ctx.queries, &ctx.ground_truth, budgets, |q, b| {
-        let full = SearchParams { n_candidates: *b.last().expect("budgets non-empty"), ..params };
+        let full = SearchParams {
+            n_candidates: *b.last().expect("budgets non-empty"),
+            ..params
+        };
         let (_, cps) = engine.search_traced(q, &full, b);
         cps
     })
@@ -64,7 +74,13 @@ pub fn multi_table_curve(
     recall_time_curve(label, &ctx.queries, &ctx.ground_truth, budgets, |q, bs| {
         bs.iter()
             .map(|&b| {
-                let params = SearchParams { k, n_candidates: b, strategy, early_stop: false, ..Default::default() };
+                let params = SearchParams {
+                    k,
+                    n_candidates: b,
+                    strategy,
+                    early_stop: false,
+                    ..Default::default()
+                };
                 let start = Instant::now();
                 let res = index.search(q, &params);
                 Checkpoint {
@@ -102,6 +118,7 @@ pub struct OpqImiEngine<'a> {
     /// PQ codes per item (row-major n × m_pq), present when `rerank == Adc`.
     codes: Vec<u8>,
     code_len: usize,
+    metrics: MetricsRegistry,
 }
 
 /// Configuration for [`OpqImiEngine::train`].
@@ -161,7 +178,11 @@ impl<'a> OpqImiEngine<'a> {
                 rounds: cfg.opq_rounds,
                 pq: PqOptions {
                     ks: cfg.pq_ks.min(train.len() / dim),
-                    kmeans: KMeansOptions { seed: cfg.seed, max_iters: 15, ..Default::default() },
+                    kmeans: KMeansOptions {
+                        seed: cfg.seed,
+                        max_iters: 15,
+                        ..Default::default()
+                    },
                 },
             },
         );
@@ -175,7 +196,12 @@ impl<'a> OpqImiEngine<'a> {
             dim,
             &ImiOptions {
                 k: cfg.imi_k.min(n),
-                kmeans: KMeansOptions { seed: cfg.seed ^ 0x1111, max_iters: 15, threads: 0, ..Default::default() },
+                kmeans: KMeansOptions {
+                    seed: cfg.seed ^ 0x1111,
+                    max_iters: 15,
+                    threads: 0,
+                    ..Default::default()
+                },
             },
         );
         // PQ codes for ADC re-ranking (over the rotated vectors, so the
@@ -190,7 +216,23 @@ impl<'a> OpqImiEngine<'a> {
         } else {
             (Vec::new(), 0)
         };
-        OpqImiEngine { opq, imi, data, dim, rerank: cfg.rerank, codes, code_len }
+        OpqImiEngine {
+            opq,
+            imi,
+            data,
+            dim,
+            rerank: cfg.rerank,
+            codes,
+            code_len,
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// Attach a metrics registry; `search_traced` then records phase spans
+    /// under component `gqr_imi`, strategy `OPQ+IMI`.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Checkpointed k-NN search compatible with the curve runner: traverse
@@ -198,10 +240,15 @@ impl<'a> OpqImiEngine<'a> {
     /// each budget.
     pub fn search_traced(&self, query: &[f32], k: usize, budgets: &[usize]) -> Vec<Checkpoint> {
         let start = Instant::now();
+        let mut spans = PhaseSpans::new(&self.metrics);
+        let t = spans.begin();
         let rotated_q = self.opq.rotate(query);
-        let adc_table = (self.rerank == RerankMode::Adc)
-            .then(|| self.opq.pq().distance_table(&rotated_q));
+        let adc_table =
+            (self.rerank == RerankMode::Adc).then(|| self.opq.pq().distance_table(&rotated_q));
+        spans.end(Phase::HashQuery, t);
+        let t = spans.begin();
         let mut traversal = self.imi.traverse(&rotated_q);
+        spans.end(Phase::ProbeGenerate, t);
         let mut topk = TopK::new(k);
         let mut evaluated = 0usize;
         let mut cells = 0usize;
@@ -209,24 +256,34 @@ impl<'a> OpqImiEngine<'a> {
 
         for &budget in budgets {
             while evaluated < budget {
-                let Some((u, v, _score)) = traversal.next() else { break };
+                let t = spans.begin();
+                let next = traversal.next();
+                spans.end(Phase::ProbeGenerate, t);
+                let Some((u, v, _score)) = next else { break };
                 cells += 1;
-                for &id in self.imi.cell(u, v) {
+                let t = spans.begin();
+                let cell = self.imi.cell(u, v);
+                spans.end(Phase::BucketLookup, t);
+                let t = spans.begin();
+                for &id in cell {
                     let dist = match &adc_table {
                         Some(table) => gqr_vq::pq::ProductQuantizer::adc(
                             table,
-                            &self.codes[id as usize * self.code_len..(id as usize + 1) * self.code_len],
+                            &self.codes
+                                [id as usize * self.code_len..(id as usize + 1) * self.code_len],
                         ),
                         None => {
-                            let row = &self.data
-                                [id as usize * self.dim..(id as usize + 1) * self.dim];
+                            let row =
+                                &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
                             sq_dist_f32(query, row)
                         }
                     };
                     topk.push(dist, id);
                     evaluated += 1;
                 }
+                spans.end(Phase::Evaluate, t);
             }
+            let t = spans.begin();
             cps.push(Checkpoint {
                 budget,
                 items_evaluated: evaluated,
@@ -234,7 +291,9 @@ impl<'a> OpqImiEngine<'a> {
                 elapsed: start.elapsed(),
                 top_ids: topk.ids_unordered().collect(),
             });
+            spans.end(Phase::Rerank, t);
         }
+        spans.flush(&self.metrics, "gqr_imi", "OPQ+IMI", start.elapsed());
         cps
     }
 
@@ -258,13 +317,15 @@ impl<'a> OpqImiEngine<'a> {
 }
 
 /// Build a [`QueryEngine`] over a boxed model (the common pattern in the
-/// experiment functions).
+/// experiment functions). The engine shares the context's metrics registry,
+/// so every search contributes phase spans to the dataset's export.
 pub fn engine_for<'e>(
     model: &'e dyn HashModel,
     table: &'e HashTable,
     ctx: &'e ExperimentContext,
 ) -> QueryEngine<'e, dyn HashModel + 'e> {
     QueryEngine::new(model, table, ctx.dataset.as_slice(), ctx.dim())
+        .with_metrics(ctx.metrics.clone())
 }
 
 #[cfg(test)]
@@ -275,7 +336,12 @@ mod tests {
     use gqr_dataset::{DatasetSpec, Scale};
 
     fn smoke_ctx() -> ExperimentContext {
-        let cfg = Config { scale: Scale::Smoke, n_queries: 10, k: 5, ..Default::default() };
+        let cfg = Config {
+            scale: Scale::Smoke,
+            n_queries: 10,
+            k: 5,
+            ..Default::default()
+        };
         ExperimentContext::prepare(&DatasetSpec::cifar60k(), &cfg)
     }
 
@@ -301,9 +367,20 @@ mod tests {
         let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
         let engine = engine_for(model.as_ref(), &table, &ctx);
         let budgets = vec![50, ctx.n()];
-        let curve = strategy_curve("GQR", &engine, ProbeStrategy::GenerateQdRanking, &ctx, 5, &budgets);
+        let curve = strategy_curve(
+            "GQR",
+            &engine,
+            ProbeStrategy::GenerateQdRanking,
+            &ctx,
+            5,
+            &budgets,
+        );
         let last = curve.points.last().unwrap();
-        assert!(last.recall > 0.999, "full probing must find everything, got {}", last.recall);
+        assert!(
+            last.recall > 0.999,
+            "full probing must find everything, got {}",
+            last.recall
+        );
         assert!(curve.points[0].recall <= last.recall + 1e-12);
     }
 
@@ -313,11 +390,23 @@ mod tests {
         let eng = OpqImiEngine::train(
             ctx.dataset.as_slice(),
             ctx.dim(),
-            &OpqImiConfig { imi_k: 8, pq_ks: 16, pq_subspaces: 2, opq_rounds: 2, seed: 3, train_rows: 0, ..Default::default() },
+            &OpqImiConfig {
+                imi_k: 8,
+                pq_ks: 16,
+                pq_subspaces: 2,
+                opq_rounds: 2,
+                seed: 3,
+                train_rows: 0,
+                ..Default::default()
+            },
         );
         let budgets = vec![ctx.n()];
         let curve = eng.curve("OPQ+IMI", &ctx, 5, &budgets);
-        assert!(curve.points[0].recall > 0.999, "got {}", curve.points[0].recall);
+        assert!(
+            curve.points[0].recall > 0.999,
+            "got {}",
+            curve.points[0].recall
+        );
     }
 
     #[test]
@@ -336,14 +425,70 @@ mod tests {
         let exact = OpqImiEngine::train(
             ctx.dataset.as_slice(),
             ctx.dim(),
-            &OpqImiConfig { rerank: RerankMode::Exact, ..cfg },
+            &OpqImiConfig {
+                rerank: RerankMode::Exact,
+                ..cfg
+            },
         );
         let budgets = vec![ctx.n()];
         let r_adc = adc.curve("ADC", &ctx, 5, &budgets).points[0].recall;
         let r_exact = exact.curve("Exact", &ctx, 5, &budgets).points[0].recall;
-        assert!(r_exact > 0.999, "exact rerank exhaustive must be perfect: {r_exact}");
+        assert!(
+            r_exact > 0.999,
+            "exact rerank exhaustive must be perfect: {r_exact}"
+        );
         assert!(r_adc > 0.4, "ADC rerank should still be useful: {r_adc}");
-        assert!(r_adc <= r_exact + 1e-9, "quantized scoring cannot beat exact");
+        assert!(
+            r_adc <= r_exact + 1e-9,
+            "quantized scoring cannot beat exact"
+        );
+    }
+
+    #[test]
+    fn opq_imi_engine_records_phase_spans() {
+        let ctx = smoke_ctx();
+        let eng = OpqImiEngine::train(
+            ctx.dataset.as_slice(),
+            ctx.dim(),
+            &OpqImiConfig {
+                imi_k: 8,
+                pq_ks: 16,
+                pq_subspaces: 2,
+                opq_rounds: 2,
+                seed: 3,
+                train_rows: 0,
+                ..Default::default()
+            },
+        )
+        .with_metrics(ctx.metrics.clone());
+        let cps = eng.search_traced(&ctx.queries[0], 5, &[50]);
+        assert_eq!(cps.len(), 1);
+        assert_eq!(
+            ctx.metrics
+                .counter_value("gqr_imi_queries_total{strategy=\"OPQ+IMI\"}"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn engine_for_shares_context_registry() {
+        let ctx = smoke_ctx();
+        let model = ModelKind::Pcah.train(ctx.dataset.as_slice(), ctx.dim(), 8, 1);
+        let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+        let engine = engine_for(model.as_ref(), &table, &ctx);
+        let params = SearchParams {
+            k: 5,
+            n_candidates: 100,
+            ..Default::default()
+        };
+        let _ = engine.search(&ctx.queries[0], &params);
+        assert!(
+            ctx.metrics
+                .counter_names()
+                .iter()
+                .any(|n| n.starts_with("gqr_query_queries_total")),
+            "engine searches must land in the context registry"
+        );
     }
 
     #[test]
@@ -351,8 +496,19 @@ mod tests {
         let ctx = smoke_ctx();
         let m1 = ModelKind::Lsh.train(ctx.dataset.as_slice(), ctx.dim(), 8, 1);
         let m2 = ModelKind::Lsh.train(ctx.dataset.as_slice(), ctx.dim(), 8, 2);
-        let idx = MultiTableIndex::build(vec![m1.as_ref(), m2.as_ref()], ctx.dataset.as_slice(), ctx.dim());
-        let curve = multi_table_curve("GHR(2)", &idx, ProbeStrategy::GenerateHammingRanking, &ctx, 5, &[100, 2000]);
+        let idx = MultiTableIndex::build(
+            vec![m1.as_ref(), m2.as_ref()],
+            ctx.dataset.as_slice(),
+            ctx.dim(),
+        );
+        let curve = multi_table_curve(
+            "GHR(2)",
+            &idx,
+            ProbeStrategy::GenerateHammingRanking,
+            &ctx,
+            5,
+            &[100, 2000],
+        );
         assert_eq!(curve.points.len(), 2);
         assert!(curve.points[1].recall > 0.99);
     }

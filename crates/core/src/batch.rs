@@ -2,21 +2,31 @@
 //! query streams. Parallelism is over queries (shared immutable index).
 
 use crate::engine::{SearchParams, SearchResult};
+use crate::metrics::metric_name;
 use crate::table::HashTable;
 use gqr_l2h::HashModel;
+use std::time::Instant;
 
 impl<M: HashModel + ?Sized> crate::engine::QueryEngine<'_, M> {
     /// Run one search per query, in parallel over `threads` OS threads
     /// (`0` = all cores). Results keep query order. Falls back to the serial
     /// path for tiny batches where spawn overhead dominates.
+    ///
+    /// With a metrics registry attached, every worker records its per-query
+    /// phase spans into the shared registry (histogram recording is
+    /// lock-free), and the batch as a whole records
+    /// `gqr_batch_wall_ns`/`gqr_batch_queries_total`.
     pub fn search_batch(
         &self,
         queries: &[Vec<f32>],
         params: &SearchParams,
         threads: usize,
     ) -> Vec<SearchResult> {
+        let wall = Instant::now();
         let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             threads
         };
@@ -38,7 +48,21 @@ impl<M: HashModel + ?Sized> crate::engine::QueryEngine<'_, M> {
             })
             .expect("batch search worker panicked");
         }
-        results.into_iter().map(|r| r.expect("every slot filled")).collect()
+        if self.metrics().is_enabled() {
+            let strat = params.strategy.name();
+            self.metrics().add(
+                &metric_name("gqr_batch_queries_total", &[("strategy", strat)]),
+                queries.len() as u64,
+            );
+            self.metrics().record_duration(
+                &metric_name("gqr_batch_wall_ns", &[("strategy", strat)]),
+                wall.elapsed(),
+            );
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
     }
 }
 
@@ -54,7 +78,11 @@ pub fn batch_recall(results: &[SearchResult], truth: &[Vec<u32>]) -> f64 {
             acc += 1.0;
             continue;
         }
-        let found = res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+        let found = res
+            .neighbors
+            .iter()
+            .filter(|(id, _)| t.contains(id))
+            .count();
         acc += found as f64 / t.len() as f64;
     }
     acc / results.len() as f64
@@ -69,12 +97,17 @@ pub fn build_tables_parallel(
     threads: usize,
 ) -> Vec<HashTable> {
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         threads
     };
     if threads <= 1 || models.len() == 1 {
-        return models.iter().map(|m| HashTable::build(*m, data, dim)).collect();
+        return models
+            .iter()
+            .map(|m| HashTable::build(*m, data, dim))
+            .collect();
     }
     let mut tables: Vec<Option<HashTable>> = (0..models.len()).map(|_| None).collect();
     crossbeam::scope(|scope| {
@@ -85,7 +118,10 @@ pub fn build_tables_parallel(
         }
     })
     .expect("table build worker panicked");
-    tables.into_iter().map(|t| t.expect("every slot filled")).collect()
+    tables
+        .into_iter()
+        .map(|t| t.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -109,7 +145,9 @@ mod tests {
         let model = Pcah::train(&data, 2, 2).unwrap();
         let table = HashTable::build(&model, &data, 2);
         let engine = QueryEngine::new(&model, &table, &data, 2);
-        let queries: Vec<Vec<f32>> = (0..30).map(|i| vec![(i % 19) as f32 + 0.3, (i / 2) as f32]).collect();
+        let queries: Vec<Vec<f32>> = (0..30)
+            .map(|i| vec![(i % 19) as f32 + 0.3, (i / 2) as f32])
+            .collect();
         let params = SearchParams {
             k: 5,
             n_candidates: 60,
@@ -133,7 +171,11 @@ mod tests {
         let engine = QueryEngine::new(&model, &table, &data, 2);
         let queries: Vec<Vec<f32>> = vec![vec![0.0, 0.0], vec![5.0, 5.0]];
         let truth = vec![vec![0u32], vec![105u32]];
-        let params = SearchParams { k: 1, n_candidates: usize::MAX, ..Default::default() };
+        let params = SearchParams {
+            k: 1,
+            n_candidates: usize::MAX,
+            ..Default::default()
+        };
         let results = engine.search_batch(&queries, &params, 2);
         let r = batch_recall(&results, &truth);
         assert!(r > 0.49, "at least one exact hit expected, got {r}");

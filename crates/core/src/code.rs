@@ -58,7 +58,10 @@ impl FixedWeightMasks {
         assert!(k <= m, "weight cannot exceed width");
         let limit = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
         let first = if k == 0 { 0 } else { (1u64 << k) - 1 };
-        FixedWeightMasks { next: Some(first), limit }
+        FixedWeightMasks {
+            next: Some(first),
+            limit,
+        }
     }
 }
 
@@ -92,7 +95,10 @@ mod tests {
     use super::*;
 
     fn qe(code: u64, costs: &[f64]) -> QueryEncoding {
-        QueryEncoding { code, flip_costs: costs.to_vec() }
+        QueryEncoding {
+            code,
+            flip_costs: costs.to_vec(),
+        }
     }
 
     #[test]

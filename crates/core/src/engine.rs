@@ -6,10 +6,9 @@
 //! incremental, which also enables the checkpointed instrumentation behind
 //! every recall–time curve in the evaluation).
 
+use crate::metrics::{MetricsRegistry, Phase, PhaseSpans};
 use crate::probe::mih::MihIndex;
-use crate::probe::{
-    GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking,
-};
+use crate::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
 use crate::stats::ProbeStats;
 use crate::table::HashTable;
 use crate::topk::TopK;
@@ -124,6 +123,7 @@ pub struct QueryEngine<'a, M: HashModel + ?Sized> {
     dim: usize,
     metric: Metric,
     mih: Option<MihIndex>,
+    metrics: MetricsRegistry,
 }
 
 impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
@@ -140,7 +140,37 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
                 "table references id {max_id} beyond the data buffer"
             );
         }
-        QueryEngine { model, table, data, dim, metric: Metric::SquaredEuclidean, mih: None }
+        QueryEngine {
+            model,
+            table,
+            data,
+            dim,
+            metric: Metric::SquaredEuclidean,
+            mih: None,
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// Attach a metrics registry (builder style). With an enabled registry
+    /// every search records per-phase spans (`hash_query`, `probe_generate`,
+    /// `bucket_lookup`, `evaluate`, `rerank`) and per-query totals under the
+    /// `gqr_query_*` metric family, labelled by strategy. The default
+    /// (disabled) registry keeps the query path allocation-free and reads no
+    /// clocks beyond the pre-existing wall timer.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Replace the metrics registry in place (for engines that are already
+    /// built, e.g. after [`QueryEngine::enable_mih`]).
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
+    }
+
+    /// The attached metrics registry (disabled unless one was attached).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Switch the exact-evaluation metric (builder style). The probing order
@@ -209,7 +239,10 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         budgets: &[usize],
     ) -> (SearchResult, Vec<Checkpoint>) {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        debug_assert!(budgets.windows(2).all(|w| w[0] <= w[1]), "budgets must ascend");
+        debug_assert!(
+            budgets.windows(2).all(|w| w[0] <= w[1]),
+            "budgets must ascend"
+        );
         let start = Instant::now();
         match params.strategy {
             ProbeStrategy::MultiIndexHashing { .. } => self.run_mih(query, params, budgets, start),
@@ -247,7 +280,11 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         start: Instant,
         mut filter: Option<&mut dyn FnMut(u32) -> bool>,
     ) -> (SearchResult, Vec<Checkpoint>) {
+        let mut spans = PhaseSpans::new(&self.metrics);
+        let t = spans.begin();
         let qe = self.model.encode_query(query);
+        spans.end(Phase::HashQuery, t);
+        let t = spans.begin();
         let mut prober: Box<dyn Prober + '_> = match params.strategy {
             ProbeStrategy::HammingRanking => Box::new(HammingRanking::new(self.table)),
             ProbeStrategy::GenerateHammingRanking => {
@@ -260,6 +297,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             ProbeStrategy::MultiIndexHashing { .. } => unreachable!("handled by run_mih"),
         };
         prober.reset(&qe);
+        spans.end(Phase::ProbeGenerate, t);
 
         // Early-stop constant µ = 1/(σ_max(H)·√m), Theorem 2.
         let qd_strategy = matches!(
@@ -281,28 +319,38 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
 
         let n_items = self.table.n_items();
         while stats.items_evaluated < params.n_candidates && stats.items_evaluated < n_items {
-            if params.max_buckets.is_some_and(|mb| stats.buckets_probed >= mb) {
+            if params
+                .max_buckets
+                .is_some_and(|mb| stats.buckets_probed >= mb)
+            {
                 break;
             }
             if params.time_limit.is_some_and(|tl| start.elapsed() >= tl) {
                 break;
             }
+            let t = spans.begin();
             if let (Some(mu), Some(dk)) = (mu, topk.kth_dist()) {
                 if let Some(qd) = prober.peek_cost() {
                     let bound = mu * qd;
                     if (bound * bound) as f32 >= dk {
+                        spans.end(Phase::ProbeGenerate, t);
                         break; // no remaining bucket can improve the top-k
                     }
                 }
             }
-            let Some(code) = prober.next_bucket() else { break };
+            let next = prober.next_bucket();
+            spans.end(Phase::ProbeGenerate, t);
+            let Some(code) = next else { break };
             stats.buckets_probed += 1;
+            let t = spans.begin();
             let items = self.table.bucket(code);
+            spans.end(Phase::BucketLookup, t);
             if items.is_empty() {
                 stats.empty_buckets += 1;
                 continue;
             }
             stats.items_collected += items.len();
+            let t = spans.begin();
             for &id in items {
                 if let Some(f) = filter.as_deref_mut() {
                     if !f(id) {
@@ -313,6 +361,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
                 topk.push(self.metric.eval(query, row), id);
                 stats.items_evaluated += 1;
             }
+            spans.end(Phase::Evaluate, t);
             while let Some(&b) = next_budget.peek() {
                 if stats.items_evaluated < b {
                     break;
@@ -325,7 +374,18 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         for b in next_budget {
             checkpoints.push(self.snapshot(b, &stats, start, &topk));
         }
-        (SearchResult { neighbors: topk.into_sorted(), stats }, checkpoints)
+        let t = spans.begin();
+        let neighbors = topk.into_sorted();
+        spans.end(Phase::Rerank, t);
+        #[cfg(debug_assertions)]
+        stats.checked_invariants();
+        spans.flush(
+            &self.metrics,
+            "gqr_query",
+            params.strategy.name(),
+            start.elapsed(),
+        );
+        (SearchResult { neighbors, stats }, checkpoints)
     }
 
     fn run_mih(
@@ -339,8 +399,13 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             .mih
             .as_ref()
             .expect("call enable_mih() before searching with MultiIndexHashing");
+        let mut spans = PhaseSpans::new(&self.metrics);
+        let t = spans.begin();
         let code = self.model.encode(query);
+        spans.end(Phase::HashQuery, t);
+        let t = spans.begin();
         let mut searcher = mih.search(code);
+        spans.end(Phase::ProbeGenerate, t);
         let mut topk = TopK::new(params.k);
         let mut stats = ProbeStats::default();
         let mut checkpoints = Vec::with_capacity(budgets.len());
@@ -352,14 +417,19 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
                 break;
             }
             batch.clear();
-            if searcher.next_batch(&mut batch).is_none() {
+            let t = spans.begin();
+            let got = searcher.next_batch(&mut batch);
+            spans.end(Phase::BucketLookup, t);
+            if got.is_none() {
                 break;
             }
             stats.items_collected += batch.len();
+            let t = spans.begin();
             for &id in &batch {
                 let row = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
                 topk.push(self.metric.eval(query, row), id);
             }
+            spans.end(Phase::Evaluate, t);
             stats.items_evaluated += batch.len();
             while let Some(&b) = next_budget.peek() {
                 if stats.items_evaluated < b {
@@ -376,10 +446,27 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         for b in next_budget {
             checkpoints.push(self.snapshot(b, &stats, start, &topk));
         }
-        (SearchResult { neighbors: topk.into_sorted(), stats }, checkpoints)
+        let t = spans.begin();
+        let neighbors = topk.into_sorted();
+        spans.end(Phase::Rerank, t);
+        #[cfg(debug_assertions)]
+        stats.checked_invariants();
+        spans.flush(
+            &self.metrics,
+            "gqr_query",
+            params.strategy.name(),
+            start.elapsed(),
+        );
+        (SearchResult { neighbors, stats }, checkpoints)
     }
 
-    fn snapshot(&self, budget: usize, stats: &ProbeStats, start: Instant, topk: &TopK) -> Checkpoint {
+    fn snapshot(
+        &self,
+        budget: usize,
+        stats: &ProbeStats,
+        start: Instant,
+        topk: &TopK,
+    ) -> Checkpoint {
         Checkpoint {
             budget,
             items_evaluated: stats.items_evaluated,
@@ -438,10 +525,21 @@ mod tests {
             ProbeStrategy::GenerateQdRanking,
             ProbeStrategy::MultiIndexHashing { blocks: 2 },
         ] {
-            let params = SearchParams { k: 5, n_candidates: usize::MAX, strategy, early_stop: false, ..Default::default() };
+            let params = SearchParams {
+                k: 5,
+                n_candidates: usize::MAX,
+                strategy,
+                early_stop: false,
+                ..Default::default()
+            };
             let res = engine.search(&q, &params);
             let ids: Vec<u32> = res.neighbors.iter().map(|&(i, _)| i).collect();
-            assert_eq!(ids, expect, "strategy {} must find exact kNN when probing everything", strategy.name());
+            assert_eq!(
+                ids,
+                expect,
+                "strategy {} must find exact kNN when probing everything",
+                strategy.name()
+            );
             assert_eq!(res.stats.items_evaluated, 400, "{}", strategy.name());
         }
     }
@@ -460,7 +558,10 @@ mod tests {
                 early_stop: false,
                 ..Default::default()
             };
-            let pg = SearchParams { strategy: ProbeStrategy::GenerateQdRanking, ..pq };
+            let pg = SearchParams {
+                strategy: ProbeStrategy::GenerateQdRanking,
+                ..pq
+            };
             let a = engine.search(&q, &pq);
             let b = engine.search(&q, &pg);
             assert_eq!(a.neighbors, b.neighbors, "budget {budget}");
@@ -484,10 +585,19 @@ mod tests {
         assert_eq!(hr.stats.empty_buckets, 0, "HR only visits occupied buckets");
         let ghr = engine.search(
             &q,
-            &SearchParams { strategy: ProbeStrategy::GenerateHammingRanking, ..params },
+            &SearchParams {
+                strategy: ProbeStrategy::GenerateHammingRanking,
+                ..params
+            },
         );
-        assert_eq!(ghr.stats.buckets_probed, 4, "GHR enumerates the full 2^m space");
-        assert_eq!(ghr.stats.buckets_probed - ghr.stats.empty_buckets, hr.stats.buckets_probed);
+        assert_eq!(
+            ghr.stats.buckets_probed, 4,
+            "GHR enumerates the full 2^m space"
+        );
+        assert_eq!(
+            ghr.stats.buckets_probed - ghr.stats.empty_buckets,
+            hr.stats.buckets_probed
+        );
     }
 
     #[test]
@@ -528,7 +638,9 @@ mod tests {
             assert_eq!(cp.top_ids.len(), 5);
         }
         assert!(cps.windows(2).all(|w| w[0].elapsed <= w[1].elapsed));
-        assert!(cps.windows(2).all(|w| w[0].items_evaluated <= w[1].items_evaluated));
+        assert!(cps
+            .windows(2)
+            .all(|w| w[0].items_evaluated <= w[1].items_evaluated));
     }
 
     #[test]
@@ -545,7 +657,10 @@ mod tests {
             early_stop: false,
             ..Default::default()
         };
-        let with_stop = SearchParams { early_stop: true, ..base };
+        let with_stop = SearchParams {
+            early_stop: true,
+            ..base
+        };
         let a = engine.search(&q, &base);
         let b = engine.search(&q, &with_stop);
         assert_eq!(a.neighbors, b.neighbors);

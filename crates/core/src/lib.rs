@@ -48,20 +48,21 @@
 //! assert_eq!(result.neighbors.len(), 5);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod batch;
 pub mod code;
 pub mod engine;
-pub mod range;
+pub use gqr_metrics as metrics;
 pub mod multi_table;
 pub mod probe;
+pub mod range;
 pub mod stats;
 pub mod table;
 pub mod topk;
 
 pub use code::{hamming, quantization_distance};
 pub use engine::{ProbeStrategy, QueryEngine, SearchParams, SearchResult};
+pub use gqr_metrics::{MetricsRegistry, MetricsSnapshot, Phase, PhaseSpans};
 pub use probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
 pub use stats::ProbeStats;
 pub use table::HashTable;

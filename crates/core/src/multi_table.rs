@@ -10,12 +10,14 @@
 //! multi-table setups trade memory for recall.
 
 use crate::engine::{ProbeStrategy, SearchParams, SearchResult};
+use crate::metrics::{MetricsRegistry, Phase, PhaseSpans};
 use crate::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
 use crate::stats::ProbeStats;
 use crate::table::HashTable;
 use crate::topk::TopK;
 use gqr_l2h::HashModel;
 use gqr_linalg::vecops::sq_dist_f32;
+use std::time::Instant;
 
 /// An index of `T` hash tables over the same dataset.
 pub struct MultiTableIndex<'a> {
@@ -23,15 +25,42 @@ pub struct MultiTableIndex<'a> {
     tables: Vec<HashTable>,
     data: &'a [f32],
     dim: usize,
+    metrics: MetricsRegistry,
 }
 
 impl<'a> MultiTableIndex<'a> {
     /// Build one table per model over the same `data`.
-    pub fn build(models: Vec<&'a dyn HashModel>, data: &'a [f32], dim: usize) -> MultiTableIndex<'a> {
+    pub fn build(
+        models: Vec<&'a dyn HashModel>,
+        data: &'a [f32],
+        dim: usize,
+    ) -> MultiTableIndex<'a> {
         assert!(!models.is_empty(), "need at least one table");
-        let tables: Vec<HashTable> =
-            models.iter().map(|m| HashTable::build(*m, data, dim)).collect();
-        MultiTableIndex { models, tables, data, dim }
+        let tables: Vec<HashTable> = models
+            .iter()
+            .map(|m| HashTable::build(*m, data, dim))
+            .collect();
+        MultiTableIndex {
+            models,
+            tables,
+            data,
+            dim,
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// Attach a metrics registry (builder style). Searches then record phase
+    /// spans and totals under the `gqr_multi_table_*` metric family; the
+    /// `probe_generate` phase covers the cross-table merge (picking the
+    /// table whose next bucket has the smallest cost indicator).
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached metrics registry (disabled unless one was attached).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Number of tables.
@@ -50,11 +79,16 @@ impl<'a> MultiTableIndex<'a> {
     pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResult {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         let n_items = self.data.len() / self.dim;
+        let start = Instant::now();
+        let mut spans = PhaseSpans::new(&self.metrics);
 
         // Per-table prober + query encoding.
         let mut probers: Vec<Box<dyn Prober + '_>> = Vec::with_capacity(self.tables.len());
         for (model, table) in self.models.iter().zip(&self.tables) {
+            let t = spans.begin();
             let qe = model.encode_query(query);
+            spans.end(Phase::HashQuery, t);
+            let t = spans.begin();
             let mut p: Box<dyn Prober + '_> = match params.strategy {
                 ProbeStrategy::HammingRanking => Box::new(HammingRanking::new(table)),
                 ProbeStrategy::GenerateHammingRanking => {
@@ -69,6 +103,7 @@ impl<'a> MultiTableIndex<'a> {
                 }
             };
             p.reset(&qe);
+            spans.end(Phase::ProbeGenerate, t);
             probers.push(p);
         }
 
@@ -78,6 +113,7 @@ impl<'a> MultiTableIndex<'a> {
 
         while stats.items_evaluated < params.n_candidates {
             // Pick the table whose next bucket has the smallest indicator.
+            let tg = spans.begin();
             let mut best: Option<(usize, f64)> = None;
             for (t, p) in probers.iter_mut().enumerate() {
                 if let Some(c) = p.peek_cost() {
@@ -86,15 +122,20 @@ impl<'a> MultiTableIndex<'a> {
                     }
                 }
             }
-            let Some((t, _)) = best else { break };
-            let code = probers[t].next_bucket().expect("peeked prober must yield");
+            let next = best.map(|(t, _)| (t, probers[t].next_bucket()));
+            spans.end(Phase::ProbeGenerate, tg);
+            let Some((t, code)) = next else { break };
+            let code = code.expect("peeked prober must yield");
             stats.buckets_probed += 1;
+            let tl = spans.begin();
             let items = self.tables[t].bucket(code);
+            spans.end(Phase::BucketLookup, tl);
             if items.is_empty() {
                 stats.empty_buckets += 1;
                 continue;
             }
             stats.items_collected += items.len();
+            let te = spans.begin();
             for &id in items {
                 let seen = &mut visited[id as usize];
                 if *seen {
@@ -106,8 +147,20 @@ impl<'a> MultiTableIndex<'a> {
                 topk.push(sq_dist_f32(query, row), id);
                 stats.items_evaluated += 1;
             }
+            spans.end(Phase::Evaluate, te);
         }
-        SearchResult { neighbors: topk.into_sorted(), stats }
+        let tr = spans.begin();
+        let neighbors = topk.into_sorted();
+        spans.end(Phase::Rerank, tr);
+        #[cfg(debug_assertions)]
+        stats.checked_invariants();
+        spans.flush(
+            &self.metrics,
+            "gqr_multi_table",
+            params.strategy.name(),
+            start.elapsed(),
+        );
+        SearchResult { neighbors, stats }
     }
 }
 
@@ -126,7 +179,9 @@ mod tests {
     }
 
     fn models(data: &[f32], n: usize) -> Vec<Lsh> {
-        (0..n).map(|s| Lsh::train(data, 2, 6, s as u64 + 1).unwrap()).collect()
+        (0..n)
+            .map(|s| Lsh::train(data, 2, 6, s as u64 + 1).unwrap())
+            .collect()
     }
 
     #[test]
@@ -156,7 +211,10 @@ mod tests {
         let got: Vec<u32> = res.neighbors.iter().map(|&(i, _)| i).collect();
         assert_eq!(got, expect);
         assert_eq!(res.stats.items_evaluated, 400, "each item evaluated once");
-        assert!(res.stats.duplicates_skipped >= 400, "tables overlap heavily when drained");
+        assert!(
+            res.stats.duplicates_skipped >= 400,
+            "tables overlap heavily when drained"
+        );
     }
 
     #[test]
@@ -176,17 +234,22 @@ mod tests {
             ..Default::default()
         };
         let single = MultiTableIndex::build(vec![&ms[0] as &dyn HashModel], &data, 2);
-        let triple = MultiTableIndex::build(ms.iter().map(|m| m as &dyn HashModel).collect(), &data, 2);
+        let triple =
+            MultiTableIndex::build(ms.iter().map(|m| m as &dyn HashModel).collect(), &data, 2);
         let s1 = single.search(&q, &params);
         let s3 = triple.search(&q, &params);
-        assert!(s3.neighbors[0].1 <= s1.neighbors[0].1, "3 tables at least as close");
+        assert!(
+            s3.neighbors[0].1 <= s1.neighbors[0].1,
+            "3 tables at least as close"
+        );
     }
 
     #[test]
     fn budget_respected_and_duplicates_counted() {
         let data = grid();
         let ms = models(&data, 2);
-        let idx = MultiTableIndex::build(ms.iter().map(|m| m as &dyn HashModel).collect(), &data, 2);
+        let idx =
+            MultiTableIndex::build(ms.iter().map(|m| m as &dyn HashModel).collect(), &data, 2);
         let params = SearchParams {
             k: 3,
             n_candidates: 50,
@@ -208,7 +271,8 @@ mod tests {
         let data = grid();
         let ms = models(&data, 3);
         let one = MultiTableIndex::build(vec![&ms[0] as &dyn HashModel], &data, 2);
-        let three = MultiTableIndex::build(ms.iter().map(|m| m as &dyn HashModel).collect(), &data, 2);
+        let three =
+            MultiTableIndex::build(ms.iter().map(|m| m as &dyn HashModel).collect(), &data, 2);
         assert!(three.approx_bytes() > 2 * one.approx_bytes());
     }
 
@@ -217,7 +281,8 @@ mod tests {
     fn mih_rejected() {
         let data = grid();
         let ms = models(&data, 2);
-        let idx = MultiTableIndex::build(ms.iter().map(|m| m as &dyn HashModel).collect(), &data, 2);
+        let idx =
+            MultiTableIndex::build(ms.iter().map(|m| m as &dyn HashModel).collect(), &data, 2);
         let params = SearchParams {
             strategy: ProbeStrategy::MultiIndexHashing { blocks: 2 },
             ..Default::default()

@@ -102,7 +102,10 @@ mod tests {
         let set: std::collections::HashSet<u64> = buckets.iter().copied().collect();
         assert_eq!(set.len(), buckets.len());
         let dists: Vec<u32> = buckets.iter().map(|&b| hamming(b, q.code)).collect();
-        assert!(dists.windows(2).all(|w| w[0] <= w[1]), "non-decreasing radius");
+        assert!(
+            dists.windows(2).all(|w| w[0] <= w[1]),
+            "non-decreasing radius"
+        );
         assert_eq!(buckets[0], q.code, "query's own bucket first");
     }
 

@@ -101,7 +101,11 @@ impl GenerateQdRanking {
 
 impl Prober for GenerateQdRanking {
     fn reset(&mut self, query: &QueryEncoding) {
-        assert_eq!(query.flip_costs.len(), self.m, "flip costs must match code length");
+        assert_eq!(
+            query.flip_costs.len(),
+            self.m,
+            "flip costs must match code length"
+        );
         self.code = query.code;
 
         // Argsort costs ascending → sorted projected vector + permutation.
@@ -190,7 +194,9 @@ mod tests {
     #[test]
     fn emits_every_bucket_exactly_once() {
         let m = 10;
-        let costs: Vec<f64> = (0..m).map(|i| ((i * 7919 + 13) % 97) as f64 / 10.0).collect();
+        let costs: Vec<f64> = (0..m)
+            .map(|i| ((i * 7919 + 13) % 97) as f64 / 10.0)
+            .collect();
         let q = qe(0b1100110011, &costs);
         let mut p = GenerateQdRanking::new(m);
         let buckets = drain(&mut p, &q);
@@ -210,7 +216,10 @@ mod tests {
         while let Some(peek) = p.peek_cost() {
             let b = p.next_bucket().unwrap();
             let qd = quantization_distance(&q, b);
-            assert!((peek - qd).abs() < 1e-9, "peek must equal the emitted bucket's QD");
+            assert!(
+                (peek - qd).abs() < 1e-9,
+                "peek must equal the emitted bucket's QD"
+            );
             assert!(qd >= last - 1e-12, "ascending QD (R2): {qd} after {last}");
             last = qd;
         }
@@ -220,7 +229,9 @@ mod tests {
     fn agrees_with_brute_force_sort() {
         // Exhaustive check against sorting all 2^m buckets by QD.
         let m = 9;
-        let costs: Vec<f64> = (0..m).map(|i| (1.3f64.powi(i as i32) * 0.1) % 1.0).collect();
+        let costs: Vec<f64> = (0..m)
+            .map(|i| (1.3f64.powi(i as i32) * 0.1) % 1.0)
+            .collect();
         let q = qe(0b010101010, &costs);
         let mut p = GenerateQdRanking::new(m);
         let emitted = drain(&mut p, &q);
@@ -234,7 +245,10 @@ mod tests {
         for (e, b) in emitted.iter().zip(&brute) {
             let qe_ = quantization_distance(&q, *e);
             let qb = quantization_distance(&q, *b);
-            assert!((qe_ - qb).abs() < 1e-9, "QD sequence must match brute force");
+            assert!(
+                (qe_ - qb).abs() < 1e-9,
+                "QD sequence must match brute force"
+            );
         }
     }
 
@@ -260,7 +274,12 @@ mod tests {
         p.reset(&q);
         for i in 1..=4096 {
             p.next_bucket().unwrap();
-            assert!(p.heap_len() <= i + 1, "heap {} at iteration {}", p.heap_len(), i);
+            assert!(
+                p.heap_len() <= i + 1,
+                "heap {} at iteration {}",
+                p.heap_len(),
+                i
+            );
         }
     }
 
@@ -275,7 +294,10 @@ mod tests {
         assert_eq!(buckets.len(), 16);
         let set: std::collections::HashSet<u64> = buckets.iter().copied().collect();
         assert_eq!(set.len(), 16);
-        let qds: Vec<f64> = buckets.iter().map(|&b| quantization_distance(&q, b)).collect();
+        let qds: Vec<f64> = buckets
+            .iter()
+            .map(|&b| quantization_distance(&q, b))
+            .collect();
         assert!(qds.windows(2).all(|w| w[0] <= w[1] + 1e-12));
     }
 

@@ -25,7 +25,12 @@ impl<'t> HammingRanking<'t> {
     /// Prober over `table`'s occupied buckets.
     pub fn new(table: &'t HashTable) -> HammingRanking<'t> {
         let m = table.code_length();
-        HammingRanking { table, levels: vec![Vec::new(); m + 1], radius: 0, cursor: 0 }
+        HammingRanking {
+            table,
+            levels: vec![Vec::new(); m + 1],
+            radius: 0,
+            cursor: 0,
+        }
     }
 
     fn skip_empty_levels(&mut self) {

@@ -44,7 +44,10 @@ impl MihIndex {
     /// Build with `s` substring blocks over per-item `codes` of length
     /// `code_length`. Panics unless `1 ≤ s ≤ code_length ≤ 63`.
     pub fn build(code_length: usize, codes: &[u64], s: usize) -> MihIndex {
-        assert!((1..64).contains(&code_length), "code length must be in 1..=63");
+        assert!(
+            (1..64).contains(&code_length),
+            "code length must be in 1..=63"
+        );
         assert!(s >= 1 && s <= code_length, "need 1 <= s <= m");
         let base = code_length / s;
         let extra = code_length % s;
@@ -60,7 +63,11 @@ impl MihIndex {
             blocks.push(Block { lo, bits, table });
             lo += bits;
         }
-        MihIndex { m: code_length, blocks, codes: codes.to_vec() }
+        MihIndex {
+            m: code_length,
+            blocks,
+            codes: codes.to_vec(),
+        }
     }
 
     /// Number of substring blocks.
@@ -160,7 +167,9 @@ impl MihSearcher<'_> {
                 for mask in FixedWeightMasks::new(block.bits, r) {
                     self.lookups += 1;
                     let probe = q_sub ^ (mask as u32);
-                    let Some(items) = block.table.get(&probe) else { continue };
+                    let Some(items) = block.table.get(&probe) else {
+                        continue;
+                    };
                     for &id in items {
                         let v = &mut self.visited[id as usize];
                         if *v {
@@ -214,7 +223,11 @@ mod tests {
             out.clear();
         }
         all.sort_unstable();
-        assert_eq!(all, vec![0, 1, 2, 3, 4, 5], "every item emitted exactly once");
+        assert_eq!(
+            all,
+            vec![0, 1, 2, 3, 4, 5],
+            "every item emitted exactly once"
+        );
     }
 
     #[test]
@@ -240,7 +253,10 @@ mod tests {
         let mut sorted = out.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![0, 1]);
-        assert!(s.duplicates() >= 2, "each item hit again via the second block");
+        assert!(
+            s.duplicates() >= 2,
+            "each item hit again via the second block"
+        );
     }
 
     #[test]
@@ -258,7 +274,10 @@ mod tests {
             out.clear();
         }
         assert_eq!(emitted.len(), 64);
-        let dists: Vec<u32> = emitted.iter().map(|&i| hamming(codes[i as usize], q)).collect();
+        let dists: Vec<u32> = emitted
+            .iter()
+            .map(|&i| hamming(codes[i as usize], q))
+            .collect();
         assert!(dists.windows(2).all(|w| w[0] <= w[1]));
     }
 

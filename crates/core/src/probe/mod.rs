@@ -56,7 +56,10 @@ pub(crate) mod test_support {
 
     /// Query encoding with explicit costs for prober tests.
     pub fn qe(code: u64, costs: &[f64]) -> QueryEncoding {
-        QueryEncoding { code, flip_costs: costs.to_vec() }
+        QueryEncoding {
+            code,
+            flip_costs: costs.to_vec(),
+        }
     }
 
     /// Collect all buckets a prober emits after a reset.

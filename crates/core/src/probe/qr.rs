@@ -22,7 +22,11 @@ pub struct QdRanking<'t> {
 impl<'t> QdRanking<'t> {
     /// Prober over `table`'s occupied buckets.
     pub fn new(table: &'t HashTable) -> QdRanking<'t> {
-        QdRanking { table, sorted: Vec::new(), cursor: 0 }
+        QdRanking {
+            table,
+            sorted: Vec::new(),
+            cursor: 0,
+        }
     }
 }
 
@@ -35,7 +39,9 @@ impl Prober for QdRanking<'_> {
         }
         // Code tiebreak keeps the order deterministic when QDs tie.
         self.sorted.sort_unstable_by(|a, b| {
-            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
         });
         self.cursor = 0;
     }

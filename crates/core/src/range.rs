@@ -60,7 +60,9 @@ impl<M: HashModel + ?Sized> QueryEngine<'_, M> {
                     break;
                 }
             }
-            let Some(code) = prober.next_bucket() else { break };
+            let Some(code) = prober.next_bucket() else {
+                break;
+            };
             stats.buckets_probed += 1;
             let items = table.bucket(code);
             if items.is_empty() {
@@ -77,8 +79,16 @@ impl<M: HashModel + ?Sized> QueryEngine<'_, M> {
             }
             stats.items_evaluated += items.len();
         }
-        matches.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
-        RangeResult { matches, stats, certified }
+        matches.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        RangeResult {
+            matches,
+            stats,
+            certified,
+        }
     }
 }
 
@@ -113,7 +123,11 @@ mod tests {
         let model = Lsh::train(&data, 2, 6, 3).unwrap();
         let table = HashTable::build(&model, &data, 2);
         let engine = QueryEngine::new(&model, &table, &data, 2);
-        for (q, radius) in [([7.2f32, 7.9], 1.5f32), ([0.0, 0.0], 3.0), ([19.0, 19.0], 2.2)] {
+        for (q, radius) in [
+            ([7.2f32, 7.9], 1.5f32),
+            ([0.0, 0.0], 3.0),
+            ([19.0, 19.0], 2.2),
+        ] {
             let res = engine.search_within(&q, radius);
             let mut got: Vec<u32> = res.matches.iter().map(|&(id, _)| id).collect();
             got.sort_unstable();

@@ -28,6 +28,35 @@ impl ProbeStats {
         self.items_evaluated += other.items_evaluated;
         self.duplicates_skipped += other.duplicates_skipped;
     }
+
+    /// Probed buckets that actually contained items.
+    pub fn buckets_nonempty(&self) -> usize {
+        self.buckets_probed.saturating_sub(self.empty_buckets)
+    }
+
+    /// Assert the cross-counter invariants that hold at the end of every
+    /// search: a bucket can't be empty without being probed, and an item
+    /// can't be evaluated without being collected first. Debug builds call
+    /// this after every search; call it yourself when aggregating stats from
+    /// an untrusted source.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an invariant is violated.
+    pub fn checked_invariants(&self) {
+        assert!(
+            self.items_evaluated <= self.items_collected,
+            "ProbeStats invariant violated: items_evaluated ({}) > items_collected ({})",
+            self.items_evaluated,
+            self.items_collected
+        );
+        assert!(
+            self.empty_buckets <= self.buckets_probed,
+            "ProbeStats invariant violated: empty_buckets ({}) > buckets_probed ({})",
+            self.empty_buckets,
+            self.buckets_probed
+        );
+    }
 }
 
 #[cfg(test)]
@@ -50,5 +79,50 @@ mod tests {
         assert_eq!(a.items_collected, 6);
         assert_eq!(a.items_evaluated, 8);
         assert_eq!(a.duplicates_skipped, 10);
+    }
+
+    #[test]
+    fn buckets_nonempty_subtracts_empty() {
+        let s = ProbeStats {
+            buckets_probed: 7,
+            empty_buckets: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.buckets_nonempty(), 4);
+        assert_eq!(ProbeStats::default().buckets_nonempty(), 0);
+    }
+
+    #[test]
+    fn valid_stats_pass_invariants() {
+        let s = ProbeStats {
+            buckets_probed: 5,
+            empty_buckets: 2,
+            items_collected: 40,
+            items_evaluated: 30,
+            duplicates_skipped: 10,
+        };
+        s.checked_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "items_evaluated")]
+    fn evaluated_more_than_collected_panics() {
+        let s = ProbeStats {
+            items_collected: 1,
+            items_evaluated: 2,
+            ..Default::default()
+        };
+        s.checked_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty_buckets")]
+    fn more_empty_than_probed_panics() {
+        let s = ProbeStats {
+            buckets_probed: 1,
+            empty_buckets: 2,
+            ..Default::default()
+        };
+        s.checked_invariants();
     }
 }

@@ -52,7 +52,12 @@ impl HashTable {
             buckets.entry(model.encode(row)).or_default().push(i as u32);
         }
         let max_id = n.checked_sub(1).map(|i| i as u32);
-        HashTable { code_length: model.code_length(), buckets, n_items: n, max_id }
+        HashTable {
+            code_length: model.code_length(),
+            buckets,
+            n_items: n,
+            max_id,
+        }
     }
 
     /// Build from precomputed codes (one per item).
@@ -63,7 +68,12 @@ impl HashTable {
             buckets.entry(c).or_default().push(i as u32);
         }
         let max_id = codes.len().checked_sub(1).map(|i| i as u32);
-        HashTable { code_length, buckets, n_items: codes.len(), max_id }
+        HashTable {
+            code_length,
+            buckets,
+            n_items: codes.len(),
+            max_id,
+        }
     }
 
     /// Code length `m`.
@@ -134,15 +144,23 @@ impl HashTable {
 
     /// Hash and insert one item vector.
     pub fn insert_item<M: HashModel + ?Sized>(&mut self, model: &M, item: &[f32], id: u32) {
-        assert_eq!(model.code_length(), self.code_length, "model/table code length mismatch");
+        assert_eq!(
+            model.code_length(),
+            self.code_length,
+            "model/table code length mismatch"
+        );
         self.insert(model.encode(item), id);
     }
 
     /// Remove one occurrence of `id` from bucket `code`. Returns whether the
     /// id was present; the bucket is dropped when it empties.
     pub fn remove(&mut self, code: u64, id: u32) -> bool {
-        let Some(items) = self.buckets.get_mut(&code) else { return false };
-        let Some(pos) = items.iter().position(|&x| x == id) else { return false };
+        let Some(items) = self.buckets.get_mut(&code) else {
+            return false;
+        };
+        let Some(pos) = items.iter().position(|&x| x == id) else {
+            return false;
+        };
         items.swap_remove(pos);
         if items.is_empty() {
             self.buckets.remove(&code);

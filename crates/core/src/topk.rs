@@ -42,7 +42,10 @@ impl TopK {
     /// Collector for the best `k` items. Panics if `k == 0`.
     pub fn new(k: usize) -> TopK {
         assert!(k > 0, "k must be positive");
-        TopK { k, heap: BinaryHeap::with_capacity(k + 1) }
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Offer a candidate; kept only if it beats the current worst (or the

@@ -6,7 +6,9 @@
 
 use gqr_core::code::{hamming, quantization_distance};
 use gqr_core::probe::mih::MihIndex;
-use gqr_core::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
+use gqr_core::probe::{
+    GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking,
+};
 use gqr_core::table::HashTable;
 use gqr_l2h::QueryEncoding;
 use proptest::prelude::*;

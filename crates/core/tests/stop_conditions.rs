@@ -72,7 +72,10 @@ fn generous_limits_do_not_change_results() {
         ..base
     };
     let q = [10.0f32, 12.0];
-    assert_eq!(engine.search(&q, &base).neighbors, engine.search(&q, &limited).neighbors);
+    assert_eq!(
+        engine.search(&q, &base).neighbors,
+        engine.search(&q, &limited).neighbors
+    );
 }
 
 #[test]

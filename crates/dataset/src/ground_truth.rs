@@ -41,7 +41,12 @@ impl PartialOrd for Candidate {
 ///
 /// This is the ground truth against which recall is measured, and also the
 /// "linear search" baseline timed in Table 1.
-pub fn brute_force_knn(data: &Dataset, queries: &[Vec<f32>], k: usize, threads: usize) -> GroundTruth {
+pub fn brute_force_knn(
+    data: &Dataset,
+    queries: &[Vec<f32>],
+    k: usize,
+    threads: usize,
+) -> GroundTruth {
     brute_force_knn_metric(data, queries, k, threads, Metric::SquaredEuclidean)
 }
 
@@ -55,7 +60,9 @@ pub fn brute_force_knn_metric(
 ) -> GroundTruth {
     assert!(k > 0, "k must be positive");
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         threads
     };
@@ -91,11 +98,17 @@ pub fn knn_single_metric(data: &Dataset, query: &[f32], k: usize, metric: Metric
     for (id, row) in data.rows().enumerate() {
         let dist = metric.eval(query, row);
         if heap.len() < k {
-            heap.push(Candidate { dist, id: id as u32 });
+            heap.push(Candidate {
+                dist,
+                id: id as u32,
+            });
         } else if let Some(top) = heap.peek() {
             if dist < top.dist || (dist == top.dist && (id as u32) < top.id) {
                 heap.pop();
-                heap.push(Candidate { dist, id: id as u32 });
+                heap.push(Candidate {
+                    dist,
+                    id: id as u32,
+                });
             }
         }
     }

@@ -20,7 +20,6 @@
 //! assert_eq!(gt.len(), 10);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod ground_truth;
 pub mod io;
@@ -44,8 +43,15 @@ impl Dataset {
     /// `dim`.
     pub fn new(name: impl Into<String>, dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert!(data.len().is_multiple_of(dim), "buffer length must be a multiple of dim");
-        Dataset { name: name.into(), dim, data }
+        assert!(
+            data.len().is_multiple_of(dim),
+            "buffer length must be a multiple of dim"
+        );
+        Dataset {
+            name: name.into(),
+            dim,
+            data,
+        }
     }
 
     /// Human-readable dataset name (e.g. `"CIFAR60K-sim"`).

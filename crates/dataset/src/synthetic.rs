@@ -102,32 +102,149 @@ macro_rules! preset {
 }
 
 impl DatasetSpec {
-    preset!(cifar60k, "CIFAR60K-sim", 60_000, 512, 20_000, 64, Flavor::ImageGlobal, 40,
-        "Stand-in for CIFAR-10 GIST descriptors (Table 1: 60,000 × 512).");
-    preset!(gist1m, "GIST1M-sim", 1_000_000, 960, 100_000, 96, Flavor::ImageGlobal, 120,
-        "Stand-in for GIST1M (Table 1: 1,000,000 × 960).");
-    preset!(tiny5m, "TINY5M-sim", 5_000_000, 384, 200_000, 64, Flavor::ImageGlobal, 200,
-        "Stand-in for TINY5M (Table 1: 5,000,000 × 384).");
-    preset!(sift10m, "SIFT10M-sim", 10_000_000, 128, 400_000, 32, Flavor::ImageLocal, 256,
-        "Stand-in for SIFT10M (Table 1: 10,000,000 × 128).");
-    preset!(sift1m, "SIFT1M-sim", 1_000_000, 128, 100_000, 32, Flavor::ImageLocal, 128,
-        "Stand-in for SIFT1M (used in §6.5 when OPQ ran out of memory on SIFT10M).");
-    preset!(deep1m, "DEEP1M-sim", 1_000_000, 256, 100_000, 48, Flavor::ImageGlobal, 100,
-        "Stand-in for DEEP1M (Table 3: 1,000,000 × 256, image).");
-    preset!(msong1m, "MSONG1M-sim", 994_185, 420, 100_000, 64, Flavor::Audio, 60,
-        "Stand-in for MSONG1M (Table 3: 994,185 × 420, audio).");
-    preset!(glove1_2m, "GLOVE1.2M-sim", 1_193_514, 200, 100_000, 48, Flavor::TextEmbedding, 80,
-        "Stand-in for GLOVE1.2M (Table 3: 1,193,514 × 200, text).");
-    preset!(glove2_2m, "GLOVE2.2M-sim", 2_196_017, 300, 150_000, 48, Flavor::TextEmbedding, 100,
-        "Stand-in for GLOVE2.2M (Table 3: 2,196,017 × 300, text).");
-    preset!(audio50k, "AUDIO50K-sim", 53_387, 192, 20_000, 48, Flavor::Audio, 30,
-        "Stand-in for AUDIO50K (Table 3: 53,387 × 192, audio).");
-    preset!(nuswide, "NUSWIDE0.26M-sim", 268_643, 500, 50_000, 64, Flavor::ImageGlobal, 60,
-        "Stand-in for NUSWIDE0.26M (Table 3: 268,643 × 500, image).");
-    preset!(ukbench1m, "UKBENCH1M-sim", 1_097_907, 128, 100_000, 32, Flavor::ImageLocal, 120,
-        "Stand-in for UKBENCH1M (Table 3: 1,097,907 × 128, image).");
-    preset!(imagenet2_3m, "IMAGENET2.3M-sim", 2_340_373, 150, 150_000, 32, Flavor::ImageGlobal, 150,
-        "Stand-in for IMAGENET2.3M (Table 3: 2,340,373 × 150, image).");
+    preset!(
+        cifar60k,
+        "CIFAR60K-sim",
+        60_000,
+        512,
+        20_000,
+        64,
+        Flavor::ImageGlobal,
+        40,
+        "Stand-in for CIFAR-10 GIST descriptors (Table 1: 60,000 × 512)."
+    );
+    preset!(
+        gist1m,
+        "GIST1M-sim",
+        1_000_000,
+        960,
+        100_000,
+        96,
+        Flavor::ImageGlobal,
+        120,
+        "Stand-in for GIST1M (Table 1: 1,000,000 × 960)."
+    );
+    preset!(
+        tiny5m,
+        "TINY5M-sim",
+        5_000_000,
+        384,
+        200_000,
+        64,
+        Flavor::ImageGlobal,
+        200,
+        "Stand-in for TINY5M (Table 1: 5,000,000 × 384)."
+    );
+    preset!(
+        sift10m,
+        "SIFT10M-sim",
+        10_000_000,
+        128,
+        400_000,
+        32,
+        Flavor::ImageLocal,
+        256,
+        "Stand-in for SIFT10M (Table 1: 10,000,000 × 128)."
+    );
+    preset!(
+        sift1m,
+        "SIFT1M-sim",
+        1_000_000,
+        128,
+        100_000,
+        32,
+        Flavor::ImageLocal,
+        128,
+        "Stand-in for SIFT1M (used in §6.5 when OPQ ran out of memory on SIFT10M)."
+    );
+    preset!(
+        deep1m,
+        "DEEP1M-sim",
+        1_000_000,
+        256,
+        100_000,
+        48,
+        Flavor::ImageGlobal,
+        100,
+        "Stand-in for DEEP1M (Table 3: 1,000,000 × 256, image)."
+    );
+    preset!(
+        msong1m,
+        "MSONG1M-sim",
+        994_185,
+        420,
+        100_000,
+        64,
+        Flavor::Audio,
+        60,
+        "Stand-in for MSONG1M (Table 3: 994,185 × 420, audio)."
+    );
+    preset!(
+        glove1_2m,
+        "GLOVE1.2M-sim",
+        1_193_514,
+        200,
+        100_000,
+        48,
+        Flavor::TextEmbedding,
+        80,
+        "Stand-in for GLOVE1.2M (Table 3: 1,193,514 × 200, text)."
+    );
+    preset!(
+        glove2_2m,
+        "GLOVE2.2M-sim",
+        2_196_017,
+        300,
+        150_000,
+        48,
+        Flavor::TextEmbedding,
+        100,
+        "Stand-in for GLOVE2.2M (Table 3: 2,196,017 × 300, text)."
+    );
+    preset!(
+        audio50k,
+        "AUDIO50K-sim",
+        53_387,
+        192,
+        20_000,
+        48,
+        Flavor::Audio,
+        30,
+        "Stand-in for AUDIO50K (Table 3: 53,387 × 192, audio)."
+    );
+    preset!(
+        nuswide,
+        "NUSWIDE0.26M-sim",
+        268_643,
+        500,
+        50_000,
+        64,
+        Flavor::ImageGlobal,
+        60,
+        "Stand-in for NUSWIDE0.26M (Table 3: 268,643 × 500, image)."
+    );
+    preset!(
+        ukbench1m,
+        "UKBENCH1M-sim",
+        1_097_907,
+        128,
+        100_000,
+        32,
+        Flavor::ImageLocal,
+        120,
+        "Stand-in for UKBENCH1M (Table 3: 1,097,907 × 128, image)."
+    );
+    preset!(
+        imagenet2_3m,
+        "IMAGENET2.3M-sim",
+        2_340_373,
+        150,
+        150_000,
+        32,
+        Flavor::ImageGlobal,
+        150,
+        "Stand-in for IMAGENET2.3M (Table 3: 2,340,373 × 150, image)."
+    );
 
     /// A structureless uniform dataset over `[-1, 1]^dim` — the null model.
     /// Learned hashing has nothing to exploit here, so it bounds how much of
@@ -147,7 +264,12 @@ impl DatasetSpec {
 
     /// The four main-paper datasets (Table 1) in paper order.
     pub fn table1() -> Vec<DatasetSpec> {
-        vec![Self::cifar60k(), Self::gist1m(), Self::tiny5m(), Self::sift10m()]
+        vec![
+            Self::cifar60k(),
+            Self::gist1m(),
+            Self::tiny5m(),
+            Self::sift10m(),
+        ]
     }
 
     /// The eight appendix datasets (Table 3) in paper order.
@@ -239,7 +361,9 @@ impl DatasetSpec {
         let mut weights = Vec::with_capacity(k);
         let mut scales: Vec<Vec<f64>> = Vec::with_capacity(k);
         for _ in 0..k {
-            let c: Vec<f64> = (0..dim).map(|_| center_spread * gaussian(&mut rng)).collect();
+            let c: Vec<f64> = (0..dim)
+                .map(|_| center_spread * gaussian(&mut rng))
+                .collect();
             centers.push(c);
             // Zipf-ish cluster weights: a few dominant clusters, long tail.
             weights.push(rng.gen::<f64>().powf(2.0) + 0.05);
@@ -306,7 +430,10 @@ mod tests {
         // Paper §6.1 uses "an integer around log2(N/10)": 12, 16, 18, 20 for
         // the Table-1 datasets. Our rounding gives 13, 17, 19, 20 — within
         // one bit of the published choices.
-        assert_eq!(DatasetSpec::cifar60k().scale(Scale::Paper).code_length(), 13);
+        assert_eq!(
+            DatasetSpec::cifar60k().scale(Scale::Paper).code_length(),
+            13
+        );
         assert_eq!(DatasetSpec::gist1m().scale(Scale::Paper).code_length(), 17);
         assert_eq!(DatasetSpec::tiny5m().scale(Scale::Paper).code_length(), 19);
         assert_eq!(DatasetSpec::sift10m().scale(Scale::Paper).code_length(), 20);
@@ -336,7 +463,10 @@ mod tests {
         // per-dimension average: low intrinsic dimension by construction.
         let ds = DatasetSpec::gist1m().scale(Scale::Smoke).generate(5);
         let pca = gqr_linalg::Pca::fit(ds.as_slice(), ds.dim(), ds.dim().min(8));
-        let total: f64 = crate::stats::per_dim_std(&ds).iter().map(|&s| (s as f64) * (s as f64)).sum();
+        let total: f64 = crate::stats::per_dim_std(&ds)
+            .iter()
+            .map(|&s| (s as f64) * (s as f64))
+            .sum();
         assert!(
             pca.explained_variance[0] > 2.0 * total / ds.dim() as f64,
             "first PC should carry well above average variance"

@@ -56,12 +56,22 @@ where
     assert!(!budgets.is_empty(), "need at least one budget");
     let mut agg: Vec<CurvePoint> = budgets
         .iter()
-        .map(|&b| CurvePoint { budget: b, recall: 0.0, total_time_s: 0.0, mean_items: 0.0, mean_buckets: 0.0 })
+        .map(|&b| CurvePoint {
+            budget: b,
+            recall: 0.0,
+            total_time_s: 0.0,
+            mean_items: 0.0,
+            mean_buckets: 0.0,
+        })
         .collect();
 
     for (q, t) in queries.iter().zip(truth) {
         let cps = run(q, budgets);
-        assert_eq!(cps.len(), budgets.len(), "runner must return one checkpoint per budget");
+        assert_eq!(
+            cps.len(),
+            budgets.len(),
+            "runner must return one checkpoint per budget"
+        );
         for (point, cp) in agg.iter_mut().zip(&cps) {
             // `t` holds exactly the k true neighbors the caller wants
             // measured; a not-yet-full top-k simply scores lower.
@@ -77,7 +87,10 @@ where
         p.mean_items /= n;
         p.mean_buckets /= n;
     }
-    RecallCurve { label: label.into(), points: agg }
+    RecallCurve {
+        label: label.into(),
+        points: agg,
+    }
 }
 
 /// Same measurement, but the x-axis of interest is retrieved items
@@ -162,8 +175,20 @@ mod tests {
         let curve = RecallCurve {
             label: "x".into(),
             points: vec![
-                CurvePoint { budget: 1, recall: 0.2, total_time_s: 1.0, mean_items: 0.0, mean_buckets: 0.0 },
-                CurvePoint { budget: 2, recall: 0.8, total_time_s: 3.0, mean_items: 0.0, mean_buckets: 0.0 },
+                CurvePoint {
+                    budget: 1,
+                    recall: 0.2,
+                    total_time_s: 1.0,
+                    mean_items: 0.0,
+                    mean_buckets: 0.0,
+                },
+                CurvePoint {
+                    budget: 2,
+                    recall: 0.8,
+                    total_time_s: 3.0,
+                    mean_items: 0.0,
+                    mean_buckets: 0.0,
+                },
             ],
         };
         // Halfway between 0.2 and 0.8 → halfway between 1.0 and 3.0.
@@ -178,8 +203,20 @@ mod tests {
         let curve = RecallCurve {
             label: "flat".into(),
             points: vec![
-                CurvePoint { budget: 1, recall: 0.5, total_time_s: 1.0, mean_items: 0.0, mean_buckets: 0.0 },
-                CurvePoint { budget: 2, recall: 0.5, total_time_s: 2.0, mean_items: 0.0, mean_buckets: 0.0 },
+                CurvePoint {
+                    budget: 1,
+                    recall: 0.5,
+                    total_time_s: 1.0,
+                    mean_items: 0.0,
+                    mean_buckets: 0.0,
+                },
+                CurvePoint {
+                    budget: 2,
+                    recall: 0.5,
+                    total_time_s: 2.0,
+                    mean_items: 0.0,
+                    mean_buckets: 0.0,
+                },
             ],
         };
         assert!((time_to_recall(&curve, 0.5).unwrap() - 1.0).abs() < 1e-12);
@@ -190,6 +227,8 @@ mod tests {
     fn runner_must_match_budgets() {
         let queries = vec![vec![0.0f32]];
         let truth = vec![vec![1u32]];
-        let _ = recall_time_curve("bad", &queries, &truth, &[1, 2], |_q, _b| vec![cp(1, &[1], 1)]);
+        let _ = recall_time_curve("bad", &queries, &truth, &[1, 2], |_q, _b| {
+            vec![cp(1, &[1], 1)]
+        });
     }
 }

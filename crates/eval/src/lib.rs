@@ -12,7 +12,6 @@
 //! * [`plot`] — ASCII recall-curve charts for terminal output.
 //! * [`report`] — CSV/Markdown/JSON emission under `results/`.
 
-
 #![warn(missing_docs)]
 pub mod curve;
 pub mod metrics;

@@ -10,7 +10,10 @@ pub fn recall(returned: &[u32], truth: &[u32]) -> f64 {
     }
     let mut sorted = truth.to_vec();
     sorted.sort_unstable();
-    let hits = returned.iter().filter(|id| sorted.binary_search(id).is_ok()).count();
+    let hits = returned
+        .iter()
+        .filter(|id| sorted.binary_search(id).is_ok())
+        .count();
     hits as f64 / truth.len() as f64
 }
 
@@ -29,7 +32,10 @@ pub fn precision(hits: usize, retrieved_count: usize) -> f64 {
 pub fn hits(returned: &[u32], truth: &[u32]) -> usize {
     let mut sorted = truth.to_vec();
     sorted.sort_unstable();
-    returned.iter().filter(|id| sorted.binary_search(id).is_ok()).count()
+    returned
+        .iter()
+        .filter(|id| sorted.binary_search(id).is_ok())
+        .count()
 }
 
 #[cfg(test)]

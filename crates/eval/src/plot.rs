@@ -62,7 +62,11 @@ pub fn ascii_chart(curves: &[RecallCurve], axis: Axis, width: usize, height: usi
         axis.label()
     ));
     for (ci, curve) in curves.iter().enumerate() {
-        out.push_str(&format!("       {} {}\n", glyphs[ci % glyphs.len()], curve.label));
+        out.push_str(&format!(
+            "       {} {}\n",
+            glyphs[ci % glyphs.len()],
+            curve.label
+        ));
     }
     out
 }
@@ -127,8 +131,14 @@ mod tests {
 
     #[test]
     fn chart_contains_labels_and_glyphs() {
-        let a = curve("GQR", &[(10, 0.2, 0.01), (100, 0.8, 0.1), (1000, 0.99, 1.0)]);
-        let b = curve("GHR", &[(10, 0.1, 0.01), (100, 0.6, 0.2), (1000, 0.97, 2.0)]);
+        let a = curve(
+            "GQR",
+            &[(10, 0.2, 0.01), (100, 0.8, 0.1), (1000, 0.99, 1.0)],
+        );
+        let b = curve(
+            "GHR",
+            &[(10, 0.1, 0.01), (100, 0.6, 0.2), (1000, 0.97, 2.0)],
+        );
         let chart = ascii_chart(&[a, b], Axis::Time, 40, 10);
         assert!(chart.contains("GQR"));
         assert!(chart.contains("GHR"));

@@ -3,10 +3,32 @@
 //! these helpers so EXPERIMENTS.md entries are regenerable byte-for-byte.
 
 use crate::curve::RecallCurve;
+use gqr_core::metrics::MetricsRegistry;
 use serde::Serialize;
+use std::borrow::Cow;
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+
+/// Quote a CSV field per RFC 4180: fields containing commas, double quotes,
+/// or line breaks are wrapped in double quotes, with embedded quotes
+/// doubled. Plain fields pass through unchanged (so existing output stays
+/// byte-identical).
+fn csv_field(field: &str) -> Cow<'_, str> {
+    if field.contains(['"', ',', '\n', '\r']) {
+        Cow::Owned(format!("\"{}\"", field.replace('"', "\"\"")))
+    } else {
+        Cow::Borrowed(field)
+    }
+}
+
+fn csv_row<S: AsRef<str>>(fields: &[S]) -> String {
+    fields
+        .iter()
+        .map(|f| csv_field(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
 
 /// A results directory (created on demand).
 pub struct Reporter {
@@ -26,14 +48,20 @@ impl Reporter {
         &self.dir
     }
 
-    /// Write rows as CSV with the given header.
-    pub fn write_csv(&self, name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    /// Write rows as CSV with the given header. Fields are quoted per
+    /// RFC 4180 when they contain commas, quotes, or line breaks.
+    pub fn write_csv(
+        &self,
+        name: &str,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> io::Result<PathBuf> {
         let path = self.dir.join(name);
         let mut w = BufWriter::new(File::create(&path)?);
-        writeln!(w, "{}", header.join(","))?;
+        writeln!(w, "{}", csv_row(header))?;
         for row in rows {
             debug_assert_eq!(row.len(), header.len(), "row width must match header");
-            writeln!(w, "{}", row.join(","))?;
+            writeln!(w, "{}", csv_row(row))?;
         }
         w.flush()?;
         Ok(path)
@@ -68,9 +96,34 @@ impl Reporter {
             .collect();
         self.write_csv(
             name,
-            &["label", "budget", "recall", "total_time_s", "mean_items", "mean_buckets"],
+            &[
+                "label",
+                "budget",
+                "recall",
+                "total_time_s",
+                "mean_items",
+                "mean_buckets",
+            ],
             &rows,
         )
+    }
+
+    /// Export a metrics registry as `metrics_<experiment>.json` and
+    /// `metrics_<experiment>.prom` (Prometheus text exposition) under the
+    /// results directory. Returns both paths `(json, prom)`. Writes empty
+    /// (but valid) documents when the registry is disabled or has recorded
+    /// nothing.
+    pub fn write_metrics(
+        &self,
+        experiment: &str,
+        metrics: &MetricsRegistry,
+    ) -> io::Result<(PathBuf, PathBuf)> {
+        let snap = metrics.snapshot();
+        let json_path = self.dir.join(format!("metrics_{experiment}.json"));
+        fs::write(&json_path, snap.to_json())?;
+        let prom_path = self.dir.join(format!("metrics_{experiment}.prom"));
+        fs::write(&prom_path, snap.to_prometheus())?;
+        Ok((json_path, prom_path))
     }
 }
 
@@ -107,10 +160,55 @@ mod tests {
     fn csv_roundtrip() {
         let r = Reporter::new(tmp()).unwrap();
         let path = r
-            .write_csv("t.csv", &["a", "b"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]])
+            .write_csv(
+                "t.csv",
+                &["a", "b"],
+                &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+            )
             .unwrap();
         let text = fs::read_to_string(path).unwrap();
         assert_eq!(text, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn csv_quotes_special_fields_per_rfc4180() {
+        let r = Reporter::new(tmp()).unwrap();
+        let path = r
+            .write_csv(
+                "quoted.csv",
+                &["label", "note"],
+                &[
+                    vec!["cifar, 60k".into(), "says \"hi\"".into()],
+                    vec!["plain".into(), "line\nbreak".into()],
+                ],
+            )
+            .unwrap();
+        let text = fs::read_to_string(path).unwrap();
+        assert_eq!(
+            text,
+            "label,note\n\"cifar, 60k\",\"says \"\"hi\"\"\"\nplain,\"line\nbreak\"\n"
+        );
+    }
+
+    #[test]
+    fn metrics_files_written_for_enabled_and_disabled() {
+        let r = Reporter::new(tmp()).unwrap();
+        let m = MetricsRegistry::enabled();
+        m.add("demo_total", 3);
+        let (json, prom) = r.write_metrics("unit", &m).unwrap();
+        assert!(json.ends_with("metrics_unit.json"));
+        assert!(prom.ends_with("metrics_unit.prom"));
+        assert!(fs::read_to_string(&prom).unwrap().contains("demo_total 3"));
+        assert!(fs::read_to_string(&json)
+            .unwrap()
+            .contains("\"demo_total\": 3"));
+        let (json, prom) = r
+            .write_metrics("off", &MetricsRegistry::disabled())
+            .unwrap();
+        assert_eq!(fs::read_to_string(&prom).unwrap(), "");
+        assert!(fs::read_to_string(&json)
+            .unwrap()
+            .contains("\"counters\": {}"));
     }
 
     #[test]
@@ -118,7 +216,13 @@ mod tests {
         let r = Reporter::new(tmp()).unwrap();
         let curve = RecallCurve {
             label: "GQR".into(),
-            points: vec![CurvePoint { budget: 10, recall: 0.5, total_time_s: 0.25, mean_items: 10.0, mean_buckets: 3.0 }],
+            points: vec![CurvePoint {
+                budget: 10,
+                recall: 0.5,
+                total_time_s: 0.25,
+                mean_items: 10.0,
+                mean_buckets: 3.0,
+            }],
         };
         let path = r.write_curves("c.csv", &[curve]).unwrap();
         let text = fs::read_to_string(path).unwrap();
@@ -133,7 +237,9 @@ mod tests {
         struct Rec {
             x: u32,
         }
-        let path = r.write_json("j.json", &vec![Rec { x: 1 }, Rec { x: 2 }]).unwrap();
+        let path = r
+            .write_json("j.json", &vec![Rec { x: 1 }, Rec { x: 2 }])
+            .unwrap();
         let text = fs::read_to_string(path).unwrap();
         let v: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert_eq!(v[1]["x"], 2);

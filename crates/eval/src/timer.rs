@@ -2,6 +2,7 @@
 //! (Table 2's three columns).
 
 use serde::Serialize;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Resource usage of a measured closure.
@@ -30,7 +31,14 @@ pub fn measure<T>(f: impl FnOnce() -> T) -> (T, ResourceUsage) {
         (Some(a), Some(b)) => Some((b - a).max(0.0)),
         _ => None,
     };
-    (out, ResourceUsage { wall_s, cpu_s, peak_rss_mb: peak_rss_mb() })
+    (
+        out,
+        ResourceUsage {
+            wall_s,
+            cpu_s,
+            peak_rss_mb: peak_rss_mb(),
+        },
+    )
 }
 
 /// Process CPU seconds (utime + stime) from `/proc/self/stat`, Linux only.
@@ -60,11 +68,25 @@ pub fn peak_rss_mb() -> Option<f64> {
     None
 }
 
-/// `_SC_CLK_TCK` is 100 on every mainstream Linux configuration; avoiding a
-/// libc dependency is worth the assumption here (values are only used for
-/// the Table 2 comparison where both sides share the constant).
+/// `_SC_CLK_TCK`, probed once at first use by running `getconf CLK_TCK`
+/// (which avoids a libc dependency) and cached for the process lifetime.
+/// Falls back to 100 — the value on every mainstream Linux configuration —
+/// when the probe fails (no `getconf` binary, non-numeric output); CPU
+/// seconds are then off by the ratio of the real tick rate to 100 on
+/// exotically configured kernels.
 fn clock_ticks_per_second() -> f64 {
-    100.0
+    static TICKS: OnceLock<f64> = OnceLock::new();
+    *TICKS.get_or_init(|| {
+        std::process::Command::new("getconf")
+            .arg("CLK_TCK")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|&v| v.is_finite() && v > 0.0)
+            .unwrap_or(100.0)
+    })
 }
 
 #[cfg(test)]
@@ -85,6 +107,18 @@ mod tests {
         if let Some(cpu) = usage.cpu_s {
             assert!(cpu >= 0.0);
         }
+    }
+
+    #[test]
+    fn clock_tick_rate_is_sane() {
+        let hz = clock_ticks_per_second();
+        assert!(hz.is_finite() && hz > 0.0, "tick rate {hz}");
+        // Linux allows CONFIG_HZ from 24 to 1200 plus the userspace-visible
+        // USER_HZ of 100; anything outside a generous range means the probe
+        // parsed garbage.
+        assert!((1.0..=100_000.0).contains(&hz), "tick rate {hz}");
+        // Cached: repeated calls agree.
+        assert_eq!(hz, clock_ticks_per_second());
     }
 
     #[test]

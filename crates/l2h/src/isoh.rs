@@ -33,7 +33,10 @@ pub struct IsoHashOptions {
 
 impl Default for IsoHashOptions {
     fn default() -> Self {
-        IsoHashOptions { iterations: 50, seed: 0 }
+        IsoHashOptions {
+            iterations: 50,
+            seed: 0,
+        }
     }
 }
 
@@ -110,7 +113,13 @@ impl IsoHash {
         // one whose diagonal the projection step drove to ā.
         let w = q.matmul(&pca.components);
         let bias: Vec<f64> = (0..m)
-            .map(|r| -w.row(r).iter().zip(&pca.mean).map(|(wi, mu)| wi * mu).sum::<f64>())
+            .map(|r| {
+                -w.row(r)
+                    .iter()
+                    .zip(&pca.mean)
+                    .map(|(wi, mu)| wi * mu)
+                    .sum::<f64>()
+            })
             .collect();
         let hasher = LinearHasher::new(w, bias);
 
@@ -118,7 +127,10 @@ impl IsoHash {
         let bit_variances: Vec<f64> = (0..m)
             .map(|i| (0..m).map(|r| q[(i, r)] * q[(i, r)] * lambda[r]).sum())
             .collect();
-        Ok(IsoHash { hasher, bit_variances })
+        Ok(IsoHash {
+            hasher,
+            bit_variances,
+        })
     }
 
     /// Per-bit projected variances after the rotation (all ≈ equal when the
@@ -190,7 +202,9 @@ mod tests {
                 sq[i] += v * v;
             }
         }
-        (0..m).map(|i| sq[i] / n as f64 - (sums[i] / n as f64).powi(2)).collect()
+        (0..m)
+            .map(|i| sq[i] / n as f64 - (sums[i] / n as f64).powi(2))
+            .collect()
     }
 
     #[test]
@@ -225,7 +239,10 @@ mod tests {
         let iso = IsoHash::train(&data, 4, 4).unwrap();
         let emp = empirical_bit_variances(&iso, &data, 4);
         for (a, b) in iso.bit_variances().iter().zip(&emp) {
-            assert!((a - b).abs() < 0.05 * a.max(1.0), "reported {a} vs empirical {b}");
+            assert!(
+                (a - b).abs() < 0.05 * a.max(1.0),
+                "reported {a} vs empirical {b}"
+            );
         }
     }
 
@@ -237,13 +254,21 @@ mod tests {
         let iso = IsoHash::train(&data, 4, 4).unwrap();
         let mut mean_costs = vec![0.0f64; 4];
         for row in data.chunks_exact(4).take(200) {
-            for (c, m) in iso.encode_query(row).flip_costs.iter().zip(mean_costs.iter_mut()) {
+            for (c, m) in iso
+                .encode_query(row)
+                .flip_costs
+                .iter()
+                .zip(mean_costs.iter_mut())
+            {
                 *m += c;
             }
         }
         let lo = mean_costs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = mean_costs.iter().cloned().fold(0.0f64, f64::max);
-        assert!(hi / lo < 2.0, "mean flip costs should be same-scale: {mean_costs:?}");
+        assert!(
+            hi / lo < 2.0,
+            "mean flip costs should be same-scale: {mean_costs:?}"
+        );
     }
 
     #[test]
@@ -254,6 +279,9 @@ mod tests {
         assert_eq!(iso.dim(), 4);
         let qe = iso.encode_query(&data[..4]);
         assert_eq!(qe.code, iso.encode(&data[..4]));
-        assert!(matches!(IsoHash::train(&data, 4, 9), Err(TrainError::BadCodeLength { .. })));
+        assert!(matches!(
+            IsoHash::train(&data, 4, 9),
+            Err(TrainError::BadCodeLength { .. })
+        ));
     }
 }

@@ -24,7 +24,11 @@ pub struct ItqOptions {
 
 impl Default for ItqOptions {
     fn default() -> Self {
-        ItqOptions { iterations: 50, seed: 0, max_train_rows: 20_000 }
+        ItqOptions {
+            iterations: 50,
+            seed: 0,
+            max_train_rows: 20_000,
+        }
     }
 }
 
@@ -43,14 +47,21 @@ impl Itq {
     }
 
     /// Train with explicit options.
-    pub fn train_with(data: &[f32], dim: usize, m: usize, opts: &ItqOptions) -> Result<Itq, TrainError> {
+    pub fn train_with(
+        data: &[f32],
+        dim: usize,
+        m: usize,
+        opts: &ItqOptions,
+    ) -> Result<Itq, TrainError> {
         let n = check_training_input(data, dim, m, dim, 2)?;
         let pca = Pca::fit(data, dim, m);
 
         // Rows used for rotation refinement (deterministic stride subsample).
         let train_rows: Vec<usize> = if opts.max_train_rows > 0 && n > opts.max_train_rows {
             let stride = n as f64 / opts.max_train_rows as f64;
-            (0..opts.max_train_rows).map(|i| (i as f64 * stride) as usize).collect()
+            (0..opts.max_train_rows)
+                .map(|i| (i as f64 * stride) as usize)
+                .collect()
         } else {
             (0..n).collect()
         };
@@ -92,9 +103,18 @@ impl Itq {
         // Final hash matrix: p(x) = Rᵀ·P·(x − µ) ⇒ W = Rᵀ·P, bias = −W·µ.
         let w = r.transpose().matmul(&pca.components);
         let bias: Vec<f64> = (0..m)
-            .map(|row| -w.row(row).iter().zip(&pca.mean).map(|(wi, mu)| wi * mu).sum::<f64>())
+            .map(|row| {
+                -w.row(row)
+                    .iter()
+                    .zip(&pca.mean)
+                    .map(|(wi, mu)| wi * mu)
+                    .sum::<f64>()
+            })
             .collect();
-        Ok(Itq { hasher: LinearHasher::new(w, bias), final_quant_error: quant_error })
+        Ok(Itq {
+            hasher: LinearHasher::new(w, bias),
+            final_quant_error: quant_error,
+        })
     }
 
     /// Mean squared quantization error `‖sgn(VR) − VR‖²/n` at the last
@@ -159,8 +179,28 @@ mod tests {
     #[test]
     fn iterations_reduce_quantization_error() {
         let data = blobs();
-        let short = Itq::train_with(&data, 4, 2, &ItqOptions { iterations: 1, seed: 7, max_train_rows: 0 }).unwrap();
-        let long = Itq::train_with(&data, 4, 2, &ItqOptions { iterations: 50, seed: 7, max_train_rows: 0 }).unwrap();
+        let short = Itq::train_with(
+            &data,
+            4,
+            2,
+            &ItqOptions {
+                iterations: 1,
+                seed: 7,
+                max_train_rows: 0,
+            },
+        )
+        .unwrap();
+        let long = Itq::train_with(
+            &data,
+            4,
+            2,
+            &ItqOptions {
+                iterations: 50,
+                seed: 7,
+                max_train_rows: 0,
+            },
+        )
+        .unwrap();
         assert!(
             long.quantization_error() <= short.quantization_error() + 1e-9,
             "long {} vs short {}",
@@ -191,14 +231,36 @@ mod tests {
         .iter()
         .map(|c| itq.encode(c))
         .collect();
-        assert_eq!(codes.len(), 4, "2-bit ITQ must give all four corners distinct codes");
+        assert_eq!(
+            codes.len(),
+            4,
+            "2-bit ITQ must give all four corners distinct codes"
+        );
     }
 
     #[test]
     fn deterministic_per_seed() {
         let data = blobs();
-        let a = Itq::train_with(&data, 4, 3, &ItqOptions { seed: 5, ..Default::default() }).unwrap();
-        let b = Itq::train_with(&data, 4, 3, &ItqOptions { seed: 5, ..Default::default() }).unwrap();
+        let a = Itq::train_with(
+            &data,
+            4,
+            3,
+            &ItqOptions {
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = Itq::train_with(
+            &data,
+            4,
+            3,
+            &ItqOptions {
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for row in data.chunks_exact(4).take(20) {
             assert_eq!(a.encode(row), b.encode(row));
         }
@@ -207,7 +269,16 @@ mod tests {
     #[test]
     fn subsampled_training_still_reasonable() {
         let data = blobs();
-        let sub = Itq::train_with(&data, 4, 2, &ItqOptions { max_train_rows: 50, ..Default::default() }).unwrap();
+        let sub = Itq::train_with(
+            &data,
+            4,
+            2,
+            &ItqOptions {
+                max_train_rows: 50,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let codes: std::collections::HashSet<u64> =
             data.chunks_exact(4).map(|r| sub.encode(r)).collect();
         assert!(codes.len() >= 3, "subsampled ITQ still separates blobs");
@@ -215,8 +286,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert!(matches!(Itq::train(&[1.0, 2.0, 3.0], 2, 2), Err(TrainError::RaggedData)));
+        assert!(matches!(
+            Itq::train(&[1.0, 2.0, 3.0], 2, 2),
+            Err(TrainError::RaggedData)
+        ));
         let data = blobs();
-        assert!(matches!(Itq::train(&data, 4, 5), Err(TrainError::BadCodeLength { .. })));
+        assert!(matches!(
+            Itq::train(&data, 4, 5),
+            Err(TrainError::BadCodeLength { .. })
+        ));
     }
 }

@@ -107,11 +107,19 @@ impl KmeansHashing {
     /// Train with explicit options. The code length `m` is split into
     /// subspaces of `bits_per_subspace` bits (the last subspace takes the
     /// remainder); dimensions are split evenly across subspaces.
-    pub fn train_with(data: &[f32], dim: usize, m: usize, opts: &KmhOptions) -> Result<KmeansHashing, TrainError> {
+    pub fn train_with(
+        data: &[f32],
+        dim: usize,
+        m: usize,
+        opts: &KmhOptions,
+    ) -> Result<KmeansHashing, TrainError> {
         let b = opts.bits_per_subspace.clamp(1, 8);
         let n_sub = m.div_ceil(b);
         if n_sub > dim {
-            return Err(TrainError::BadCodeLength { requested: m, max: dim * b });
+            return Err(TrainError::BadCodeLength {
+                requested: m,
+                max: dim * b,
+            });
         }
         let min_rows = 1usize << b;
         let n = check_training_input(data, dim, m, crate::MAX_CODE_LENGTH, min_rows)?;
@@ -131,7 +139,11 @@ impl KmeansHashing {
         for s in 0..n_sub {
             let (lo, hi) = (bounds[s], bounds[s + 1]);
             let sub_dim = hi - lo;
-            let bits = if s + 1 == n_sub { m - b * (n_sub - 1) } else { b };
+            let bits = if s + 1 == n_sub {
+                m - b * (n_sub - 1)
+            } else {
+                b
+            };
             let k = 1usize << bits;
 
             sub_buf.clear();
@@ -152,7 +164,8 @@ impl KmeansHashing {
                 cents.extend_from_slice(&dup);
             }
 
-            let (perm, err) = optimize_assignment(&cents, sub_dim, bits, opts.assignment_steps, &mut rng);
+            let (perm, err) =
+                optimize_assignment(&cents, sub_dim, bits, opts.assignment_steps, &mut rng);
             total_affinity += err;
 
             // Store codewords indexed by code: codeword(code) = centroid i
@@ -163,11 +176,28 @@ impl KmeansHashing {
                     .copy_from_slice(&cents[i * sub_dim..(i + 1) * sub_dim]);
             }
             if opts.refine_iters > 0 && k > 1 {
-                refine_codewords(&mut codewords, sub_dim, bits, &sub_buf, opts.refine_iters, opts.lambda);
+                refine_codewords(
+                    &mut codewords,
+                    sub_dim,
+                    bits,
+                    &sub_buf,
+                    opts.refine_iters,
+                    opts.lambda,
+                );
             }
-            subspaces.push(Subspace { lo, hi, bits, codewords });
+            subspaces.push(Subspace {
+                lo,
+                hi,
+                bits,
+                codewords,
+            });
         }
-        Ok(KmeansHashing { dim, m, subspaces, affinity_error: total_affinity })
+        Ok(KmeansHashing {
+            dim,
+            m,
+            subspaces,
+            affinity_error: total_affinity,
+        })
     }
 
     /// Total affinity error after index assignment (training diagnostic).
@@ -292,7 +322,10 @@ fn refine_codewords(
                 }
             }
             counts[best] += 1;
-            for (acc, &x) in sums[best * sub_dim..(best + 1) * sub_dim].iter_mut().zip(row) {
+            for (acc, &x) in sums[best * sub_dim..(best + 1) * sub_dim]
+                .iter_mut()
+                .zip(row)
+            {
                 *acc += x as f64;
             }
         }
@@ -313,14 +346,17 @@ fn refine_codewords(
                 den += w * rh * rh;
             }
         }
-        let s = if den > 0.0 { (num / den).max(1e-12) } else { 1.0 };
+        let s = if den > 0.0 {
+            (num / den).max(1e-12)
+        } else {
+            1.0
+        };
 
         // Codeword update: data mean + λ-weighted affinity targets.
         let mean_count = (n as f64 / k as f64).max(1.0);
         let snapshot = codewords.to_vec();
         for j in 0..k {
-            let mut acc: Vec<f64> =
-                sums[j * sub_dim..(j + 1) * sub_dim].to_vec();
+            let mut acc: Vec<f64> = sums[j * sub_dim..(j + 1) * sub_dim].to_vec();
             let mut weight = counts[j] as f64;
             let cj = &snapshot[j * sub_dim..(j + 1) * sub_dim];
             for i in 0..k {
@@ -334,8 +370,7 @@ fn refine_codewords(
                 }
                 let target = s * (((i ^ j).count_ones()) as f64).sqrt();
                 // Pull strength scales with both cells' population.
-                let w = lambda * ((counts[i] * counts[j]) as f64 + 1.0)
-                    / (mean_count * mean_count)
+                let w = lambda * ((counts[i] * counts[j]) as f64 + 1.0) / (mean_count * mean_count)
                     * mean_count
                     / k as f64;
                 let ratio = target / d;
@@ -430,7 +465,10 @@ mod tests {
     fn opts(b: usize) -> KmhOptions {
         KmhOptions {
             bits_per_subspace: b,
-            kmeans: KMeansOptions { seed: 13, ..Default::default() },
+            kmeans: KMeansOptions {
+                seed: 13,
+                ..Default::default()
+            },
             assignment_steps: 400,
             seed: 13,
             ..Default::default()
@@ -452,7 +490,9 @@ mod tests {
         // exceed Hamming(code(blob0), code(blob3)).
         let data = line_blobs();
         let kmh = KmeansHashing::train_with(&data, 2, 2, &opts(2)).unwrap();
-        let c: Vec<u64> = (0..4).map(|i| kmh.encode(&[i as f32 * 10.0, -(i as f32) * 10.0])).collect();
+        let c: Vec<u64> = (0..4)
+            .map(|i| kmh.encode(&[i as f32 * 10.0, -(i as f32) * 10.0]))
+            .collect();
         let h = |a: u64, b: u64| (a ^ b).count_ones();
         assert!(h(c[0], c[1]) <= h(c[0], c[3]), "affinity violated: {:?}", c);
     }
@@ -474,7 +514,10 @@ mod tests {
         let data = line_blobs();
         let kmh = KmeansHashing::train_with(&data, 2, 2, &opts(2)).unwrap();
         let qe = kmh.encode_query(&[0.0, 0.0]);
-        assert!(qe.flip_costs.iter().all(|&c| c > 0.0), "all flips leave the nearest codeword");
+        assert!(
+            qe.flip_costs.iter().all(|&c| c > 0.0),
+            "all flips leave the nearest codeword"
+        );
     }
 
     #[test]
@@ -502,14 +545,21 @@ mod tests {
             &data,
             2,
             2,
-            &KmhOptions { refine_iters: 0, ..opts(2) },
+            &KmhOptions {
+                refine_iters: 0,
+                ..opts(2)
+            },
         )
         .unwrap();
         let refined = KmeansHashing::train_with(
             &data,
             2,
             2,
-            &KmhOptions { refine_iters: 10, lambda: 1.0, ..opts(2) },
+            &KmhOptions {
+                refine_iters: 10,
+                lambda: 1.0,
+                ..opts(2)
+            },
         )
         .unwrap();
         // The affinity pull must actually move codewords: some item changes

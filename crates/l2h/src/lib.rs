@@ -35,7 +35,6 @@
 //! assert_eq!(q.flip_costs.len(), 2);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod isoh;
 pub mod itq;
@@ -157,9 +156,16 @@ impl LinearHasher {
     /// Build from a hashing matrix and bias; precomputes `σ_max(W)`.
     pub fn new(w: Matrix, bias: Vec<f64>) -> LinearHasher {
         assert_eq!(w.rows(), bias.len(), "one bias per hash function");
-        assert!(w.rows() <= MAX_CODE_LENGTH, "code length exceeds u64 packing");
+        assert!(
+            w.rows() <= MAX_CODE_LENGTH,
+            "code length exceeds u64 packing"
+        );
         let spectral_norm = w.spectral_norm();
-        LinearHasher { w, bias, spectral_norm }
+        LinearHasher {
+            w,
+            bias,
+            spectral_norm,
+        }
     }
 
     /// Code length `m`.
@@ -225,11 +231,17 @@ pub(crate) fn check_training_input(
         return Err(TrainError::RaggedData);
     }
     if m == 0 || m > max_m.min(MAX_CODE_LENGTH) {
-        return Err(TrainError::BadCodeLength { requested: m, max: max_m.min(MAX_CODE_LENGTH) });
+        return Err(TrainError::BadCodeLength {
+            requested: m,
+            max: max_m.min(MAX_CODE_LENGTH),
+        });
     }
     let n = data.len() / dim;
     if n < min_rows {
-        return Err(TrainError::NotEnoughData { needed: min_rows, got: n });
+        return Err(TrainError::NotEnoughData {
+            needed: min_rows,
+            got: n,
+        });
     }
     Ok(n)
 }
@@ -270,24 +282,38 @@ mod tests {
 
     #[test]
     fn check_training_input_errors() {
-        assert_eq!(check_training_input(&[1.0, 2.0, 3.0], 2, 2, 8, 1), Err(TrainError::RaggedData));
+        assert_eq!(
+            check_training_input(&[1.0, 2.0, 3.0], 2, 2, 8, 1),
+            Err(TrainError::RaggedData)
+        );
         assert_eq!(
             check_training_input(&[1.0, 2.0], 2, 0, 8, 1),
-            Err(TrainError::BadCodeLength { requested: 0, max: 8 })
+            Err(TrainError::BadCodeLength {
+                requested: 0,
+                max: 8
+            })
         );
         assert_eq!(
             check_training_input(&[1.0, 2.0], 2, 2, 8, 5),
             Err(TrainError::NotEnoughData { needed: 5, got: 1 })
         );
-        assert_eq!(check_training_input(&[1.0, 2.0, 3.0, 4.0], 2, 2, 8, 2), Ok(2));
+        assert_eq!(
+            check_training_input(&[1.0, 2.0, 3.0, 4.0], 2, 2, 8, 2),
+            Ok(2)
+        );
     }
 
     #[test]
     fn train_error_display() {
         let e = TrainError::NotEnoughData { needed: 5, got: 1 };
         assert!(e.to_string().contains("need 5"));
-        let e = TrainError::BadCodeLength { requested: 99, max: 64 };
+        let e = TrainError::BadCodeLength {
+            requested: 99,
+            max: 64,
+        };
         assert!(e.to_string().contains("99"));
-        assert!(TrainError::RaggedData.to_string().contains("multiple of dim"));
+        assert!(TrainError::RaggedData
+            .to_string()
+            .contains("multiple of dim"));
     }
 }

@@ -25,7 +25,10 @@ impl Lsh {
         if !data.is_empty() {
             check_training_input(data, dim, m, crate::MAX_CODE_LENGTH, 1)?;
         } else if m == 0 || m > crate::MAX_CODE_LENGTH {
-            return Err(TrainError::BadCodeLength { requested: m, max: crate::MAX_CODE_LENGTH });
+            return Err(TrainError::BadCodeLength {
+                requested: m,
+                max: crate::MAX_CODE_LENGTH,
+            });
         }
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x15_4a5d);
         let mut w = Matrix::zeros(m, dim);
@@ -34,11 +37,23 @@ impl Lsh {
                 w[(r, c)] = gaussian(&mut rng);
             }
         }
-        let mean = if data.is_empty() { vec![0.0; dim] } else { mean_rows(data, dim) };
+        let mean = if data.is_empty() {
+            vec![0.0; dim]
+        } else {
+            mean_rows(data, dim)
+        };
         let bias: Vec<f64> = (0..m)
-            .map(|r| -w.row(r).iter().zip(&mean).map(|(wi, mi)| wi * mi).sum::<f64>())
+            .map(|r| {
+                -w.row(r)
+                    .iter()
+                    .zip(&mean)
+                    .map(|(wi, mi)| wi * mi)
+                    .sum::<f64>()
+            })
             .collect();
-        Ok(Lsh { hasher: LinearHasher::new(w, bias) })
+        Ok(Lsh {
+            hasher: LinearHasher::new(w, bias),
+        })
     }
 
     /// The underlying linear hasher.
@@ -97,7 +112,9 @@ mod tests {
         assert_eq!(a.encode(x), b.encode(x));
         // Different seeds give different hyperplanes (almost surely different
         // codes somewhere).
-        let differs = data.chunks_exact(4).any(|row| a.encode(row) != c.encode(row));
+        let differs = data
+            .chunks_exact(4)
+            .any(|row| a.encode(row) != c.encode(row));
         assert!(differs);
     }
 
@@ -131,8 +148,14 @@ mod tests {
     #[test]
     fn rejects_bad_code_length() {
         let data = ring_data(10, 4);
-        assert!(matches!(Lsh::train(&data, 4, 0, 1), Err(TrainError::BadCodeLength { .. })));
-        assert!(matches!(Lsh::train(&data, 4, 65, 1), Err(TrainError::BadCodeLength { .. })));
+        assert!(matches!(
+            Lsh::train(&data, 4, 0, 1),
+            Err(TrainError::BadCodeLength { .. })
+        ));
+        assert!(matches!(
+            Lsh::train(&data, 4, 65, 1),
+            Err(TrainError::BadCodeLength { .. })
+        ));
     }
 
     #[test]

@@ -109,7 +109,10 @@ mod tests {
     fn bits_are_balanced_on_symmetric_data() {
         let data = two_blobs();
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let ones = data.chunks_exact(2).filter(|r| model.encode(r) & 1 != 0).count();
+        let ones = data
+            .chunks_exact(2)
+            .filter(|r| model.encode(r) & 1 != 0)
+            .count();
         assert_eq!(ones, 100, "symmetric data splits evenly on the first PC");
     }
 
@@ -134,7 +137,10 @@ mod tests {
     #[test]
     fn rejects_code_longer_than_dim() {
         let data = two_blobs();
-        assert!(matches!(Pcah::train(&data, 2, 3), Err(TrainError::BadCodeLength { .. })));
+        assert!(matches!(
+            Pcah::train(&data, 2, 3),
+            Err(TrainError::BadCodeLength { .. })
+        ));
     }
 
     #[test]

@@ -75,7 +75,15 @@ impl SpectralHashing {
             for k in 1..=m {
                 let omega = k as f64 * std::f64::consts::PI / span;
                 // Analytic eigenvalue ∝ ω²; ranking by ω is equivalent.
-                candidates.push((omega, EigenFunction { dir: j, mode: k, a: lo[j], omega }));
+                candidates.push((
+                    omega,
+                    EigenFunction {
+                        dir: j,
+                        mode: k,
+                        a: lo[j],
+                        omega,
+                    },
+                ));
             }
         }
         candidates.sort_by(|x, y| {
@@ -83,7 +91,8 @@ impl SpectralHashing {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| (x.1.dir, x.1.mode).cmp(&(y.1.dir, y.1.mode)))
         });
-        let functions: Vec<EigenFunction> = candidates.into_iter().take(m).map(|(_, f)| f).collect();
+        let functions: Vec<EigenFunction> =
+            candidates.into_iter().take(m).map(|(_, f)| f).collect();
         debug_assert_eq!(functions.len(), m);
         Ok(SpectralHashing { pca, functions })
     }
@@ -118,7 +127,10 @@ impl HashModel for SpectralHashing {
 
     fn encode_query(&self, q: &[f32]) -> QueryEncoding {
         let r = self.responses(q);
-        QueryEncoding { code: sign_code(&r), flip_costs: r.into_iter().map(f64::abs).collect() }
+        QueryEncoding {
+            code: sign_code(&r),
+            flip_costs: r.into_iter().map(f64::abs).collect(),
+        }
     }
 
     // Non-linear: no hashing matrix, no Theorem-1 spectral norm.
@@ -177,7 +189,10 @@ mod tests {
             }
         }
         let qe = sh.encode_query(&data[..2]);
-        assert!(qe.flip_costs.iter().all(|&c| (0.0..=1.0 + 1e-12).contains(&c)));
+        assert!(qe
+            .flip_costs
+            .iter()
+            .all(|&c| (0.0..=1.0 + 1e-12).contains(&c)));
     }
 
     #[test]

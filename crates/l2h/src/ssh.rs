@@ -30,12 +30,20 @@ pub struct Pair {
 impl Pair {
     /// Must-link pair.
     pub fn similar(a: u32, b: u32) -> Pair {
-        Pair { a, b, similar: true }
+        Pair {
+            a,
+            b,
+            similar: true,
+        }
     }
 
     /// Cannot-link pair.
     pub fn dissimilar(a: u32, b: u32) -> Pair {
-        Pair { a, b, similar: false }
+        Pair {
+            a,
+            b,
+            similar: false,
+        }
     }
 }
 
@@ -80,7 +88,10 @@ impl Ssh {
         let n = check_training_input(data, dim, m, dim, 2)?;
         for p in pairs {
             if p.a as usize >= n || p.b as usize >= n {
-                return Err(TrainError::NotEnoughData { needed: p.a.max(p.b) as usize + 1, got: n });
+                return Err(TrainError::NotEnoughData {
+                    needed: p.a.max(p.b) as usize + 1,
+                    got: n,
+                });
             }
         }
         let mean = mean_rows(data, dim);
@@ -155,9 +166,17 @@ impl Ssh {
             }
         }
         let bias: Vec<f64> = (0..m)
-            .map(|r| -w.row(r).iter().zip(&mean).map(|(wi, mu)| wi * mu).sum::<f64>())
+            .map(|r| {
+                -w.row(r)
+                    .iter()
+                    .zip(&mean)
+                    .map(|(wi, mu)| wi * mu)
+                    .sum::<f64>()
+            })
             .collect();
-        Ok(Ssh { hasher: LinearHasher::new(w, bias) })
+        Ok(Ssh {
+            hasher: LinearHasher::new(w, bias),
+        })
     }
 
     /// The underlying linear hasher.
@@ -180,7 +199,11 @@ impl Ssh {
             let cb = self.encode(&data[p.b as usize * dim..(p.b as usize + 1) * dim]);
             let same_bits = m - (ca ^ cb).count_ones();
             let frac_same = same_bits as f64 / m as f64;
-            agree += if p.similar { frac_same } else { 1.0 - frac_same };
+            agree += if p.similar {
+                frac_same
+            } else {
+                1.0 - frac_same
+            };
         }
         agree / pairs.len() as f64
     }
@@ -264,7 +287,10 @@ mod tests {
         // Strong supervision, weak regularizer.
         let ssh = Ssh::train_with(&data, 2, 1, &pairs, &SshOptions { eta: 0.01 }).unwrap();
         let agree = ssh.supervision_agreement(&data, &pairs);
-        assert!(agree > 0.9, "SSH should respect supervision, agreement {agree}");
+        assert!(
+            agree > 0.9,
+            "SSH should respect supervision, agreement {agree}"
+        );
 
         // PCAH's first bit follows the y-spread and ignores the labels.
         let pcah = crate::pcah::Pcah::train(&data, 2, 1).unwrap();
@@ -276,7 +302,10 @@ mod tests {
             pcah_agree += f64::from(same == p.similar);
         }
         pcah_agree /= pairs.len() as f64;
-        assert!(agree > pcah_agree, "SSH ({agree}) must beat PCAH ({pcah_agree}) on supervision");
+        assert!(
+            agree > pcah_agree,
+            "SSH ({agree}) must beat PCAH ({pcah_agree}) on supervision"
+        );
     }
 
     #[test]
@@ -287,15 +316,26 @@ mod tests {
         // Same first direction up to sign: encodings equal or fully flipped.
         let codes_ssh: Vec<u64> = data.chunks_exact(2).map(|r| ssh.encode(r)).collect();
         let codes_pcah: Vec<u64> = data.chunks_exact(2).map(|r| pcah.encode(r)).collect();
-        let same = codes_ssh.iter().zip(&codes_pcah).filter(|(a, b)| a == b).count();
-        assert!(same == 0 || same == codes_ssh.len(), "{same} of {}", codes_ssh.len());
+        let same = codes_ssh
+            .iter()
+            .zip(&codes_pcah)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            same == 0 || same == codes_ssh.len(),
+            "{same} of {}",
+            codes_ssh.len()
+        );
     }
 
     #[test]
     fn rejects_out_of_range_pairs() {
         let (data, _) = striped();
         let bad = [Pair::similar(0, 9_999)];
-        assert!(matches!(Ssh::train(&data, 2, 1, &bad), Err(TrainError::NotEnoughData { .. })));
+        assert!(matches!(
+            Ssh::train(&data, 2, 1, &bad),
+            Err(TrainError::NotEnoughData { .. })
+        ));
     }
 
     #[test]

@@ -26,9 +26,8 @@ fn train_all(data: &[f32], dim: usize, m: usize) -> Vec<Box<dyn HashModel>> {
 }
 
 fn data_strategy() -> impl Strategy<Value = (usize, Vec<f32>)> {
-    (3usize..6, 40usize..90).prop_flat_map(|(dim, n)| {
-        (Just(dim), prop::collection::vec(-6.0f32..6.0, dim * n))
-    })
+    (3usize..6, 40usize..90)
+        .prop_flat_map(|(dim, n)| (Just(dim), prop::collection::vec(-6.0f32..6.0, dim * n)))
 }
 
 proptest! {

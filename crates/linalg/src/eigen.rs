@@ -97,7 +97,11 @@ pub fn symmetric_eigen(a: &Matrix) -> Eigen {
     // Extract and sort descending.
     let mut order: Vec<usize> = (0..n).collect();
     let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("eigenvalues are finite"));
+    order.sort_by(|&i, &j| {
+        diag[j]
+            .partial_cmp(&diag[i])
+            .expect("eigenvalues are finite")
+    });
 
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut vectors = Matrix::zeros(n, n);

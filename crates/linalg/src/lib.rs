@@ -26,7 +26,6 @@
 //! assert!((e.values[1] - 1.0).abs() < 1e-10);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod eigen;
 pub mod matrix;

@@ -28,7 +28,10 @@ impl Pca {
     /// `k > dim` or `data` is not a multiple of `dim`.
     pub fn fit(data: &[f32], dim: usize, k: usize) -> Pca {
         assert!(dim > 0 && k > 0 && k <= dim, "need 0 < k <= dim");
-        assert!(data.len().is_multiple_of(dim), "data length must be a multiple of dim");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "data length must be a multiple of dim"
+        );
         let n = data.len() / dim;
         assert!(n > 1, "PCA needs at least two rows");
 
@@ -78,7 +81,11 @@ impl Pca {
     /// Project one item onto the principal directions.
     pub fn project(&self, x: &[f32]) -> Vec<f64> {
         assert_eq!(x.len(), self.mean.len());
-        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(&xi, m)| xi as f64 - m).collect();
+        let centered: Vec<f64> = x
+            .iter()
+            .zip(&self.mean)
+            .map(|(&xi, m)| xi as f64 - m)
+            .collect();
         self.components.matvec(&centered)
     }
 

@@ -55,11 +55,19 @@ pub fn svd(a: &Matrix) -> Svd {
         // pass (columns are already ordered by descending σ, so the accurate
         // leading columns are untouched) restores an orthonormal U.
         let (q, _) = crate::qr::qr(&u);
-        Svd { u: q, singular_values, v }
+        Svd {
+            u: q,
+            singular_values,
+            v,
+        }
     } else {
         // Transpose trick: svd(Aᵀ) then swap U/V.
         let s = svd(&a.transpose());
-        Svd { u: s.v, singular_values: s.singular_values, v: s.u }
+        Svd {
+            u: s.v,
+            singular_values: s.singular_values,
+            v: s.u,
+        }
     }
 }
 

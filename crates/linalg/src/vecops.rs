@@ -84,7 +84,6 @@ pub fn sq_dist_f32(a: &[f32], b: &[f32]) -> f32 {
     acc0 + acc1 + acc2 + acc3 + tail
 }
 
-
 /// Distance metric used for exact candidate evaluation and ground truth.
 ///
 /// The paper analyzes QD for Euclidean distance and notes (§4) that "other
@@ -193,7 +192,9 @@ mod tests {
         assert!((angular_dist_f32(&e1, &e2) - 1.0).abs() < 1e-6);
         assert!((angular_dist_f32(&e1, &[-2.0, 0.0]) - 2.0).abs() < 1e-6);
         // Scale invariance.
-        assert!((angular_dist_f32(&e1, &[5.0, 5.0]) - angular_dist_f32(&e1, &[0.1, 0.1])).abs() < 1e-6);
+        assert!(
+            (angular_dist_f32(&e1, &[5.0, 5.0]) - angular_dist_f32(&e1, &[0.1, 0.1])).abs() < 1e-6
+        );
         // Zero vector convention.
         assert_eq!(angular_dist_f32(&e1, &[0.0, 0.0]), 1.0);
     }

@@ -6,14 +6,12 @@ use proptest::prelude::*;
 
 /// Random square matrix entries in [-5, 5].
 fn square(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0f64..5.0, n * n)
-        .prop_map(move |data| Matrix::from_vec(n, n, data))
+    prop::collection::vec(-5.0f64..5.0, n * n).prop_map(move |data| Matrix::from_vec(n, n, data))
 }
 
 /// Random rectangular matrix.
 fn rect(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0f64..5.0, r * c)
-        .prop_map(move |data| Matrix::from_vec(r, c, data))
+    prop::collection::vec(-5.0f64..5.0, r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
 }
 
 fn symmetrize(a: &Matrix) -> Matrix {

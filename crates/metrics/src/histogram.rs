@@ -1,0 +1,318 @@
+//! Log-bucketed latency histogram (HdrHistogram-style, no external deps).
+//!
+//! Values (nanoseconds in practice, but any `u64`) land in geometric buckets
+//! whose upper bounds grow by ~×1.2 per step, giving ≤ 20% relative
+//! quantile error across the full `u64` range with a few hundred buckets.
+//! All mutation is relaxed-atomic, so one histogram can be shared across a
+//! query batch's worker threads without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Geometric growth factor between consecutive bucket upper bounds.
+const GROWTH: f64 = 1.2;
+
+/// Largest finite bucket bound; anything above lands in the overflow
+/// (`+Inf`) bucket. 10^18 ns ≈ 31.7 years — comfortably past any latency.
+const MAX_BOUND: u64 = 1_000_000_000_000_000_000;
+
+/// Upper bounds (inclusive, `le` semantics) of the finite buckets, shared by
+/// every histogram: 1, 2, 3, 4, 5, 6, 8, 10, 12, 15, … up to [`MAX_BOUND`].
+pub fn bucket_bounds() -> &'static [u64] {
+    static BOUNDS: OnceLock<Vec<u64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut bounds = Vec::with_capacity(256);
+        let mut v: u64 = 1;
+        loop {
+            bounds.push(v);
+            if v >= MAX_BOUND {
+                break;
+            }
+            let next = ((v as f64) * GROWTH).ceil() as u64;
+            v = next.max(v + 1).min(MAX_BOUND);
+        }
+        bounds
+    })
+}
+
+/// Index of the bucket a value belongs to: the first bound `>= value`
+/// (values above [`MAX_BOUND`] map to the overflow bucket, index
+/// `bucket_bounds().len()`).
+fn bucket_index(value: u64) -> usize {
+    match bucket_bounds().binary_search(&value) {
+        Ok(i) => i,
+        Err(i) => i,
+    }
+}
+
+/// A thread-safe log-bucketed histogram with count/sum/max accessors and
+/// quantile estimation.
+#[derive(Debug)]
+pub struct Histogram {
+    /// One counter per finite bucket plus a trailing overflow bucket.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        let n = bucket_bounds().len() + 1;
+        let buckets: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values (wraps only after ~584 years of ns).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values. 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Quantile estimate: the upper bound of the bucket containing the
+    /// `q`-th-fraction observation (rank `ceil(q·count)`, clamped to
+    /// `[1, count]`). Values in the overflow bucket report the exact max.
+    /// Returns 0 when empty; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let bounds = bucket_bounds();
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i < bounds.len() {
+                    // The recorded max is a tighter bound than the bucket
+                    // ceiling whenever the quantile falls in the top bucket.
+                    bounds[i].min(self.max())
+                } else {
+                    self.max()
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition).
+    pub fn merge(&self, other: &Histogram) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = b.load(Ordering::Relaxed);
+            if v > 0 {
+                a.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Visit `(upper_bound, count)` for every non-empty bucket, in ascending
+    /// bound order; the overflow bucket is reported with bound `None`.
+    pub fn for_each_bucket(&self, mut f: impl FnMut(Option<u64>, u64)) {
+        let bounds = bucket_bounds();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                f(bounds.get(i).copied(), c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_ascending_geometric() {
+        let b = bucket_bounds();
+        assert_eq!(&b[..6], &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(b[6], 8, "ceil(6 × 1.2)");
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        assert!(
+            b.windows(2)
+                .all(|w| (w[1] as f64) <= (w[0] as f64) * GROWTH + 1.0),
+            "growth factor bounded by ceil(1.2·v)"
+        );
+        assert_eq!(*b.last().unwrap(), MAX_BOUND);
+        assert!(b.len() < 300, "bucket table stays small, got {}", b.len());
+    }
+
+    #[test]
+    fn bucket_boundaries_use_le_semantics() {
+        // Value == bound lands in that bucket; bound+1 lands in the next.
+        let h = Histogram::new();
+        h.record(6);
+        h.record(7);
+        h.record(8);
+        let mut got = Vec::new();
+        h.for_each_bucket(|le, c| got.push((le, c)));
+        assert_eq!(got, vec![(Some(6), 1), (Some(8), 2)]);
+    }
+
+    #[test]
+    fn count_sum_max_mean() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.max(), 30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_ceilings() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 rank = 50 → value 50 sits in the bucket with bound >= 50;
+        // quantile error is bounded by the ×1.2 growth.
+        let p50 = h.p50();
+        assert!((50..=60).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((99..=119).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 100, "top quantile capped by exact max");
+        assert_eq!(h.quantile(0.0), 1, "rank clamps to the first observation");
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_then_quantile_equals_recording_everything_in_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in 0..500u64 {
+            let x = (v * 7919) % 10_000 + 1;
+            if v % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_reports_exact_max() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(MAX_BOUND + 5);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        let mut overflow = 0;
+        h.for_each_bucket(|le, c| {
+            if le.is_none() {
+                overflow = c;
+            }
+        });
+        assert_eq!(overflow, 2);
+    }
+
+    #[test]
+    fn record_duration_is_nanoseconds() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(3));
+        assert_eq!(h.sum(), 3_000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+    }
+}

@@ -1,0 +1,57 @@
+//! Query-path observability: phase spans, latency histograms, and a
+//! registry with JSON / Prometheus export.
+//!
+//! This crate sits below every query path in the workspace (the bucket
+//! engine, multi-table search, multi-probe LSH, the inverted multi-index)
+//! and is re-exported as `gqr_core::metrics`. It has four pieces:
+//!
+//! * [`Histogram`] — a log-bucketed (~×1.2 growth) latency histogram with
+//!   atomic recording, merge, and `p50`/`p90`/`p99`/`max` quantiles.
+//! * [`MetricsRegistry`] — a thread-safe store of named counters and
+//!   histograms. The **disabled** registry (the default) turns every
+//!   recording call into a single branch: no allocation, no locking, no
+//!   clock reads.
+//! * [`PhaseSpans`] / [`Phase`] — a stack-allocated per-query accumulator
+//!   for the five query phases (`hash_query`, `probe_generate`,
+//!   `bucket_lookup`, `evaluate`, `rerank`), flushed to the registry once
+//!   per query.
+//! * [`MetricsSnapshot`] — a point-in-time copy that renders to JSON
+//!   ([`MetricsSnapshot::to_json`]) or the Prometheus text exposition
+//!   format ([`MetricsSnapshot::to_prometheus`]).
+//!
+//! # Example
+//!
+//! ```
+//! use gqr_metrics::{metric_name, MetricsRegistry, Phase, PhaseSpans};
+//! use std::time::Instant;
+//!
+//! let registry = MetricsRegistry::enabled();
+//! let wall = Instant::now();
+//! let mut spans = PhaseSpans::new(&registry);
+//!
+//! let t = spans.begin();
+//! // ... hash the query ...
+//! spans.end(Phase::HashQuery, t);
+//!
+//! spans.flush(&registry, "gqr_query", "GQR", wall.elapsed());
+//! assert_eq!(
+//!     registry.counter_value(&metric_name(
+//!         "gqr_query_queries_total",
+//!         &[("strategy", "GQR")],
+//!     )),
+//!     Some(1),
+//! );
+//! let prom = registry.snapshot().to_prometheus();
+//! assert!(prom.contains("# TYPE gqr_query_total_ns histogram"));
+//! ```
+
+#![warn(missing_docs)]
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use export::{BucketCount, HistogramSnapshot, MetricsSnapshot};
+pub use histogram::{bucket_bounds, Histogram};
+pub use registry::{metric_name, MetricsRegistry};
+pub use span::{Phase, PhaseSpans};

@@ -1,0 +1,253 @@
+//! Named metric registry: atomic counters plus latency [`Histogram`]s.
+//!
+//! A [`MetricsRegistry`] is a cheaply cloneable handle (an `Option<Arc<_>>`)
+//! that is either **enabled** — all clones share one store — or **disabled**,
+//! in which case every recording call is a single branch on a `None` and
+//! performs no allocation, locking, or atomic traffic. Disabled is the
+//! default so instrumented code paths cost nothing unless observability is
+//! explicitly requested.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use super::export::{HistogramSnapshot, MetricsSnapshot};
+use super::histogram::Histogram;
+
+/// Shared store behind an enabled registry.
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Handle to a metrics store, or a no-op sink when disabled.
+///
+/// Clones share the same underlying store, so a registry can be handed to an
+/// engine, a multi-table index, and a batch of worker threads and all of them
+/// feed the same counters. Metric names may embed Prometheus-style labels,
+/// e.g. `gqr_query_phase_ns{phase="evaluate",strategy="GQR"}` (see
+/// [`metric_name`]); the exporters parse them back out.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    /// A live registry: recordings are kept and exported.
+    pub fn enabled() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Some(Arc::new(RegistryInner::default())),
+        }
+    }
+
+    /// A no-op registry: every recording call is a single `None` branch.
+    /// This is also the `Default`.
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry { inner: None }
+    }
+
+    /// Whether recordings are kept. Instrumented hot loops check this once
+    /// up front and skip clock reads entirely when false.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to the named counter, creating it at zero first if needed.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(c) = inner.counters.read().get(name) {
+                c.fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+            inner
+                .counters
+                .write()
+                .entry(name.to_string())
+                .or_default()
+                .fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter, if it exists (always `None` when
+    /// disabled).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let v = inner.counters.read().get(name)?.load(Ordering::Relaxed);
+        Some(v)
+    }
+
+    /// The named histogram, creating it if needed. `None` when disabled.
+    pub fn histogram(&self, name: &str) -> Option<Arc<Histogram>> {
+        let inner = self.inner.as_ref()?;
+        if let Some(h) = inner.histograms.read().get(name) {
+            return Some(Arc::clone(h));
+        }
+        let mut w = inner.histograms.write();
+        Some(Arc::clone(w.entry(name.to_string()).or_default()))
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        if let Some(h) = self.histogram(name) {
+            h.record(value);
+        }
+    }
+
+    /// Record a duration (as nanoseconds) into the named histogram.
+    pub fn record_duration(&self, name: &str, d: Duration) {
+        if let Some(h) = self.histogram(name) {
+            h.record_duration(d);
+        }
+    }
+
+    /// Names of all registered counters (empty when disabled).
+    pub fn counter_names(&self) -> Vec<String> {
+        match &self.inner {
+            Some(inner) => inner.counters.read().keys().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Names of all registered histograms (empty when disabled).
+    pub fn histogram_names(&self) -> Vec<String> {
+        match &self.inner {
+            Some(inner) => inner.histograms.read().keys().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drop every metric, keeping the registry enabled. No-op when disabled.
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            inner.counters.write().clear();
+            inner.histograms.write().clear();
+        }
+    }
+
+    /// Point-in-time copy of every metric, ready for export. Empty when
+    /// disabled.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let Some(inner) = &self.inner else {
+            return snap;
+        };
+        for (name, c) in inner.counters.read().iter() {
+            snap.counters
+                .insert(name.clone(), c.load(Ordering::Relaxed));
+        }
+        for (name, h) in inner.histograms.read().iter() {
+            snap.histograms
+                .insert(name.clone(), HistogramSnapshot::of(h));
+        }
+        snap
+    }
+}
+
+/// Format a metric name with Prometheus-style labels:
+/// `metric_name("gqr_query_total_ns", &[("strategy", "GQR")])` →
+/// `gqr_query_total_ns{strategy="GQR"}`. With no labels the base name is
+/// returned unchanged.
+pub fn metric_name(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = MetricsRegistry::disabled();
+        assert!(!m.is_enabled());
+        m.incr("c");
+        m.record("h", 42);
+        assert_eq!(m.counter_value("c"), None);
+        assert!(m.histogram("h").is_none());
+        let snap = m.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(
+            MetricsRegistry::default().inner.is_none(),
+            "default is disabled"
+        );
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate_across_clones() {
+        let m = MetricsRegistry::enabled();
+        let m2 = m.clone();
+        m.incr("queries");
+        m2.add("queries", 4);
+        m.record("lat", 10);
+        m2.record("lat", 30);
+        assert_eq!(m.counter_value("queries"), Some(5));
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 40);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_enabled() {
+        let m = MetricsRegistry::enabled();
+        m.incr("c");
+        m.clear();
+        assert!(m.is_enabled());
+        assert_eq!(m.counter_value("c"), None);
+    }
+
+    #[test]
+    fn metric_name_formats_labels() {
+        assert_eq!(metric_name("base", &[]), "base");
+        assert_eq!(
+            metric_name(
+                "gqr_query_phase_ns",
+                &[("phase", "evaluate"), ("strategy", "GQR")]
+            ),
+            "gqr_query_phase_ns{phase=\"evaluate\",strategy=\"GQR\"}"
+        );
+    }
+
+    #[test]
+    fn concurrent_counter_creation_is_consistent() {
+        let m = MetricsRegistry::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        m.incr("shared");
+                        m.record("h", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter_value("shared"), Some(2000));
+        assert_eq!(m.histogram("h").unwrap().count(), 2000);
+    }
+}

@@ -4,9 +4,11 @@ use crate::probing::{PerturbationSequence, QueryProjection};
 use gqr_linalg::qr::gaussian;
 use gqr_linalg::vecops::sq_dist_f32;
 use gqr_linalg::Matrix;
+use gqr_metrics::{MetricsRegistry, Phase, PhaseSpans};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Construction parameters.
 #[derive(Clone, Debug)]
@@ -24,7 +26,12 @@ pub struct MpLshParams {
 
 impl Default for MpLshParams {
     fn default() -> Self {
-        MpLshParams { tables: 4, hashes_per_table: 8, bucket_width: 1.0, seed: 0 }
+        MpLshParams {
+            tables: 4,
+            hashes_per_table: 8,
+            bucket_width: 1.0,
+            seed: 0,
+        }
     }
 }
 
@@ -78,7 +85,10 @@ pub struct MpLshStats {
 impl MpLshIndex {
     /// Build the index over row-major data.
     pub fn build(data: &[f32], dim: usize, params: &MpLshParams) -> MpLshIndex {
-        assert!(dim > 0 && data.len().is_multiple_of(dim), "data must be n×dim");
+        assert!(
+            dim > 0 && data.len().is_multiple_of(dim),
+            "data must be n×dim"
+        );
         assert!(params.tables >= 1, "need at least one table");
         assert!(
             (1..=32).contains(&params.hashes_per_table),
@@ -95,16 +105,26 @@ impl MpLshIndex {
                     a[(r, c)] = gaussian(&mut rng);
                 }
             }
-            let b: Vec<f64> =
-                (0..params.hashes_per_table).map(|_| rng.gen::<f64>() * params.bucket_width).collect();
-            let mut table = Table { a, b, buckets: HashMap::new() };
+            let b: Vec<f64> = (0..params.hashes_per_table)
+                .map(|_| rng.gen::<f64>() * params.bucket_width)
+                .collect();
+            let mut table = Table {
+                a,
+                b,
+                buckets: HashMap::new(),
+            };
             for (i, row) in data.chunks_exact(dim).enumerate() {
                 let key = table.project(row, params.bucket_width).codes;
                 table.buckets.entry(key).or_default().push(i as u32);
             }
             tables.push(table);
         }
-        MpLshIndex { dim, w: params.bucket_width, tables, n_items: n }
+        MpLshIndex {
+            dim,
+            w: params.bucket_width,
+            tables,
+            n_items: n,
+        }
     }
 
     /// Estimate a bucket width from the data: the mean distance between a
@@ -151,15 +171,49 @@ impl MpLshIndex {
         n_candidates: usize,
         probes_per_table: usize,
     ) -> (Vec<(u32, f32)>, MpLshStats) {
+        self.search_metered(
+            query,
+            data,
+            k,
+            n_candidates,
+            probes_per_table,
+            &MetricsRegistry::disabled(),
+        )
+    }
+
+    /// [`MpLshIndex::search`] with query-path observability: with an enabled
+    /// registry, phase spans (`hash_query` = per-table projections,
+    /// `probe_generate` = perturbation-sequence expansion and cross-table
+    /// merge, `bucket_lookup`, `evaluate`, `rerank`) and per-query totals
+    /// are recorded under the `gqr_mplsh_*` metric family with
+    /// `strategy="MPLSH"`.
+    pub fn search_metered(
+        &self,
+        query: &[f32],
+        data: &[f32],
+        k: usize,
+        n_candidates: usize,
+        probes_per_table: usize,
+        metrics: &MetricsRegistry,
+    ) -> (Vec<(u32, f32)>, MpLshStats) {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        let start = Instant::now();
+        let mut spans = PhaseSpans::new(metrics);
         let mut stats = MpLshStats::default();
-        let projections: Vec<QueryProjection> =
-            self.tables.iter().map(|t| t.project(query, self.w)).collect();
+        let t0 = spans.begin();
+        let projections: Vec<QueryProjection> = self
+            .tables
+            .iter()
+            .map(|t| t.project(query, self.w))
+            .collect();
+        spans.end(Phase::HashQuery, t0);
+        let t0 = spans.begin();
         let mut sequences: Vec<PerturbationSequence<'_>> =
             projections.iter().map(PerturbationSequence::new).collect();
         // Pending next emission per table: (score, key).
         let mut pending: Vec<Option<(Vec<i32>, f64)>> =
             sequences.iter_mut().map(|s| s.next_bucket()).collect();
+        spans.end(Phase::ProbeGenerate, t0);
         let mut probes_left: Vec<usize> = vec![probes_per_table; self.tables.len()];
 
         let mut visited = vec![false; self.n_items];
@@ -167,6 +221,7 @@ impl MpLshIndex {
 
         while stats.items_evaluated < n_candidates {
             // Table with the lowest pending score.
+            let tg = spans.begin();
             let mut pick: Option<(usize, f64)> = None;
             for (t, p) in pending.iter().enumerate() {
                 if probes_left[t] == 0 {
@@ -178,16 +233,28 @@ impl MpLshIndex {
                     }
                 }
             }
-            let Some((t, _)) = pick else { break };
-            let (key, _) = pending[t].take().expect("picked pending entry");
-            probes_left[t] -= 1;
-            pending[t] = if probes_left[t] > 0 { sequences[t].next_bucket() } else { None };
+            let picked = pick.map(|(t, _)| {
+                let (key, _) = pending[t].take().expect("picked pending entry");
+                probes_left[t] -= 1;
+                pending[t] = if probes_left[t] > 0 {
+                    sequences[t].next_bucket()
+                } else {
+                    None
+                };
+                (t, key)
+            });
+            spans.end(Phase::ProbeGenerate, tg);
+            let Some((t, key)) = picked else { break };
 
             stats.buckets_probed += 1;
-            let Some(items) = self.tables[t].buckets.get(&key) else {
+            let tl = spans.begin();
+            let bucket = self.tables[t].buckets.get(&key);
+            spans.end(Phase::BucketLookup, tl);
+            let Some(items) = bucket else {
                 stats.empty_buckets += 1;
                 continue;
             };
+            let te = spans.begin();
             for &id in items {
                 let seen = &mut visited[id as usize];
                 if *seen {
@@ -199,10 +266,18 @@ impl MpLshIndex {
                 best.push((id, sq_dist_f32(query, row)));
                 stats.items_evaluated += 1;
             }
+            spans.end(Phase::Evaluate, te);
         }
         stats.invalid_sets = sequences.iter().map(|s| s.invalid_generated).sum();
-        best.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        let tr = spans.begin();
+        best.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         best.truncate(k);
+        spans.end(Phase::Rerank, tr);
+        spans.flush(metrics, "gqr_mplsh", "MPLSH", start.elapsed());
         (best, stats)
     }
 }
@@ -218,7 +293,12 @@ mod tests {
         let idx = MpLshIndex::build(
             ds.as_slice(),
             ds.dim(),
-            &MpLshParams { tables: 6, hashes_per_table: 6, bucket_width: w, seed: 3 },
+            &MpLshParams {
+                tables: 6,
+                hashes_per_table: 6,
+                bucket_width: w,
+                seed: 3,
+            },
         );
         (ds, idx)
     }
@@ -252,7 +332,10 @@ mod tests {
         };
         let few = recall_at(2);
         let many = recall_at(128);
-        assert!(many >= few, "recall with 128 probes ({many}) < with 2 ({few})");
+        assert!(
+            many >= few,
+            "recall with 128 probes ({many}) < with 2 ({few})"
+        );
     }
 
     #[test]
@@ -283,13 +366,36 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let ds = DatasetSpec::audio50k().scale(Scale::Smoke).generate(13);
-        let params = MpLshParams { tables: 2, hashes_per_table: 6, bucket_width: 2.0, seed: 9 };
+        let params = MpLshParams {
+            tables: 2,
+            hashes_per_table: 6,
+            bucket_width: 2.0,
+            seed: 9,
+        };
         let a = MpLshIndex::build(ds.as_slice(), ds.dim(), &params);
         let b = MpLshIndex::build(ds.as_slice(), ds.dim(), &params);
         let q = ds.sample_queries(1, 1).remove(0);
         let (ra, _) = a.search(&q, ds.as_slice(), 5, 200, 16);
         let (rb, _) = b.search(&q, ds.as_slice(), 5, 200, 16);
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn metered_search_matches_plain_and_records_spans() {
+        let (ds, idx) = fixture();
+        let q = ds.sample_queries(1, 5).remove(0);
+        let m = MetricsRegistry::enabled();
+        let (metered, _) = idx.search_metered(&q, ds.as_slice(), 5, 200, 16, &m);
+        let (plain, _) = idx.search(&q, ds.as_slice(), 5, 200, 16);
+        assert_eq!(metered, plain, "metering must not change results");
+        assert_eq!(
+            m.counter_value("gqr_mplsh_queries_total{strategy=\"MPLSH\"}"),
+            Some(1)
+        );
+        let total = m
+            .histogram("gqr_mplsh_total_ns{strategy=\"MPLSH\"}")
+            .unwrap();
+        assert_eq!(total.count(), 1);
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl QueryProjection {
             entries.push((i as u32, 1, up * up));
         }
         entries.sort_by(|a, b| {
-            a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1))
+            a.2.partial_cmp(&b.2)
+                .unwrap_or(Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
         });
         let mut partner = vec![0u32; 2 * m];
         for (pos, &(i, d, _)) in entries.iter().enumerate() {
@@ -54,7 +57,11 @@ impl QueryProjection {
                 }
             }
         }
-        QueryProjection { codes, sorted: entries, partner }
+        QueryProjection {
+            codes,
+            sorted: entries,
+            partner,
+        }
     }
 
     /// Number of hash functions `M`.
@@ -117,7 +124,11 @@ impl<'a> PerturbationSequence<'a> {
     pub fn new(proj: &'a QueryProjection) -> PerturbationSequence<'a> {
         let mut heap = BinaryHeap::new();
         if !proj.sorted.is_empty() {
-            heap.push(SetEntry { score: proj.sorted[0].2, mask: 1, max_idx: 0 });
+            heap.push(SetEntry {
+                score: proj.sorted[0].2,
+                mask: 1,
+                max_idx: 0,
+            });
         }
         PerturbationSequence {
             proj,
@@ -244,7 +255,9 @@ mod tests {
         let mut seq = PerturbationSequence::new(&p);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
-            let Some((key, _)) = seq.next_bucket() else { break };
+            let Some((key, _)) = seq.next_bucket() else {
+                break;
+            };
             // Emitted keys differ from home by at most ±1 per coordinate.
             for (k, h) in key.iter().zip(&p.codes) {
                 assert!((k - h).abs() <= 1);

@@ -9,8 +9,10 @@
 //! of the paper's §6.5.
 
 use crate::kmeans::{kmeans, KMeansOptions};
+use gqr_metrics::{MetricsRegistry, Phase, PhaseSpans};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// A built inverted multi-index over a dataset.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -37,7 +39,10 @@ pub struct ImiOptions {
 
 impl Default for ImiOptions {
     fn default() -> Self {
-        ImiOptions { k: 64, kmeans: KMeansOptions::default() }
+        ImiOptions {
+            k: 64,
+            kmeans: KMeansOptions::default(),
+        }
     }
 }
 
@@ -102,24 +107,66 @@ impl InvertedMultiIndex {
     pub fn traverse<'a>(&'a self, query: &[f32]) -> MultiSequence<'a> {
         assert_eq!(query.len(), self.dim);
         let du = sorted_half_distances(&self.codebook_u, self.split, &query[..self.split]);
-        let dv = sorted_half_distances(&self.codebook_v, self.dim - self.split, &query[self.split..]);
+        let dv = sorted_half_distances(
+            &self.codebook_v,
+            self.dim - self.split,
+            &query[self.split..],
+        );
         let mut heap = BinaryHeap::new();
         let mut pushed = vec![false; self.k * self.k];
-        heap.push(CellEntry { score: du[0].1 + dv[0].1, i: 0, j: 0 });
+        heap.push(CellEntry {
+            score: du[0].1 + dv[0].1,
+            i: 0,
+            j: 0,
+        });
         pushed[0] = true;
-        MultiSequence { index: self, du, dv, heap, pushed }
+        MultiSequence {
+            index: self,
+            du,
+            dv,
+            heap,
+            pushed,
+        }
     }
 
     /// Collect candidate item ids by traversing cells until at least
     /// `n_candidates` items are gathered (or all cells are visited).
     pub fn collect_candidates(&self, query: &[f32], n_candidates: usize) -> Vec<u32> {
+        self.collect_candidates_metered(query, n_candidates, &MetricsRegistry::disabled())
+    }
+
+    /// [`InvertedMultiIndex::collect_candidates`] with query-path
+    /// observability: with an enabled registry, phase spans are recorded
+    /// under the `gqr_imi_*` family with `strategy="IMI"` — `hash_query` is
+    /// the per-half codebook distance tables, `probe_generate` the
+    /// multi-sequence heap traversal, `bucket_lookup` the cell gathers. The
+    /// `evaluate`/`rerank` phases belong to the caller (this index only
+    /// generates candidates) and record nothing here.
+    pub fn collect_candidates_metered(
+        &self,
+        query: &[f32],
+        n_candidates: usize,
+        metrics: &MetricsRegistry,
+    ) -> Vec<u32> {
+        let start = Instant::now();
+        let mut spans = PhaseSpans::new(metrics);
+        let t = spans.begin();
+        let mut traversal = self.traverse(query);
+        spans.end(Phase::HashQuery, t);
         let mut out = Vec::with_capacity(n_candidates.min(self.cells.iter().map(Vec::len).sum()));
-        for (u, v, _) in self.traverse(query) {
+        loop {
+            let t = spans.begin();
+            let next = traversal.next();
+            spans.end(Phase::ProbeGenerate, t);
+            let Some((u, v, _)) = next else { break };
+            let t = spans.begin();
             out.extend_from_slice(self.cell(u, v));
+            spans.end(Phase::BucketLookup, t);
             if out.len() >= n_candidates {
                 break;
             }
         }
+        spans.flush(metrics, "gqr_imi", "IMI", start.elapsed());
         out
     }
 }
@@ -131,7 +178,11 @@ fn sorted_half_distances(codebook: &[f32], sub_dim: usize, q: &[f32]) -> Vec<(u3
         .enumerate()
         .map(|(c, cent)| (c as u32, gqr_linalg::vecops::sq_dist_f32(q, cent)))
         .collect();
-    d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0)));
+    d.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     d
 }
 
@@ -184,7 +235,11 @@ impl Iterator for MultiSequence<'_> {
         for (ni, nj) in [(top.i + 1, top.j), (top.i, top.j + 1)] {
             if ni < k && nj < k && !self.pushed[ni * k + nj] {
                 self.pushed[ni * k + nj] = true;
-                self.heap.push(CellEntry { score: self.du[ni].1 + self.dv[nj].1, i: ni, j: nj });
+                self.heap.push(CellEntry {
+                    score: self.du[ni].1 + self.dv[nj].1,
+                    i: ni,
+                    j: nj,
+                });
             }
         }
         let u = self.du[top.i].0 as usize;
@@ -210,7 +265,13 @@ mod tests {
         let imi = InvertedMultiIndex::build(
             &data,
             4,
-            &ImiOptions { k, kmeans: KMeansOptions { seed: 17, ..Default::default() } },
+            &ImiOptions {
+                k,
+                kmeans: KMeansOptions {
+                    seed: 17,
+                    ..Default::default()
+                },
+            },
         );
         (data, imi)
     }
@@ -251,6 +312,22 @@ mod tests {
         assert!(c.len() >= 7);
         let all = imi.collect_candidates(&q, usize::MAX);
         assert_eq!(all.len(), n, "traversing everything returns every item");
+    }
+
+    #[test]
+    fn metered_candidates_match_plain_and_record_spans() {
+        let (_, imi) = build_toy(4);
+        let q = [5.0f32, 0.0, 15.0, 0.0];
+        let m = MetricsRegistry::enabled();
+        let metered = imi.collect_candidates_metered(&q, 9, &m);
+        let plain = imi.collect_candidates(&q, 9);
+        assert_eq!(metered, plain, "metering must not change candidates");
+        assert_eq!(
+            m.counter_value("gqr_imi_queries_total{strategy=\"IMI\"}"),
+            Some(1)
+        );
+        let total = m.histogram("gqr_imi_total_ns{strategy=\"IMI\"}").unwrap();
+        assert_eq!(total.count(), 1);
     }
 
     #[test]

@@ -23,7 +23,12 @@ pub struct KMeansOptions {
 
 impl Default for KMeansOptions {
     fn default() -> Self {
-        KMeansOptions { max_iters: 25, tol: 1e-4, seed: 0, threads: 1 }
+        KMeansOptions {
+            max_iters: 25,
+            tol: 1e-4,
+            seed: 0,
+            threads: 1,
+        }
     }
 }
 
@@ -77,7 +82,10 @@ pub fn nearest_centroid(centroids: &[f32], dim: usize, x: &[f32]) -> (u32, f32) 
 /// farthest from its centroid. Deterministic for a fixed seed regardless of
 /// thread count. Panics if `k == 0` or `k > n`.
 pub fn kmeans(data: &[f32], dim: usize, k: usize, opts: &KMeansOptions) -> KMeans {
-    assert!(dim > 0 && data.len().is_multiple_of(dim), "data must be n×dim");
+    assert!(
+        dim > 0 && data.len().is_multiple_of(dim),
+        "data must be n×dim"
+    );
     let n = data.len() / dim;
     assert!(k > 0 && k <= n, "need 0 < k <= n (k={k}, n={n})");
 
@@ -106,7 +114,8 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, opts: &KMeansOptions) -> KMean
                 // Reseed an empty cluster at the point currently farthest
                 // from its assigned centroid.
                 let far = farthest_point(data, dim, &centroids, &assignments);
-                centroids[c * dim..(c + 1) * dim].copy_from_slice(&data[far * dim..(far + 1) * dim]);
+                centroids[c * dim..(c + 1) * dim]
+                    .copy_from_slice(&data[far * dim..(far + 1) * dim]);
             } else {
                 let inv = 1.0 / counts[c] as f64;
                 for d in 0..dim {
@@ -115,7 +124,8 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, opts: &KMeansOptions) -> KMean
             }
         }
 
-        let improved = inertia.is_infinite() || (inertia - new_inertia) > opts.tol * inertia.abs().max(1e-12);
+        let improved =
+            inertia.is_infinite() || (inertia - new_inertia) > opts.tol * inertia.abs().max(1e-12);
         inertia = new_inertia;
         if !improved {
             break;
@@ -123,7 +133,14 @@ pub fn kmeans(data: &[f32], dim: usize, k: usize, opts: &KMeansOptions) -> KMean
     }
     // Final assignment so assignments/inertia match the returned centroids.
     let final_inertia = assign(data, dim, &centroids, &mut assignments, opts.threads);
-    KMeans { centroids, assignments, inertia: final_inertia, dim, k, iterations }
+    KMeans {
+        centroids,
+        assignments,
+        inertia: final_inertia,
+        dim,
+        k,
+        iterations,
+    }
 }
 
 /// k-means++ seeding (Arthur & Vassilvitskii 2007).
@@ -168,10 +185,18 @@ fn plus_plus_init(data: &[f32], dim: usize, k: usize, rng: &mut ChaCha8Rng) -> V
 
 /// Assignment step; returns inertia. Parallel over disjoint item chunks, so
 /// the result is identical to the serial pass.
-fn assign(data: &[f32], dim: usize, centroids: &[f32], assignments: &mut [u32], threads: usize) -> f64 {
+fn assign(
+    data: &[f32],
+    dim: usize,
+    centroids: &[f32],
+    assignments: &mut [u32],
+    threads: usize,
+) -> f64 {
     let n = assignments.len();
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         threads
     };
@@ -238,7 +263,15 @@ mod tests {
     #[test]
     fn separates_two_blobs() {
         let data = two_blobs();
-        let km = kmeans(&data, 2, 2, &KMeansOptions { seed: 3, ..Default::default() });
+        let km = kmeans(
+            &data,
+            2,
+            2,
+            &KMeansOptions {
+                seed: 3,
+                ..Default::default()
+            },
+        );
         let a0 = km.assignments[0];
         let a1 = km.assignments[1];
         assert_ne!(a0, a1);
@@ -251,15 +284,39 @@ mod tests {
     #[test]
     fn k_equals_n_gives_zero_inertia() {
         let data = vec![0.0f32, 0.0, 5.0, 5.0, -3.0, 1.0];
-        let km = kmeans(&data, 2, 3, &KMeansOptions { seed: 1, ..Default::default() });
+        let km = kmeans(
+            &data,
+            2,
+            3,
+            &KMeansOptions {
+                seed: 1,
+                ..Default::default()
+            },
+        );
         assert!(km.inertia < 1e-10);
     }
 
     #[test]
     fn deterministic_under_seed() {
         let data = two_blobs();
-        let a = kmeans(&data, 2, 4, &KMeansOptions { seed: 9, ..Default::default() });
-        let b = kmeans(&data, 2, 4, &KMeansOptions { seed: 9, ..Default::default() });
+        let a = kmeans(
+            &data,
+            2,
+            4,
+            &KMeansOptions {
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let b = kmeans(
+            &data,
+            2,
+            4,
+            &KMeansOptions {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.centroids, b.centroids);
         assert_eq!(a.assignments, b.assignments);
     }
@@ -267,8 +324,26 @@ mod tests {
     #[test]
     fn parallel_assignment_matches_serial() {
         let data: Vec<f32> = (0..10_000).map(|i| ((i * 31 % 97) as f32) / 7.0).collect();
-        let serial = kmeans(&data, 4, 8, &KMeansOptions { seed: 5, threads: 1, ..Default::default() });
-        let par = kmeans(&data, 4, 8, &KMeansOptions { seed: 5, threads: 4, ..Default::default() });
+        let serial = kmeans(
+            &data,
+            4,
+            8,
+            &KMeansOptions {
+                seed: 5,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = kmeans(
+            &data,
+            4,
+            8,
+            &KMeansOptions {
+                seed: 5,
+                threads: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(serial.assignments, par.assignments);
         assert!((serial.inertia - par.inertia).abs() < 1e-6 * serial.inertia.max(1.0));
     }
@@ -276,7 +351,15 @@ mod tests {
     #[test]
     fn nearest_matches_assignment() {
         let data = two_blobs();
-        let km = kmeans(&data, 2, 2, &KMeansOptions { seed: 2, ..Default::default() });
+        let km = kmeans(
+            &data,
+            2,
+            2,
+            &KMeansOptions {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         for (i, row) in data.chunks_exact(2).enumerate() {
             assert_eq!(km.nearest(row), km.assignments[i]);
         }
@@ -285,8 +368,26 @@ mod tests {
     #[test]
     fn inertia_never_increases_across_longer_runs() {
         let data = two_blobs();
-        let short = kmeans(&data, 2, 4, &KMeansOptions { seed: 7, max_iters: 1, ..Default::default() });
-        let long = kmeans(&data, 2, 4, &KMeansOptions { seed: 7, max_iters: 20, ..Default::default() });
+        let short = kmeans(
+            &data,
+            2,
+            4,
+            &KMeansOptions {
+                seed: 7,
+                max_iters: 1,
+                ..Default::default()
+            },
+        );
+        let long = kmeans(
+            &data,
+            2,
+            4,
+            &KMeansOptions {
+                seed: 7,
+                max_iters: 20,
+                ..Default::default()
+            },
+        );
         assert!(long.inertia <= short.inertia + 1e-9);
     }
 

@@ -23,7 +23,6 @@
 //! assert_eq!(km.centroids.len(), 4); // 2 centroids × dim 2
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod imi;
 pub mod kmeans;

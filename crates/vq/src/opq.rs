@@ -25,7 +25,10 @@ pub struct OpqOptions {
 
 impl Default for OpqOptions {
     fn default() -> Self {
-        OpqOptions { rounds: 8, pq: PqOptions::default() }
+        OpqOptions {
+            rounds: 8,
+            pq: PqOptions::default(),
+        }
     }
 }
 
@@ -38,7 +41,10 @@ impl Opq {
     /// its reconstruction. Quantization error is non-increasing across
     /// rounds up to k-means restarts.
     pub fn train(data: &[f32], dim: usize, m: usize, opts: &OpqOptions) -> Opq {
-        assert!(dim > 0 && data.len().is_multiple_of(dim), "data must be n×dim");
+        assert!(
+            dim > 0 && data.len().is_multiple_of(dim),
+            "data must be n×dim"
+        );
         let n = data.len() / dim;
         assert!(n > 0, "empty training set");
 
@@ -96,7 +102,11 @@ impl Opq {
     /// Rotate a vector into codebook space.
     pub fn rotate(&self, x: &[f32]) -> Vec<f32> {
         let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
-        self.rotation.matvec(&xf).into_iter().map(|v| v as f32).collect()
+        self.rotation
+            .matvec(&xf)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect()
     }
 
     /// Encode one vector (rotate + PQ-encode).
@@ -108,7 +118,11 @@ impl Opq {
     pub fn decode(&self, code: &[u8]) -> Vec<f32> {
         let rec = self.pq.decode(code);
         let rf: Vec<f64> = rec.iter().map(|&v| v as f64).collect();
-        self.rotation.matvec_t(&rf).into_iter().map(|v| v as f32).collect()
+        self.rotation
+            .matvec_t(&rf)
+            .into_iter()
+            .map(|v| v as f32)
+            .collect()
     }
 
     /// Mean squared reconstruction error in original space.
@@ -161,7 +175,13 @@ mod tests {
     fn opts(ks: usize, rounds: usize) -> OpqOptions {
         OpqOptions {
             rounds,
-            pq: PqOptions { ks, kmeans: KMeansOptions { seed: 21, ..Default::default() } },
+            pq: PqOptions {
+                ks,
+                kmeans: KMeansOptions {
+                    seed: 21,
+                    ..Default::default()
+                },
+            },
         }
     }
 

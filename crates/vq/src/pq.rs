@@ -28,7 +28,10 @@ pub struct PqOptions {
 
 impl Default for PqOptions {
     fn default() -> Self {
-        PqOptions { ks: 256, kmeans: KMeansOptions::default() }
+        PqOptions {
+            ks: 256,
+            kmeans: KMeansOptions::default(),
+        }
     }
 }
 
@@ -39,10 +42,16 @@ impl ProductQuantizer {
     /// get one extra). Panics if `m == 0`, `m > dim`, or `ks > n` or
     /// `ks > 256`.
     pub fn train(data: &[f32], dim: usize, m: usize, opts: &PqOptions) -> ProductQuantizer {
-        assert!(dim > 0 && data.len().is_multiple_of(dim), "data must be n×dim");
+        assert!(
+            dim > 0 && data.len().is_multiple_of(dim),
+            "data must be n×dim"
+        );
         let n = data.len() / dim;
         assert!(m > 0 && m <= dim, "need 0 < m <= dim");
-        assert!(opts.ks > 0 && opts.ks <= 256, "codebook size must be in 1..=256");
+        assert!(
+            opts.ks > 0 && opts.ks <= 256,
+            "codebook size must be in 1..=256"
+        );
         assert!(opts.ks <= n, "need at least ks training rows");
 
         let bounds = split_bounds(dim, m);
@@ -61,7 +70,13 @@ impl ProductQuantizer {
             let km = kmeans(&sub_buf, sub_dim, opts.ks, &km_opts);
             codebooks.push(km.centroids);
         }
-        ProductQuantizer { dim, m, ks: opts.ks, bounds, codebooks }
+        ProductQuantizer {
+            dim,
+            m,
+            ks: opts.ks,
+            bounds,
+            codebooks,
+        }
     }
 
     /// Input dimensionality.
@@ -183,7 +198,13 @@ mod tests {
     }
 
     fn pq_opts(ks: usize) -> PqOptions {
-        PqOptions { ks, kmeans: KMeansOptions { seed: 11, ..Default::default() } }
+        PqOptions {
+            ks,
+            kmeans: KMeansOptions {
+                seed: 11,
+                ..Default::default()
+            },
+        }
     }
 
     #[test]

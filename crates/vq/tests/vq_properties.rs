@@ -7,9 +7,8 @@ use proptest::prelude::*;
 
 /// Random dataset: n rows × dim, values in [-8, 8].
 fn dataset() -> impl Strategy<Value = (usize, Vec<f32>)> {
-    (2usize..5, 24usize..64).prop_flat_map(|(dim, n)| {
-        (Just(dim), prop::collection::vec(-8.0f32..8.0, dim * n))
-    })
+    (2usize..5, 24usize..64)
+        .prop_flat_map(|(dim, n)| (Just(dim), prop::collection::vec(-8.0f32..8.0, dim * n)))
 }
 
 proptest! {

@@ -39,7 +39,11 @@ fn main() {
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+            found += res
+                .neighbors
+                .iter()
+                .filter(|(id, _)| t.contains(id))
+                .count();
         }
         println!(
             "  {budget:>6}   {:>17.3}   {:?}",
@@ -50,7 +54,11 @@ fn main() {
 
     // One "most similar words" lookup.
     let probe = ds.row(777).to_vec();
-    let params = SearchParams { k: 6, n_candidates: 5_000, ..Default::default() };
+    let params = SearchParams {
+        k: 6,
+        n_candidates: 5_000,
+        ..Default::default()
+    };
     let res = engine.search(&probe, &params);
     println!("\nvectors most cosine-similar to #777:");
     for (id, dist) in &res.neighbors {

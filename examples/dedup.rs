@@ -26,11 +26,19 @@ fn main() {
     for _ in 0..n_dups {
         let src = rng.gen_range(0..base.n());
         dup_of.push(src as u32);
-        let noisy: Vec<f32> = base.row(src).iter().map(|&x| x * (1.0 + 0.001 * rng.gen::<f32>())).collect();
+        let noisy: Vec<f32> = base
+            .row(src)
+            .iter()
+            .map(|&x| x * (1.0 + 0.001 * rng.gen::<f32>()))
+            .collect();
         data.extend_from_slice(&noisy);
     }
     let corpus = Dataset::new("corpus-with-dups", dim, data);
-    println!("corpus: {} items ({} planted near-duplicates)", corpus.n(), n_dups);
+    println!(
+        "corpus: {} items ({} planted near-duplicates)",
+        corpus.n(),
+        n_dups
+    );
 
     let m = 13;
     let model = Itq::train(corpus.as_slice(), dim, m).expect("training");
@@ -74,7 +82,10 @@ fn main() {
 
     // Contrast: the same lookups without early stop always spend the full
     // candidate budget.
-    let no_stop = SearchParams { early_stop: false, ..params };
+    let no_stop = SearchParams {
+        early_stop: false,
+        ..params
+    };
     let mut items_no_stop = 0usize;
     for &_src in dup_of.iter().take(50) {
         let q = corpus.row(base.n()).to_vec();

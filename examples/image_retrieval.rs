@@ -20,11 +20,18 @@ fn main() {
 
     let t0 = Instant::now();
     let model = Pcah::train(ds.as_slice(), ds.dim(), m).expect("training");
-    println!("PCAH trained in {:?} (no iterations, just one eigendecomposition)", t0.elapsed());
+    println!(
+        "PCAH trained in {:?} (no iterations, just one eigendecomposition)",
+        t0.elapsed()
+    );
 
     let t0 = Instant::now();
     let table = HashTable::build(&model, ds.as_slice(), ds.dim());
-    println!("indexed in {:?} ({} buckets)", t0.elapsed(), table.n_buckets());
+    println!(
+        "indexed in {:?} ({} buckets)",
+        t0.elapsed(),
+        table.n_buckets()
+    );
 
     let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
     let queries = ds.sample_queries(200, 99);
@@ -45,7 +52,11 @@ fn main() {
             let start = Instant::now();
             let res = engine.search(q, &params);
             latencies.push(start.elapsed());
-            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+            found += res
+                .neighbors
+                .iter()
+                .filter(|(id, _)| t.contains(id))
+                .count();
         }
         latencies.sort();
         let recall = found as f64 / (20 * queries.len()) as f64;

@@ -27,7 +27,10 @@ fn main() {
                 ds.as_slice(),
                 ds.dim(),
                 m,
-                &ItqOptions { seed: s as u64, ..Default::default() },
+                &ItqOptions {
+                    seed: s as u64,
+                    ..Default::default()
+                },
             )
             .expect("training")
         })
@@ -38,12 +41,22 @@ fn main() {
     let budget = ds.n() / 50;
 
     let measure = |index: &MultiTableIndex<'_>, strategy: ProbeStrategy, label: &str| {
-        let params = SearchParams { k: 20, n_candidates: budget, strategy, early_stop: false, ..Default::default() };
+        let params = SearchParams {
+            k: 20,
+            n_candidates: budget,
+            strategy,
+            early_stop: false,
+            ..Default::default()
+        };
         let start = Instant::now();
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = index.search(q, &params);
-            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+            found += res
+                .neighbors
+                .iter()
+                .filter(|(id, _)| t.contains(id))
+                .count();
         }
         let recall = found as f64 / (20 * queries.len()) as f64;
         println!(
@@ -55,16 +68,24 @@ fn main() {
     };
 
     println!("\ncandidate budget {budget} items/query, 100 queries:");
-    let single = MultiTableIndex::build(vec![&models[0] as &dyn HashModel], ds.as_slice(), ds.dim());
+    let single =
+        MultiTableIndex::build(vec![&models[0] as &dyn HashModel], ds.as_slice(), ds.dim());
     let gqr_recall = measure(&single, ProbeStrategy::GenerateQdRanking, "GQR × 1");
     measure(&single, ProbeStrategy::GenerateHammingRanking, "GHR × 1");
 
     for t in [2usize, 4, 8] {
         let refs: Vec<&dyn HashModel> = models[..t].iter().map(|m| m as &dyn HashModel).collect();
         let index = MultiTableIndex::build(refs, ds.as_slice(), ds.dim());
-        let r = measure(&index, ProbeStrategy::GenerateHammingRanking, &format!("GHR × {t}"));
+        let r = measure(
+            &index,
+            ProbeStrategy::GenerateHammingRanking,
+            &format!("GHR × {t}"),
+        );
         if r >= gqr_recall {
-            println!("  → hash lookup needed {t} tables ({}× the memory) to match one GQR table", t);
+            println!(
+                "  → hash lookup needed {t} tables ({}× the memory) to match one GQR table",
+                t
+            );
             break;
         }
     }

@@ -8,7 +8,9 @@
 //! cargo run --release --example prober_comparison
 //! ```
 
-use gqr::core::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
+use gqr::core::probe::{
+    GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking,
+};
 use gqr::prelude::*;
 
 fn main() {
@@ -69,13 +71,14 @@ fn main() {
         } else {
             items
                 .iter()
-                .map(|&id| {
-                    gqr::linalg::vecops::sq_dist_f32(&query, ds.row(id as usize)) as f64
-                })
+                .map(|&id| gqr::linalg::vecops::sq_dist_f32(&query, ds.row(id as usize)) as f64)
                 .sum::<f64>()
                 / items.len() as f64
         };
-        println!("  {code:08b}  QD {qd:.4}  items {:>3}  mean true sq-dist {avg:.3}", items.len());
+        println!(
+            "  {code:08b}  QD {qd:.4}  items {:>3}  mean true sq-dist {avg:.3}",
+            items.len()
+        );
     }
     println!("\nHamming ranking gives all eight the same priority; QD orders them.");
 }

@@ -12,7 +12,12 @@ fn main() {
     // A clustered, image-descriptor-like dataset (20k × 64 at default scale).
     let ds = DatasetSpec::cifar60k().generate(42);
     let m = 11; // ≈ log2(20_000 / 10)
-    println!("dataset: {} ({} items × {} dims), code length {m}", ds.name(), ds.n(), ds.dim());
+    println!(
+        "dataset: {} ({} items × {} dims), code length {m}",
+        ds.name(),
+        ds.n(),
+        ds.dim()
+    );
 
     // Learn similarity-preserving hash functions and build the index.
     let model = Itq::train(ds.as_slice(), ds.dim(), m).expect("training");
@@ -28,13 +33,26 @@ fn main() {
     let truth = brute_force_knn(&ds, &queries, 10, 0);
 
     // Same candidate budget, two querying methods.
-    for strategy in [ProbeStrategy::GenerateQdRanking, ProbeStrategy::GenerateHammingRanking] {
-        let params = SearchParams { k: 10, n_candidates: 400, strategy, early_stop: false, ..Default::default() };
+    for strategy in [
+        ProbeStrategy::GenerateQdRanking,
+        ProbeStrategy::GenerateHammingRanking,
+    ] {
+        let params = SearchParams {
+            k: 10,
+            n_candidates: 400,
+            strategy,
+            early_stop: false,
+            ..Default::default()
+        };
         let start = std::time::Instant::now();
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+            found += res
+                .neighbors
+                .iter()
+                .filter(|(id, _)| t.contains(id))
+                .count();
         }
         let recall = found as f64 / (10 * queries.len()) as f64;
         println!(
@@ -49,8 +67,7 @@ fn main() {
     // from a query are *not* equally promising.
     let q = &queries[0];
     let enc = model.encode_query(q);
-    let mut flips: Vec<(usize, f64)> =
-        enc.flip_costs.iter().copied().enumerate().collect();
+    let mut flips: Vec<(usize, f64)> = enc.flip_costs.iter().copied().enumerate().collect();
     flips.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     println!(
         "query code {:0width$b}: cheapest bit flip costs {:.4}, dearest {:.4} — \

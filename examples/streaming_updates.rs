@@ -52,7 +52,11 @@ fn main() {
 
     // Queries see the current membership: retired items never come back.
     let engine = QueryEngine::new(&model, &table, full.as_slice(), dim);
-    let params = SearchParams { k: 10, n_candidates: 2_000, ..Default::default() };
+    let params = SearchParams {
+        k: 10,
+        n_candidates: 2_000,
+        ..Default::default()
+    };
     let queries = full.sample_queries(50, 3);
     let mut stale = 0;
     for q in &queries {

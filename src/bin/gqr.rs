@@ -111,11 +111,16 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn get<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
-    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}"))
 }
 
 fn get_num<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str) -> Result<T, String> {
-    get(flags, name)?.parse().map_err(|_| format!("bad number for --{name}"))
+    get(flags, name)?
+        .parse()
+        .map_err(|_| format!("bad number for --{name}"))
 }
 
 fn preset(name: &str) -> Result<DatasetSpec, String> {
@@ -167,29 +172,52 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     let spec = preset(get(flags, "preset")?)?;
     let scale = Scale::parse(flags.get("scale").map(String::as_str).unwrap_or("default"))
         .ok_or("bad --scale (smoke|default|paper)")?;
-    let seed: u64 = flags.get("seed").map(|s| s.parse().map_err(|_| "bad --seed")).transpose()?.unwrap_or(42);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(42);
     let out = get(flags, "out")?;
     let spec = spec.scale(scale);
     let ds = spec.generate(seed);
     dsio::write_fvecs(out, &ds).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {} vectors × {} dims to {out}", ds.n(), ds.dim());
-    println!("suggested code length (paper's log2(n/10) rule): {}", spec.code_length());
+    println!(
+        "suggested code length (paper's log2(n/10) rule): {}",
+        spec.code_length()
+    );
     Ok(())
 }
 
 fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let ds = load_dataset(flags)?;
     let bits: usize = get_num(flags, "bits")?;
-    let seed: u64 = flags.get("seed").map(|s| s.parse().map_err(|_| "bad --seed")).transpose()?.unwrap_or(0);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(0);
     let algo = get(flags, "algo")?;
     let start = std::time::Instant::now();
     let model = match algo.to_ascii_lowercase().as_str() {
-        "itq" => ModelFile::Itq(Itq::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?),
-        "pcah" => ModelFile::Pcah(Pcah::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?),
-        "sh" => ModelFile::Sh(SpectralHashing::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?),
-        "kmh" => ModelFile::Kmh(KmeansHashing::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?),
-        "lsh" => ModelFile::Lsh(Lsh::train(ds.as_slice(), ds.dim(), bits, seed).map_err(|e| e.to_string())?),
-        "isohash" => ModelFile::Isohash(IsoHash::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?),
+        "itq" => {
+            ModelFile::Itq(Itq::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?)
+        }
+        "pcah" => {
+            ModelFile::Pcah(Pcah::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?)
+        }
+        "sh" => ModelFile::Sh(
+            SpectralHashing::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?,
+        ),
+        "kmh" => ModelFile::Kmh(
+            KmeansHashing::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?,
+        ),
+        "lsh" => ModelFile::Lsh(
+            Lsh::train(ds.as_slice(), ds.dim(), bits, seed).map_err(|e| e.to_string())?,
+        ),
+        "isohash" => ModelFile::Isohash(
+            IsoHash::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?,
+        ),
         other => return Err(format!("unknown algo '{other}'")),
     };
     let out = get(flags, "model")?;
@@ -229,7 +257,8 @@ fn load_engine_parts(
     let model = load_model(flags)?;
     let path = get(flags, "index")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let table: HashTable = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let table: HashTable =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     Ok((ds, model, table))
 }
 
@@ -240,12 +269,21 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("--row {row} out of range (n = {})", ds.n()));
     }
     let k: usize = get_num(flags, "k")?;
-    let n_candidates: usize =
-        flags.get("candidates").map(|s| s.parse().map_err(|_| "bad --candidates")).transpose()?.unwrap_or(1_000);
+    let n_candidates: usize = flags
+        .get("candidates")
+        .map(|s| s.parse().map_err(|_| "bad --candidates"))
+        .transpose()?
+        .unwrap_or(1_000);
     let strat = strategy(flags.get("strategy").map(String::as_str).unwrap_or("gqr"))?;
 
     let engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
-    let params = SearchParams { k, n_candidates, strategy: strat, early_stop: false, ..Default::default() };
+    let params = SearchParams {
+        k,
+        n_candidates,
+        strategy: strat,
+        early_stop: false,
+        ..Default::default()
+    };
     let query = ds.row(row).to_vec();
     let start = std::time::Instant::now();
     let res = engine.search(&query, &params);
@@ -267,26 +305,41 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let (ds, model, table) = load_engine_parts(flags)?;
     let n_queries: usize = get_num(flags, "queries")?;
     let k: usize = get_num(flags, "k")?;
-    let n_candidates: usize =
-        flags.get("candidates").map(|s| s.parse().map_err(|_| "bad --candidates")).transpose()?.unwrap_or(1_000);
+    let n_candidates: usize = flags
+        .get("candidates")
+        .map(|s| s.parse().map_err(|_| "bad --candidates"))
+        .transpose()?
+        .unwrap_or(1_000);
 
     let queries = ds.sample_queries(n_queries, 7);
     let truth = brute_force_knn(&ds, &queries, k, 0);
     let engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
 
-    println!("strategy  recall@{k}   total time  (budget {n_candidates}/query, {n_queries} queries)");
+    println!(
+        "strategy  recall@{k}   total time  (budget {n_candidates}/query, {n_queries} queries)"
+    );
     for strat in [
         ProbeStrategy::GenerateQdRanking,
         ProbeStrategy::GenerateHammingRanking,
         ProbeStrategy::HammingRanking,
         ProbeStrategy::QdRanking,
     ] {
-        let params = SearchParams { k, n_candidates, strategy: strat, early_stop: false, ..Default::default() };
+        let params = SearchParams {
+            k,
+            n_candidates,
+            strategy: strat,
+            early_stop: false,
+            ..Default::default()
+        };
         let start = std::time::Instant::now();
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+            found += res
+                .neighbors
+                .iter()
+                .filter(|(id, _)| t.contains(id))
+                .count();
         }
         println!(
             "{:<9} {:>8.3}   {:>9.3?}",

@@ -5,7 +5,9 @@
 //! re-exports the workspace crates so applications can depend on one name:
 //!
 //! * [`core`] ([`gqr_core`]) — quantization distance, the QR/GQR probers,
-//!   Hamming-ranking baselines, MIH, the query engine, multi-table search.
+//!   Hamming-ranking baselines, MIH, the query engine, multi-table search,
+//!   and the query-path metrics layer (`gqr_core::metrics`: phase spans,
+//!   latency histograms, JSON/Prometheus export).
 //! * [`l2h`] ([`gqr_l2h`]) — hash-function learners: LSH, PCAH, ITQ,
 //!   spectral hashing, K-means hashing.
 //! * [`dataset`] ([`gqr_dataset`]) — synthetic benchmark stand-ins,
@@ -45,7 +47,6 @@
 //! assert_eq!(result.neighbors[0].0, 0, "the item itself is its own 1-NN");
 //! ```
 
-
 #![warn(missing_docs)]
 pub use gqr_core as core;
 pub use gqr_dataset as dataset;
@@ -58,6 +59,7 @@ pub use gqr_vq as vq;
 /// The names most applications need.
 pub mod prelude {
     pub use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams, SearchResult};
+    pub use gqr_core::metrics::{MetricsRegistry, MetricsSnapshot};
     pub use gqr_core::multi_table::MultiTableIndex;
     pub use gqr_core::table::HashTable;
     pub use gqr_core::{hamming, quantization_distance};

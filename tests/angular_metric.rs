@@ -33,7 +33,10 @@ fn exhaustive_angular_search_is_exact() {
     for (q, t) in queries.iter().zip(&truth) {
         let res = engine.search(q, &params);
         let ids: Vec<u32> = res.neighbors.iter().map(|&(i, _)| i).collect();
-        assert_eq!(&ids, t, "exhaustive angular search must match angular brute force");
+        assert_eq!(
+            &ids, t,
+            "exhaustive angular search must match angular brute force"
+        );
     }
 }
 
@@ -78,7 +81,11 @@ fn budgeted_angular_search_beats_random_candidates() {
     let mut found = 0usize;
     for (q, t) in queries.iter().zip(&truth) {
         let res = engine.search(q, &params);
-        found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+        found += res
+            .neighbors
+            .iter()
+            .filter(|(id, _)| t.contains(id))
+            .count();
     }
     let recall = found as f64 / (10 * queries.len()) as f64;
     // Evaluating a random 5% of items would land recall ≈ 0.05; SRP + QD

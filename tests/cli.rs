@@ -27,40 +27,99 @@ fn full_pipeline_works() {
         .args(["--out", data.to_str().unwrap(), "--seed", "5"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(data.exists());
 
     let out = bin()
-        .args(["train", "--data", data.to_str().unwrap(), "--algo", "pcah", "--bits", "8"])
+        .args([
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--algo",
+            "pcah",
+            "--bits",
+            "8",
+        ])
         .args(["--model", model.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "train failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
-        .args(["build", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .args([
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+        ])
         .args(["--index", index.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "build failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
-        .args(["query", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap()])
+        .args([
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+        ])
         .args(["--index", index.to_str().unwrap(), "--row", "3", "--k", "4"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "query failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "query failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("#3"), "the row itself must be its own nearest neighbor:\n{text}");
+    assert!(
+        text.contains("#3"),
+        "the row itself must be its own nearest neighbor:\n{text}"
+    );
 
     let out = bin()
-        .args(["eval", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap()])
-        .args(["--index", index.to_str().unwrap(), "--queries", "10", "--k", "5"])
+        .args([
+            "eval",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+        ])
+        .args([
+            "--index",
+            index.to_str().unwrap(),
+            "--queries",
+            "10",
+            "--k",
+            "5",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "eval failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "eval failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("GQR") && text.contains("HR"), "eval table:\n{text}");
+    assert!(
+        text.contains("GQR") && text.contains("HR"),
+        "eval table:\n{text}"
+    );
 }
 
 #[test]
@@ -87,15 +146,65 @@ fn bad_strategy_rejected() {
     let model = dir.join("m.json");
     let index = dir.join("i.json");
     for (args, _) in [
-        (vec!["generate", "--preset", "audio50k", "--scale", "smoke", "--out", data.to_str().unwrap()], ()),
-        (vec!["train", "--data", data.to_str().unwrap(), "--algo", "lsh", "--bits", "6", "--model", model.to_str().unwrap()], ()),
-        (vec!["build", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap(), "--index", index.to_str().unwrap()], ()),
+        (
+            vec![
+                "generate",
+                "--preset",
+                "audio50k",
+                "--scale",
+                "smoke",
+                "--out",
+                data.to_str().unwrap(),
+            ],
+            (),
+        ),
+        (
+            vec![
+                "train",
+                "--data",
+                data.to_str().unwrap(),
+                "--algo",
+                "lsh",
+                "--bits",
+                "6",
+                "--model",
+                model.to_str().unwrap(),
+            ],
+            (),
+        ),
+        (
+            vec![
+                "build",
+                "--data",
+                data.to_str().unwrap(),
+                "--model",
+                model.to_str().unwrap(),
+                "--index",
+                index.to_str().unwrap(),
+            ],
+            (),
+        ),
     ] {
         assert!(bin().args(&args).output().unwrap().status.success());
     }
     let out = bin()
-        .args(["query", "--data", data.to_str().unwrap(), "--model", model.to_str().unwrap()])
-        .args(["--index", index.to_str().unwrap(), "--row", "0", "--k", "2", "--strategy", "warp"])
+        .args([
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--model",
+            model.to_str().unwrap(),
+        ])
+        .args([
+            "--index",
+            index.to_str().unwrap(),
+            "--row",
+            "0",
+            "--k",
+            "2",
+            "--strategy",
+            "warp",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

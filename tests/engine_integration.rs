@@ -35,13 +35,19 @@ fn every_trainer_and_strategy_is_exact_when_exhaustive() {
             ProbeStrategy::GenerateQdRanking,
             ProbeStrategy::MultiIndexHashing { blocks: 2 },
         ] {
-            let params =
-                SearchParams { k: 10, n_candidates: usize::MAX, strategy, early_stop: false, ..Default::default() };
+            let params = SearchParams {
+                k: 10,
+                n_candidates: usize::MAX,
+                strategy,
+                early_stop: false,
+                ..Default::default()
+            };
             for (q, t) in queries.iter().zip(&truth) {
                 let res = engine.search(q, &params);
                 let ids: Vec<u32> = res.neighbors.iter().map(|&(i, _)| i).collect();
                 assert_eq!(
-                    &ids, t,
+                    &ids,
+                    t,
                     "{} + {} must return exact kNN when probing everything",
                     model.name(),
                     strategy.name()
@@ -69,7 +75,11 @@ fn gqr_recall_is_monotone_in_budget() {
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+            found += res
+                .neighbors
+                .iter()
+                .filter(|(id, _)| t.contains(id))
+                .count();
         }
         let recall = found as f64 / (10 * queries.len()) as f64;
         assert!(
@@ -138,11 +148,21 @@ fn gqr_beats_or_matches_hamming_on_candidate_quality() {
     let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
     let budget = 100;
     let recall = |strategy: ProbeStrategy| {
-        let params = SearchParams { k: 10, n_candidates: budget, strategy, early_stop: false, ..Default::default() };
+        let params = SearchParams {
+            k: 10,
+            n_candidates: budget,
+            strategy,
+            early_stop: false,
+            ..Default::default()
+        };
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+            found += res
+                .neighbors
+                .iter()
+                .filter(|(id, _)| t.contains(id))
+                .count();
         }
         found as f64 / (10 * queries.len()) as f64
     };
@@ -155,15 +175,100 @@ fn gqr_beats_or_matches_hamming_on_candidate_quality() {
 }
 
 #[test]
+fn phase_spans_account_for_most_of_the_wall_time() {
+    // The observability contract: the five phase spans are disjoint
+    // sub-intervals of each query's wall time, so their summed nanoseconds
+    // must never exceed the recorded totals and should cover the bulk of
+    // them (the residual is loop glue and stats bookkeeping).
+    let (ds, queries, _) = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
+    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let metrics = MetricsRegistry::enabled();
+    let engine =
+        QueryEngine::new(&model, &table, ds.as_slice(), ds.dim()).with_metrics(metrics.clone());
+    let params = SearchParams {
+        k: 10,
+        n_candidates: 500,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        early_stop: false,
+        ..Default::default()
+    };
+    for q in &queries {
+        engine.search(q, &params);
+    }
+
+    let snap = metrics.snapshot();
+    let total = snap
+        .histograms
+        .get("gqr_query_total_ns{strategy=\"GQR\"}")
+        .expect("total histogram recorded");
+    assert_eq!(
+        total.count as usize,
+        queries.len(),
+        "one total sample per query"
+    );
+    assert_eq!(
+        snap.counters
+            .get("gqr_query_queries_total{strategy=\"GQR\"}"),
+        Some(&(queries.len() as u64))
+    );
+    let phase_sum: u64 = snap
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("gqr_query_phase_ns{"))
+        .map(|(_, h)| h.sum)
+        .sum();
+    assert!(phase_sum > 0, "phases must record time");
+    // Histogram sums are exact; the slack only covers monotonic-clock
+    // granularity on very fast spans.
+    assert!(
+        phase_sum as f64 <= total.sum as f64 * 1.05 + 10_000.0,
+        "phase sum {phase_sum} cannot exceed wall total {}",
+        total.sum
+    );
+    assert!(
+        phase_sum as f64 >= total.sum as f64 * 0.4,
+        "phase spans should cover most of the wall time: {phase_sum} of {}",
+        total.sum
+    );
+}
+
+#[test]
+fn disabled_metrics_record_nothing() {
+    let (ds, queries, _) = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
+    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let metrics = MetricsRegistry::disabled();
+    let engine =
+        QueryEngine::new(&model, &table, ds.as_slice(), ds.dim()).with_metrics(metrics.clone());
+    let params = SearchParams {
+        k: 10,
+        n_candidates: 200,
+        ..Default::default()
+    };
+    for q in queries.iter().take(5) {
+        engine.search(q, &params);
+    }
+    assert!(!metrics.is_enabled());
+    assert!(
+        metrics.snapshot().is_empty(),
+        "disabled registry must stay empty"
+    );
+}
+
+#[test]
 fn multi_table_recall_tracks_single_table_across_budgets() {
     // Fig 12's qualitative claim. At any *single* budget a multi-table
     // index can lose to a lucky single table (budgets split across tables),
     // so compare the recall summed over a budget ladder, with slack.
     let (ds, queries, truth) = fixture();
-    let ms: Vec<Lsh> = (0..4).map(|s| Lsh::train(ds.as_slice(), ds.dim(), 10, s).unwrap()).collect();
+    let ms: Vec<Lsh> = (0..4)
+        .map(|s| Lsh::train(ds.as_slice(), ds.dim(), 10, s).unwrap())
+        .collect();
     let budgets = [40usize, 80, 160, 320, 640];
     let recall_auc = |n_tables: usize| {
-        let refs: Vec<&dyn HashModel> = ms[..n_tables].iter().map(|m| m as &dyn HashModel).collect();
+        let refs: Vec<&dyn HashModel> =
+            ms[..n_tables].iter().map(|m| m as &dyn HashModel).collect();
         let idx = MultiTableIndex::build(refs, ds.as_slice(), ds.dim());
         let mut auc = 0.0;
         for &budget in &budgets {
@@ -177,7 +282,11 @@ fn multi_table_recall_tracks_single_table_across_budgets() {
             let mut found = 0usize;
             for (q, t) in queries.iter().zip(&truth) {
                 let res = idx.search(q, &params);
-                found += res.neighbors.iter().filter(|(id, _)| t.contains(id)).count();
+                found += res
+                    .neighbors
+                    .iter()
+                    .filter(|(id, _)| t.contains(id))
+                    .count();
             }
             auc += found as f64 / (10 * queries.len()) as f64;
         }

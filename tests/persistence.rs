@@ -55,8 +55,14 @@ fn nonlinear_models_roundtrip() {
     for q in &queries {
         assert_eq!(sh.encode(q), sh2.encode(q));
         assert_eq!(kmh.encode(q), kmh2.encode(q));
-        assert_eq!(sh.encode_query(q).flip_costs, sh2.encode_query(q).flip_costs);
-        assert_eq!(kmh.encode_query(q).flip_costs, kmh2.encode_query(q).flip_costs);
+        assert_eq!(
+            sh.encode_query(q).flip_costs,
+            sh2.encode_query(q).flip_costs
+        );
+        assert_eq!(
+            kmh.encode_query(q).flip_costs,
+            kmh2.encode_query(q).flip_costs
+        );
     }
 }
 
@@ -71,22 +77,49 @@ fn hash_table_roundtrip_preserves_search_results() {
 
     let engine1 = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
     let engine2 = QueryEngine::new(&model, &table2, ds.as_slice(), ds.dim());
-    let params = SearchParams { k: 5, n_candidates: 200, ..Default::default() };
+    let params = SearchParams {
+        k: 5,
+        n_candidates: 200,
+        ..Default::default()
+    };
     for q in ds.sample_queries(10, 3) {
-        assert_eq!(engine1.search(&q, &params).neighbors, engine2.search(&q, &params).neighbors);
+        assert_eq!(
+            engine1.search(&q, &params).neighbors,
+            engine2.search(&q, &params).neighbors
+        );
     }
 }
 
 #[test]
 fn vq_models_roundtrip() {
     let ds = fixture();
-    let pq_opts = PqOptions { ks: 8, kmeans: KMeansOptions { seed: 5, ..Default::default() } };
-    let opq = Opq::train(ds.as_slice(), ds.dim(), 2, &OpqOptions { rounds: 2, pq: pq_opts.clone() });
+    let pq_opts = PqOptions {
+        ks: 8,
+        kmeans: KMeansOptions {
+            seed: 5,
+            ..Default::default()
+        },
+    };
+    let opq = Opq::train(
+        ds.as_slice(),
+        ds.dim(),
+        2,
+        &OpqOptions {
+            rounds: 2,
+            pq: pq_opts.clone(),
+        },
+    );
     let opq2: Opq = roundtrip(&opq);
     let imi = InvertedMultiIndex::build(
         ds.as_slice(),
         ds.dim(),
-        &ImiOptions { k: 8, kmeans: KMeansOptions { seed: 6, ..Default::default() } },
+        &ImiOptions {
+            k: 8,
+            kmeans: KMeansOptions {
+                seed: 6,
+                ..Default::default()
+            },
+        },
     );
     let imi2: InvertedMultiIndex = roundtrip(&imi);
 

@@ -14,12 +14,8 @@ use proptest::prelude::*;
 
 /// Random small datasets: n rows of dimension d in [-range, range].
 fn dataset_strategy() -> impl Strategy<Value = (usize, Vec<f32>)> {
-    (2usize..6, 30usize..80).prop_flat_map(|(dim, n)| {
-        (
-            Just(dim),
-            prop::collection::vec(-10.0f32..10.0, dim * n),
-        )
-    })
+    (2usize..6, 30usize..80)
+        .prop_flat_map(|(dim, n)| (Just(dim), prop::collection::vec(-10.0f32..10.0, dim * n)))
 }
 
 proptest! {
@@ -114,7 +110,10 @@ proptest! {
 /// Deterministic spot check of the paper's Fig 3b worked example.
 #[test]
 fn paper_fig3_worked_example() {
-    let enc = QueryEncoding { code: 0b00, flip_costs: vec![0.2, 0.8] };
+    let enc = QueryEncoding {
+        code: 0b00,
+        flip_costs: vec![0.2, 0.8],
+    };
     let expected = [(0b00u64, 0.0f64), (0b01, 0.2), (0b10, 0.8), (0b11, 1.0)];
     for (bucket, qd) in expected {
         assert!((quantization_distance(&enc, bucket) - qd).abs() < 1e-12);
