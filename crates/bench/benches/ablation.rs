@@ -28,13 +28,12 @@ fn bench_early_stop(c: &mut Criterion) {
     let mut group = c.benchmark_group("early_stop_ablation");
     group.sample_size(40);
     for (label, early_stop) in [("off", false), ("on", true)] {
-        let params = SearchParams {
-            k: 10,
-            n_candidates: 1_000,
-            strategy: ProbeStrategy::GenerateQdRanking,
-            early_stop,
-            ..Default::default()
-        };
+        let params = SearchParams::for_k(10)
+            .candidates(1_000)
+            .strategy(ProbeStrategy::GenerateQdRanking)
+            .early_stop(early_stop)
+            .build()
+            .expect("valid search params");
         group.bench_function(label, |b| {
             b.iter(|| black_box(engine.search(black_box(&q), &params)))
         });

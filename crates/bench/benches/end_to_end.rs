@@ -25,25 +25,22 @@ fn bench_search(c: &mut Criterion) {
         ProbeStrategy::GenerateQdRanking,
         ProbeStrategy::MultiIndexHashing { blocks: 2 },
     ] {
-        let params = SearchParams {
-            k: 20,
-            n_candidates: 200,
-            strategy,
-            early_stop: false,
-            ..Default::default()
-        };
+        let params = SearchParams::for_k(20)
+            .candidates(200)
+            .strategy(strategy)
+            .build()
+            .expect("valid search params");
         group.bench_function(strategy.name(), |b| {
             b.iter(|| black_box(engine.search(black_box(&q), &params)))
         });
     }
     // GQR with the Theorem-2 early stop.
-    let params = SearchParams {
-        k: 20,
-        n_candidates: 200,
-        strategy: ProbeStrategy::GenerateQdRanking,
-        early_stop: true,
-        ..Default::default()
-    };
+    let params = SearchParams::for_k(20)
+        .candidates(200)
+        .strategy(ProbeStrategy::GenerateQdRanking)
+        .early_stop(true)
+        .build()
+        .expect("valid search params");
     group.bench_function("GQR+early_stop", |b| {
         b.iter(|| black_box(engine.search(black_box(&q), &params)))
     });

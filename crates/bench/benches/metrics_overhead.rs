@@ -18,13 +18,11 @@ fn bench_metrics_overhead(c: &mut Criterion) {
     let model = ModelKind::Itq.train(ds.as_slice(), ds.dim(), 10, 0);
     let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
     let q = ds.sample_queries(1, 9).remove(0);
-    let params = SearchParams {
-        k: 20,
-        n_candidates: 200,
-        strategy: ProbeStrategy::GenerateQdRanking,
-        early_stop: false,
-        ..Default::default()
-    };
+    let params = SearchParams::for_k(20)
+        .candidates(200)
+        .strategy(ProbeStrategy::GenerateQdRanking)
+        .build()
+        .expect("valid search params");
 
     let mut group = c.benchmark_group("metrics_overhead_gqr_200");
     group.sample_size(50);

@@ -1,0 +1,157 @@
+//! Serving-layer throughput: spawn-per-batch vs. the persistent executor.
+//!
+//! Replays a 1000-query stream arriving in micro-batches (the serving
+//! pattern the paper's 1000-query timing loops approximate) against a
+//! [`ShardedIndex`] at 1/2/4/8 shards, two ways:
+//!
+//! * **spawn** — fresh OS threads per micro-batch, the pre-redesign
+//!   `search_batch` behaviour;
+//! * **executor** — the same work fanned onto a persistent [`Executor`]
+//!   (long-lived workers, bounded queue) via `run_scoped`.
+//!
+//! Criterion integration keeps this in the regression suite; because the
+//! interesting number is the whole-stream wall clock, the bench also
+//! self-times each configuration and prints a `serving:` summary line per
+//! shard count (these are the numbers quoted in the PR description).
+//!
+//! Set `GQR_BENCH_SMOKE=1` to shrink the stream for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gqr_core::engine::{ProbeStrategy, SearchParams};
+use gqr_core::executor::Executor;
+use gqr_core::shard::ShardedIndex;
+use gqr_dataset::{DatasetSpec, Scale};
+use gqr_l2h::itq::Itq;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const MICRO_BATCH: usize = 10;
+
+fn smoke() -> bool {
+    std::env::var_os("GQR_BENCH_SMOKE").is_some()
+}
+
+/// Pre-redesign behaviour: every micro-batch pays thread spawn + join.
+fn stream_spawn_per_batch(
+    index: &ShardedIndex<'_, Itq>,
+    queries: &[Vec<f32>],
+    params: &SearchParams,
+    threads: usize,
+) -> usize {
+    let mut answered = 0;
+    for batch in queries.chunks(MICRO_BATCH) {
+        let chunk = batch.len().div_ceil(threads);
+        let mut results: Vec<Option<usize>> = vec![None; batch.len()];
+        std::thread::scope(|scope| {
+            for (qs, out) in batch.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (q, slot) in qs.iter().zip(out.iter_mut()) {
+                        *slot = Some(index.search(q, params).neighbors.len());
+                    }
+                });
+            }
+        });
+        answered += results.into_iter().map(|r| r.unwrap()).sum::<usize>();
+    }
+    answered
+}
+
+/// Post-redesign behaviour: micro-batches ride the persistent worker pool.
+fn stream_on_executor(
+    exec: &Executor,
+    index: &ShardedIndex<'_, Itq>,
+    queries: &[Vec<f32>],
+    params: &SearchParams,
+) -> usize {
+    let mut answered = 0;
+    for batch in queries.chunks(MICRO_BATCH) {
+        let mut results: Vec<Option<usize>> = vec![None; batch.len()];
+        exec.run_scoped(batch.iter().zip(results.iter_mut()).map(|(q, slot)| {
+            Box::new(move || {
+                *slot = Some(index.search(q, params).neighbors.len());
+            }) as Box<dyn FnOnce() + Send + '_>
+        }));
+        answered += results.into_iter().map(|r| r.unwrap()).sum::<usize>();
+    }
+    answered
+}
+
+fn best_of<F: FnMut() -> usize>(rounds: usize, mut f: F) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut answered = 0;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        answered = f();
+        best = best.min(t.elapsed());
+    }
+    (best, answered)
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let n_queries = if smoke() { 100 } else { 1000 };
+    let rounds = if smoke() { 1 } else { 3 };
+    let ds = DatasetSpec::cifar60k().scale(Scale::Smoke).generate(33);
+    let model = Itq::train(ds.as_slice(), ds.dim(), 12).unwrap();
+    let queries = ds.sample_queries(n_queries, 17);
+    let params = SearchParams::for_k(10)
+        .candidates(200)
+        .strategy(ProbeStrategy::GenerateQdRanking)
+        .build()
+        .expect("valid search params");
+    // A serving pool is sized by configuration, not probed: keep at least
+    // four dispatch lanes so the spawn-per-batch path pays its real
+    // thread-creation bill even on small CI boxes. Both paths get the same
+    // parallelism; only thread lifetime differs.
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .max(4);
+    let exec = Executor::builder().workers(threads).build();
+
+    let mut group = c.benchmark_group("serving_stream");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        let index = ShardedIndex::build(&model, ds.as_slice(), ds.dim(), shards);
+
+        let (spawn_wall, a1) = best_of(rounds, || {
+            stream_spawn_per_batch(&index, &queries, &params, threads)
+        });
+        let (exec_wall, a2) = best_of(rounds, || {
+            stream_on_executor(&exec, &index, &queries, &params)
+        });
+        assert_eq!(a1, a2, "both paths answer every query");
+        let spawn_qps = n_queries as f64 / spawn_wall.as_secs_f64();
+        let exec_qps = n_queries as f64 / exec_wall.as_secs_f64();
+        eprintln!(
+            "serving: shards={shards} queries={n_queries} spawn-per-batch {spawn_wall:?} \
+             ({spawn_qps:.0} qps) executor {exec_wall:?} ({exec_qps:.0} qps) \
+             speedup {:.2}x",
+            spawn_wall.as_secs_f64() / exec_wall.as_secs_f64()
+        );
+
+        group.bench_function(format!("spawn_per_batch/shards_{shards}"), |b| {
+            b.iter(|| {
+                black_box(stream_spawn_per_batch(
+                    &index,
+                    black_box(&queries),
+                    &params,
+                    threads,
+                ))
+            })
+        });
+        group.bench_function(format!("executor/shards_{shards}"), |b| {
+            b.iter(|| {
+                black_box(stream_on_executor(
+                    &exec,
+                    &index,
+                    black_box(&queries),
+                    &params,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

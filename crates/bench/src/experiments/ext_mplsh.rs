@@ -45,13 +45,11 @@ pub fn run(cfg: &Config) -> io::Result<()> {
 
         for budget in [ctx.n() / 200, ctx.n() / 50, ctx.n() / 10] {
             // ITQ + GQR (single table).
-            let params = SearchParams {
-                k: cfg.k,
-                n_candidates: budget,
-                strategy: ProbeStrategy::GenerateQdRanking,
-                early_stop: false,
-                ..Default::default()
-            };
+            let params = SearchParams::for_k(cfg.k)
+                .candidates(budget)
+                .strategy(ProbeStrategy::GenerateQdRanking)
+                .build()
+                .expect("valid search params");
             let start = Instant::now();
             let mut gqr_found = 0usize;
             for (q, t) in ctx.queries.iter().zip(&ctx.ground_truth) {

@@ -42,13 +42,11 @@ pub fn strategy_curve(
     k: usize,
     budgets: &[usize],
 ) -> RecallCurve {
-    let params = SearchParams {
-        k,
-        n_candidates: usize::MAX,
-        strategy,
-        early_stop: false,
-        ..Default::default()
-    };
+    let params = SearchParams::for_k(k)
+        .candidates(usize::MAX)
+        .strategy(strategy)
+        .build()
+        .expect("valid search params");
     recall_time_curve(label, &ctx.queries, &ctx.ground_truth, budgets, |q, b| {
         let full = SearchParams {
             n_candidates: *b.last().expect("budgets non-empty"),
@@ -74,13 +72,11 @@ pub fn multi_table_curve(
     recall_time_curve(label, &ctx.queries, &ctx.ground_truth, budgets, |q, bs| {
         bs.iter()
             .map(|&b| {
-                let params = SearchParams {
-                    k,
-                    n_candidates: b,
-                    strategy,
-                    early_stop: false,
-                    ..Default::default()
-                };
+                let params = SearchParams::for_k(k)
+                    .candidates(b)
+                    .strategy(strategy)
+                    .build()
+                    .expect("valid search params");
                 let start = Instant::now();
                 let res = index.search(q, &params);
                 Checkpoint {
@@ -476,11 +472,10 @@ mod tests {
         let model = ModelKind::Pcah.train(ctx.dataset.as_slice(), ctx.dim(), 8, 1);
         let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
         let engine = engine_for(model.as_ref(), &table, &ctx);
-        let params = SearchParams {
-            k: 5,
-            n_candidates: 100,
-            ..Default::default()
-        };
+        let params = SearchParams::for_k(5)
+            .candidates(100)
+            .build()
+            .expect("valid search params");
         let _ = engine.search(&ctx.queries[0], &params);
         assert!(
             ctx.metrics

@@ -1,16 +1,24 @@
 //! Batch query execution: the paper times 1000-query batches; services run
 //! query streams. Parallelism is over queries (shared immutable index).
+//!
+//! Since the serving-layer redesign this module is a thin wrapper: the
+//! parallel path runs on a persistent [`Executor`] (the process-wide
+//! [`Executor::global`] by default, or one the caller brings via
+//! [`QueryEngine::search_batch_on`]) instead of spawning fresh threads per
+//! call.
 
-use crate::engine::{SearchParams, SearchResult};
+use crate::engine::{QueryEngine, SearchParams, SearchResult};
+use crate::executor::Executor;
 use crate::metrics::metric_name;
 use crate::table::HashTable;
 use gqr_l2h::HashModel;
 use std::time::Instant;
 
-impl<M: HashModel + ?Sized> crate::engine::QueryEngine<'_, M> {
-    /// Run one search per query, in parallel over `threads` OS threads
-    /// (`0` = all cores). Results keep query order. Falls back to the serial
-    /// path for tiny batches where spawn overhead dominates.
+impl<M: HashModel + ?Sized> QueryEngine<'_, M> {
+    /// Run one search per query in parallel over `threads` chunks (`0` = all
+    /// cores), on the process-wide [`Executor::global`]. Results keep query
+    /// order. Falls back to the serial path for tiny batches where hand-off
+    /// overhead dominates.
     ///
     /// With a metrics registry attached, every worker records its per-query
     /// phase spans into the shared registry (histogram recording is
@@ -22,7 +30,6 @@ impl<M: HashModel + ?Sized> crate::engine::QueryEngine<'_, M> {
         params: &SearchParams,
         threads: usize,
     ) -> Vec<SearchResult> {
-        let wall = Instant::now();
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -30,39 +37,71 @@ impl<M: HashModel + ?Sized> crate::engine::QueryEngine<'_, M> {
         } else {
             threads
         };
-        let mut results: Vec<Option<SearchResult>> = vec![None; queries.len()];
         if threads <= 1 || queries.len() < 8 {
-            for (q, slot) in queries.iter().zip(results.iter_mut()) {
-                *slot = Some(self.search(q, params));
-            }
-        } else {
-            let chunk = queries.len().div_ceil(threads);
-            crossbeam::scope(|scope| {
-                for (qs, out) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
-                    scope.spawn(move |_| {
+            let wall = Instant::now();
+            let results = queries.iter().map(|q| self.search(q, params)).collect();
+            self.flush_batch_metrics(params, queries.len(), wall);
+            return results;
+        }
+        self.batch_on_chunked(Executor::global(), queries, params, threads)
+    }
+
+    /// Run one search per query on `exec`'s persistent workers, blocking
+    /// until the whole batch is done. Results keep query order. This is the
+    /// serving-path entry point: bring the executor whose queue, deadline,
+    /// and metrics configuration the service owns.
+    pub fn search_batch_on(
+        &self,
+        exec: &Executor,
+        queries: &[Vec<f32>],
+        params: &SearchParams,
+    ) -> Vec<SearchResult> {
+        // Over-chunk relative to the worker count so an unlucky slow chunk
+        // doesn't serialize the tail of the batch.
+        let jobs = (exec.workers() * 4).max(1);
+        self.batch_on_chunked(exec, queries, params, jobs)
+    }
+
+    fn batch_on_chunked(
+        &self,
+        exec: &Executor,
+        queries: &[Vec<f32>],
+        params: &SearchParams,
+        jobs: usize,
+    ) -> Vec<SearchResult> {
+        let wall = Instant::now();
+        let mut results: Vec<Option<SearchResult>> = vec![None; queries.len()];
+        if !queries.is_empty() {
+            let chunk = queries.len().div_ceil(jobs.min(queries.len()));
+            exec.run_scoped(queries.chunks(chunk).zip(results.chunks_mut(chunk)).map(
+                |(qs, out)| {
+                    Box::new(move || {
                         for (q, slot) in qs.iter().zip(out.iter_mut()) {
                             *slot = Some(self.search(q, params));
                         }
-                    });
-                }
-            })
-            .expect("batch search worker panicked");
+                    }) as Box<dyn FnOnce() + Send + '_>
+                },
+            ));
         }
+        self.flush_batch_metrics(params, queries.len(), wall);
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
+    fn flush_batch_metrics(&self, params: &SearchParams, n_queries: usize, wall: Instant) {
         if self.metrics().is_enabled() {
             let strat = params.strategy.name();
             self.metrics().add(
                 &metric_name("gqr_batch_queries_total", &[("strategy", strat)]),
-                queries.len() as u64,
+                n_queries as u64,
             );
             self.metrics().record_duration(
                 &metric_name("gqr_batch_wall_ns", &[("strategy", strat)]),
                 wall.elapsed(),
             );
         }
-        results
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect()
     }
 }
 
@@ -78,10 +117,13 @@ pub fn batch_recall(results: &[SearchResult], truth: &[Vec<u32>]) -> f64 {
             acc += 1.0;
             continue;
         }
+        // Hash the truth row once; probing it per neighbor keeps the whole
+        // aggregation linear instead of |neighbors|×|truth| per query.
+        let truth_set: std::collections::HashSet<u32> = t.iter().copied().collect();
         let found = res
             .neighbors
             .iter()
-            .filter(|(id, _)| t.contains(id))
+            .filter(|(id, _)| truth_set.contains(id))
             .count();
         acc += found as f64 / t.len() as f64;
     }
@@ -110,14 +152,13 @@ pub fn build_tables_parallel(
             .collect();
     }
     let mut tables: Vec<Option<HashTable>> = (0..models.len()).map(|_| None).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (model, slot) in models.iter().zip(tables.iter_mut()) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(HashTable::build(*model, data, dim));
             });
         }
-    })
-    .expect("table build worker panicked");
+    });
     tables
         .into_iter()
         .map(|t| t.expect("every slot filled"))
@@ -127,7 +168,7 @@ pub fn build_tables_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{ProbeStrategy, QueryEngine};
+    use crate::engine::ProbeStrategy;
     use gqr_l2h::pcah::Pcah;
 
     fn grid() -> Vec<f32> {
@@ -159,6 +200,29 @@ mod tests {
         let parallel = engine.search_batch(&queries, &params, 4);
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.neighbors, b.neighbors);
+        }
+    }
+
+    #[test]
+    fn explicit_executor_matches_serial() {
+        let data = grid();
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let table = HashTable::build(&model, &data, 2);
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let queries: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![(i % 19) as f32 + 0.1, (i % 13) as f32])
+            .collect();
+        let params = SearchParams {
+            k: 3,
+            n_candidates: 50,
+            ..Default::default()
+        };
+        let exec = Executor::builder().workers(3).build();
+        let serial = engine.search_batch(&queries, &params, 1);
+        let pooled = engine.search_batch_on(&exec, &queries, &params);
+        assert_eq!(serial.len(), pooled.len());
+        for (a, b) in serial.iter().zip(&pooled) {
             assert_eq!(a.neighbors, b.neighbors);
         }
     }
@@ -205,5 +269,9 @@ mod tests {
         let out = engine.search_batch(&[], &SearchParams::default(), 4);
         assert!(out.is_empty());
         assert_eq!(batch_recall(&[], &[]), 1.0);
+        let exec = Executor::builder().workers(1).build();
+        assert!(engine
+            .search_batch_on(&exec, &[], &SearchParams::default())
+            .is_empty());
     }
 }

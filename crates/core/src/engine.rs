@@ -6,9 +6,10 @@
 //! incremental, which also enables the checkpointed instrumentation behind
 //! every recall–time curve in the evaluation).
 
-use crate::metrics::{MetricsRegistry, Phase, PhaseSpans};
+use crate::metrics::{metric_name, MetricsRegistry, Phase, PhaseSpans};
 use crate::probe::mih::MihIndex;
 use crate::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
+use crate::request::SearchRequest;
 use crate::stats::ProbeStats;
 use crate::table::HashTable;
 use crate::topk::TopK;
@@ -53,7 +54,7 @@ impl ProbeStrategy {
 /// "but other stopping criteria can also be used, such as probing a certain
 /// number of buckets, after a period of time or early stop" — all four are
 /// supported and compose (whichever fires first stops the search).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SearchParams {
     /// Number of nearest neighbors to return.
     pub k: usize,
@@ -88,6 +89,135 @@ impl Default for SearchParams {
     }
 }
 
+impl SearchParams {
+    /// Start a validating builder for a `k`-NN search. The candidate budget
+    /// defaults to `max(1000, k)` so a bare `for_k(n).build()` is always
+    /// valid; override it with [`SearchParamsBuilder::candidates`].
+    pub fn for_k(k: usize) -> SearchParamsBuilder {
+        SearchParamsBuilder {
+            params: SearchParams {
+                k,
+                n_candidates: 1_000.max(k),
+                ..SearchParams::default()
+            },
+        }
+    }
+
+    /// Check the cross-field invariants the engine relies on: `k > 0`, a
+    /// candidate budget of at least `k`, and a positive MIH block count.
+    /// [`SearchParamsBuilder::build`] calls this; call it yourself when
+    /// constructing `SearchParams` literals from untrusted input.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if self.k == 0 {
+            return Err(ParamError::ZeroK);
+        }
+        if self.n_candidates < self.k {
+            return Err(ParamError::CandidateBudgetBelowK {
+                k: self.k,
+                n_candidates: self.n_candidates,
+            });
+        }
+        if matches!(
+            self.strategy,
+            ProbeStrategy::MultiIndexHashing { blocks: 0 }
+        ) {
+            return Err(ParamError::ZeroMihBlocks);
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`SearchParamsBuilder`] refused to produce [`SearchParams`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// `k == 0`: there is no empty-top-k search.
+    ZeroK,
+    /// `n_candidates < k`: the budget can never fill the result set.
+    CandidateBudgetBelowK {
+        /// Requested result size.
+        k: usize,
+        /// Requested candidate budget.
+        n_candidates: usize,
+    },
+    /// `MultiIndexHashing { blocks: 0 }`: MIH needs at least one substring.
+    ZeroMihBlocks,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::ZeroK => write!(f, "k must be positive"),
+            ParamError::CandidateBudgetBelowK { k, n_candidates } => write!(
+                f,
+                "candidate budget {n_candidates} cannot fill a top-{k} result set"
+            ),
+            ParamError::ZeroMihBlocks => write!(f, "MIH needs at least one substring block"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Builder for [`SearchParams`] that rejects invalid combinations at
+/// [`SearchParamsBuilder::build`] instead of letting the engine silently
+/// misbehave (`k == 0` panics deep in `TopK`, `n_candidates < k` returns a
+/// starved result set, MIH with zero blocks panics in index construction).
+///
+/// ```
+/// use gqr_core::engine::{ProbeStrategy, SearchParams};
+///
+/// let params = SearchParams::for_k(10)
+///     .candidates(1_000)
+///     .strategy(ProbeStrategy::GenerateQdRanking)
+///     .build()
+///     .unwrap();
+/// assert_eq!(params.k, 10);
+/// assert!(SearchParams::for_k(0).build().is_err());
+/// assert!(SearchParams::for_k(10).candidates(5).build().is_err());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SearchParamsBuilder {
+    params: SearchParams,
+}
+
+impl SearchParamsBuilder {
+    /// Candidate budget `N` (stop probing after this many evaluated items).
+    pub fn candidates(mut self, n: usize) -> Self {
+        self.params.n_candidates = n;
+        self
+    }
+
+    /// Querying method.
+    pub fn strategy(mut self, strategy: ProbeStrategy) -> Self {
+        self.params.strategy = strategy;
+        self
+    }
+
+    /// Toggle the Theorem-2 early stop.
+    pub fn early_stop(mut self, on: bool) -> Self {
+        self.params.early_stop = on;
+        self
+    }
+
+    /// Stop after probing this many buckets.
+    pub fn max_buckets(mut self, n: usize) -> Self {
+        self.params.max_buckets = Some(n);
+        self
+    }
+
+    /// Soft wall-clock limit for the search.
+    pub fn time_limit(mut self, d: Duration) -> Self {
+        self.params.time_limit = Some(d);
+        self
+    }
+
+    /// Validate and produce the parameters.
+    pub fn build(self) -> Result<SearchParams, ParamError> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
 /// Result of one search.
 #[derive(Clone, Debug)]
 pub struct SearchResult {
@@ -95,6 +225,9 @@ pub struct SearchResult {
     pub neighbors: Vec<(u32, f32)>,
     /// Probe instrumentation.
     pub stats: ProbeStats,
+    /// Mid-search snapshots, one per budget the request asked for via
+    /// [`SearchRequest::checkpoints`]; empty otherwise.
+    pub checkpoints: Vec<Checkpoint>,
 }
 
 /// State of the running top-k recorded mid-search (drives recall–time and
@@ -115,6 +248,24 @@ pub struct Checkpoint {
     pub top_ids: Vec<u32>,
 }
 
+/// An owned or borrowed MIH side index. [`QueryEngine::enable_mih`] builds
+/// an owned one; [`ShardedIndex`](crate::shard::ShardedIndex) builds one per
+/// shard once and lends it to the short-lived engines it constructs per
+/// query, so the (expensive) substring tables are never rebuilt.
+enum MihHandle<'a> {
+    Owned(MihIndex),
+    Borrowed(&'a MihIndex),
+}
+
+impl MihHandle<'_> {
+    fn get(&self) -> &MihIndex {
+        match self {
+            MihHandle::Owned(m) => m,
+            MihHandle::Borrowed(m) => m,
+        }
+    }
+}
+
 /// A querying engine over one hash table.
 pub struct QueryEngine<'a, M: HashModel + ?Sized> {
     model: &'a M,
@@ -122,8 +273,12 @@ pub struct QueryEngine<'a, M: HashModel + ?Sized> {
     data: &'a [f32],
     dim: usize,
     metric: Metric,
-    mih: Option<MihIndex>,
+    mih: Option<MihHandle<'a>>,
     metrics: MetricsRegistry,
+    /// Overrides the metric family the per-query spans flush under:
+    /// `(component, extra labels)`. `None` means the default
+    /// (`"gqr_query"`, strategy label only).
+    span_scope: Option<(String, Vec<(String, String)>)>,
 }
 
 impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
@@ -148,6 +303,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             metric: Metric::SquaredEuclidean,
             mih: None,
             metrics: MetricsRegistry::disabled(),
+            span_scope: None,
         }
     }
 
@@ -173,6 +329,32 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         &self.metrics
     }
 
+    /// Flush per-query spans under a custom metric family instead of the
+    /// default `gqr_query_*` (builder style). `labels` are appended after
+    /// the automatic `strategy` label — the sharded index uses this to emit
+    /// per-shard spans like
+    /// `gqr_shard_phase_ns{phase="evaluate",shard="3",strategy="GQR"}`.
+    pub fn with_span_scope(
+        mut self,
+        comp: impl Into<String>,
+        labels: Vec<(String, String)>,
+    ) -> Self {
+        self.span_scope = Some((comp.into(), labels));
+        self
+    }
+
+    fn flush_spans(&self, spans: &PhaseSpans, strat: &str, wall: Duration) {
+        match &self.span_scope {
+            Some((comp, extra)) => {
+                let mut labels: Vec<(&str, &str)> = Vec::with_capacity(extra.len() + 1);
+                labels.extend(extra.iter().map(|(k, v)| (k.as_str(), v.as_str())));
+                labels.push(("strategy", strat));
+                spans.flush_labeled(&self.metrics, comp, &labels, wall);
+            }
+            None => spans.flush(&self.metrics, "gqr_query", strat, wall),
+        }
+    }
+
     /// Switch the exact-evaluation metric (builder style). The probing order
     /// is unchanged — QD over the model's projections — which is exactly the
     /// paper's "other similarity metrics can be adapted" point; pair an
@@ -193,14 +375,26 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
     /// [`ProbeStrategy::MultiIndexHashing`]). Codes are recovered from the
     /// table, not re-encoded.
     pub fn enable_mih(&mut self, blocks: usize) {
-        let n = self.table.n_items();
-        let mut codes = vec![0u64; n];
-        for (code, items) in self.table.occupied() {
-            for &id in items {
-                codes[id as usize] = code;
-            }
-        }
-        self.mih = Some(MihIndex::build(self.table.code_length(), &codes, blocks));
+        let codes = self.table.dense_codes();
+        self.mih = Some(MihHandle::Owned(MihIndex::build(
+            self.table.code_length(),
+            &codes,
+            blocks,
+        )));
+    }
+
+    /// Attach a prebuilt MIH side index by reference (builder style). The
+    /// index must have been built over this table's codes. Lets callers that
+    /// construct engines per query (the sharded serving path) pay the MIH
+    /// build cost once instead of per search.
+    pub fn with_mih(mut self, mih: &'a MihIndex) -> Self {
+        assert_eq!(
+            mih.code_length(),
+            self.table.code_length(),
+            "MIH index and table code length differ"
+        );
+        self.mih = Some(MihHandle::Borrowed(mih));
+        self
     }
 
     /// The hash table.
@@ -223,10 +417,48 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         self.dim
     }
 
+    /// The single front door: execute one [`SearchRequest`] — query,
+    /// parameters, and any combination of checkpoints, a filter, and a
+    /// deadline. [`QueryEngine::search`], [`QueryEngine::search_traced`] and
+    /// [`QueryEngine::search_filtered`] are thin wrappers over this.
+    ///
+    /// A request [`deadline`](SearchRequest::deadline) is folded into the
+    /// params' soft [`time_limit`](SearchParams::time_limit) (whichever is
+    /// tighter wins); a request whose deadline already passed returns an
+    /// empty result immediately. When the engine finishes past the deadline
+    /// the `gqr_request_deadline_missed_total` counter is bumped.
+    pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        let (query, mut params, budgets, mut filter, deadline) = req.into_parts();
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        debug_assert!(
+            budgets.windows(2).all(|w| w[0] <= w[1]),
+            "budgets must ascend"
+        );
+        if let Some(d) = deadline {
+            let remaining = d.saturating_duration_since(Instant::now());
+            params.time_limit = Some(params.time_limit.map_or(remaining, |tl| tl.min(remaining)));
+        }
+        let start = Instant::now();
+        let (mut result, checkpoints) = match params.strategy {
+            ProbeStrategy::MultiIndexHashing { .. } => {
+                assert!(filter.is_none(), "filtered search is not supported for MIH");
+                self.run_mih(query, &params, budgets, start)
+            }
+            _ => self.run_buckets(query, &params, budgets, start, filter.as_deref_mut()),
+        };
+        result.checkpoints = checkpoints;
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            self.metrics.incr(&metric_name(
+                "gqr_request_deadline_missed_total",
+                &[("strategy", params.strategy.name())],
+            ));
+        }
+        result
+    }
+
     /// k-NN search with the given parameters.
     pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResult {
-        let (result, _) = self.search_traced(query, params, &[]);
-        result
+        self.run(SearchRequest::new(query).params(*params))
     }
 
     /// k-NN search that additionally snapshots the running top-k at each
@@ -238,16 +470,13 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         params: &SearchParams,
         budgets: &[usize],
     ) -> (SearchResult, Vec<Checkpoint>) {
-        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        debug_assert!(
-            budgets.windows(2).all(|w| w[0] <= w[1]),
-            "budgets must ascend"
+        let mut result = self.run(
+            SearchRequest::new(query)
+                .params(*params)
+                .checkpoints(budgets),
         );
-        let start = Instant::now();
-        match params.strategy {
-            ProbeStrategy::MultiIndexHashing { .. } => self.run_mih(query, params, budgets, start),
-            _ => self.run_buckets(query, params, budgets, start, None),
-        }
+        let checkpoints = std::mem::take(&mut result.checkpoints);
+        (result, checkpoints)
     }
 
     /// k-NN restricted to items accepted by `filter` (attribute-constrained
@@ -260,25 +489,18 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         &self,
         query: &[f32],
         params: &SearchParams,
-        mut filter: impl FnMut(u32) -> bool,
+        filter: impl FnMut(u32) -> bool,
     ) -> SearchResult {
-        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
-        assert!(
-            !matches!(params.strategy, ProbeStrategy::MultiIndexHashing { .. }),
-            "filtered search is not supported for MIH"
-        );
-        let start = Instant::now();
-        let (result, _) = self.run_buckets(query, params, &[], start, Some(&mut filter));
-        result
+        self.run(SearchRequest::new(query).params(*params).filter(filter))
     }
 
-    fn run_buckets(
+    fn run_buckets<'q>(
         &self,
         query: &[f32],
         params: &SearchParams,
         budgets: &[usize],
         start: Instant,
-        mut filter: Option<&mut dyn FnMut(u32) -> bool>,
+        mut filter: Option<&mut (dyn FnMut(u32) -> bool + 'q)>,
     ) -> (SearchResult, Vec<Checkpoint>) {
         let mut spans = PhaseSpans::new(&self.metrics);
         let t = spans.begin();
@@ -379,13 +601,15 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         spans.end(Phase::Rerank, t);
         #[cfg(debug_assertions)]
         stats.checked_invariants();
-        spans.flush(
-            &self.metrics,
-            "gqr_query",
-            params.strategy.name(),
-            start.elapsed(),
-        );
-        (SearchResult { neighbors, stats }, checkpoints)
+        self.flush_spans(&spans, params.strategy.name(), start.elapsed());
+        (
+            SearchResult {
+                neighbors,
+                stats,
+                checkpoints: Vec::new(),
+            },
+            checkpoints,
+        )
     }
 
     fn run_mih(
@@ -398,7 +622,8 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         let mih = self
             .mih
             .as_ref()
-            .expect("call enable_mih() before searching with MultiIndexHashing");
+            .expect("call enable_mih() before searching with MultiIndexHashing")
+            .get();
         let mut spans = PhaseSpans::new(&self.metrics);
         let t = spans.begin();
         let code = self.model.encode(query);
@@ -451,13 +676,15 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         spans.end(Phase::Rerank, t);
         #[cfg(debug_assertions)]
         stats.checked_invariants();
-        spans.flush(
-            &self.metrics,
-            "gqr_query",
-            params.strategy.name(),
-            start.elapsed(),
-        );
-        (SearchResult { neighbors, stats }, checkpoints)
+        self.flush_spans(&spans, params.strategy.name(), start.elapsed());
+        (
+            SearchResult {
+                neighbors,
+                stats,
+                checkpoints: Vec::new(),
+            },
+            checkpoints,
+        )
     }
 
     fn snapshot(
@@ -680,6 +907,131 @@ mod tests {
             ..Default::default()
         };
         let _ = engine.search(&[0.0, 0.0], &params);
+    }
+
+    #[test]
+    fn params_builder_accepts_valid_combinations() {
+        let p = SearchParams::for_k(7)
+            .candidates(300)
+            .strategy(ProbeStrategy::QdRanking)
+            .early_stop(true)
+            .max_buckets(40)
+            .time_limit(Duration::from_millis(5))
+            .build()
+            .unwrap();
+        assert_eq!(p.k, 7);
+        assert_eq!(p.n_candidates, 300);
+        assert_eq!(p.strategy, ProbeStrategy::QdRanking);
+        assert!(p.early_stop);
+        assert_eq!(p.max_buckets, Some(40));
+        assert_eq!(p.time_limit, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn params_builder_defaults_budget_to_at_least_k() {
+        let p = SearchParams::for_k(5_000).build().unwrap();
+        assert_eq!(p.n_candidates, 5_000, "budget lifted to cover k");
+        let p = SearchParams::for_k(3).build().unwrap();
+        assert_eq!(p.n_candidates, 1_000, "default budget kept when k is small");
+    }
+
+    #[test]
+    fn params_builder_rejects_invalid_combinations() {
+        assert_eq!(SearchParams::for_k(0).build(), Err(ParamError::ZeroK));
+        assert_eq!(
+            SearchParams::for_k(10).candidates(5).build(),
+            Err(ParamError::CandidateBudgetBelowK {
+                k: 10,
+                n_candidates: 5
+            })
+        );
+        assert_eq!(
+            SearchParams::for_k(10)
+                .strategy(ProbeStrategy::MultiIndexHashing { blocks: 0 })
+                .build(),
+            Err(ParamError::ZeroMihBlocks)
+        );
+        // The errors render as readable messages.
+        assert!(ParamError::ZeroK.to_string().contains("positive"));
+        assert!(ParamError::CandidateBudgetBelowK {
+            k: 10,
+            n_candidates: 5
+        }
+        .to_string()
+        .contains("top-10"));
+    }
+
+    #[test]
+    fn validate_checks_literal_params_too() {
+        let bad = SearchParams {
+            k: 0,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate(), Err(ParamError::ZeroK));
+        assert!(SearchParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn run_is_the_front_door_for_all_wrappers() {
+        let (data, model, table) = engine_fixture();
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let q = [7.3f32, 11.2];
+        let params = SearchParams {
+            k: 5,
+            n_candidates: 100,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            ..Default::default()
+        };
+        let via_run = engine.run(SearchRequest::new(&q).params(params));
+        let via_search = engine.search(&q, &params);
+        assert_eq!(via_run.neighbors, via_search.neighbors);
+        assert!(via_run.checkpoints.is_empty());
+
+        let budgets = [10usize, 50];
+        let via_run = engine.run(SearchRequest::new(&q).params(params).checkpoints(&budgets));
+        let (res, cps) = engine.search_traced(&q, &params, &budgets);
+        assert_eq!(via_run.checkpoints.len(), 2);
+        assert_eq!(cps.len(), 2);
+        assert_eq!(via_run.neighbors, res.neighbors);
+        assert!(
+            res.checkpoints.is_empty(),
+            "search_traced moves checkpoints out of the result"
+        );
+
+        let via_run = engine.run(
+            SearchRequest::new(&q)
+                .params(params)
+                .filter(|id: u32| id % 2 == 0),
+        );
+        let via_filtered = engine.search_filtered(&q, &params, |id| id % 2 == 0);
+        assert_eq!(via_run.neighbors, via_filtered.neighbors);
+        assert!(via_run.neighbors.iter().all(|&(id, _)| id % 2 == 0));
+    }
+
+    #[test]
+    fn expired_deadline_returns_immediately_and_counts_a_miss() {
+        let (data, model, table) = engine_fixture();
+        let metrics = MetricsRegistry::enabled();
+        let engine = QueryEngine::new(&model, &table, &data, 2).with_metrics(metrics.clone());
+        let params = SearchParams {
+            k: 5,
+            n_candidates: usize::MAX,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            ..Default::default()
+        };
+        let past = Instant::now() - Duration::from_millis(10);
+        let res = engine.run(
+            SearchRequest::new(&[5.0, 5.0])
+                .params(params)
+                .deadline(past),
+        );
+        assert!(res.neighbors.is_empty(), "no time to probe anything");
+        assert_eq!(
+            metrics.counter_value("gqr_request_deadline_missed_total{strategy=\"GQR\"}"),
+            Some(1)
+        );
     }
 
     #[test]

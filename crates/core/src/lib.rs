@@ -52,17 +52,25 @@
 pub mod batch;
 pub mod code;
 pub mod engine;
+pub mod executor;
 pub use gqr_metrics as metrics;
 pub mod multi_table;
 pub mod probe;
 pub mod range;
+pub mod request;
+pub mod shard;
 pub mod stats;
 pub mod table;
 pub mod topk;
 
 pub use code::{hamming, quantization_distance};
-pub use engine::{ProbeStrategy, QueryEngine, SearchParams, SearchResult};
+pub use engine::{
+    ParamError, ProbeStrategy, QueryEngine, SearchParams, SearchParamsBuilder, SearchResult,
+};
+pub use executor::{Executor, ExecutorBuilder, JobError, SubmitError, Ticket};
 pub use gqr_metrics::{MetricsRegistry, MetricsSnapshot, Phase, PhaseSpans};
 pub use probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
+pub use request::SearchRequest;
+pub use shard::ShardedIndex;
 pub use stats::ProbeStats;
 pub use table::HashTable;

@@ -10,8 +10,9 @@
 //! multi-table setups trade memory for recall.
 
 use crate::engine::{ProbeStrategy, SearchParams, SearchResult};
-use crate::metrics::{MetricsRegistry, Phase, PhaseSpans};
+use crate::metrics::{metric_name, MetricsRegistry, Phase, PhaseSpans};
 use crate::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
+use crate::request::SearchRequest;
 use crate::stats::ProbeStats;
 use crate::table::HashTable;
 use crate::topk::TopK;
@@ -74,10 +75,31 @@ impl<'a> MultiTableIndex<'a> {
         self.tables.iter().map(HashTable::approx_bytes).sum()
     }
 
-    /// k-NN search across all tables. Supports the four bucket strategies;
-    /// MIH is single-table only.
+    /// k-NN search across all tables (thin wrapper over
+    /// [`MultiTableIndex::run`]). Supports the four bucket strategies; MIH
+    /// is single-table only.
     pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+        self.run(SearchRequest::new(query).params(*params))
+    }
+
+    /// Execute one [`SearchRequest`] across all tables — the same front
+    /// door as [`QueryEngine::run`](crate::engine::QueryEngine::run), with
+    /// the same filter and deadline semantics (a request deadline tightens
+    /// the soft per-search time limit; a late finish bumps
+    /// `gqr_request_deadline_missed_total`). Items rejected by a filter are
+    /// still marked visited, so other tables do not re-collect them.
+    /// Checkpoints are not supported on the multi-table path.
+    pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        let (query, mut params, budgets, mut filter, deadline) = req.into_parts();
+        assert!(
+            budgets.is_empty(),
+            "checkpoints are not supported on the multi-table path"
+        );
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        if let Some(d) = deadline {
+            let remaining = d.saturating_duration_since(Instant::now());
+            params.time_limit = Some(params.time_limit.map_or(remaining, |tl| tl.min(remaining)));
+        }
         let n_items = self.data.len() / self.dim;
         let start = Instant::now();
         let mut spans = PhaseSpans::new(&self.metrics);
@@ -112,6 +134,15 @@ impl<'a> MultiTableIndex<'a> {
         let mut stats = ProbeStats::default();
 
         while stats.items_evaluated < params.n_candidates {
+            if params
+                .max_buckets
+                .is_some_and(|mb| stats.buckets_probed >= mb)
+            {
+                break;
+            }
+            if params.time_limit.is_some_and(|tl| start.elapsed() >= tl) {
+                break;
+            }
             // Pick the table whose next bucket has the smallest indicator.
             let tg = spans.begin();
             let mut best: Option<(usize, f64)> = None;
@@ -143,6 +174,11 @@ impl<'a> MultiTableIndex<'a> {
                     continue;
                 }
                 *seen = true;
+                if let Some(f) = filter.as_deref_mut() {
+                    if !f(id) {
+                        continue;
+                    }
+                }
                 let row = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
                 topk.push(sq_dist_f32(query, row), id);
                 stats.items_evaluated += 1;
@@ -160,7 +196,17 @@ impl<'a> MultiTableIndex<'a> {
             params.strategy.name(),
             start.elapsed(),
         );
-        SearchResult { neighbors, stats }
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            self.metrics.incr(&metric_name(
+                "gqr_request_deadline_missed_total",
+                &[("strategy", params.strategy.name())],
+            ));
+        }
+        SearchResult {
+            neighbors,
+            stats,
+            checkpoints: Vec::new(),
+        }
     }
 }
 
@@ -274,6 +320,34 @@ mod tests {
         let three =
             MultiTableIndex::build(ms.iter().map(|m| m as &dyn HashModel).collect(), &data, 2);
         assert!(three.approx_bytes() > 2 * one.approx_bytes());
+    }
+
+    #[test]
+    fn run_supports_filters_and_stop_criteria() {
+        let data = grid();
+        let ms = models(&data, 2);
+        let idx =
+            MultiTableIndex::build(ms.iter().map(|m| m as &dyn HashModel).collect(), &data, 2);
+        let params = SearchParams {
+            k: 5,
+            n_candidates: usize::MAX,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            ..Default::default()
+        };
+        let res = idx.run(
+            SearchRequest::new(&[7.0, 7.0])
+                .params(params)
+                .filter(|id| id % 2 == 0),
+        );
+        assert_eq!(res.neighbors.len(), 5);
+        assert!(res.neighbors.iter().all(|&(id, _)| id % 2 == 0));
+
+        let capped = idx.run(SearchRequest::new(&[7.0, 7.0]).params(SearchParams {
+            max_buckets: Some(3),
+            ..params
+        }));
+        assert!(capped.stats.buckets_probed <= 3, "bucket cap respected");
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! The unified search-request type: one front door for every query shape.
+//!
+//! Before this module the engine grew one entry point per feature —
+//! `search`, `search_traced`, `search_filtered`, and the batch path each
+//! took a different parameter list. A [`SearchRequest`] bundles the query
+//! with [`SearchParams`] and the three optional extras (recall checkpoints,
+//! an attribute filter, an absolute deadline) so every execution surface —
+//! [`QueryEngine::run`](crate::engine::QueryEngine::run),
+//! [`MultiTableIndex::run`](crate::multi_table::MultiTableIndex::run), and
+//! [`ShardedIndex::run`](crate::shard::ShardedIndex::run) — accepts the same
+//! type. The old methods survive as thin wrappers, so no caller breaks.
+//!
+//! ```
+//! use gqr_core::engine::{QueryEngine, SearchParams};
+//! use gqr_core::request::SearchRequest;
+//! use gqr_core::table::HashTable;
+//! use gqr_l2h::pcah::Pcah;
+//!
+//! let mut data = Vec::new();
+//! for i in 0..200u32 {
+//!     data.push((i % 20) as f32 + 0.01 * (i as f32).sin());
+//!     data.push((i / 20) as f32);
+//! }
+//! let model = Pcah::train(&data, 2, 2).unwrap();
+//! let table = HashTable::build(&model, &data, 2);
+//! let engine = QueryEngine::new(&model, &table, &data, 2);
+//!
+//! let params = SearchParams::for_k(5).candidates(50).build().unwrap();
+//! let req = SearchRequest::new(&[3.0, 4.0])
+//!     .params(params)
+//!     .filter(|id| id % 2 == 0);
+//! let result = engine.run(req);
+//! assert!(result.neighbors.iter().all(|&(id, _)| id % 2 == 0));
+//! ```
+
+use crate::engine::SearchParams;
+use std::time::Instant;
+
+/// The id filter a request may carry: `true` keeps the item.
+pub type SearchFilter<'a> = Box<dyn FnMut(u32) -> bool + 'a>;
+
+/// One fully-described search: query vector, parameters, and the optional
+/// extras that used to require dedicated engine methods.
+///
+/// Built fluently: `SearchRequest::new(&q).params(p).deadline(t)`. The
+/// borrow parameter ties the request to the query slice, the checkpoint
+/// budgets, and anything the filter captures.
+pub struct SearchRequest<'a> {
+    query: &'a [f32],
+    params: SearchParams,
+    budgets: &'a [usize],
+    filter: Option<SearchFilter<'a>>,
+    deadline: Option<Instant>,
+}
+
+impl<'a> SearchRequest<'a> {
+    /// A request for `query` with [`SearchParams::default`].
+    pub fn new(query: &'a [f32]) -> SearchRequest<'a> {
+        SearchRequest {
+            query,
+            params: SearchParams::default(),
+            budgets: &[],
+            filter: None,
+            deadline: None,
+        }
+    }
+
+    /// Set the search parameters.
+    pub fn params(mut self, params: SearchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Snapshot the running top-k at each of these candidate budgets
+    /// (ascending). The snapshots come back in
+    /// [`SearchResult::checkpoints`](crate::engine::SearchResult::checkpoints).
+    pub fn checkpoints(mut self, budgets: &'a [usize]) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// Restrict the search to items the predicate accepts (attribute
+    /// filtering). Rejected items are skipped before the distance
+    /// computation and do not consume candidate budget. Bucket strategies
+    /// only — running a filtered MIH request panics.
+    pub fn filter(mut self, filter: impl FnMut(u32) -> bool + 'a) -> Self {
+        self.filter = Some(Box::new(filter));
+        self
+    }
+
+    /// Absolute deadline for the request. Execution surfaces fold it into
+    /// the soft per-search time limit (tighter of the two wins) and count a
+    /// deadline miss when they finish late; the executor drops queued work
+    /// whose deadline already passed.
+    pub fn deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// The query vector.
+    pub fn query(&self) -> &'a [f32] {
+        self.query
+    }
+
+    /// The search parameters.
+    pub fn search_params(&self) -> &SearchParams {
+        &self.params
+    }
+
+    /// The checkpoint budgets (empty unless requested).
+    pub fn checkpoint_budgets(&self) -> &'a [usize] {
+        self.budgets
+    }
+
+    /// Whether the request carries a filter.
+    pub fn has_filter(&self) -> bool {
+        self.filter.is_some()
+    }
+
+    /// The absolute deadline, if any.
+    pub fn deadline_at(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Decompose into `(query, params, budgets, filter, deadline)` for an
+    /// execution surface.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        &'a [f32],
+        SearchParams,
+        &'a [usize],
+        Option<SearchFilter<'a>>,
+        Option<Instant>,
+    ) {
+        (
+            self.query,
+            self.params,
+            self.budgets,
+            self.filter,
+            self.deadline,
+        )
+    }
+}
+
+impl std::fmt::Debug for SearchRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchRequest")
+            .field("dim", &self.query.len())
+            .field("params", &self.params)
+            .field("checkpoints", &self.budgets.len())
+            .field("filtered", &self.filter.is_some())
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn builder_records_every_field() {
+        let q = [1.0f32, 2.0];
+        let budgets = [10usize, 20];
+        let at = Instant::now() + Duration::from_secs(1);
+        let req = SearchRequest::new(&q)
+            .params(SearchParams::for_k(3).candidates(30).build().unwrap())
+            .checkpoints(&budgets)
+            .filter(|id| id > 0)
+            .deadline(at);
+        assert_eq!(req.query(), &q);
+        assert_eq!(req.search_params().k, 3);
+        assert_eq!(req.checkpoint_budgets(), &budgets);
+        assert!(req.has_filter());
+        assert_eq!(req.deadline_at(), Some(at));
+        let dbg = format!("{req:?}");
+        assert!(dbg.contains("filtered: true"), "{dbg}");
+    }
+
+    #[test]
+    fn defaults_are_plain() {
+        let q = [0.0f32];
+        let req = SearchRequest::new(&q);
+        assert!(!req.has_filter());
+        assert!(req.checkpoint_budgets().is_empty());
+        assert_eq!(req.deadline_at(), None);
+        assert_eq!(req.search_params().k, SearchParams::default().k);
+    }
+}

@@ -1,0 +1,405 @@
+//! Sharded serving index: one dataset, S hash tables, exact global top-k.
+//!
+//! A [`ShardedIndex`] partitions the item rows into `S` contiguous shards,
+//! builds one [`HashTable`] (and optionally one MIH side index) per shard,
+//! and answers a query by searching every shard and merging the per-shard
+//! top-k into a global top-k. Because each shard retains its *full* local
+//! top-k and [`TopK`]'s `(distance, id)` ordering is deterministic, the
+//! merged result is **bit-identical** to running the single unsharded engine
+//! over the same data — sharding changes the execution plan, never the
+//! answer (see `tests/sharded_equivalence.rs`).
+//!
+//! Shard fan-out runs either serially ([`ShardedIndex::run`]) or on a
+//! persistent [`Executor`] ([`ShardedIndex::run_on`]), which is the serving
+//! configuration: long-lived workers, bounded queue, one job per shard per
+//! query. Per-shard work is observable through the `gqr_shard_*` metric
+//! family (phase spans labelled `{shard, strategy}`) and the merge through
+//! `gqr_sharded_*`.
+
+use crate::engine::{QueryEngine, SearchParams, SearchResult};
+use crate::executor::Executor;
+use crate::metrics::{metric_name, MetricsRegistry};
+use crate::probe::mih::MihIndex;
+use crate::request::SearchRequest;
+use crate::stats::ProbeStats;
+use crate::table::HashTable;
+use crate::topk::TopK;
+use gqr_l2h::HashModel;
+use gqr_linalg::vecops::Metric;
+use std::time::Instant;
+
+/// One shard: a contiguous slice of the dataset with its own table.
+struct Shard<'a> {
+    table: HashTable,
+    /// This shard's rows (row-major, `dim` columns).
+    data: &'a [f32],
+    /// Global id of this shard's local id 0.
+    offset: u32,
+    /// Prebuilt MIH side index, shared by every per-query engine so the
+    /// substring tables are built once per shard, not once per search.
+    mih: Option<MihIndex>,
+}
+
+/// A dataset partitioned across `S` shard-local hash tables, searched by
+/// fanning each query out and merging per-shard top-k exactly.
+///
+/// ```
+/// use gqr_core::engine::SearchParams;
+/// use gqr_core::shard::ShardedIndex;
+/// use gqr_l2h::pcah::Pcah;
+///
+/// let mut data = Vec::new();
+/// for i in 0..300u32 {
+///     data.push((i % 20) as f32 + 0.01 * (i as f32).sin());
+///     data.push((i / 20) as f32);
+/// }
+/// let model = Pcah::train(&data, 2, 2).unwrap();
+/// let index = ShardedIndex::build(&model, &data, 2, 3);
+/// let params = SearchParams::for_k(5).candidates(100).build().unwrap();
+/// let result = index.search(&[3.0, 4.0], &params);
+/// assert_eq!(result.neighbors.len(), 5);
+/// ```
+pub struct ShardedIndex<'a, M: HashModel + ?Sized> {
+    model: &'a M,
+    dim: usize,
+    metric: Metric,
+    shards: Vec<Shard<'a>>,
+    metrics: MetricsRegistry,
+}
+
+impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
+    /// Partition `data` (row-major, `dim` columns) into `n_shards`
+    /// contiguous shards and build each shard's hash table (in parallel when
+    /// `n_shards > 1`). Shard sizes differ by at most one row.
+    pub fn build(model: &'a M, data: &'a [f32], dim: usize, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        assert_eq!(model.dim(), dim, "model and data dimensionality differ");
+        assert!(data.len().is_multiple_of(dim), "data must be n×dim");
+        let n = data.len() / dim;
+        assert!(
+            n <= u32::MAX as usize,
+            "id space is u32; dataset has {n} rows"
+        );
+
+        // Contiguous partition: shard i gets base (+1 for the first n % S).
+        let base = n / n_shards;
+        let rem = n % n_shards;
+        let mut slices = Vec::with_capacity(n_shards);
+        let mut row = 0usize;
+        for i in 0..n_shards {
+            let len = base + usize::from(i < rem);
+            slices.push((row as u32, &data[row * dim..(row + len) * dim]));
+            row += len;
+        }
+
+        let mut tables: Vec<Option<HashTable>> = (0..n_shards).map(|_| None).collect();
+        if n_shards == 1 {
+            tables[0] = Some(HashTable::build(model, slices[0].1, dim));
+        } else {
+            std::thread::scope(|s| {
+                for (slot, &(_, slice)) in tables.iter_mut().zip(&slices) {
+                    s.spawn(move || *slot = Some(HashTable::build(model, slice, dim)));
+                }
+            });
+        }
+
+        let shards = tables
+            .into_iter()
+            .zip(slices)
+            .map(|(table, (offset, data))| Shard {
+                table: table.expect("shard table built"),
+                data,
+                offset,
+                mih: None,
+            })
+            .collect();
+        ShardedIndex {
+            model,
+            dim,
+            metric: Metric::SquaredEuclidean,
+            shards,
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+
+    /// Attach a metrics registry (builder style): per-shard spans flush as
+    /// `gqr_shard_*{shard="…",strategy="…"}` and the merge records
+    /// `gqr_sharded_{total_ns,merge_ns,queries_total}`.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Switch the exact-evaluation metric (builder style); applies to every
+    /// shard engine.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Build each shard's multi-index-hashing side index (required before
+    /// [`ProbeStrategy::MultiIndexHashing`](crate::engine::ProbeStrategy::MultiIndexHashing)).
+    /// Built once per shard and then lent to every per-query engine.
+    pub fn enable_mih(&mut self, blocks: usize) {
+        for shard in &mut self.shards {
+            let codes = shard.table.dense_codes();
+            shard.mih = Some(MihIndex::build(shard.table.code_length(), &codes, blocks));
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Items per shard, in shard order (sizes differ by at most one).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.table.n_items()).collect()
+    }
+
+    /// Total indexed items across shards.
+    pub fn n_items(&self) -> usize {
+        self.shards.iter().map(|s| s.table.n_items()).sum()
+    }
+
+    /// The attached metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A short-lived engine over shard `i`. Engine construction is a few
+    /// asserts; the expensive per-shard state (table, MIH) is borrowed.
+    fn shard_engine(&self, i: usize) -> QueryEngine<'_, M> {
+        let shard = &self.shards[i];
+        let mut engine = QueryEngine::new(self.model, &shard.table, shard.data, self.dim)
+            .with_metric(self.metric)
+            .with_metrics(self.metrics.clone())
+            .with_span_scope("gqr_shard", vec![("shard".to_string(), i.to_string())]);
+        if let Some(mih) = &shard.mih {
+            engine = engine.with_mih(mih);
+        }
+        engine
+    }
+
+    /// Execute one request, searching the shards serially on the calling
+    /// thread. The result is bit-identical to the unsharded engine's on the
+    /// same data (same params, exhaustive or per-shard-equivalent budgets).
+    ///
+    /// Requests with [checkpoints](SearchRequest::checkpoints) are rejected:
+    /// per-shard snapshots cannot be merged into a global running top-k
+    /// without the distances the snapshot discards. A request
+    /// [deadline](SearchRequest::deadline) is folded into the per-shard soft
+    /// time limit and a late finish bumps
+    /// `gqr_request_deadline_missed_total`.
+    pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        let (query, mut params, budgets, mut filter, deadline) = req.into_parts();
+        assert!(
+            budgets.is_empty(),
+            "checkpoints are not supported on the sharded path"
+        );
+        fold_deadline(&mut params, deadline);
+        let start = Instant::now();
+        let mut shard_results = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            let offset = self.shards[i].offset;
+            let mut shard_req = SearchRequest::new(query).params(params);
+            if let Some(f) = filter.as_deref_mut() {
+                // Shard engines see local ids; the caller's filter speaks
+                // global ids.
+                shard_req = shard_req.filter(move |local: u32| f(local + offset));
+            }
+            shard_results.push(self.shard_engine(i).run(shard_req));
+        }
+        self.finish(query, &params, deadline, start, shard_results)
+    }
+
+    /// Execute one request, fanning the shards out as one job each on
+    /// `exec` and blocking until all complete. Exactly [`ShardedIndex::run`]
+    /// semantics (including the merged result), with the per-shard searches
+    /// running on the executor's persistent workers.
+    ///
+    /// Filtered requests fall back to the serial path: a `FnMut` filter
+    /// cannot be shared across concurrently-searching shards.
+    pub fn run_on(&self, exec: &Executor, req: SearchRequest<'_>) -> SearchResult {
+        if req.has_filter() {
+            return self.run(req);
+        }
+        let (query, mut params, budgets, _filter, deadline) = req.into_parts();
+        assert!(
+            budgets.is_empty(),
+            "checkpoints are not supported on the sharded path"
+        );
+        fold_deadline(&mut params, deadline);
+        let start = Instant::now();
+        let mut slots: Vec<Option<SearchResult>> = (0..self.shards.len()).map(|_| None).collect();
+        exec.run_scoped(slots.iter_mut().enumerate().map(|(i, slot)| {
+            Box::new(move || {
+                *slot = Some(
+                    self.shard_engine(i)
+                        .run(SearchRequest::new(query).params(params)),
+                );
+            }) as Box<dyn FnOnce() + Send + '_>
+        }));
+        let shard_results = slots
+            .into_iter()
+            .map(|r| r.expect("run_scoped completed every shard"))
+            .collect();
+        self.finish(query, &params, deadline, start, shard_results)
+    }
+
+    /// k-NN search across all shards, serially (thin wrapper over
+    /// [`ShardedIndex::run`]).
+    pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+        self.run(SearchRequest::new(query).params(*params))
+    }
+
+    /// k-NN search across all shards on an executor (thin wrapper over
+    /// [`ShardedIndex::run_on`]).
+    pub fn search_on(&self, exec: &Executor, query: &[f32], params: &SearchParams) -> SearchResult {
+        self.run_on(exec, SearchRequest::new(query).params(*params))
+    }
+
+    /// Merge per-shard results into the global result and flush the
+    /// sharded-level metrics.
+    fn finish(
+        &self,
+        _query: &[f32],
+        params: &SearchParams,
+        deadline: Option<Instant>,
+        start: Instant,
+        shard_results: Vec<SearchResult>,
+    ) -> SearchResult {
+        let merge_start = Instant::now();
+        let mut topk = TopK::new(params.k);
+        let mut stats = ProbeStats::default();
+        for (shard, res) in self.shards.iter().zip(shard_results) {
+            stats.merge(&res.stats);
+            for (local, dist) in res.neighbors {
+                topk.push(dist, local + shard.offset);
+            }
+        }
+        let neighbors = topk.into_sorted();
+        if self.metrics.is_enabled() {
+            self.metrics
+                .record_duration("gqr_sharded_merge_ns", merge_start.elapsed());
+            self.metrics
+                .record_duration("gqr_sharded_total_ns", start.elapsed());
+            self.metrics.incr("gqr_sharded_queries_total");
+        }
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            self.metrics.incr(&metric_name(
+                "gqr_request_deadline_missed_total",
+                &[("strategy", params.strategy.name())],
+            ));
+        }
+        SearchResult {
+            neighbors,
+            stats,
+            checkpoints: Vec::new(),
+        }
+    }
+}
+
+impl<M: HashModel + ?Sized> std::fmt::Debug for ShardedIndex<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("n_shards", &self.n_shards())
+            .field("n_items", &self.n_items())
+            .field("dim", &self.dim)
+            .finish()
+    }
+}
+
+/// Tighten `params.time_limit` to whatever remains until `deadline`.
+fn fold_deadline(params: &mut SearchParams, deadline: Option<Instant>) {
+    if let Some(d) = deadline {
+        let remaining = d.saturating_duration_since(Instant::now());
+        params.time_limit = Some(params.time_limit.map_or(remaining, |tl| tl.min(remaining)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqr_l2h::pcah::Pcah;
+
+    fn grid(n: u32) -> Vec<f32> {
+        let mut data = Vec::new();
+        for i in 0..n {
+            data.push((i % 20) as f32 + 0.001 * ((i * 7) % 13) as f32);
+            data.push((i / 20) as f32);
+        }
+        data
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_covers_everything() {
+        let data = grid(401);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let index = ShardedIndex::build(&model, &data, 2, 3);
+        assert_eq!(index.n_shards(), 3);
+        assert_eq!(index.n_items(), 401);
+        let sizes = index.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 401);
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "balanced partition: {sizes:?}");
+    }
+
+    #[test]
+    fn filter_sees_global_ids() {
+        let data = grid(300);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let index = ShardedIndex::build(&model, &data, 2, 3);
+        let params = SearchParams {
+            k: 10,
+            n_candidates: usize::MAX,
+            ..Default::default()
+        };
+        let res = index.run(
+            SearchRequest::new(&[5.0, 5.0])
+                .params(params)
+                .filter(|id| id >= 250),
+        );
+        assert!(!res.neighbors.is_empty());
+        assert!(
+            res.neighbors.iter().all(|&(id, _)| id >= 250),
+            "only the last shard's tail matches the filter: {:?}",
+            res.neighbors
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoints are not supported")]
+    fn checkpoints_are_rejected() {
+        let data = grid(100);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let index = ShardedIndex::build(&model, &data, 2, 2);
+        let budgets = [10usize];
+        let _ = index.run(SearchRequest::new(&[0.0, 0.0]).checkpoints(&budgets));
+    }
+
+    #[test]
+    fn sharded_metrics_flow_into_the_registry() {
+        let data = grid(200);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let metrics = MetricsRegistry::enabled();
+        let index = ShardedIndex::build(&model, &data, 2, 2).with_metrics(metrics.clone());
+        let params = SearchParams {
+            k: 5,
+            n_candidates: usize::MAX,
+            ..Default::default()
+        };
+        let _ = index.search(&[3.0, 3.0], &params);
+        assert_eq!(metrics.counter_value("gqr_sharded_queries_total"), Some(1));
+        assert!(metrics.histogram("gqr_sharded_merge_ns").is_some());
+        assert!(metrics.histogram("gqr_sharded_total_ns").is_some());
+        assert_eq!(
+            metrics.counter_value("gqr_shard_queries_total{shard=\"0\",strategy=\"GQR\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            metrics.counter_value("gqr_shard_queries_total{shard=\"1\",strategy=\"GQR\"}"),
+            Some(1)
+        );
+    }
+}

@@ -123,6 +123,33 @@ impl HashTable {
         self.buckets.keys().copied()
     }
 
+    /// Per-item codes recovered from the buckets: `codes[id]` is the bucket
+    /// code of item `id`. Requires a dense id space `0..n_items` (true for
+    /// any table built with [`HashTable::build`] / [`HashTable::from_codes`]
+    /// and not mutated); paths like MIH construction consume this instead of
+    /// re-encoding every vector. Panics when ids have holes (e.g. after
+    /// removals).
+    pub fn dense_codes(&self) -> Vec<u64> {
+        assert_eq!(
+            self.max_id.map_or(0, |m| m as usize + 1),
+            self.n_items,
+            "dense_codes requires a dense id space 0..n_items"
+        );
+        let mut codes = vec![0u64; self.n_items];
+        let mut filled = 0usize;
+        for (&code, items) in &self.buckets {
+            for &id in items {
+                codes[id as usize] = code;
+                filled += 1;
+            }
+        }
+        assert_eq!(
+            filled, self.n_items,
+            "bucket contents disagree with n_items"
+        );
+        codes
+    }
+
     /// Expected items per bucket over occupied buckets (the paper targets
     /// `EP = 10` when choosing `m`).
     pub fn mean_bucket_size(&self) -> f64 {
@@ -266,6 +293,28 @@ mod tests {
         let mut occupied: Vec<u64> = table.codes().collect();
         occupied.sort_unstable();
         assert_eq!(occupied, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn dense_codes_recovers_per_item_codes() {
+        let codes = [1u64, 5, 5, 9, 1];
+        let table = HashTable::from_codes(4, &codes);
+        assert_eq!(table.dense_codes(), codes);
+        let data = grid_data();
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let built = HashTable::build(&model, &data, 2);
+        let dense = built.dense_codes();
+        for (i, row) in data.chunks_exact(2).enumerate() {
+            assert_eq!(dense[i], model.encode(row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dense id space")]
+    fn dense_codes_rejects_holes() {
+        let mut table = HashTable::from_codes(4, &[1, 5, 9]);
+        table.remove(5, 1);
+        let _ = table.dense_codes();
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Sharding is an execution plan, not an approximation: for every probe
+//! strategy and shard count, [`ShardedIndex`] must return *bit-identical*
+//! neighbors (ids and distances) to the single unsharded engine over the
+//! same data when both probe exhaustively.
+//!
+//! Written as plain `#[test]` loops over shard counts, strategies, and
+//! queries rather than a property-test macro so every combination runs on
+//! every `cargo test`.
+
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::executor::Executor;
+use gqr_core::request::SearchRequest;
+use gqr_core::shard::ShardedIndex;
+use gqr_core::table::HashTable;
+use gqr_l2h::pcah::Pcah;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+const STRATEGIES: [ProbeStrategy; 5] = [
+    ProbeStrategy::HammingRanking,
+    ProbeStrategy::GenerateHammingRanking,
+    ProbeStrategy::QdRanking,
+    ProbeStrategy::GenerateQdRanking,
+    ProbeStrategy::MultiIndexHashing { blocks: 2 },
+];
+
+/// 403 4-D rows (indivisible by every shard count above) with deterministic
+/// jitter so exact distances are informative.
+fn dataset() -> (Vec<f32>, usize) {
+    let mut data = Vec::new();
+    for i in 0..403u32 {
+        data.push((i % 20) as f32 + 0.001 * ((i * 7) % 13) as f32);
+        data.push((i / 20) as f32);
+        data.push(((i * 3) % 11) as f32 * 0.5);
+        data.push(((i * 5) % 17) as f32 * 0.25);
+    }
+    (data, 4)
+}
+
+fn queries() -> Vec<Vec<f32>> {
+    (0..12)
+        .map(|i| {
+            vec![
+                (i % 19) as f32 + 0.37,
+                (i % 15) as f32 + 0.11,
+                (i % 9) as f32 * 0.5 + 0.2,
+                (i % 13) as f32 * 0.25 + 0.05,
+            ]
+        })
+        .collect()
+}
+
+fn exhaustive(strategy: ProbeStrategy) -> SearchParams {
+    SearchParams {
+        k: 10,
+        n_candidates: usize::MAX,
+        strategy,
+        early_stop: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn sharded_matches_unsharded_for_all_strategies_and_shard_counts() {
+    let (data, dim) = dataset();
+    let model = Pcah::train(&data, dim, 4).unwrap();
+    let table = HashTable::build(&model, &data, dim);
+    let mut reference = QueryEngine::new(&model, &table, &data, dim);
+    reference.enable_mih(2);
+
+    for s in SHARD_COUNTS {
+        let mut index = ShardedIndex::build(&model, &data, dim, s);
+        index.enable_mih(2);
+        assert_eq!(index.n_shards(), s);
+        assert_eq!(index.n_items(), 403);
+        for strategy in STRATEGIES {
+            let params = exhaustive(strategy);
+            for q in queries() {
+                let want = reference.search(&q, &params);
+                let got = index.search(&q, &params);
+                assert_eq!(
+                    got.neighbors,
+                    want.neighbors,
+                    "S={s} strategy={} q={q:?}",
+                    strategy.name()
+                );
+                assert_eq!(
+                    got.stats.items_evaluated, 403,
+                    "exhaustive probing evaluates every item across shards"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn executor_fanout_matches_serial_sharded_path() {
+    let (data, dim) = dataset();
+    let model = Pcah::train(&data, dim, 4).unwrap();
+    let exec = Executor::builder().workers(4).build();
+
+    for s in SHARD_COUNTS {
+        let mut index = ShardedIndex::build(&model, &data, dim, s);
+        index.enable_mih(2);
+        for strategy in STRATEGIES {
+            let params = exhaustive(strategy);
+            for q in queries() {
+                let serial = index.search(&q, &params);
+                let pooled = index.search_on(&exec, &q, &params);
+                assert_eq!(
+                    pooled.neighbors,
+                    serial.neighbors,
+                    "S={s} strategy={}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn filtered_sharded_matches_filtered_engine() {
+    let (data, dim) = dataset();
+    let model = Pcah::train(&data, dim, 4).unwrap();
+    let table = HashTable::build(&model, &data, dim);
+    let reference = QueryEngine::new(&model, &table, &data, dim);
+    let accept = |id: u32| id % 3 == 0;
+
+    for s in SHARD_COUNTS {
+        let index = ShardedIndex::build(&model, &data, dim, s);
+        // MIH has no filtered path; bucket strategies only.
+        for strategy in &STRATEGIES[..4] {
+            let params = exhaustive(*strategy);
+            for q in queries().into_iter().take(4) {
+                let want = reference.search_filtered(&q, &params, accept);
+                let got = index.run(SearchRequest::new(&q).params(params).filter(accept));
+                assert_eq!(
+                    got.neighbors,
+                    want.neighbors,
+                    "S={s} strategy={}",
+                    strategy.name()
+                );
+                assert!(got.neighbors.iter().all(|&(id, _)| accept(id)));
+            }
+        }
+    }
+}
+
+#[test]
+fn tight_budgets_still_return_full_result_sets() {
+    // Under a finite per-shard budget the sharded result need not match the
+    // unsharded engine bucket-for-bucket, but it must still return k
+    // well-formed, sorted neighbors.
+    let (data, dim) = dataset();
+    let model = Pcah::train(&data, dim, 4).unwrap();
+    let index = ShardedIndex::build(&model, &data, dim, 3);
+    let params = SearchParams {
+        k: 10,
+        n_candidates: 50,
+        ..Default::default()
+    };
+    for q in queries() {
+        let res = index.search(&q, &params);
+        assert_eq!(res.neighbors.len(), 10);
+        assert!(
+            res.neighbors.windows(2).all(|w| w[0].1 <= w[1].1),
+            "sorted by distance"
+        );
+        assert!(
+            res.stats.items_evaluated >= 50,
+            "each shard honors its budget"
+        );
+    }
+}

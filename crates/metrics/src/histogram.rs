@@ -18,7 +18,7 @@ const GROWTH: f64 = 1.2;
 const MAX_BOUND: u64 = 1_000_000_000_000_000_000;
 
 /// Upper bounds (inclusive, `le` semantics) of the finite buckets, shared by
-/// every histogram: 1, 2, 3, 4, 5, 6, 8, 10, 12, 15, … up to [`MAX_BOUND`].
+/// every histogram: 1, 2, 3, 4, 5, 6, 8, 10, 12, 15, … up to `MAX_BOUND`.
 pub fn bucket_bounds() -> &'static [u64] {
     static BOUNDS: OnceLock<Vec<u64>> = OnceLock::new();
     BOUNDS.get_or_init(|| {

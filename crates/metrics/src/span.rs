@@ -141,27 +141,36 @@ impl PhaseSpans {
     ///
     /// No-op when the accumulator or the registry is disabled.
     pub fn flush(&self, registry: &MetricsRegistry, comp: &str, strat: &str, wall: Duration) {
+        self.flush_labeled(registry, comp, &[("strategy", strat)], wall);
+    }
+
+    /// Like [`PhaseSpans::flush`], but with an arbitrary label set instead of
+    /// the single `strategy` label. The serving layer uses this to emit
+    /// per-shard spans (`labels = [("shard", "3"), ("strategy", "GQR")]`).
+    /// The `phase` label is spliced in front of `labels` for the per-phase
+    /// histograms.
+    pub fn flush_labeled(
+        &self,
+        registry: &MetricsRegistry,
+        comp: &str,
+        labels: &[(&str, &str)],
+        wall: Duration,
+    ) {
         if !self.enabled || !registry.is_enabled() {
             return;
         }
         for phase in Phase::ALL {
             let ns = self.ns(phase);
             if ns > 0 {
-                let name = metric_name(
-                    &format!("{comp}_phase_ns"),
-                    &[("phase", phase.as_str()), ("strategy", strat)],
-                );
+                let mut phase_labels = Vec::with_capacity(labels.len() + 1);
+                phase_labels.push(("phase", phase.as_str()));
+                phase_labels.extend_from_slice(labels);
+                let name = metric_name(&format!("{comp}_phase_ns"), &phase_labels);
                 registry.record(&name, ns);
             }
         }
-        registry.record_duration(
-            &metric_name(&format!("{comp}_total_ns"), &[("strategy", strat)]),
-            wall,
-        );
-        registry.incr(&metric_name(
-            &format!("{comp}_queries_total"),
-            &[("strategy", strat)],
-        ));
+        registry.record_duration(&metric_name(&format!("{comp}_total_ns"), labels), wall);
+        registry.incr(&metric_name(&format!("{comp}_queries_total"), labels));
     }
 }
 
@@ -225,6 +234,31 @@ mod tests {
         assert_eq!(total.sum(), 450);
         // Phases with no time recorded produce no histogram at all.
         assert_eq!(m.histogram_names().len(), 3);
+    }
+
+    #[test]
+    fn flush_labeled_embeds_extra_labels() {
+        let m = MetricsRegistry::enabled();
+        let mut spans = PhaseSpans::new(&m);
+        spans.add_ns(Phase::Evaluate, 40);
+        spans.flush_labeled(
+            &m,
+            "gqr_shard",
+            &[("shard", "3"), ("strategy", "GQR")],
+            Duration::from_nanos(55),
+        );
+        assert_eq!(
+            m.counter_value("gqr_shard_queries_total{shard=\"3\",strategy=\"GQR\"}"),
+            Some(1)
+        );
+        let h = m
+            .histogram("gqr_shard_phase_ns{phase=\"evaluate\",shard=\"3\",strategy=\"GQR\"}")
+            .unwrap();
+        assert_eq!(h.sum(), 40);
+        let total = m
+            .histogram("gqr_shard_total_ns{shard=\"3\",strategy=\"GQR\"}")
+            .unwrap();
+        assert_eq!(total.sum(), 55);
     }
 
     #[test]

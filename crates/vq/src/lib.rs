@@ -4,7 +4,7 @@
 //! state-of-the-art vector-quantization pipeline of its day. This crate
 //! implements that pipeline from scratch:
 //!
-//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding and empty-cluster
+//! * [`mod@kmeans`] — Lloyd's algorithm with k-means++ seeding and empty-cluster
 //!   reseeding (also reused by K-means hashing in `gqr-l2h`).
 //! * [`pq`] — product quantization: per-subspace codebooks + asymmetric
 //!   distance computation.

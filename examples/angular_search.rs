@@ -29,12 +29,11 @@ fn main() {
 
     println!("\n  budget   angular recall@10   total time");
     for budget in [500usize, 2_000, 10_000] {
-        let params = SearchParams {
-            k: 10,
-            n_candidates: budget,
-            strategy: ProbeStrategy::GenerateQdRanking,
-            ..Default::default()
-        };
+        let params = SearchParams::for_k(10)
+            .candidates(budget)
+            .strategy(ProbeStrategy::GenerateQdRanking)
+            .build()
+            .expect("valid search params");
         let start = Instant::now();
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
@@ -54,11 +53,10 @@ fn main() {
 
     // One "most similar words" lookup.
     let probe = ds.row(777).to_vec();
-    let params = SearchParams {
-        k: 6,
-        n_candidates: 5_000,
-        ..Default::default()
-    };
+    let params = SearchParams::for_k(6)
+        .candidates(5_000)
+        .build()
+        .expect("valid search params");
     let res = engine.search(&probe, &params);
     println!("\nvectors most cosine-similar to #777:");
     for (id, dist) in &res.neighbors {

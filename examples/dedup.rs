@@ -47,13 +47,12 @@ fn main() {
 
     // For each planted duplicate, ask: "is something almost identical
     // already in the corpus?" — a 2-NN query (itself + the original).
-    let params = SearchParams {
-        k: 2,
-        n_candidates: 5_000,
-        strategy: ProbeStrategy::GenerateQdRanking,
-        early_stop: true,
-        ..Default::default()
-    };
+    let params = SearchParams::for_k(2)
+        .candidates(5_000)
+        .strategy(ProbeStrategy::GenerateQdRanking)
+        .early_stop(true)
+        .build()
+        .expect("valid search params");
     let mut detected = 0usize;
     let mut total_buckets = 0usize;
     let mut total_items = 0usize;

@@ -39,13 +39,11 @@ fn main() {
 
     println!("\n  budget   recall@20   p50 latency");
     for budget in [200usize, 1_000, 5_000, 20_000] {
-        let params = SearchParams {
-            k: 20,
-            n_candidates: budget,
-            strategy: ProbeStrategy::GenerateQdRanking,
-            early_stop: false,
-            ..Default::default()
-        };
+        let params = SearchParams::for_k(20)
+            .candidates(budget)
+            .strategy(ProbeStrategy::GenerateQdRanking)
+            .build()
+            .expect("valid search params");
         let mut latencies = Vec::with_capacity(queries.len());
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
@@ -68,13 +66,11 @@ fn main() {
 
     // A single "more like this" lookup, end to end.
     let probe_img = ds.row(1234).to_vec();
-    let params = SearchParams {
-        k: 5,
-        n_candidates: 2_000,
-        strategy: ProbeStrategy::GenerateQdRanking,
-        early_stop: false,
-        ..Default::default()
-    };
+    let params = SearchParams::for_k(5)
+        .candidates(2_000)
+        .strategy(ProbeStrategy::GenerateQdRanking)
+        .build()
+        .expect("valid search params");
     let res = engine.search(&probe_img, &params);
     println!("\nimages most similar to #1234 (squared distances):");
     for (id, dist) in &res.neighbors {

@@ -41,13 +41,11 @@ fn main() {
     let budget = ds.n() / 50;
 
     let measure = |index: &MultiTableIndex<'_>, strategy: ProbeStrategy, label: &str| {
-        let params = SearchParams {
-            k: 20,
-            n_candidates: budget,
-            strategy,
-            early_stop: false,
-            ..Default::default()
-        };
+        let params = SearchParams::for_k(20)
+            .candidates(budget)
+            .strategy(strategy)
+            .build()
+            .expect("valid search params");
         let start = Instant::now();
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {

@@ -37,13 +37,11 @@ fn main() {
         ProbeStrategy::GenerateQdRanking,
         ProbeStrategy::GenerateHammingRanking,
     ] {
-        let params = SearchParams {
-            k: 10,
-            n_candidates: 400,
-            strategy,
-            early_stop: false,
-            ..Default::default()
-        };
+        let params = SearchParams::for_k(10)
+            .candidates(400)
+            .strategy(strategy)
+            .build()
+            .expect("valid search params");
         let start = std::time::Instant::now();
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {

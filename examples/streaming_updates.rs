@@ -52,11 +52,10 @@ fn main() {
 
     // Queries see the current membership: retired items never come back.
     let engine = QueryEngine::new(&model, &table, full.as_slice(), dim);
-    let params = SearchParams {
-        k: 10,
-        n_candidates: 2_000,
-        ..Default::default()
-    };
+    let params = SearchParams::for_k(10)
+        .candidates(2_000)
+        .build()
+        .expect("valid search params");
     let queries = full.sample_queries(50, 3);
     let mut stale = 0;
     for q in &queries {

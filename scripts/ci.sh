@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> serving bench (smoke)"
+GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench serving
+
 echo "==> ci.sh: all green"

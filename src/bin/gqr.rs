@@ -277,13 +277,11 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     let strat = strategy(flags.get("strategy").map(String::as_str).unwrap_or("gqr"))?;
 
     let engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
-    let params = SearchParams {
-        k,
-        n_candidates,
-        strategy: strat,
-        early_stop: false,
-        ..Default::default()
-    };
+    let params = SearchParams::for_k(k)
+        .candidates(n_candidates)
+        .strategy(strat)
+        .build()
+        .map_err(|e| format!("invalid search parameters: {e}"))?;
     let query = ds.row(row).to_vec();
     let start = std::time::Instant::now();
     let res = engine.search(&query, &params);
@@ -324,13 +322,11 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
         ProbeStrategy::HammingRanking,
         ProbeStrategy::QdRanking,
     ] {
-        let params = SearchParams {
-            k,
-            n_candidates,
-            strategy: strat,
-            early_stop: false,
-            ..Default::default()
-        };
+        let params = SearchParams::for_k(k)
+            .candidates(n_candidates)
+            .strategy(strat)
+            .build()
+            .map_err(|e| format!("invalid search parameters: {e}"))?;
         let start = std::time::Instant::now();
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {

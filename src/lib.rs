@@ -35,12 +35,11 @@
 //!
 //! // 4. Query with generate-to-probe QD ranking.
 //! let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
-//! let params = SearchParams {
-//!     k: 10,
-//!     n_candidates: 200,
-//!     strategy: ProbeStrategy::GenerateQdRanking,
-//!     ..Default::default()
-//! };
+//! let params = SearchParams::for_k(10)
+//!     .candidates(200)
+//!     .strategy(ProbeStrategy::GenerateQdRanking)
+//!     .build()
+//!     .unwrap();
 //! let query = ds.row(0).to_vec();
 //! let result = engine.search(&query, &params);
 //! assert_eq!(result.neighbors.len(), 10);
@@ -58,9 +57,14 @@ pub use gqr_vq as vq;
 
 /// The names most applications need.
 pub mod prelude {
-    pub use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams, SearchResult};
+    pub use gqr_core::engine::{
+        ParamError, ProbeStrategy, QueryEngine, SearchParams, SearchParamsBuilder, SearchResult,
+    };
+    pub use gqr_core::executor::{Executor, ExecutorBuilder, JobError, SubmitError, Ticket};
     pub use gqr_core::metrics::{MetricsRegistry, MetricsSnapshot};
     pub use gqr_core::multi_table::MultiTableIndex;
+    pub use gqr_core::request::SearchRequest;
+    pub use gqr_core::shard::ShardedIndex;
     pub use gqr_core::table::HashTable;
     pub use gqr_core::{hamming, quantization_distance};
     pub use gqr_dataset::{brute_force_knn, Dataset, DatasetSpec, Scale};
