@@ -9,7 +9,8 @@ use gqr_core::table::HashTable;
 use gqr_core::topk::TopK;
 use gqr_eval::curve::{recall_time_curve, RecallCurve};
 use gqr_l2h::HashModel;
-use gqr_linalg::vecops::sq_dist_f32;
+use gqr_linalg::kernels::ScoreBlock;
+use gqr_linalg::vecops::Metric;
 use gqr_vq::imi::{ImiOptions, InvertedMultiIndex};
 use gqr_vq::kmeans::KMeansOptions;
 use gqr_vq::opq::{Opq, OpqOptions};
@@ -249,6 +250,7 @@ impl<'a> OpqImiEngine<'a> {
         let mut evaluated = 0usize;
         let mut cells = 0usize;
         let mut cps = Vec::with_capacity(budgets.len());
+        let mut scratch = ScoreBlock::new(self.dim);
 
         for &budget in budgets {
             while evaluated < budget {
@@ -261,21 +263,35 @@ impl<'a> OpqImiEngine<'a> {
                 let cell = self.imi.cell(u, v);
                 spans.end(Phase::BucketLookup, t);
                 let t = spans.begin();
-                for &id in cell {
-                    let dist = match &adc_table {
-                        Some(table) => gqr_vq::pq::ProductQuantizer::adc(
-                            table,
-                            &self.codes
-                                [id as usize * self.code_len..(id as usize + 1) * self.code_len],
-                        ),
-                        None => {
+                match &adc_table {
+                    Some(table) => {
+                        for &id in cell {
+                            let dist = gqr_vq::pq::ProductQuantizer::adc(
+                                table,
+                                &self.codes[id as usize * self.code_len
+                                    ..(id as usize + 1) * self.code_len],
+                            );
+                            topk.push(dist, id);
+                            evaluated += 1;
+                        }
+                    }
+                    None => {
+                        // Exact re-rank: gather the cell into the scratch
+                        // tile and score it through the blocked kernel.
+                        for &id in cell {
+                            if scratch.is_full() {
+                                evaluated +=
+                                    scratch.flush(query, Metric::SquaredEuclidean, |id, d| {
+                                        topk.push(d, id)
+                                    });
+                            }
                             let row =
                                 &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
-                            sq_dist_f32(query, row)
+                            scratch.push(id, row);
                         }
-                    };
-                    topk.push(dist, id);
-                    evaluated += 1;
+                        evaluated += scratch
+                            .flush(query, Metric::SquaredEuclidean, |id, d| topk.push(d, id));
+                    }
                 }
                 spans.end(Phase::Evaluate, t);
             }

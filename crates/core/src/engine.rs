@@ -14,8 +14,18 @@ use crate::stats::ProbeStats;
 use crate::table::HashTable;
 use crate::topk::TopK;
 use gqr_l2h::HashModel;
+use gqr_linalg::kernels::{kernel_name, ScoreBlock};
 use gqr_linalg::vecops::Metric;
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// Per-thread gather/score tile reused across every search this thread
+    /// runs (batch workers each get their own). Re-targeted per query via
+    /// [`ScoreBlock::ensure_dim`], so steady-state evaluation is
+    /// allocation-free.
+    static SCRATCH: RefCell<ScoreBlock> = RefCell::new(ScoreBlock::new(1));
+}
 
 /// Which querying method to use (paper §3–§5 and appendix).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -314,7 +324,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
     /// (disabled) registry keeps the query path allocation-free and reads no
     /// clocks beyond the pre-existing wall timer.
     pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
-        self.metrics = metrics;
+        self.set_metrics(metrics);
         self
     }
 
@@ -322,6 +332,12 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
     /// built, e.g. after [`QueryEngine::enable_mih`]).
     pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
         self.metrics = metrics;
+        // Info metric: which distance kernel the dispatcher selected for
+        // this process (constant 1; the label carries the information).
+        self.metrics.set(
+            &metric_name("gqr_kernel_dispatch", &[("kernel", kernel_name())]),
+            1,
+        );
     }
 
     /// The attached metrics registry (disabled unless one was attached).
@@ -428,7 +444,21 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
     /// empty result immediately. When the engine finishes past the deadline
     /// the `gqr_request_deadline_missed_total` counter is bumped.
     pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        SCRATCH.with_borrow_mut(|scratch| self.run_with_scratch(req, scratch))
+    }
+
+    /// [`QueryEngine::run`] with a caller-owned gather/score tile. The
+    /// default entry points reuse a thread-local [`ScoreBlock`]; callers
+    /// that manage their own evaluation scratch (the batch executor, tests
+    /// pinning tile shapes) pass it here. The block is re-targeted to this
+    /// engine's dimensionality and left empty on return.
+    pub fn run_with_scratch(
+        &self,
+        req: SearchRequest<'_>,
+        scratch: &mut ScoreBlock,
+    ) -> SearchResult {
         let (query, mut params, budgets, mut filter, deadline) = req.into_parts();
+        scratch.ensure_dim(self.dim);
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         debug_assert!(
             budgets.windows(2).all(|w| w[0] <= w[1]),
@@ -442,9 +472,16 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         let (mut result, checkpoints) = match params.strategy {
             ProbeStrategy::MultiIndexHashing { .. } => {
                 assert!(filter.is_none(), "filtered search is not supported for MIH");
-                self.run_mih(query, &params, budgets, start)
+                self.run_mih(query, &params, budgets, start, scratch)
             }
-            _ => self.run_buckets(query, &params, budgets, start, filter.as_deref_mut()),
+            _ => self.run_buckets(
+                query,
+                &params,
+                budgets,
+                start,
+                filter.as_deref_mut(),
+                scratch,
+            ),
         };
         result.checkpoints = checkpoints;
         if deadline.is_some_and(|d| Instant::now() > d) {
@@ -501,6 +538,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         budgets: &[usize],
         start: Instant,
         mut filter: Option<&mut (dyn FnMut(u32) -> bool + 'q)>,
+        scratch: &mut ScoreBlock,
     ) -> (SearchResult, Vec<Checkpoint>) {
         let mut spans = PhaseSpans::new(&self.metrics);
         let t = spans.begin();
@@ -573,16 +611,26 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             }
             stats.items_collected += items.len();
             let t = spans.begin();
+            // Gather surviving candidates into the scratch tile and score
+            // whole tiles through the blocked batch kernel. Filtering makes
+            // tiles ragged; the per-bucket flush keeps checkpoint and
+            // early-stop semantics identical to per-row evaluation (and the
+            // batch kernel is bit-identical to the row kernel, so results
+            // match exactly).
             for &id in items {
                 if let Some(f) = filter.as_deref_mut() {
                     if !f(id) {
                         continue;
                     }
                 }
+                if scratch.is_full() {
+                    stats.items_evaluated +=
+                        scratch.flush(query, self.metric, |id, d| topk.push(d, id));
+                }
                 let row = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
-                topk.push(self.metric.eval(query, row), id);
-                stats.items_evaluated += 1;
+                scratch.push(id, row);
             }
+            stats.items_evaluated += scratch.flush(query, self.metric, |id, d| topk.push(d, id));
             spans.end(Phase::Evaluate, t);
             while let Some(&b) = next_budget.peek() {
                 if stats.items_evaluated < b {
@@ -618,6 +666,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         params: &SearchParams,
         budgets: &[usize],
         start: Instant,
+        scratch: &mut ScoreBlock,
     ) -> (SearchResult, Vec<Checkpoint>) {
         let mih = self
             .mih
@@ -651,9 +700,13 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             stats.items_collected += batch.len();
             let t = spans.begin();
             for &id in &batch {
+                if scratch.is_full() {
+                    scratch.flush(query, self.metric, |id, d| topk.push(d, id));
+                }
                 let row = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
-                topk.push(self.metric.eval(query, row), id);
+                scratch.push(id, row);
             }
+            scratch.flush(query, self.metric, |id, d| topk.push(d, id));
             spans.end(Phase::Evaluate, t);
             stats.items_evaluated += batch.len();
             while let Some(&b) = next_budget.peek() {

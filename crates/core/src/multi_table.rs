@@ -17,7 +17,8 @@ use crate::stats::ProbeStats;
 use crate::table::HashTable;
 use crate::topk::TopK;
 use gqr_l2h::HashModel;
-use gqr_linalg::vecops::sq_dist_f32;
+use gqr_linalg::kernels::ScoreBlock;
+use gqr_linalg::vecops::Metric;
 use std::time::Instant;
 
 /// An index of `T` hash tables over the same dataset.
@@ -132,6 +133,7 @@ impl<'a> MultiTableIndex<'a> {
         let mut visited = vec![false; n_items];
         let mut topk = TopK::new(params.k);
         let mut stats = ProbeStats::default();
+        let mut scratch = ScoreBlock::new(self.dim);
 
         while stats.items_evaluated < params.n_candidates {
             if params
@@ -179,10 +181,15 @@ impl<'a> MultiTableIndex<'a> {
                         continue;
                     }
                 }
+                if scratch.is_full() {
+                    stats.items_evaluated +=
+                        scratch.flush(query, Metric::SquaredEuclidean, |id, d| topk.push(d, id));
+                }
                 let row = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
-                topk.push(sq_dist_f32(query, row), id);
-                stats.items_evaluated += 1;
+                scratch.push(id, row);
             }
+            stats.items_evaluated +=
+                scratch.flush(query, Metric::SquaredEuclidean, |id, d| topk.push(d, id));
             spans.end(Phase::Evaluate, te);
         }
         let tr = spans.begin();
@@ -214,6 +221,7 @@ impl<'a> MultiTableIndex<'a> {
 mod tests {
     use super::*;
     use gqr_l2h::lsh::Lsh;
+    use gqr_linalg::vecops::sq_dist_f32;
 
     fn grid() -> Vec<f32> {
         let mut data = Vec::new();

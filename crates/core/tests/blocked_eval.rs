@@ -1,0 +1,214 @@
+//! Edge tests for blocked (tiled) candidate evaluation: ragged tiles from
+//! filtered search, buckets smaller than one tile, dimensions that are not a
+//! multiple of the SIMD width, and invariance of results under the scratch
+//! tile shape. Results must be *bit-identical* across tile shapes because
+//! the batch kernel is bit-identical to the row kernel under the same
+//! dispatched implementation.
+
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::request::SearchRequest;
+use gqr_core::table::HashTable;
+use gqr_l2h::pcah::Pcah;
+use gqr_linalg::kernels::ScoreBlock;
+use gqr_linalg::vecops::sq_dist_f32;
+
+/// Deterministic splitmix64 stream in `[-1, 1)`.
+struct Gen(u64);
+
+impl Gen {
+    fn next_f32(&mut self) -> f32 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+    }
+}
+
+fn dataset(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut g = Gen(seed);
+    (0..n * dim).map(|_| 3.0 * g.next_f32()).collect()
+}
+
+fn bucket_strategies() -> [ProbeStrategy; 4] {
+    [
+        ProbeStrategy::HammingRanking,
+        ProbeStrategy::QdRanking,
+        ProbeStrategy::GenerateHammingRanking,
+        ProbeStrategy::GenerateQdRanking,
+    ]
+}
+
+/// Exact reference through the same dispatched *row* kernel (so equality
+/// with the engine's blocked evaluation is bitwise, not approximate).
+fn brute_force(data: &[f32], dim: usize, q: &[f32], k: usize) -> Vec<(u32, f32)> {
+    let mut d: Vec<(f32, u32)> = data
+        .chunks_exact(dim)
+        .enumerate()
+        .map(|(i, row)| (sq_dist_f32(q, row), i as u32))
+        .collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.truncate(k);
+    d.into_iter().map(|(dist, id)| (id, dist)).collect()
+}
+
+/// Dimensions off the SIMD widths (d = 7, 13: below one 8-lane vector, and
+/// between one and two) with full budget must match brute force bitwise for
+/// every bucket strategy.
+#[test]
+fn odd_dims_match_brute_force_bitwise() {
+    for dim in [7usize, 13] {
+        let data = dataset(150, dim, dim as u64);
+        let model = Pcah::train(&data, dim, 6).unwrap();
+        let table = HashTable::build(&model, &data, dim);
+        let engine = QueryEngine::new(&model, &table, &data, dim);
+        let q: Vec<f32> = data[..dim].iter().map(|&x| x + 0.05).collect();
+        let expect = brute_force(&data, dim, &q, 5);
+        for strategy in bucket_strategies() {
+            let params = SearchParams {
+                k: 5,
+                n_candidates: usize::MAX,
+                strategy,
+                early_stop: false,
+                ..Default::default()
+            };
+            let res = engine.search(&q, &params);
+            assert_eq!(
+                res.neighbors,
+                expect,
+                "dim {dim}, {} disagrees with the row kernel",
+                strategy.name()
+            );
+        }
+    }
+}
+
+/// Results are invariant to the scratch tile shape: every capacity (down to
+/// one-row tiles, which flush on every push) must reproduce the default
+/// tile's neighbors and stats bit-for-bit.
+#[test]
+fn scratch_capacity_does_not_change_results() {
+    let dim = 13;
+    let data = dataset(200, dim, 9);
+    let model = Pcah::train(&data, dim, 6).unwrap();
+    let table = HashTable::build(&model, &data, dim);
+    let mut engine = QueryEngine::new(&model, &table, &data, dim);
+    engine.enable_mih(2);
+    let q: Vec<f32> = data[dim..2 * dim].iter().map(|&x| x + 0.02).collect();
+
+    let all: Vec<ProbeStrategy> = bucket_strategies()
+        .into_iter()
+        .chain([ProbeStrategy::MultiIndexHashing { blocks: 2 }])
+        .collect();
+    for strategy in all {
+        let params = SearchParams {
+            k: 7,
+            n_candidates: 120,
+            strategy,
+            early_stop: false,
+            ..Default::default()
+        };
+        let baseline = engine.search(&q, &params);
+        for cap in [1usize, 2, 3, 5, 32, 100] {
+            let mut scratch = ScoreBlock::with_rows(dim, cap);
+            let res = engine.run_with_scratch(SearchRequest::new(&q).params(params), &mut scratch);
+            assert_eq!(
+                res.neighbors,
+                baseline.neighbors,
+                "{} tile capacity {cap} changed the neighbors",
+                strategy.name()
+            );
+            assert_eq!(
+                res.stats.items_evaluated,
+                baseline.stats.items_evaluated,
+                "{} tile capacity {cap} changed evaluation accounting",
+                strategy.name()
+            );
+            assert!(scratch.is_empty(), "scratch must be left drained");
+        }
+    }
+}
+
+/// Filtered search produces ragged tiles (rejected ids never enter the
+/// scratch block). Sparse and dense filters must match a filtered brute
+/// force bitwise, at every tile capacity.
+#[test]
+fn filtered_ragged_tiles_match_reference() {
+    let dim = 7;
+    let data = dataset(180, dim, 3);
+    let model = Pcah::train(&data, dim, 6).unwrap();
+    let table = HashTable::build(&model, &data, dim);
+    let engine = QueryEngine::new(&model, &table, &data, dim);
+    let q: Vec<f32> = data[..dim].iter().map(|&x| x + 0.01).collect();
+
+    // Sparse (1 in 7 ids survive), modulo (1 in 3), and nearly-dense.
+    let filters: [(&str, fn(u32) -> bool); 3] = [
+        ("sparse", |id| id % 7 == 0),
+        ("thirds", |id| id % 3 != 1),
+        ("dense", |id| id != 4),
+    ];
+    for (label, accept) in filters {
+        let mut expect: Vec<(u32, f32)> = data
+            .chunks_exact(dim)
+            .enumerate()
+            .filter(|(i, _)| accept(*i as u32))
+            .map(|(i, row)| (i as u32, sq_dist_f32(&q, row)))
+            .collect();
+        expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        expect.truncate(5);
+
+        for strategy in bucket_strategies() {
+            let params = SearchParams {
+                k: 5,
+                n_candidates: usize::MAX,
+                strategy,
+                early_stop: false,
+                ..Default::default()
+            };
+            for cap in [1usize, 3, 32] {
+                let mut scratch = ScoreBlock::with_rows(dim, cap);
+                let res = engine.run_with_scratch(
+                    SearchRequest::new(&q).params(params).filter(accept),
+                    &mut scratch,
+                );
+                let mut got = res.neighbors.clone();
+                got.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+                assert_eq!(
+                    got,
+                    expect,
+                    "{} filter '{label}' capacity {cap} disagrees",
+                    strategy.name()
+                );
+                for (id, _) in &res.neighbors {
+                    assert!(accept(*id), "filtered-out id {id} leaked into results");
+                }
+            }
+        }
+    }
+}
+
+/// Buckets far smaller than one tile (n = 9 items over many buckets): the
+/// per-bucket flush must still evaluate everything and match brute force.
+#[test]
+fn buckets_smaller_than_a_tile() {
+    let dim = 5;
+    let data = dataset(9, dim, 17);
+    let model = Pcah::train(&data, dim, 4).unwrap();
+    let table = HashTable::build(&model, &data, dim);
+    let engine = QueryEngine::new(&model, &table, &data, dim);
+    let q = vec![0.1f32; dim];
+    let expect = brute_force(&data, dim, &q, 4);
+    for strategy in bucket_strategies() {
+        let params = SearchParams {
+            k: 4,
+            n_candidates: usize::MAX,
+            strategy,
+            early_stop: false,
+            ..Default::default()
+        };
+        let res = engine.search(&q, &params);
+        assert_eq!(res.neighbors, expect, "{}", strategy.name());
+        assert_eq!(res.stats.items_evaluated, 9, "{}", strategy.name());
+    }
+}

@@ -91,25 +91,30 @@ pub fn knn_single(data: &Dataset, query: &[f32], k: usize) -> Vec<u32> {
 }
 
 /// Exact k-NN for one query under an explicit metric.
+///
+/// The dataset is already one contiguous row-major tile, so the scan runs
+/// through the blocked batch kernel [`Metric::eval_batch`] (bit-identical to
+/// per-row evaluation under the same dispatched kernel).
 pub fn knn_single_metric(data: &Dataset, query: &[f32], k: usize, metric: Metric) -> Vec<u32> {
     assert_eq!(query.len(), data.dim(), "query dimensionality mismatch");
     let k = k.min(data.n());
+    let dim = data.dim();
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
-    for (id, row) in data.rows().enumerate() {
-        let dist = metric.eval(query, row);
-        if heap.len() < k {
-            heap.push(Candidate {
-                dist,
-                id: id as u32,
-            });
-        } else if let Some(top) = heap.peek() {
-            if dist < top.dist || (dist == top.dist && (id as u32) < top.id) {
-                heap.pop();
-                heap.push(Candidate {
-                    dist,
-                    id: id as u32,
-                });
+    let mut dists = vec![0.0f32; gqr_linalg::TILE_ROWS];
+    let mut id = 0u32;
+    for tile in data.as_slice().chunks(gqr_linalg::TILE_ROWS * dim) {
+        let out = &mut dists[..tile.len() / dim];
+        metric.eval_batch(query, tile, out);
+        for &dist in out.iter() {
+            if heap.len() < k {
+                heap.push(Candidate { dist, id });
+            } else if let Some(top) = heap.peek() {
+                if dist < top.dist || (dist == top.dist && id < top.id) {
+                    heap.pop();
+                    heap.push(Candidate { dist, id });
+                }
             }
+            id += 1;
         }
     }
     let mut sorted = heap.into_vec();

@@ -11,13 +11,17 @@
 //!   training-cost comparison (Table 2).
 //! * [`plot`] — ASCII recall-curve charts for terminal output.
 //! * [`report`] — CSV/Markdown/JSON emission under `results/`.
+//! * [`oracle`] — brute-force exact k-NN with `f64` accumulation, the
+//!   kernel-independent reference the golden tests pin recall against.
 
 #![warn(missing_docs)]
 pub mod curve;
 pub mod metrics;
+pub mod oracle;
 pub mod plot;
 pub mod report;
 pub mod timer;
 
 pub use curve::{recall_items_curve, recall_time_curve, time_to_recall, CurvePoint, RecallCurve};
 pub use metrics::{precision, recall};
+pub use oracle::{exact_knn, exact_knn_batch};

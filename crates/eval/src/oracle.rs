@@ -1,0 +1,74 @@
+//! Brute-force exact k-NN oracle with `f64` accumulation.
+//!
+//! Deliberately independent of the query-path distance kernels in
+//! `gqr-linalg`: distances are accumulated in `f64` over a plain loop, so
+//! this oracle does not move when the SIMD kernel layer changes. The
+//! exact-oracle golden tests pin engine recall against it to guard
+//! end-to-end result stability across kernel swaps.
+
+use std::cmp::Ordering;
+
+/// Squared Euclidean distance accumulated in `f64`.
+fn sq_dist_oracle(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Exact k-nearest-neighbour ids of `query` in row-major `data`, sorted by
+/// ascending `f64` squared Euclidean distance with ascending-id tiebreak.
+pub fn exact_knn(data: &[f32], dim: usize, query: &[f32], k: usize) -> Vec<u32> {
+    assert!(
+        dim > 0 && data.len().is_multiple_of(dim),
+        "data must be n×dim"
+    );
+    assert_eq!(query.len(), dim, "query dimensionality mismatch");
+    let mut d: Vec<(f64, u32)> = data
+        .chunks_exact(dim)
+        .enumerate()
+        .map(|(i, row)| (sq_dist_oracle(query, row), i as u32))
+        .collect();
+    d.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    d.truncate(k);
+    d.into_iter().map(|(_, i)| i).collect()
+}
+
+/// [`exact_knn`] for a batch of queries.
+pub fn exact_knn_batch(data: &[f32], dim: usize, queries: &[Vec<f32>], k: usize) -> Vec<Vec<u32>> {
+    queries.iter().map(|q| exact_knn(data, dim, q, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_line_neighbours() {
+        // 1-D points 0..10 embedded in 2-D.
+        let data: Vec<f32> = (0..10).flat_map(|i| [i as f32, 0.0]).collect();
+        assert_eq!(exact_knn(&data, 2, &[3.2, 0.0], 3), vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let data = [0.0f32, 0.0, 2.0, 0.0]; // both at distance 1 from x=1
+        assert_eq!(exact_knn(&data, 2, &[1.0, 0.0], 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let data: Vec<f32> = (0..8).flat_map(|i| [i as f32, 1.0]).collect();
+        let queries = vec![vec![0.1, 1.0], vec![6.9, 1.0]];
+        let batch = exact_knn_batch(&data, 2, &queries, 2);
+        assert_eq!(batch[0], exact_knn(&data, 2, &queries[0], 2));
+        assert_eq!(batch[1], exact_knn(&data, 2, &queries[1], 2));
+    }
+}

@@ -1,0 +1,150 @@
+//! Exact-oracle golden tests: engine results for all five probe strategies
+//! (HR, QR, GHR, GQR, MIH) are pinned against a brute-force `f64` oracle
+//! over a fixed-seed synthetic dataset. The oracle does not depend on the
+//! `gqr-linalg` kernel layer, so these tests guard end-to-end result
+//! stability across kernel swaps — run them under both auto dispatch and
+//! `GQR_FORCE_SCALAR=1` (scripts/ci.sh does both).
+
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::table::HashTable;
+use gqr_eval::metrics::recall;
+use gqr_eval::oracle::exact_knn_batch;
+use gqr_l2h::pcah::Pcah;
+
+const DIM: usize = 16;
+const N_ITEMS: usize = 600;
+const N_QUERIES: usize = 20;
+const K: usize = 10;
+const BITS: usize = 10;
+const MIH_BLOCKS: usize = 2;
+
+/// Deterministic splitmix64 stream in `[-1, 1)`.
+struct Gen(u64);
+
+impl Gen {
+    fn next_f32(&mut self) -> f32 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+    }
+}
+
+/// Fixed-seed clustered dataset: 8 well-separated centres plus small noise,
+/// and queries perturbed off dataset points — the regime where hashing is
+/// informative and recall curves are stable.
+fn fixture() -> (Vec<f32>, Vec<Vec<f32>>) {
+    let mut g = Gen(42);
+    let centres: Vec<Vec<f32>> = (0..8)
+        .map(|_| (0..DIM).map(|_| 4.0 * g.next_f32()).collect())
+        .collect();
+    let mut data = Vec::with_capacity(N_ITEMS * DIM);
+    for i in 0..N_ITEMS {
+        let c = &centres[i % centres.len()];
+        for &x in c {
+            data.push(x + 0.3 * g.next_f32());
+        }
+    }
+    let queries: Vec<Vec<f32>> = (0..N_QUERIES)
+        .map(|i| {
+            let row = &data[(i * 29) % N_ITEMS * DIM..((i * 29) % N_ITEMS + 1) * DIM];
+            row.iter().map(|&x| x + 0.1 * g.next_f32()).collect()
+        })
+        .collect();
+    (data, queries)
+}
+
+fn strategies() -> [ProbeStrategy; 5] {
+    [
+        ProbeStrategy::HammingRanking,
+        ProbeStrategy::QdRanking,
+        ProbeStrategy::GenerateHammingRanking,
+        ProbeStrategy::GenerateQdRanking,
+        ProbeStrategy::MultiIndexHashing { blocks: MIH_BLOCKS },
+    ]
+}
+
+/// With an unlimited candidate budget every strategy evaluates the whole
+/// dataset, so its top-k must match the `f64` oracle exactly (as a set —
+/// near-ties may order differently between f32 and f64 arithmetic).
+#[test]
+fn full_budget_matches_oracle_exactly() {
+    let (data, queries) = fixture();
+    let model = Pcah::train(&data, DIM, BITS).unwrap();
+    let table = HashTable::build(&model, &data, DIM);
+    let mut engine = QueryEngine::new(&model, &table, &data, DIM);
+    engine.enable_mih(MIH_BLOCKS);
+    let truth = exact_knn_batch(&data, DIM, &queries, K);
+
+    for strategy in strategies() {
+        let params = SearchParams {
+            k: K,
+            n_candidates: usize::MAX,
+            strategy,
+            early_stop: false,
+            ..Default::default()
+        };
+        for (q, t) in queries.iter().zip(&truth) {
+            let res = engine.search(q, &params);
+            let mut got: Vec<u32> = res.neighbors.iter().map(|&(id, _)| id).collect();
+            let mut want = t.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(
+                got,
+                want,
+                "full-budget {} disagrees with the oracle",
+                strategy.name()
+            );
+        }
+    }
+}
+
+/// Budget-limited recall@10, pinned per strategy. The floors are set below
+/// the observed values with margin for kernel-level float reassociation
+/// (scalar vs AVX2), but high enough that a probing or evaluation regression
+/// trips them.
+#[test]
+fn budgeted_recall_is_pinned() {
+    let (data, queries) = fixture();
+    let model = Pcah::train(&data, DIM, BITS).unwrap();
+    let table = HashTable::build(&model, &data, DIM);
+    let mut engine = QueryEngine::new(&model, &table, &data, DIM);
+    engine.enable_mih(MIH_BLOCKS);
+    let truth = exact_knn_batch(&data, DIM, &queries, K);
+
+    // (strategy, recall floor at n_candidates = 150 of 600)
+    let floors = [
+        (ProbeStrategy::HammingRanking, 0.85),
+        (ProbeStrategy::QdRanking, 0.90),
+        (ProbeStrategy::GenerateHammingRanking, 0.85),
+        (ProbeStrategy::GenerateQdRanking, 0.90),
+        (
+            ProbeStrategy::MultiIndexHashing { blocks: MIH_BLOCKS },
+            0.80,
+        ),
+    ];
+    for (strategy, floor) in floors {
+        let params = SearchParams {
+            k: K,
+            n_candidates: 150,
+            strategy,
+            early_stop: false,
+            ..Default::default()
+        };
+        let mut acc = 0.0;
+        for (q, t) in queries.iter().zip(&truth) {
+            let res = engine.search(q, &params);
+            let got: Vec<u32> = res.neighbors.iter().map(|&(id, _)| id).collect();
+            acc += recall(&got, t);
+        }
+        let mean = acc / queries.len() as f64;
+        assert!(
+            mean >= floor,
+            "{} recall@10 regressed: {mean:.3} < {floor}",
+            strategy.name()
+        );
+    }
+}

@@ -135,14 +135,27 @@ mod tests {
 
     #[test]
     fn similar_items_share_more_bits_than_distant_ones() {
+        // LSH is probabilistic: any single draw of hyperplanes can order one
+        // (near, far) pair wrong. Aggregate over several seeds so the test
+        // asserts the *property* (closer points collide more) rather than
+        // the luck of one draw — this also keeps it robust under simplified
+        // RNG implementations in offline CI images.
         let data = ring_data(10, 8);
-        let lsh = Lsh::train(&data, 8, 32, 5).unwrap();
         let a = [1.0f32; 8];
         let mut near = [1.0f32; 8];
         near[0] = 1.05;
         let far: [f32; 8] = [-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0];
         let ham = |x: u64, y: u64| (x ^ y).count_ones();
-        assert!(ham(lsh.encode(&a), lsh.encode(&near)) < ham(lsh.encode(&a), lsh.encode(&far)));
+        let (mut near_total, mut far_total) = (0u32, 0u32);
+        for seed in 1..=9 {
+            let lsh = Lsh::train(&data, 8, 32, seed).unwrap();
+            near_total += ham(lsh.encode(&a), lsh.encode(&near));
+            far_total += ham(lsh.encode(&a), lsh.encode(&far));
+        }
+        assert!(
+            near_total < far_total,
+            "near point must share more bits on aggregate: near {near_total}, far {far_total}"
+        );
     }
 
     #[test]

@@ -1,0 +1,859 @@
+//! Runtime-dispatched SIMD distance kernels and blocked tile evaluation.
+//!
+//! The exact re-rank loop is where ANN query time goes once probing has
+//! ordered the buckets (the paper's §6 timings are dominated by it on
+//! GIST-960). This module supplies that hot path:
+//!
+//! * **Row kernels** — [`sq_dist_f32`], [`dot_f32`], [`angular_dist_f32`]:
+//!   one query row against one item row, dispatched at runtime to an
+//!   AVX2+FMA implementation when the CPU supports it (checked once via
+//!   `is_x86_feature_detected!`), falling back to the unrolled scalar code
+//!   otherwise. Setting `GQR_FORCE_SCALAR=1` in the environment pins the
+//!   scalar path regardless of CPU features.
+//! * **Batch kernels** — [`sq_dist_batch`], [`dot_batch`],
+//!   [`angular_dist_batch`]: one query against a *contiguous row-major tile*
+//!   of items. The AVX2 path scores four rows per iteration with one shared
+//!   query load and independent accumulator chains per row (register
+//!   blocking), which is what actually saturates the FMA ports — a single
+//!   row's accumulation is latency-bound.
+//! * **[`ScoreBlock`]** — a reusable gather-then-score scratch tile:
+//!   consumers copy bucket candidates (possibly ragged, after filtering)
+//!   into the block and flush it through the batch kernels, amortizing
+//!   bounds checks and per-row call overhead.
+//!
+//! # Determinism contract
+//!
+//! Within one kernel (scalar *or* AVX2), the batch kernels are **bit
+//! identical** to the corresponding row kernel applied row by row: the
+//! four-row register-blocked loop gives every row the same accumulator
+//! count, chunk order, horizontal-reduction sequence, and scalar tail as
+//! the single-row kernel. Equivalence between the scalar and AVX2 kernels
+//! is only approximate (float addition is reassociated across lanes); the
+//! kernel-equivalence test suite bounds the difference by a
+//! dimension-scaled epsilon.
+
+use crate::vecops::Metric;
+use std::sync::OnceLock;
+
+/// Which kernel implementation the dispatcher selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelKind {
+    /// AVX2 + FMA intrinsics (x86-64, runtime-detected).
+    Avx2Fma,
+    /// Portable unrolled scalar code.
+    Scalar,
+}
+
+impl KernelKind {
+    /// Stable label used in metrics and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::Avx2Fma => "avx2_fma",
+            KernelKind::Scalar => "scalar",
+        }
+    }
+}
+
+/// The kernel selected for this process: AVX2+FMA when the CPU supports
+/// both and `GQR_FORCE_SCALAR` is unset (or set to `0`/empty), scalar
+/// otherwise. Decided once on first use and cached.
+pub fn active_kernel() -> KernelKind {
+    static KIND: OnceLock<KernelKind> = OnceLock::new();
+    *KIND.get_or_init(|| {
+        if force_scalar_requested() {
+            return KernelKind::Scalar;
+        }
+        detect_simd()
+    })
+}
+
+/// Whether the environment asks for the scalar fallback
+/// (`GQR_FORCE_SCALAR` set to anything but `0` or the empty string).
+pub fn force_scalar_requested() -> bool {
+    match std::env::var("GQR_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// CPU capability check, independent of the environment override.
+#[cfg(target_arch = "x86_64")]
+fn detect_simd() -> KernelKind {
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        KernelKind::Avx2Fma
+    } else {
+        KernelKind::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_simd() -> KernelKind {
+    KernelKind::Scalar
+}
+
+/// Stable label of the active kernel (`"avx2_fma"` or `"scalar"`), for the
+/// `gqr_kernel_dispatch` info metric.
+pub fn kernel_name() -> &'static str {
+    active_kernel().name()
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched row kernels
+// ---------------------------------------------------------------------------
+
+/// Squared Euclidean distance between two `f32` rows (dispatched).
+#[inline]
+pub fn sq_dist_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => unsafe { avx2::sq_dist(a, b) },
+        _ => scalar::sq_dist(a, b),
+    }
+}
+
+/// Dot product of two `f32` rows (dispatched).
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => unsafe { avx2::dot(a, b) },
+        _ => scalar::dot(a, b),
+    }
+}
+
+/// Angular distance `1 − cos(a, b)` in `[0, 2]` (dispatched). Zero-norm
+/// inputs yield 1 (treated as orthogonal to everything).
+#[inline]
+pub fn angular_dist_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let (dot, na, nb) = match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => unsafe { avx2::angular_parts(a, b) },
+        _ => scalar::angular_parts(a, b),
+    };
+    angular_from_parts(dot, na, nb)
+}
+
+/// Final angular combine, shared by every path so row and batch kernels
+/// agree bitwise.
+#[inline]
+fn angular_from_parts(dot: f32, na: f32, nb: f32) -> f32 {
+    let denom = (na * nb).sqrt();
+    if denom <= 0.0 {
+        return 1.0;
+    }
+    1.0 - dot / denom
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched batch kernels (contiguous row-major tiles)
+// ---------------------------------------------------------------------------
+
+/// Squared Euclidean distance from `q` to every row of a contiguous
+/// row-major tile. `rows.len()` must equal `q.len() * out.len()`; `out[i]`
+/// receives the distance to row `i`. Bit-identical to calling
+/// [`sq_dist_f32`] per row under the same dispatched kernel.
+pub fn sq_dist_batch(q: &[f32], rows: &[f32], out: &mut [f32]) {
+    assert_eq!(rows.len(), q.len() * out.len(), "tile must be n×dim");
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => unsafe { avx2::sq_dist_batch(q, rows, out) },
+        _ => {
+            for (row, d) in rows.chunks_exact(q.len()).zip(out.iter_mut()) {
+                *d = scalar::sq_dist(q, row);
+            }
+        }
+    }
+}
+
+/// Dot product of `q` with every row of a contiguous tile (see
+/// [`sq_dist_batch`] for the layout contract).
+pub fn dot_batch(q: &[f32], rows: &[f32], out: &mut [f32]) {
+    assert_eq!(rows.len(), q.len() * out.len(), "tile must be n×dim");
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => unsafe { avx2::dot_batch(q, rows, out) },
+        _ => {
+            for (row, d) in rows.chunks_exact(q.len()).zip(out.iter_mut()) {
+                *d = scalar::dot(q, row);
+            }
+        }
+    }
+}
+
+/// Angular distance from `q` to every row of a contiguous tile. The query
+/// norm is reduced once and reused — the reduction sequence matches the row
+/// kernel's, so results stay bit-identical to per-row [`angular_dist_f32`].
+pub fn angular_dist_batch(q: &[f32], rows: &[f32], out: &mut [f32]) {
+    assert_eq!(rows.len(), q.len() * out.len(), "tile must be n×dim");
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => unsafe { avx2::angular_batch(q, rows, out) },
+        _ => {
+            let na = scalar::norm_sq(q);
+            for (row, d) in rows.chunks_exact(q.len()).zip(out.iter_mut()) {
+                let (dot, nb) = scalar::dot_and_norm_sq(q, row);
+                *d = angular_from_parts(dot, na, nb);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ScoreBlock: gather-then-score scratch tile
+// ---------------------------------------------------------------------------
+
+/// Default tile height (rows gathered before a flush). 32 rows of GIST-960
+/// is ~120 KiB — streamed once, scored while cache-hot.
+pub const TILE_ROWS: usize = 32;
+
+/// A reusable gather-then-score tile.
+///
+/// Hot consumers (the engine's Evaluate phase, MPLSH candidate evaluation,
+/// the OPQ+IMI re-rank) copy candidate rows into the block — possibly
+/// skipping filtered ids, so tiles may be ragged — and [`flush`] scores the
+/// whole tile through the dispatched batch kernel. The buffers are reused
+/// across buckets and (via the batch path) across queries, so steady-state
+/// evaluation performs no allocation.
+///
+/// [`flush`]: ScoreBlock::flush
+#[derive(Clone, Debug)]
+pub struct ScoreBlock {
+    dim: usize,
+    max_rows: usize,
+    ids: Vec<u32>,
+    rows: Vec<f32>,
+    dists: Vec<f32>,
+}
+
+impl ScoreBlock {
+    /// A block for `dim`-dimensional rows with the default tile height.
+    pub fn new(dim: usize) -> ScoreBlock {
+        ScoreBlock::with_rows(dim, TILE_ROWS)
+    }
+
+    /// A block holding up to `max_rows` rows per tile.
+    pub fn with_rows(dim: usize, max_rows: usize) -> ScoreBlock {
+        assert!(dim > 0, "rows must have at least one dimension");
+        assert!(max_rows > 0, "tile must hold at least one row");
+        ScoreBlock {
+            dim,
+            max_rows,
+            ids: Vec::with_capacity(max_rows),
+            rows: Vec::with_capacity(max_rows * dim),
+            dists: vec![0.0; max_rows],
+        }
+    }
+
+    /// Row dimensionality this block was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Rows currently gathered.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the tile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Whether the tile is full (a push would overflow — flush first).
+    pub fn is_full(&self) -> bool {
+        self.ids.len() == self.max_rows
+    }
+
+    /// Maximum rows per tile.
+    pub fn capacity(&self) -> usize {
+        self.max_rows
+    }
+
+    /// Re-target the block to a different dimensionality, clearing any
+    /// gathered rows. No-op (beyond the clear) when `dim` already matches;
+    /// lets one scratch block serve engines over different datasets.
+    pub fn ensure_dim(&mut self, dim: usize) {
+        assert!(dim > 0, "rows must have at least one dimension");
+        self.clear();
+        if self.dim != dim {
+            self.dim = dim;
+            self.rows.clear();
+            self.rows.reserve(self.max_rows * dim);
+        }
+    }
+
+    /// Drop gathered rows without scoring them.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.rows.clear();
+    }
+
+    /// Gather one candidate row. Panics if the tile is full (callers flush
+    /// on [`ScoreBlock::is_full`]) or the row has the wrong dimensionality.
+    #[inline]
+    pub fn push(&mut self, id: u32, row: &[f32]) {
+        assert!(!self.is_full(), "tile full: flush before pushing");
+        assert_eq!(row.len(), self.dim, "row dimensionality mismatch");
+        self.ids.push(id);
+        self.rows.extend_from_slice(row);
+    }
+
+    /// Score every gathered row against `query` under `metric`, invoke
+    /// `sink(id, distance)` in push order, clear the tile, and return the
+    /// number of rows scored.
+    pub fn flush(
+        &mut self,
+        query: &[f32],
+        metric: Metric,
+        mut sink: impl FnMut(u32, f32),
+    ) -> usize {
+        let n = self.ids.len();
+        if n == 0 {
+            return 0;
+        }
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        let out = &mut self.dists[..n];
+        match metric {
+            Metric::SquaredEuclidean => sq_dist_batch(query, &self.rows, out),
+            Metric::Angular => angular_dist_batch(query, &self.rows, out),
+        }
+        for (&id, &d) in self.ids.iter().zip(out.iter()) {
+            sink(id, d);
+        }
+        self.clear();
+        n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels (the fallback, and the reference for equivalence tests)
+// ---------------------------------------------------------------------------
+
+/// Portable scalar implementations. Public so the kernel-equivalence suite
+/// can compare the dispatched kernels against this reference in the same
+/// process, independent of `GQR_FORCE_SCALAR`.
+pub mod scalar {
+    /// Squared Euclidean distance, unrolled over four independent
+    /// accumulators (the pre-SIMD hot kernel, kept bit-for-bit).
+    #[inline]
+    pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc0 = 0.0f32;
+        let mut acc1 = 0.0f32;
+        let mut acc2 = 0.0f32;
+        let mut acc3 = 0.0f32;
+        let mut chunks_a = a.chunks_exact(4);
+        let mut chunks_b = b.chunks_exact(4);
+        for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+            let d0 = ca[0] - cb[0];
+            let d1 = ca[1] - cb[1];
+            let d2 = ca[2] - cb[2];
+            let d3 = ca[3] - cb[3];
+            acc0 += d0 * d0;
+            acc1 += d1 * d1;
+            acc2 += d2 * d2;
+            acc3 += d3 * d3;
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+            let d = x - y;
+            tail += d * d;
+        }
+        acc0 + acc1 + acc2 + acc3 + tail
+    }
+
+    /// Dot product, unrolled over four independent accumulators.
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc0 = 0.0f32;
+        let mut acc1 = 0.0f32;
+        let mut acc2 = 0.0f32;
+        let mut acc3 = 0.0f32;
+        let mut chunks_a = a.chunks_exact(4);
+        let mut chunks_b = b.chunks_exact(4);
+        for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+            acc0 += ca[0] * cb[0];
+            acc1 += ca[1] * cb[1];
+            acc2 += ca[2] * cb[2];
+            acc3 += ca[3] * cb[3];
+        }
+        let mut tail = 0.0f32;
+        for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+            tail += x * y;
+        }
+        acc0 + acc1 + acc2 + acc3 + tail
+    }
+
+    /// The three angular reductions in one pass: `(a·b, ‖a‖², ‖b‖²)`
+    /// (single accumulator each — the pre-SIMD angular kernel, kept
+    /// bit-for-bit).
+    #[inline]
+    pub fn angular_parts(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+        debug_assert_eq!(a.len(), b.len());
+        let mut dot = 0.0f32;
+        let mut na = 0.0f32;
+        let mut nb = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        (dot, na, nb)
+    }
+
+    /// Angular distance from the scalar reductions.
+    #[inline]
+    pub fn angular_dist(a: &[f32], b: &[f32]) -> f32 {
+        let (dot, na, nb) = angular_parts(a, b);
+        super::angular_from_parts(dot, na, nb)
+    }
+
+    /// `‖a‖²` with the same accumulation sequence `angular_parts` uses for
+    /// its `na` reduction, so batch callers can hoist the query norm
+    /// without changing results.
+    #[inline]
+    pub(super) fn norm_sq(a: &[f32]) -> f32 {
+        let mut na = 0.0f32;
+        for &x in a {
+            na += x * x;
+        }
+        na
+    }
+
+    /// `(a·b, ‖b‖²)` with the sequences `angular_parts` uses for `dot` and
+    /// `nb`.
+    #[inline]
+    pub(super) fn dot_and_norm_sq(a: &[f32], b: &[f32]) -> (f32, f32) {
+        let mut dot = 0.0f32;
+        let mut nb = 0.0f32;
+        for (&x, &y) in a.iter().zip(b) {
+            dot += x * y;
+            nb += y * y;
+        }
+        (dot, nb)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels
+// ---------------------------------------------------------------------------
+
+/// AVX2+FMA implementations. Safety: every function is
+/// `#[target_feature(enable = "avx2", enable = "fma")]` and must only be
+/// called after `is_x86_feature_detected!` confirmed both features (the
+/// dispatcher guarantees this).
+///
+/// Layout of every reduction: two 8-lane accumulators over 16-element
+/// chunks, then one 8-lane chunk if ≥8 elements remain, then a scalar tail
+/// — the *same* sequence in the row kernels and the four-row blocked
+/// kernels, which is what makes batch results bit-identical to row-by-row
+/// calls.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of one 256-bit accumulator, fixed reduction order.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let shuf = _mm_movehdup_ps(s);
+        let sums = _mm_add_ps(s, shuf);
+        let shuf = _mm_movehl_ps(shuf, sums);
+        let sums = _mm_add_ss(sums, shuf);
+        _mm_cvtss_f32(sums)
+    }
+
+    /// One row's squared-distance accumulation: vector part into two
+    /// accumulators plus the 8-lane overflow chunk, scalar tail appended
+    /// after the horizontal reduction.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn sq_dist_row(a: *const f32, b: *const f32, n: usize) -> f32 {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let o = i * 16;
+            let d0 = _mm256_sub_ps(_mm256_loadu_ps(a.add(o)), _mm256_loadu_ps(b.add(o)));
+            let d1 = _mm256_sub_ps(_mm256_loadu_ps(a.add(o + 8)), _mm256_loadu_ps(b.add(o + 8)));
+            acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+            acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+        }
+        let mut done = chunks * 16;
+        if n - done >= 8 {
+            let d = _mm256_sub_ps(_mm256_loadu_ps(a.add(done)), _mm256_loadu_ps(b.add(done)));
+            acc0 = _mm256_fmadd_ps(d, d, acc0);
+            done += 8;
+        }
+        let mut sum = hsum(_mm256_add_ps(acc0, acc1));
+        for i in done..n {
+            let d = *a.add(i) - *b.add(i);
+            sum = d.mul_add(d, sum);
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+        sq_dist_row(a.as_ptr(), b.as_ptr(), a.len())
+    }
+
+    /// Four rows against one query: one shared query load per chunk, eight
+    /// independent accumulator chains (two per row) — the register-blocked
+    /// inner loop of the Evaluate phase.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn sq_dist_rows4(
+        q: *const f32,
+        rows: [*const f32; 4],
+        n: usize,
+        out: &mut [f32],
+        base: usize,
+    ) {
+        let mut acc0 = [_mm256_setzero_ps(); 4];
+        let mut acc1 = [_mm256_setzero_ps(); 4];
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let o = i * 16;
+            let q0 = _mm256_loadu_ps(q.add(o));
+            let q1 = _mm256_loadu_ps(q.add(o + 8));
+            for (r, &row) in rows.iter().enumerate() {
+                let d0 = _mm256_sub_ps(q0, _mm256_loadu_ps(row.add(o)));
+                let d1 = _mm256_sub_ps(q1, _mm256_loadu_ps(row.add(o + 8)));
+                acc0[r] = _mm256_fmadd_ps(d0, d0, acc0[r]);
+                acc1[r] = _mm256_fmadd_ps(d1, d1, acc1[r]);
+            }
+        }
+        let mut done = chunks * 16;
+        if n - done >= 8 {
+            let q0 = _mm256_loadu_ps(q.add(done));
+            for (r, &row) in rows.iter().enumerate() {
+                let d = _mm256_sub_ps(q0, _mm256_loadu_ps(row.add(done)));
+                acc0[r] = _mm256_fmadd_ps(d, d, acc0[r]);
+            }
+            done += 8;
+        }
+        for (r, &row) in rows.iter().enumerate() {
+            let mut sum = hsum(_mm256_add_ps(acc0[r], acc1[r]));
+            for i in done..n {
+                let d = *q.add(i) - *row.add(i);
+                sum = d.mul_add(d, sum);
+            }
+            out[base + r] = sum;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sq_dist_batch(q: &[f32], rows: &[f32], out: &mut [f32]) {
+        let n = q.len();
+        let qp = q.as_ptr();
+        let rp = rows.as_ptr();
+        let blocks = out.len() / 4;
+        for blk in 0..blocks {
+            let b = blk * 4;
+            sq_dist_rows4(
+                qp,
+                [
+                    rp.add(b * n),
+                    rp.add((b + 1) * n),
+                    rp.add((b + 2) * n),
+                    rp.add((b + 3) * n),
+                ],
+                n,
+                out,
+                b,
+            );
+        }
+        for (r, o) in out.iter_mut().enumerate().skip(blocks * 4) {
+            *o = sq_dist_row(qp, rp.add(r * n), n);
+        }
+    }
+
+    /// One row's dot-product accumulation (same chunking as
+    /// [`sq_dist_row`]).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_row(a: *const f32, b: *const f32, n: usize) -> f32 {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let o = i * 16;
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(o)), _mm256_loadu_ps(b.add(o)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(o + 8)),
+                _mm256_loadu_ps(b.add(o + 8)),
+                acc1,
+            );
+        }
+        let mut done = chunks * 16;
+        if n - done >= 8 {
+            acc0 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(done)),
+                _mm256_loadu_ps(b.add(done)),
+                acc0,
+            );
+            done += 8;
+        }
+        let mut sum = hsum(_mm256_add_ps(acc0, acc1));
+        for i in done..n {
+            sum = (*a.add(i)).mul_add(*b.add(i), sum);
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        dot_row(a.as_ptr(), b.as_ptr(), a.len())
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot_batch(q: &[f32], rows: &[f32], out: &mut [f32]) {
+        let n = q.len();
+        for (r, d) in out.iter_mut().enumerate() {
+            *d = dot_row(q.as_ptr(), rows.as_ptr().add(r * n), n);
+        }
+    }
+
+    /// The three angular reductions `(a·b, ‖a‖², ‖b‖²)`, each with its own
+    /// accumulator pair over the shared chunk order.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn angular_parts(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+        let n = a.len();
+        let (dot, nb) = dot_and_norm_sq_row(a.as_ptr(), b.as_ptr(), n);
+        let na = norm_sq_row(a.as_ptr(), n);
+        (dot, na, nb)
+    }
+
+    /// `‖a‖²` (single row; own accumulator pair, shared chunk order).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn norm_sq_row(a: *const f32, n: usize) -> f32 {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let o = i * 16;
+            let x0 = _mm256_loadu_ps(a.add(o));
+            let x1 = _mm256_loadu_ps(a.add(o + 8));
+            acc0 = _mm256_fmadd_ps(x0, x0, acc0);
+            acc1 = _mm256_fmadd_ps(x1, x1, acc1);
+        }
+        let mut done = chunks * 16;
+        if n - done >= 8 {
+            let x = _mm256_loadu_ps(a.add(done));
+            acc0 = _mm256_fmadd_ps(x, x, acc0);
+            done += 8;
+        }
+        let mut sum = hsum(_mm256_add_ps(acc0, acc1));
+        for i in done..n {
+            sum = (*a.add(i)).mul_add(*a.add(i), sum);
+        }
+        sum
+    }
+
+    /// `(a·b, ‖b‖²)` in one pass (shared loads of `b`).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_and_norm_sq_row(a: *const f32, b: *const f32, n: usize) -> (f32, f32) {
+        let mut d0 = _mm256_setzero_ps();
+        let mut d1 = _mm256_setzero_ps();
+        let mut n0 = _mm256_setzero_ps();
+        let mut n1 = _mm256_setzero_ps();
+        let chunks = n / 16;
+        for i in 0..chunks {
+            let o = i * 16;
+            let a0 = _mm256_loadu_ps(a.add(o));
+            let a1 = _mm256_loadu_ps(a.add(o + 8));
+            let b0 = _mm256_loadu_ps(b.add(o));
+            let b1 = _mm256_loadu_ps(b.add(o + 8));
+            d0 = _mm256_fmadd_ps(a0, b0, d0);
+            d1 = _mm256_fmadd_ps(a1, b1, d1);
+            n0 = _mm256_fmadd_ps(b0, b0, n0);
+            n1 = _mm256_fmadd_ps(b1, b1, n1);
+        }
+        let mut done = chunks * 16;
+        if n - done >= 8 {
+            let a0 = _mm256_loadu_ps(a.add(done));
+            let b0 = _mm256_loadu_ps(b.add(done));
+            d0 = _mm256_fmadd_ps(a0, b0, d0);
+            n0 = _mm256_fmadd_ps(b0, b0, n0);
+            done += 8;
+        }
+        let mut dot = hsum(_mm256_add_ps(d0, d1));
+        let mut nb = hsum(_mm256_add_ps(n0, n1));
+        for i in done..n {
+            dot = (*a.add(i)).mul_add(*b.add(i), dot);
+            nb = (*b.add(i)).mul_add(*b.add(i), nb);
+        }
+        (dot, nb)
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn angular_batch(q: &[f32], rows: &[f32], out: &mut [f32]) {
+        let n = q.len();
+        let na = norm_sq_row(q.as_ptr(), n);
+        for (r, d) in out.iter_mut().enumerate() {
+            let (dot, nb) = dot_and_norm_sq_row(q.as_ptr(), rows.as_ptr().add(r * n), n);
+            *d = super::angular_from_parts(dot, na, nb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(len: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        // Deterministic splitmix64-derived values in [-2, 2).
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        let mut next = move || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z >> 40) as f32 / (1u64 << 22) as f32 - 2.0
+        };
+        let a: Vec<f32> = (0..len).map(|_| next()).collect();
+        let b: Vec<f32> = (0..len).map(|_| next()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn dispatch_is_stable_and_named() {
+        let k = active_kernel();
+        assert_eq!(k, active_kernel(), "dispatch must be cached");
+        assert!(matches!(k.name(), "avx2_fma" | "scalar"));
+        assert_eq!(kernel_name(), k.name());
+        if force_scalar_requested() {
+            assert_eq!(k, KernelKind::Scalar);
+        }
+    }
+
+    #[test]
+    fn dispatched_matches_scalar_closely() {
+        for len in [1usize, 3, 7, 8, 15, 16, 17, 31, 64, 127, 960] {
+            let (a, b) = vecs(len, len as u64);
+            let tol = (len as f32 + 8.0) * f32::EPSILON * 64.0;
+            let s = scalar::sq_dist(&a, &b);
+            assert!(
+                (sq_dist_f32(&a, &b) - s).abs() <= tol * s.max(1.0),
+                "sq_dist len {len}"
+            );
+            let sd = scalar::dot(&a, &b);
+            assert!(
+                (dot_f32(&a, &b) - sd).abs() <= tol * sd.abs().max(1.0),
+                "dot len {len}"
+            );
+            let sa = scalar::angular_dist(&a, &b);
+            assert!(
+                (angular_dist_f32(&a, &b) - sa).abs() <= 1e-4,
+                "angular len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_bit_identical_to_row_kernel() {
+        for len in [1usize, 5, 8, 16, 23, 128, 960] {
+            let (q, _) = vecs(len, 7);
+            let n_rows = 9; // exercises the 4-row blocks and the remainder
+            let mut rows = Vec::with_capacity(n_rows * len);
+            for r in 0..n_rows {
+                rows.extend_from_slice(&vecs(len, 100 + r as u64).0);
+            }
+            let mut out = vec![0.0f32; n_rows];
+            sq_dist_batch(&q, &rows, &mut out);
+            for (r, row) in rows.chunks_exact(len).enumerate() {
+                assert_eq!(
+                    out[r].to_bits(),
+                    sq_dist_f32(&q, row).to_bits(),
+                    "sq_dist row {r} len {len}"
+                );
+            }
+            dot_batch(&q, &rows, &mut out);
+            for (r, row) in rows.chunks_exact(len).enumerate() {
+                assert_eq!(
+                    out[r].to_bits(),
+                    dot_f32(&q, row).to_bits(),
+                    "dot row {r} len {len}"
+                );
+            }
+            angular_dist_batch(&q, &rows, &mut out);
+            for (r, row) in rows.chunks_exact(len).enumerate() {
+                assert_eq!(
+                    out[r].to_bits(),
+                    angular_dist_f32(&q, row).to_bits(),
+                    "angular row {r} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_block_gathers_and_scores_in_push_order() {
+        let dim = 13;
+        let (q, _) = vecs(dim, 1);
+        let mut block = ScoreBlock::with_rows(dim, 4);
+        assert!(block.is_empty());
+        let rows: Vec<Vec<f32>> = (0..6).map(|r| vecs(dim, 50 + r).0).collect();
+        let mut got = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            if block.is_full() {
+                block.flush(&q, Metric::SquaredEuclidean, |id, d| got.push((id, d)));
+            }
+            block.push(10 * i as u32, row);
+        }
+        let flushed = block.flush(&q, Metric::SquaredEuclidean, |id, d| got.push((id, d)));
+        assert_eq!(flushed, 2, "ragged final tile");
+        assert!(block.is_empty());
+        assert_eq!(got.len(), 6);
+        for (i, (id, d)) in got.iter().enumerate() {
+            assert_eq!(*id, 10 * i as u32);
+            assert_eq!(d.to_bits(), sq_dist_f32(&q, &rows[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn score_block_ensure_dim_retargets() {
+        let mut block = ScoreBlock::new(8);
+        block.push(1, &[0.0; 8]);
+        block.ensure_dim(3);
+        assert!(block.is_empty());
+        assert_eq!(block.dim(), 3);
+        block.push(2, &[1.0, 2.0, 3.0]);
+        let mut n = 0;
+        block.flush(&[0.0, 0.0, 0.0], Metric::SquaredEuclidean, |id, d| {
+            assert_eq!(id, 2);
+            assert_eq!(d, 14.0);
+            n += 1;
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn empty_flush_is_noop() {
+        let mut block = ScoreBlock::new(4);
+        let n = block.flush(&[0.0; 4], Metric::SquaredEuclidean, |_, _| {
+            panic!("no rows to score")
+        });
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn angular_batch_zero_norm_convention() {
+        let q = [0.0f32, 0.0];
+        let rows = [1.0f32, 2.0, 0.0, 0.0];
+        let mut out = [0.0f32; 2];
+        angular_dist_batch(&q, &rows, &mut out);
+        assert_eq!(out, [1.0, 1.0], "zero query is orthogonal to everything");
+    }
+}

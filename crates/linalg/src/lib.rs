@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 pub mod eigen;
+pub mod kernels;
 pub mod matrix;
 pub mod pca;
 pub mod qr;
@@ -35,6 +36,9 @@ pub mod svd;
 pub mod vecops;
 
 pub use eigen::{symmetric_eigen, Eigen};
+pub use kernels::{
+    angular_dist_batch, dot_batch, kernel_name, sq_dist_batch, ScoreBlock, TILE_ROWS,
+};
 pub use matrix::Matrix;
 pub use pca::Pca;
 pub use qr::{qr, random_orthonormal, random_rotation};

@@ -56,33 +56,14 @@ pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
 /// Squared Euclidean distance for the `f32` item vectors used at query time.
 ///
 /// Accumulates in `f32`; this is the hot exact re-rank kernel and matches how
-/// ANN systems (FAISS, the paper's C++ release) evaluate candidates.
-#[inline]
-pub fn sq_dist_f32(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc0 = 0.0f32;
-    let mut acc1 = 0.0f32;
-    let mut acc2 = 0.0f32;
-    let mut acc3 = 0.0f32;
-    let mut chunks_a = a.chunks_exact(4);
-    let mut chunks_b = b.chunks_exact(4);
-    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
-        let d0 = ca[0] - cb[0];
-        let d1 = ca[1] - cb[1];
-        let d2 = ca[2] - cb[2];
-        let d3 = ca[3] - cb[3];
-        acc0 += d0 * d0;
-        acc1 += d1 * d1;
-        acc2 += d2 * d2;
-        acc3 += d3 * d3;
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        let d = x - y;
-        tail += d * d;
-    }
-    acc0 + acc1 + acc2 + acc3 + tail
-}
+/// ANN systems (FAISS, the paper's C++ release) evaluate candidates. Since
+/// the kernel-layer refactor this dispatches at runtime to the best
+/// implementation for the host CPU — see [`crate::kernels`] for the
+/// dispatch rules, the batch variants, and the `GQR_FORCE_SCALAR` override.
+pub use crate::kernels::sq_dist_f32;
+
+/// Dot product over `f32` rows, runtime-dispatched (see [`crate::kernels`]).
+pub use crate::kernels::dot_f32;
 
 /// Distance metric used for exact candidate evaluation and ground truth.
 ///
@@ -109,26 +90,22 @@ impl Metric {
             Metric::Angular => angular_dist_f32(a, b),
         }
     }
+
+    /// Evaluate the metric between one query and a tile of contiguous rows
+    /// (`rows.len() == q.len() * out.len()`). Bit-identical to calling
+    /// [`Metric::eval`] per row under the same dispatched kernel.
+    #[inline]
+    pub fn eval_batch(&self, q: &[f32], rows: &[f32], out: &mut [f32]) {
+        match self {
+            Metric::SquaredEuclidean => crate::kernels::sq_dist_batch(q, rows, out),
+            Metric::Angular => crate::kernels::angular_dist_batch(q, rows, out),
+        }
+    }
 }
 
 /// Angular distance `1 − cos(a, b)`, in `[0, 2]`. Zero-norm inputs yield 1.
-#[inline]
-pub fn angular_dist_f32(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut dot = 0.0f32;
-    let mut na = 0.0f32;
-    let mut nb = 0.0f32;
-    for (&x, &y) in a.iter().zip(b) {
-        dot += x * y;
-        na += x * x;
-        nb += y * y;
-    }
-    let denom = (na * nb).sqrt();
-    if denom <= 0.0 {
-        return 1.0;
-    }
-    1.0 - dot / denom
-}
+/// Runtime-dispatched (see [`crate::kernels`]).
+pub use crate::kernels::angular_dist_f32;
 
 /// Mean of a set of rows, each of dimension `dim`.
 pub fn mean_rows(rows: &[f32], dim: usize) -> Vec<f64> {

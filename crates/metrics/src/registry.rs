@@ -78,6 +78,25 @@ impl MetricsRegistry {
         self.add(name, 1);
     }
 
+    /// Set the named counter to an absolute value (idempotent — used for
+    /// info-style metrics like `gqr_kernel_dispatch{kernel="avx2_fma"}`,
+    /// where the value is a constant `1` and only the label carries
+    /// information).
+    pub fn set(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(c) = inner.counters.read().get(name) {
+                c.store(value, Ordering::Relaxed);
+                return;
+            }
+            inner
+                .counters
+                .write()
+                .entry(name.to_string())
+                .or_default()
+                .store(value, Ordering::Relaxed);
+        }
+    }
+
     /// Current value of a counter, if it exists (always `None` when
     /// disabled).
     pub fn counter_value(&self, name: &str) -> Option<u64> {
@@ -210,6 +229,18 @@ mod tests {
         let h = m.histogram("lat").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.sum(), 40);
+    }
+
+    #[test]
+    fn set_is_absolute_and_idempotent() {
+        let m = MetricsRegistry::enabled();
+        m.set("info", 1);
+        m.set("info", 1);
+        assert_eq!(m.counter_value("info"), Some(1));
+        m.add("info", 2);
+        m.set("info", 1);
+        assert_eq!(m.counter_value("info"), Some(1));
+        MetricsRegistry::disabled().set("info", 1); // no-op, no panic
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The Multi-Probe LSH index: `L` E2LSH tables with query-directed probing.
 
 use crate::probing::{PerturbationSequence, QueryProjection};
+use gqr_linalg::kernels::ScoreBlock;
 use gqr_linalg::qr::gaussian;
-use gqr_linalg::vecops::sq_dist_f32;
+use gqr_linalg::vecops::{sq_dist_f32, Metric};
 use gqr_linalg::Matrix;
 use gqr_metrics::{MetricsRegistry, Phase, PhaseSpans};
 use rand::{Rng, SeedableRng};
@@ -218,6 +219,7 @@ impl MpLshIndex {
 
         let mut visited = vec![false; self.n_items];
         let mut best: Vec<(u32, f32)> = Vec::new();
+        let mut scratch = ScoreBlock::new(self.dim);
 
         while stats.items_evaluated < n_candidates {
             // Table with the lowest pending score.
@@ -262,10 +264,15 @@ impl MpLshIndex {
                     continue;
                 }
                 *seen = true;
+                if scratch.is_full() {
+                    stats.items_evaluated +=
+                        scratch.flush(query, Metric::SquaredEuclidean, |id, d| best.push((id, d)));
+                }
                 let row = &data[id as usize * self.dim..(id as usize + 1) * self.dim];
-                best.push((id, sq_dist_f32(query, row)));
-                stats.items_evaluated += 1;
+                scratch.push(id, row);
             }
+            stats.items_evaluated +=
+                scratch.flush(query, Metric::SquaredEuclidean, |id, d| best.push((id, d)));
             spans.end(Phase::Evaluate, te);
         }
         stats.invalid_sets = sequences.iter().map(|s| s.invalid_generated).sum();

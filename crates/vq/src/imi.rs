@@ -173,10 +173,15 @@ impl InvertedMultiIndex {
 
 /// Per-half sorted `(centroid_index, sq_distance)` list.
 fn sorted_half_distances(codebook: &[f32], sub_dim: usize, q: &[f32]) -> Vec<(u32, f32)> {
-    let mut d: Vec<(u32, f32)> = codebook
-        .chunks_exact(sub_dim)
+    // The codebook is a contiguous k×sub_dim tile: score it in one blocked
+    // batch-kernel call, then attach centroid indices for the sort.
+    let k = codebook.len() / sub_dim;
+    let mut dists = vec![0.0f32; k];
+    gqr_linalg::kernels::sq_dist_batch(q, &codebook[..k * sub_dim], &mut dists);
+    let mut d: Vec<(u32, f32)> = dists
+        .into_iter()
         .enumerate()
-        .map(|(c, cent)| (c as u32, gqr_linalg::vecops::sq_dist_f32(q, cent)))
+        .map(|(c, dist)| (c as u32, dist))
         .collect();
     d.sort_by(|a, b| {
         a.1.partial_cmp(&b.1)

@@ -138,10 +138,12 @@ impl ProductQuantizer {
                 let (lo, hi) = (self.bounds[s], self.bounds[s + 1]);
                 let sub_dim = hi - lo;
                 let qs = &q[lo..hi];
-                self.codebooks[s]
-                    .chunks_exact(sub_dim)
-                    .map(|cent| gqr_linalg::vecops::sq_dist_f32(qs, cent))
-                    .collect()
+                // The codebook is already a contiguous k×sub_dim tile, so the
+                // blocked batch kernel scans it with no gather step.
+                let k = self.codebooks[s].len() / sub_dim;
+                let mut dists = vec![0.0f32; k];
+                gqr_linalg::kernels::sq_dist_batch(qs, &self.codebooks[s], &mut dists);
+                dists
             })
             .collect()
     }

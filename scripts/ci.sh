@@ -13,10 +13,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> kernel suites under GQR_FORCE_SCALAR=1"
+GQR_FORCE_SCALAR=1 cargo test -q -p gqr-linalg --test kernel_equivalence
+GQR_FORCE_SCALAR=1 cargo test -q -p gqr-eval --test exact_oracle
+GQR_FORCE_SCALAR=1 cargo test -q -p gqr-core --test blocked_eval
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 echo "==> serving bench (smoke)"
 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench serving
+
+echo "==> kernel bench (smoke)"
+GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench distance
 
 echo "==> ci.sh: all green"
