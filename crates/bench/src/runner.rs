@@ -5,6 +5,7 @@ use crate::context::ExperimentContext;
 use gqr_core::engine::{Checkpoint, ProbeStrategy, QueryEngine, SearchParams};
 use gqr_core::metrics::{MetricsRegistry, Phase, PhaseSpans};
 use gqr_core::multi_table::MultiTableIndex;
+use gqr_core::persist::{PersistError, SectionKind, SnapshotFile, SnapshotWriter};
 use gqr_core::table::HashTable;
 use gqr_core::topk::TopK;
 use gqr_eval::curve::{recall_time_curve, RecallCurve};
@@ -230,6 +231,81 @@ impl<'a> OpqImiEngine<'a> {
     pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
         self.metrics = metrics;
         self
+    }
+
+    /// Persist the trained comparator — OPQ codebooks, the inverted
+    /// multi-index, and (for ADC) the stored PQ codes — as a crash-safe
+    /// snapshot at `path`. Returns the bytes written. The raw vectors are
+    /// not included; [`OpqImiEngine::from_snapshot`] borrows them again.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> Result<u64, PersistError> {
+        let mut snap = SnapshotWriter::new();
+        snap.add_opq(&self.opq);
+        snap.add_imi(&self.imi);
+        let mut w = gqr_linalg::wire::ByteWriter::new();
+        w.put_u8(match self.rerank {
+            RerankMode::Exact => 0,
+            RerankMode::Adc => 1,
+        });
+        w.put_usize(self.code_len);
+        w.put_usize(self.codes.len());
+        w.put_bytes(&self.codes);
+        snap.add_section(SectionKind::PqCodes, w.into_bytes());
+        snap.write(path)
+    }
+
+    /// Rebuild a comparator saved by [`OpqImiEngine::save_snapshot`],
+    /// borrowing the same (unrotated) `data` it was trained over. No
+    /// k-means or OPQ rounds run — codebooks, index cells, and PQ codes
+    /// come straight off disk after checksum validation.
+    pub fn from_snapshot(
+        path: &std::path::Path,
+        data: &'a [f32],
+        dim: usize,
+    ) -> Result<OpqImiEngine<'a>, PersistError> {
+        let file = SnapshotFile::read(path)?;
+        let opq = file.opq()?;
+        let imi = file.imi()?;
+        let bytes = file.section(SectionKind::PqCodes)?;
+        let mut r = gqr_linalg::wire::ByteReader::new(bytes);
+        let decode = |r: &mut gqr_linalg::wire::ByteReader<'_>| {
+            use gqr_linalg::wire::WireError;
+            let rerank = match r.get_u8()? {
+                0 => RerankMode::Exact,
+                1 => RerankMode::Adc,
+                _ => return Err(WireError::Malformed("unknown rerank mode tag")),
+            };
+            let code_len = r.get_usize()?;
+            let n_bytes = r.get_usize()?;
+            let codes = r.get_bytes(n_bytes)?.to_vec();
+            r.expect_end()?;
+            Ok((rerank, code_len, codes))
+        };
+        let (rerank, code_len, codes) =
+            decode(&mut r).map_err(gqr_core::persist::corrupt(SectionKind::PqCodes))?;
+        let n = data.len() / dim;
+        let consistent = opq.pq().dim() == dim
+            && imi.dim() == dim
+            && match rerank {
+                RerankMode::Exact => code_len == 0 && codes.is_empty(),
+                RerankMode::Adc => {
+                    code_len == opq.pq().n_subspaces() && codes.len() == n * code_len
+                }
+            };
+        if !consistent {
+            return Err(PersistError::Inconsistent {
+                detail: "OPQ/IMI/PQ-code sections disagree with the dataset shape",
+            });
+        }
+        Ok(OpqImiEngine {
+            opq,
+            imi,
+            data,
+            dim,
+            rerank,
+            codes,
+            code_len,
+            metrics: MetricsRegistry::disabled(),
+        })
     }
 
     /// Checkpointed k-NN search compatible with the curve runner: traverse

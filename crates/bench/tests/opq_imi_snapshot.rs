@@ -1,0 +1,79 @@
+//! OPQ+IMI comparator snapshot round-trips: the reloaded engine must
+//! produce bit-identical checkpoints to the in-memory original, for both
+//! re-rank modes, and reject inconsistent data shapes.
+
+use gqr_bench::runner::{OpqImiConfig, OpqImiEngine, RerankMode};
+use gqr_dataset::{DatasetSpec, Scale};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gqr_opqimi_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn roundtrip_matches(rerank: RerankMode, tag: &str) {
+    let ds = DatasetSpec::audio50k().scale(Scale::Smoke).generate(77);
+    let cfg = OpqImiConfig {
+        pq_subspaces: 2,
+        pq_ks: 16,
+        opq_rounds: 2,
+        imi_k: 16,
+        seed: 5,
+        train_rows: 2_000,
+        rerank,
+    };
+    let engine = OpqImiEngine::train(ds.as_slice(), ds.dim(), &cfg);
+    let path = tmpdir(tag).join("opq_imi.gqr");
+    engine.save_snapshot(&path).unwrap();
+    let engine2 = OpqImiEngine::from_snapshot(&path, ds.as_slice(), ds.dim()).unwrap();
+
+    for q in ds.sample_queries(10, 21) {
+        let a = engine.search_traced(&q, 10, &[100, 400]);
+        let b = engine2.search_traced(&q, 10, &[100, 400]);
+        assert_eq!(a.len(), b.len());
+        for (ca, cb) in a.iter().zip(&b) {
+            assert_eq!(ca.budget, cb.budget);
+            assert_eq!(ca.items_evaluated, cb.items_evaluated);
+            assert_eq!(
+                ca.top_ids, cb.top_ids,
+                "{rerank:?} diverged after round-trip"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_rerank_roundtrip_is_bit_identical() {
+    roundtrip_matches(RerankMode::Exact, "exact");
+}
+
+#[test]
+fn adc_rerank_roundtrip_is_bit_identical() {
+    roundtrip_matches(RerankMode::Adc, "adc");
+}
+
+#[test]
+fn from_snapshot_rejects_mismatched_data() {
+    let ds = DatasetSpec::audio50k().scale(Scale::Smoke).generate(77);
+    let cfg = OpqImiConfig {
+        pq_subspaces: 2,
+        pq_ks: 16,
+        opq_rounds: 1,
+        imi_k: 8,
+        seed: 5,
+        train_rows: 1_000,
+        rerank: RerankMode::Adc,
+    };
+    let engine = OpqImiEngine::train(ds.as_slice(), ds.dim(), &cfg);
+    let path = tmpdir("mismatch").join("opq_imi.gqr");
+    engine.save_snapshot(&path).unwrap();
+    // Wrong dimensionality must be caught before any search runs.
+    let wrong_dim = OpqImiEngine::from_snapshot(&path, ds.as_slice(), ds.dim() + 1);
+    assert!(wrong_dim.is_err(), "dim mismatch must be rejected");
+    // ADC codes must cover exactly n rows; a truncated dataset disagrees.
+    let truncated = &ds.as_slice()[..(ds.n() / 2) * ds.dim()];
+    let wrong_rows = OpqImiEngine::from_snapshot(&path, truncated, ds.dim());
+    assert!(wrong_rows.is_err(), "row-count mismatch must be rejected");
+}

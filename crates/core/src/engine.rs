@@ -413,6 +413,26 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         self
     }
 
+    /// Persist everything this engine serves from — model, table, vectors,
+    /// and the MIH side index if one is attached — as a one-shard snapshot
+    /// at `path` (crash-safe; see [`crate::persist`]). Returns the bytes
+    /// written. Reload with [`crate::persist::load_index`] +
+    /// [`QueryEngine::from_snapshot`].
+    pub fn save_snapshot(
+        &self,
+        path: &std::path::Path,
+    ) -> Result<u64, crate::persist::PersistError> {
+        crate::persist::save_index(
+            path,
+            self.model,
+            self.table,
+            self.data,
+            self.dim,
+            self.mih.as_ref().map(|h| h.get()),
+            self.metric,
+        )
+    }
+
     /// The hash table.
     pub fn table(&self) -> &HashTable {
         self.table

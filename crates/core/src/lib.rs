@@ -55,6 +55,7 @@ pub mod engine;
 pub mod executor;
 pub use gqr_metrics as metrics;
 pub mod multi_table;
+pub mod persist;
 pub mod probe;
 pub mod range;
 pub mod request;
@@ -69,6 +70,10 @@ pub use engine::{
 };
 pub use executor::{Executor, ExecutorBuilder, JobError, SubmitError, Ticket};
 pub use gqr_metrics::{MetricsRegistry, MetricsSnapshot, Phase, PhaseSpans};
+pub use persist::{
+    load_index, load_index_metered, save_index, LoadedIndex, PersistError, SectionKind,
+    SnapshotFile, SnapshotWriter, FORMAT_VERSION,
+};
 pub use probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
 pub use request::SearchRequest;
 pub use shard::ShardedIndex;

@@ -80,6 +80,81 @@ impl MihIndex {
         self.m
     }
 
+    /// Serialize the prebuilt block tables for a binary snapshot (see
+    /// [`crate::persist`]). Substring buckets are written sorted by key for
+    /// a deterministic byte stream; per-bucket id order is preserved so a
+    /// reloaded index visits candidates in the exact order of the original.
+    pub(crate) fn wire_write(&self, w: &mut gqr_linalg::wire::ByteWriter) {
+        w.put_usize(self.m);
+        w.put_u64_slice(&self.codes);
+        w.put_usize(self.blocks.len());
+        for block in &self.blocks {
+            w.put_usize(block.lo);
+            w.put_usize(block.bits);
+            let mut keys: Vec<u32> = block.table.keys().copied().collect();
+            keys.sort_unstable();
+            w.put_usize(keys.len());
+            for key in keys {
+                w.put_u32(key);
+                w.put_u32_slice(&block.table[&key]);
+            }
+        }
+    }
+
+    /// Decode an index written by [`MihIndex::wire_write`], re-validating
+    /// the block partition and substring tables.
+    pub(crate) fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<MihIndex, gqr_linalg::wire::WireError> {
+        use gqr_linalg::wire::WireError;
+        let m = r.get_usize()?;
+        if !(1..64).contains(&m) {
+            return Err(WireError::Malformed("MIH code length out of range"));
+        }
+        let codes = r.get_u64_vec()?;
+        let n_blocks = r.get_usize()?;
+        if n_blocks == 0 || n_blocks > m {
+            return Err(WireError::Malformed("MIH block count out of range"));
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        let mut next_lo = 0usize;
+        for _ in 0..n_blocks {
+            let lo = r.get_usize()?;
+            let bits = r.get_usize()?;
+            if lo != next_lo || bits == 0 || lo + bits > m {
+                return Err(WireError::Malformed("MIH blocks are not a bit partition"));
+            }
+            next_lo = lo + bits;
+            let n_keys = r.get_usize()?;
+            let mut table: HashMap<u32, Vec<u32>> = HashMap::with_capacity(n_keys);
+            let mut total = 0usize;
+            for _ in 0..n_keys {
+                let key = r.get_u32()?;
+                if bits < 32 && key >= (1u32 << bits) {
+                    return Err(WireError::Malformed("MIH substring key exceeds width"));
+                }
+                let ids = r.get_u32_vec()?;
+                if ids.iter().any(|&id| id as usize >= codes.len()) {
+                    return Err(WireError::Malformed("MIH bucket id out of range"));
+                }
+                total += ids.len();
+                if table.insert(key, ids).is_some() {
+                    return Err(WireError::Malformed("MIH duplicate substring key"));
+                }
+            }
+            if total != codes.len() {
+                return Err(WireError::Malformed(
+                    "MIH block contents disagree with item count",
+                ));
+            }
+            blocks.push(Block { lo, bits, table });
+        }
+        if next_lo != m {
+            return Err(WireError::Malformed("MIH blocks do not cover the code"));
+        }
+        Ok(MihIndex { m, blocks, codes })
+    }
+
     /// Start a search for `query_code`; the searcher yields item-id batches
     /// in ascending *full* Hamming distance.
     pub fn search(&self, query_code: u64) -> MihSearcher<'_> {

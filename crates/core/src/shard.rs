@@ -19,6 +19,7 @@
 use crate::engine::{QueryEngine, SearchParams, SearchResult};
 use crate::executor::Executor;
 use crate::metrics::{metric_name, MetricsRegistry};
+use crate::persist::{LoadedIndex, PersistError, SnapshotWriter};
 use crate::probe::mih::MihIndex;
 use crate::request::SearchRequest;
 use crate::stats::ProbeStats;
@@ -120,6 +121,38 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
             shards,
             metrics: MetricsRegistry::disabled(),
         }
+    }
+
+    /// Persist the whole sharded index — model, every shard's table and
+    /// prebuilt MIH, and the vectors — as one crash-safe snapshot at
+    /// `path` (see [`crate::persist`]). Returns the bytes written. Reload
+    /// with [`crate::persist::load_index`] +
+    /// [`ShardedIndex::from_snapshot`].
+    pub fn save_snapshot(&self, path: &std::path::Path) -> Result<u64, PersistError> {
+        let mut w = SnapshotWriter::new();
+        w.add_model(self.model)?;
+        let manifest: Vec<(usize, bool)> = self
+            .shards
+            .iter()
+            .map(|s| (s.data.len() / self.dim, s.mih.is_some()))
+            .collect();
+        w.add_manifest(self.metric, &manifest);
+        // Shards partition the dataset contiguously, so concatenating the
+        // per-shard slices reproduces the original row-major buffer.
+        let mut data = Vec::with_capacity(self.shards.iter().map(|s| s.data.len()).sum());
+        for shard in &self.shards {
+            data.extend_from_slice(shard.data);
+        }
+        w.add_vectors(&data, self.dim);
+        for shard in &self.shards {
+            w.add_table(&shard.table);
+        }
+        for shard in &self.shards {
+            if let Some(mih) = &shard.mih {
+                w.add_mih(mih);
+            }
+        }
+        w.write(path)
     }
 
     /// Attach a metrics registry (builder style): per-shard spans flush as
@@ -296,6 +329,38 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
             neighbors,
             stats,
             checkpoints: Vec::new(),
+        }
+    }
+}
+
+impl<'a> ShardedIndex<'a, dyn HashModel + 'a> {
+    /// Rebuild a sharded index borrowing a [`LoadedIndex`]: the model and
+    /// vectors are borrowed, and each shard's table and prebuilt MIH are
+    /// cloned into the owning [`Shard`]s, so no hashing or MIH construction
+    /// runs. Works for any shard count (a one-shard snapshot just yields a
+    /// one-shard index).
+    pub fn from_snapshot(snap: &'a LoadedIndex) -> Self {
+        let dim = snap.dim();
+        let data = snap.data();
+        let shards = snap
+            .shards()
+            .iter()
+            .map(|s| {
+                let start = s.offset as usize * dim;
+                Shard {
+                    table: s.table.clone(),
+                    data: &data[start..start + s.rows * dim],
+                    offset: s.offset,
+                    mih: s.mih.clone(),
+                }
+            })
+            .collect();
+        ShardedIndex {
+            model: snap.model(),
+            dim,
+            metric: snap.metric(),
+            shards,
+            metrics: MetricsRegistry::disabled(),
         }
     }
 }

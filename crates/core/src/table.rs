@@ -202,6 +202,86 @@ impl HashTable {
         let per_bucket = std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>();
         self.buckets.len() * per_bucket + self.n_items * std::mem::size_of::<u32>()
     }
+
+    /// Serialize the table for a binary snapshot (see [`crate::persist`]).
+    /// Buckets are written sorted by code so the byte stream is
+    /// deterministic; the id order *within* each bucket is preserved, which
+    /// is what makes a reloaded table return bit-identical search results
+    /// (candidates are evaluated in bucket order).
+    pub(crate) fn wire_write(&self, w: &mut gqr_linalg::wire::ByteWriter) {
+        w.put_usize(self.code_length);
+        w.put_usize(self.n_items);
+        match self.max_id {
+            Some(id) => {
+                w.put_u8(1);
+                w.put_u32(id);
+            }
+            None => {
+                w.put_u8(0);
+                w.put_u32(0);
+            }
+        }
+        let mut codes: Vec<u64> = self.buckets.keys().copied().collect();
+        codes.sort_unstable();
+        w.put_usize(codes.len());
+        for code in codes {
+            w.put_u64(code);
+            w.put_u32_slice(&self.buckets[&code]);
+        }
+    }
+
+    /// Decode a table written by [`HashTable::wire_write`], re-validating
+    /// every structural invariant so a wrong-but-checksummed payload is
+    /// rejected instead of panicking later in the engine.
+    pub(crate) fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<HashTable, gqr_linalg::wire::WireError> {
+        use gqr_linalg::wire::WireError;
+        let code_length = r.get_usize()?;
+        if code_length == 0 || code_length > 64 {
+            return Err(WireError::Malformed("table code length out of range"));
+        }
+        let n_items = r.get_usize()?;
+        let has_max = r.get_u8()?;
+        let max_raw = r.get_u32()?;
+        let max_id = match has_max {
+            0 => None,
+            1 => Some(max_raw),
+            _ => return Err(WireError::Malformed("table max_id flag out of range")),
+        };
+        let n_buckets = r.get_usize()?;
+        let mut buckets: CodeMap<Vec<u32>> = HashMap::default();
+        buckets.reserve(n_buckets.min(n_items));
+        let mut total = 0usize;
+        for _ in 0..n_buckets {
+            let code = r.get_u64()?;
+            if code_length < 64 && code >= (1u64 << code_length) {
+                return Err(WireError::Malformed("bucket code exceeds code length"));
+            }
+            let ids = r.get_u32_vec()?;
+            if ids.is_empty() {
+                return Err(WireError::Malformed("empty bucket in table payload"));
+            }
+            if ids.iter().any(|&id| Some(id) > max_id) {
+                return Err(WireError::Malformed("bucket id exceeds table max_id"));
+            }
+            total += ids.len();
+            if buckets.insert(code, ids).is_some() {
+                return Err(WireError::Malformed("duplicate bucket code in table"));
+            }
+        }
+        if total != n_items {
+            return Err(WireError::Malformed(
+                "bucket contents disagree with n_items",
+            ));
+        }
+        Ok(HashTable {
+            code_length,
+            buckets,
+            n_items,
+            max_id,
+        })
+    }
 }
 
 #[cfg(test)]

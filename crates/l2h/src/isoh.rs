@@ -169,6 +169,28 @@ impl HashModel for IsoHash {
     fn name(&self) -> &'static str {
         "IsoHash"
     }
+
+    fn snapshot(&self) -> Option<crate::persist::ModelSnapshot> {
+        let mut w = gqr_linalg::wire::ByteWriter::new();
+        crate::persist::write_hasher(&mut w, &self.hasher);
+        w.put_f64_slice(&self.bit_variances);
+        Some(crate::persist::ModelSnapshot {
+            kind: crate::persist::ModelKind::IsoHash,
+            bytes: w.into_bytes(),
+        })
+    }
+}
+
+impl IsoHash {
+    /// Decode a snapshot payload (see `crate::persist`).
+    pub(crate) fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<IsoHash, gqr_linalg::wire::WireError> {
+        Ok(IsoHash {
+            hasher: crate::persist::read_hasher(r)?,
+            bit_variances: r.get_f64_vec()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -153,6 +153,28 @@ impl HashModel for Itq {
     fn name(&self) -> &'static str {
         "ITQ"
     }
+
+    fn snapshot(&self) -> Option<crate::persist::ModelSnapshot> {
+        let mut w = gqr_linalg::wire::ByteWriter::new();
+        crate::persist::write_hasher(&mut w, &self.hasher);
+        w.put_f64(self.final_quant_error);
+        Some(crate::persist::ModelSnapshot {
+            kind: crate::persist::ModelKind::Itq,
+            bytes: w.into_bytes(),
+        })
+    }
+}
+
+impl Itq {
+    /// Decode a snapshot payload (see `crate::persist`).
+    pub(crate) fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<Itq, gqr_linalg::wire::WireError> {
+        Ok(Itq {
+            hasher: crate::persist::read_hasher(r)?,
+            final_quant_error: r.get_f64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -445,6 +445,68 @@ impl HashModel for KmeansHashing {
     fn name(&self) -> &'static str {
         "KMH"
     }
+
+    fn snapshot(&self) -> Option<crate::persist::ModelSnapshot> {
+        let mut w = gqr_linalg::wire::ByteWriter::new();
+        w.put_usize(self.dim);
+        w.put_usize(self.m);
+        w.put_f64(self.affinity_error);
+        w.put_usize(self.subspaces.len());
+        for s in &self.subspaces {
+            w.put_usize(s.lo);
+            w.put_usize(s.hi);
+            w.put_usize(s.bits);
+            w.put_f32_slice(&s.codewords);
+        }
+        Some(crate::persist::ModelSnapshot {
+            kind: crate::persist::ModelKind::Kmh,
+            bytes: w.into_bytes(),
+        })
+    }
+}
+
+impl KmeansHashing {
+    /// Decode a snapshot payload (see `crate::persist`).
+    pub(crate) fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<KmeansHashing, gqr_linalg::wire::WireError> {
+        use gqr_linalg::wire::WireError;
+        let dim = r.get_usize()?;
+        let m = r.get_usize()?;
+        let affinity_error = r.get_f64()?;
+        if m == 0 || m > crate::MAX_CODE_LENGTH {
+            return Err(WireError::Malformed("KMH code length out of range"));
+        }
+        let n_sub = r.get_usize()?;
+        if n_sub == 0 || n_sub > dim {
+            return Err(WireError::Malformed("KMH subspace count out of range"));
+        }
+        let mut subspaces = Vec::with_capacity(n_sub);
+        for _ in 0..n_sub {
+            let lo = r.get_usize()?;
+            let hi = r.get_usize()?;
+            let bits = r.get_usize()?;
+            let codewords = r.get_f32_vec()?;
+            if lo >= hi || hi > dim || bits == 0 || bits > 8 {
+                return Err(WireError::Malformed("KMH subspace shape out of range"));
+            }
+            if codewords.len() != (1usize << bits) * (hi - lo) {
+                return Err(WireError::Malformed("KMH codeword buffer size mismatch"));
+            }
+            subspaces.push(Subspace {
+                lo,
+                hi,
+                bits,
+                codewords,
+            });
+        }
+        Ok(KmeansHashing {
+            dim,
+            m,
+            subspaces,
+            affinity_error,
+        })
+    }
 }
 
 #[cfg(test)]

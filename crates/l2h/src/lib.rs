@@ -41,6 +41,7 @@ pub mod itq;
 pub mod kmh;
 pub mod lsh;
 pub mod pcah;
+pub mod persist;
 pub mod sh;
 pub mod ssh;
 
@@ -127,6 +128,14 @@ pub trait HashModel: Send + Sync {
 
     /// Short algorithm name for reports ("ITQ", "PCAH", …).
     fn name(&self) -> &'static str;
+
+    /// Save hook for binary snapshots: the model's kind tag plus its wire
+    /// payload (see [`persist`]). `None` (the default) means the model does
+    /// not support persistence, and snapshot writers fail with a typed
+    /// error instead of producing a partial file.
+    fn snapshot(&self) -> Option<persist::ModelSnapshot> {
+        None
+    }
 }
 
 /// Quantize a projected vector by sign thresholding: bit `i` is 1 iff

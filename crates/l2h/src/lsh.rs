@@ -86,6 +86,26 @@ impl HashModel for Lsh {
     fn name(&self) -> &'static str {
         "LSH"
     }
+
+    fn snapshot(&self) -> Option<crate::persist::ModelSnapshot> {
+        let mut w = gqr_linalg::wire::ByteWriter::new();
+        crate::persist::write_hasher(&mut w, &self.hasher);
+        Some(crate::persist::ModelSnapshot {
+            kind: crate::persist::ModelKind::Lsh,
+            bytes: w.into_bytes(),
+        })
+    }
+}
+
+impl Lsh {
+    /// Decode a snapshot payload (see `crate::persist`).
+    pub(crate) fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<Lsh, gqr_linalg::wire::WireError> {
+        Ok(Lsh {
+            hasher: crate::persist::read_hasher(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

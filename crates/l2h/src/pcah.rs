@@ -78,6 +78,28 @@ impl HashModel for Pcah {
     fn name(&self) -> &'static str {
         "PCAH"
     }
+
+    fn snapshot(&self) -> Option<crate::persist::ModelSnapshot> {
+        let mut w = gqr_linalg::wire::ByteWriter::new();
+        crate::persist::write_hasher(&mut w, &self.hasher);
+        w.put_f64_slice(&self.explained_variance);
+        Some(crate::persist::ModelSnapshot {
+            kind: crate::persist::ModelKind::Pcah,
+            bytes: w.into_bytes(),
+        })
+    }
+}
+
+impl Pcah {
+    /// Decode a snapshot payload (see `crate::persist`).
+    pub(crate) fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<Pcah, gqr_linalg::wire::WireError> {
+        Ok(Pcah {
+            hasher: crate::persist::read_hasher(r)?,
+            explained_variance: r.get_f64_vec()?,
+        })
+    }
 }
 
 #[cfg(test)]

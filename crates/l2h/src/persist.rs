@@ -1,0 +1,188 @@
+//! Binary (de)serialization of trained hash models.
+//!
+//! Every model the CLI can train (LSH, PCAH, ITQ, SH, KMH, plus the SSH and
+//! IsoHash extensions) implements the [`HashModel::snapshot`] save hook,
+//! which yields a kind tag and a little-endian payload. [`encode_model`]
+//! prefixes the tag; [`decode_model`] dispatches on it and rebuilds the
+//! model behind a `Box<dyn HashModel>`. The payload codecs themselves live
+//! next to each model (they touch private fields); this module owns the tag
+//! registry and the shared [`LinearHasher`] codec.
+//!
+//! Integrity (CRC, truncation) is enforced by the snapshot container in
+//! `gqr-core::persist`; decoders here still validate shapes so a
+//! wrong-but-checksummed payload produces a [`WireError`], never a panic.
+
+use crate::{HashModel, LinearHasher, MAX_CODE_LENGTH};
+use gqr_linalg::wire::{ByteReader, ByteWriter, WireError};
+
+/// Stable on-disk tag for each model kind.
+///
+/// Tags are append-only: never reuse or renumber a tag, or old snapshots
+/// will decode as the wrong model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ModelKind {
+    /// Sign random projections.
+    Lsh = 1,
+    /// PCA hashing.
+    Pcah = 2,
+    /// Iterative quantization.
+    Itq = 3,
+    /// Spectral hashing.
+    Sh = 4,
+    /// K-means hashing.
+    Kmh = 5,
+    /// Semi-supervised hashing.
+    Ssh = 6,
+    /// Isotropic hashing.
+    IsoHash = 7,
+}
+
+impl ModelKind {
+    fn from_tag(tag: u8) -> Option<ModelKind> {
+        Some(match tag {
+            1 => ModelKind::Lsh,
+            2 => ModelKind::Pcah,
+            3 => ModelKind::Itq,
+            4 => ModelKind::Sh,
+            5 => ModelKind::Kmh,
+            6 => ModelKind::Ssh,
+            7 => ModelKind::IsoHash,
+            _ => return None,
+        })
+    }
+}
+
+/// A model's serialized form: its kind tag plus the payload bytes.
+#[derive(Clone, Debug)]
+pub struct ModelSnapshot {
+    /// Which decoder understands `bytes`.
+    pub kind: ModelKind,
+    /// The model payload (little-endian, schema fixed per kind).
+    pub bytes: Vec<u8>,
+}
+
+/// Serialize a model through its [`HashModel::snapshot`] hook.
+///
+/// Returns `None` for models that do not support persistence (e.g. test
+/// doubles); the snapshot container turns that into a typed error.
+pub fn encode_model(model: &dyn HashModel) -> Option<Vec<u8>> {
+    let snap = model.snapshot()?;
+    let mut w = ByteWriter::new();
+    w.put_u8(snap.kind as u8);
+    w.put_bytes(&snap.bytes);
+    Some(w.into_bytes())
+}
+
+/// Rebuild a model from bytes produced by [`encode_model`].
+pub fn decode_model(bytes: &[u8]) -> Result<Box<dyn HashModel>, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let tag = r.get_u8()?;
+    let kind = ModelKind::from_tag(tag).ok_or(WireError::Malformed("unknown model kind tag"))?;
+    let model: Box<dyn HashModel> = match kind {
+        ModelKind::Lsh => Box::new(crate::lsh::Lsh::wire_read(&mut r)?),
+        ModelKind::Pcah => Box::new(crate::pcah::Pcah::wire_read(&mut r)?),
+        ModelKind::Itq => Box::new(crate::itq::Itq::wire_read(&mut r)?),
+        ModelKind::Sh => Box::new(crate::sh::SpectralHashing::wire_read(&mut r)?),
+        ModelKind::Kmh => Box::new(crate::kmh::KmeansHashing::wire_read(&mut r)?),
+        ModelKind::Ssh => Box::new(crate::ssh::Ssh::wire_read(&mut r)?),
+        ModelKind::IsoHash => Box::new(crate::isoh::IsoHash::wire_read(&mut r)?),
+    };
+    r.expect_end()?;
+    Ok(model)
+}
+
+/// Serialize a [`LinearHasher`]: `W`, bias, and the precomputed spectral
+/// norm (persisted so the loaded model is bit-identical to the saved one —
+/// recomputing `σ_max` would re-run an iterative SVD).
+pub(crate) fn write_hasher(w: &mut ByteWriter, h: &LinearHasher) {
+    w.put_matrix(&h.w);
+    w.put_f64_slice(&h.bias);
+    w.put_f64(h.spectral_norm);
+}
+
+/// Decode a [`LinearHasher`] written by [`write_hasher`].
+pub(crate) fn read_hasher(r: &mut ByteReader) -> Result<LinearHasher, WireError> {
+    let w = r.get_matrix()?;
+    let bias = r.get_f64_vec()?;
+    let spectral_norm = r.get_f64()?;
+    if w.rows() != bias.len() {
+        return Err(WireError::Malformed("hasher bias length != hash functions"));
+    }
+    if w.rows() == 0 || w.rows() > MAX_CODE_LENGTH {
+        return Err(WireError::Malformed("hasher code length out of range"));
+    }
+    Ok(LinearHasher {
+        w,
+        bias,
+        spectral_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryEncoding;
+
+    struct NoPersist;
+    impl HashModel for NoPersist {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn code_length(&self) -> usize {
+            1
+        }
+        fn encode(&self, _x: &[f32]) -> u64 {
+            0
+        }
+        fn encode_query(&self, _q: &[f32]) -> QueryEncoding {
+            QueryEncoding {
+                code: 0,
+                flip_costs: vec![0.0],
+            }
+        }
+        fn name(&self) -> &'static str {
+            "NoPersist"
+        }
+    }
+
+    #[test]
+    fn models_without_hook_encode_to_none() {
+        assert!(encode_model(&NoPersist).is_none());
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!(matches!(
+            decode_model(&[0xEE]),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(decode_model(&[]).is_err());
+    }
+
+    #[test]
+    fn hasher_roundtrip_is_bit_identical() {
+        let w = gqr_linalg::Matrix::from_rows(&[&[0.25, -1.5, 3.0], &[2.0, 0.0, -0.125]]);
+        let h = LinearHasher::new(w, vec![0.75, -0.5]);
+        let mut buf = ByteWriter::new();
+        write_hasher(&mut buf, &h);
+        let bytes = buf.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let h2 = read_hasher(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(h.w.as_slice(), h2.w.as_slice());
+        assert_eq!(h.bias, h2.bias);
+        assert_eq!(h.spectral_norm.to_bits(), h2.spectral_norm.to_bits());
+    }
+
+    #[test]
+    fn bad_hasher_shapes_are_rejected() {
+        let w = gqr_linalg::Matrix::from_rows(&[&[1.0, 0.0]]);
+        let mut buf = ByteWriter::new();
+        buf.put_matrix(&w);
+        buf.put_f64_slice(&[0.0, 1.0]); // two biases for one row
+        buf.put_f64(1.0);
+        let bytes = buf.into_bytes();
+        assert!(read_hasher(&mut ByteReader::new(&bytes)).is_err());
+    }
+}

@@ -138,6 +138,52 @@ impl HashModel for SpectralHashing {
     fn name(&self) -> &'static str {
         "SH"
     }
+
+    fn snapshot(&self) -> Option<crate::persist::ModelSnapshot> {
+        let mut w = gqr_linalg::wire::ByteWriter::new();
+        w.put_pca(&self.pca);
+        w.put_usize(self.functions.len());
+        for f in &self.functions {
+            w.put_usize(f.dir);
+            w.put_usize(f.mode);
+            w.put_f64(f.a);
+            w.put_f64(f.omega);
+        }
+        Some(crate::persist::ModelSnapshot {
+            kind: crate::persist::ModelKind::Sh,
+            bytes: w.into_bytes(),
+        })
+    }
+}
+
+impl SpectralHashing {
+    /// Decode a snapshot payload (see `crate::persist`).
+    pub(crate) fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<SpectralHashing, gqr_linalg::wire::WireError> {
+        use gqr_linalg::wire::WireError;
+        let pca = r.get_pca()?;
+        let n = r.get_usize()?;
+        if n == 0 || n > crate::MAX_CODE_LENGTH {
+            return Err(WireError::Malformed("SH function count out of range"));
+        }
+        let mut functions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f = EigenFunction {
+                dir: r.get_usize()?,
+                mode: r.get_usize()?,
+                a: r.get_f64()?,
+                omega: r.get_f64()?,
+            };
+            if f.dir >= pca.k() {
+                return Err(WireError::Malformed(
+                    "SH eigenfunction direction out of range",
+                ));
+            }
+            functions.push(f);
+        }
+        Ok(SpectralHashing { pca, functions })
+    }
 }
 
 #[cfg(test)]

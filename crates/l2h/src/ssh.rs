@@ -233,6 +233,26 @@ impl HashModel for Ssh {
     fn name(&self) -> &'static str {
         "SSH"
     }
+
+    fn snapshot(&self) -> Option<crate::persist::ModelSnapshot> {
+        let mut w = gqr_linalg::wire::ByteWriter::new();
+        crate::persist::write_hasher(&mut w, &self.hasher);
+        Some(crate::persist::ModelSnapshot {
+            kind: crate::persist::ModelKind::Ssh,
+            bytes: w.into_bytes(),
+        })
+    }
+}
+
+impl Ssh {
+    /// Decode a snapshot payload (see `crate::persist`).
+    pub(crate) fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<Ssh, gqr_linalg::wire::WireError> {
+        Ok(Ssh {
+            hasher: crate::persist::read_hasher(r)?,
+        })
+    }
 }
 
 /// Build supervision pairs from class labels: sample `per_class` must-link

@@ -34,6 +34,7 @@ pub mod pca;
 pub mod qr;
 pub mod svd;
 pub mod vecops;
+pub mod wire;
 
 pub use eigen::{symmetric_eigen, Eigen};
 pub use kernels::{
@@ -43,3 +44,4 @@ pub use matrix::Matrix;
 pub use pca::Pca;
 pub use qr::{qr, random_orthonormal, random_rotation};
 pub use svd::{svd, Svd};
+pub use wire::{crc32, ByteReader, ByteWriter, WireError};

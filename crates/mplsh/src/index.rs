@@ -161,6 +161,69 @@ impl MpLshIndex {
         self.tables.iter().map(|t| t.buckets.len()).sum()
     }
 
+    /// Serialize the index (projections, offsets, buckets) for a binary
+    /// snapshot (see `gqr-core::persist`). Buckets are written sorted by
+    /// key so the byte stream is deterministic; per-bucket id order is
+    /// preserved, so a reloaded index returns bit-identical results.
+    pub fn wire_write(&self, w: &mut gqr_linalg::wire::ByteWriter) {
+        w.put_usize(self.dim);
+        w.put_f64(self.w);
+        w.put_usize(self.n_items);
+        w.put_usize(self.tables.len());
+        for t in &self.tables {
+            w.put_matrix(&t.a);
+            w.put_f64_slice(&t.b);
+            let mut keys: Vec<&Vec<i32>> = t.buckets.keys().collect();
+            keys.sort_unstable();
+            w.put_usize(keys.len());
+            for key in keys {
+                w.put_i32_slice(key);
+                w.put_u32_slice(&t.buckets[key]);
+            }
+        }
+    }
+
+    /// Decode an index written by [`MpLshIndex::wire_write`].
+    pub fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<MpLshIndex, gqr_linalg::wire::WireError> {
+        use gqr_linalg::wire::WireError;
+        let dim = r.get_usize()?;
+        let w = r.get_f64()?;
+        let n_items = r.get_usize()?;
+        let n_tables = r.get_usize()?;
+        if dim == 0 || n_tables == 0 {
+            return Err(WireError::Malformed("MPLSH shape out of range"));
+        }
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let a = r.get_matrix()?;
+            let b = r.get_f64_vec()?;
+            if a.cols() != dim || a.rows() != b.len() || a.rows() == 0 {
+                return Err(WireError::Malformed("MPLSH table shape mismatch"));
+            }
+            let n_buckets = r.get_usize()?;
+            let mut buckets = HashMap::with_capacity(n_buckets);
+            for _ in 0..n_buckets {
+                let key = r.get_i32_vec()?;
+                if key.len() != a.rows() {
+                    return Err(WireError::Malformed("MPLSH bucket key length mismatch"));
+                }
+                let ids = r.get_u32_vec()?;
+                if buckets.insert(key, ids).is_some() {
+                    return Err(WireError::Malformed("MPLSH duplicate bucket key"));
+                }
+            }
+            tables.push(Table { a, b, buckets });
+        }
+        Ok(MpLshIndex {
+            dim,
+            w,
+            tables,
+            n_items,
+        })
+    }
+
     /// k-NN search: probe up to `probes_per_table` buckets per table in
     /// perturbation-score order (merged across tables by score), evaluate
     /// unique candidates exactly, return the top `k`.

@@ -101,6 +101,53 @@ impl InvertedMultiIndex {
         self.cells.iter().filter(|c| !c.is_empty()).count()
     }
 
+    /// Serialize codebooks + cell lists for a binary snapshot (see
+    /// `gqr-core::persist`). Cell id order is preserved, so a reloaded
+    /// index yields candidates in the exact order of the original.
+    pub fn wire_write(&self, w: &mut gqr_linalg::wire::ByteWriter) {
+        w.put_usize(self.dim);
+        w.put_usize(self.split);
+        w.put_usize(self.k);
+        w.put_f32_slice(&self.codebook_u);
+        w.put_f32_slice(&self.codebook_v);
+        for cell in &self.cells {
+            w.put_u32_slice(cell);
+        }
+    }
+
+    /// Decode an index written by [`InvertedMultiIndex::wire_write`].
+    pub fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<InvertedMultiIndex, gqr_linalg::wire::WireError> {
+        use gqr_linalg::wire::WireError;
+        let dim = r.get_usize()?;
+        let split = r.get_usize()?;
+        let k = r.get_usize()?;
+        if k == 0 || split == 0 || split >= dim {
+            return Err(WireError::Malformed("IMI shape out of range"));
+        }
+        let codebook_u = r.get_f32_vec()?;
+        let codebook_v = r.get_f32_vec()?;
+        if codebook_u.len() != k * split || codebook_v.len() != k * (dim - split) {
+            return Err(WireError::Malformed("IMI codebook size mismatch"));
+        }
+        let n_cells = k
+            .checked_mul(k)
+            .ok_or(WireError::Malformed("IMI cell count overflows"))?;
+        let mut cells = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            cells.push(r.get_u32_vec()?);
+        }
+        Ok(InvertedMultiIndex {
+            dim,
+            split,
+            k,
+            codebook_u,
+            codebook_v,
+            cells,
+        })
+    }
+
     /// Start the multi-sequence traversal for a query: returns an iterator
     /// yielding cells `(u, v, score)` in non-decreasing score order, where
     /// `score = ‖q₁ − U_u‖² + ‖q₂ − V_v‖²`.

@@ -150,6 +150,26 @@ impl Opq {
         }
         rot + cb
     }
+
+    /// Serialize rotation + codebooks for a binary snapshot (see
+    /// `gqr-core::persist`).
+    pub fn wire_write(&self, w: &mut gqr_linalg::wire::ByteWriter) {
+        w.put_matrix(&self.rotation);
+        self.pq.wire_write(w);
+    }
+
+    /// Decode a model written by [`Opq::wire_write`].
+    pub fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<Opq, gqr_linalg::wire::WireError> {
+        use gqr_linalg::wire::WireError;
+        let rotation = r.get_matrix()?;
+        let pq = ProductQuantizer::wire_read(r)?;
+        if rotation.rows() != rotation.cols() || rotation.rows() != pq.dim() {
+            return Err(WireError::Malformed("OPQ rotation shape mismatch"));
+        }
+        Ok(Opq { rotation, pq })
+    }
 }
 
 /// Rotate every row: `out_row = R · row` (accumulated in f64).

@@ -167,6 +167,60 @@ impl ProductQuantizer {
         }
         total / n as f64
     }
+
+    /// Serialize the codebooks for a binary snapshot (see
+    /// `gqr-core::persist`).
+    pub fn wire_write(&self, w: &mut gqr_linalg::wire::ByteWriter) {
+        w.put_usize(self.dim);
+        w.put_usize(self.m);
+        w.put_usize(self.ks);
+        w.put_usize(self.bounds.len());
+        for &b in &self.bounds {
+            w.put_usize(b);
+        }
+        for cb in &self.codebooks {
+            w.put_f32_slice(cb);
+        }
+    }
+
+    /// Decode a quantizer written by [`ProductQuantizer::wire_write`].
+    pub fn wire_read(
+        r: &mut gqr_linalg::wire::ByteReader<'_>,
+    ) -> Result<ProductQuantizer, gqr_linalg::wire::WireError> {
+        use gqr_linalg::wire::WireError;
+        let dim = r.get_usize()?;
+        let m = r.get_usize()?;
+        let ks = r.get_usize()?;
+        if m == 0 || ks == 0 || ks > 256 {
+            return Err(WireError::Malformed("PQ shape out of range"));
+        }
+        let n_bounds = r.get_usize()?;
+        if n_bounds != m + 1 {
+            return Err(WireError::Malformed("PQ bounds length mismatch"));
+        }
+        let mut bounds = Vec::with_capacity(n_bounds);
+        for _ in 0..n_bounds {
+            bounds.push(r.get_usize()?);
+        }
+        if bounds[0] != 0 || bounds[m] != dim || bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(WireError::Malformed("PQ bounds are not a partition"));
+        }
+        let mut codebooks = Vec::with_capacity(m);
+        for s in 0..m {
+            let cb = r.get_f32_vec()?;
+            if cb.len() != ks * (bounds[s + 1] - bounds[s]) {
+                return Err(WireError::Malformed("PQ codebook size mismatch"));
+            }
+            codebooks.push(cb);
+        }
+        Ok(ProductQuantizer {
+            dim,
+            m,
+            ks,
+            bounds,
+            codebooks,
+        })
+    }
 }
 
 /// Split `dim` dimensions into `m` contiguous, nearly-equal ranges.

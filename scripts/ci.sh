@@ -21,6 +21,25 @@ GQR_FORCE_SCALAR=1 cargo test -q -p gqr-core --test blocked_eval
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
+echo "==> snapshot corruption + round-trip suites"
+cargo test -q --test snapshot_corruption
+cargo test -q --test snapshot_roundtrip
+
+echo "==> snapshot save/load/query smoke (CLI)"
+SNAPDIR="$(mktemp -d)"
+trap 'rm -rf "$SNAPDIR"' EXIT
+cargo run -q --release --bin gqr -- generate --preset cifar60k --scale smoke \
+    --out "$SNAPDIR/vecs.fvecs" --seed 5
+cargo run -q --release --bin gqr -- save-index --data "$SNAPDIR/vecs.fvecs" \
+    --snapshot "$SNAPDIR/index.gqr" --algo pcah --bits 8 --mih-blocks 2
+cargo run -q --release --bin gqr -- load-index --snapshot "$SNAPDIR/index.gqr" \
+    --row 3 --k 4 --strategy gqr
+cargo run -q --release --bin gqr -- load-index --snapshot "$SNAPDIR/index.gqr" \
+    --queries 10 --k 5 --strategy mih
+
+echo "==> snapshot cold-start bench (smoke)"
+GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench snapshot
+
 echo "==> serving bench (smoke)"
 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench serving
 

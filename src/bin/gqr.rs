@@ -12,7 +12,8 @@
 //! serde); datasets use the TEXMEX `fvecs` format so real GIST/SIFT files
 //! drop in directly.
 
-use gqr::core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr::core::engine::{ProbeStrategy, QueryEngine, SearchParams, SearchResult};
+use gqr::core::shard::ShardedIndex;
 use gqr::core::table::HashTable;
 use gqr::dataset::{brute_force_knn, io as dsio, Dataset, DatasetSpec, Scale};
 use gqr::l2h::isoh::IsoHash;
@@ -22,6 +23,7 @@ use gqr::l2h::lsh::Lsh;
 use gqr::l2h::pcah::Pcah;
 use gqr::l2h::sh::SpectralHashing;
 use gqr::l2h::HashModel;
+use gqr::persist::LoadedIndex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::process::exit;
@@ -64,6 +66,8 @@ fn main() {
         "build" => cmd_build(&flags),
         "query" => cmd_query(&flags),
         "eval" => cmd_eval(&flags),
+        "save-index" => cmd_save_index(&flags),
+        "load-index" => cmd_load_index(&flags),
         "--help" | "-h" | "help" => {
             usage_and_exit(None);
         }
@@ -88,6 +92,10 @@ fn usage_and_exit(err: Option<&str>) -> ! {
          \x20 query    --data FILE --model FILE --index FILE --row I --k K\n\
          \x20          [--strategy gqr|ghr|hr|qr] [--candidates N]\n\
          \x20 eval     --data FILE --model FILE --index FILE --queries N --k K [--candidates N]\n\
+         \x20 save-index --data FILE --snapshot FILE (--model FILE | --algo A --bits M [--seed S])\n\
+         \x20          [--shards N] [--mih-blocks B]\n\
+         \x20 load-index --snapshot FILE --k K (--row I | --queries N)\n\
+         \x20          [--strategy gqr|ghr|hr|qr|mih] [--candidates N]\n\
          \n\
          presets: cifar60k gist1m tiny5m sift10m sift1m deep1m msong1m glove1.2m\n\
          \x20        glove2.2m audio50k nuswide ukbench1m imagenet2.3m"
@@ -189,17 +197,8 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
-    let ds = load_dataset(flags)?;
-    let bits: usize = get_num(flags, "bits")?;
-    let seed: u64 = flags
-        .get("seed")
-        .map(|s| s.parse().map_err(|_| "bad --seed"))
-        .transpose()?
-        .unwrap_or(0);
-    let algo = get(flags, "algo")?;
-    let start = std::time::Instant::now();
-    let model = match algo.to_ascii_lowercase().as_str() {
+fn train_model(ds: &Dataset, algo: &str, bits: usize, seed: u64) -> Result<ModelFile, String> {
+    Ok(match algo.to_ascii_lowercase().as_str() {
         "itq" => {
             ModelFile::Itq(Itq::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?)
         }
@@ -219,7 +218,19 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
             IsoHash::train(ds.as_slice(), ds.dim(), bits).map_err(|e| e.to_string())?,
         ),
         other => return Err(format!("unknown algo '{other}'")),
-    };
+    })
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let bits: usize = get_num(flags, "bits")?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(0);
+    let start = std::time::Instant::now();
+    let model = train_model(&ds, get(flags, "algo")?, bits, seed)?;
     let out = get(flags, "model")?;
     save_json(out, &model)?;
     println!(
@@ -344,5 +355,171 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
             start.elapsed()
         );
     }
+    Ok(())
+}
+
+fn cmd_save_index(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let model = if flags.contains_key("model") {
+        load_model(flags)?
+    } else {
+        let seed: u64 = flags
+            .get("seed")
+            .map(|s| s.parse().map_err(|_| "bad --seed"))
+            .transpose()?
+            .unwrap_or(0);
+        train_model(&ds, get(flags, "algo")?, get_num(flags, "bits")?, seed)?
+    };
+    let shards: usize = flags
+        .get("shards")
+        .map(|s| s.parse().map_err(|_| "bad --shards"))
+        .transpose()?
+        .unwrap_or(1);
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let mih_blocks: Option<usize> = flags
+        .get("mih-blocks")
+        .map(|s| s.parse().map_err(|_| "bad --mih-blocks"))
+        .transpose()?;
+    let out = get(flags, "snapshot")?;
+    let start = std::time::Instant::now();
+    let bytes = if shards > 1 {
+        let mut index = ShardedIndex::build(model.as_model(), ds.as_slice(), ds.dim(), shards);
+        if let Some(b) = mih_blocks {
+            index.enable_mih(b);
+        }
+        index
+            .save_snapshot(std::path::Path::new(out))
+            .map_err(|e| e.to_string())?
+    } else {
+        let table = HashTable::build(model.as_model(), ds.as_slice(), ds.dim());
+        let mut engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
+        if let Some(b) = mih_blocks {
+            engine.enable_mih(b);
+        }
+        engine
+            .save_snapshot(std::path::Path::new(out))
+            .map_err(|e| e.to_string())?
+    };
+    println!(
+        "saved {shards}-shard snapshot of {} × {} ({bytes} bytes, model {}) to {out} in {:?}",
+        ds.n(),
+        ds.dim(),
+        model.as_model().name(),
+        start.elapsed()
+    );
+    Ok(())
+}
+
+/// A query front end over a loaded snapshot: one engine for one-shard
+/// snapshots, the sharded fan-out otherwise.
+enum LoadedEngine<'a> {
+    Single(QueryEngine<'a, dyn HashModel + 'a>),
+    Sharded(ShardedIndex<'a, dyn HashModel + 'a>),
+}
+
+impl LoadedEngine<'_> {
+    fn search(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+        match self {
+            LoadedEngine::Single(e) => e.search(query, params),
+            LoadedEngine::Sharded(s) => s.search(query, params),
+        }
+    }
+}
+
+fn engine_from(loaded: &LoadedIndex) -> Result<LoadedEngine<'_>, String> {
+    if loaded.shards().len() == 1 {
+        QueryEngine::from_snapshot(loaded)
+            .map(LoadedEngine::Single)
+            .map_err(|e| e.to_string())
+    } else {
+        Ok(LoadedEngine::Sharded(ShardedIndex::from_snapshot(loaded)))
+    }
+}
+
+fn cmd_load_index(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "snapshot")?;
+    let start = std::time::Instant::now();
+    let loaded = gqr::persist::load_index(std::path::Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    println!(
+        "loaded {} items × {} dims ({} shard(s), model {}) from {path} in {:?}",
+        loaded.n_items(),
+        loaded.dim(),
+        loaded.shards().len(),
+        loaded.model().name(),
+        start.elapsed()
+    );
+    let k: usize = get_num(flags, "k")?;
+    let n_candidates: usize = flags
+        .get("candidates")
+        .map(|s| s.parse().map_err(|_| "bad --candidates"))
+        .transpose()?
+        .unwrap_or(1_000);
+    let strat_name = flags.get("strategy").map(String::as_str).unwrap_or("gqr");
+    let strat = if strat_name.eq_ignore_ascii_case("mih") {
+        if loaded.shards().iter().any(|s| s.mih.is_none()) {
+            return Err("snapshot has no MIH sections; re-save with --mih-blocks".into());
+        }
+        // The attached prebuilt MIH is used; the block count is already
+        // baked into it.
+        ProbeStrategy::MultiIndexHashing { blocks: 2 }
+    } else {
+        strategy(strat_name)?
+    };
+    let engine = engine_from(&loaded)?;
+    let params = SearchParams::for_k(k)
+        .candidates(n_candidates)
+        .strategy(strat)
+        .build()
+        .map_err(|e| format!("invalid search parameters: {e}"))?;
+
+    if let Some(row) = flags.get("row") {
+        let row: usize = row.parse().map_err(|_| "bad --row")?;
+        if row >= loaded.n_items() {
+            return Err(format!(
+                "--row {row} out of range (n = {})",
+                loaded.n_items()
+            ));
+        }
+        let dim = loaded.dim();
+        let query = loaded.data()[row * dim..(row + 1) * dim].to_vec();
+        let start = std::time::Instant::now();
+        let res = engine.search(&query, &params);
+        println!(
+            "{} nearest neighbors of row {row} ({} in {:?}, {} buckets probed, {} items evaluated):",
+            k,
+            strat.name(),
+            start.elapsed(),
+            res.stats.buckets_probed,
+            res.stats.items_evaluated
+        );
+        for (id, dist) in &res.neighbors {
+            println!("  #{id:<8} sq-dist {dist:.5}");
+        }
+        return Ok(());
+    }
+
+    let n_queries: usize = get_num(flags, "queries")?;
+    let ds = Dataset::new("snapshot", loaded.dim(), loaded.data().to_vec());
+    let queries = ds.sample_queries(n_queries, 7);
+    let truth = brute_force_knn(&ds, &queries, k, 0);
+    let start = std::time::Instant::now();
+    let mut found = 0usize;
+    for (q, t) in queries.iter().zip(&truth) {
+        let res = engine.search(q, &params);
+        found += res
+            .neighbors
+            .iter()
+            .filter(|(id, _)| t.contains(id))
+            .count();
+    }
+    println!(
+        "{:<9} recall@{k} {:.3}   {:?} total (budget {n_candidates}/query, {n_queries} queries)",
+        strat.name(),
+        found as f64 / (k * queries.len()) as f64,
+        start.elapsed()
+    );
     Ok(())
 }

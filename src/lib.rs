@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 pub use gqr_core as core;
+pub mod persist;
 pub use gqr_dataset as dataset;
 pub use gqr_eval as eval;
 pub use gqr_l2h as l2h;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use gqr_core::executor::{Executor, ExecutorBuilder, JobError, SubmitError, Ticket};
     pub use gqr_core::metrics::{MetricsRegistry, MetricsSnapshot};
     pub use gqr_core::multi_table::MultiTableIndex;
+    pub use gqr_core::persist::{load_index, save_index, LoadedIndex, PersistError};
     pub use gqr_core::request::SearchRequest;
     pub use gqr_core::shard::ShardedIndex;
     pub use gqr_core::table::HashTable;

@@ -1,25 +1,14 @@
 //! End-to-end test of the `gqr` command-line tool: generate → train →
-//! build → query → eval, through real files in a temp directory.
+//! build → query → eval through JSON files, and generate → save-index →
+//! load-index through binary snapshots, in a temp directory.
 
-use std::path::PathBuf;
+mod common;
+
+use common::{serde_json_works, tmpdir};
 use std::process::Command;
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_gqr"))
-}
-
-fn tmpdir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("gqr_cli_{tag}_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-/// The pipeline tests persist models/indexes as JSON, so they need a
-/// functional serde_json in the binary. Offline CI images may ship a stub
-/// whose `from_str` always errors; probe at runtime and skip there.
-fn serde_json_works() -> bool {
-    serde_json::from_str::<u32>("1").is_ok()
 }
 
 #[test]
@@ -130,6 +119,152 @@ fn full_pipeline_works() {
     assert!(
         text.contains("GQR") && text.contains("HR"),
         "eval table:\n{text}"
+    );
+}
+
+/// The snapshot pipeline needs no serde_json at all, so unlike the JSON
+/// pipeline above it runs in full on offline CI images.
+#[test]
+fn snapshot_pipeline_works() {
+    let dir = tmpdir("snapshot_pipeline");
+    let data = dir.join("d.fvecs");
+    let snap = dir.join("index.gqr");
+
+    let out = bin()
+        .args(["generate", "--preset", "audio50k", "--scale", "smoke"])
+        .args(["--out", data.to_str().unwrap(), "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Train inline and persist everything as one binary snapshot,
+    // including a prebuilt MIH.
+    let out = bin()
+        .args(["save-index", "--data", data.to_str().unwrap()])
+        .args(["--algo", "pcah", "--bits", "8", "--mih-blocks", "2"])
+        .args(["--snapshot", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "save-index failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(snap.exists());
+
+    // Single-query mode: the row itself must be its own nearest neighbor.
+    let out = bin()
+        .args(["load-index", "--snapshot", snap.to_str().unwrap()])
+        .args(["--row", "3", "--k", "4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "load-index query failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("loaded"), "load summary missing:\n{text}");
+    assert!(
+        text.contains("#3"),
+        "the row itself must be its own nearest neighbor:\n{text}"
+    );
+
+    // Eval mode via the prebuilt MIH from the snapshot.
+    let out = bin()
+        .args(["load-index", "--snapshot", snap.to_str().unwrap()])
+        .args(["--queries", "10", "--k", "5", "--strategy", "mih"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "load-index eval failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recall@5"), "eval summary missing:\n{text}");
+}
+
+#[test]
+fn sharded_snapshot_pipeline_works() {
+    let dir = tmpdir("snapshot_sharded");
+    let data = dir.join("d.fvecs");
+    let snap = dir.join("sharded.gqr");
+
+    assert!(bin()
+        .args(["generate", "--preset", "audio50k", "--scale", "smoke"])
+        .args(["--out", data.to_str().unwrap(), "--seed", "6"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = bin()
+        .args(["save-index", "--data", data.to_str().unwrap()])
+        .args(["--algo", "itq", "--bits", "8", "--shards", "3"])
+        .args(["--snapshot", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "sharded save-index failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .args(["load-index", "--snapshot", snap.to_str().unwrap()])
+        .args(["--row", "0", "--k", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "sharded load-index failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 shard"), "shard count missing:\n{text}");
+    assert!(text.contains("#0"), "row 0 must be its own 1-NN:\n{text}");
+}
+
+#[test]
+fn load_index_rejects_corrupted_snapshot() {
+    let dir = tmpdir("snapshot_corrupt_cli");
+    let data = dir.join("d.fvecs");
+    let snap = dir.join("index.gqr");
+
+    assert!(bin()
+        .args(["generate", "--preset", "audio50k", "--scale", "smoke"])
+        .args(["--out", data.to_str().unwrap(), "--seed", "7"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(bin()
+        .args(["save-index", "--data", data.to_str().unwrap()])
+        .args(["--algo", "pcah", "--bits", "8"])
+        .args(["--snapshot", snap.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    let out = bin()
+        .args(["load-index", "--snapshot", snap.to_str().unwrap()])
+        .args(["--row", "0", "--k", "3"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "corrupted snapshot must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("checksum") || err.contains("corrupt") || err.contains("truncated"),
+        "error should explain the corruption: {err}"
     );
 }
 

@@ -1,0 +1,154 @@
+//! Behavioral round-trip coverage for binary snapshots: an index loaded
+//! from disk must return *bit-identical* top-k results to the in-memory
+//! original, for every probe strategy, the sharded index, and MPLSH.
+
+mod common;
+
+use common::{fixture, tmpdir};
+use gqr::mplsh::{MpLshIndex, MpLshParams};
+use gqr::persist::{load_mplsh, save_mplsh};
+use gqr::prelude::*;
+
+const ALL_STRATEGIES: [ProbeStrategy; 5] = [
+    ProbeStrategy::HammingRanking,
+    ProbeStrategy::GenerateHammingRanking,
+    ProbeStrategy::QdRanking,
+    ProbeStrategy::GenerateQdRanking,
+    ProbeStrategy::MultiIndexHashing { blocks: 2 },
+];
+
+fn params_for(strat: ProbeStrategy) -> SearchParams {
+    SearchParams::for_k(10)
+        .candidates(400)
+        .strategy(strat)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn engine_roundtrip_is_bit_identical_for_every_strategy() {
+    let ds = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 10).unwrap();
+    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let mut engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+    engine.enable_mih(2);
+
+    let path = tmpdir("engine_rt").join("engine.gqr");
+    engine.save_snapshot(&path).unwrap();
+    let loaded = load_index(&path).unwrap();
+    let engine2 = QueryEngine::from_snapshot(&loaded).unwrap();
+
+    let queries = ds.sample_queries(20, 9);
+    for strat in ALL_STRATEGIES {
+        let params = params_for(strat);
+        for q in &queries {
+            let a = engine.search(q, &params);
+            let b = engine2.search(q, &params);
+            assert_eq!(
+                a.neighbors,
+                b.neighbors,
+                "{} diverged after snapshot round-trip",
+                strat.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_roundtrip_is_bit_identical_for_every_strategy() {
+    let ds = fixture();
+    let model = Pcah::train(ds.as_slice(), ds.dim(), 10).unwrap();
+    let mut index = ShardedIndex::build(&model, ds.as_slice(), ds.dim(), 3);
+    index.enable_mih(2);
+
+    let path = tmpdir("shard_rt").join("sharded.gqr");
+    index.save_snapshot(&path).unwrap();
+    let loaded = load_index(&path).unwrap();
+    assert_eq!(loaded.shards().len(), 3);
+    assert_eq!(loaded.n_items(), ds.n());
+    let index2 = ShardedIndex::from_snapshot(&loaded);
+    assert_eq!(index2.n_shards(), 3);
+    assert_eq!(index2.shard_sizes(), index.shard_sizes());
+
+    let queries = ds.sample_queries(20, 11);
+    for strat in ALL_STRATEGIES {
+        let params = params_for(strat);
+        for q in &queries {
+            let a = index.search(q, &params);
+            let b = index2.search(q, &params);
+            assert_eq!(
+                a.neighbors,
+                b.neighbors,
+                "sharded {} diverged after snapshot round-trip",
+                strat.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_snapshot_is_rejected_by_single_engine_constructor() {
+    let ds = fixture();
+    let model = Pcah::train(ds.as_slice(), ds.dim(), 8).unwrap();
+    let index = ShardedIndex::build(&model, ds.as_slice(), ds.dim(), 2);
+    let path = tmpdir("shard_rej").join("sharded.gqr");
+    index.save_snapshot(&path).unwrap();
+    let loaded = load_index(&path).unwrap();
+    let err = QueryEngine::from_snapshot(&loaded)
+        .err()
+        .expect("must fail");
+    assert!(
+        err.to_string().contains("2 shard"),
+        "error should name the shard count: {err}"
+    );
+}
+
+#[test]
+fn mplsh_roundtrip_is_bit_identical() {
+    let ds = fixture();
+    let params = MpLshParams {
+        tables: 4,
+        hashes_per_table: 8,
+        bucket_width: MpLshIndex::suggest_width(ds.as_slice(), ds.dim()),
+        seed: 3,
+    };
+    let index = MpLshIndex::build(ds.as_slice(), ds.dim(), &params);
+
+    let path = tmpdir("mplsh_rt").join("mplsh.gqr");
+    save_mplsh(&path, &index).unwrap();
+    let index2 = load_mplsh(&path).unwrap();
+    assert_eq!(index2.n_tables(), index.n_tables());
+    assert_eq!(index2.n_items(), index.n_items());
+    assert_eq!(index2.n_buckets(), index.n_buckets());
+
+    for q in ds.sample_queries(20, 13) {
+        let (a, _) = index.search(&q, ds.as_slice(), 10, 400, 16);
+        let (b, _) = index2.search(&q, ds.as_slice(), 10, 400, 16);
+        assert_eq!(a, b, "MPLSH diverged after snapshot round-trip");
+    }
+}
+
+#[test]
+fn metered_load_records_snapshot_metrics() {
+    let ds = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
+    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+    let path = tmpdir("metered").join("engine.gqr");
+    let saved_bytes = engine.save_snapshot(&path).unwrap();
+
+    let metrics = MetricsRegistry::enabled();
+    let loaded = gqr::persist::load_index_metered(&path, &metrics).unwrap();
+    assert_eq!(loaded.n_items(), ds.n());
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.counters.get("gqr_snapshot_bytes"),
+        Some(&saved_bytes),
+        "gqr_snapshot_bytes must record the file size"
+    );
+    let hist = snap
+        .histograms
+        .get("gqr_snapshot_load_seconds")
+        .expect("load latency histogram must be recorded");
+    assert_eq!(hist.count, 1);
+}
