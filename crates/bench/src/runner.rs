@@ -6,6 +6,7 @@ use gqr_core::engine::{Checkpoint, ProbeStrategy, QueryEngine, SearchParams};
 use gqr_core::metrics::{MetricsRegistry, Phase, PhaseSpans};
 use gqr_core::multi_table::MultiTableIndex;
 use gqr_core::persist::{PersistError, SectionKind, SnapshotFile, SnapshotWriter};
+use gqr_core::request::SearchRequest;
 use gqr_core::table::HashTable;
 use gqr_core::topk::TopK;
 use gqr_eval::curve::{recall_time_curve, RecallCurve};
@@ -54,8 +55,9 @@ pub fn strategy_curve(
             n_candidates: *b.last().expect("budgets non-empty"),
             ..params
         };
-        let (_, cps) = engine.search_traced(q, &full, b);
-        cps
+        engine
+            .run(SearchRequest::new(q).params(full).checkpoints(b))
+            .checkpoints
     })
 }
 

@@ -455,8 +455,10 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
 
     /// The single front door: execute one [`SearchRequest`] — query,
     /// parameters, and any combination of checkpoints, a filter, and a
-    /// deadline. [`QueryEngine::search`], [`QueryEngine::search_traced`] and
-    /// [`QueryEngine::search_filtered`] are thin wrappers over this.
+    /// deadline. [`QueryEngine::search`] is a thin wrapper over this, as
+    /// are the deprecated `search_traced`/`search_filtered`; the
+    /// [`Index`](crate::index::Index) trait exposes this method across
+    /// every index shape.
     ///
     /// A request [`deadline`](SearchRequest::deadline) is folded into the
     /// params' soft [`time_limit`](SearchParams::time_limit) (whichever is
@@ -490,10 +492,14 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         }
         let start = Instant::now();
         let (mut result, checkpoints) = match params.strategy {
-            ProbeStrategy::MultiIndexHashing { .. } => {
-                assert!(filter.is_none(), "filtered search is not supported for MIH");
-                self.run_mih(query, &params, budgets, start, scratch)
-            }
+            ProbeStrategy::MultiIndexHashing { .. } => self.run_mih(
+                query,
+                &params,
+                budgets,
+                start,
+                filter.as_deref_mut(),
+                scratch,
+            ),
             _ => self.run_buckets(
                 query,
                 &params,
@@ -521,6 +527,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
     /// k-NN search that additionally snapshots the running top-k at each
     /// candidate `budget` (ascending). The final result uses the full
     /// `params.n_candidates` budget.
+    #[deprecated(note = "use run(SearchRequest)")]
     pub fn search_traced(
         &self,
         query: &[f32],
@@ -540,8 +547,9 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
     /// search). Items rejected by the predicate are skipped *before* the
     /// distance computation and do not count toward the candidate budget,
     /// so the search keeps probing until it has evaluated `n_candidates`
-    /// *matching* items (or another stop criterion fires). Bucket
-    /// strategies only — MIH has no filtered path.
+    /// *matching* items (or another stop criterion fires). Supported by
+    /// every strategy, MIH included.
+    #[deprecated(note = "use run(SearchRequest)")]
     pub fn search_filtered(
         &self,
         query: &[f32],
@@ -680,12 +688,13 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         )
     }
 
-    fn run_mih(
+    fn run_mih<'q>(
         &self,
         query: &[f32],
         params: &SearchParams,
         budgets: &[usize],
         start: Instant,
+        mut filter: Option<&mut (dyn FnMut(u32) -> bool + 'q)>,
         scratch: &mut ScoreBlock,
     ) -> (SearchResult, Vec<Checkpoint>) {
         let mih = self
@@ -719,16 +728,24 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             }
             stats.items_collected += batch.len();
             let t = spans.begin();
+            // Same contract as the bucket path: rejected items are skipped
+            // before any distance is computed and do not count toward the
+            // candidate budget (the flush return values count evaluations).
             for &id in &batch {
+                if let Some(f) = filter.as_deref_mut() {
+                    if !f(id) {
+                        continue;
+                    }
+                }
                 if scratch.is_full() {
-                    scratch.flush(query, self.metric, |id, d| topk.push(d, id));
+                    stats.items_evaluated +=
+                        scratch.flush(query, self.metric, |id, d| topk.push(d, id));
                 }
                 let row = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
                 scratch.push(id, row);
             }
-            scratch.flush(query, self.metric, |id, d| topk.push(d, id));
+            stats.items_evaluated += scratch.flush(query, self.metric, |id, d| topk.push(d, id));
             spans.end(Phase::Evaluate, t);
-            stats.items_evaluated += batch.len();
             while let Some(&b) = next_budget.peek() {
                 if stats.items_evaluated < b {
                     break;
@@ -919,6 +936,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn checkpoints_record_monotone_progress() {
         let (data, model, table) = engine_fixture();
         let engine = QueryEngine::new(&model, &table, &data, 2);
@@ -1045,6 +1063,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn run_is_the_front_door_for_all_wrappers() {
         let (data, model, table) = engine_fixture();
         let engine = QueryEngine::new(&model, &table, &data, 2);

@@ -1,0 +1,169 @@
+//! The unified front door: one [`Index`] trait over every index shape.
+//!
+//! Four index types answer k-NN requests in this crate — the single-table
+//! [`QueryEngine`], the partitioned [`ShardedIndex`], the multi-table
+//! [`MultiTableIndex`], and the epoch-versioned [`MutableIndex`] /
+//! [`ShardedMutableIndex`] pair — and each grew its own ad-hoc search
+//! surface over time. [`Index`] is the common denominator: build a
+//! [`SearchRequest`], call [`run`](Index::run), get a [`SearchResult`].
+//! Code written against `&dyn Index` (services, benchmarks, evaluation
+//! harnesses) works unchanged across all of them; the legacy
+//! `search_traced` / `search_filtered` / `search_on` wrappers are
+//! deprecated in favor of this path.
+
+use crate::engine::{QueryEngine, SearchResult};
+use crate::live::{MutableIndex, ShardedMutableIndex};
+use crate::metrics::MetricsRegistry;
+use crate::multi_table::MultiTableIndex;
+use crate::request::SearchRequest;
+use crate::shard::ShardedIndex;
+use gqr_l2h::HashModel;
+
+/// A k-NN index that answers [`SearchRequest`]s.
+///
+/// Implementations differ in layout (one table, shards, multiple tables,
+/// mutable generations) but share the request/response contract: neighbor
+/// ids ascend by distance, filters decide candidate eligibility before any
+/// distance is computed, and a deadline tightens the soft time limit.
+/// Capabilities beyond that contract (checkpoints, executor fan-out,
+/// pinned-generation queries) stay on the concrete types.
+pub trait Index {
+    /// Execute one search request.
+    fn run(&self, req: SearchRequest<'_>) -> SearchResult;
+
+    /// Number of items the index currently answers for.
+    fn n_items(&self) -> usize;
+
+    /// The metrics registry observing this index.
+    fn metrics(&self) -> &MetricsRegistry;
+}
+
+impl<M: HashModel + ?Sized> Index for QueryEngine<'_, M> {
+    fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        QueryEngine::run(self, req)
+    }
+
+    fn n_items(&self) -> usize {
+        self.table().n_items()
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        QueryEngine::metrics(self)
+    }
+}
+
+impl<M: HashModel + ?Sized + Sync> Index for ShardedIndex<'_, M> {
+    fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        ShardedIndex::run(self, req)
+    }
+
+    fn n_items(&self) -> usize {
+        ShardedIndex::n_items(self)
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        ShardedIndex::metrics(self)
+    }
+}
+
+impl Index for MultiTableIndex<'_> {
+    fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        MultiTableIndex::run(self, req)
+    }
+
+    fn n_items(&self) -> usize {
+        MultiTableIndex::n_items(self)
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        MultiTableIndex::metrics(self)
+    }
+}
+
+impl<M: HashModel + ?Sized + 'static> Index for MutableIndex<M> {
+    fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        MutableIndex::run(self, req)
+    }
+
+    fn n_items(&self) -> usize {
+        MutableIndex::n_items(self)
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        MutableIndex::metrics(self)
+    }
+}
+
+impl<M: HashModel + ?Sized + 'static> Index for ShardedMutableIndex<M> {
+    fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        ShardedMutableIndex::run(self, req)
+    }
+
+    fn n_items(&self) -> usize {
+        ShardedMutableIndex::n_items(self)
+    }
+
+    fn metrics(&self) -> &MetricsRegistry {
+        ShardedMutableIndex::metrics(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SearchParams;
+    use crate::table::HashTable;
+    use gqr_l2h::pcah::Pcah;
+    use std::sync::Arc;
+
+    fn grid(n: u32) -> Vec<f32> {
+        let mut data = Vec::new();
+        for i in 0..n {
+            data.push((i % 10) as f32 + 0.01 * (i as f32).sin());
+            data.push((i / 10) as f32);
+        }
+        data
+    }
+
+    fn query_dyn(index: &dyn Index, q: &[f32], k: usize) -> Vec<u32> {
+        let params = SearchParams {
+            k,
+            n_candidates: usize::MAX,
+            early_stop: false,
+            ..Default::default()
+        };
+        let res = index.run(SearchRequest::new(q).params(params));
+        assert_eq!(res.neighbors.len(), k);
+        res.neighbors.into_iter().map(|(id, _)| id).collect()
+    }
+
+    #[test]
+    fn every_index_shape_answers_through_the_trait() {
+        let data = grid(100);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let table = HashTable::build(&model, &data, 2);
+        let q = [4.2f32, 3.1];
+
+        let engine = QueryEngine::new(&model, &table, &data, 2);
+        let expect = query_dyn(&engine, &q, 5);
+        assert_eq!(Index::n_items(&engine), 100);
+
+        let sharded = ShardedIndex::build(&model, &data, 2, 3);
+        assert_eq!(query_dyn(&sharded, &q, 5), expect);
+        assert_eq!(Index::n_items(&sharded), 100);
+
+        let mutable = MutableIndex::build(Arc::new(model.clone()), &data, 2);
+        assert_eq!(query_dyn(&mutable, &q, 5), expect);
+        assert_eq!(Index::n_items(&mutable), 100);
+
+        let sharded_mutable =
+            ShardedMutableIndex::build(MutableIndex::builder(Arc::new(model.clone())), &data, 2, 3);
+        assert_eq!(query_dyn(&sharded_mutable, &q, 5), expect);
+        assert_eq!(Index::n_items(&sharded_mutable), 100);
+
+        let models: Vec<&dyn gqr_l2h::HashModel> = vec![&model];
+        let multi = MultiTableIndex::build(models, &data, 2);
+        assert_eq!(query_dyn(&multi, &q, 5), expect);
+        assert_eq!(Index::n_items(&multi), 100);
+    }
+}

@@ -53,6 +53,8 @@ pub mod batch;
 pub mod code;
 pub mod engine;
 pub mod executor;
+pub mod index;
+pub mod live;
 pub use gqr_metrics as metrics;
 pub mod multi_table;
 pub mod persist;
@@ -70,12 +72,16 @@ pub use engine::{
 };
 pub use executor::{Executor, ExecutorBuilder, JobError, SubmitError, Ticket};
 pub use gqr_metrics::{MetricsRegistry, MetricsSnapshot, Phase, PhaseSpans};
+pub use index::Index;
+pub use live::{
+    Generation, IndexWriter, MutableIndex, MutableIndexBuilder, ShardedMutableIndex, VersionedStore,
+};
 pub use persist::{
     load_index, load_index_metered, save_index, LoadedIndex, PersistError, SectionKind,
     SnapshotFile, SnapshotWriter, FORMAT_VERSION,
 };
 pub use probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
 pub use request::SearchRequest;
-pub use shard::ShardedIndex;
+pub use shard::{ShardBuildError, ShardedIndex, ShardedIndexBuilder};
 pub use stats::ProbeStats;
 pub use table::HashTable;

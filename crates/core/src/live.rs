@@ -1,0 +1,1731 @@
+//! Live index mutations: an epoch-versioned store with delta segments,
+//! tombstones, and threshold-triggered compaction.
+//!
+//! Every other index in this crate borrows an immutable `&[f32]` and a
+//! build-once [`HashTable`]; serving live traffic means inserts and deletes
+//! must land without a retrain-and-rebuild and without blocking in-flight
+//! queries. This module provides that:
+//!
+//! * [`VersionedStore`] **owns** its vectors and publishes immutable
+//!   [`Generation`]s. A reader pins the current generation by cloning an
+//!   `Arc` (a read lock held only for the clone); the query itself then
+//!   runs entirely lock-free on frozen data, so a query started at epoch
+//!   `E` sees exactly epoch `E` no matter how many mutations land while it
+//!   runs — no torn reads, no reader-side blocking.
+//! * [`IndexWriter`] routes [`insert`](IndexWriter::insert) /
+//!   [`delete`](IndexWriter::delete) / [`upsert`](IndexWriter::upsert)
+//!   into an append-only **delta segment** (hashed through the same
+//!   [`HashModel`], searched alongside the main table by all five probe
+//!   strategies) and a **tombstone set** masking deleted rows at evaluate
+//!   time. Each mutation publishes a brand-new generation (copy-on-write
+//!   over the small delta; the large base segment is shared by `Arc`), so
+//!   publishing is one atomic pointer swap.
+//! * When `delta rows + tombstones` reaches the compaction threshold, the
+//!   store **compacts**: live rows are folded into a fresh base segment
+//!   (main table plus MIH block tables rebuilt from cached codes), the
+//!   delta drains, tombstones are remapped or dropped, and the new
+//!   generation is swapped in atomically. Compaction runs inline by
+//!   default or on the global [`Executor`] with
+//!   [`MutableIndexBuilder::background_compaction`].
+//!
+//! # Determinism
+//!
+//! Compaction keeps live rows in slot order and rebuilds the table from the
+//! *cached* codes ([`HashTable::from_codes`]), so a compacted index is
+//! bit-identical to an index freshly built over the same rows in the same
+//! order — same buckets, same in-bucket order, same probe sequence, same
+//! distances (`tests/live_mutations.rs` pins this).
+//!
+//! # Id model
+//!
+//! External ids are stable across compaction. Internally every row lives in
+//! a *global slot*: base slot `s` is slot `s`, delta row `j` is slot
+//! `base_rows + j`. Tombstones name global slots; each segment carries a
+//! slot → external-id array. Id allocation is parameterized by
+//! `(first id, step)` so [`ShardedMutableIndex`] can give shard `s` of `S`
+//! the residue class `id ≡ s (mod S)` — mutations route by `id % S`
+//! without any shared allocator.
+
+use crate::engine::{QueryEngine, SearchResult};
+use crate::executor::Executor;
+use crate::metrics::{metric_name, MetricsRegistry};
+use crate::persist::{corrupt, PersistError, SectionKind, SnapshotFile, SnapshotWriter};
+use crate::probe::mih::MihIndex;
+use crate::request::SearchRequest;
+use crate::stats::ProbeStats;
+use crate::table::HashTable;
+use crate::topk::TopK;
+use gqr_l2h::HashModel;
+use gqr_linalg::vecops::Metric;
+use gqr_linalg::wire::{ByteReader, ByteWriter, WireError};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Instant;
+
+/// Default for [`MutableIndexBuilder::compaction_threshold`]: compact once
+/// `delta rows + tombstones` reaches this. Keeps the per-mutation
+/// copy-on-write cost (cloning the delta) bounded while amortizing the
+/// rebuild.
+pub const DEFAULT_COMPACTION_THRESHOLD: usize = 512;
+
+/// One frozen run of rows: vectors, per-slot external ids and codes, the
+/// hash table over the slots, and an optional MIH side index. The base
+/// segment is large and shared (`Arc`); the delta segment is small and
+/// cloned copy-on-write by each mutation.
+#[derive(Clone)]
+struct Segment {
+    /// Row-major vectors, `dim` columns.
+    data: Vec<f32>,
+    /// Slot → external id.
+    ids: Vec<u32>,
+    /// Slot → bucket code (cached so compaction never re-encodes).
+    codes: Vec<u64>,
+    /// Slot-addressed hash table (dense ids `0..rows`).
+    table: HashTable,
+    /// MIH block tables over `codes`, when MIH is enabled.
+    mih: Option<MihIndex>,
+}
+
+impl Segment {
+    fn empty(code_length: usize) -> Segment {
+        Segment {
+            data: Vec::new(),
+            ids: Vec::new(),
+            codes: Vec::new(),
+            table: HashTable::from_codes(code_length, &[]),
+            mih: None,
+        }
+    }
+
+    fn rows(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn row_data(&self, slot: usize, dim: usize) -> &[f32] {
+        &self.data[slot * dim..(slot + 1) * dim]
+    }
+
+    /// Append one row; the caller rebuilds the MIH afterwards if needed.
+    fn push(&mut self, row: &[f32], id: u32, code: u64) {
+        let local = self.ids.len() as u32;
+        self.data.extend_from_slice(row);
+        self.ids.push(id);
+        self.codes.push(code);
+        self.table.insert(code, local);
+    }
+
+    fn rebuild_mih(&mut self, blocks: Option<usize>) {
+        self.mih = match blocks {
+            Some(b) if !self.codes.is_empty() => {
+                Some(MihIndex::build(self.table.code_length(), &self.codes, b))
+            }
+            _ => None,
+        };
+    }
+}
+
+/// One immutable published version of the index: a shared base segment, a
+/// copy-on-write delta segment, and the tombstone set masking deleted
+/// global slots. Obtained from [`MutableIndex::pin`]; everything reachable
+/// from a generation is frozen, so a pinned generation can be queried
+/// concurrently with any number of mutations.
+pub struct Generation {
+    epoch: u64,
+    base: Arc<Segment>,
+    delta: Segment,
+    /// Deleted global slots (base slot `s` → `s`; delta row `j` →
+    /// `base_rows + j`). Shared between generations when a mutation does
+    /// not touch it.
+    tombstones: Arc<HashSet<u32>>,
+}
+
+impl Generation {
+    /// The epoch counter: bumped by exactly one per published mutation or
+    /// compaction.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rows in the frozen base segment.
+    pub fn base_rows(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// Rows in the append-only delta segment.
+    pub fn delta_rows(&self) -> usize {
+        self.delta.rows()
+    }
+
+    /// Deleted rows masked by the tombstone set.
+    pub fn n_tombstones(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Live rows visible to a query against this generation.
+    pub fn n_live(&self) -> usize {
+        // Every tombstone names a distinct formerly-live slot, so the
+        // count is exact.
+        self.base.rows() + self.delta.rows() - self.tombstones.len()
+    }
+
+    /// External ids of every live row (arbitrary order).
+    pub fn live_ids(&self) -> Vec<u32> {
+        let total = self.base.rows() + self.delta.rows();
+        let mut out = Vec::with_capacity(self.n_live());
+        for g in 0..total as u32 {
+            if !self.tombstones.contains(&g) {
+                out.push(self.ext_id(g));
+            }
+        }
+        out
+    }
+
+    /// External id of global slot `g`.
+    fn ext_id(&self, g: u32) -> u32 {
+        let base_rows = self.base.rows() as u32;
+        if g < base_rows {
+            self.base.ids[g as usize]
+        } else {
+            self.delta.ids[(g - base_rows) as usize]
+        }
+    }
+
+    /// `(vector, external id, code)` of global slot `g`.
+    fn row(&self, g: usize, dim: usize) -> (&[f32], u32, u64) {
+        let base_rows = self.base.rows();
+        if g < base_rows {
+            (
+                self.base.row_data(g, dim),
+                self.base.ids[g],
+                self.base.codes[g],
+            )
+        } else {
+            let j = g - base_rows;
+            (
+                self.delta.row_data(j, dim),
+                self.delta.ids[j],
+                self.delta.codes[j],
+            )
+        }
+    }
+}
+
+/// Writer-side bookkeeping, serialized by the writer mutex.
+struct WriterState {
+    /// Next external id [`IndexWriter::insert`] hands out.
+    next_id: u32,
+    /// External id → global slot of every live row.
+    live: HashMap<u32, u32>,
+}
+
+/// The epoch-versioned vector store behind [`MutableIndex`]: owns the
+/// vectors, publishes [`Generation`]s, serializes writers, and runs
+/// compaction. Shared by every handle (`Arc`); all methods take `&self`.
+pub struct VersionedStore<M: HashModel + ?Sized> {
+    model: Arc<M>,
+    dim: usize,
+    metric: Metric,
+    mih_blocks: Option<usize>,
+    compaction_threshold: usize,
+    background_compaction: bool,
+    id_step: u32,
+    current: RwLock<Arc<Generation>>,
+    writer: Mutex<WriterState>,
+    /// Guards against concurrent compactions (the flag is set before the
+    /// rebuild starts and cleared after the swap).
+    compacting: AtomicBool,
+    /// Self-reference so background compaction jobs can keep the store
+    /// alive on the executor without a reference cycle.
+    myself: Weak<VersionedStore<M>>,
+    metrics: MetricsRegistry,
+}
+
+impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
+    /// Pin the current generation: one brief read-lock to clone the `Arc`,
+    /// after which the caller holds a frozen, consistent view.
+    fn pin(&self) -> Arc<Generation> {
+        self.current.read().clone()
+    }
+
+    /// Swap in a new generation and refresh the size gauges. Callers hold
+    /// the writer mutex, so publishes are totally ordered.
+    fn publish(&self, gen: Generation) {
+        if self.metrics.is_enabled() {
+            self.metrics.set("gqr_live_epoch", gen.epoch);
+            self.metrics.set("gqr_delta_items", gen.delta.rows() as u64);
+            self.metrics
+                .set("gqr_tombstones", gen.tombstones.len() as u64);
+        }
+        *self.current.write() = Arc::new(gen);
+    }
+
+    fn count_mutation(&self, op: &str) {
+        self.metrics
+            .incr(&metric_name("gqr_mutations_total", &[("op", op)]));
+    }
+
+    /// Append one row to a copy of `gen`'s delta and return the new delta
+    /// plus the row's global slot.
+    fn grown_delta(&self, gen: &Generation, vector: &[f32], id: u32) -> (Segment, u32) {
+        let total = gen.base.rows() + gen.delta.rows();
+        assert!(total < u32::MAX as usize, "slot space is u32");
+        let mut delta = gen.delta.clone();
+        delta.push(vector, id, self.model.encode(vector));
+        delta.rebuild_mih(self.mih_blocks);
+        ((delta), (total) as u32)
+    }
+
+    fn insert(&self, vector: &[f32]) -> u32 {
+        assert_eq!(vector.len(), self.dim, "vector dimensionality mismatch");
+        let id;
+        {
+            let mut w = self.writer.lock();
+            id = w.next_id;
+            w.next_id = id
+                .checked_add(self.id_step)
+                .expect("external id space exhausted");
+            let gen = self.pin();
+            let (delta, slot) = self.grown_delta(&gen, vector, id);
+            w.live.insert(id, slot);
+            self.publish(Generation {
+                epoch: gen.epoch + 1,
+                base: Arc::clone(&gen.base),
+                delta,
+                tombstones: Arc::clone(&gen.tombstones),
+            });
+        }
+        self.count_mutation("insert");
+        self.maybe_compact();
+        id
+    }
+
+    fn delete(&self, id: u32) -> bool {
+        {
+            let mut w = self.writer.lock();
+            let Some(slot) = w.live.remove(&id) else {
+                return false;
+            };
+            let gen = self.pin();
+            let mut tombstones = (*gen.tombstones).clone();
+            tombstones.insert(slot);
+            self.publish(Generation {
+                epoch: gen.epoch + 1,
+                base: Arc::clone(&gen.base),
+                delta: gen.delta.clone(),
+                tombstones: Arc::new(tombstones),
+            });
+        }
+        self.count_mutation("delete");
+        self.maybe_compact();
+        true
+    }
+
+    fn upsert(&self, id: u32, vector: &[f32]) -> bool {
+        assert_eq!(vector.len(), self.dim, "vector dimensionality mismatch");
+        let replaced;
+        {
+            let mut w = self.writer.lock();
+            assert_eq!(
+                id % self.id_step,
+                w.next_id % self.id_step,
+                "id {id} does not belong to this store's id residue class"
+            );
+            let old_slot = w.live.remove(&id);
+            let gen = self.pin();
+            let (delta, slot) = self.grown_delta(&gen, vector, id);
+            let tombstones = match old_slot {
+                Some(s) => {
+                    let mut t = (*gen.tombstones).clone();
+                    t.insert(s);
+                    Arc::new(t)
+                }
+                None => Arc::clone(&gen.tombstones),
+            };
+            if id >= w.next_id {
+                // Keep the allocator ahead of explicitly-chosen ids.
+                w.next_id = id
+                    .checked_add(self.id_step)
+                    .expect("external id space exhausted");
+            }
+            w.live.insert(id, slot);
+            self.publish(Generation {
+                epoch: gen.epoch + 1,
+                base: Arc::clone(&gen.base),
+                delta,
+                tombstones,
+            });
+            replaced = old_slot.is_some();
+        }
+        self.count_mutation("upsert");
+        self.maybe_compact();
+        replaced
+    }
+
+    /// Compact when the masked/overlay state crossed the threshold and no
+    /// compaction is already running.
+    fn maybe_compact(&self) {
+        let (delta_rows, tombs) = {
+            let gen = self.current.read();
+            (gen.delta.rows(), gen.tombstones.len())
+        };
+        if delta_rows + tombs < self.compaction_threshold {
+            return;
+        }
+        if self.compacting.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if self.background_compaction {
+            if let Some(me) = self.myself.upgrade() {
+                // Non-blocking: a full executor queue falls back to the
+                // inline path rather than stalling the mutation.
+                if Executor::global()
+                    .try_submit(move || me.run_compaction())
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+        }
+        self.run_compaction();
+    }
+
+    /// Fold delta + tombstones into a fresh base segment now, regardless of
+    /// the threshold. No-op when another compaction is in flight.
+    fn compact_now(&self) {
+        if self.compacting.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.run_compaction();
+    }
+
+    /// The compaction itself. The expensive rebuild runs against a pinned
+    /// epoch `E` *without* holding the writer lock, so mutations keep
+    /// landing; the writer lock is then taken only to replay rows appended
+    /// after `E`, remap surviving tombstones, and swap the new generation
+    /// in. The `compacting` flag (set by the caller) keeps this
+    /// single-flight.
+    fn run_compaction(&self) {
+        let started = Instant::now();
+        let pinned = self.pin();
+        let base_rows = pinned.base.rows();
+        let pinned_total = base_rows + pinned.delta.rows();
+        let code_length = self.model.code_length();
+
+        // Off-lock: fold every row live at epoch E into the new base, in
+        // global-slot order. Slot order + cached codes make the rebuilt
+        // table bit-identical to a fresh build over the same rows.
+        let mut data = Vec::with_capacity(pinned.n_live() * self.dim);
+        let mut ids = Vec::with_capacity(pinned.n_live());
+        let mut codes = Vec::with_capacity(pinned.n_live());
+        // Old global slot → new base slot (u32::MAX = dead at E).
+        let mut remap = vec![u32::MAX; pinned_total];
+        for (g, slot) in remap.iter_mut().enumerate() {
+            if pinned.tombstones.contains(&(g as u32)) {
+                continue;
+            }
+            let (row, id, code) = pinned.row(g, self.dim);
+            *slot = ids.len() as u32;
+            data.extend_from_slice(row);
+            ids.push(id);
+            codes.push(code);
+        }
+        let table = HashTable::from_codes(code_length, &codes);
+        let mut base = Segment {
+            data,
+            ids,
+            codes,
+            table,
+            mih: None,
+        };
+        base.rebuild_mih(self.mih_blocks);
+        let base = Arc::new(base);
+        let new_base_rows = base.rows();
+
+        {
+            let mut w = self.writer.lock();
+            let cur = self.pin();
+            // Replay delta rows appended after E that are still live.
+            let mut delta = Segment::empty(code_length);
+            for j in pinned.delta.rows()..cur.delta.rows() {
+                let old_global = (base_rows + j) as u32;
+                if cur.tombstones.contains(&old_global) {
+                    continue;
+                }
+                delta.push(
+                    cur.delta.row_data(j, self.dim),
+                    cur.delta.ids[j],
+                    cur.delta.codes[j],
+                );
+            }
+            delta.rebuild_mih(self.mih_blocks);
+            // Tombstones added after E against rows that were folded into
+            // the new base follow the remap; everything else (dead at E,
+            // or a replayed-and-skipped delta row) is resolved and drops.
+            let mut tombstones = HashSet::new();
+            for &g in cur.tombstones.iter() {
+                if let Some(&m) = remap.get(g as usize) {
+                    if m != u32::MAX {
+                        tombstones.insert(m);
+                    }
+                }
+            }
+            // The slot space changed wholesale: rebuild the live map.
+            w.live.clear();
+            for (s, &id) in base.ids.iter().enumerate() {
+                if !tombstones.contains(&(s as u32)) {
+                    w.live.insert(id, s as u32);
+                }
+            }
+            for (j, &id) in delta.ids.iter().enumerate() {
+                w.live.insert(id, (new_base_rows + j) as u32);
+            }
+            self.publish(Generation {
+                epoch: cur.epoch + 1,
+                base,
+                delta,
+                tombstones: Arc::new(tombstones),
+            });
+        }
+        self.compacting.store(false, Ordering::Release);
+        self.metrics.incr("gqr_compaction_total");
+        self.metrics
+            .record_duration("gqr_compaction_ns", started.elapsed());
+    }
+
+    /// A short-lived engine over one frozen segment.
+    fn segment_engine<'s>(&'s self, seg: &'s Segment, label: &'static str) -> QueryEngine<'s, M> {
+        let mut engine = QueryEngine::new(&*self.model, &seg.table, &seg.data, self.dim)
+            .with_metric(self.metric)
+            .with_metrics(self.metrics.clone())
+            .with_span_scope("gqr_live", vec![("segment".to_string(), label.to_string())]);
+        if let Some(mih) = &seg.mih {
+            engine = engine.with_mih(mih);
+        }
+        engine
+    }
+
+    /// Execute one request against a pinned generation. Searches the base
+    /// segment and (when non-empty) the delta segment — each with the full
+    /// candidate budget, like the sharded fan-out — masking tombstoned
+    /// slots at evaluate time, then merges the per-segment top-k. The user
+    /// filter speaks external ids. Checkpoints are rejected (per-segment
+    /// snapshots cannot be merged); a deadline tightens the per-segment
+    /// soft time limit.
+    fn run_pinned(&self, gen: &Generation, req: SearchRequest<'_>) -> SearchResult {
+        let (query, mut params, budgets, mut filter, deadline) = req.into_parts();
+        assert!(
+            budgets.is_empty(),
+            "checkpoints are not supported on the mutable path"
+        );
+        if let Some(d) = deadline {
+            let remaining = d.saturating_duration_since(Instant::now());
+            params.time_limit = Some(params.time_limit.map_or(remaining, |tl| tl.min(remaining)));
+        }
+        let start = Instant::now();
+        let base_rows = gen.base.rows() as u32;
+        let mut topk = TopK::new(params.k);
+        let mut stats = ProbeStats::default();
+        let segments: [(&Segment, u32, &'static str); 2] =
+            [(&gen.base, 0, "base"), (&gen.delta, base_rows, "delta")];
+        for (seg, offset, label) in segments {
+            if seg.rows() == 0 {
+                continue;
+            }
+            let tombstones = &*gen.tombstones;
+            let ids = &seg.ids;
+            let user = filter.as_deref_mut();
+            let mut seg_req = SearchRequest::new(query).params(params);
+            if !tombstones.is_empty() || user.is_some() {
+                let mut user = user;
+                seg_req = seg_req.filter(move |local: u32| {
+                    if tombstones.contains(&(local + offset)) {
+                        return false;
+                    }
+                    match user.as_deref_mut() {
+                        Some(f) => f(ids[local as usize]),
+                        None => true,
+                    }
+                });
+            }
+            let res = self.segment_engine(seg, label).run(seg_req);
+            stats.merge(&res.stats);
+            for (local, dist) in res.neighbors {
+                topk.push(dist, local + offset);
+            }
+        }
+        let neighbors = topk
+            .into_sorted()
+            .into_iter()
+            .map(|(slot, dist)| (gen.ext_id(slot), dist))
+            .collect();
+        if self.metrics.is_enabled() {
+            self.metrics
+                .record_duration("gqr_live_total_ns", start.elapsed());
+            self.metrics.incr("gqr_live_queries_total");
+        }
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            self.metrics.incr(&metric_name(
+                "gqr_request_deadline_missed_total",
+                &[("strategy", params.strategy.name())],
+            ));
+        }
+        SearchResult {
+            neighbors,
+            stats,
+            checkpoints: Vec::new(),
+        }
+    }
+
+    /// Persist the store as a snapshot: the standard one-shard sections
+    /// (model, manifest, vectors, table, MIH) describe the base segment,
+    /// and two live sections carry the overlay — [`SectionKind::LiveState`]
+    /// (allocator, epoch, config, base ids, tombstones) and
+    /// [`SectionKind::DeltaSegment`] (delta ids, codes, vectors). Taken
+    /// under the writer lock, so the image is one consistent epoch.
+    fn save_snapshot(&self, path: &Path) -> Result<u64, PersistError> {
+        let w = self.writer.lock();
+        let gen = self.pin();
+        let mut sw = SnapshotWriter::new();
+        sw.add_model(&*self.model)?;
+        sw.add_manifest(self.metric, &[(gen.base.rows(), gen.base.mih.is_some())]);
+        sw.add_vectors(&gen.base.data, self.dim);
+        sw.add_table(&gen.base.table);
+        if let Some(mih) = &gen.base.mih {
+            sw.add_mih(mih);
+        }
+
+        let mut b = ByteWriter::new();
+        b.put_u32(w.next_id);
+        b.put_u32(self.id_step);
+        b.put_u64(gen.epoch);
+        b.put_usize(self.compaction_threshold);
+        match self.mih_blocks {
+            Some(blocks) => {
+                b.put_u8(1);
+                b.put_usize(blocks);
+            }
+            None => {
+                b.put_u8(0);
+                b.put_usize(0);
+            }
+        }
+        b.put_u32_slice(&gen.base.ids);
+        let mut tombstones: Vec<u32> = gen.tombstones.iter().copied().collect();
+        tombstones.sort_unstable();
+        b.put_u32_slice(&tombstones);
+        sw.add_section(SectionKind::LiveState, b.into_bytes());
+
+        let mut d = ByteWriter::new();
+        d.put_u32_slice(&gen.delta.ids);
+        d.put_u64_slice(&gen.delta.codes);
+        d.put_f32_slice(&gen.delta.data);
+        sw.add_section(SectionKind::DeltaSegment, d.into_bytes());
+        sw.write(path)
+    }
+}
+
+/// Decoded [`SectionKind::LiveState`] payload.
+struct LiveState {
+    next_id: u32,
+    id_step: u32,
+    epoch: u64,
+    compaction_threshold: usize,
+    mih_blocks: Option<usize>,
+    base_ids: Vec<u32>,
+    tombstones: Vec<u32>,
+}
+
+fn decode_live_state(bytes: &[u8]) -> Result<LiveState, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let next_id = r.get_u32()?;
+    let id_step = r.get_u32()?;
+    if id_step == 0 {
+        return Err(WireError::Malformed("id step must be positive"));
+    }
+    let epoch = r.get_u64()?;
+    let compaction_threshold = r.get_usize()?;
+    if compaction_threshold == 0 {
+        return Err(WireError::Malformed(
+            "compaction threshold must be positive",
+        ));
+    }
+    let has_mih = r.get_u8()?;
+    let blocks = r.get_usize()?;
+    let mih_blocks = match has_mih {
+        0 => None,
+        1 if blocks > 0 => Some(blocks),
+        1 => return Err(WireError::Malformed("zero MIH blocks in live state")),
+        _ => return Err(WireError::Malformed("MIH flag out of range")),
+    };
+    let base_ids = r.get_u32_vec()?;
+    let tombstones = r.get_u32_vec()?;
+    r.expect_end()?;
+    Ok(LiveState {
+        next_id,
+        id_step,
+        epoch,
+        compaction_threshold,
+        mih_blocks,
+        base_ids,
+        tombstones,
+    })
+}
+
+/// Decoded [`SectionKind::DeltaSegment`] payload.
+struct DeltaPayload {
+    ids: Vec<u32>,
+    codes: Vec<u64>,
+    data: Vec<f32>,
+}
+
+fn decode_delta(bytes: &[u8]) -> Result<DeltaPayload, WireError> {
+    let mut r = ByteReader::new(bytes);
+    let ids = r.get_u32_vec()?;
+    let codes = r.get_u64_vec()?;
+    let data = r.get_f32_vec()?;
+    if codes.len() != ids.len() {
+        return Err(WireError::Malformed("delta ids and codes disagree"));
+    }
+    r.expect_end()?;
+    Ok(DeltaPayload { ids, codes, data })
+}
+
+/// Configures and builds a [`MutableIndex`] (mirror of
+/// [`SearchParamsBuilder`](crate::engine::SearchParamsBuilder) on the
+/// construction side).
+pub struct MutableIndexBuilder<M: HashModel + ?Sized> {
+    model: Arc<M>,
+    metric: Metric,
+    metrics: MetricsRegistry,
+    mih_blocks: Option<usize>,
+    compaction_threshold: usize,
+    background_compaction: bool,
+}
+
+impl<M: HashModel + ?Sized + 'static> MutableIndexBuilder<M> {
+    /// Exact-evaluation metric (default squared Euclidean).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Metrics registry for mutation counters, size gauges, compaction
+    /// spans, and per-segment query spans.
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Maintain MIH block tables (required for
+    /// [`ProbeStrategy::MultiIndexHashing`](crate::engine::ProbeStrategy::MultiIndexHashing));
+    /// the delta's block tables are rebuilt per publish, the base's per
+    /// compaction.
+    pub fn mih_blocks(mut self, blocks: usize) -> Self {
+        assert!(blocks > 0, "MIH needs at least one block");
+        self.mih_blocks = Some(blocks);
+        self
+    }
+
+    /// Compact once `delta rows + tombstones` reaches `n` (default
+    /// [`DEFAULT_COMPACTION_THRESHOLD`]).
+    pub fn compaction_threshold(mut self, n: usize) -> Self {
+        assert!(n > 0, "compaction threshold must be positive");
+        self.compaction_threshold = n;
+        self
+    }
+
+    /// Run threshold-triggered compactions on the global [`Executor`]
+    /// instead of inline on the mutating thread. Queries and further
+    /// mutations proceed while the rebuild runs; the swap still happens
+    /// under the writer lock.
+    pub fn background_compaction(mut self, on: bool) -> Self {
+        self.background_compaction = on;
+        self
+    }
+
+    /// Build over `data` (row-major, `dim` columns). Initial rows get
+    /// external ids `0..n`.
+    pub fn build(self, data: &[f32], dim: usize) -> MutableIndex<M> {
+        let n = data.len() / dim.max(1);
+        self.build_with_ids(data, dim, (0..n as u32).collect(), n as u32, 1)
+    }
+
+    /// Build with explicit per-row external ids and allocator state
+    /// (`next_id`, `id_step`); the sharded wrapper uses this to give shard
+    /// `s` of `S` the id residue class `s (mod S)`.
+    fn build_with_ids(
+        self,
+        data: &[f32],
+        dim: usize,
+        ids: Vec<u32>,
+        next_id: u32,
+        id_step: u32,
+    ) -> MutableIndex<M> {
+        assert_eq!(
+            self.model.dim(),
+            dim,
+            "model and data dimensionality differ"
+        );
+        assert!(
+            dim > 0 && data.len().is_multiple_of(dim),
+            "data must be n×dim"
+        );
+        let n = data.len() / dim;
+        assert_eq!(ids.len(), n, "one external id per row");
+        assert!(n < u32::MAX as usize, "id space is u32");
+        let codes: Vec<u64> = data
+            .chunks_exact(dim)
+            .map(|row| self.model.encode(row))
+            .collect();
+        let table = HashTable::from_codes(self.model.code_length(), &codes);
+        let mut base = Segment {
+            data: data.to_vec(),
+            ids,
+            codes,
+            table,
+            mih: None,
+        };
+        base.rebuild_mih(self.mih_blocks);
+        let live: HashMap<u32, u32> = base
+            .ids
+            .iter()
+            .enumerate()
+            .map(|(s, &id)| (id, s as u32))
+            .collect();
+        assert_eq!(live.len(), n, "external ids must be unique");
+        let code_length = self.model.code_length();
+        let store = Arc::new_cyclic(|myself| VersionedStore {
+            model: self.model,
+            dim,
+            metric: self.metric,
+            mih_blocks: self.mih_blocks,
+            compaction_threshold: self.compaction_threshold,
+            background_compaction: self.background_compaction,
+            id_step,
+            current: RwLock::new(Arc::new(Generation {
+                epoch: 0,
+                base: Arc::new(base),
+                delta: Segment::empty(code_length),
+                tombstones: Arc::new(HashSet::new()),
+            })),
+            writer: Mutex::new(WriterState { next_id, live }),
+            compacting: AtomicBool::new(false),
+            myself: myself.clone(),
+            metrics: self.metrics,
+        });
+        MutableIndex { store }
+    }
+}
+
+/// A mutable k-NN index: the epoch-versioned [`VersionedStore`] plus the
+/// query front door. Cheap to clone (an `Arc` handle); obtain writers with
+/// [`MutableIndex::writer`].
+///
+/// ```
+/// use gqr_core::engine::SearchParams;
+/// use gqr_core::live::MutableIndex;
+/// use gqr_core::request::SearchRequest;
+/// use gqr_l2h::pcah::Pcah;
+/// use std::sync::Arc;
+///
+/// let mut data = Vec::new();
+/// for i in 0..200u32 {
+///     data.push((i % 20) as f32 + 0.01 * (i as f32).sin());
+///     data.push((i / 20) as f32);
+/// }
+/// let model = Pcah::train(&data, 2, 2).unwrap();
+/// let index = MutableIndex::build(Arc::new(model), &data, 2);
+/// let writer = index.writer();
+/// let id = writer.insert(&[3.0, 4.0]);
+/// assert!(writer.delete(5));
+///
+/// let params = SearchParams::for_k(5).candidates(1_000).build().unwrap();
+/// let res = index.run(SearchRequest::new(&[3.0, 4.0]).params(params));
+/// assert_eq!(res.neighbors[0].0, id, "the fresh insert is its own 1-NN");
+/// assert!(res.neighbors.iter().all(|&(got, _)| got != 5), "deleted id is masked");
+/// ```
+pub struct MutableIndex<M: HashModel + ?Sized = dyn HashModel> {
+    store: Arc<VersionedStore<M>>,
+}
+
+impl<M: HashModel + ?Sized + 'static> Clone for MutableIndex<M> {
+    fn clone(&self) -> Self {
+        MutableIndex {
+            store: Arc::clone(&self.store),
+        }
+    }
+}
+
+impl<M: HashModel + ?Sized + 'static> MutableIndex<M> {
+    /// Start a builder around the hashing model.
+    pub fn builder(model: Arc<M>) -> MutableIndexBuilder<M> {
+        MutableIndexBuilder {
+            model,
+            metric: Metric::SquaredEuclidean,
+            metrics: MetricsRegistry::disabled(),
+            mih_blocks: None,
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+            background_compaction: false,
+        }
+    }
+
+    /// Build with defaults over `data` (row-major, `dim` columns).
+    pub fn build(model: Arc<M>, data: &[f32], dim: usize) -> MutableIndex<M> {
+        Self::builder(model).build(data, dim)
+    }
+
+    /// A writer handle routing mutations into the store. Writers serialize
+    /// on an internal mutex; any number of handles may coexist.
+    pub fn writer(&self) -> IndexWriter<M> {
+        IndexWriter {
+            store: Arc::clone(&self.store),
+        }
+    }
+
+    /// Pin the current generation (one `Arc` clone under a brief read
+    /// lock). Queries against the pinned generation see exactly its epoch
+    /// regardless of concurrent mutations.
+    pub fn pin(&self) -> Arc<Generation> {
+        self.store.pin()
+    }
+
+    /// Execute one request against the current generation. See
+    /// [`MutableIndex::run_pinned`] for the delta/tombstone semantics.
+    pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        let gen = self.store.pin();
+        self.store.run_pinned(&gen, req)
+    }
+
+    /// Execute one request against an explicitly pinned generation: the
+    /// base and delta segments are searched with the full candidate budget
+    /// each (all five probe strategies), tombstoned rows are masked at
+    /// evaluate time before any distance is computed, and the per-segment
+    /// top-k merge to the global result. Neighbor ids are external ids; a
+    /// request filter also speaks external ids. Checkpoints are rejected.
+    pub fn run_pinned(&self, gen: &Generation, req: SearchRequest<'_>) -> SearchResult {
+        self.store.run_pinned(gen, req)
+    }
+
+    /// Live rows in the current generation.
+    pub fn n_items(&self) -> usize {
+        self.store.pin().n_live()
+    }
+
+    /// Current epoch (0 after build, +1 per mutation or compaction).
+    pub fn epoch(&self) -> u64 {
+        self.store.pin().epoch
+    }
+
+    /// Fold delta + tombstones into a fresh base segment now. After this
+    /// (absent concurrent mutations) queries are bit-identical to a fresh
+    /// rebuild over the live rows. No-op if a compaction is in flight.
+    pub fn compact(&self) {
+        self.store.compact_now();
+    }
+
+    /// The attached metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.store.metrics
+    }
+
+    /// The exact-evaluation metric.
+    pub fn metric(&self) -> Metric {
+        self.store.metric
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.store.dim
+    }
+
+    /// MIH substring block count, if the index keeps MIH side tables.
+    pub fn mih_blocks(&self) -> Option<usize> {
+        self.store.mih_blocks
+    }
+
+    /// The stored vector of live external id `id` (`None` if `id` was
+    /// never allocated or has been deleted).
+    pub fn vector(&self, id: u32) -> Option<Vec<f32>> {
+        // The live map and the published generation only change together
+        // under the writer mutex, so slot lookups against the pinned
+        // generation are consistent while we hold it.
+        let w = self.store.writer.lock();
+        let &slot = w.live.get(&id)?;
+        let gen = self.store.pin();
+        let (row, _, _) = gen.row(slot as usize, self.store.dim);
+        Some(row.to_vec())
+    }
+
+    /// Persist base + delta + tombstones as one crash-safe snapshot (see
+    /// [`crate::persist`]; live snapshots add the [`SectionKind::LiveState`]
+    /// and [`SectionKind::DeltaSegment`] sections, each CRC-covered).
+    /// Reload with [`MutableIndex::from_snapshot`].
+    pub fn save_snapshot(&self, path: &Path) -> Result<u64, PersistError> {
+        self.store.save_snapshot(path)
+    }
+}
+
+impl<M: HashModel + ?Sized + 'static> std::fmt::Debug for MutableIndex<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let gen = self.store.pin();
+        f.debug_struct("MutableIndex")
+            .field("epoch", &gen.epoch)
+            .field("n_live", &gen.n_live())
+            .field("base_rows", &gen.base.rows())
+            .field("delta_rows", &gen.delta.rows())
+            .field("tombstones", &gen.tombstones.len())
+            .finish()
+    }
+}
+
+impl MutableIndex<dyn HashModel> {
+    /// Reload a snapshot written by [`MutableIndex::save_snapshot`] — or
+    /// any plain one-shard index snapshot, which loads with an empty delta,
+    /// identity ids, and a fresh allocator. Sharded snapshots are rejected
+    /// with [`PersistError::WrongShardCount`].
+    pub fn from_snapshot(path: &Path) -> Result<MutableIndex<dyn HashModel>, PersistError> {
+        let file = SnapshotFile::read(path)?;
+        Self::from_snapshot_file(&file)
+    }
+
+    /// [`MutableIndex::from_snapshot`] over an already-read (and therefore
+    /// already checksum-verified) [`SnapshotFile`].
+    pub fn from_snapshot_file(
+        file: &SnapshotFile,
+    ) -> Result<MutableIndex<dyn HashModel>, PersistError> {
+        let model: Arc<dyn HashModel> = Arc::from(file.model()?);
+        let (data, dim) = file.vectors()?;
+        let (metric, manifest) = file.manifest()?;
+        if manifest.len() != 1 {
+            return Err(PersistError::WrongShardCount {
+                found: manifest.len(),
+                expected: 1,
+            });
+        }
+        let (rows, has_mih) = manifest[0];
+        if rows != data.len() / dim {
+            return Err(PersistError::Inconsistent {
+                detail: "manifest row count does not match the vectors section",
+            });
+        }
+        if model.dim() != dim {
+            return Err(PersistError::Inconsistent {
+                detail: "model and vectors disagree on dimensionality",
+            });
+        }
+        let mut tables = file.tables()?;
+        if tables.len() != 1 {
+            return Err(PersistError::Inconsistent {
+                detail: "live snapshot must hold exactly one hash table",
+            });
+        }
+        let table = tables.pop().expect("length checked");
+        if table.code_length() != model.code_length() {
+            return Err(PersistError::Inconsistent {
+                detail: "table and model disagree on code length",
+            });
+        }
+        if table.n_items() != rows || table.max_id().map_or(0, |m| m as usize + 1) != rows {
+            return Err(PersistError::Inconsistent {
+                detail: "base table is not slot-dense over the manifest rows",
+            });
+        }
+        let mut mihs = file.mihs()?;
+        if mihs.len() != usize::from(has_mih) {
+            return Err(PersistError::Inconsistent {
+                detail: "manifest MIH flag does not match MIH sections",
+            });
+        }
+        let mih = mihs.pop();
+        if let Some(m) = &mih {
+            if m.code_length() != table.code_length() {
+                return Err(PersistError::Inconsistent {
+                    detail: "MIH index and table disagree on code length",
+                });
+            }
+        }
+
+        let live_state = match file.sections_of(SectionKind::LiveState).next() {
+            Some(bytes) => decode_live_state(bytes).map_err(corrupt(SectionKind::LiveState))?,
+            None => LiveState {
+                next_id: rows as u32,
+                id_step: 1,
+                epoch: 0,
+                compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+                mih_blocks: mih.as_ref().map(MihIndex::n_blocks),
+                base_ids: (0..rows as u32).collect(),
+                tombstones: Vec::new(),
+            },
+        };
+        let delta_payload = match file.sections_of(SectionKind::DeltaSegment).next() {
+            Some(bytes) => decode_delta(bytes).map_err(corrupt(SectionKind::DeltaSegment))?,
+            None => DeltaPayload {
+                ids: Vec::new(),
+                codes: Vec::new(),
+                data: Vec::new(),
+            },
+        };
+        if live_state.base_ids.len() != rows {
+            return Err(PersistError::Inconsistent {
+                detail: "live state holds one id per base row",
+            });
+        }
+        if delta_payload.data.len() != delta_payload.ids.len() * dim {
+            return Err(PersistError::Inconsistent {
+                detail: "delta vectors are not rows×dim",
+            });
+        }
+        if has_mih != live_state.mih_blocks.is_some() {
+            return Err(PersistError::Inconsistent {
+                detail: "live state MIH config disagrees with the base MIH section",
+            });
+        }
+        let total_slots = rows + delta_payload.ids.len();
+        let mut tombstones = HashSet::with_capacity(live_state.tombstones.len());
+        for &slot in &live_state.tombstones {
+            if slot as usize >= total_slots || !tombstones.insert(slot) {
+                return Err(PersistError::Inconsistent {
+                    detail: "tombstone names an out-of-range or duplicate slot",
+                });
+            }
+        }
+
+        let code_length = model.code_length();
+        let base = Segment {
+            codes: table.dense_codes(),
+            data,
+            ids: live_state.base_ids,
+            table,
+            mih,
+        };
+        let mut delta = Segment {
+            table: HashTable::from_codes(code_length, &delta_payload.codes),
+            data: delta_payload.data,
+            ids: delta_payload.ids,
+            codes: delta_payload.codes,
+            mih: None,
+        };
+        delta.rebuild_mih(live_state.mih_blocks);
+
+        let mut live: HashMap<u32, u32> = HashMap::new();
+        let mut max_live_id = None::<u32>;
+        for g in 0..total_slots as u32 {
+            if tombstones.contains(&g) {
+                continue;
+            }
+            let id = if (g as usize) < rows {
+                base.ids[g as usize]
+            } else {
+                delta.ids[g as usize - rows]
+            };
+            if live.insert(id, g).is_some() {
+                return Err(PersistError::Inconsistent {
+                    detail: "duplicate live external id",
+                });
+            }
+            max_live_id = Some(max_live_id.map_or(id, |m| m.max(id)));
+        }
+        if max_live_id.is_some_and(|m| m >= live_state.next_id) {
+            return Err(PersistError::Inconsistent {
+                detail: "live id at or beyond the allocator's next id",
+            });
+        }
+
+        let store = Arc::new_cyclic(|myself| VersionedStore {
+            model,
+            dim,
+            metric,
+            mih_blocks: live_state.mih_blocks,
+            compaction_threshold: live_state.compaction_threshold,
+            background_compaction: false,
+            id_step: live_state.id_step,
+            current: RwLock::new(Arc::new(Generation {
+                epoch: live_state.epoch,
+                base: Arc::new(base),
+                delta,
+                tombstones: Arc::new(tombstones),
+            })),
+            writer: Mutex::new(WriterState {
+                next_id: live_state.next_id,
+                live,
+            }),
+            compacting: AtomicBool::new(false),
+            myself: myself.clone(),
+            metrics: MetricsRegistry::disabled(),
+        });
+        Ok(MutableIndex { store })
+    }
+}
+
+/// Mutation handle for a [`MutableIndex`]. All methods take `&self`;
+/// concurrent writers serialize on the store's writer mutex, and every
+/// mutation publishes one new epoch.
+pub struct IndexWriter<M: HashModel + ?Sized = dyn HashModel> {
+    store: Arc<VersionedStore<M>>,
+}
+
+impl<M: HashModel + ?Sized + 'static> Clone for IndexWriter<M> {
+    fn clone(&self) -> Self {
+        IndexWriter {
+            store: Arc::clone(&self.store),
+        }
+    }
+}
+
+impl<M: HashModel + ?Sized + 'static> IndexWriter<M> {
+    /// Insert one vector; returns its freshly allocated external id. The
+    /// row is hashed through the model into the delta segment and is
+    /// visible to every query that pins a later epoch.
+    pub fn insert(&self, vector: &[f32]) -> u32 {
+        self.store.insert(vector)
+    }
+
+    /// Delete by external id. Returns whether the id was live; the row is
+    /// masked by a tombstone immediately and physically dropped at the
+    /// next compaction.
+    pub fn delete(&self, id: u32) -> bool {
+        self.store.delete(id)
+    }
+
+    /// Insert-or-replace under an explicit external id (which must belong
+    /// to this store's id residue class). Returns whether an existing live
+    /// row was replaced.
+    pub fn upsert(&self, id: u32, vector: &[f32]) -> bool {
+        self.store.upsert(id, vector)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded wrapper
+// ---------------------------------------------------------------------------
+
+/// `S` mutable shards behind one front door, with id-stable routing:
+/// external id `i` always lives in shard `i % S` (each shard's allocator
+/// hands out its own residue class), so deletes and upserts route without
+/// any directory. Inserts round-robin across shards.
+pub struct ShardedMutableIndex<M: HashModel + ?Sized = dyn HashModel> {
+    shards: Vec<MutableIndex<M>>,
+    round_robin: AtomicUsize,
+    metrics: MetricsRegistry,
+}
+
+impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
+    /// Partition `data` row-wise (row `i` → shard `i % n_shards`, keeping
+    /// external id `i`) and build one [`MutableIndex`] per shard with this
+    /// builder's configuration. The builder's metrics registry is shared by
+    /// every shard.
+    pub fn build(
+        builder: MutableIndexBuilder<M>,
+        data: &[f32],
+        dim: usize,
+        n_shards: usize,
+    ) -> ShardedMutableIndex<M> {
+        assert!(n_shards > 0, "need at least one shard");
+        assert!(
+            dim > 0 && data.len().is_multiple_of(dim),
+            "data must be n×dim"
+        );
+        let n = data.len() / dim;
+        let metrics = builder.metrics.clone();
+        let mut shards = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let mut shard_data = Vec::new();
+            let mut ids = Vec::new();
+            for i in (s..n).step_by(n_shards) {
+                shard_data.extend_from_slice(&data[i * dim..(i + 1) * dim]);
+                ids.push(i as u32);
+            }
+            // First unassigned id in this shard's residue class.
+            let next_id = (n + n_shards - 1 - s) / n_shards * n_shards + s;
+            let shard_builder = MutableIndexBuilder {
+                model: Arc::clone(&builder.model),
+                metric: builder.metric,
+                metrics: metrics.clone(),
+                mih_blocks: builder.mih_blocks,
+                compaction_threshold: builder.compaction_threshold,
+                background_compaction: builder.background_compaction,
+            };
+            shards.push(shard_builder.build_with_ids(
+                &shard_data,
+                dim,
+                ids,
+                next_id as u32,
+                n_shards as u32,
+            ));
+        }
+        ShardedMutableIndex {
+            shards,
+            round_robin: AtomicUsize::new(0),
+            metrics,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total live rows across shards.
+    pub fn n_items(&self) -> usize {
+        self.shards.iter().map(MutableIndex::n_items).sum()
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The shard owning external id `id`.
+    fn shard_of(&self, id: u32) -> &MutableIndex<M> {
+        &self.shards[id as usize % self.shards.len()]
+    }
+
+    /// Insert one vector into the next shard (round-robin); returns the
+    /// allocated external id (which encodes its shard as `id % S`).
+    pub fn insert(&self, vector: &[f32]) -> u32 {
+        let s = self.round_robin.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[s].writer().insert(vector)
+    }
+
+    /// Delete by external id, routed to its shard by `id % S`.
+    pub fn delete(&self, id: u32) -> bool {
+        self.shard_of(id).writer().delete(id)
+    }
+
+    /// Insert-or-replace under an explicit external id, routed by `id % S`.
+    pub fn upsert(&self, id: u32, vector: &[f32]) -> bool {
+        self.shard_of(id).writer().upsert(id, vector)
+    }
+
+    /// Execute one request serially across the shards and merge the
+    /// per-shard top-k (external ids throughout). Checkpoints are
+    /// rejected; filters compose (shards already speak external ids).
+    pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+        let (query, params, budgets, mut filter, deadline) = req.into_parts();
+        assert!(
+            budgets.is_empty(),
+            "checkpoints are not supported on the sharded path"
+        );
+        let results: Vec<SearchResult> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut shard_req = SearchRequest::new(query).params(params);
+                if let Some(f) = filter.as_deref_mut() {
+                    shard_req = shard_req.filter(|id: u32| f(id));
+                }
+                if let Some(d) = deadline {
+                    shard_req = shard_req.deadline(d);
+                }
+                shard.run(shard_req)
+            })
+            .collect();
+        merge_ext(params.k, results)
+    }
+
+    /// Execute one request by fanning the shards out as one job each on
+    /// `exec`. Filtered requests fall back to the serial path (a `FnMut`
+    /// filter cannot be shared across concurrent shards).
+    pub fn run_on(&self, exec: &Executor, req: SearchRequest<'_>) -> SearchResult {
+        if req.has_filter() {
+            return self.run(req);
+        }
+        let (query, params, budgets, _filter, deadline) = req.into_parts();
+        assert!(
+            budgets.is_empty(),
+            "checkpoints are not supported on the sharded path"
+        );
+        let mut slots: Vec<Option<SearchResult>> = (0..self.shards.len()).map(|_| None).collect();
+        exec.run_scoped(
+            self.shards
+                .iter()
+                .zip(slots.iter_mut())
+                .map(|(shard, slot)| {
+                    Box::new(move || {
+                        let mut shard_req = SearchRequest::new(query).params(params);
+                        if let Some(d) = deadline {
+                            shard_req = shard_req.deadline(d);
+                        }
+                        *slot = Some(shard.run(shard_req));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                }),
+        );
+        let results = slots
+            .into_iter()
+            .map(|r| r.expect("run_scoped completed every shard"))
+            .collect();
+        merge_ext(params.k, results)
+    }
+}
+
+/// Merge per-shard results whose neighbor ids are already external.
+fn merge_ext(k: usize, results: Vec<SearchResult>) -> SearchResult {
+    let mut topk = TopK::new(k);
+    let mut stats = ProbeStats::default();
+    for res in results {
+        stats.merge(&res.stats);
+        for (id, dist) in res.neighbors {
+            topk.push(dist, id);
+        }
+    }
+    SearchResult {
+        neighbors: topk.into_sorted(),
+        stats,
+        checkpoints: Vec::new(),
+    }
+}
+
+impl<M: HashModel + ?Sized + 'static> std::fmt::Debug for ShardedMutableIndex<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedMutableIndex")
+            .field("n_shards", &self.n_shards())
+            .field("n_items", &self.n_items())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ProbeStrategy, SearchParams};
+    use gqr_l2h::pcah::Pcah;
+
+    fn grid(n: u32) -> Vec<f32> {
+        let mut data = Vec::new();
+        for i in 0..n {
+            data.push((i % 20) as f32 + 0.001 * ((i * 7) % 13) as f32);
+            data.push((i / 20) as f32);
+        }
+        data
+    }
+
+    fn fixture(n: u32) -> MutableIndex<Pcah> {
+        let data = grid(n);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        MutableIndex::build(Arc::new(model), &data, 2)
+    }
+
+    fn exhaustive(k: usize) -> SearchParams {
+        SearchParams {
+            k,
+            n_candidates: usize::MAX,
+            strategy: ProbeStrategy::GenerateQdRanking,
+            early_stop: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn insert_is_immediately_searchable() {
+        let index = fixture(100);
+        assert_eq!(index.n_items(), 100);
+        let id = index.writer().insert(&[100.5, 100.5]);
+        assert_eq!(id, 100);
+        assert_eq!(index.n_items(), 101);
+        assert_eq!(index.epoch(), 1);
+        let res = index.run(SearchRequest::new(&[100.5, 100.5]).params(exhaustive(1)));
+        assert_eq!(res.neighbors[0].0, id);
+        assert_eq!(res.neighbors[0].1, 0.0);
+    }
+
+    #[test]
+    fn delete_masks_rows_at_evaluate_time() {
+        let index = fixture(50);
+        let writer = index.writer();
+        assert!(writer.delete(7));
+        assert!(!writer.delete(7), "already deleted");
+        assert!(!writer.delete(999), "never existed");
+        assert_eq!(index.n_items(), 49);
+        let res = index.run(SearchRequest::new(&[7.0, 0.0]).params(exhaustive(49)));
+        assert_eq!(res.neighbors.len(), 49);
+        assert!(res.neighbors.iter().all(|&(id, _)| id != 7));
+    }
+
+    #[test]
+    fn upsert_replaces_and_inserts() {
+        let index = fixture(20);
+        let writer = index.writer();
+        assert!(writer.upsert(3, &[500.0, 500.0]), "replaced a live row");
+        assert_eq!(index.n_items(), 20);
+        let res = index.run(SearchRequest::new(&[500.0, 500.0]).params(exhaustive(1)));
+        assert_eq!(res.neighbors[0], (3, 0.0));
+        // New id beyond the allocator: inserted, allocator advances past it.
+        assert!(!writer.upsert(64, &[600.0, 600.0]), "fresh id");
+        assert_eq!(index.n_items(), 21);
+        assert_eq!(writer.insert(&[1.0, 1.0]), 65);
+    }
+
+    #[test]
+    fn pinned_generation_is_immune_to_later_mutations() {
+        let index = fixture(30);
+        let gen = index.pin();
+        let writer = index.writer();
+        writer.delete(0);
+        writer.insert(&[900.0, 900.0]);
+        assert_eq!(gen.epoch(), 0);
+        assert_eq!(gen.n_live(), 30, "pinned view unchanged");
+        let res = index.run_pinned(&gen, SearchRequest::new(&[0.0, 0.0]).params(exhaustive(30)));
+        assert_eq!(res.neighbors.len(), 30);
+        assert!(res.neighbors.iter().any(|&(id, _)| id == 0));
+        assert!(res.neighbors.iter().all(|&(id, _)| id != 30));
+    }
+
+    #[test]
+    fn all_five_strategies_agree_during_churn() {
+        let data = grid(200);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let index = MutableIndex::builder(Arc::new(model))
+            .mih_blocks(2)
+            .build(&data, 2);
+        let writer = index.writer();
+        for i in 0..40 {
+            writer.insert(&[(i % 7) as f32 + 0.25, (i % 5) as f32 + 0.25]);
+        }
+        for id in (0..60).step_by(3) {
+            writer.delete(id);
+        }
+        let q = [4.1f32, 3.2];
+        let reference = index.run(SearchRequest::new(&q).params(exhaustive(10)));
+        for strategy in [
+            ProbeStrategy::HammingRanking,
+            ProbeStrategy::GenerateHammingRanking,
+            ProbeStrategy::QdRanking,
+            ProbeStrategy::MultiIndexHashing { blocks: 2 },
+        ] {
+            let params = SearchParams {
+                strategy,
+                ..exhaustive(10)
+            };
+            let res = index.run(SearchRequest::new(&q).params(params));
+            assert_eq!(
+                res.neighbors,
+                reference.neighbors,
+                "strategy {} disagrees under churn",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_folds_delta_and_tombstones() {
+        let data = grid(100);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let metrics = MetricsRegistry::enabled();
+        let index = MutableIndex::builder(Arc::new(model))
+            .compaction_threshold(16)
+            .metrics(metrics.clone())
+            .build(&data, 2);
+        let writer = index.writer();
+        for i in 0..10 {
+            writer.insert(&[i as f32 * 0.1, 50.0]);
+        }
+        for id in 0..6 {
+            writer.delete(id);
+        }
+        // 10 delta + 6 tombstones = 16 ≥ threshold → compacted.
+        let gen = index.pin();
+        assert_eq!(gen.delta_rows(), 0, "delta drained");
+        assert_eq!(gen.n_tombstones(), 0, "tombstones folded");
+        assert_eq!(gen.base_rows(), 104);
+        assert_eq!(index.n_items(), 104);
+        assert!(metrics.counter_value("gqr_compaction_total").unwrap() >= 1);
+        assert!(metrics.histogram("gqr_compaction_ns").is_some());
+        assert_eq!(
+            metrics.counter_value("gqr_mutations_total{op=\"insert\"}"),
+            Some(10)
+        );
+        assert_eq!(
+            metrics.counter_value("gqr_mutations_total{op=\"delete\"}"),
+            Some(6)
+        );
+        // Everything still searchable and ids stable.
+        let res = index.run(SearchRequest::new(&[0.5, 50.0]).params(exhaustive(10)));
+        assert!(res
+            .neighbors
+            .iter()
+            .all(|&(id, _)| (100..110).contains(&id)));
+    }
+
+    #[test]
+    fn explicit_compact_preserves_results_exactly() {
+        let index = fixture(80);
+        let writer = index.writer();
+        for i in 0..20 {
+            writer.insert(&[(i % 4) as f32 + 10.0, (i % 6) as f32]);
+        }
+        for id in (5..45).step_by(4) {
+            writer.delete(id);
+        }
+        let q = [11.0f32, 2.0];
+        let before = index.run(SearchRequest::new(&q).params(exhaustive(15)));
+        index.compact();
+        let gen = index.pin();
+        assert_eq!(gen.delta_rows() + gen.n_tombstones(), 0);
+        let after = index.run(SearchRequest::new(&q).params(exhaustive(15)));
+        assert_eq!(before.neighbors, after.neighbors);
+    }
+
+    #[test]
+    fn live_ids_track_the_live_set() {
+        let index = fixture(25);
+        let writer = index.writer();
+        writer.delete(3);
+        writer.delete(24);
+        let a = writer.insert(&[1.0, 1.0]);
+        let mut expect: Vec<u32> = (0..25).filter(|&i| i != 3 && i != 24).chain([a]).collect();
+        expect.sort_unstable();
+        let mut got = index.pin().live_ids();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn filter_composes_with_tombstones() {
+        let index = fixture(60);
+        index.writer().delete(10);
+        let res = index.run(
+            SearchRequest::new(&[5.0, 1.0])
+                .params(exhaustive(30))
+                .filter(|id| id % 2 == 0),
+        );
+        assert!(!res.neighbors.is_empty());
+        assert!(res.neighbors.iter().all(|&(id, _)| id % 2 == 0 && id != 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoints are not supported")]
+    fn checkpoints_are_rejected() {
+        let index = fixture(10);
+        let budgets = [5usize];
+        let _ = index.run(SearchRequest::new(&[0.0, 0.0]).checkpoints(&budgets));
+    }
+
+    #[test]
+    fn sharded_routing_is_id_stable() {
+        let data = grid(101);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let index = ShardedMutableIndex::build(MutableIndex::builder(Arc::new(model)), &data, 2, 3);
+        assert_eq!(index.n_shards(), 3);
+        assert_eq!(index.n_items(), 101);
+        // Fresh ids continue the residue classes.
+        let mut fresh = Vec::new();
+        for _ in 0..5 {
+            fresh.push(index.insert(&[77.0, 77.0]));
+        }
+        assert_eq!(fresh, vec![102, 103, 101, 105, 106]);
+        assert!(index.delete(77));
+        assert!(!index.delete(77));
+        assert!(index.upsert(4, &[88.0, 88.0]));
+        assert_eq!(index.n_items(), 105);
+        let res = index.run(SearchRequest::new(&[88.0, 88.0]).params(exhaustive(1)));
+        assert_eq!(res.neighbors[0], (4, 0.0));
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded_exhaustively() {
+        let data = grid(90);
+        let model = Arc::new(Pcah::train(&data, 2, 2).unwrap());
+        let flat = MutableIndex::build(Arc::clone(&model), &data, 2);
+        let sharded = ShardedMutableIndex::build(MutableIndex::builder(model), &data, 2, 4);
+        let exec = Executor::builder().workers(2).build();
+        for q in [[3.0f32, 1.0], [15.0, 3.5], [0.0, 0.0]] {
+            let a = flat.run(SearchRequest::new(&q).params(exhaustive(7)));
+            let b = sharded.run(SearchRequest::new(&q).params(exhaustive(7)));
+            let c = sharded.run_on(&exec, SearchRequest::new(&q).params(exhaustive(7)));
+            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(b.neighbors, c.neighbors);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_live_state() {
+        let dir = std::env::temp_dir().join(format!("gqr-live-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.gqr");
+
+        let data = grid(70);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let index = MutableIndex::builder(Arc::new(model))
+            .mih_blocks(2)
+            .build(&data, 2);
+        let writer = index.writer();
+        for i in 0..9 {
+            writer.insert(&[30.0 + i as f32, 30.0]);
+        }
+        for id in [2u32, 40, 71] {
+            writer.delete(id);
+        }
+        index.save_snapshot(&path).unwrap();
+
+        let reloaded = MutableIndex::from_snapshot(&path).unwrap();
+        assert_eq!(reloaded.n_items(), index.n_items());
+        assert_eq!(reloaded.epoch(), index.epoch());
+        let q = [33.0f32, 30.0];
+        let params = SearchParams {
+            strategy: ProbeStrategy::MultiIndexHashing { blocks: 2 },
+            ..exhaustive(12)
+        };
+        let a = index.run(SearchRequest::new(&q).params(params));
+        let b = reloaded.run(SearchRequest::new(&q).params(params));
+        assert_eq!(a.neighbors, b.neighbors, "bit-identical across reload");
+        // The allocator continues where it left off.
+        assert_eq!(reloaded.writer().insert(&[0.0, 0.0]), 79);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plain_snapshot_loads_as_mutable() {
+        let dir = std::env::temp_dir().join(format!("gqr-live-plain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plain.gqr");
+
+        let data = grid(40);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let table = HashTable::build(&model, &data, 2);
+        crate::persist::save_index(
+            &path,
+            &model,
+            &table,
+            &data,
+            2,
+            None,
+            Metric::SquaredEuclidean,
+        )
+        .unwrap();
+
+        let index = MutableIndex::from_snapshot(&path).unwrap();
+        assert_eq!(index.n_items(), 40);
+        assert_eq!(index.epoch(), 0);
+        let id = index.writer().insert(&[5.5, 5.5]);
+        assert_eq!(id, 40, "fresh allocator starts after the rows");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_compaction_lands_on_the_executor() {
+        let data = grid(50);
+        let model = Pcah::train(&data, 2, 2).unwrap();
+        let metrics = MetricsRegistry::enabled();
+        let index = MutableIndex::builder(Arc::new(model))
+            .compaction_threshold(8)
+            .background_compaction(true)
+            .metrics(metrics.clone())
+            .build(&data, 2);
+        let writer = index.writer();
+        for i in 0..64 {
+            writer.insert(&[i as f32, 0.5]);
+        }
+        // The background job races this assertion; wait briefly for it.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while metrics.counter_value("gqr_compaction_total").is_none() && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(metrics.counter_value("gqr_compaction_total").unwrap() >= 1);
+        assert_eq!(index.n_items(), 114);
+        let res = index.run(SearchRequest::new(&[10.0, 0.5]).params(exhaustive(5)));
+        assert!(!res.neighbors.is_empty());
+    }
+}

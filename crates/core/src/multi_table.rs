@@ -70,6 +70,11 @@ impl<'a> MultiTableIndex<'a> {
         self.tables.len()
     }
 
+    /// Number of indexed items (rows shared by every table).
+    pub fn n_items(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
     /// Total approximate table memory (the memory cost Fig 12 trades
     /// against query time).
     pub fn approx_bytes(&self) -> usize {

@@ -67,7 +67,12 @@ pub const MAGIC: [u8; 8] = *b"GQRSNAP\0";
 /// deterministic given the seed). Section kind values and model kind tags
 /// are append-only so a future multi-version reader can be written without
 /// re-interpreting old numbers.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// History: v1 was the initial frozen-index layout; v2 added the live
+/// mutation sections ([`SectionKind::DeltaSegment`],
+/// [`SectionKind::LiveState`]) written by
+/// [`crate::live::MutableIndex::save_snapshot`].
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Size of the fixed header preceding the TOC.
 const HEADER_BYTES: usize = 16;
@@ -99,6 +104,11 @@ pub enum SectionKind {
     PqCodes = 8,
     /// A serialized MPLSH index (`gqr-mplsh` provides the payload codec).
     Mplsh = 9,
+    /// A mutable index's append-only delta segment: ids, codes, vectors.
+    DeltaSegment = 10,
+    /// A mutable index's overlay state: id allocator, epoch, compaction
+    /// config, base-slot external ids, and tombstoned slots.
+    LiveState = 11,
 }
 
 impl SectionKind {
@@ -114,6 +124,8 @@ impl SectionKind {
             SectionKind::Imi => "IMI index",
             SectionKind::PqCodes => "PQ codes",
             SectionKind::Mplsh => "MPLSH index",
+            SectionKind::DeltaSegment => "delta segment",
+            SectionKind::LiveState => "live state",
         }
     }
 
@@ -128,6 +140,8 @@ impl SectionKind {
             7 => SectionKind::Imi,
             8 => SectionKind::PqCodes,
             9 => SectionKind::Mplsh,
+            10 => SectionKind::DeltaSegment,
+            11 => SectionKind::LiveState,
             _ => return None,
         })
     }
@@ -753,6 +767,11 @@ pub fn load_index_metered(
 /// Cross-validate the sections of an index snapshot and assemble the
 /// owning [`LoadedIndex`].
 fn assemble_index(file: &SnapshotFile) -> Result<LoadedIndex, PersistError> {
+    if file.sections_of(SectionKind::LiveState).next().is_some() {
+        return Err(PersistError::Inconsistent {
+            detail: "snapshot holds live mutation state; load it with MutableIndex::from_snapshot",
+        });
+    }
     let model = file.model()?;
     let (data, dim) = file.vectors()?;
     let (metric, manifest) = file.manifest()?;

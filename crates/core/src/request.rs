@@ -7,8 +7,11 @@
 //! an attribute filter, an absolute deadline) so every execution surface —
 //! [`QueryEngine::run`](crate::engine::QueryEngine::run),
 //! [`MultiTableIndex::run`](crate::multi_table::MultiTableIndex::run), and
-//! [`ShardedIndex::run`](crate::shard::ShardedIndex::run) — accepts the same
-//! type. The old methods survive as thin wrappers, so no caller breaks.
+//! [`ShardedIndex::run`](crate::shard::ShardedIndex::run), and
+//! [`MutableIndex::run`](crate::live::MutableIndex::run) — accepts the same
+//! type, and the [`Index`](crate::index::Index) trait abstracts over them.
+//! The old methods survive as deprecated thin wrappers, so no caller
+//! breaks.
 //!
 //! ```
 //! use gqr_core::engine::{QueryEngine, SearchParams};
@@ -81,8 +84,9 @@ impl<'a> SearchRequest<'a> {
 
     /// Restrict the search to items the predicate accepts (attribute
     /// filtering). Rejected items are skipped before the distance
-    /// computation and do not consume candidate budget. Bucket strategies
-    /// only — running a filtered MIH request panics.
+    /// computation and do not consume candidate budget. Every strategy
+    /// supports filtering, MIH included; the mutable index relies on this
+    /// to mask tombstoned rows at evaluate time.
     pub fn filter(mut self, filter: impl FnMut(u32) -> bool + 'a) -> Self {
         self.filter = Some(Box::new(filter));
         self

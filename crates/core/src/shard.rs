@@ -68,6 +68,143 @@ pub struct ShardedIndex<'a, M: HashModel + ?Sized> {
     metrics: MetricsRegistry,
 }
 
+/// Why a [`ShardedIndexBuilder`] refused to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardBuildError {
+    /// `shards(0)` — a sharded index needs at least one shard.
+    ZeroShards,
+    /// The model's dimensionality differs from the builder's `dim`.
+    DimMismatch {
+        /// What the model was trained for.
+        model: usize,
+        /// What the caller passed.
+        data: usize,
+    },
+    /// `data.len()` is not a multiple of `dim`.
+    RaggedData,
+}
+
+impl std::fmt::Display for ShardBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardBuildError::ZeroShards => write!(f, "need at least one shard"),
+            ShardBuildError::DimMismatch { model, data } => write!(
+                f,
+                "model dimensionality {model} does not match data dimensionality {data}"
+            ),
+            ShardBuildError::RaggedData => write!(f, "data length is not a multiple of dim"),
+        }
+    }
+}
+
+impl std::error::Error for ShardBuildError {}
+
+/// Configures and builds a [`ShardedIndex`] — the construction-side mirror
+/// of [`SearchParams::for_k`](crate::engine::SearchParams::for_k): name
+/// every knob, validate before building, no mutate-after-build dance.
+///
+/// ```
+/// use gqr_core::shard::ShardedIndex;
+/// use gqr_l2h::pcah::Pcah;
+///
+/// let mut data = Vec::new();
+/// for i in 0..300u32 {
+///     data.push((i % 20) as f32);
+///     data.push((i / 20) as f32);
+/// }
+/// let model = Pcah::train(&data, 2, 2).unwrap();
+/// let index = gqr_core::shard::ShardedIndexBuilder::new()
+///     .shards(3)
+///     .mih_blocks(2)
+///     .build(&model, &data, 2)
+///     .unwrap();
+/// assert_eq!(index.n_shards(), 3);
+/// ```
+pub struct ShardedIndexBuilder {
+    n_shards: usize,
+    mih_blocks: Option<usize>,
+    metric: Metric,
+    metrics: MetricsRegistry,
+}
+
+impl ShardedIndexBuilder {
+    /// A builder with the defaults: one shard, no MIH, squared Euclidean,
+    /// metrics disabled.
+    pub fn new() -> ShardedIndexBuilder {
+        ShardedIndexBuilder::default()
+    }
+
+    /// Number of shards (validated at [`build`](ShardedIndexBuilder::build);
+    /// default 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.n_shards = n;
+        self
+    }
+
+    /// Prebuild each shard's MIH side index with this many substring blocks
+    /// (required before
+    /// [`ProbeStrategy::MultiIndexHashing`](crate::engine::ProbeStrategy::MultiIndexHashing)).
+    pub fn mih_blocks(mut self, blocks: usize) -> Self {
+        assert!(blocks > 0, "MIH needs at least one block");
+        self.mih_blocks = Some(blocks);
+        self
+    }
+
+    /// Exact-evaluation metric (default squared Euclidean).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Attach a metrics registry: per-shard spans flush as
+    /// `gqr_shard_*{shard="…",strategy="…"}` and the merge records
+    /// `gqr_sharded_{total_ns,merge_ns,queries_total}`.
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Validate the configuration and build the index over `data`
+    /// (row-major, `dim` columns).
+    pub fn build<'a, M: HashModel + ?Sized>(
+        self,
+        model: &'a M,
+        data: &'a [f32],
+        dim: usize,
+    ) -> Result<ShardedIndex<'a, M>, ShardBuildError> {
+        if self.n_shards == 0 {
+            return Err(ShardBuildError::ZeroShards);
+        }
+        if model.dim() != dim {
+            return Err(ShardBuildError::DimMismatch {
+                model: model.dim(),
+                data: dim,
+            });
+        }
+        if dim == 0 || !data.len().is_multiple_of(dim) {
+            return Err(ShardBuildError::RaggedData);
+        }
+        let mut index = ShardedIndex::build(model, data, dim, self.n_shards)
+            .with_metric(self.metric)
+            .with_metrics(self.metrics);
+        if let Some(blocks) = self.mih_blocks {
+            index.enable_mih(blocks);
+        }
+        Ok(index)
+    }
+}
+
+impl Default for ShardedIndexBuilder {
+    fn default() -> Self {
+        ShardedIndexBuilder {
+            n_shards: 1,
+            mih_blocks: None,
+            metric: Metric::SquaredEuclidean,
+            metrics: MetricsRegistry::disabled(),
+        }
+    }
+}
+
 impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
     /// Partition `data` (row-major, `dim` columns) into `n_shards`
     /// contiguous shards and build each shard's hash table (in parallel when
@@ -288,6 +425,7 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
 
     /// k-NN search across all shards on an executor (thin wrapper over
     /// [`ShardedIndex::run_on`]).
+    #[deprecated(note = "use run_on(exec, SearchRequest)")]
     pub fn search_on(&self, exec: &Executor, query: &[f32], params: &SearchParams) -> SearchResult {
         self.run_on(exec, SearchRequest::new(query).params(*params))
     }
@@ -336,7 +474,7 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
 impl<'a> ShardedIndex<'a, dyn HashModel + 'a> {
     /// Rebuild a sharded index borrowing a [`LoadedIndex`]: the model and
     /// vectors are borrowed, and each shard's table and prebuilt MIH are
-    /// cloned into the owning [`Shard`]s, so no hashing or MIH construction
+    /// cloned into the owning `Shard`s, so no hashing or MIH construction
     /// runs. Works for any shard count (a one-shard snapshot just yields a
     /// one-shard index).
     pub fn from_snapshot(snap: &'a LoadedIndex) -> Self {

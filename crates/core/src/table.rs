@@ -180,7 +180,11 @@ impl HashTable {
     }
 
     /// Remove one occurrence of `id` from bucket `code`. Returns whether the
-    /// id was present; the bucket is dropped when it empties.
+    /// id was present. An emptied bucket is dropped so `n_buckets()` /
+    /// [`HashTable::occupied`] never report ghosts, and the bucket map's
+    /// capacity is released once deletions empty most of it (a
+    /// delete-heavy workload would otherwise hold peak-size allocations
+    /// forever).
     pub fn remove(&mut self, code: u64, id: u32) -> bool {
         let Some(items) = self.buckets.get_mut(&code) else {
             return false;
@@ -191,6 +195,12 @@ impl HashTable {
         items.swap_remove(pos);
         if items.is_empty() {
             self.buckets.remove(&code);
+            // Shrink only on a 4x surplus (and never below 64 slots) so
+            // insert/remove churn around a size boundary cannot thrash
+            // reallocation.
+            if self.buckets.capacity() > 64 && self.buckets.len() * 4 < self.buckets.capacity() {
+                self.buckets.shrink_to(self.buckets.len() * 2);
+            }
         }
         self.n_items -= 1;
         true
@@ -395,6 +405,42 @@ mod tests {
         let mut table = HashTable::from_codes(4, &[1, 5, 9]);
         table.remove(5, 1);
         let _ = table.dense_codes();
+    }
+
+    #[test]
+    fn draining_the_table_leaves_no_ghost_buckets() {
+        // One item per bucket: deleting everything must take n_buckets()
+        // and occupied() to zero, not leave ghost entries behind.
+        let codes: Vec<u64> = (0..4096u64).collect();
+        let mut table = HashTable::from_codes(64, &codes);
+        assert_eq!(table.n_buckets(), 4096);
+        let peak_capacity = table.buckets.capacity();
+        for (id, &code) in codes.iter().enumerate() {
+            assert!(table.remove(code, id as u32));
+        }
+        assert_eq!(table.n_items(), 0);
+        assert_eq!(table.n_buckets(), 0, "no ghost buckets after deletes");
+        assert_eq!(table.occupied().count(), 0);
+        assert!(
+            table.buckets.capacity() < peak_capacity / 2,
+            "bucket map released its peak allocation ({} -> {})",
+            peak_capacity,
+            table.buckets.capacity()
+        );
+        // The drained table keeps working.
+        table.insert(17, 9);
+        assert_eq!(table.bucket(17), &[9]);
+    }
+
+    #[test]
+    fn partial_deletes_keep_shared_buckets_alive() {
+        let codes = [3u64, 3, 3, 8];
+        let mut table = HashTable::from_codes(4, &codes);
+        assert!(table.remove(3, 1));
+        assert_eq!(table.n_buckets(), 2, "bucket 3 still holds items");
+        assert_eq!(table.bucket(3).len(), 2);
+        assert!(table.remove(8, 3));
+        assert_eq!(table.n_buckets(), 1, "emptied bucket 8 dropped");
     }
 
     #[test]

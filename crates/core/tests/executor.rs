@@ -5,6 +5,7 @@
 use gqr_core::engine::SearchParams;
 use gqr_core::executor::{Executor, JobError, SubmitError};
 use gqr_core::metrics::MetricsRegistry;
+use gqr_core::request::SearchRequest;
 use gqr_core::shard::ShardedIndex;
 use gqr_l2h::pcah::Pcah;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -116,7 +117,7 @@ fn executor_and_shard_metrics_export_under_pinned_names() {
         n_candidates: usize::MAX,
         ..Default::default()
     };
-    let _ = index.search_on(&exec, &[3.0, 4.0], &params);
+    let _ = index.run_on(&exec, SearchRequest::new(&[3.0, 4.0]).params(params));
 
     let snap = metrics.snapshot();
     let json = snap.to_json();

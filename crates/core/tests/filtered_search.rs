@@ -3,6 +3,7 @@
 //! item.
 
 use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::request::SearchRequest;
 use gqr_core::table::HashTable;
 use gqr_l2h::lsh::Lsh;
 use gqr_linalg::vecops::sq_dist_f32;
@@ -29,7 +30,11 @@ fn filter_excludes_rejected_ids() {
         ..Default::default()
     };
     // Only even ids are eligible.
-    let res = engine.search_filtered(&[20.0, 25.0], &params, |id| id % 2 == 0);
+    let res = engine.run(
+        SearchRequest::new(&[20.0, 25.0])
+            .params(params)
+            .filter(|id| id % 2 == 0),
+    );
     assert_eq!(res.neighbors.len(), 10);
     assert!(res.neighbors.iter().all(|&(id, _)| id % 2 == 0));
 }
@@ -46,7 +51,7 @@ fn filtered_exhaustive_matches_brute_force_over_subset() {
         ..Default::default()
     };
     let eligible = |id: u32| id % 3 == 1;
-    let res = engine.search_filtered(&q, &params, eligible);
+    let res = engine.run(SearchRequest::new(&q).params(params).filter(eligible));
 
     let mut brute: Vec<(u32, f32)> = data
         .chunks_exact(2)
@@ -71,7 +76,11 @@ fn budget_counts_matching_items_only() {
     };
     // A very selective filter forces deeper probing than the unfiltered
     // search would need for the same budget.
-    let selective = engine.search_filtered(&[5.0, 5.0], &params, |id| id % 10 == 0);
+    let selective = engine.run(
+        SearchRequest::new(&[5.0, 5.0])
+            .params(params)
+            .filter(|id| id % 10 == 0),
+    );
     let unfiltered = engine.search(&[5.0, 5.0], &params);
     assert!(selective.stats.items_evaluated >= 50);
     assert!(
@@ -92,19 +101,40 @@ fn reject_all_returns_empty() {
         strategy: ProbeStrategy::GenerateHammingRanking,
         ..Default::default()
     };
-    let res = engine.search_filtered(&[1.0, 1.0], &params, |_| false);
+    let res = engine.run(
+        SearchRequest::new(&[1.0, 1.0])
+            .params(params)
+            .filter(|_| false),
+    );
     assert!(res.neighbors.is_empty());
     assert_eq!(res.stats.items_evaluated, 0);
 }
 
 #[test]
-#[should_panic(expected = "not supported for MIH")]
-fn mih_filter_rejected() {
+fn mih_filtered_matches_brute_force_over_subset() {
     let (data, model, table) = fixture();
-    let engine = QueryEngine::new(&model, &table, &data, 2);
+    let mut engine = QueryEngine::new(&model, &table, &data, 2);
+    engine.enable_mih(3);
+    let q = [17.0f32, 23.0];
     let params = SearchParams {
-        strategy: ProbeStrategy::MultiIndexHashing { blocks: 2 },
+        k: 8,
+        n_candidates: usize::MAX,
+        strategy: ProbeStrategy::MultiIndexHashing { blocks: 3 },
+        early_stop: false,
         ..Default::default()
     };
-    let _ = engine.search_filtered(&[0.0, 0.0], &params, |_| true);
+    let eligible = |id: u32| id % 4 == 2;
+    let res = engine.run(SearchRequest::new(&q).params(params).filter(eligible));
+
+    let mut brute: Vec<(u32, f32)> = data
+        .chunks_exact(2)
+        .enumerate()
+        .filter(|(i, _)| eligible(*i as u32))
+        .map(|(i, row)| (i as u32, sq_dist_f32(&q, row)))
+        .collect();
+    brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    brute.truncate(8);
+    assert_eq!(res.neighbors, brute);
+    // Rejected items never consume evaluation budget.
+    assert_eq!(res.stats.items_evaluated, 2000 / 4);
 }

@@ -105,7 +105,7 @@ fn executor_fanout_matches_serial_sharded_path() {
             let params = exhaustive(strategy);
             for q in queries() {
                 let serial = index.search(&q, &params);
-                let pooled = index.search_on(&exec, &q, &params);
+                let pooled = index.run_on(&exec, SearchRequest::new(&q).params(params));
                 assert_eq!(
                     pooled.neighbors,
                     serial.neighbors,
@@ -122,16 +122,17 @@ fn filtered_sharded_matches_filtered_engine() {
     let (data, dim) = dataset();
     let model = Pcah::train(&data, dim, 4).unwrap();
     let table = HashTable::build(&model, &data, dim);
-    let reference = QueryEngine::new(&model, &table, &data, dim);
+    let mut reference = QueryEngine::new(&model, &table, &data, dim);
+    reference.enable_mih(2);
     let accept = |id: u32| id % 3 == 0;
 
     for s in SHARD_COUNTS {
-        let index = ShardedIndex::build(&model, &data, dim, s);
-        // MIH has no filtered path; bucket strategies only.
-        for strategy in &STRATEGIES[..4] {
+        let mut index = ShardedIndex::build(&model, &data, dim, s);
+        index.enable_mih(2);
+        for strategy in &STRATEGIES {
             let params = exhaustive(*strategy);
             for q in queries().into_iter().take(4) {
-                let want = reference.search_filtered(&q, &params, accept);
+                let want = reference.run(SearchRequest::new(&q).params(params).filter(accept));
                 let got = index.run(SearchRequest::new(&q).params(params).filter(accept));
                 assert_eq!(
                     got.neighbors,

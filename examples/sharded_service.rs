@@ -34,8 +34,11 @@ fn main() {
     let metrics = MetricsRegistry::enabled();
     let n_shards = 4;
     let t0 = Instant::now();
-    let index = ShardedIndex::build(&model, ds.as_slice(), ds.dim(), n_shards)
-        .with_metrics(metrics.clone());
+    let index = ShardedIndexBuilder::new()
+        .shards(n_shards)
+        .metrics(metrics.clone())
+        .build(&model, ds.as_slice(), ds.dim())
+        .expect("valid shard configuration");
     println!(
         "built {} shards in {:?} (sizes {:?})",
         index.n_shards(),

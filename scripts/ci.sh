@@ -25,6 +25,9 @@ echo "==> snapshot corruption + round-trip suites"
 cargo test -q --test snapshot_corruption
 cargo test -q --test snapshot_roundtrip
 
+echo "==> mutation stress (bounded)"
+GQR_STRESS_ITERS=800 cargo test -q -p gqr-core --test live_stress
+
 echo "==> snapshot save/load/query smoke (CLI)"
 SNAPDIR="$(mktemp -d)"
 trap 'rm -rf "$SNAPDIR"' EXIT
@@ -37,8 +40,19 @@ cargo run -q --release --bin gqr -- load-index --snapshot "$SNAPDIR/index.gqr" \
 cargo run -q --release --bin gqr -- load-index --snapshot "$SNAPDIR/index.gqr" \
     --queries 10 --k 5 --strategy mih
 
+echo "==> live mutation smoke (CLI insert/delete on a snapshot)"
+VEC="$(printf '0.5,%.0s' $(seq 1 16))"  # smoke-scale cifar60k is 16-dim
+cargo run -q --release --bin gqr -- insert --snapshot "$SNAPDIR/index.gqr" \
+    --vector "${VEC%,}"
+cargo run -q --release --bin gqr -- delete --snapshot "$SNAPDIR/index.gqr" --id 3
+cargo run -q --release --bin gqr -- load-index --snapshot "$SNAPDIR/index.gqr" \
+    --queries 10 --k 5 --strategy gqr
+
 echo "==> snapshot cold-start bench (smoke)"
 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench snapshot
+
+echo "==> mutation bench (smoke)"
+GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench mutation
 
 echo "==> serving bench (smoke)"
 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench serving

@@ -13,6 +13,8 @@
 //! drop in directly.
 
 use gqr::core::engine::{ProbeStrategy, QueryEngine, SearchParams, SearchResult};
+use gqr::core::live::MutableIndex;
+use gqr::core::request::SearchRequest;
 use gqr::core::shard::ShardedIndex;
 use gqr::core::table::HashTable;
 use gqr::dataset::{brute_force_knn, io as dsio, Dataset, DatasetSpec, Scale};
@@ -23,7 +25,7 @@ use gqr::l2h::lsh::Lsh;
 use gqr::l2h::pcah::Pcah;
 use gqr::l2h::sh::SpectralHashing;
 use gqr::l2h::HashModel;
-use gqr::persist::LoadedIndex;
+use gqr::persist::{LoadedIndex, SectionKind, SnapshotFile};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::process::exit;
@@ -68,6 +70,8 @@ fn main() {
         "eval" => cmd_eval(&flags),
         "save-index" => cmd_save_index(&flags),
         "load-index" => cmd_load_index(&flags),
+        "insert" => cmd_insert(&flags),
+        "delete" => cmd_delete(&flags),
         "--help" | "-h" | "help" => {
             usage_and_exit(None);
         }
@@ -96,6 +100,8 @@ fn usage_and_exit(err: Option<&str>) -> ! {
          \x20          [--shards N] [--mih-blocks B]\n\
          \x20 load-index --snapshot FILE --k K (--row I | --queries N)\n\
          \x20          [--strategy gqr|ghr|hr|qr|mih] [--candidates N]\n\
+         \x20 insert   --snapshot FILE --vector \"x1,x2,...\" [--out FILE] [--compact 1]\n\
+         \x20 delete   --snapshot FILE --id N [--out FILE] [--compact 1]\n\
          \n\
          presets: cifar60k gist1m tiny5m sift10m sift1m deep1m msong1m glove1.2m\n\
          \x20        glove2.2m audio50k nuswide ukbench1m imagenet2.3m"
@@ -438,8 +444,174 @@ fn engine_from(loaded: &LoadedIndex) -> Result<LoadedEngine<'_>, String> {
     }
 }
 
+/// Whether the snapshot carries live mutation state (and so must be loaded
+/// through [`MutableIndex::from_snapshot`] rather than `load_index`).
+fn is_live_snapshot(path: &str) -> Result<bool, String> {
+    let file = SnapshotFile::read(std::path::Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    let live = file.sections_of(SectionKind::LiveState).next().is_some();
+    Ok(live)
+}
+
+fn load_mutable(path: &str) -> Result<MutableIndex, String> {
+    MutableIndex::from_snapshot(std::path::Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_insert(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "snapshot")?;
+    let vector: Vec<f32> = get(flags, "vector")?
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad component '{}' in --vector", s.trim()))
+        })
+        .collect::<Result<_, _>>()?;
+    let index = load_mutable(path)?;
+    if vector.len() != index.dim() {
+        return Err(format!(
+            "--vector has {} components, index expects {}",
+            vector.len(),
+            index.dim()
+        ));
+    }
+    let id = index.writer().insert(&vector);
+    if flags.contains_key("compact") {
+        index.compact();
+    }
+    let out = flags.get("out").map(String::as_str).unwrap_or(path);
+    let bytes = index
+        .save_snapshot(std::path::Path::new(out))
+        .map_err(|e| e.to_string())?;
+    let gen = index.pin();
+    println!(
+        "inserted id {id}: epoch {}, {} live rows ({} delta, {} tombstones); wrote {bytes} bytes to {out}",
+        gen.epoch(),
+        gen.n_live(),
+        gen.delta_rows(),
+        gen.n_tombstones()
+    );
+    Ok(())
+}
+
+fn cmd_delete(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "snapshot")?;
+    let id: u32 = get_num(flags, "id")?;
+    let index = load_mutable(path)?;
+    if !index.writer().delete(id) {
+        return Err(format!("id {id} is not live in {path}"));
+    }
+    if flags.contains_key("compact") {
+        index.compact();
+    }
+    let out = flags.get("out").map(String::as_str).unwrap_or(path);
+    let bytes = index
+        .save_snapshot(std::path::Path::new(out))
+        .map_err(|e| e.to_string())?;
+    let gen = index.pin();
+    println!(
+        "deleted id {id}: epoch {}, {} live rows ({} delta, {} tombstones); wrote {bytes} bytes to {out}",
+        gen.epoch(),
+        gen.n_live(),
+        gen.delta_rows(),
+        gen.n_tombstones()
+    );
+    Ok(())
+}
+
+/// `load-index` over a snapshot with live mutation state: external ids are
+/// sparse, so `--row` addresses an external id and recall evaluation maps
+/// brute-force positions back through the live id list.
+fn cmd_load_live(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let start = std::time::Instant::now();
+    let index = load_mutable(path)?;
+    let gen = index.pin();
+    println!(
+        "loaded live index: {} rows × {} dims (epoch {}, {} delta, {} tombstones) from {path} in {:?}",
+        gen.n_live(),
+        index.dim(),
+        gen.epoch(),
+        gen.delta_rows(),
+        gen.n_tombstones(),
+        start.elapsed()
+    );
+    let k: usize = get_num(flags, "k")?;
+    let n_candidates: usize = flags
+        .get("candidates")
+        .map(|s| s.parse().map_err(|_| "bad --candidates"))
+        .transpose()?
+        .unwrap_or(1_000);
+    let strat_name = flags.get("strategy").map(String::as_str).unwrap_or("gqr");
+    let strat = if strat_name.eq_ignore_ascii_case("mih") {
+        let Some(blocks) = index.mih_blocks() else {
+            return Err("snapshot has no MIH side tables; re-save with --mih-blocks".into());
+        };
+        ProbeStrategy::MultiIndexHashing { blocks }
+    } else {
+        strategy(strat_name)?
+    };
+    let params = SearchParams::for_k(k)
+        .candidates(n_candidates)
+        .strategy(strat)
+        .build()
+        .map_err(|e| format!("invalid search parameters: {e}"))?;
+
+    if let Some(id) = flags.get("row") {
+        let id: u32 = id.parse().map_err(|_| "bad --row")?;
+        let Some(query) = index.vector(id) else {
+            return Err(format!("id {id} is not live in {path}"));
+        };
+        let start = std::time::Instant::now();
+        let res = index.run(SearchRequest::new(&query).params(params));
+        println!(
+            "{} nearest neighbors of id {id} ({} in {:?}, {} buckets probed, {} items evaluated):",
+            k,
+            strat.name(),
+            start.elapsed(),
+            res.stats.buckets_probed,
+            res.stats.items_evaluated
+        );
+        for (id, dist) in &res.neighbors {
+            println!("  #{id:<8} sq-dist {dist:.5}");
+        }
+        return Ok(());
+    }
+
+    let n_queries: usize = get_num(flags, "queries")?;
+    let mut ids = gen.live_ids();
+    ids.sort_unstable();
+    let mut data = Vec::with_capacity(ids.len() * index.dim());
+    for &id in &ids {
+        data.extend(index.vector(id).expect("live id has a vector"));
+    }
+    let ds = Dataset::new("snapshot", index.dim(), data);
+    let queries = ds.sample_queries(n_queries, 7);
+    let truth = brute_force_knn(&ds, &queries, k, 0);
+    let start = std::time::Instant::now();
+    let mut found = 0usize;
+    for (q, t) in queries.iter().zip(&truth) {
+        let res = index.run(SearchRequest::new(q).params(params));
+        found += res
+            .neighbors
+            .iter()
+            .filter(|(id, _)| t.iter().any(|&p| ids[p as usize] == *id))
+            .count();
+    }
+    println!(
+        "{:<9} recall@{k} {:.3}   {:?} total (budget {n_candidates}/query, {n_queries} queries)",
+        strat.name(),
+        found as f64 / (k * queries.len()) as f64,
+        start.elapsed()
+    );
+    Ok(())
+}
+
 fn cmd_load_index(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = get(flags, "snapshot")?;
+    if is_live_snapshot(path)? {
+        return cmd_load_live(path, flags);
+    }
     let start = std::time::Instant::now();
     let loaded = gqr::persist::load_index(std::path::Path::new(path))
         .map_err(|e| format!("loading {path}: {e}"))?;

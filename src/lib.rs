@@ -6,8 +6,10 @@
 //!
 //! * [`core`] ([`gqr_core`]) — quantization distance, the QR/GQR probers,
 //!   Hamming-ranking baselines, MIH, the query engine, multi-table search,
-//!   and the query-path metrics layer (`gqr_core::metrics`: phase spans,
-//!   latency histograms, JSON/Prometheus export).
+//!   the epoch-versioned mutable index (`gqr_core::live`: inserts, deletes,
+//!   tombstones, background compaction), and the query-path metrics layer
+//!   (`gqr_core::metrics`: phase spans, latency histograms, JSON/Prometheus
+//!   export).
 //! * [`l2h`] ([`gqr_l2h`]) — hash-function learners: LSH, PCAH, ITQ,
 //!   spectral hashing, K-means hashing.
 //! * [`dataset`] ([`gqr_dataset`]) — synthetic benchmark stand-ins,
@@ -62,11 +64,15 @@ pub mod prelude {
         ParamError, ProbeStrategy, QueryEngine, SearchParams, SearchParamsBuilder, SearchResult,
     };
     pub use gqr_core::executor::{Executor, ExecutorBuilder, JobError, SubmitError, Ticket};
+    pub use gqr_core::index::Index;
+    pub use gqr_core::live::{
+        Generation, IndexWriter, MutableIndex, MutableIndexBuilder, ShardedMutableIndex,
+    };
     pub use gqr_core::metrics::{MetricsRegistry, MetricsSnapshot};
     pub use gqr_core::multi_table::MultiTableIndex;
     pub use gqr_core::persist::{load_index, save_index, LoadedIndex, PersistError};
     pub use gqr_core::request::SearchRequest;
-    pub use gqr_core::shard::ShardedIndex;
+    pub use gqr_core::shard::{ShardBuildError, ShardedIndex, ShardedIndexBuilder};
     pub use gqr_core::table::HashTable;
     pub use gqr_core::{hamming, quantization_distance};
     pub use gqr_dataset::{brute_force_knn, Dataset, DatasetSpec, Scale};
@@ -78,4 +84,5 @@ pub mod prelude {
     pub use gqr_l2h::sh::SpectralHashing;
     pub use gqr_l2h::ssh::Ssh;
     pub use gqr_l2h::{HashModel, QueryEncoding};
+    pub use gqr_linalg::vecops::Metric;
 }

@@ -3,7 +3,7 @@
 //! Re-exports [`gqr_core::persist`] — the checksummed sectioned snapshot
 //! container (format spec, crash-safe writer, validated reader, and
 //! [`LoadedIndex`]) — and adds the file-level glue for
-//! [`MpLshIndex`](gqr_mplsh::MpLshIndex), which lives below `gqr-core` in
+//! [`MpLshIndex`], which lives below `gqr-core` in
 //! the crate graph and therefore cannot host it itself.
 
 pub use gqr_core::persist::{
