@@ -18,6 +18,10 @@ pub struct Config {
     pub out_dir: String,
     /// Worker threads for ground truth (`0` = all cores).
     pub threads: usize,
+    /// Trace sampling period (`0` = tracing off): every Nth query records a
+    /// full span tree, exported via `Reporter::write_traces` as
+    /// `trace_*.{jsonl,chrome.json}` + `trace_*_slow.log`.
+    pub trace_every: u64,
 }
 
 impl Default for Config {
@@ -29,6 +33,7 @@ impl Default for Config {
             seed: 42,
             out_dir: "results".to_string(),
             threads: 0,
+            trace_every: 0,
         }
     }
 }
@@ -58,6 +63,7 @@ impl Config {
                 "--seed" => cfg.seed = parse_num::<u64>(&value("--seed"), "--seed"),
                 "--out" => cfg.out_dir = value("--out"),
                 "--threads" => cfg.threads = parse_num(&value("--threads"), "--threads"),
+                "--trace" => cfg.trace_every = parse_num(&value("--trace"), "--trace"),
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0);
@@ -74,8 +80,7 @@ impl Config {
     }
 }
 
-const USAGE: &str =
-    "flags: --scale smoke|default|paper  --queries N  --k K  --seed S  --out DIR  --threads T";
+const USAGE: &str = "flags: --scale smoke|default|paper  --queries N  --k K  --seed S  --out DIR  --threads T  --trace N (sample every Nth query, 0=off)";
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
     s.parse()
@@ -118,6 +123,8 @@ mod tests {
             "x",
             "--threads",
             "2",
+            "--trace",
+            "16",
         ]);
         assert_eq!(c.scale, Scale::Smoke);
         assert_eq!(c.k, 5);
@@ -125,6 +132,7 @@ mod tests {
         assert_eq!(c.seed, 9);
         assert_eq!(c.out_dir, "x");
         assert_eq!(c.threads, 2);
+        assert_eq!(c.trace_every, 16);
     }
 
     #[test]

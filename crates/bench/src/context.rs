@@ -1,7 +1,7 @@
 //! Per-dataset experiment fixture: data, queries, ground truth, code length.
 
 use crate::cli::Config;
-use gqr_core::metrics::MetricsRegistry;
+use gqr_core::metrics::{MetricsRegistry, TraceConfig};
 use gqr_dataset::{brute_force_knn, Dataset, DatasetSpec, GroundTruth};
 
 /// Everything an experiment needs for one dataset: generated data, held-out
@@ -38,13 +38,20 @@ impl ExperimentContext {
         let start = std::time::Instant::now();
         let ground_truth = brute_force_knn(&dataset, &queries, k, cfg.threads);
         let linear_search_s = start.elapsed().as_secs_f64();
+        let metrics = MetricsRegistry::enabled();
+        if cfg.trace_every > 0 {
+            metrics.enable_tracing(TraceConfig {
+                sample_every: cfg.trace_every,
+                ..TraceConfig::default()
+            });
+        }
         ExperimentContext {
             dataset,
             queries,
             ground_truth,
             code_length: spec.code_length(),
             linear_search_s,
-            metrics: MetricsRegistry::enabled(),
+            metrics,
         }
     }
 

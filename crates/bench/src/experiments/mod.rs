@@ -95,6 +95,12 @@ pub(crate) fn strategies_over_datasets(
             &ctx.metrics,
         )?;
         println!("  metrics: {} + {}", mj.display(), mp.display());
+        if let Some((tj, tc, _)) = reporter.write_traces(
+            &format!("{prefix}_{}", sanitize(ctx.dataset.name())),
+            &ctx.metrics,
+        )? {
+            println!("  traces: {} + {}", tj.display(), tc.display());
+        }
         println!(
             "{}",
             gqr_eval::plot::ascii_chart(&curves, gqr_eval::plot::Axis::Time, 64, 16)

@@ -17,6 +17,7 @@ fn cfg(tag: &str) -> (Config, PathBuf) {
         seed: 7,
         out_dir: dir.to_str().unwrap().to_string(),
         threads: 1,
+        trace_every: 1,
     };
     (cfg, dir)
 }
@@ -47,6 +48,14 @@ fn fig6_curves_have_expected_labels() {
     assert_csv(&dir, "fig6_gqr_vs_qr_time_at_recall.csv");
     let text = std::fs::read_to_string(dir.join("fig6_gqr_vs_qr_cifar60k_sim.csv")).unwrap();
     assert!(text.contains("GQR,") && text.contains("QR,"));
+    // cfg() enables tracing (`trace_every: 1`), so the trace artifacts must
+    // land beside the metrics exports.
+    let traces =
+        std::fs::read_to_string(dir.join("trace_fig6_gqr_vs_qr_cifar60k_sim.jsonl")).unwrap();
+    assert!(!traces.is_empty(), "sampled queries must record traces");
+    let chrome =
+        std::fs::read_to_string(dir.join("trace_fig6_gqr_vs_qr_cifar60k_sim.chrome.json")).unwrap();
+    assert!(chrome.contains("\"traceEvents\""));
 }
 
 #[test]

@@ -25,7 +25,11 @@ impl<M: HashModel + ?Sized> QueryEngine<'_, M> {
     /// With a metrics registry attached, every worker records its per-query
     /// phase spans into the shared registry (histogram recording is
     /// lock-free), and the batch as a whole records
-    /// `gqr_batch_wall_ns`/`gqr_batch_queries_total`.
+    /// `gqr_batch_wall_ns`/`gqr_batch_queries_total`. With tracing enabled
+    /// on the registry, each query in the batch makes its own sampling
+    /// decision (the 1-in-N counter is shared process-wide), so a sampled
+    /// batch query produces the same standalone span tree as a sampled
+    /// [`QueryEngine::run`] — there is no batch-level parent span.
     pub fn search_batch(
         &self,
         queries: &[Vec<f32>],

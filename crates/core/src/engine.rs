@@ -6,7 +6,9 @@
 //! incremental, which also enables the checkpointed instrumentation behind
 //! every recall–time curve in the evaluation).
 
-use crate::metrics::{metric_name, MetricsRegistry, Phase, PhaseSpans};
+use crate::metrics::{
+    metric_name, MarkerKind, MetricsRegistry, Phase, PhaseSpans, SpanId, TraceContext,
+};
 use crate::probe::mih::MihIndex;
 use crate::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
 use crate::request::SearchRequest;
@@ -479,17 +481,34 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         req: SearchRequest<'_>,
         scratch: &mut ScoreBlock,
     ) -> SearchResult {
-        let (query, mut params, budgets, mut filter, deadline) = req.into_parts();
+        let parts = req.into_parts();
+        let (query, budgets) = (parts.query, parts.budgets);
+        let (mut params, mut filter, deadline) = (parts.params, parts.filter, parts.deadline);
         scratch.ensure_dim(self.dim);
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         debug_assert!(
             budgets.windows(2).all(|w| w[0] <= w[1]),
             "budgets must ascend"
         );
+        let admitted_late = deadline.is_some_and(|d| Instant::now() > d);
         if let Some(d) = deadline {
             let remaining = d.saturating_duration_since(Instant::now());
             params.time_limit = Some(params.time_limit.map_or(remaining, |tl| tl.min(remaining)));
         }
+        // A composite surface (sharded fan-out, live segments) hands this
+        // engine a lane in an already-open trace; otherwise the engine owns
+        // the trace — begun here (sampled 1-in-N, forced for explicit
+        // `.trace()` opt-ins and for requests already past their deadline)
+        // and sealed below.
+        let (trace, troot, owned_trace) = match parts.trace_parent {
+            Some((ctx, parent)) => (ctx, parent, false),
+            None => {
+                let ctx = self
+                    .metrics
+                    .trace_begin(params.strategy.name(), parts.trace || admitted_late);
+                (ctx, SpanId::ROOT, true)
+            }
+        };
         let start = Instant::now();
         let (mut result, checkpoints) = match params.strategy {
             ProbeStrategy::MultiIndexHashing { .. } => self.run_mih(
@@ -499,6 +518,8 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
                 start,
                 filter.as_deref_mut(),
                 scratch,
+                &trace,
+                troot,
             ),
             _ => self.run_buckets(
                 query,
@@ -507,14 +528,26 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
                 start,
                 filter.as_deref_mut(),
                 scratch,
+                &trace,
+                troot,
             ),
         };
         result.checkpoints = checkpoints;
-        if deadline.is_some_and(|d| Instant::now() > d) {
+        let missed = deadline.is_some_and(|d| Instant::now() > d);
+        if missed {
             self.metrics.incr(&metric_name(
                 "gqr_request_deadline_missed_total",
                 &[("strategy", params.strategy.name())],
             ));
+            if trace.is_sampled() {
+                let over = deadline.map_or(0, |d| {
+                    u64::try_from(Instant::now().duration_since(d).as_nanos()).unwrap_or(u64::MAX)
+                });
+                trace.marker(troot, MarkerKind::DeadlineMiss, over, 0);
+            }
+        }
+        if owned_trace {
+            self.metrics.trace_finish(trace, missed);
         }
         result
     }
@@ -559,6 +592,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         self.run(SearchRequest::new(query).params(*params).filter(filter))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_buckets<'q>(
         &self,
         query: &[f32],
@@ -567,12 +601,17 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         start: Instant,
         mut filter: Option<&mut (dyn FnMut(u32) -> bool + 'q)>,
         scratch: &mut ScoreBlock,
+        trace: &TraceContext,
+        troot: SpanId,
     ) -> (SearchResult, Vec<Checkpoint>) {
         let mut spans = PhaseSpans::new(&self.metrics);
         let t = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::HashQuery.as_str(), t);
         let qe = self.model.encode_query(query);
         spans.end(Phase::HashQuery, t);
+        trace.end(ts);
         let t = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::ProbeGenerate.as_str(), t);
         let mut prober: Box<dyn Prober + '_> = match params.strategy {
             ProbeStrategy::HammingRanking => Box::new(HammingRanking::new(self.table)),
             ProbeStrategy::GenerateHammingRanking => {
@@ -586,6 +625,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         };
         prober.reset(&qe);
         spans.end(Phase::ProbeGenerate, t);
+        trace.end(ts);
 
         // Early-stop constant µ = 1/(σ_max(H)·√m), Theorem 2.
         let qd_strategy = matches!(
@@ -616,29 +656,48 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             if params.time_limit.is_some_and(|tl| start.elapsed() >= tl) {
                 break;
             }
+            // QD of the bucket about to be probed, captured *before*
+            // `next_bucket` consumes it — this is the per-step difficulty
+            // signal the QD trajectory is made of. Only read when sampled.
+            let step_qd = if trace.is_sampled() {
+                Some(prober.peek_cost().unwrap_or(-1.0))
+            } else {
+                None
+            };
             let t = spans.begin();
             if let (Some(mu), Some(dk)) = (mu, topk.kth_dist()) {
                 if let Some(qd) = prober.peek_cost() {
                     let bound = mu * qd;
                     if (bound * bound) as f32 >= dk {
                         spans.end(Phase::ProbeGenerate, t);
+                        trace.marker(troot, MarkerKind::EarlyStop, stats.buckets_probed as u64, 0);
                         break; // no remaining bucket can improve the top-k
                     }
                 }
             }
+            let ts = trace.begin_opt(troot, Phase::ProbeGenerate.as_str(), t);
             let next = prober.next_bucket();
             spans.end(Phase::ProbeGenerate, t);
+            trace.end(ts);
             let Some(code) = next else { break };
+            let bucket_rank = stats.buckets_probed as u32;
             stats.buckets_probed += 1;
             let t = spans.begin();
+            let ts = trace.begin_opt(troot, Phase::BucketLookup.as_str(), t);
             let items = self.table.bucket(code);
             spans.end(Phase::BucketLookup, t);
+            trace.end(ts);
             if items.is_empty() {
                 stats.empty_buckets += 1;
+                if let Some(qd) = step_qd {
+                    trace.qd_step(troot, bucket_rank, qd, 0, 0);
+                }
                 continue;
             }
             stats.items_collected += items.len();
+            let evaluated_before = stats.items_evaluated;
             let t = spans.begin();
+            let ts = trace.begin_opt(troot, Phase::Evaluate.as_str(), t);
             // Gather surviving candidates into the scratch tile and score
             // whole tiles through the blocked batch kernel. Filtering makes
             // tiles ragged; the per-bucket flush keeps checkpoint and
@@ -660,11 +719,22 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             }
             stats.items_evaluated += scratch.flush(query, self.metric, |id, d| topk.push(d, id));
             spans.end(Phase::Evaluate, t);
+            trace.end(ts);
+            if let Some(qd) = step_qd {
+                let kept = (stats.items_evaluated - evaluated_before) as u32;
+                trace.qd_step(troot, bucket_rank, qd, items.len() as u32, kept);
+            }
             while let Some(&b) = next_budget.peek() {
                 if stats.items_evaluated < b {
                     break;
                 }
                 next_budget.next();
+                trace.marker(
+                    troot,
+                    MarkerKind::Checkpoint,
+                    b as u64,
+                    stats.items_evaluated as u64,
+                );
                 checkpoints.push(self.snapshot(b, &stats, start, &topk));
             }
         }
@@ -673,8 +743,10 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             checkpoints.push(self.snapshot(b, &stats, start, &topk));
         }
         let t = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::Rerank.as_str(), t);
         let neighbors = topk.into_sorted();
         spans.end(Phase::Rerank, t);
+        trace.end(ts);
         #[cfg(debug_assertions)]
         stats.checked_invariants();
         self.flush_spans(&spans, params.strategy.name(), start.elapsed());
@@ -688,6 +760,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_mih<'q>(
         &self,
         query: &[f32],
@@ -696,6 +769,8 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         start: Instant,
         mut filter: Option<&mut (dyn FnMut(u32) -> bool + 'q)>,
         scratch: &mut ScoreBlock,
+        trace: &TraceContext,
+        troot: SpanId,
     ) -> (SearchResult, Vec<Checkpoint>) {
         let mih = self
             .mih
@@ -704,11 +779,15 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             .get();
         let mut spans = PhaseSpans::new(&self.metrics);
         let t = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::HashQuery.as_str(), t);
         let code = self.model.encode(query);
         spans.end(Phase::HashQuery, t);
+        trace.end(ts);
         let t = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::ProbeGenerate.as_str(), t);
         let mut searcher = mih.search(code);
         spans.end(Phase::ProbeGenerate, t);
+        trace.end(ts);
         let mut topk = TopK::new(params.k);
         let mut stats = ProbeStats::default();
         let mut checkpoints = Vec::with_capacity(budgets.len());
@@ -721,13 +800,18 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             }
             batch.clear();
             let t = spans.begin();
+            let ts = trace.begin_opt(troot, Phase::BucketLookup.as_str(), t);
             let got = searcher.next_batch(&mut batch);
             spans.end(Phase::BucketLookup, t);
+            trace.end(ts);
             if got.is_none() {
                 break;
             }
+            let batch_rank = searcher.lookups() as u32;
+            let evaluated_before = stats.items_evaluated;
             stats.items_collected += batch.len();
             let t = spans.begin();
+            let ts = trace.begin_opt(troot, Phase::Evaluate.as_str(), t);
             // Same contract as the bucket path: rejected items are skipped
             // before any distance is computed and do not count toward the
             // candidate budget (the flush return values count evaluations).
@@ -746,6 +830,13 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             }
             stats.items_evaluated += scratch.flush(query, self.metric, |id, d| topk.push(d, id));
             spans.end(Phase::Evaluate, t);
+            trace.end(ts);
+            if trace.is_sampled() {
+                // MIH enumerates by Hamming radius, not quantization
+                // distance; -1.0 marks QD as unavailable for this batch.
+                let kept = (stats.items_evaluated - evaluated_before) as u32;
+                trace.qd_step(troot, batch_rank, -1.0, batch.len() as u32, kept);
+            }
             while let Some(&b) = next_budget.peek() {
                 if stats.items_evaluated < b {
                     break;
@@ -753,6 +844,12 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
                 next_budget.next();
                 stats.buckets_probed = searcher.lookups();
                 stats.duplicates_skipped = searcher.duplicates();
+                trace.marker(
+                    troot,
+                    MarkerKind::Checkpoint,
+                    b as u64,
+                    stats.items_evaluated as u64,
+                );
                 checkpoints.push(self.snapshot(b, &stats, start, &topk));
             }
         }
@@ -762,8 +859,10 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             checkpoints.push(self.snapshot(b, &stats, start, &topk));
         }
         let t = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::Rerank.as_str(), t);
         let neighbors = topk.into_sorted();
         spans.end(Phase::Rerank, t);
+        trace.end(ts);
         #[cfg(debug_assertions)]
         stats.checked_invariants();
         self.flush_spans(&spans, params.strategy.name(), start.elapsed());
@@ -1094,7 +1193,7 @@ mod tests {
         let via_run = engine.run(
             SearchRequest::new(&q)
                 .params(params)
-                .filter(|id: u32| id % 2 == 0),
+                .filter(|id: u32| id.is_multiple_of(2)),
         );
         let via_filtered = engine.search_filtered(&q, &params, |id| id % 2 == 0);
         assert_eq!(via_run.neighbors, via_filtered.neighbors);

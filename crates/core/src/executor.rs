@@ -273,6 +273,19 @@ impl Executor {
         self.workers.lock().unwrap().len()
     }
 
+    /// The pool index of the executor worker running the current thread,
+    /// recovered from the `gqr-exec-{i}` thread name. `None` when called
+    /// off-pool (any executor's workers answer, but jobs only ever ask
+    /// about the pool they run on). Query traces stamp this onto per-shard
+    /// `run` spans so the Chrome export shows which worker served which
+    /// shard.
+    pub fn current_worker_index() -> Option<usize> {
+        std::thread::current()
+            .name()
+            .and_then(|n| n.strip_prefix("gqr-exec-"))
+            .and_then(|i| i.parse().ok())
+    }
+
     /// The attached metrics registry.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.shared.metrics

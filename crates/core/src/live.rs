@@ -48,7 +48,7 @@
 
 use crate::engine::{QueryEngine, SearchResult};
 use crate::executor::Executor;
-use crate::metrics::{metric_name, MetricsRegistry};
+use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, SpanId};
 use crate::persist::{corrupt, PersistError, SectionKind, SnapshotFile, SnapshotWriter};
 use crate::probe::mih::MihIndex;
 use crate::request::SearchRequest;
@@ -267,6 +267,17 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
             .incr(&metric_name("gqr_mutations_total", &[("op", op)]));
     }
 
+    /// Record one mutation as a single-marker trace, gated by the same
+    /// 1-in-N sampler as queries. One branch when tracing is off; one
+    /// counter bump + modulo when on but unsampled.
+    fn trace_mutation(&self, kind: MarkerKind, a: u64, b: u64) {
+        let trace = self.metrics.trace_begin("mutation", false);
+        if trace.is_sampled() {
+            trace.marker(SpanId::ROOT, kind, a, b);
+            self.metrics.trace_finish(trace, false);
+        }
+    }
+
     /// Append one row to a copy of `gen`'s delta and return the new delta
     /// plus the row's global slot.
     fn grown_delta(&self, gen: &Generation, vector: &[f32], id: u32) -> (Segment, u32) {
@@ -281,6 +292,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
     fn insert(&self, vector: &[f32]) -> u32 {
         assert_eq!(vector.len(), self.dim, "vector dimensionality mismatch");
         let id;
+        let (delta_rows, tombs);
         {
             let mut w = self.writer.lock();
             id = w.next_id;
@@ -290,6 +302,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
             let gen = self.pin();
             let (delta, slot) = self.grown_delta(&gen, vector, id);
             w.live.insert(id, slot);
+            (delta_rows, tombs) = (delta.rows(), gen.tombstones.len());
             self.publish(Generation {
                 epoch: gen.epoch + 1,
                 base: Arc::clone(&gen.base),
@@ -298,11 +311,13 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
             });
         }
         self.count_mutation("insert");
+        self.trace_mutation(MarkerKind::DeltaAppend, delta_rows as u64, tombs as u64);
         self.maybe_compact();
         id
     }
 
     fn delete(&self, id: u32) -> bool {
+        let (delta_rows, tombs);
         {
             let mut w = self.writer.lock();
             let Some(slot) = w.live.remove(&id) else {
@@ -311,6 +326,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
             let gen = self.pin();
             let mut tombstones = (*gen.tombstones).clone();
             tombstones.insert(slot);
+            (delta_rows, tombs) = (gen.delta.rows(), tombstones.len());
             self.publish(Generation {
                 epoch: gen.epoch + 1,
                 base: Arc::clone(&gen.base),
@@ -319,6 +335,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
             });
         }
         self.count_mutation("delete");
+        self.trace_mutation(MarkerKind::Tombstone, tombs as u64, delta_rows as u64);
         self.maybe_compact();
         true
     }
@@ -326,6 +343,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
     fn upsert(&self, id: u32, vector: &[f32]) -> bool {
         assert_eq!(vector.len(), self.dim, "vector dimensionality mismatch");
         let replaced;
+        let (delta_rows, tombs);
         {
             let mut w = self.writer.lock();
             assert_eq!(
@@ -351,6 +369,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
                     .expect("external id space exhausted");
             }
             w.live.insert(id, slot);
+            (delta_rows, tombs) = (delta.rows(), tombstones.len());
             self.publish(Generation {
                 epoch: gen.epoch + 1,
                 base: Arc::clone(&gen.base),
@@ -360,6 +379,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
             replaced = old_slot.is_some();
         }
         self.count_mutation("upsert");
+        self.trace_mutation(MarkerKind::DeltaAppend, delta_rows as u64, tombs as u64);
         self.maybe_compact();
         replaced
     }
@@ -408,8 +428,25 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
     /// in. The `compacting` flag (set by the caller) keeps this
     /// single-flight.
     fn run_compaction(&self) {
+        // The guard clears the single-flight flag no matter how this
+        // returns; a panicking rebuild previously left `compacting` stuck
+        // true, silently disabling every future compaction.
+        let mut guard = CompactionGuard {
+            compacting: &self.compacting,
+            metrics: &self.metrics,
+            failed: true,
+        };
         let started = Instant::now();
         let pinned = self.pin();
+        let trace = self.metrics.trace_begin("compaction", true);
+        if trace.is_sampled() {
+            trace.marker(
+                SpanId::ROOT,
+                MarkerKind::CompactionBegin,
+                pinned.delta.rows() as u64,
+                pinned.tombstones.len() as u64,
+            );
+        }
         let base_rows = pinned.base.rows();
         let pinned_total = base_rows + pinned.delta.rows();
         let code_length = self.model.code_length();
@@ -444,6 +481,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
         let base = Arc::new(base);
         let new_base_rows = base.rows();
 
+        let delta_rows_after;
         {
             let mut w = self.writer.lock();
             let cur = self.pin();
@@ -482,6 +520,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
             for (j, &id) in delta.ids.iter().enumerate() {
                 w.live.insert(id, (new_base_rows + j) as u32);
             }
+            delta_rows_after = delta.rows();
             self.publish(Generation {
                 epoch: cur.epoch + 1,
                 base,
@@ -489,7 +528,16 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
                 tombstones: Arc::new(tombstones),
             });
         }
-        self.compacting.store(false, Ordering::Release);
+        guard.failed = false;
+        if trace.is_sampled() {
+            trace.marker(
+                SpanId::ROOT,
+                MarkerKind::CompactionEnd,
+                new_base_rows as u64,
+                delta_rows_after as u64,
+            );
+        }
+        self.metrics.trace_finish(trace, false);
         self.metrics.incr("gqr_compaction_total");
         self.metrics
             .record_duration("gqr_compaction_ns", started.elapsed());
@@ -515,11 +563,23 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
     /// snapshots cannot be merged); a deadline tightens the per-segment
     /// soft time limit.
     fn run_pinned(&self, gen: &Generation, req: SearchRequest<'_>) -> SearchResult {
-        let (query, mut params, budgets, mut filter, deadline) = req.into_parts();
+        let parts = req.into_parts();
+        let (query, mut params, deadline) = (parts.query, parts.params, parts.deadline);
+        let mut filter = parts.filter;
         assert!(
-            budgets.is_empty(),
+            parts.budgets.is_empty(),
             "checkpoints are not supported on the mutable path"
         );
+        let admitted_late = deadline.is_some_and(|d| Instant::now() > d);
+        let (trace, troot, owned_trace) = match parts.trace_parent {
+            Some((ctx, parent)) => (ctx, parent, false),
+            None => {
+                let ctx = self
+                    .metrics
+                    .trace_begin("live", parts.trace || admitted_late);
+                (ctx, SpanId::ROOT, true)
+            }
+        };
         if let Some(d) = deadline {
             let remaining = d.saturating_duration_since(Instant::now());
             params.time_limit = Some(params.time_limit.map_or(remaining, |tl| tl.min(remaining)));
@@ -530,14 +590,20 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
         let mut stats = ProbeStats::default();
         let segments: [(&Segment, u32, &'static str); 2] =
             [(&gen.base, 0, "base"), (&gen.delta, base_rows, "delta")];
-        for (seg, offset, label) in segments {
+        for (track, (seg, offset, label)) in segments.into_iter().enumerate() {
             if seg.rows() == 0 {
                 continue;
             }
+            // Base on track 1, delta on track 2 — the segments read as two
+            // lanes in the Chrome export, like the sharded fan-out.
+            let lane = trace.clone().with_track(track as u32 + 1);
+            let seg_span = lane.begin_arg(troot, label, seg.rows() as u64);
             let tombstones = &*gen.tombstones;
             let ids = &seg.ids;
             let user = filter.as_deref_mut();
-            let mut seg_req = SearchRequest::new(query).params(params);
+            let mut seg_req = SearchRequest::new(query)
+                .params(params)
+                .with_trace_parent(lane.clone(), seg_span);
             if !tombstones.is_empty() || user.is_some() {
                 let mut user = user;
                 seg_req = seg_req.filter(move |local: u32| {
@@ -551,26 +617,39 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
                 });
             }
             let res = self.segment_engine(seg, label).run(seg_req);
+            lane.end(seg_span);
             stats.merge(&res.stats);
             for (local, dist) in res.neighbors {
                 topk.push(dist, local + offset);
             }
         }
+        let merge_span = trace.begin(troot, "merge");
         let neighbors = topk
             .into_sorted()
             .into_iter()
             .map(|(slot, dist)| (gen.ext_id(slot), dist))
             .collect();
+        trace.end(merge_span);
         if self.metrics.is_enabled() {
             self.metrics
                 .record_duration("gqr_live_total_ns", start.elapsed());
             self.metrics.incr("gqr_live_queries_total");
         }
-        if deadline.is_some_and(|d| Instant::now() > d) {
+        let missed = deadline.is_some_and(|d| Instant::now() > d);
+        if missed {
             self.metrics.incr(&metric_name(
                 "gqr_request_deadline_missed_total",
                 &[("strategy", params.strategy.name())],
             ));
+            if trace.is_sampled() {
+                let over_ns = deadline
+                    .map(|d| Instant::now().saturating_duration_since(d).as_nanos() as u64)
+                    .unwrap_or(0);
+                trace.marker(troot, MarkerKind::DeadlineMiss, over_ns, 0);
+            }
+        }
+        if owned_trace {
+            self.metrics.trace_finish(trace, missed);
         }
         SearchResult {
             neighbors,
@@ -624,6 +703,25 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
         d.put_f32_slice(&gen.delta.data);
         sw.add_section(SectionKind::DeltaSegment, d.into_bytes());
         sw.write(path)
+    }
+}
+
+/// Scope guard for the compaction single-flight flag: releases it on every
+/// exit path (including unwinds) and counts non-success exits under
+/// `gqr_compaction_failures_total`. Callers flip `failed` off right before
+/// the happy return.
+struct CompactionGuard<'a> {
+    compacting: &'a AtomicBool,
+    metrics: &'a MetricsRegistry,
+    failed: bool,
+}
+
+impl Drop for CompactionGuard<'_> {
+    fn drop(&mut self) {
+        if self.failed {
+            self.metrics.incr("gqr_compaction_failures_total");
+        }
+        self.compacting.store(false, Ordering::Release);
     }
 }
 
@@ -1304,26 +1402,52 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
     /// per-shard top-k (external ids throughout). Checkpoints are
     /// rejected; filters compose (shards already speak external ids).
     pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
-        let (query, params, budgets, mut filter, deadline) = req.into_parts();
+        let parts = req.into_parts();
+        let (query, params, deadline) = (parts.query, parts.params, parts.deadline);
+        let mut filter = parts.filter;
         assert!(
-            budgets.is_empty(),
+            parts.budgets.is_empty(),
             "checkpoints are not supported on the sharded path"
         );
+        let admitted_late = deadline.is_some_and(|d| Instant::now() > d);
+        let (trace, troot, owned_trace) = match parts.trace_parent {
+            Some((ctx, parent)) => (ctx, parent, false),
+            None => {
+                let ctx = self
+                    .metrics
+                    .trace_begin("sharded_live", parts.trace || admitted_late);
+                (ctx, SpanId::ROOT, true)
+            }
+        };
+        let fanout = trace.begin_arg(troot, "fanout", self.shards.len() as u64);
         let results: Vec<SearchResult> = self
             .shards
             .iter()
-            .map(|shard| {
-                let mut shard_req = SearchRequest::new(query).params(params);
+            .enumerate()
+            .map(|(i, shard)| {
+                let lane = trace.clone().with_track(i as u32 + 1);
+                let shard_span = lane.begin_arg(fanout, "shard", i as u64);
+                let mut shard_req = SearchRequest::new(query)
+                    .params(params)
+                    .with_trace_parent(lane.clone(), shard_span);
                 if let Some(f) = filter.as_deref_mut() {
                     shard_req = shard_req.filter(|id: u32| f(id));
                 }
                 if let Some(d) = deadline {
                     shard_req = shard_req.deadline(d);
                 }
-                shard.run(shard_req)
+                let res = shard.run(shard_req);
+                lane.end(shard_span);
+                res
             })
             .collect();
-        merge_ext(params.k, results)
+        trace.end(fanout);
+        let merged = merge_ext(params.k, results);
+        if owned_trace {
+            let missed = deadline.is_some_and(|d| Instant::now() > d);
+            self.metrics.trace_finish(trace, missed);
+        }
+        merged
     }
 
     /// Execute one request by fanning the shards out as one job each on
@@ -1333,31 +1457,59 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
         if req.has_filter() {
             return self.run(req);
         }
-        let (query, params, budgets, _filter, deadline) = req.into_parts();
+        let parts = req.into_parts();
+        let (query, params, deadline) = (parts.query, parts.params, parts.deadline);
         assert!(
-            budgets.is_empty(),
+            parts.budgets.is_empty(),
             "checkpoints are not supported on the sharded path"
         );
+        let admitted_late = deadline.is_some_and(|d| Instant::now() > d);
+        let (trace, troot, owned_trace) = match parts.trace_parent {
+            Some((ctx, parent)) => (ctx, parent, false),
+            None => {
+                let ctx = self
+                    .metrics
+                    .trace_begin("sharded_live", parts.trace || admitted_late);
+                (ctx, SpanId::ROOT, true)
+            }
+        };
+        let fanout = trace.begin_arg(troot, "fanout", self.shards.len() as u64);
         let mut slots: Vec<Option<SearchResult>> = (0..self.shards.len()).map(|_| None).collect();
-        exec.run_scoped(
-            self.shards
-                .iter()
-                .zip(slots.iter_mut())
-                .map(|(shard, slot)| {
-                    Box::new(move || {
-                        let mut shard_req = SearchRequest::new(query).params(params);
-                        if let Some(d) = deadline {
-                            shard_req = shard_req.deadline(d);
-                        }
-                        *slot = Some(shard.run(shard_req));
-                    }) as Box<dyn FnOnce() + Send + '_>
-                }),
-        );
+        let trace_ref = &trace;
+        exec.run_scoped(self.shards.iter().zip(slots.iter_mut()).enumerate().map(
+            |(i, (shard, slot))| {
+                let lane = trace_ref.clone().with_track(i as u32 + 1);
+                let enq = Instant::now();
+                Box::new(move || {
+                    let shard_span = lane.begin_arg_at(fanout, "shard", i as u64, enq);
+                    let wait = lane.begin_at(shard_span, "queue_wait", enq);
+                    lane.end(wait);
+                    // 1-based worker id; 0 means the job ran off-pool.
+                    let worker = Executor::current_worker_index().map_or(0, |w| w as u64 + 1);
+                    let run_span = lane.begin_arg(shard_span, "run", worker);
+                    let mut shard_req = SearchRequest::new(query)
+                        .params(params)
+                        .with_trace_parent(lane.clone(), run_span);
+                    if let Some(d) = deadline {
+                        shard_req = shard_req.deadline(d);
+                    }
+                    *slot = Some(shard.run(shard_req));
+                    lane.end(run_span);
+                    lane.end(shard_span);
+                }) as Box<dyn FnOnce() + Send + '_>
+            },
+        ));
+        trace.end(fanout);
         let results = slots
             .into_iter()
             .map(|r| r.expect("run_scoped completed every shard"))
             .collect();
-        merge_ext(params.k, results)
+        let merged = merge_ext(params.k, results);
+        if owned_trace {
+            let missed = deadline.is_some_and(|d| Instant::now() > d);
+            self.metrics.trace_finish(trace, missed);
+        }
+        merged
     }
 }
 
@@ -1727,5 +1879,44 @@ mod tests {
         assert_eq!(index.n_items(), 114);
         let res = index.run(SearchRequest::new(&[10.0, 0.5]).params(exhaustive(5)));
         assert!(!res.neighbors.is_empty());
+    }
+
+    #[test]
+    fn compaction_guard_releases_flag_and_counts_failures_on_panic() {
+        let compacting = AtomicBool::new(true);
+        let metrics = MetricsRegistry::enabled();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = CompactionGuard {
+                compacting: &compacting,
+                metrics: &metrics,
+                failed: true,
+            };
+            panic!("compaction blew up");
+        }));
+        assert!(unwound.is_err());
+        assert!(
+            !compacting.load(Ordering::Acquire),
+            "single-flight flag must clear on unwind"
+        );
+        assert_eq!(
+            metrics.counter_value("gqr_compaction_failures_total"),
+            Some(1)
+        );
+
+        // Happy path: the caller flips `failed` off right before returning,
+        // so the drop releases the flag without counting a failure.
+        compacting.store(true, Ordering::Release);
+        let mut guard = CompactionGuard {
+            compacting: &compacting,
+            metrics: &metrics,
+            failed: true,
+        };
+        guard.failed = false;
+        drop(guard);
+        assert!(!compacting.load(Ordering::Acquire));
+        assert_eq!(
+            metrics.counter_value("gqr_compaction_failures_total"),
+            Some(1)
+        );
     }
 }

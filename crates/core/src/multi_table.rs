@@ -10,7 +10,7 @@
 //! multi-table setups trade memory for recall.
 
 use crate::engine::{ProbeStrategy, SearchParams, SearchResult};
-use crate::metrics::{metric_name, MetricsRegistry, Phase, PhaseSpans};
+use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, Phase, PhaseSpans, SpanId};
 use crate::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
 use crate::request::SearchRequest;
 use crate::stats::ProbeStats;
@@ -96,11 +96,23 @@ impl<'a> MultiTableIndex<'a> {
     /// still marked visited, so other tables do not re-collect them.
     /// Checkpoints are not supported on the multi-table path.
     pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
-        let (query, mut params, budgets, mut filter, deadline) = req.into_parts();
+        let parts = req.into_parts();
+        let (query, mut params, deadline) = (parts.query, parts.params, parts.deadline);
+        let mut filter = parts.filter;
         assert!(
-            budgets.is_empty(),
+            parts.budgets.is_empty(),
             "checkpoints are not supported on the multi-table path"
         );
+        let admitted_late = deadline.is_some_and(|d| Instant::now() > d);
+        let (trace, troot, owned_trace) = match parts.trace_parent {
+            Some((ctx, parent)) => (ctx, parent, false),
+            None => {
+                let ctx = self
+                    .metrics
+                    .trace_begin("multi_table", parts.trace || admitted_late);
+                (ctx, SpanId::ROOT, true)
+            }
+        };
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         if let Some(d) = deadline {
             let remaining = d.saturating_duration_since(Instant::now());
@@ -114,9 +126,12 @@ impl<'a> MultiTableIndex<'a> {
         let mut probers: Vec<Box<dyn Prober + '_>> = Vec::with_capacity(self.tables.len());
         for (model, table) in self.models.iter().zip(&self.tables) {
             let t = spans.begin();
+            let ts = trace.begin_opt(troot, Phase::HashQuery.as_str(), t);
             let qe = model.encode_query(query);
             spans.end(Phase::HashQuery, t);
+            trace.end(ts);
             let t = spans.begin();
+            let ts = trace.begin_opt(troot, Phase::ProbeGenerate.as_str(), t);
             let mut p: Box<dyn Prober + '_> = match params.strategy {
                 ProbeStrategy::HammingRanking => Box::new(HammingRanking::new(table)),
                 ProbeStrategy::GenerateHammingRanking => {
@@ -132,6 +147,7 @@ impl<'a> MultiTableIndex<'a> {
             };
             p.reset(&qe);
             spans.end(Phase::ProbeGenerate, t);
+            trace.end(ts);
             probers.push(p);
         }
 
@@ -164,16 +180,25 @@ impl<'a> MultiTableIndex<'a> {
             spans.end(Phase::ProbeGenerate, tg);
             let Some((t, code)) = next else { break };
             let code = code.expect("peeked prober must yield");
+            let step_qd = best.map_or(-1.0, |(_, c)| c);
+            let bucket_rank = stats.buckets_probed as u32;
             stats.buckets_probed += 1;
             let tl = spans.begin();
+            let ts = trace.begin_opt(troot, Phase::BucketLookup.as_str(), tl);
             let items = self.tables[t].bucket(code);
             spans.end(Phase::BucketLookup, tl);
+            trace.end(ts);
             if items.is_empty() {
                 stats.empty_buckets += 1;
+                if trace.is_sampled() {
+                    trace.qd_step(troot, bucket_rank, step_qd, 0, 0);
+                }
                 continue;
             }
+            let evaluated_before = stats.items_evaluated;
             stats.items_collected += items.len();
             let te = spans.begin();
+            let ts = trace.begin_opt(troot, Phase::Evaluate.as_str(), te);
             for &id in items {
                 let seen = &mut visited[id as usize];
                 if *seen {
@@ -196,10 +221,17 @@ impl<'a> MultiTableIndex<'a> {
             stats.items_evaluated +=
                 scratch.flush(query, Metric::SquaredEuclidean, |id, d| topk.push(d, id));
             spans.end(Phase::Evaluate, te);
+            trace.end(ts);
+            if trace.is_sampled() {
+                let kept = (stats.items_evaluated - evaluated_before) as u32;
+                trace.qd_step(troot, bucket_rank, step_qd, items.len() as u32, kept);
+            }
         }
         let tr = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::Rerank.as_str(), tr);
         let neighbors = topk.into_sorted();
         spans.end(Phase::Rerank, tr);
+        trace.end(ts);
         #[cfg(debug_assertions)]
         stats.checked_invariants();
         spans.flush(
@@ -208,11 +240,21 @@ impl<'a> MultiTableIndex<'a> {
             params.strategy.name(),
             start.elapsed(),
         );
-        if deadline.is_some_and(|d| Instant::now() > d) {
+        let missed = deadline.is_some_and(|d| Instant::now() > d);
+        if missed {
             self.metrics.incr(&metric_name(
                 "gqr_request_deadline_missed_total",
                 &[("strategy", params.strategy.name())],
             ));
+            if trace.is_sampled() {
+                let over_ns = deadline
+                    .map(|d| Instant::now().saturating_duration_since(d).as_nanos() as u64)
+                    .unwrap_or(0);
+                trace.marker(troot, MarkerKind::DeadlineMiss, over_ns, 0);
+            }
+        }
+        if owned_trace {
+            self.metrics.trace_finish(trace, missed);
         }
         SearchResult {
             neighbors,

@@ -37,6 +37,7 @@
 //! ```
 
 use crate::engine::SearchParams;
+use gqr_metrics::{SpanId, TraceContext};
 use std::time::Instant;
 
 /// The id filter a request may carry: `true` keeps the item.
@@ -54,6 +55,8 @@ pub struct SearchRequest<'a> {
     budgets: &'a [usize],
     filter: Option<SearchFilter<'a>>,
     deadline: Option<Instant>,
+    trace: bool,
+    trace_parent: Option<(TraceContext, SpanId)>,
 }
 
 impl<'a> SearchRequest<'a> {
@@ -65,6 +68,8 @@ impl<'a> SearchRequest<'a> {
             budgets: &[],
             filter: None,
             deadline: None,
+            trace: false,
+            trace_parent: None,
         }
     }
 
@@ -101,6 +106,31 @@ impl<'a> SearchRequest<'a> {
         self
     }
 
+    /// Force this request to be traced, bypassing the registry's 1-in-N
+    /// sampler. No-op unless the serving surface's metrics registry has
+    /// tracing enabled
+    /// ([`MetricsRegistry::enable_tracing`](gqr_metrics::MetricsRegistry::enable_tracing));
+    /// the completed trace lands in the registry's
+    /// [`TraceStore`](gqr_metrics::TraceStore).
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Whether the request explicitly opted into tracing.
+    pub fn trace_requested(&self) -> bool {
+        self.trace
+    }
+
+    /// Attach an already-open trace: the execution surface emits its spans
+    /// under `parent` in `ctx` instead of beginning (and finishing) a trace
+    /// of its own. This is how composite surfaces (sharded fan-out, live
+    /// segments) hand their per-part engines a lane in the query's tree.
+    pub(crate) fn with_trace_parent(mut self, ctx: TraceContext, parent: SpanId) -> Self {
+        self.trace_parent = Some((ctx, parent));
+        self
+    }
+
     /// The query vector.
     pub fn query(&self) -> &'a [f32] {
         self.query
@@ -126,26 +156,33 @@ impl<'a> SearchRequest<'a> {
         self.deadline
     }
 
-    /// Decompose into `(query, params, budgets, filter, deadline)` for an
-    /// execution surface.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn into_parts(
-        self,
-    ) -> (
-        &'a [f32],
-        SearchParams,
-        &'a [usize],
-        Option<SearchFilter<'a>>,
-        Option<Instant>,
-    ) {
-        (
-            self.query,
-            self.params,
-            self.budgets,
-            self.filter,
-            self.deadline,
-        )
+    /// Decompose into named [`RequestParts`] for an execution surface.
+    pub(crate) fn into_parts(self) -> RequestParts<'a> {
+        RequestParts {
+            query: self.query,
+            params: self.params,
+            budgets: self.budgets,
+            filter: self.filter,
+            deadline: self.deadline,
+            trace: self.trace,
+            trace_parent: self.trace_parent,
+        }
     }
+}
+
+/// The decomposed fields of a [`SearchRequest`], named instead of a
+/// positional tuple so execution surfaces can take what they need (and new
+/// fields don't ripple through every destructuring site).
+pub(crate) struct RequestParts<'a> {
+    pub query: &'a [f32],
+    pub params: SearchParams,
+    pub budgets: &'a [usize],
+    pub filter: Option<SearchFilter<'a>>,
+    pub deadline: Option<Instant>,
+    /// The request's explicit trace opt-in.
+    pub trace: bool,
+    /// An already-open trace to emit under instead of starting one.
+    pub trace_parent: Option<(TraceContext, SpanId)>,
 }
 
 impl std::fmt::Debug for SearchRequest<'_> {
@@ -174,11 +211,13 @@ mod tests {
             .params(SearchParams::for_k(3).candidates(30).build().unwrap())
             .checkpoints(&budgets)
             .filter(|id| id > 0)
-            .deadline(at);
+            .deadline(at)
+            .trace();
         assert_eq!(req.query(), &q);
         assert_eq!(req.search_params().k, 3);
         assert_eq!(req.checkpoint_budgets(), &budgets);
         assert!(req.has_filter());
+        assert!(req.trace_requested());
         assert_eq!(req.deadline_at(), Some(at));
         let dbg = format!("{req:?}");
         assert!(dbg.contains("filtered: true"), "{dbg}");
@@ -189,6 +228,7 @@ mod tests {
         let q = [0.0f32];
         let req = SearchRequest::new(&q);
         assert!(!req.has_filter());
+        assert!(!req.trace_requested());
         assert!(req.checkpoint_budgets().is_empty());
         assert_eq!(req.deadline_at(), None);
         assert_eq!(req.search_params().k, SearchParams::default().k);

@@ -18,7 +18,7 @@
 
 use crate::engine::{QueryEngine, SearchParams, SearchResult};
 use crate::executor::Executor;
-use crate::metrics::{metric_name, MetricsRegistry};
+use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, SpanId, TraceContext};
 use crate::persist::{LoadedIndex, PersistError, SnapshotWriter};
 use crate::probe::mih::MihIndex;
 use crate::request::SearchRequest;
@@ -362,25 +362,54 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
     /// time limit and a late finish bumps
     /// `gqr_request_deadline_missed_total`.
     pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
-        let (query, mut params, budgets, mut filter, deadline) = req.into_parts();
+        let parts = req.into_parts();
+        let (query, mut params, deadline) = (parts.query, parts.params, parts.deadline);
+        let mut filter = parts.filter;
         assert!(
-            budgets.is_empty(),
+            parts.budgets.is_empty(),
             "checkpoints are not supported on the sharded path"
         );
+        let admitted_late = deadline.is_some_and(|d| Instant::now() > d);
+        let (trace, troot, owned_trace) = match parts.trace_parent {
+            Some((ctx, parent)) => (ctx, parent, false),
+            None => {
+                let ctx = self
+                    .metrics
+                    .trace_begin("sharded", parts.trace || admitted_late);
+                (ctx, SpanId::ROOT, true)
+            }
+        };
         fold_deadline(&mut params, deadline);
         let start = Instant::now();
+        let fanout = trace.begin_arg(troot, "fanout", self.shards.len() as u64);
         let mut shard_results = Vec::with_capacity(self.shards.len());
         for i in 0..self.shards.len() {
             let offset = self.shards[i].offset;
-            let mut shard_req = SearchRequest::new(query).params(params);
+            // Each shard gets its own display track so the Chrome export
+            // lays the fan-out shards side by side.
+            let lane = trace.clone().with_track(i as u32 + 1);
+            let shard_span = lane.begin_arg(fanout, "shard", i as u64);
+            let mut shard_req = SearchRequest::new(query)
+                .params(params)
+                .with_trace_parent(lane.clone(), shard_span);
             if let Some(f) = filter.as_deref_mut() {
                 // Shard engines see local ids; the caller's filter speaks
                 // global ids.
                 shard_req = shard_req.filter(move |local: u32| f(local + offset));
             }
             shard_results.push(self.shard_engine(i).run(shard_req));
+            lane.end(shard_span);
         }
-        self.finish(query, &params, deadline, start, shard_results)
+        trace.end(fanout);
+        self.finish(
+            &params,
+            deadline,
+            start,
+            shard_results,
+            trace,
+            troot,
+            owned_trace,
+        )
     }
 
     /// Execute one request, fanning the shards out as one job each on
@@ -394,27 +423,66 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
         if req.has_filter() {
             return self.run(req);
         }
-        let (query, mut params, budgets, _filter, deadline) = req.into_parts();
+        let parts = req.into_parts();
+        let (query, mut params, deadline) = (parts.query, parts.params, parts.deadline);
         assert!(
-            budgets.is_empty(),
+            parts.budgets.is_empty(),
             "checkpoints are not supported on the sharded path"
         );
+        let admitted_late = deadline.is_some_and(|d| Instant::now() > d);
+        let (trace, troot, owned_trace) = match parts.trace_parent {
+            Some((ctx, parent)) => (ctx, parent, false),
+            None => {
+                let ctx = self
+                    .metrics
+                    .trace_begin("sharded", parts.trace || admitted_late);
+                (ctx, SpanId::ROOT, true)
+            }
+        };
         fold_deadline(&mut params, deadline);
         let start = Instant::now();
+        let fanout = trace.begin_arg(troot, "fanout", self.shards.len() as u64);
         let mut slots: Vec<Option<SearchResult>> = (0..self.shards.len()).map(|_| None).collect();
+        let trace_ref = &trace;
         exec.run_scoped(slots.iter_mut().enumerate().map(|(i, slot)| {
+            // One display track per shard; `enq` is captured as the job is
+            // handed to the executor, so the `queue_wait` span covers the
+            // time the job sat in the bounded queue before a worker picked
+            // it up.
+            let lane = trace_ref.clone().with_track(i as u32 + 1);
+            let enq = Instant::now();
             Box::new(move || {
+                let shard_span = lane.begin_arg_at(fanout, "shard", i as u64, enq);
+                let wait = lane.begin_at(shard_span, "queue_wait", enq);
+                lane.end(wait);
+                // 1-based worker id; 0 means the job ran off-pool.
+                let worker = Executor::current_worker_index().map_or(0, |w| w as u64 + 1);
+                let run_span = lane.begin_arg(shard_span, "run", worker);
                 *slot = Some(
-                    self.shard_engine(i)
-                        .run(SearchRequest::new(query).params(params)),
+                    self.shard_engine(i).run(
+                        SearchRequest::new(query)
+                            .params(params)
+                            .with_trace_parent(lane.clone(), run_span),
+                    ),
                 );
+                lane.end(run_span);
+                lane.end(shard_span);
             }) as Box<dyn FnOnce() + Send + '_>
         }));
         let shard_results = slots
             .into_iter()
             .map(|r| r.expect("run_scoped completed every shard"))
             .collect();
-        self.finish(query, &params, deadline, start, shard_results)
+        trace.end(fanout);
+        self.finish(
+            &params,
+            deadline,
+            start,
+            shard_results,
+            trace,
+            troot,
+            owned_trace,
+        )
     }
 
     /// k-NN search across all shards, serially (thin wrapper over
@@ -431,16 +499,20 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
     }
 
     /// Merge per-shard results into the global result and flush the
-    /// sharded-level metrics.
+    /// sharded-level metrics (and the trace, when this surface owns it).
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
-        _query: &[f32],
         params: &SearchParams,
         deadline: Option<Instant>,
         start: Instant,
         shard_results: Vec<SearchResult>,
+        trace: TraceContext,
+        troot: SpanId,
+        owned_trace: bool,
     ) -> SearchResult {
         let merge_start = Instant::now();
+        let merge_span = trace.begin_at(troot, "merge", merge_start);
         let mut topk = TopK::new(params.k);
         let mut stats = ProbeStats::default();
         for (shard, res) in self.shards.iter().zip(shard_results) {
@@ -450,6 +522,7 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
             }
         }
         let neighbors = topk.into_sorted();
+        trace.end(merge_span);
         if self.metrics.is_enabled() {
             self.metrics
                 .record_duration("gqr_sharded_merge_ns", merge_start.elapsed());
@@ -457,11 +530,21 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
                 .record_duration("gqr_sharded_total_ns", start.elapsed());
             self.metrics.incr("gqr_sharded_queries_total");
         }
-        if deadline.is_some_and(|d| Instant::now() > d) {
+        let missed = deadline.is_some_and(|d| Instant::now() > d);
+        if missed {
             self.metrics.incr(&metric_name(
                 "gqr_request_deadline_missed_total",
                 &[("strategy", params.strategy.name())],
             ));
+            if trace.is_sampled() {
+                let over_ns = deadline
+                    .map(|d| Instant::now().saturating_duration_since(d).as_nanos() as u64)
+                    .unwrap_or(0);
+                trace.marker(troot, MarkerKind::DeadlineMiss, over_ns, 0);
+            }
+        }
+        if owned_trace {
+            self.metrics.trace_finish(trace, missed);
         }
         SearchResult {
             neighbors,

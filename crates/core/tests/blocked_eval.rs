@@ -143,6 +143,7 @@ fn filtered_ragged_tiles_match_reference() {
     let q: Vec<f32> = data[..dim].iter().map(|&x| x + 0.01).collect();
 
     // Sparse (1 in 7 ids survive), modulo (1 in 3), and nearly-dense.
+    #[allow(clippy::type_complexity)]
     let filters: [(&str, fn(u32) -> bool); 3] = [
         ("sparse", |id| id % 7 == 0),
         ("thirds", |id| id % 3 != 1),

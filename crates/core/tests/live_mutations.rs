@@ -164,7 +164,7 @@ fn filter_composes_with_tombstones() {
         .build(&data, 2);
     let live = churn(&index, &data);
 
-    let accept = |id: u32| id % 2 == 0;
+    let accept = |id: u32| id.is_multiple_of(2);
     let want: Vec<(u32, f32)> = {
         let subset: HashMap<u32, Vec<f32>> = live
             .iter()
@@ -260,4 +260,55 @@ fn mutation_metrics_use_pinned_names() {
         metrics.counter_value("gqr_mutations_total{op=\"upsert\"}"),
         Some(1)
     );
+}
+
+#[test]
+fn mutations_and_compaction_record_traces_with_markers() {
+    use gqr_core::metrics::{EventData, MarkerKind, TraceConfig};
+    let data = grid(40);
+    let model = Arc::new(model(&data));
+    let metrics = MetricsRegistry::enabled();
+    metrics.enable_tracing(TraceConfig {
+        sample_every: 1,
+        ..TraceConfig::default()
+    });
+    let index = MutableIndex::builder(Arc::clone(&model))
+        .metrics(metrics.clone())
+        .compaction_threshold(usize::MAX)
+        .build(&data, 2);
+    let writer = index.writer();
+    writer.insert(&[1.0, 1.0]);
+    writer.delete(0);
+    index.compact();
+
+    let tracing = metrics.tracing().unwrap();
+    let traces = tracing.store().all();
+    let marker_of = |name: &str| {
+        traces
+            .iter()
+            .filter(|t| t.name == name)
+            .flat_map(|t| t.events.iter())
+            .filter_map(|e| match e.data {
+                EventData::Marker { kind, .. } => Some(kind),
+                _ => None,
+            })
+            .collect::<Vec<_>>()
+    };
+    let mutation_markers = marker_of("mutation");
+    assert!(
+        mutation_markers.contains(&MarkerKind::DeltaAppend),
+        "insert must mark a delta append: {mutation_markers:?}"
+    );
+    assert!(
+        mutation_markers.contains(&MarkerKind::Tombstone),
+        "delete must mark a tombstone: {mutation_markers:?}"
+    );
+    let compaction_markers = marker_of("compaction");
+    assert!(compaction_markers.contains(&MarkerKind::CompactionBegin));
+    assert!(compaction_markers.contains(&MarkerKind::CompactionEnd));
+    for t in &traces {
+        t.check_well_formed().unwrap();
+    }
+    // The compaction succeeded: the failure counter stayed untouched.
+    assert_eq!(metrics.counter_value("gqr_compaction_failures_total"), None);
 }

@@ -26,7 +26,7 @@ fn scenario() -> impl Strategy<Value = (usize, Vec<u64>, u64, Vec<f64>)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     #[test]
     fn gqr_visits_occupied_buckets_in_qr_order((m, codes, qcode, costs) in scenario()) {

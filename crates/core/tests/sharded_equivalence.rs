@@ -124,7 +124,7 @@ fn filtered_sharded_matches_filtered_engine() {
     let table = HashTable::build(&model, &data, dim);
     let mut reference = QueryEngine::new(&model, &table, &data, dim);
     reference.enable_mih(2);
-    let accept = |id: u32| id % 3 == 0;
+    let accept = |id: u32| id.is_multiple_of(3);
 
     for s in SHARD_COUNTS {
         let mut index = ShardedIndex::build(&model, &data, dim, s);

@@ -1,0 +1,199 @@
+//! Trace-flush regression tests for the early-return paths: a query that
+//! misses its deadline, a query against an empty index, and a filter that
+//! rejects every candidate must all still land a well-formed span tree in
+//! the trace store (no leaked open spans, no dropped traces).
+
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::metrics::{EventData, MarkerKind, MetricsRegistry, TraceConfig};
+use gqr_core::request::SearchRequest;
+use gqr_core::table::HashTable;
+use gqr_l2h::lsh::Lsh;
+use std::time::Instant;
+
+fn fixture() -> (Vec<f32>, Lsh) {
+    let mut data = Vec::new();
+    for i in 0..2000u32 {
+        data.push((i % 40) as f32 + 0.001 * (i % 7) as f32);
+        data.push((i / 40) as f32);
+    }
+    let model = Lsh::train(&data, 2, 10, 3).unwrap();
+    (data, model)
+}
+
+#[test]
+fn deadline_missed_query_is_force_traced_with_marker() {
+    let (data, model) = fixture();
+    let table = HashTable::build(&model, &data, 2);
+    let metrics = MetricsRegistry::enabled();
+    metrics.enable_tracing(TraceConfig {
+        sample_every: u64::MAX,
+        ..TraceConfig::default()
+    });
+    let engine = QueryEngine::new(&model, &table, &data, 2).with_metrics(metrics.clone());
+    let params = SearchParams {
+        k: 5,
+        n_candidates: 200,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        ..Default::default()
+    };
+    // Burn ordinal 0 (always sampled), then run with an already-expired
+    // deadline: admission notices the miss and forces the trace.
+    engine.search(&[10.0, 10.0], &params);
+    let res = engine.run(
+        SearchRequest::new(&[10.0, 10.0])
+            .params(params)
+            .deadline(Instant::now() - std::time::Duration::from_millis(1)),
+    );
+    assert!(res.neighbors.is_empty(), "expired deadline returns empty");
+    assert_eq!(
+        metrics.counter_value("gqr_request_deadline_missed_total{strategy=\"GQR\"}"),
+        Some(1)
+    );
+    let tracing = metrics.tracing().unwrap();
+    let store = tracing.store();
+    let traces = store.all();
+    let t = traces
+        .iter()
+        .find(|t| t.deadline_missed)
+        .expect("missed-deadline query must be traced");
+    t.check_well_formed().unwrap();
+    assert!(t.slow, "deadline misses pin into the slow reservoir");
+    assert!(
+        t.events.iter().any(|e| matches!(
+            e.data,
+            EventData::Marker {
+                kind: MarkerKind::DeadlineMiss,
+                ..
+            }
+        )),
+        "deadline-miss marker missing: {:?}",
+        t.events
+    );
+}
+
+#[test]
+fn empty_index_query_records_well_formed_trace() {
+    let (data, model) = fixture();
+    // A table over zero rows: every probe finds nothing.
+    let table = HashTable::build(&model, &[], 2);
+    let metrics = MetricsRegistry::enabled();
+    metrics.enable_tracing(TraceConfig {
+        sample_every: 1,
+        ..TraceConfig::default()
+    });
+    let engine = QueryEngine::new(&model, &table, &data[..0], 2).with_metrics(metrics.clone());
+    let params = SearchParams {
+        k: 5,
+        n_candidates: 50,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        ..Default::default()
+    };
+    let res = engine.search(&[10.0, 10.0], &params);
+    assert!(res.neighbors.is_empty());
+    let tracing = metrics.tracing().unwrap();
+    let store = tracing.store();
+    assert_eq!(store.pushed(), 1, "empty-index query must still flush");
+    let traces = store.recent();
+    traces[0].check_well_formed().unwrap();
+}
+
+#[test]
+fn filter_rejecting_everything_keeps_zero_and_flushes() {
+    let (data, model) = fixture();
+    let table = HashTable::build(&model, &data, 2);
+    let metrics = MetricsRegistry::enabled();
+    metrics.enable_tracing(TraceConfig {
+        sample_every: u64::MAX,
+        ..TraceConfig::default()
+    });
+    let engine = QueryEngine::new(&model, &table, &data, 2).with_metrics(metrics.clone());
+    let params = SearchParams {
+        k: 5,
+        n_candidates: 100,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        max_buckets: Some(20),
+        ..Default::default()
+    };
+    engine.search(&[10.0, 10.0], &params); // burn ordinal 0
+    let res = engine.run(
+        SearchRequest::new(&[10.0, 10.0])
+            .params(params)
+            .filter(|_| false)
+            .trace(),
+    );
+    assert!(res.neighbors.is_empty());
+    let tracing = metrics.tracing().unwrap();
+    let store = tracing.store();
+    assert_eq!(store.pushed(), 2, "opt-in trace must be recorded");
+    let traces = store.recent();
+    let t = traces.last().unwrap();
+    t.check_well_formed().unwrap();
+    let mut steps = 0usize;
+    for e in &t.events {
+        if let EventData::QdStep { kept, .. } = e.data {
+            assert_eq!(kept, 0, "filter rejects everything, kept must be 0");
+            steps += 1;
+        }
+    }
+    assert!(steps > 0, "probed buckets must emit QD steps");
+}
+
+#[test]
+fn unsampled_queries_leave_no_trace() {
+    let (data, model) = fixture();
+    let table = HashTable::build(&model, &data, 2);
+    let metrics = MetricsRegistry::enabled();
+    metrics.enable_tracing(TraceConfig {
+        sample_every: u64::MAX,
+        ..TraceConfig::default()
+    });
+    let engine = QueryEngine::new(&model, &table, &data, 2).with_metrics(metrics.clone());
+    let params = SearchParams {
+        k: 5,
+        n_candidates: 100,
+        ..Default::default()
+    };
+    engine.search(&[10.0, 10.0], &params); // ordinal 0: sampled
+    for _ in 0..10 {
+        engine.search(&[10.0, 10.0], &params);
+    }
+    let tracing = metrics.tracing().unwrap();
+    let store = tracing.store();
+    assert_eq!(store.pushed(), 1, "only the ordinal-0 query is sampled");
+}
+
+/// A query that overflows the per-trace event cap (tiny `max_events`,
+/// generate strategy with an unbounded candidate budget) must still record
+/// a well-formed tree: `End`s of spans open at the cap are admitted so no
+/// span is left half-open, and the overflow is counted in `events_dropped`.
+#[test]
+fn event_cap_overflow_keeps_trace_well_formed() {
+    let (data, model) = fixture();
+    let table = HashTable::build(&model, &data, 2);
+    let metrics = MetricsRegistry::enabled();
+    metrics.enable_tracing(TraceConfig {
+        sample_every: 1,
+        max_events: 32,
+        ..TraceConfig::default()
+    });
+    let engine = QueryEngine::new(&model, &table, &data, 2).with_metrics(metrics.clone());
+    let params = SearchParams {
+        k: 5,
+        n_candidates: usize::MAX,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        early_stop: false,
+        max_buckets: Some(500),
+        ..Default::default()
+    };
+    engine.search(&[10.0, 10.0], &params);
+    let tracing = metrics.tracing().unwrap();
+    let store = tracing.store();
+    assert_eq!(store.pushed(), 1);
+    let traces = store.recent();
+    let t = &traces[0];
+    assert!(
+        t.events_dropped > 0,
+        "this query must overflow a 32-event cap"
+    );
+    t.check_well_formed().unwrap();
+}

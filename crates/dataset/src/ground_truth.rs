@@ -100,7 +100,7 @@ pub fn knn_single_metric(data: &Dataset, query: &[f32], k: usize, metric: Metric
     let k = k.min(data.n());
     let dim = data.dim();
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
-    let mut dists = vec![0.0f32; gqr_linalg::TILE_ROWS];
+    let mut dists = [0.0f32; gqr_linalg::TILE_ROWS];
     let mut id = 0u32;
     for tile in data.as_slice().chunks(gqr_linalg::TILE_ROWS * dim) {
         let out = &mut dists[..tile.len() / dim];

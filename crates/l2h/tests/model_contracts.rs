@@ -31,7 +31,7 @@ fn data_strategy() -> impl Strategy<Value = (usize, Vec<f32>)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 16 })]
 
     #[test]
     fn contract_holds_for_every_model((dim, data) in data_strategy()) {

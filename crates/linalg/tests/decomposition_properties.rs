@@ -26,7 +26,7 @@ fn symmetrize(a: &Matrix) -> Matrix {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     #[test]
     fn eigen_reconstructs_symmetric_matrices(a in square(5)) {

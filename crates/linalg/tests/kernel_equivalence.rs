@@ -250,7 +250,7 @@ fn force_scalar_override_is_honored() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     /// Random vectors of random dimension: dispatched kernels track the f64
     /// oracle within the dimension-scaled bound.

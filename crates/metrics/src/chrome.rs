@@ -1,0 +1,248 @@
+//! Chrome trace-event export: render stored traces into the JSON format
+//! that Perfetto and `chrome://tracing` load directly.
+//!
+//! Mapping: each trace becomes one *process* (`pid` = trace id) so multiple
+//! traces coexist in a single file; each display track becomes a *thread*
+//! within it (`tid` = track — track 0 is the query's main lane, shards and
+//! live segments get their own). Spans emit duration events (`ph: "B"` /
+//! `ph: "E"`), QD steps emit a counter series (`ph: "C"`, name `qd`) that
+//! Perfetto graphs over query time plus an instant event carrying the full
+//! payload, and markers emit instant events (`ph: "i"`). Timestamps are
+//! microseconds with sub-µs precision kept as fractions.
+//!
+//! Reference: the Trace Event Format document (the de-facto schema both
+//! viewers implement).
+
+use std::collections::HashMap;
+
+use super::export::json_string;
+use super::trace::{EventData, Trace};
+use super::trace_store::json_f64;
+
+/// Render `traces` as a complete Chrome trace-event JSON document
+/// (`{"traceEvents":[...]}`). Load the result in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`.
+pub fn to_chrome_trace<T: AsRef<Trace>>(traces: &[T]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for t in traces {
+        write_trace(&mut out, t.as_ref(), &mut first);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(body);
+}
+
+/// µs timestamp with ns precision kept as a fraction.
+fn ts_us(ts_ns: u64) -> String {
+    format!("{:.3}", ts_ns as f64 / 1e3)
+}
+
+fn write_trace(out: &mut String, t: &Trace, first: &mut bool) {
+    let pid = t.id;
+    // Pass 1: span → name (End events don't carry one, the format wants
+    // matching names on B/E) and track names from the first Begin seen on
+    // each track.
+    let mut span_name: HashMap<u32, &'static str> = HashMap::new();
+    let mut span_track: HashMap<u32, u32> = HashMap::new();
+    let mut track_name: HashMap<u32, String> = HashMap::new();
+    for ev in &t.events {
+        if let EventData::Begin {
+            name, track, arg, ..
+        } = &ev.data
+        {
+            span_name.insert(ev.span, name);
+            span_track.insert(ev.span, *track);
+            track_name.entry(*track).or_insert_with(|| {
+                if *track == 0 {
+                    "main".to_string()
+                } else {
+                    format!("{name} {arg}")
+                }
+            });
+        }
+    }
+
+    // Process + thread metadata so the viewer labels lanes meaningfully.
+    push_event(
+        out,
+        first,
+        &format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(&format!(
+                "{} #{}{}",
+                t.name,
+                t.id,
+                if t.slow { " [slow]" } else { "" }
+            ))
+        ),
+    );
+    let mut tracks: Vec<(&u32, &String)> = track_name.iter().collect();
+    tracks.sort();
+    for (track, name) in tracks {
+        push_event(
+            out,
+            first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{track},\
+                 \"args\":{{\"name\":{}}}}}",
+                json_string(name)
+            ),
+        );
+    }
+
+    for ev in &t.events {
+        let tid = span_track.get(&ev.span).copied().unwrap_or(0);
+        let ts = ts_us(ev.ts_ns);
+        match &ev.data {
+            EventData::Begin { name, arg, .. } => {
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"name\":{},\"ph\":\"B\",\"pid\":{pid},\"tid\":{tid},\
+                         \"ts\":{ts},\"args\":{{\"span\":{},\"arg\":{arg}}}}}",
+                        json_string(name),
+                        ev.span
+                    ),
+                );
+            }
+            EventData::End => {
+                let name = span_name.get(&ev.span).copied().unwrap_or("span");
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"name\":{},\"ph\":\"E\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}",
+                        json_string(name)
+                    ),
+                );
+            }
+            EventData::QdStep {
+                bucket_rank,
+                qd,
+                items,
+                kept,
+            } => {
+                // Counter series: Perfetto draws this as a graph of QD over
+                // query time — the paper's per-step difficulty trajectory.
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"name\":\"qd\",\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\
+                         \"ts\":{ts},\"args\":{{\"qd\":{}}}}}",
+                        json_f64(*qd)
+                    ),
+                );
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"name\":\"qd_step\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\
+                         \"tid\":{tid},\"ts\":{ts},\"args\":{{\"bucket_rank\":{bucket_rank},\
+                         \"qd\":{},\"items\":{items},\"kept\":{kept}}}}}",
+                        json_f64(*qd)
+                    ),
+                );
+            }
+            EventData::Marker { kind, a, b } => {
+                push_event(
+                    out,
+                    first,
+                    &format!(
+                        "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+                         \"ts\":{ts},\"args\":{{\"a\":{a},\"b\":{b}}}}}",
+                        json_string(kind.as_str())
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::trace::{MarkerKind, SpanId, TraceContext};
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample_trace() -> Arc<Trace> {
+        let ctx = TraceContext::start(42, "GQR", 256);
+        let hash = ctx.begin(SpanId::ROOT, "hash_query");
+        ctx.end(hash);
+        let eval = ctx.begin(SpanId::ROOT, "evaluate");
+        ctx.qd_step(eval, 0, 1.5, 8, 6);
+        ctx.end(eval);
+        let shard = ctx
+            .clone()
+            .with_track(1)
+            .begin_arg(SpanId::ROOT, "shard", 1);
+        ctx.clone().with_track(1).end(shard);
+        ctx.marker(SpanId::ROOT, MarkerKind::EarlyStop, 3, 0);
+        Arc::new(ctx.finish(u64::MAX, false).unwrap())
+    }
+
+    #[test]
+    fn chrome_export_structure() {
+        let doc = to_chrome_trace(&[sample_trace()]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("]}"));
+        // Metadata names the process and both tracks.
+        assert!(doc.contains("\"name\":\"process_name\""));
+        assert!(doc.contains("\"name\":\"GQR #42\""));
+        assert!(doc.contains("\"name\":\"thread_name\""));
+        assert!(doc.contains("\"name\":\"main\""));
+        assert!(doc.contains("\"name\":\"shard 1\""));
+        // B/E pairs carry the same name; shard events sit on tid 1.
+        assert!(doc.contains("\"name\":\"hash_query\",\"ph\":\"B\""));
+        assert!(doc.contains("\"name\":\"hash_query\",\"ph\":\"E\""));
+        assert!(doc.contains("\"name\":\"shard\",\"ph\":\"B\",\"pid\":42,\"tid\":1"));
+        // QD: counter + instant with the full payload.
+        assert!(doc.contains("\"name\":\"qd\",\"ph\":\"C\""));
+        assert!(doc.contains("\"name\":\"qd_step\",\"ph\":\"i\",\"s\":\"t\""));
+        assert!(doc.contains("\"bucket_rank\":0"));
+        // Marker instant.
+        assert!(doc.contains("\"name\":\"early_stop\",\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn multiple_traces_get_distinct_pids() {
+        let a = sample_trace();
+        let ctx = TraceContext::start(7, "MIH", 64);
+        let b = Arc::new(ctx.finish(u64::MAX, false).unwrap());
+        let doc = to_chrome_trace(&[a, b]);
+        assert!(doc.contains("\"pid\":42"));
+        assert!(doc.contains("\"pid\":7"));
+        assert!(doc.contains("\"name\":\"MIH #7\""));
+    }
+
+    #[test]
+    fn slow_traces_are_labelled() {
+        let ctx = TraceContext::start(9, "GQR", 64);
+        let t = Arc::new(ctx.finish(0, false).unwrap());
+        assert!(t.slow);
+        let doc = to_chrome_trace(&[t]);
+        assert!(doc.contains("\"name\":\"GQR #9 [slow]\""));
+    }
+
+    #[test]
+    fn empty_input_is_valid() {
+        assert_eq!(to_chrome_trace::<Arc<Trace>>(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        assert_eq!(ts_us(1_500), "1.500");
+        assert_eq!(ts_us(0), "0.000");
+        assert_eq!(ts_us(2_000_000), "2000.000");
+    }
+}

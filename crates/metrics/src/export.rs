@@ -262,7 +262,9 @@ fn help_text(base: &str) -> &'static str {
 }
 
 /// Minimal JSON string encoder (quotes, backslashes, control chars).
-fn json_string(s: &str) -> String {
+/// Shared with the trace exporters — the metrics crate hand-rolls all of
+/// its JSON rather than taking a serde dependency.
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

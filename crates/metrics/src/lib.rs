@@ -18,6 +18,15 @@
 //! * [`MetricsSnapshot`] — a point-in-time copy that renders to JSON
 //!   ([`MetricsSnapshot::to_json`]) or the Prometheus text exposition
 //!   format ([`MetricsSnapshot::to_prometheus`]).
+//! * [`TraceContext`] / [`Tracing`] / [`TraceStore`] — per-query tracing:
+//!   causal span trees with QD-trajectory and marker events, sampled
+//!   deterministically (1-in-N plus forced for opted-in or
+//!   deadline-expired queries), stored in an overwrite-oldest ring with a
+//!   pinned slow-query reservoir, and exported as JSON lines, a
+//!   human-readable slow log, or the Chrome trace-event format
+//!   ([`to_chrome_trace`]) for Perfetto. Enabled per registry via
+//!   [`MetricsRegistry::enable_tracing`]; the unsampled hot path is one
+//!   branch plus one RNG-free modulo.
 //!
 //! # Example
 //!
@@ -46,12 +55,20 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod chrome;
 pub mod export;
 pub mod histogram;
 pub mod registry;
 pub mod span;
+pub mod trace;
+pub mod trace_store;
 
+pub use chrome::to_chrome_trace;
 pub use export::{BucketCount, HistogramSnapshot, MetricsSnapshot};
 pub use histogram::{bucket_bounds, Histogram};
 pub use registry::{metric_name, MetricsRegistry};
 pub use span::{Phase, PhaseSpans};
+pub use trace::{
+    EventData, MarkerKind, SpanId, Trace, TraceConfig, TraceContext, TraceEvent, Tracing,
+};
+pub use trace_store::TraceStore;

@@ -16,12 +16,17 @@ use parking_lot::RwLock;
 
 use super::export::{HistogramSnapshot, MetricsSnapshot};
 use super::histogram::Histogram;
+use super::trace::{TraceConfig, TraceContext, Tracing};
 
 /// Shared store behind an enabled registry.
 #[derive(Debug, Default)]
 struct RegistryInner {
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    /// Per-query tracing, opt-in on top of an enabled registry (see
+    /// [`MetricsRegistry::enable_tracing`]). `None` keeps
+    /// [`MetricsRegistry::trace_begin`] branch-only.
+    tracing: RwLock<Option<Arc<Tracing>>>,
 }
 
 /// Handle to a metrics store, or a no-op sink when disabled.
@@ -153,6 +158,51 @@ impl MetricsRegistry {
         }
     }
 
+    /// Turn on per-query tracing with the given configuration, replacing
+    /// any previous tracing state. Returns the live [`Tracing`] facade, or
+    /// `None` when the registry is disabled (tracing rides on metrics:
+    /// a disabled registry never traces).
+    pub fn enable_tracing(&self, config: TraceConfig) -> Option<Arc<Tracing>> {
+        let inner = self.inner.as_ref()?;
+        let tracing = Arc::new(Tracing::new(config));
+        *inner.tracing.write() = Some(Arc::clone(&tracing));
+        Some(tracing)
+    }
+
+    /// The tracing facade, if tracing has been enabled.
+    pub fn tracing(&self) -> Option<Arc<Tracing>> {
+        self.inner.as_ref()?.tracing.read().clone()
+    }
+
+    /// Admit one query to the tracer: returns a sampled [`TraceContext`]
+    /// for every `sample_every`-th query (or always when `force`), and the
+    /// inert context otherwise. With tracing disabled this is a branch plus
+    /// one uncontended read-lock — no clock, no allocation.
+    #[inline]
+    pub fn trace_begin(&self, name: &'static str, force: bool) -> TraceContext {
+        match &self.inner {
+            Some(inner) => match inner.tracing.read().as_ref() {
+                Some(t) => t.begin(name, force),
+                None => TraceContext::disabled(),
+            },
+            None => TraceContext::disabled(),
+        }
+    }
+
+    /// Seal a context from [`MetricsRegistry::trace_begin`] and store the
+    /// completed trace. A single branch for unsampled contexts.
+    #[inline]
+    pub fn trace_finish(&self, ctx: TraceContext, deadline_missed: bool) {
+        if !ctx.is_sampled() {
+            return;
+        }
+        if let Some(inner) = &self.inner {
+            if let Some(t) = inner.tracing.read().as_ref() {
+                t.finish(ctx, deadline_missed);
+            }
+        }
+    }
+
     /// Point-in-time copy of every metric, ready for export. Empty when
     /// disabled.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -262,6 +312,38 @@ mod tests {
             ),
             "gqr_query_phase_ns{phase=\"evaluate\",strategy=\"GQR\"}"
         );
+    }
+
+    #[test]
+    fn tracing_rides_on_an_enabled_registry() {
+        use super::super::trace::TraceConfig;
+        let m = MetricsRegistry::enabled();
+        assert!(m.tracing().is_none(), "tracing is opt-in");
+        let ctx = m.trace_begin("q", true);
+        assert!(!ctx.is_sampled(), "no tracer enabled yet");
+        let tracing = m
+            .enable_tracing(TraceConfig {
+                sample_every: 1,
+                ..TraceConfig::default()
+            })
+            .unwrap();
+        let ctx = m.trace_begin("q", false);
+        assert!(ctx.is_sampled());
+        m.trace_finish(ctx, false);
+        assert_eq!(tracing.store().pushed(), 1);
+        // Clones share the tracer.
+        assert!(m.clone().trace_begin("q", false).is_sampled());
+    }
+
+    #[test]
+    fn disabled_registry_never_traces() {
+        use super::super::trace::TraceConfig;
+        let m = MetricsRegistry::disabled();
+        assert!(m.enable_tracing(TraceConfig::default()).is_none());
+        assert!(m.tracing().is_none());
+        let ctx = m.trace_begin("q", true);
+        assert!(!ctx.is_sampled());
+        m.trace_finish(ctx, false); // no-op, no panic
     }
 
     #[test]

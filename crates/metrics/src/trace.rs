@@ -1,0 +1,888 @@
+//! Per-query trace capture: causal span trees with typed events.
+//!
+//! Aggregates (counters, histograms) answer "how slow are queries on
+//! average?"; traces answer "why was *this* query slow?". A [`TraceContext`]
+//! is a cheaply cloneable handle that is either **sampled** — events append
+//! to a shared buffer — or **unsampled**, in which case every emission is a
+//! single branch on a `None`, mirroring the
+//! [`PhaseSpans`](super::PhaseSpans) disabled-mode contract.
+//!
+//! The event model is deliberately small:
+//!
+//! * [`EventData::Begin`] / [`EventData::End`] — a span, identified by a
+//!   per-trace [`SpanId`], parented under another span (the root span `0`
+//!   covers the whole query). Spans map onto the existing query
+//!   [`Phase`](super::Phase)s plus executor (`queue_wait`, `run`), shard
+//!   (`fanout`, `shard`) and live-layer (`segment`, `merge`) structure.
+//! * [`EventData::QdStep`] — one probe step: the QD (or Hamming) indicator
+//!   of the bucket just probed, how many items it held, and how many
+//!   survived filtering into evaluation. The per-query QD trajectory is the
+//!   paper's per-step difficulty signal, captured instead of discarded.
+//! * [`EventData::Marker`] — point events: checkpoints, early stop,
+//!   deadline miss, and live-index mutations (delta append, tombstone,
+//!   compaction begin/end with before/after sizes).
+//!
+//! Sampling is deterministic and RNG-free: the [`Tracing`] facade counts
+//! queries and samples every `N`-th ([`TraceConfig::sample_every`]), so the
+//! same query sequence always yields the same sampled set. Requests can
+//! force sampling ([`force`](Tracing::begin)) — the engine does this for
+//! explicit `.trace()` opt-ins and for requests whose deadline has already
+//! expired at admission. Completed traces whose wall time crosses
+//! [`TraceConfig::slow_threshold`] (or that missed their deadline) are
+//! flagged `slow` and pinned in the store's slow-query reservoir so p99.9
+//! outliers survive ring eviction.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use super::trace_store::TraceStore;
+
+/// Identifier of one span within a trace. Root is `0`; [`SpanId::NONE`] is
+/// the no-op sentinel returned by an unsampled context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(u32);
+
+impl SpanId {
+    /// The root span: implicitly begun when the trace starts and ended when
+    /// it finishes, covering the whole query.
+    pub const ROOT: SpanId = SpanId(0);
+    /// Sentinel for "no span" — what an unsampled context hands back, and
+    /// the `parent` of the root span.
+    pub const NONE: SpanId = SpanId(u32::MAX);
+
+    /// The raw span number.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Point markers a trace can carry (the `a`/`b` payload meaning is listed
+/// per kind).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// A recall checkpoint fired: `a` = budget, `b` = items evaluated.
+    Checkpoint,
+    /// The Theorem-2 early stop fired: `a` = buckets probed.
+    EarlyStop,
+    /// The request finished past its deadline: `a` = overshoot in ns.
+    DeadlineMiss,
+    /// A row was appended to the live delta: `a` = delta rows after,
+    /// `b` = tombstones.
+    DeltaAppend,
+    /// A row was tombstoned: `a` = tombstones after, `b` = delta rows.
+    Tombstone,
+    /// Compaction started: `a` = delta rows before, `b` = tombstones
+    /// before.
+    CompactionBegin,
+    /// Compaction finished: `a` = base rows after, `b` = delta rows after
+    /// (replayed concurrent appends).
+    CompactionEnd,
+}
+
+impl MarkerKind {
+    /// Snake-case label used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MarkerKind::Checkpoint => "checkpoint",
+            MarkerKind::EarlyStop => "early_stop",
+            MarkerKind::DeadlineMiss => "deadline_miss",
+            MarkerKind::DeltaAppend => "delta_append",
+            MarkerKind::Tombstone => "tombstone",
+            MarkerKind::CompactionBegin => "compaction_begin",
+            MarkerKind::CompactionEnd => "compaction_end",
+        }
+    }
+}
+
+/// The payload of one [`TraceEvent`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventData {
+    /// A span opens. `parent` is the owning span ([`SpanId::NONE`] only for
+    /// the root), `track` the display lane (0 = main; shards and live
+    /// segments get their own), `arg` a name-dependent payload (shard
+    /// index, worker index, segment index).
+    Begin {
+        /// Parent span (raw id).
+        parent: u32,
+        /// Span name (`"hash_query"`, `"shard"`, `"queue_wait"`, …).
+        name: &'static str,
+        /// Display track (Chrome export lane).
+        track: u32,
+        /// Name-dependent argument (shard / worker / segment index).
+        arg: u64,
+    },
+    /// The span closes.
+    End,
+    /// One probe step of the bucket loop.
+    QdStep {
+        /// 0-based rank of the probed bucket in probe order.
+        bucket_rank: u32,
+        /// The bucket's QD (QD strategies) or Hamming distance (Hamming
+        /// strategies); `-1.0` when the prober had no peekable cost.
+        qd: f64,
+        /// Items the bucket held.
+        items: u32,
+        /// Items that survived filtering into evaluation.
+        kept: u32,
+    },
+    /// A point marker.
+    Marker {
+        /// What happened.
+        kind: MarkerKind,
+        /// First payload (see [`MarkerKind`]).
+        a: u64,
+        /// Second payload (see [`MarkerKind`]).
+        b: u64,
+    },
+}
+
+/// One typed event: a timestamp (ns since trace start), the span it belongs
+/// to, and the payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the trace started.
+    pub ts_ns: u64,
+    /// Raw id of the span this event belongs to (for `Begin`, the span it
+    /// opens).
+    pub span: u32,
+    /// The payload.
+    pub data: EventData,
+}
+
+/// A completed trace, as stored and exported.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Trace id (the sampler's query ordinal, so ids are deterministic).
+    pub id: u64,
+    /// Root-span name: the probe strategy for queries (`"GQR"`, `"MIH"`,
+    /// …), the surface for composites (`"sharded"`, `"live"`), the
+    /// operation for mutations (`"insert"`, `"compaction"`, …).
+    pub name: &'static str,
+    /// Wall time from trace start to finish.
+    pub total_ns: u64,
+    /// Crossed the slow threshold (or missed its deadline) — pinned in the
+    /// store's slow reservoir.
+    pub slow: bool,
+    /// Finished past the request deadline.
+    pub deadline_missed: bool,
+    /// Events discarded because the per-trace cap was hit.
+    pub events_dropped: u64,
+    /// Events in emission order. The root span's `Begin` is first (ts 0)
+    /// and its `End` last (`ts == total_ns`).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Check the span-tree invariants: every `Begin` has exactly one `End`
+    /// at or after it, parents exist and enclose their children, and
+    /// `QdStep`/`Marker` events reference opened spans. Returns the first
+    /// violation as a message.
+    pub fn check_well_formed(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        // span → (parent, begin_ts, end_ts)
+        let mut spans: HashMap<u32, (u32, u64, Option<u64>)> = HashMap::new();
+        for ev in &self.events {
+            match &ev.data {
+                EventData::Begin { parent, .. } => {
+                    if spans.insert(ev.span, (*parent, ev.ts_ns, None)).is_some() {
+                        return Err(format!("span {} begun twice", ev.span));
+                    }
+                }
+                EventData::End => match spans.get_mut(&ev.span) {
+                    None => return Err(format!("span {} ended before it began", ev.span)),
+                    Some((_, begin, end)) => {
+                        if end.is_some() {
+                            return Err(format!("span {} ended twice", ev.span));
+                        }
+                        if ev.ts_ns < *begin {
+                            return Err(format!("span {} ends before it begins", ev.span));
+                        }
+                        *end = Some(ev.ts_ns);
+                    }
+                },
+                EventData::QdStep { .. } | EventData::Marker { .. } => {
+                    if !spans.contains_key(&ev.span) {
+                        return Err(format!("event on unopened span {}", ev.span));
+                    }
+                }
+            }
+        }
+        if !spans.contains_key(&SpanId::ROOT.raw()) {
+            return Err("no root span".into());
+        }
+        // Report unfinished spans before nesting: the nesting pass reads
+        // parents' end timestamps, which only exist once everything ended.
+        let mut ids: Vec<u32> = spans.keys().copied().collect();
+        ids.sort_unstable();
+        for &id in &ids {
+            if spans[&id].2.is_none() {
+                return Err(format!("span {id} never ended"));
+            }
+        }
+        for (&id, &(parent, begin, end)) in &spans {
+            let end = end.expect("all spans verified ended above");
+            if parent == SpanId::NONE.raw() {
+                if id != SpanId::ROOT.raw() {
+                    return Err(format!("non-root span {id} has no parent"));
+                }
+                continue;
+            }
+            let Some(&(_, pb, pe)) = spans.get(&parent) else {
+                return Err(format!("span {id} parented under unknown span {parent}"));
+            };
+            let pe = pe.expect("all spans verified ended above");
+            if begin < pb || end > pe {
+                return Err(format!(
+                    "span {id} [{begin},{end}] escapes parent {parent} [{pb},{pe}]"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total nanoseconds spent in spans named `name` (sum over matched
+    /// `Begin`/`End` pairs).
+    pub fn span_ns(&self, name: &str) -> u64 {
+        use std::collections::HashMap;
+        let mut open: HashMap<u32, (bool, u64)> = HashMap::new();
+        let mut total = 0u64;
+        for ev in &self.events {
+            match &ev.data {
+                EventData::Begin { name: n, .. } => {
+                    open.insert(ev.span, (*n == name, ev.ts_ns));
+                }
+                EventData::End => {
+                    if let Some((matched, begin)) = open.get(&ev.span) {
+                        if *matched {
+                            total += ev.ts_ns.saturating_sub(*begin);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        total
+    }
+}
+
+/// The shared buffer behind a sampled [`TraceContext`].
+#[derive(Debug)]
+struct ActiveTrace {
+    id: u64,
+    name: &'static str,
+    started: Instant,
+    max_events: usize,
+    /// Next span id to hand out (0 is the root, allocated at start).
+    next_span: AtomicU32,
+    dropped: AtomicU64,
+    events: Mutex<EventBuf>,
+}
+
+/// The event buffer plus overflow bookkeeping, under one mutex.
+#[derive(Debug)]
+struct EventBuf {
+    events: Vec<TraceEvent>,
+    /// `None` until the cap is hit; then the set of spans whose `Begin` is
+    /// recorded but whose `End` has not yet arrived. Their `End`s are still
+    /// admitted past the cap so a capped trace stays a well-formed tree.
+    open_at_cap: Option<HashSet<u32>>,
+}
+
+impl ActiveTrace {
+    fn elapsed_ns(&self, at: Instant) -> u64 {
+        at.checked_duration_since(self.started)
+            .map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Append one event, honouring the per-trace cap. Once the cap is hit,
+    /// the only events still admitted are `End`s of spans already open in
+    /// the buffer (at most one per recorded `Begin`, so the overshoot is
+    /// bounded by the cap itself) — dropping those would leave half-open
+    /// spans and a malformed tree. Everything else is counted as dropped.
+    fn push(&self, ev: TraceEvent) {
+        let mut buf = self.events.lock();
+        if buf.open_at_cap.is_none() {
+            if buf.events.len() < self.max_events {
+                buf.events.push(ev);
+                return;
+            }
+            // Cap hit: snapshot which spans are still open.
+            let mut open = HashSet::new();
+            for e in &buf.events {
+                match e.data {
+                    EventData::Begin { .. } => {
+                        open.insert(e.span);
+                    }
+                    EventData::End => {
+                        open.remove(&e.span);
+                    }
+                    _ => {}
+                }
+            }
+            buf.open_at_cap = Some(open);
+        }
+        let open = buf.open_at_cap.as_mut().expect("set above");
+        if matches!(ev.data, EventData::End) && open.remove(&ev.span) {
+            buf.events.push(ev);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Handle to one in-flight trace, threaded through every execution surface.
+///
+/// Cheap to clone (an `Option<Arc<_>>` plus a display track); the unsampled
+/// (default) handle turns every emission into a single branch. Event
+/// appends on the sampled path serialize on one uncontended mutex — only
+/// concurrent shard jobs of the *same sampled query* ever contend.
+#[derive(Clone, Debug, Default)]
+pub struct TraceContext {
+    inner: Option<Arc<ActiveTrace>>,
+    track: u32,
+}
+
+impl TraceContext {
+    /// The no-op context: every emission is one branch, no clock reads.
+    pub fn disabled() -> TraceContext {
+        TraceContext::default()
+    }
+
+    /// Start a sampled trace: allocates the buffer and opens the root span
+    /// (id 0, named `name`) at ts 0. Usually called via [`Tracing::begin`].
+    pub fn start(id: u64, name: &'static str, max_events: usize) -> TraceContext {
+        let inner = ActiveTrace {
+            id,
+            name,
+            started: Instant::now(),
+            max_events: max_events.max(2),
+            next_span: AtomicU32::new(1),
+            dropped: AtomicU64::new(0),
+            events: Mutex::new(EventBuf {
+                events: Vec::with_capacity(64.min(max_events)),
+                open_at_cap: None,
+            }),
+        };
+        inner.push(TraceEvent {
+            ts_ns: 0,
+            span: SpanId::ROOT.raw(),
+            data: EventData::Begin {
+                parent: SpanId::NONE.raw(),
+                name,
+                track: 0,
+                arg: 0,
+            },
+        });
+        TraceContext {
+            inner: Some(Arc::new(inner)),
+            track: 0,
+        }
+    }
+
+    /// Whether events are being captured. Hot loops check this once to skip
+    /// payload computation (e.g. `peek_cost()` for QD steps).
+    #[inline]
+    pub fn is_sampled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The trace id, when sampled.
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|t| t.id)
+    }
+
+    /// A clone of this handle that emits spans on display track `track`
+    /// (shard / segment lanes in the Chrome export).
+    pub fn with_track(mut self, track: u32) -> TraceContext {
+        self.track = track;
+        self
+    }
+
+    /// The display track this handle stamps onto spans.
+    pub fn track(&self) -> u32 {
+        self.track
+    }
+
+    /// Open a span now. Returns [`SpanId::NONE`] (without touching the
+    /// clock) when unsampled.
+    #[inline]
+    pub fn begin(&self, parent: SpanId, name: &'static str) -> SpanId {
+        match &self.inner {
+            Some(t) => {
+                let now = Instant::now();
+                self.begin_inner(t, parent, name, 0, now)
+            }
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Open a span now with a name-dependent argument (shard index, worker
+    /// index, …).
+    #[inline]
+    pub fn begin_arg(&self, parent: SpanId, name: &'static str, arg: u64) -> SpanId {
+        match &self.inner {
+            Some(t) => {
+                let now = Instant::now();
+                self.begin_inner(t, parent, name, arg, now)
+            }
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Open a span retroactively at `at` (reuses an already-taken clock
+    /// reading, e.g. a [`PhaseSpans::begin`](super::PhaseSpans::begin)
+    /// token or an executor enqueue timestamp).
+    #[inline]
+    pub fn begin_at(&self, parent: SpanId, name: &'static str, at: Instant) -> SpanId {
+        match &self.inner {
+            Some(t) => self.begin_inner(t, parent, name, 0, at),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// [`TraceContext::begin_at`] with an argument.
+    #[inline]
+    pub fn begin_arg_at(
+        &self,
+        parent: SpanId,
+        name: &'static str,
+        arg: u64,
+        at: Instant,
+    ) -> SpanId {
+        match &self.inner {
+            Some(t) => self.begin_inner(t, parent, name, arg, at),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Open a span at an optional clock token: pairs with the
+    /// `Option<Instant>` that [`PhaseSpans::begin`](super::PhaseSpans::begin)
+    /// hands back, so instrumented code reads the clock once for both
+    /// layers. Falls back to reading the clock when sampled without a
+    /// token.
+    #[inline]
+    pub fn begin_opt(&self, parent: SpanId, name: &'static str, at: Option<Instant>) -> SpanId {
+        match (&self.inner, at) {
+            (Some(t), Some(at)) => self.begin_inner(t, parent, name, 0, at),
+            (Some(t), None) => {
+                let now = Instant::now();
+                self.begin_inner(t, parent, name, 0, now)
+            }
+            (None, _) => SpanId::NONE,
+        }
+    }
+
+    fn begin_inner(
+        &self,
+        t: &Arc<ActiveTrace>,
+        parent: SpanId,
+        name: &'static str,
+        arg: u64,
+        at: Instant,
+    ) -> SpanId {
+        let span = t.next_span.fetch_add(1, Ordering::Relaxed);
+        t.push(TraceEvent {
+            ts_ns: t.elapsed_ns(at),
+            span,
+            data: EventData::Begin {
+                parent: parent.raw(),
+                name,
+                track: self.track,
+                arg,
+            },
+        });
+        SpanId(span)
+    }
+
+    /// Close a span now. A single branch when unsampled or when `span` is
+    /// [`SpanId::NONE`].
+    #[inline]
+    pub fn end(&self, span: SpanId) {
+        if let Some(t) = &self.inner {
+            if span != SpanId::NONE {
+                t.push(TraceEvent {
+                    ts_ns: t.elapsed_ns(Instant::now()),
+                    span: span.raw(),
+                    data: EventData::End,
+                });
+            }
+        }
+    }
+
+    /// Close a span retroactively at `at`.
+    #[inline]
+    pub fn end_at(&self, span: SpanId, at: Instant) {
+        if let Some(t) = &self.inner {
+            if span != SpanId::NONE {
+                t.push(TraceEvent {
+                    ts_ns: t.elapsed_ns(at),
+                    span: span.raw(),
+                    data: EventData::End,
+                });
+            }
+        }
+    }
+
+    /// Record one probe step (see [`EventData::QdStep`]). Callers guard the
+    /// payload computation with [`TraceContext::is_sampled`].
+    #[inline]
+    pub fn qd_step(&self, span: SpanId, bucket_rank: u32, qd: f64, items: u32, kept: u32) {
+        if let Some(t) = &self.inner {
+            t.push(TraceEvent {
+                ts_ns: t.elapsed_ns(Instant::now()),
+                span: span.raw(),
+                data: EventData::QdStep {
+                    bucket_rank,
+                    qd,
+                    items,
+                    kept,
+                },
+            });
+        }
+    }
+
+    /// Record a point marker (see [`MarkerKind`] for the `a`/`b` meaning).
+    #[inline]
+    pub fn marker(&self, span: SpanId, kind: MarkerKind, a: u64, b: u64) {
+        if let Some(t) = &self.inner {
+            t.push(TraceEvent {
+                ts_ns: t.elapsed_ns(Instant::now()),
+                span: span.raw(),
+                data: EventData::Marker { kind, a, b },
+            });
+        }
+    }
+
+    /// Seal the trace: closes the root span at the current wall time and
+    /// returns the completed [`Trace`] (`None` when unsampled). `slow` is
+    /// set when the wall time reaches `slow_threshold_ns` or the deadline
+    /// was missed. Usually called via [`Tracing::finish`].
+    pub fn finish(self, slow_threshold_ns: u64, deadline_missed: bool) -> Option<Trace> {
+        let t = self.inner?;
+        let total_ns = t.elapsed_ns(Instant::now());
+        t.push(TraceEvent {
+            ts_ns: total_ns,
+            span: SpanId::ROOT.raw(),
+            data: EventData::End,
+        });
+        let events = std::mem::take(&mut t.events.lock().events);
+        Some(Trace {
+            id: t.id,
+            name: t.name,
+            total_ns,
+            slow: deadline_missed || total_ns >= slow_threshold_ns,
+            deadline_missed,
+            events_dropped: t.dropped.load(Ordering::Relaxed),
+            events,
+        })
+    }
+}
+
+/// Tracing configuration (see the field docs for defaults).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Sample every `N`-th query (deterministic, RNG-free). `1` traces
+    /// everything; forced traces ignore this. Default 64.
+    pub sample_every: u64,
+    /// Ring-buffer capacity of the completed-trace store (overwrite
+    /// oldest). Default 256.
+    pub capacity: usize,
+    /// Capacity of the pinned slow-query reservoir. Default 16.
+    pub slow_capacity: usize,
+    /// Wall-time threshold above which a trace is flagged `slow` and
+    /// pinned. Default 5 ms.
+    pub slow_threshold: Duration,
+    /// Per-trace event cap; the overflow is counted in
+    /// [`Trace::events_dropped`]. Default 8192.
+    pub max_events: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            sample_every: 64,
+            capacity: 256,
+            slow_capacity: 16,
+            slow_threshold: Duration::from_millis(5),
+            max_events: 8192,
+        }
+    }
+}
+
+/// The tracing facade an enabled registry carries: the deterministic
+/// sampler plus the completed-trace [`TraceStore`].
+#[derive(Debug)]
+pub struct Tracing {
+    config: TraceConfig,
+    queries: AtomicU64,
+    store: TraceStore,
+}
+
+impl Tracing {
+    /// A tracing facade with the given configuration.
+    pub fn new(config: TraceConfig) -> Tracing {
+        Tracing {
+            config,
+            queries: AtomicU64::new(0),
+            store: TraceStore::new(config.capacity, config.slow_capacity),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Admit one query: bump the deterministic counter and hand back a
+    /// sampled context for every `sample_every`-th query (or always, when
+    /// `force`). The unsampled path is one `fetch_add` + one modulo — no
+    /// RNG, no allocation.
+    pub fn begin(&self, name: &'static str, force: bool) -> TraceContext {
+        let n = self.queries.fetch_add(1, Ordering::Relaxed);
+        let every = self.config.sample_every.max(1);
+        if !force && !n.is_multiple_of(every) {
+            return TraceContext::disabled();
+        }
+        TraceContext::start(n, name, self.config.max_events)
+    }
+
+    /// Seal `ctx` and push the completed trace into the store (slow traces
+    /// are additionally pinned in the reservoir). No-op for unsampled
+    /// contexts.
+    pub fn finish(&self, ctx: TraceContext, deadline_missed: bool) {
+        let threshold = u64::try_from(self.config.slow_threshold.as_nanos()).unwrap_or(u64::MAX);
+        if let Some(trace) = ctx.finish(threshold, deadline_missed) {
+            self.store.push(Arc::new(trace));
+        }
+    }
+
+    /// Queries admitted so far (sampled or not).
+    pub fn queries_seen(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// The completed-trace store.
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsampled_context_is_inert() {
+        let ctx = TraceContext::disabled();
+        assert!(!ctx.is_sampled());
+        assert_eq!(ctx.id(), None);
+        let s = ctx.begin(SpanId::ROOT, "x");
+        assert_eq!(s, SpanId::NONE);
+        ctx.end(s);
+        ctx.qd_step(s, 0, 1.0, 2, 2);
+        ctx.marker(s, MarkerKind::Checkpoint, 1, 2);
+        assert!(ctx.finish(0, false).is_none());
+    }
+
+    #[test]
+    fn span_tree_is_well_formed() {
+        let ctx = TraceContext::start(7, "GQR", 1024);
+        let hash = ctx.begin(SpanId::ROOT, "hash_query");
+        ctx.end(hash);
+        let probe = ctx.begin(SpanId::ROOT, "probe_generate");
+        ctx.qd_step(SpanId::ROOT, 0, 1.5, 10, 8);
+        ctx.end(probe);
+        ctx.marker(SpanId::ROOT, MarkerKind::Checkpoint, 100, 102);
+        let trace = ctx.finish(u64::MAX, false).unwrap();
+        assert_eq!(trace.id, 7);
+        assert_eq!(trace.name, "GQR");
+        assert!(!trace.slow);
+        trace.check_well_formed().unwrap();
+        // Root Begin first at ts 0, root End last at total_ns.
+        assert_eq!(trace.events.first().unwrap().ts_ns, 0);
+        assert_eq!(trace.events.last().unwrap().ts_ns, trace.total_ns);
+    }
+
+    #[test]
+    fn well_formedness_catches_violations() {
+        let mut t = Trace {
+            id: 0,
+            name: "x",
+            total_ns: 10,
+            slow: false,
+            deadline_missed: false,
+            events_dropped: 0,
+            events: vec![TraceEvent {
+                ts_ns: 0,
+                span: 0,
+                data: EventData::Begin {
+                    parent: u32::MAX,
+                    name: "x",
+                    track: 0,
+                    arg: 0,
+                },
+            }],
+        };
+        assert!(t.check_well_formed().is_err(), "root never ended");
+        t.events.push(TraceEvent {
+            ts_ns: 10,
+            span: 0,
+            data: EventData::End,
+        });
+        t.check_well_formed().unwrap();
+        // A child escaping its parent's interval is caught.
+        t.events.insert(
+            1,
+            TraceEvent {
+                ts_ns: 2,
+                span: 1,
+                data: EventData::Begin {
+                    parent: 0,
+                    name: "c",
+                    track: 0,
+                    arg: 0,
+                },
+            },
+        );
+        t.events.push(TraceEvent {
+            ts_ns: 99,
+            span: 1,
+            data: EventData::End,
+        });
+        assert!(t.check_well_formed().is_err(), "child escapes parent");
+    }
+
+    #[test]
+    fn deterministic_sampling_same_sequence_same_set() {
+        let sampled_ids = |every: u64| -> Vec<u64> {
+            let tracing = Tracing::new(TraceConfig {
+                sample_every: every,
+                ..TraceConfig::default()
+            });
+            (0..20)
+                .filter_map(|_| {
+                    let ctx = tracing.begin("q", false);
+                    let id = ctx.id();
+                    tracing.finish(ctx, false);
+                    id
+                })
+                .collect()
+        };
+        let a = sampled_ids(4);
+        let b = sampled_ids(4);
+        assert_eq!(a, b, "same sequence must sample the same set");
+        assert_eq!(a, vec![0, 4, 8, 12, 16]);
+        assert_eq!(sampled_ids(1).len(), 20, "sample_every=1 traces all");
+    }
+
+    #[test]
+    fn forced_traces_ignore_the_sampler() {
+        let tracing = Tracing::new(TraceConfig {
+            sample_every: 1_000_000,
+            ..TraceConfig::default()
+        });
+        // Query 0 always hits the modulo; discard it without finishing.
+        assert!(tracing.begin("q", false).is_sampled());
+        assert!(!tracing.begin("q", false).is_sampled());
+        let ctx = tracing.begin("q", true);
+        assert!(ctx.is_sampled());
+        tracing.finish(ctx, false);
+        assert_eq!(tracing.store().pushed(), 1);
+    }
+
+    #[test]
+    fn slow_and_deadline_missed_flags() {
+        let ctx = TraceContext::start(0, "q", 64);
+        let t = ctx.finish(0, false).unwrap();
+        assert!(t.slow, "threshold 0 flags everything slow");
+        let ctx = TraceContext::start(1, "q", 64);
+        let t = ctx.finish(u64::MAX, true).unwrap();
+        assert!(t.slow && t.deadline_missed, "deadline miss implies slow");
+    }
+
+    #[test]
+    fn event_cap_drops_and_counts() {
+        let ctx = TraceContext::start(0, "q", 4);
+        for _ in 0..10 {
+            let s = ctx.begin(SpanId::ROOT, "x");
+            ctx.end(s);
+        }
+        let t = ctx.finish(u64::MAX, false).unwrap();
+        assert!(t.events_dropped > 0);
+        // `End`s of spans open at the cap (the root, and the child whose
+        // `Begin` landed as the 4th event) are admitted past the limit, so
+        // even a capped trace is a well-formed span tree.
+        assert_eq!(t.events.len(), 6);
+        t.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn span_ns_sums_named_spans() {
+        let t = Trace {
+            id: 0,
+            name: "q",
+            total_ns: 100,
+            slow: false,
+            deadline_missed: false,
+            events_dropped: 0,
+            events: vec![
+                TraceEvent {
+                    ts_ns: 0,
+                    span: 0,
+                    data: EventData::Begin {
+                        parent: u32::MAX,
+                        name: "q",
+                        track: 0,
+                        arg: 0,
+                    },
+                },
+                TraceEvent {
+                    ts_ns: 10,
+                    span: 1,
+                    data: EventData::Begin {
+                        parent: 0,
+                        name: "evaluate",
+                        track: 0,
+                        arg: 0,
+                    },
+                },
+                TraceEvent {
+                    ts_ns: 30,
+                    span: 1,
+                    data: EventData::End,
+                },
+                TraceEvent {
+                    ts_ns: 100,
+                    span: 0,
+                    data: EventData::End,
+                },
+            ],
+        };
+        assert_eq!(t.span_ns("evaluate"), 20);
+        assert_eq!(t.span_ns("q"), 100);
+        assert_eq!(t.span_ns("missing"), 0);
+    }
+
+    #[test]
+    fn concurrent_emission_is_safe() {
+        let ctx = TraceContext::start(0, "q", 100_000);
+        std::thread::scope(|s| {
+            for i in 0..4u64 {
+                let ctx = ctx.clone().with_track(i as u32 + 1);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let sp = ctx.begin_arg(SpanId::ROOT, "shard", i);
+                        ctx.end(sp);
+                    }
+                });
+            }
+        });
+        let t = ctx.finish(u64::MAX, false).unwrap();
+        t.check_well_formed().unwrap();
+        assert_eq!(t.events.len(), 2 + 4 * 200 * 2);
+    }
+}

@@ -5,7 +5,7 @@ use gqr_linalg::kernels::ScoreBlock;
 use gqr_linalg::qr::gaussian;
 use gqr_linalg::vecops::{sq_dist_f32, Metric};
 use gqr_linalg::Matrix;
-use gqr_metrics::{MetricsRegistry, Phase, PhaseSpans};
+use gqr_metrics::{MetricsRegistry, Phase, PhaseSpans, SpanId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -250,7 +250,10 @@ impl MpLshIndex {
     /// `probe_generate` = perturbation-sequence expansion and cross-table
     /// merge, `bucket_lookup`, `evaluate`, `rerank`) and per-query totals
     /// are recorded under the `gqr_mplsh_*` metric family with
-    /// `strategy="MPLSH"`.
+    /// `strategy="MPLSH"`. When the registry has tracing enabled
+    /// ([`MetricsRegistry::enable_tracing`]), sampled queries additionally
+    /// capture a span tree named `mplsh` with a per-probe trajectory (the
+    /// perturbation score standing in for QD).
     pub fn search_metered(
         &self,
         query: &[f32],
@@ -262,22 +265,28 @@ impl MpLshIndex {
     ) -> (Vec<(u32, f32)>, MpLshStats) {
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         let start = Instant::now();
+        let trace = metrics.trace_begin("mplsh", false);
+        let troot = SpanId::ROOT;
         let mut spans = PhaseSpans::new(metrics);
         let mut stats = MpLshStats::default();
         let t0 = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::HashQuery.as_str(), t0);
         let projections: Vec<QueryProjection> = self
             .tables
             .iter()
             .map(|t| t.project(query, self.w))
             .collect();
         spans.end(Phase::HashQuery, t0);
+        trace.end(ts);
         let t0 = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::ProbeGenerate.as_str(), t0);
         let mut sequences: Vec<PerturbationSequence<'_>> =
             projections.iter().map(PerturbationSequence::new).collect();
         // Pending next emission per table: (score, key).
         let mut pending: Vec<Option<(Vec<i32>, f64)>> =
             sequences.iter_mut().map(|s| s.next_bucket()).collect();
         spans.end(Phase::ProbeGenerate, t0);
+        trace.end(ts);
         let mut probes_left: Vec<usize> = vec![probes_per_table; self.tables.len()];
 
         let mut visited = vec![false; self.n_items];
@@ -311,15 +320,24 @@ impl MpLshIndex {
             spans.end(Phase::ProbeGenerate, tg);
             let Some((t, key)) = picked else { break };
 
+            let step_qd = pick.map_or(-1.0, |(_, s)| s);
+            let bucket_rank = stats.buckets_probed as u32;
             stats.buckets_probed += 1;
             let tl = spans.begin();
+            let ts = trace.begin_opt(troot, Phase::BucketLookup.as_str(), tl);
             let bucket = self.tables[t].buckets.get(&key);
             spans.end(Phase::BucketLookup, tl);
+            trace.end(ts);
             let Some(items) = bucket else {
                 stats.empty_buckets += 1;
+                if trace.is_sampled() {
+                    trace.qd_step(troot, bucket_rank, step_qd, 0, 0);
+                }
                 continue;
             };
+            let evaluated_before = stats.items_evaluated;
             let te = spans.begin();
+            let ts = trace.begin_opt(troot, Phase::Evaluate.as_str(), te);
             for &id in items {
                 let seen = &mut visited[id as usize];
                 if *seen {
@@ -337,9 +355,15 @@ impl MpLshIndex {
             stats.items_evaluated +=
                 scratch.flush(query, Metric::SquaredEuclidean, |id, d| best.push((id, d)));
             spans.end(Phase::Evaluate, te);
+            trace.end(ts);
+            if trace.is_sampled() {
+                let kept = (stats.items_evaluated - evaluated_before) as u32;
+                trace.qd_step(troot, bucket_rank, step_qd, items.len() as u32, kept);
+            }
         }
         stats.invalid_sets = sequences.iter().map(|s| s.invalid_generated).sum();
         let tr = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::Rerank.as_str(), tr);
         best.sort_by(|a, b| {
             a.1.partial_cmp(&b.1)
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -347,7 +371,9 @@ impl MpLshIndex {
         });
         best.truncate(k);
         spans.end(Phase::Rerank, tr);
+        trace.end(ts);
         spans.flush(metrics, "gqr_mplsh", "MPLSH", start.elapsed());
+        metrics.trace_finish(trace, false);
         (best, stats)
     }
 }

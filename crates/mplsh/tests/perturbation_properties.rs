@@ -51,7 +51,7 @@ fn brute_force(f: &[f64], w: f64) -> Vec<(Vec<i32>, f64)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     #[test]
     fn sequence_matches_brute_force_scores(

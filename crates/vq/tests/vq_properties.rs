@@ -12,7 +12,7 @@ fn dataset() -> impl Strategy<Value = (usize, Vec<f32>)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 32 })]
 
     #[test]
     fn kmeans_assignments_are_nearest((dim, data) in dataset()) {

@@ -28,6 +28,15 @@ cargo test -q --test snapshot_roundtrip
 echo "==> mutation stress (bounded)"
 GQR_STRESS_ITERS=800 cargo test -q -p gqr-core --test live_stress
 
+echo "==> trace suites (span trees, early-return flushes, Chrome export)"
+cargo test -q -p gqr-core --test trace_paths
+cargo test -q --test trace
+
+echo "==> trace overhead bench (smoke, gated at 2%)"
+GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench trace_overhead
+grep -q '"gate_pass": true' results/BENCH_trace.json \
+    || { echo "trace overhead gate FAILED (results/BENCH_trace.json)"; exit 1; }
+
 echo "==> snapshot save/load/query smoke (CLI)"
 SNAPDIR="$(mktemp -d)"
 trap 'rm -rf "$SNAPDIR"' EXIT

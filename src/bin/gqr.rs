@@ -72,6 +72,7 @@ fn main() {
         "load-index" => cmd_load_index(&flags),
         "insert" => cmd_insert(&flags),
         "delete" => cmd_delete(&flags),
+        "trace-dump" => cmd_trace_dump(&flags),
         "--help" | "-h" | "help" => {
             usage_and_exit(None);
         }
@@ -102,6 +103,9 @@ fn usage_and_exit(err: Option<&str>) -> ! {
          \x20          [--strategy gqr|ghr|hr|qr|mih] [--candidates N]\n\
          \x20 insert   --snapshot FILE --vector \"x1,x2,...\" [--out FILE] [--compact 1]\n\
          \x20 delete   --snapshot FILE --id N [--out FILE] [--compact 1]\n\
+         \x20 trace-dump --snapshot FILE --queries N --k K [--strategy gqr|ghr|hr|qr|mih]\n\
+         \x20          [--candidates N] [--sample-every N] [--format jsonl|chrome|slow]\n\
+         \x20          [--out FILE]   (chrome output opens in Perfetto / chrome://tracing)\n\
          \n\
          presets: cifar60k gist1m tiny5m sift10m sift1m deep1m msong1m glove1.2m\n\
          \x20        glove2.2m audio50k nuswide ukbench1m imagenet2.3m"
@@ -693,5 +697,86 @@ fn cmd_load_index(flags: &HashMap<String, String>) -> Result<(), String> {
         found as f64 / (k * queries.len()) as f64,
         start.elapsed()
     );
+    Ok(())
+}
+
+/// `trace-dump`: load a snapshot, run sampled queries with tracing enabled,
+/// and print (or write) the captured traces in the requested format.
+fn cmd_trace_dump(flags: &HashMap<String, String>) -> Result<(), String> {
+    use gqr::core::metrics::{to_chrome_trace, MetricsRegistry, TraceConfig};
+
+    let path = get(flags, "snapshot")?;
+    if is_live_snapshot(path)? {
+        return Err(
+            "trace-dump reads frozen snapshots; compact the live index into one first".into(),
+        );
+    }
+    let loaded = gqr::persist::load_index(std::path::Path::new(path))
+        .map_err(|e| format!("loading {path}: {e}"))?;
+    let k: usize = get_num(flags, "k")?;
+    let n_queries: usize = get_num(flags, "queries")?;
+    let n_candidates: usize = flags
+        .get("candidates")
+        .map(|s| s.parse().map_err(|_| "bad --candidates"))
+        .transpose()?
+        .unwrap_or(1_000);
+    let sample_every: u64 = flags
+        .get("sample-every")
+        .map(|s| s.parse().map_err(|_| "bad --sample-every"))
+        .transpose()?
+        .unwrap_or(1);
+    let format = flags.get("format").map(String::as_str).unwrap_or("jsonl");
+    let strat_name = flags.get("strategy").map(String::as_str).unwrap_or("gqr");
+    let strat = if strat_name.eq_ignore_ascii_case("mih") {
+        if loaded.shards().iter().any(|s| s.mih.is_none()) {
+            return Err("snapshot has no MIH sections; re-save with --mih-blocks".into());
+        }
+        ProbeStrategy::MultiIndexHashing { blocks: 2 }
+    } else {
+        strategy(strat_name)?
+    };
+    let params = SearchParams::for_k(k)
+        .candidates(n_candidates)
+        .strategy(strat)
+        .build()
+        .map_err(|e| format!("invalid search parameters: {e}"))?;
+
+    let metrics = MetricsRegistry::enabled();
+    let tracing = metrics
+        .enable_tracing(TraceConfig {
+            sample_every,
+            capacity: n_queries.max(16),
+            ..TraceConfig::default()
+        })
+        .expect("enabled registry accepts tracing");
+    let engine = match engine_from(&loaded)? {
+        LoadedEngine::Single(e) => LoadedEngine::Single(e.with_metrics(metrics.clone())),
+        LoadedEngine::Sharded(s) => LoadedEngine::Sharded(s.with_metrics(metrics.clone())),
+    };
+
+    let ds = Dataset::new("snapshot", loaded.dim(), loaded.data().to_vec());
+    let queries = ds.sample_queries(n_queries, 7);
+    for q in &queries {
+        engine.search(q, &params);
+    }
+
+    let store = tracing.store();
+    let output = match format {
+        "jsonl" => store.to_json_lines(),
+        "chrome" => to_chrome_trace(&store.all()),
+        "slow" => store.slow_log(),
+        other => return Err(format!("unknown --format '{other}' (jsonl|chrome|slow)")),
+    };
+    match flags.get("out") {
+        Some(out) => {
+            std::fs::write(out, &output).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!(
+                "wrote {} trace(s) from {n_queries} queries ({} sampled 1-in-{sample_every}) to {out} [{format}]",
+                store.all().len(),
+                tracing.queries_seen(),
+            );
+        }
+        None => print!("{output}"),
+    }
     Ok(())
 }

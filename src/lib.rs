@@ -68,7 +68,9 @@ pub mod prelude {
     pub use gqr_core::live::{
         Generation, IndexWriter, MutableIndex, MutableIndexBuilder, ShardedMutableIndex,
     };
-    pub use gqr_core::metrics::{MetricsRegistry, MetricsSnapshot};
+    pub use gqr_core::metrics::{
+        to_chrome_trace, MetricsRegistry, MetricsSnapshot, Trace, TraceConfig, TraceStore, Tracing,
+    };
     pub use gqr_core::multi_table::MultiTableIndex;
     pub use gqr_core::persist::{load_index, save_index, LoadedIndex, PersistError};
     pub use gqr_core::request::SearchRequest;

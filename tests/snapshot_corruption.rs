@@ -177,29 +177,29 @@ fn assert_flip_detected(bytes: &[u8], toc: &[(u16, usize, usize)], offset: usize
 #[test]
 fn every_header_and_toc_byte_flip_is_detected() {
     let bytes = full_snapshot();
-    let toc = toc_entries(&bytes);
+    let toc = toc_entries(bytes);
     let toc_end = HEADER_BYTES + toc.len() * TOC_ENTRY_BYTES;
     for offset in 0..toc_end {
-        assert_flip_detected(&bytes, &toc, offset, 0x01);
-        assert_flip_detected(&bytes, &toc, offset, 0x80);
+        assert_flip_detected(bytes, &toc, offset, 0x01);
+        assert_flip_detected(bytes, &toc, offset, 0x80);
     }
 }
 
 #[test]
 fn sampled_payload_byte_flips_are_detected_and_named() {
     let bytes = full_snapshot();
-    let toc = toc_entries(&bytes);
+    let toc = toc_entries(bytes);
     // Dense deterministic sample across the payload region, plus both
     // boundary bytes of every section.
     let toc_end = HEADER_BYTES + toc.len() * TOC_ENTRY_BYTES;
     let step = ((bytes.len() - toc_end) / 500).max(1);
     for offset in (toc_end..bytes.len()).step_by(step) {
-        assert_flip_detected(&bytes, &toc, offset, 0x10);
+        assert_flip_detected(bytes, &toc, offset, 0x10);
     }
     for &(_, off, len) in &toc {
         if len > 0 {
-            assert_flip_detected(&bytes, &toc, off, 0xff);
-            assert_flip_detected(&bytes, &toc, off + len - 1, 0xff);
+            assert_flip_detected(bytes, &toc, off, 0xff);
+            assert_flip_detected(bytes, &toc, off + len - 1, 0xff);
         }
     }
 }
@@ -208,7 +208,7 @@ fn sampled_payload_byte_flips_are_detected_and_named() {
 fn every_truncation_length_fails_cleanly() {
     let bytes = full_snapshot();
     // Every prefix of the header/TOC region, then a dense sample beyond.
-    let toc = toc_entries(&bytes);
+    let toc = toc_entries(bytes);
     let toc_end = HEADER_BYTES + toc.len() * TOC_ENTRY_BYTES;
     let step = ((bytes.len() - toc_end) / 300).max(1);
     let lengths = (0..toc_end).chain((toc_end..bytes.len()).step_by(step));
@@ -260,9 +260,9 @@ proptest! {
     #[test]
     fn random_single_byte_flip_never_loads(offset in 0usize..100_000, mask in 1u8..=255) {
         let bytes = full_snapshot();
-        let toc = toc_entries(&bytes);
+        let toc = toc_entries(bytes);
         let offset = offset % bytes.len();
-        assert_flip_detected(&bytes, &toc, offset, mask);
+        assert_flip_detected(bytes, &toc, offset, mask);
     }
 
     #[test]

@@ -19,7 +19,7 @@ fn dataset_strategy() -> impl Strategy<Value = (usize, Vec<f32>)> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 32 })]
 
     #[test]
     fn theorem1_projection_is_bounded((dim, data) in dataset_strategy()) {

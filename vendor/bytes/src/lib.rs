@@ -1,0 +1,186 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the little-endian cursor surface the workspace uses:
+//! [`Buf`] for `&[u8]` readers, [`BufMut`] writers, and a Vec-backed
+//! [`BytesMut`].
+
+/// Read-side cursor: consuming little-endian primitives from the front.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Consume `n` bytes from the front, returning them.
+    fn take_front(&mut self, n: usize) -> &[u8];
+
+    /// Read a little-endian `i32`, advancing 4 bytes.
+    fn get_i32_le(&mut self) -> i32 {
+        i32::from_le_bytes(self.take_front(4).try_into().unwrap())
+    }
+
+    /// Read a little-endian `u32`, advancing 4 bytes.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_front(4).try_into().unwrap())
+    }
+
+    /// Read a little-endian `f32`, advancing 4 bytes.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take_front(4).try_into().unwrap())
+    }
+
+    /// Read a little-endian `u64`, advancing 8 bytes.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_front(8).try_into().unwrap())
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_front(1)[0]
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_front(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let (front, rest) = self.split_at(n);
+        *self = rest;
+        front
+    }
+}
+
+/// Write-side cursor: appending little-endian primitives.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Growable byte buffer (Vec-backed).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drop the contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Freeze into an immutable byte vector.
+    pub fn freeze(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_le() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_i32_le(-7);
+        buf.put_f32_le(1.5);
+        buf.put_u64_le(u64::MAX - 1);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 16);
+        assert_eq!(r.get_i32_le(), -7);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u8(1);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1, 2];
+        r.get_i32_le();
+    }
+}

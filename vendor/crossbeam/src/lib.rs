@@ -1,0 +1,82 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` (scoped threads whose closures take a
+//! `&Scope` argument and whose panics surface as an `Err` from `scope`)
+//! implemented over `std::thread::scope`.
+
+use std::panic::AssertUnwindSafe;
+
+/// Scoped-thread handle passed to `scope` closures.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread scoped to this `scope` call. The closure receives the
+    /// scope again (crossbeam's signature) so it can spawn nested work.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let s = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&s)),
+        }
+    }
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope handle; all spawned threads are joined before this
+/// returns. A panic from any unjoined thread (or from `f` itself) is
+/// captured and returned as `Err`, matching crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// crossbeam's `thread` module path re-export.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1, 2, 3, 4];
+        let sum: i32 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,452 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), numeric range and
+//! fixed/ranged-size `collection::vec` strategies, `Just`, tuple
+//! strategies, `prop_map` / `prop_flat_map`, and the `prop_assert*` /
+//! `prop_assume` macros. Cases are generated from a deterministic per-test
+//! RNG (seeded from the test name), so failures reproduce; there is **no
+//! shrinking** — a failing case reports its assertion message only.
+
+pub mod test_runner {
+    //! Test-runner configuration and case outcomes.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed — the test fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs — the case is skipped.
+        Reject(String),
+    }
+
+    /// Deterministic xoshiro256++ RNG driving case generation.
+    #[derive(Clone, Debug)]
+    pub struct StubRng {
+        s: [u64; 4],
+    }
+
+    impl StubRng {
+        /// Seed from a test name so every test has a stable stream.
+        pub fn from_name(name: &str) -> StubRng {
+            // FNV-1a, then SplitMix64 expansion.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = h;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            if s == [0; 4] {
+                s = [1, 2, 3, 4];
+            }
+            StubRng { s }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in `[0, 1)` with 53 mantissa bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`.
+        pub fn below(&mut self, bound: u128) -> u128 {
+            debug_assert!(bound > 0);
+            (self.next_u64() as u128 * bound) >> 64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::StubRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy: Sized {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StubRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+            Map { base: self, f }
+        }
+
+        /// Generate a value, then a dependent strategy from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F> {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StubRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StubRng) -> U {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// [`Strategy::prop_flat_map`] adapter.
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StubRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StubRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StubRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    (start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StubRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.unit_f64() as $t * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StubRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    start + rng.unit_f64() as $t * (end - start)
+                }
+            }
+        )*};
+    }
+    float_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident.$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StubRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::StubRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable size arguments for [`vec()`].
+    pub trait IntoSizeRange {
+        /// Resolve to `[min, max]` inclusive bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A `Vec` strategy: `size` is a fixed `usize` or a `usize` range.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StubRng) -> Vec<S::Value> {
+            let len = if self.max > self.min {
+                self.min + rng.below((self.max - self.min + 1) as u128) as usize
+            } else {
+                self.min
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use super::collection;
+    pub use super::strategy::{Just, Strategy};
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    /// `prop::...` alias for the crate root (e.g. `prop::collection::vec`).
+    pub use crate as prop;
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` followed by `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::StubRng::from_name(stringify!($name));
+            let mut passed = 0u32;
+            let mut attempts = 0u32;
+            // Rejections (prop_assume) retry with fresh inputs, bounded so a
+            // never-satisfiable assumption cannot loop forever.
+            while passed < config.cases && attempts < config.cases.saturating_mul(16) + 64 {
+                attempts += 1;
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest '{}' failed after {} cases: {}",
+                               stringify!($name), passed, msg);
+                    }
+                }
+            }
+            assert!(
+                passed >= config.cases.min(1),
+                "proptest '{}' rejected every generated input",
+                stringify!($name)
+            );
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Skip the current case (with fresh inputs retried) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, Vec<f32>)> {
+        (2usize..5).prop_flat_map(|d| (Just(d), prop::collection::vec(-1.0f32..1.0, d * 3)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32 })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 1u8..=255, f in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y >= 1);
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_ties_sizes((d, v) in pair()) {
+            prop_assert_eq!(v.len(), d * 3);
+            prop_assert_ne!(d, 0);
+        }
+
+        #[test]
+        fn assume_retries(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn sized_vecs(v in prop::collection::vec(0u64..50, 5..9)) {
+            prop_assert!((5..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::StubRng::from_name("t");
+        let mut b = crate::test_runner::StubRng::from_name("t");
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

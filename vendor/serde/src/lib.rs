@@ -1,0 +1,28 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! `Serialize` and `Deserialize` are marker traits blanket-implemented for
+//! every type so generic bounds compile; no actual serialization happens
+//! (the vendored `serde_json` returns errors at runtime, and callers gate
+//! on a runtime probe — see `tests/common/mod.rs` `serde_json_works`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for serde's `Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for serde's `Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// serde's `de` module surface.
+pub mod de {
+    /// Marker for types deserializable without borrowing.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
+
+/// serde's `ser` module surface.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` stub blanket-implements its `Serialize` /
+//! `Deserialize` marker traits for every type, so these derives only need
+//! to *accept* the syntax (including `#[serde(...)]` helper attributes)
+//! and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]`; the serde stub's blanket impl covers it.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]`; the serde stub's blanket impl covers it.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The serde stub underneath is a marker trait with no data model, so real
+//! (de)serialization is impossible here. To match the workspace's runtime
+//! probes, the two halves degrade differently:
+//!
+//! - **Serializers** succeed but emit a `null` placeholder. Callers probe
+//!   fidelity with `serde_json::to_string(&7u32) == Some("7")` (see
+//!   `crates/eval/src/report.rs`) and skip content checks when stubbed.
+//! - **Deserializers** always return [`Error`]. Callers probe with
+//!   `serde_json::from_str::<u32>("1").is_ok()` (`tests/common/mod.rs`)
+//!   and gate JSON-reading paths on it.
+
+use std::fmt;
+
+/// Error returned by the deserialization half of this stub.
+pub struct Error {
+    _priv: (),
+}
+
+impl Error {
+    fn stub() -> Error {
+        Error { _priv: () }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub: deserialization unavailable offline")
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub: deserialization unavailable offline")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> std::io::Error {
+        std::io::Error::other(e)
+    }
+}
+
+/// Stub result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+const PLACEHOLDER: &str = "null";
+
+/// Always fails in the stub.
+pub fn from_str<T: serde::de::DeserializeOwned>(_s: &str) -> Result<T> {
+    Err(Error::stub())
+}
+
+/// Always fails in the stub.
+pub fn from_slice<T: serde::de::DeserializeOwned>(_v: &[u8]) -> Result<T> {
+    Err(Error::stub())
+}
+
+/// Succeeds with a `null` placeholder in the stub.
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Ok(PLACEHOLDER.to_string())
+}
+
+/// Succeeds with a `null` placeholder in the stub.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Ok(PLACEHOLDER.to_string())
+}
+
+/// Writes a `null` placeholder in the stub.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    _value: &T,
+) -> Result<()> {
+    let _ = writer.write_all(PLACEHOLDER.as_bytes());
+    Ok(())
+}
+
+/// Writes a `null` placeholder in the stub.
+pub fn to_writer_pretty<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    writer: W,
+    value: &T,
+) -> Result<()> {
+    to_writer(writer, value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn parse_errors_serialize_placeholders() {
+        assert!(super::from_str::<u32>("1").is_err());
+        assert_eq!(super::to_string(&7u32).unwrap(), "null");
+        let mut sink = Vec::new();
+        super::to_writer_pretty(&mut sink, &7u32).unwrap();
+        assert_eq!(sink, b"null");
+        let io: std::io::Error = super::from_str::<u32>("1").unwrap_err().into();
+        assert!(io.to_string().contains("stub"));
+    }
+}
