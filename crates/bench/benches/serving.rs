@@ -46,7 +46,7 @@ fn stream_spawn_per_batch(
             for (qs, out) in batch.chunks(chunk).zip(results.chunks_mut(chunk)) {
                 scope.spawn(move || {
                     for (q, slot) in qs.iter().zip(out.iter_mut()) {
-                        *slot = Some(index.search(q, params).neighbors.len());
+                        *slot = Some(index.search(q, params).len());
                     }
                 });
             }
@@ -68,7 +68,7 @@ fn stream_on_executor(
         let mut results: Vec<Option<usize>> = vec![None; batch.len()];
         exec.run_scoped(batch.iter().zip(results.iter_mut()).map(|(q, slot)| {
             Box::new(move || {
-                *slot = Some(index.search(q, params).neighbors.len());
+                *slot = Some(index.search(q, params).len());
             }) as Box<dyn FnOnce() + Send + '_>
         }));
         answered += results.into_iter().map(|r| r.unwrap()).sum::<usize>();

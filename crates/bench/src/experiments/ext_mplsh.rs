@@ -54,11 +54,7 @@ pub fn run(cfg: &Config) -> io::Result<()> {
             let mut gqr_found = 0usize;
             for (q, t) in ctx.queries.iter().zip(&ctx.ground_truth) {
                 let res = engine.search(q, &params);
-                gqr_found += res
-                    .neighbors
-                    .iter()
-                    .filter(|(id, _)| t.contains(id))
-                    .count();
+                gqr_found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
             }
             let gqr_time = start.elapsed().as_secs_f64();
             let gqr_recall = gqr_found as f64 / (cfg.k * ctx.queries.len()) as f64;

@@ -88,7 +88,7 @@ pub fn multi_table_curve(
                     items_evaluated: res.stats.items_evaluated,
                     buckets_probed: res.stats.buckets_probed,
                     elapsed: start.elapsed(),
-                    top_ids: res.neighbors.iter().map(|&(id, _)| id).collect(),
+                    top_ids: res.ids.clone(),
                 }
             })
             .collect()

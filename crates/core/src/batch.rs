@@ -7,7 +7,7 @@
 //! [`QueryEngine::search_batch_on`]) instead of spawning fresh threads per
 //! call.
 
-use crate::engine::{QueryEngine, SearchParams, SearchResult};
+use crate::engine::{QueryEngine, SearchParams, SearchResponse};
 use crate::executor::Executor;
 use crate::metrics::metric_name;
 use crate::request::SearchRequest;
@@ -35,7 +35,7 @@ impl<M: HashModel + ?Sized> QueryEngine<'_, M> {
         queries: &[Vec<f32>],
         params: &SearchParams,
         threads: usize,
-    ) -> Vec<SearchResult> {
+    ) -> Vec<SearchResponse> {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -61,7 +61,7 @@ impl<M: HashModel + ?Sized> QueryEngine<'_, M> {
         exec: &Executor,
         queries: &[Vec<f32>],
         params: &SearchParams,
-    ) -> Vec<SearchResult> {
+    ) -> Vec<SearchResponse> {
         // Over-chunk relative to the worker count so an unlucky slow chunk
         // doesn't serialize the tail of the batch.
         let jobs = (exec.workers() * 4).max(1);
@@ -74,9 +74,9 @@ impl<M: HashModel + ?Sized> QueryEngine<'_, M> {
         queries: &[Vec<f32>],
         params: &SearchParams,
         jobs: usize,
-    ) -> Vec<SearchResult> {
+    ) -> Vec<SearchResponse> {
         let wall = Instant::now();
-        let mut results: Vec<Option<SearchResult>> = vec![None; queries.len()];
+        let mut results: Vec<Option<SearchResponse>> = vec![None; queries.len()];
         if !queries.is_empty() {
             let chunk = queries.len().div_ceil(jobs.min(queries.len()));
             exec.run_scoped(queries.chunks(chunk).zip(results.chunks_mut(chunk)).map(
@@ -118,7 +118,7 @@ impl<M: HashModel + ?Sized> QueryEngine<'_, M> {
 }
 
 /// Convenience: aggregate recall of a result batch against ground truth.
-pub fn batch_recall(results: &[SearchResult], truth: &[Vec<u32>]) -> f64 {
+pub fn batch_recall(results: &[SearchResponse], truth: &[Vec<u32>]) -> f64 {
     assert_eq!(results.len(), truth.len());
     if results.is_empty() {
         return 1.0;
@@ -132,11 +132,7 @@ pub fn batch_recall(results: &[SearchResult], truth: &[Vec<u32>]) -> f64 {
         // Hash the truth row once; probing it per neighbor keeps the whole
         // aggregation linear instead of |neighbors|×|truth| per query.
         let truth_set: std::collections::HashSet<u32> = t.iter().copied().collect();
-        let found = res
-            .neighbors
-            .iter()
-            .filter(|(id, _)| truth_set.contains(id))
-            .count();
+        let found = res.ids.iter().filter(|id| truth_set.contains(id)).count();
         acc += found as f64 / t.len() as f64;
     }
     acc / results.len() as f64
@@ -212,7 +208,7 @@ mod tests {
         let parallel = engine.search_batch(&queries, &params, 4);
         assert_eq!(serial.len(), parallel.len());
         for (a, b) in serial.iter().zip(&parallel) {
-            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.ranked(), b.ranked());
         }
     }
 
@@ -235,7 +231,7 @@ mod tests {
         let pooled = engine.search_batch_on(&exec, &queries, &params);
         assert_eq!(serial.len(), pooled.len());
         for (a, b) in serial.iter().zip(&pooled) {
-            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.ranked(), b.ranked());
         }
     }
 

@@ -12,6 +12,7 @@ use crate::metrics::{
 use crate::probe::mih::MihIndex;
 use crate::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
 use crate::request::SearchRequest;
+pub use crate::response::{Checkpoint, SearchResponse};
 use crate::stats::ProbeStats;
 use crate::table::HashTable;
 use crate::topk::TopK;
@@ -86,6 +87,53 @@ pub struct SearchParams {
     /// buckets — a bucket in flight is finished, so treat this as a soft
     /// deadline of one bucket's granularity).
     pub time_limit: Option<Duration>,
+    /// Absolute deadline for the request. Execution surfaces fold it into
+    /// the soft `time_limit` (tighter of the two wins) and count a deadline
+    /// miss when they finish late; the executor drops queued work whose
+    /// deadline already passed. Unlike `time_limit` (per-search, relative),
+    /// the deadline is end-to-end: queue wait spends it too.
+    pub deadline: Option<Instant>,
+    /// Caller identity for per-client accounting (quota buckets, shed
+    /// attribution in the serving layer). Purely observational inside the
+    /// engine — it never changes what a search returns.
+    pub client_id: Option<ClientId>,
+}
+
+/// A compact caller identity carried on [`SearchParams::client_id`].
+///
+/// Opaque 64-bit token; build one from a wire-level client name with
+/// [`ClientId::from_name`] (stable FNV-1a hash, so the same header value
+/// maps to the same id across processes) or wrap a known numeric id with
+/// [`ClientId::new`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ClientId(u64);
+
+impl ClientId {
+    /// Wrap a known numeric client id.
+    pub const fn new(id: u64) -> ClientId {
+        ClientId(id)
+    }
+
+    /// Derive a stable id from a client name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> ClientId {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        ClientId(h)
+    }
+
+    /// The raw 64-bit value.
+    pub const fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ClientId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
 }
 
 impl Default for SearchParams {
@@ -97,6 +145,8 @@ impl Default for SearchParams {
             early_stop: false,
             max_buckets: None,
             time_limit: None,
+            deadline: None,
+            client_id: None,
         }
     }
 }
@@ -223,41 +273,25 @@ impl SearchParamsBuilder {
         self
     }
 
+    /// Absolute end-to-end deadline for the request (see
+    /// [`SearchParams::deadline`]).
+    pub fn deadline(mut self, at: Instant) -> Self {
+        self.params.deadline = Some(at);
+        self
+    }
+
+    /// Caller identity for per-client accounting (see
+    /// [`SearchParams::client_id`]).
+    pub fn client_id(mut self, id: ClientId) -> Self {
+        self.params.client_id = Some(id);
+        self
+    }
+
     /// Validate and produce the parameters.
     pub fn build(self) -> Result<SearchParams, ParamError> {
         self.params.validate()?;
         Ok(self.params)
     }
-}
-
-/// Result of one search.
-#[derive(Clone, Debug)]
-pub struct SearchResult {
-    /// `(item id, squared distance)`, ascending by distance, length ≤ k.
-    pub neighbors: Vec<(u32, f32)>,
-    /// Probe instrumentation.
-    pub stats: ProbeStats,
-    /// Mid-search snapshots, one per budget the request asked for via
-    /// [`SearchRequest::checkpoints`]; empty otherwise.
-    pub checkpoints: Vec<Checkpoint>,
-}
-
-/// State of the running top-k recorded mid-search (drives recall–time and
-/// recall–items curves without re-running the search per budget).
-#[derive(Clone, Debug)]
-pub struct Checkpoint {
-    /// Candidate budget this checkpoint corresponds to.
-    pub budget: usize,
-    /// Items actually evaluated when the checkpoint fired (≥ budget unless
-    /// the table ran out).
-    pub items_evaluated: usize,
-    /// Buckets probed so far.
-    pub buckets_probed: usize,
-    /// Wall-clock time since the search started (includes the prober's
-    /// upfront sorting, so HR/QR's slow start is visible here).
-    pub elapsed: Duration,
-    /// Unordered ids of the current top-k.
-    pub top_ids: Vec<u32>,
 }
 
 /// An owned or borrowed MIH side index. [`QueryEngine::enable_mih`] builds
@@ -457,17 +491,16 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
 
     /// The single front door: execute one [`SearchRequest`] — query,
     /// parameters, and any combination of checkpoints, a filter, and a
-    /// deadline. [`QueryEngine::search`] is a thin wrapper over this, as
-    /// are the deprecated `search_traced`/`search_filtered`; the
-    /// [`Index`](crate::index::Index) trait exposes this method across
-    /// every index shape.
+    /// deadline. [`QueryEngine::search`] is a thin convenience wrapper over
+    /// this; the [`Index`](crate::index::Index) trait exposes this method
+    /// across every index shape.
     ///
-    /// A request [`deadline`](SearchRequest::deadline) is folded into the
+    /// A request [`deadline`](SearchParams::deadline) is folded into the
     /// params' soft [`time_limit`](SearchParams::time_limit) (whichever is
     /// tighter wins); a request whose deadline already passed returns an
     /// empty result immediately. When the engine finishes past the deadline
     /// the `gqr_request_deadline_missed_total` counter is bumped.
-    pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+    pub fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         SCRATCH.with_borrow_mut(|scratch| self.run_with_scratch(req, scratch))
     }
 
@@ -480,10 +513,11 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         &self,
         req: SearchRequest<'_>,
         scratch: &mut ScoreBlock,
-    ) -> SearchResult {
+    ) -> SearchResponse {
         let parts = req.into_parts();
         let (query, budgets) = (parts.query, parts.budgets);
-        let (mut params, mut filter, deadline) = (parts.params, parts.filter, parts.deadline);
+        let (mut params, mut filter) = (parts.params, parts.filter);
+        let deadline = params.deadline;
         scratch.ensure_dim(self.dim);
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         debug_assert!(
@@ -533,6 +567,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
             ),
         };
         result.checkpoints = checkpoints;
+        result.trace_id = trace.id();
         let missed = deadline.is_some_and(|d| Instant::now() > d);
         if missed {
             self.metrics.incr(&metric_name(
@@ -553,43 +588,8 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
     }
 
     /// k-NN search with the given parameters.
-    pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+    pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResponse {
         self.run(SearchRequest::new(query).params(*params))
-    }
-
-    /// k-NN search that additionally snapshots the running top-k at each
-    /// candidate `budget` (ascending). The final result uses the full
-    /// `params.n_candidates` budget.
-    #[deprecated(note = "use run(SearchRequest)")]
-    pub fn search_traced(
-        &self,
-        query: &[f32],
-        params: &SearchParams,
-        budgets: &[usize],
-    ) -> (SearchResult, Vec<Checkpoint>) {
-        let mut result = self.run(
-            SearchRequest::new(query)
-                .params(*params)
-                .checkpoints(budgets),
-        );
-        let checkpoints = std::mem::take(&mut result.checkpoints);
-        (result, checkpoints)
-    }
-
-    /// k-NN restricted to items accepted by `filter` (attribute-constrained
-    /// search). Items rejected by the predicate are skipped *before* the
-    /// distance computation and do not count toward the candidate budget,
-    /// so the search keeps probing until it has evaluated `n_candidates`
-    /// *matching* items (or another stop criterion fires). Supported by
-    /// every strategy, MIH included.
-    #[deprecated(note = "use run(SearchRequest)")]
-    pub fn search_filtered(
-        &self,
-        query: &[f32],
-        params: &SearchParams,
-        filter: impl FnMut(u32) -> bool,
-    ) -> SearchResult {
-        self.run(SearchRequest::new(query).params(*params).filter(filter))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -603,7 +603,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         scratch: &mut ScoreBlock,
         trace: &TraceContext,
         troot: SpanId,
-    ) -> (SearchResult, Vec<Checkpoint>) {
+    ) -> (SearchResponse, Vec<Checkpoint>) {
         let mut spans = PhaseSpans::new(&self.metrics);
         let t = spans.begin();
         let ts = trace.begin_opt(troot, Phase::HashQuery.as_str(), t);
@@ -750,14 +750,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         #[cfg(debug_assertions)]
         stats.checked_invariants();
         self.flush_spans(&spans, params.strategy.name(), start.elapsed());
-        (
-            SearchResult {
-                neighbors,
-                stats,
-                checkpoints: Vec::new(),
-            },
-            checkpoints,
-        )
+        (SearchResponse::from_ranked(neighbors, stats), checkpoints)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -771,7 +764,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         scratch: &mut ScoreBlock,
         trace: &TraceContext,
         troot: SpanId,
-    ) -> (SearchResult, Vec<Checkpoint>) {
+    ) -> (SearchResponse, Vec<Checkpoint>) {
         let mih = self
             .mih
             .as_ref()
@@ -866,14 +859,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         #[cfg(debug_assertions)]
         stats.checked_invariants();
         self.flush_spans(&spans, params.strategy.name(), start.elapsed());
-        (
-            SearchResult {
-                neighbors,
-                stats,
-                checkpoints: Vec::new(),
-            },
-            checkpoints,
-        )
+        (SearchResponse::from_ranked(neighbors, stats), checkpoints)
     }
 
     fn snapshot(
@@ -949,9 +935,8 @@ mod tests {
                 ..Default::default()
             };
             let res = engine.search(&q, &params);
-            let ids: Vec<u32> = res.neighbors.iter().map(|&(i, _)| i).collect();
             assert_eq!(
-                ids,
+                res.ids,
                 expect,
                 "strategy {} must find exact kNN when probing everything",
                 strategy.name()
@@ -980,7 +965,7 @@ mod tests {
             };
             let a = engine.search(&q, &pq);
             let b = engine.search(&q, &pg);
-            assert_eq!(a.neighbors, b.neighbors, "budget {budget}");
+            assert_eq!(a.ranked(), b.ranked(), "budget {budget}");
             assert_eq!(a.stats.items_evaluated, b.stats.items_evaluated);
         }
     }
@@ -1035,7 +1020,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn checkpoints_record_monotone_progress() {
         let (data, model, table) = engine_fixture();
         let engine = QueryEngine::new(&model, &table, &data, 2);
@@ -1047,7 +1031,13 @@ mod tests {
             ..Default::default()
         };
         let budgets = [10usize, 50, 100, 400];
-        let (_, cps) = engine.search_traced(&[10.0, 10.0], &params, &budgets);
+        let cps = engine
+            .run(
+                SearchRequest::new(&[10.0, 10.0])
+                    .params(params)
+                    .checkpoints(&budgets),
+            )
+            .checkpoints;
         assert_eq!(cps.len(), budgets.len());
         for (cp, &b) in cps.iter().zip(&budgets) {
             assert_eq!(cp.budget, b);
@@ -1080,7 +1070,7 @@ mod tests {
         };
         let a = engine.search(&q, &base);
         let b = engine.search(&q, &with_stop);
-        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.ranked(), b.ranked());
         assert!(
             b.stats.buckets_probed <= a.stats.buckets_probed,
             "early stop may only reduce probing"
@@ -1162,8 +1152,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn run_is_the_front_door_for_all_wrappers() {
+    fn run_is_the_front_door_for_every_request_shape() {
         let (data, model, table) = engine_fixture();
         let engine = QueryEngine::new(&model, &table, &data, 2);
         let q = [7.3f32, 11.2];
@@ -1176,28 +1165,37 @@ mod tests {
         };
         let via_run = engine.run(SearchRequest::new(&q).params(params));
         let via_search = engine.search(&q, &params);
-        assert_eq!(via_run.neighbors, via_search.neighbors);
+        assert_eq!(via_run.ranked(), via_search.ranked());
         assert!(via_run.checkpoints.is_empty());
 
         let budgets = [10usize, 50];
-        let via_run = engine.run(SearchRequest::new(&q).params(params).checkpoints(&budgets));
-        let (res, cps) = engine.search_traced(&q, &params, &budgets);
-        assert_eq!(via_run.checkpoints.len(), 2);
-        assert_eq!(cps.len(), 2);
-        assert_eq!(via_run.neighbors, res.neighbors);
-        assert!(
-            res.checkpoints.is_empty(),
-            "search_traced moves checkpoints out of the result"
-        );
+        let traced = engine.run(SearchRequest::new(&q).params(params).checkpoints(&budgets));
+        assert_eq!(traced.checkpoints.len(), 2);
+        assert_eq!(traced.ranked(), via_run.ranked());
 
-        let via_run = engine.run(
+        let filtered = engine.run(
             SearchRequest::new(&q)
                 .params(params)
                 .filter(|id: u32| id.is_multiple_of(2)),
         );
-        let via_filtered = engine.search_filtered(&q, &params, |id| id % 2 == 0);
-        assert_eq!(via_run.neighbors, via_filtered.neighbors);
-        assert!(via_run.neighbors.iter().all(|&(id, _)| id % 2 == 0));
+        assert!(filtered.ids.iter().all(|id| id % 2 == 0));
+        assert!(!filtered.is_empty());
+    }
+
+    #[test]
+    fn client_id_is_stable_and_printable() {
+        let a = ClientId::from_name("tenant-a");
+        assert_eq!(a, ClientId::from_name("tenant-a"));
+        assert_ne!(a, ClientId::from_name("tenant-b"));
+        assert_eq!(ClientId::new(7).get(), 7);
+        assert_eq!(format!("{}", ClientId::new(0xAB)), "00000000000000ab");
+        let p = SearchParams::for_k(3)
+            .client_id(a)
+            .deadline(Instant::now() + Duration::from_secs(1))
+            .build()
+            .unwrap();
+        assert_eq!(p.client_id, Some(a));
+        assert!(p.deadline.is_some());
     }
 
     #[test]
@@ -1218,7 +1216,7 @@ mod tests {
                 .params(params)
                 .deadline(past),
         );
-        assert!(res.neighbors.is_empty(), "no time to probe anything");
+        assert!(res.is_empty(), "no time to probe anything");
         assert_eq!(
             metrics.counter_value("gqr_request_deadline_missed_total{strategy=\"GQR\"}"),
             Some(1)

@@ -331,6 +331,23 @@ impl Executor {
         self.submit_inner(None, f, false)
     }
 
+    /// Non-blocking deadline submit: the admission-control primitive the
+    /// serving layer runs on. Errs with [`SubmitError::QueueFull`] instead
+    /// of waiting for queue space (overload turns into an immediate shed,
+    /// never a growing queue), and a job dequeued after `deadline` is
+    /// skipped, resolving the ticket to [`JobError::DeadlineMissed`].
+    pub fn try_submit_with_deadline<T, F>(
+        &self,
+        deadline: Instant,
+        f: F,
+    ) -> Result<Ticket<T>, SubmitError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.submit_inner(Some(deadline), f, false)
+    }
+
     fn submit_inner<T, F>(
         &self,
         deadline: Option<Instant>,

@@ -5,13 +5,13 @@
 //! [`MultiTableIndex`], and the epoch-versioned [`MutableIndex`] /
 //! [`ShardedMutableIndex`] pair — and each grew its own ad-hoc search
 //! surface over time. [`Index`] is the common denominator: build a
-//! [`SearchRequest`], call [`run`](Index::run), get a [`SearchResult`].
+//! [`SearchRequest`], call [`run`](Index::run), get a [`SearchResponse`].
 //! Code written against `&dyn Index` (services, benchmarks, evaluation
-//! harnesses) works unchanged across all of them; the legacy
-//! `search_traced` / `search_filtered` / `search_on` wrappers are
-//! deprecated in favor of this path.
+//! harnesses) works unchanged across all of them; this request/response
+//! pair is the only query entry point (the legacy per-feature wrappers
+//! are gone).
 
-use crate::engine::{QueryEngine, SearchResult};
+use crate::engine::{QueryEngine, SearchResponse};
 use crate::live::{MutableIndex, ShardedMutableIndex};
 use crate::metrics::MetricsRegistry;
 use crate::multi_table::MultiTableIndex;
@@ -29,7 +29,7 @@ use gqr_l2h::HashModel;
 /// pinned-generation queries) stay on the concrete types.
 pub trait Index {
     /// Execute one search request.
-    fn run(&self, req: SearchRequest<'_>) -> SearchResult;
+    fn run(&self, req: SearchRequest<'_>) -> SearchResponse;
 
     /// Number of items the index currently answers for.
     fn n_items(&self) -> usize;
@@ -39,7 +39,7 @@ pub trait Index {
 }
 
 impl<M: HashModel + ?Sized> Index for QueryEngine<'_, M> {
-    fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+    fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         QueryEngine::run(self, req)
     }
 
@@ -53,7 +53,7 @@ impl<M: HashModel + ?Sized> Index for QueryEngine<'_, M> {
 }
 
 impl<M: HashModel + ?Sized + Sync> Index for ShardedIndex<'_, M> {
-    fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+    fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         ShardedIndex::run(self, req)
     }
 
@@ -67,7 +67,7 @@ impl<M: HashModel + ?Sized + Sync> Index for ShardedIndex<'_, M> {
 }
 
 impl Index for MultiTableIndex<'_> {
-    fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+    fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         MultiTableIndex::run(self, req)
     }
 
@@ -81,7 +81,7 @@ impl Index for MultiTableIndex<'_> {
 }
 
 impl<M: HashModel + ?Sized + 'static> Index for MutableIndex<M> {
-    fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+    fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         MutableIndex::run(self, req)
     }
 
@@ -95,7 +95,7 @@ impl<M: HashModel + ?Sized + 'static> Index for MutableIndex<M> {
 }
 
 impl<M: HashModel + ?Sized + 'static> Index for ShardedMutableIndex<M> {
-    fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+    fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         ShardedMutableIndex::run(self, req)
     }
 
@@ -133,8 +133,8 @@ mod tests {
             ..Default::default()
         };
         let res = index.run(SearchRequest::new(q).params(params));
-        assert_eq!(res.neighbors.len(), k);
-        res.neighbors.into_iter().map(|(id, _)| id).collect()
+        assert_eq!(res.len(), k);
+        res.ids
     }
 
     #[test]

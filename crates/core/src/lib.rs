@@ -45,7 +45,7 @@
 //!
 //! let params = SearchParams { k: 5, n_candidates: 50, ..Default::default() };
 //! let result = engine.search(&[3.0, 4.0], &params);
-//! assert_eq!(result.neighbors.len(), 5);
+//! assert_eq!(result.len(), 5);
 //! ```
 
 #![warn(missing_docs)]
@@ -61,6 +61,7 @@ pub mod persist;
 pub mod probe;
 pub mod range;
 pub mod request;
+pub mod response;
 pub mod shard;
 pub mod stats;
 pub mod table;
@@ -68,7 +69,7 @@ pub mod topk;
 
 pub use code::{hamming, quantization_distance};
 pub use engine::{
-    ParamError, ProbeStrategy, QueryEngine, SearchParams, SearchParamsBuilder, SearchResult,
+    ClientId, ParamError, ProbeStrategy, QueryEngine, SearchParams, SearchParamsBuilder,
 };
 pub use executor::{Executor, ExecutorBuilder, JobError, SubmitError, Ticket};
 pub use gqr_metrics::{MetricsRegistry, MetricsSnapshot, Phase, PhaseSpans};
@@ -82,6 +83,7 @@ pub use persist::{
 };
 pub use probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
 pub use request::SearchRequest;
+pub use response::{Checkpoint, SearchResponse};
 pub use shard::{ShardBuildError, ShardedIndex, ShardedIndexBuilder};
 pub use stats::ProbeStats;
 pub use table::HashTable;

@@ -46,7 +46,7 @@
 //! the residue class `id ≡ s (mod S)` — mutations route by `id % S`
 //! without any shared allocator.
 
-use crate::engine::{QueryEngine, SearchResult};
+use crate::engine::{QueryEngine, SearchResponse};
 use crate::executor::Executor;
 use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, SpanId};
 use crate::persist::{corrupt, PersistError, SectionKind, SnapshotFile, SnapshotWriter};
@@ -562,9 +562,10 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
     /// filter speaks external ids. Checkpoints are rejected (per-segment
     /// snapshots cannot be merged); a deadline tightens the per-segment
     /// soft time limit.
-    fn run_pinned(&self, gen: &Generation, req: SearchRequest<'_>) -> SearchResult {
+    fn run_pinned(&self, gen: &Generation, req: SearchRequest<'_>) -> SearchResponse {
         let parts = req.into_parts();
-        let (query, mut params, deadline) = (parts.query, parts.params, parts.deadline);
+        let (query, mut params) = (parts.query, parts.params);
+        let deadline = params.deadline;
         let mut filter = parts.filter;
         assert!(
             parts.budgets.is_empty(),
@@ -619,7 +620,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
             let res = self.segment_engine(seg, label).run(seg_req);
             lane.end(seg_span);
             stats.merge(&res.stats);
-            for (local, dist) in res.neighbors {
+            for (local, dist) in res.neighbors() {
                 topk.push(dist, local + offset);
             }
         }
@@ -648,14 +649,13 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
                 trace.marker(troot, MarkerKind::DeadlineMiss, over_ns, 0);
             }
         }
+        let trace_id = trace.id();
         if owned_trace {
             self.metrics.trace_finish(trace, missed);
         }
-        SearchResult {
-            neighbors,
-            stats,
-            checkpoints: Vec::new(),
-        }
+        let mut out = SearchResponse::from_ranked(neighbors, stats);
+        out.trace_id = trace_id;
+        out
     }
 
     /// Persist the store as a snapshot: the standard one-shard sections
@@ -942,8 +942,8 @@ impl<M: HashModel + ?Sized + 'static> MutableIndexBuilder<M> {
 ///
 /// let params = SearchParams::for_k(5).candidates(1_000).build().unwrap();
 /// let res = index.run(SearchRequest::new(&[3.0, 4.0]).params(params));
-/// assert_eq!(res.neighbors[0].0, id, "the fresh insert is its own 1-NN");
-/// assert!(res.neighbors.iter().all(|&(got, _)| got != 5), "deleted id is masked");
+/// assert_eq!(res.ids[0], id, "the fresh insert is its own 1-NN");
+/// assert!(res.ids.iter().all(|&got| got != 5), "deleted id is masked");
 /// ```
 pub struct MutableIndex<M: HashModel + ?Sized = dyn HashModel> {
     store: Arc<VersionedStore<M>>,
@@ -992,7 +992,7 @@ impl<M: HashModel + ?Sized + 'static> MutableIndex<M> {
 
     /// Execute one request against the current generation. See
     /// [`MutableIndex::run_pinned`] for the delta/tombstone semantics.
-    pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+    pub fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         let gen = self.store.pin();
         self.store.run_pinned(&gen, req)
     }
@@ -1003,7 +1003,7 @@ impl<M: HashModel + ?Sized + 'static> MutableIndex<M> {
     /// evaluate time before any distance is computed, and the per-segment
     /// top-k merge to the global result. Neighbor ids are external ids; a
     /// request filter also speaks external ids. Checkpoints are rejected.
-    pub fn run_pinned(&self, gen: &Generation, req: SearchRequest<'_>) -> SearchResult {
+    pub fn run_pinned(&self, gen: &Generation, req: SearchRequest<'_>) -> SearchResponse {
         self.store.run_pinned(gen, req)
     }
 
@@ -1401,9 +1401,10 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
     /// Execute one request serially across the shards and merge the
     /// per-shard top-k (external ids throughout). Checkpoints are
     /// rejected; filters compose (shards already speak external ids).
-    pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+    pub fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         let parts = req.into_parts();
-        let (query, params, deadline) = (parts.query, parts.params, parts.deadline);
+        let (query, params) = (parts.query, parts.params);
+        let deadline = params.deadline;
         let mut filter = parts.filter;
         assert!(
             parts.budgets.is_empty(),
@@ -1420,7 +1421,7 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
             }
         };
         let fanout = trace.begin_arg(troot, "fanout", self.shards.len() as u64);
-        let results: Vec<SearchResult> = self
+        let results: Vec<SearchResponse> = self
             .shards
             .iter()
             .enumerate()
@@ -1433,16 +1434,14 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
                 if let Some(f) = filter.as_deref_mut() {
                     shard_req = shard_req.filter(|id: u32| f(id));
                 }
-                if let Some(d) = deadline {
-                    shard_req = shard_req.deadline(d);
-                }
                 let res = shard.run(shard_req);
                 lane.end(shard_span);
                 res
             })
             .collect();
         trace.end(fanout);
-        let merged = merge_ext(params.k, results);
+        let mut merged = merge_ext(params.k, results);
+        merged.trace_id = trace.id();
         if owned_trace {
             let missed = deadline.is_some_and(|d| Instant::now() > d);
             self.metrics.trace_finish(trace, missed);
@@ -1453,12 +1452,13 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
     /// Execute one request by fanning the shards out as one job each on
     /// `exec`. Filtered requests fall back to the serial path (a `FnMut`
     /// filter cannot be shared across concurrent shards).
-    pub fn run_on(&self, exec: &Executor, req: SearchRequest<'_>) -> SearchResult {
+    pub fn run_on(&self, exec: &Executor, req: SearchRequest<'_>) -> SearchResponse {
         if req.has_filter() {
             return self.run(req);
         }
         let parts = req.into_parts();
-        let (query, params, deadline) = (parts.query, parts.params, parts.deadline);
+        let (query, params) = (parts.query, parts.params);
+        let deadline = params.deadline;
         assert!(
             parts.budgets.is_empty(),
             "checkpoints are not supported on the sharded path"
@@ -1474,7 +1474,7 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
             }
         };
         let fanout = trace.begin_arg(troot, "fanout", self.shards.len() as u64);
-        let mut slots: Vec<Option<SearchResult>> = (0..self.shards.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<SearchResponse>> = (0..self.shards.len()).map(|_| None).collect();
         let trace_ref = &trace;
         exec.run_scoped(self.shards.iter().zip(slots.iter_mut()).enumerate().map(
             |(i, (shard, slot))| {
@@ -1487,12 +1487,9 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
                     // 1-based worker id; 0 means the job ran off-pool.
                     let worker = Executor::current_worker_index().map_or(0, |w| w as u64 + 1);
                     let run_span = lane.begin_arg(shard_span, "run", worker);
-                    let mut shard_req = SearchRequest::new(query)
+                    let shard_req = SearchRequest::new(query)
                         .params(params)
                         .with_trace_parent(lane.clone(), run_span);
-                    if let Some(d) = deadline {
-                        shard_req = shard_req.deadline(d);
-                    }
                     *slot = Some(shard.run(shard_req));
                     lane.end(run_span);
                     lane.end(shard_span);
@@ -1504,7 +1501,8 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
             .into_iter()
             .map(|r| r.expect("run_scoped completed every shard"))
             .collect();
-        let merged = merge_ext(params.k, results);
+        let mut merged = merge_ext(params.k, results);
+        merged.trace_id = trace.id();
         if owned_trace {
             let missed = deadline.is_some_and(|d| Instant::now() > d);
             self.metrics.trace_finish(trace, missed);
@@ -1514,20 +1512,16 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
 }
 
 /// Merge per-shard results whose neighbor ids are already external.
-fn merge_ext(k: usize, results: Vec<SearchResult>) -> SearchResult {
+fn merge_ext(k: usize, results: Vec<SearchResponse>) -> SearchResponse {
     let mut topk = TopK::new(k);
     let mut stats = ProbeStats::default();
     for res in results {
         stats.merge(&res.stats);
-        for (id, dist) in res.neighbors {
+        for (id, dist) in res.neighbors() {
             topk.push(dist, id);
         }
     }
-    SearchResult {
-        neighbors: topk.into_sorted(),
-        stats,
-        checkpoints: Vec::new(),
-    }
+    SearchResponse::from_ranked(topk.into_sorted(), stats)
 }
 
 impl<M: HashModel + ?Sized + 'static> std::fmt::Debug for ShardedMutableIndex<M> {
@@ -1579,8 +1573,7 @@ mod tests {
         assert_eq!(index.n_items(), 101);
         assert_eq!(index.epoch(), 1);
         let res = index.run(SearchRequest::new(&[100.5, 100.5]).params(exhaustive(1)));
-        assert_eq!(res.neighbors[0].0, id);
-        assert_eq!(res.neighbors[0].1, 0.0);
+        assert_eq!(res.nearest(), Some((id, 0.0)));
     }
 
     #[test]
@@ -1592,8 +1585,8 @@ mod tests {
         assert!(!writer.delete(999), "never existed");
         assert_eq!(index.n_items(), 49);
         let res = index.run(SearchRequest::new(&[7.0, 0.0]).params(exhaustive(49)));
-        assert_eq!(res.neighbors.len(), 49);
-        assert!(res.neighbors.iter().all(|&(id, _)| id != 7));
+        assert_eq!(res.len(), 49);
+        assert!(res.ids.iter().all(|&id| id != 7));
     }
 
     #[test]
@@ -1603,7 +1596,7 @@ mod tests {
         assert!(writer.upsert(3, &[500.0, 500.0]), "replaced a live row");
         assert_eq!(index.n_items(), 20);
         let res = index.run(SearchRequest::new(&[500.0, 500.0]).params(exhaustive(1)));
-        assert_eq!(res.neighbors[0], (3, 0.0));
+        assert_eq!(res.nearest(), Some((3, 0.0)));
         // New id beyond the allocator: inserted, allocator advances past it.
         assert!(!writer.upsert(64, &[600.0, 600.0]), "fresh id");
         assert_eq!(index.n_items(), 21);
@@ -1620,9 +1613,9 @@ mod tests {
         assert_eq!(gen.epoch(), 0);
         assert_eq!(gen.n_live(), 30, "pinned view unchanged");
         let res = index.run_pinned(&gen, SearchRequest::new(&[0.0, 0.0]).params(exhaustive(30)));
-        assert_eq!(res.neighbors.len(), 30);
-        assert!(res.neighbors.iter().any(|&(id, _)| id == 0));
-        assert!(res.neighbors.iter().all(|&(id, _)| id != 30));
+        assert_eq!(res.len(), 30);
+        assert!(res.ids.contains(&0));
+        assert!(res.ids.iter().all(|&id| id != 30));
     }
 
     #[test]
@@ -1653,8 +1646,8 @@ mod tests {
             };
             let res = index.run(SearchRequest::new(&q).params(params));
             assert_eq!(
-                res.neighbors,
-                reference.neighbors,
+                res.ranked(),
+                reference.ranked(),
                 "strategy {} disagrees under churn",
                 strategy.name()
             );
@@ -1695,10 +1688,7 @@ mod tests {
         );
         // Everything still searchable and ids stable.
         let res = index.run(SearchRequest::new(&[0.5, 50.0]).params(exhaustive(10)));
-        assert!(res
-            .neighbors
-            .iter()
-            .all(|&(id, _)| (100..110).contains(&id)));
+        assert!(res.ids.iter().all(|id| (100..110).contains(id)));
     }
 
     #[test]
@@ -1717,7 +1707,7 @@ mod tests {
         let gen = index.pin();
         assert_eq!(gen.delta_rows() + gen.n_tombstones(), 0);
         let after = index.run(SearchRequest::new(&q).params(exhaustive(15)));
-        assert_eq!(before.neighbors, after.neighbors);
+        assert_eq!(before.ranked(), after.ranked());
     }
 
     #[test]
@@ -1743,8 +1733,8 @@ mod tests {
                 .params(exhaustive(30))
                 .filter(|id| id % 2 == 0),
         );
-        assert!(!res.neighbors.is_empty());
-        assert!(res.neighbors.iter().all(|&(id, _)| id % 2 == 0 && id != 10));
+        assert!(!res.is_empty());
+        assert!(res.ids.iter().all(|&id| id % 2 == 0 && id != 10));
     }
 
     #[test]
@@ -1773,7 +1763,7 @@ mod tests {
         assert!(index.upsert(4, &[88.0, 88.0]));
         assert_eq!(index.n_items(), 105);
         let res = index.run(SearchRequest::new(&[88.0, 88.0]).params(exhaustive(1)));
-        assert_eq!(res.neighbors[0], (4, 0.0));
+        assert_eq!(res.nearest(), Some((4, 0.0)));
     }
 
     #[test]
@@ -1787,8 +1777,8 @@ mod tests {
             let a = flat.run(SearchRequest::new(&q).params(exhaustive(7)));
             let b = sharded.run(SearchRequest::new(&q).params(exhaustive(7)));
             let c = sharded.run_on(&exec, SearchRequest::new(&q).params(exhaustive(7)));
-            assert_eq!(a.neighbors, b.neighbors);
-            assert_eq!(b.neighbors, c.neighbors);
+            assert_eq!(a.ranked(), b.ranked());
+            assert_eq!(b.ranked(), c.ranked());
         }
     }
 
@@ -1822,7 +1812,7 @@ mod tests {
         };
         let a = index.run(SearchRequest::new(&q).params(params));
         let b = reloaded.run(SearchRequest::new(&q).params(params));
-        assert_eq!(a.neighbors, b.neighbors, "bit-identical across reload");
+        assert_eq!(a.ranked(), b.ranked(), "bit-identical across reload");
         // The allocator continues where it left off.
         assert_eq!(reloaded.writer().insert(&[0.0, 0.0]), 79);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -1878,7 +1868,7 @@ mod tests {
         assert!(metrics.counter_value("gqr_compaction_total").unwrap() >= 1);
         assert_eq!(index.n_items(), 114);
         let res = index.run(SearchRequest::new(&[10.0, 0.5]).params(exhaustive(5)));
-        assert!(!res.neighbors.is_empty());
+        assert!(!res.is_empty());
     }
 
     #[test]

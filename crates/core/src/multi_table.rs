@@ -9,7 +9,7 @@
 //! another table are skipped — the de-duplication cost that makes
 //! multi-table setups trade memory for recall.
 
-use crate::engine::{ProbeStrategy, SearchParams, SearchResult};
+use crate::engine::{ProbeStrategy, SearchParams, SearchResponse};
 use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, Phase, PhaseSpans, SpanId};
 use crate::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
 use crate::request::SearchRequest;
@@ -84,7 +84,7 @@ impl<'a> MultiTableIndex<'a> {
     /// k-NN search across all tables (thin wrapper over
     /// [`MultiTableIndex::run`]). Supports the four bucket strategies; MIH
     /// is single-table only.
-    pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+    pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResponse {
         self.run(SearchRequest::new(query).params(*params))
     }
 
@@ -95,9 +95,10 @@ impl<'a> MultiTableIndex<'a> {
     /// `gqr_request_deadline_missed_total`). Items rejected by a filter are
     /// still marked visited, so other tables do not re-collect them.
     /// Checkpoints are not supported on the multi-table path.
-    pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+    pub fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         let parts = req.into_parts();
-        let (query, mut params, deadline) = (parts.query, parts.params, parts.deadline);
+        let (query, mut params) = (parts.query, parts.params);
+        let deadline = params.deadline;
         let mut filter = parts.filter;
         assert!(
             parts.budgets.is_empty(),
@@ -253,14 +254,13 @@ impl<'a> MultiTableIndex<'a> {
                 trace.marker(troot, MarkerKind::DeadlineMiss, over_ns, 0);
             }
         }
+        let trace_id = trace.id();
         if owned_trace {
             self.metrics.trace_finish(trace, missed);
         }
-        SearchResult {
-            neighbors,
-            stats,
-            checkpoints: Vec::new(),
-        }
+        let mut out = SearchResponse::from_ranked(neighbors, stats);
+        out.trace_id = trace_id;
+        out
     }
 }
 
@@ -309,8 +309,7 @@ mod tests {
             .collect();
         d.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let expect: Vec<u32> = d.iter().take(4).map(|&(_, i)| i).collect();
-        let got: Vec<u32> = res.neighbors.iter().map(|&(i, _)| i).collect();
-        assert_eq!(got, expect);
+        assert_eq!(res.ids, expect);
         assert_eq!(res.stats.items_evaluated, 400, "each item evaluated once");
         assert!(
             res.stats.duplicates_skipped >= 400,
@@ -340,7 +339,7 @@ mod tests {
         let s1 = single.search(&q, &params);
         let s3 = triple.search(&q, &params);
         assert!(
-            s3.neighbors[0].1 <= s1.neighbors[0].1,
+            s3.distances[0] <= s1.distances[0],
             "3 tables at least as close"
         );
     }
@@ -395,8 +394,8 @@ mod tests {
                 .params(params)
                 .filter(|id| id % 2 == 0),
         );
-        assert_eq!(res.neighbors.len(), 5);
-        assert!(res.neighbors.iter().all(|&(id, _)| id % 2 == 0));
+        assert_eq!(res.len(), 5);
+        assert!(res.ids.iter().all(|&id| id % 2 == 0));
 
         let capped = idx.run(SearchRequest::new(&[7.0, 7.0]).params(SearchParams {
             max_buckets: Some(3),

@@ -1,17 +1,17 @@
 //! The unified search-request type: one front door for every query shape.
 //!
 //! Before this module the engine grew one entry point per feature —
-//! `search`, `search_traced`, `search_filtered`, and the batch path each
-//! took a different parameter list. A [`SearchRequest`] bundles the query
-//! with [`SearchParams`] and the three optional extras (recall checkpoints,
-//! an attribute filter, an absolute deadline) so every execution surface —
+//! plain, traced, and filtered searches each took a different parameter
+//! list. A [`SearchRequest`] bundles the query with [`SearchParams`] and
+//! the optional extras (recall checkpoints, an attribute filter) so every
+//! execution surface —
 //! [`QueryEngine::run`](crate::engine::QueryEngine::run),
 //! [`MultiTableIndex::run`](crate::multi_table::MultiTableIndex::run), and
 //! [`ShardedIndex::run`](crate::shard::ShardedIndex::run), and
 //! [`MutableIndex::run`](crate::live::MutableIndex::run) — accepts the same
 //! type, and the [`Index`](crate::index::Index) trait abstracts over them.
-//! The old methods survive as deprecated thin wrappers, so no caller
-//! breaks.
+//! This request/[`SearchResponse`](crate::response::SearchResponse) pair is
+//! the *only* query entry point; the legacy per-feature wrappers are gone.
 //!
 //! ```
 //! use gqr_core::engine::{QueryEngine, SearchParams};
@@ -33,7 +33,7 @@
 //!     .params(params)
 //!     .filter(|id| id % 2 == 0);
 //! let result = engine.run(req);
-//! assert!(result.neighbors.iter().all(|&(id, _)| id % 2 == 0));
+//! assert!(result.ids.iter().all(|&id| id % 2 == 0));
 //! ```
 
 use crate::engine::SearchParams;
@@ -54,7 +54,6 @@ pub struct SearchRequest<'a> {
     params: SearchParams,
     budgets: &'a [usize],
     filter: Option<SearchFilter<'a>>,
-    deadline: Option<Instant>,
     trace: bool,
     trace_parent: Option<(TraceContext, SpanId)>,
 }
@@ -67,7 +66,6 @@ impl<'a> SearchRequest<'a> {
             params: SearchParams::default(),
             budgets: &[],
             filter: None,
-            deadline: None,
             trace: false,
             trace_parent: None,
         }
@@ -81,7 +79,7 @@ impl<'a> SearchRequest<'a> {
 
     /// Snapshot the running top-k at each of these candidate budgets
     /// (ascending). The snapshots come back in
-    /// [`SearchResult::checkpoints`](crate::engine::SearchResult::checkpoints).
+    /// [`SearchResponse::checkpoints`](crate::response::SearchResponse::checkpoints).
     pub fn checkpoints(mut self, budgets: &'a [usize]) -> Self {
         self.budgets = budgets;
         self
@@ -97,12 +95,13 @@ impl<'a> SearchRequest<'a> {
         self
     }
 
-    /// Absolute deadline for the request. Execution surfaces fold it into
-    /// the soft per-search time limit (tighter of the two wins) and count a
-    /// deadline miss when they finish late; the executor drops queued work
-    /// whose deadline already passed.
+    /// Absolute deadline for the request — convenience for setting
+    /// [`SearchParams::deadline`] after the fact. Execution surfaces fold
+    /// it into the soft per-search time limit (tighter of the two wins) and
+    /// count a deadline miss when they finish late; the executor drops
+    /// queued work whose deadline already passed.
     pub fn deadline(mut self, at: Instant) -> Self {
-        self.deadline = Some(at);
+        self.params.deadline = Some(at);
         self
     }
 
@@ -151,9 +150,9 @@ impl<'a> SearchRequest<'a> {
         self.filter.is_some()
     }
 
-    /// The absolute deadline, if any.
+    /// The absolute deadline, if any (stored on the params).
     pub fn deadline_at(&self) -> Option<Instant> {
-        self.deadline
+        self.params.deadline
     }
 
     /// Decompose into named [`RequestParts`] for an execution surface.
@@ -163,7 +162,6 @@ impl<'a> SearchRequest<'a> {
             params: self.params,
             budgets: self.budgets,
             filter: self.filter,
-            deadline: self.deadline,
             trace: self.trace,
             trace_parent: self.trace_parent,
         }
@@ -178,7 +176,6 @@ pub(crate) struct RequestParts<'a> {
     pub params: SearchParams,
     pub budgets: &'a [usize],
     pub filter: Option<SearchFilter<'a>>,
-    pub deadline: Option<Instant>,
     /// The request's explicit trace opt-in.
     pub trace: bool,
     /// An already-open trace to emit under instead of starting one.
@@ -192,7 +189,7 @@ impl std::fmt::Debug for SearchRequest<'_> {
             .field("params", &self.params)
             .field("checkpoints", &self.budgets.len())
             .field("filtered", &self.filter.is_some())
-            .field("deadline", &self.deadline)
+            .field("deadline", &self.params.deadline)
             .finish()
     }
 }

@@ -16,7 +16,7 @@
 //! family (phase spans labelled `{shard, strategy}`) and the merge through
 //! `gqr_sharded_*`.
 
-use crate::engine::{QueryEngine, SearchParams, SearchResult};
+use crate::engine::{QueryEngine, SearchParams, SearchResponse};
 use crate::executor::Executor;
 use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, SpanId, TraceContext};
 use crate::persist::{LoadedIndex, PersistError, SnapshotWriter};
@@ -58,7 +58,7 @@ struct Shard<'a> {
 /// let index = ShardedIndex::build(&model, &data, 2, 3);
 /// let params = SearchParams::for_k(5).candidates(100).build().unwrap();
 /// let result = index.search(&[3.0, 4.0], &params);
-/// assert_eq!(result.neighbors.len(), 5);
+/// assert_eq!(result.len(), 5);
 /// ```
 pub struct ShardedIndex<'a, M: HashModel + ?Sized> {
     model: &'a M,
@@ -358,12 +358,13 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
     /// Requests with [checkpoints](SearchRequest::checkpoints) are rejected:
     /// per-shard snapshots cannot be merged into a global running top-k
     /// without the distances the snapshot discards. A request
-    /// [deadline](SearchRequest::deadline) is folded into the per-shard soft
+    /// [deadline](SearchParams::deadline) is folded into the per-shard soft
     /// time limit and a late finish bumps
     /// `gqr_request_deadline_missed_total`.
-    pub fn run(&self, req: SearchRequest<'_>) -> SearchResult {
+    pub fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         let parts = req.into_parts();
-        let (query, mut params, deadline) = (parts.query, parts.params, parts.deadline);
+        let (query, mut params) = (parts.query, parts.params);
+        let deadline = params.deadline;
         let mut filter = parts.filter;
         assert!(
             parts.budgets.is_empty(),
@@ -419,12 +420,13 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
     ///
     /// Filtered requests fall back to the serial path: a `FnMut` filter
     /// cannot be shared across concurrently-searching shards.
-    pub fn run_on(&self, exec: &Executor, req: SearchRequest<'_>) -> SearchResult {
+    pub fn run_on(&self, exec: &Executor, req: SearchRequest<'_>) -> SearchResponse {
         if req.has_filter() {
             return self.run(req);
         }
         let parts = req.into_parts();
-        let (query, mut params, deadline) = (parts.query, parts.params, parts.deadline);
+        let (query, mut params) = (parts.query, parts.params);
+        let deadline = params.deadline;
         assert!(
             parts.budgets.is_empty(),
             "checkpoints are not supported on the sharded path"
@@ -442,7 +444,7 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
         fold_deadline(&mut params, deadline);
         let start = Instant::now();
         let fanout = trace.begin_arg(troot, "fanout", self.shards.len() as u64);
-        let mut slots: Vec<Option<SearchResult>> = (0..self.shards.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<SearchResponse>> = (0..self.shards.len()).map(|_| None).collect();
         let trace_ref = &trace;
         exec.run_scoped(slots.iter_mut().enumerate().map(|(i, slot)| {
             // One display track per shard; `enq` is captured as the job is
@@ -487,15 +489,8 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
 
     /// k-NN search across all shards, serially (thin wrapper over
     /// [`ShardedIndex::run`]).
-    pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+    pub fn search(&self, query: &[f32], params: &SearchParams) -> SearchResponse {
         self.run(SearchRequest::new(query).params(*params))
-    }
-
-    /// k-NN search across all shards on an executor (thin wrapper over
-    /// [`ShardedIndex::run_on`]).
-    #[deprecated(note = "use run_on(exec, SearchRequest)")]
-    pub fn search_on(&self, exec: &Executor, query: &[f32], params: &SearchParams) -> SearchResult {
-        self.run_on(exec, SearchRequest::new(query).params(*params))
     }
 
     /// Merge per-shard results into the global result and flush the
@@ -506,18 +501,18 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
         params: &SearchParams,
         deadline: Option<Instant>,
         start: Instant,
-        shard_results: Vec<SearchResult>,
+        shard_results: Vec<SearchResponse>,
         trace: TraceContext,
         troot: SpanId,
         owned_trace: bool,
-    ) -> SearchResult {
+    ) -> SearchResponse {
         let merge_start = Instant::now();
         let merge_span = trace.begin_at(troot, "merge", merge_start);
         let mut topk = TopK::new(params.k);
         let mut stats = ProbeStats::default();
         for (shard, res) in self.shards.iter().zip(shard_results) {
             stats.merge(&res.stats);
-            for (local, dist) in res.neighbors {
+            for (local, dist) in res.neighbors() {
                 topk.push(dist, local + shard.offset);
             }
         }
@@ -543,14 +538,13 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
                 trace.marker(troot, MarkerKind::DeadlineMiss, over_ns, 0);
             }
         }
+        let trace_id = trace.id();
         if owned_trace {
             self.metrics.trace_finish(trace, missed);
         }
-        SearchResult {
-            neighbors,
-            stats,
-            checkpoints: Vec::new(),
-        }
+        let mut out = SearchResponse::from_ranked(neighbors, stats);
+        out.trace_id = trace_id;
+        out
     }
 }
 
@@ -646,11 +640,11 @@ mod tests {
                 .params(params)
                 .filter(|id| id >= 250),
         );
-        assert!(!res.neighbors.is_empty());
+        assert!(!res.is_empty());
         assert!(
-            res.neighbors.iter().all(|&(id, _)| id >= 250),
+            res.ids.iter().all(|&id| id >= 250),
             "only the last shard's tail matches the filter: {:?}",
-            res.neighbors
+            res.ids
         );
     }
 

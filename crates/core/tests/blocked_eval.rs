@@ -75,7 +75,7 @@ fn odd_dims_match_brute_force_bitwise() {
             };
             let res = engine.search(&q, &params);
             assert_eq!(
-                res.neighbors,
+                res.ranked(),
                 expect,
                 "dim {dim}, {} disagrees with the row kernel",
                 strategy.name()
@@ -114,8 +114,8 @@ fn scratch_capacity_does_not_change_results() {
             let mut scratch = ScoreBlock::with_rows(dim, cap);
             let res = engine.run_with_scratch(SearchRequest::new(&q).params(params), &mut scratch);
             assert_eq!(
-                res.neighbors,
-                baseline.neighbors,
+                res.ranked(),
+                baseline.ranked(),
                 "{} tile capacity {cap} changed the neighbors",
                 strategy.name()
             );
@@ -173,7 +173,7 @@ fn filtered_ragged_tiles_match_reference() {
                     SearchRequest::new(&q).params(params).filter(accept),
                     &mut scratch,
                 );
-                let mut got = res.neighbors.clone();
+                let mut got = res.ranked();
                 got.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
                 assert_eq!(
                     got,
@@ -181,8 +181,8 @@ fn filtered_ragged_tiles_match_reference() {
                     "{} filter '{label}' capacity {cap} disagrees",
                     strategy.name()
                 );
-                for (id, _) in &res.neighbors {
-                    assert!(accept(*id), "filtered-out id {id} leaked into results");
+                for (id, _) in res.neighbors() {
+                    assert!(accept(id), "filtered-out id {id} leaked into results");
                 }
             }
         }
@@ -209,7 +209,7 @@ fn buckets_smaller_than_a_tile() {
             ..Default::default()
         };
         let res = engine.search(&q, &params);
-        assert_eq!(res.neighbors, expect, "{}", strategy.name());
+        assert_eq!(res.ranked(), expect, "{}", strategy.name());
         assert_eq!(res.stats.items_evaluated, 9, "{}", strategy.name());
     }
 }

@@ -35,8 +35,8 @@ fn filter_excludes_rejected_ids() {
             .params(params)
             .filter(|id| id % 2 == 0),
     );
-    assert_eq!(res.neighbors.len(), 10);
-    assert!(res.neighbors.iter().all(|&(id, _)| id % 2 == 0));
+    assert_eq!(res.len(), 10);
+    assert!(res.ids.iter().all(|&id| id % 2 == 0));
 }
 
 #[test]
@@ -61,7 +61,7 @@ fn filtered_exhaustive_matches_brute_force_over_subset() {
         .collect();
     brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
     brute.truncate(5);
-    assert_eq!(res.neighbors, brute);
+    assert_eq!(res.ranked(), brute);
 }
 
 #[test]
@@ -106,7 +106,7 @@ fn reject_all_returns_empty() {
             .params(params)
             .filter(|_| false),
     );
-    assert!(res.neighbors.is_empty());
+    assert!(res.is_empty());
     assert_eq!(res.stats.items_evaluated, 0);
 }
 
@@ -134,7 +134,7 @@ fn mih_filtered_matches_brute_force_over_subset() {
         .collect();
     brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
     brute.truncate(8);
-    assert_eq!(res.neighbors, brute);
+    assert_eq!(res.ranked(), brute);
     // Rejected items never consume evaluation budget.
     assert_eq!(res.stats.items_evaluated, 2000 / 4);
 }

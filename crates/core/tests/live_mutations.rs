@@ -104,12 +104,12 @@ fn churned_index_returns_only_live_ids_and_exact_neighbors() {
         for q in queries() {
             let res = index.run(SearchRequest::new(&q).params(params));
             assert_eq!(
-                res.neighbors,
+                res.ranked(),
                 brute_force(&live, &q, 10),
                 "strategy={} q={q:?}",
                 strategy.name()
             );
-            assert!(res.neighbors.iter().all(|&(id, _)| live.contains_key(&id)));
+            assert!(res.ids.iter().all(|&id| live.contains_key(&id)));
         }
     }
 }
@@ -146,8 +146,8 @@ fn compaction_is_invisible_to_queries_for_every_strategy() {
             let before = fragmented.run(SearchRequest::new(&q).params(params));
             let after = compacted.run(SearchRequest::new(&q).params(params));
             assert_eq!(
-                after.neighbors,
-                before.neighbors,
+                after.ranked(),
+                before.ranked(),
                 "strategy={} q={q:?}",
                 strategy.name()
             );
@@ -179,7 +179,7 @@ fn filter_composes_with_tombstones() {
             .params(params)
             .filter(accept),
     );
-    assert_eq!(res.neighbors, want);
+    assert_eq!(res.ranked(), want);
 }
 
 #[test]
@@ -209,7 +209,7 @@ fn snapshot_round_trips_delta_and_tombstones() {
     for q in queries() {
         let want = index.run(SearchRequest::new(&q).params(params));
         let got = loaded.run(SearchRequest::new(&q).params(params));
-        assert_eq!(got.neighbors, want.neighbors, "q={q:?}");
+        assert_eq!(got.ranked(), want.ranked(), "q={q:?}");
     }
 
     // The loaded writer keeps allocating fresh ids, never recycling.

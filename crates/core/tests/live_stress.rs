@@ -59,8 +59,8 @@ fn readers_see_consistent_pinned_generations_during_churn() {
                     epochs_seen.insert(gen.epoch());
                     let live: HashSet<u32> = gen.live_ids().into_iter().collect();
                     let res = index.run_pinned(&gen, SearchRequest::new(&q).params(params));
-                    assert_eq!(res.neighbors.len(), 8.min(live.len()));
-                    for &(id, _) in &res.neighbors {
+                    assert_eq!(res.len(), 8.min(live.len()));
+                    for &id in &res.ids {
                         assert!(
                             live.contains(&id),
                             "reader {r} got id {id} that is dead at epoch {}",

@@ -78,8 +78,8 @@ fn sharded_matches_unsharded_for_all_strategies_and_shard_counts() {
                 let want = reference.search(&q, &params);
                 let got = index.search(&q, &params);
                 assert_eq!(
-                    got.neighbors,
-                    want.neighbors,
+                    got.ranked(),
+                    want.ranked(),
                     "S={s} strategy={} q={q:?}",
                     strategy.name()
                 );
@@ -107,8 +107,8 @@ fn executor_fanout_matches_serial_sharded_path() {
                 let serial = index.search(&q, &params);
                 let pooled = index.run_on(&exec, SearchRequest::new(&q).params(params));
                 assert_eq!(
-                    pooled.neighbors,
-                    serial.neighbors,
+                    pooled.ranked(),
+                    serial.ranked(),
                     "S={s} strategy={}",
                     strategy.name()
                 );
@@ -135,12 +135,12 @@ fn filtered_sharded_matches_filtered_engine() {
                 let want = reference.run(SearchRequest::new(&q).params(params).filter(accept));
                 let got = index.run(SearchRequest::new(&q).params(params).filter(accept));
                 assert_eq!(
-                    got.neighbors,
-                    want.neighbors,
+                    got.ranked(),
+                    want.ranked(),
                     "S={s} strategy={}",
                     strategy.name()
                 );
-                assert!(got.neighbors.iter().all(|&(id, _)| accept(id)));
+                assert!(got.ids.iter().all(|&id| accept(id)));
             }
         }
     }
@@ -161,9 +161,9 @@ fn tight_budgets_still_return_full_result_sets() {
     };
     for q in queries() {
         let res = index.search(&q, &params);
-        assert_eq!(res.neighbors.len(), 10);
+        assert_eq!(res.len(), 10);
         assert!(
-            res.neighbors.windows(2).all(|w| w[0].1 <= w[1].1),
+            res.distances.windows(2).all(|w| w[0] <= w[1]),
             "sorted by distance"
         );
         assert!(

@@ -53,7 +53,7 @@ fn time_limit_zero_stops_after_at_most_one_bucket() {
     // The deadline is checked before each bucket; with a zero deadline the
     // loop exits immediately.
     assert_eq!(res.stats.buckets_probed, 0);
-    assert!(res.neighbors.is_empty());
+    assert!(res.is_empty());
 }
 
 #[test]
@@ -73,8 +73,8 @@ fn generous_limits_do_not_change_results() {
     };
     let q = [10.0f32, 12.0];
     assert_eq!(
-        engine.search(&q, &base).neighbors,
-        engine.search(&q, &limited).neighbors
+        engine.search(&q, &base).ranked(),
+        engine.search(&q, &limited).ranked()
     );
 }
 

@@ -44,7 +44,7 @@ fn deadline_missed_query_is_force_traced_with_marker() {
             .params(params)
             .deadline(Instant::now() - std::time::Duration::from_millis(1)),
     );
-    assert!(res.neighbors.is_empty(), "expired deadline returns empty");
+    assert!(res.is_empty(), "expired deadline returns empty");
     assert_eq!(
         metrics.counter_value("gqr_request_deadline_missed_total{strategy=\"GQR\"}"),
         Some(1)
@@ -89,7 +89,7 @@ fn empty_index_query_records_well_formed_trace() {
         ..Default::default()
     };
     let res = engine.search(&[10.0, 10.0], &params);
-    assert!(res.neighbors.is_empty());
+    assert!(res.is_empty());
     let tracing = metrics.tracing().unwrap();
     let store = tracing.store();
     assert_eq!(store.pushed(), 1, "empty-index query must still flush");
@@ -121,7 +121,7 @@ fn filter_rejecting_everything_keeps_zero_and_flushes() {
             .filter(|_| false)
             .trace(),
     );
-    assert!(res.neighbors.is_empty());
+    assert!(res.is_empty());
     let tracing = metrics.tracing().unwrap();
     let store = tracing.store();
     assert_eq!(store.pushed(), 2, "opt-in trace must be recorded");

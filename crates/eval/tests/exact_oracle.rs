@@ -88,7 +88,7 @@ fn full_budget_matches_oracle_exactly() {
         };
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            let mut got: Vec<u32> = res.neighbors.iter().map(|&(id, _)| id).collect();
+            let mut got: Vec<u32> = res.ids.to_vec();
             let mut want = t.clone();
             got.sort_unstable();
             want.sort_unstable();
@@ -137,7 +137,7 @@ fn budgeted_recall_is_pinned() {
         let mut acc = 0.0;
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            let got: Vec<u32> = res.neighbors.iter().map(|&(id, _)| id).collect();
+            let got: Vec<u32> = res.ids.to_vec();
             acc += recall(&got, t);
         }
         let mean = acc / queries.len() as f64;

@@ -1,0 +1,348 @@
+//! Minimal HTTP/1.1 on `std::net`: just enough protocol for the query
+//! front door, parsed defensively.
+//!
+//! The parser is strict where laxness would cost resources: the request
+//! head (request line + headers) is capped at [`MAX_HEAD_BYTES`], bodies at
+//! a server-configured limit, and a declared `Content-Length` that never
+//! arrives is a hard error rather than a hang (the socket carries a read
+//! timeout set by the caller). Chunked transfer encoding is not accepted —
+//! the wire schema is small, clients send `Content-Length`.
+
+use std::io::{self, Read, Write};
+
+/// Cap on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Cap on the number of headers.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Clone, Debug, Default)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercase as sent).
+    pub method: String,
+    /// Request target, e.g. `/search`.
+    pub path: String,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before any request byte: the peer is done, not broken.
+    Closed,
+    /// Protocol violation; the connection must be dropped after the 400.
+    Malformed(&'static str),
+    /// The head exceeded [`MAX_HEAD_BYTES`] or [`MAX_HEADERS`].
+    HeadTooLarge,
+    /// `Content-Length` exceeded the server's body cap.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// EOF or timeout mid-request (head started, or body shorter than
+    /// `Content-Length`).
+    Truncated,
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::HeadTooLarge => write!(f, "request head too large"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds limit of {limit}")
+            }
+            HttpError::Truncated => write!(f, "request truncated"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+/// Read one request from the stream. `max_body` caps `Content-Length`.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    let head = read_head(stream)?;
+    let text = std::str::from_utf8(&head.bytes)
+        .map_err(|_| HttpError::Malformed("head is not valid UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(HttpError::Malformed("bad request line")),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(te) = req.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::Malformed("transfer-encoding not supported"));
+        }
+    }
+    let content_length = match req.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad content-length"))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = head.leftover;
+    if body.len() > content_length {
+        return Err(HttpError::Malformed("body longer than content-length"));
+    }
+    while body.len() < content_length {
+        let mut buf = [0u8; 4096];
+        let want = (content_length - body.len()).min(buf.len());
+        match stream.read(&mut buf[..want]) {
+            Ok(0) => return Err(HttpError::Truncated),
+            Ok(n) => body.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::Truncated)
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    req.body = body;
+    Ok(req)
+}
+
+struct Head {
+    /// Bytes up to (not including) the `\r\n\r\n` terminator.
+    bytes: Vec<u8>,
+    /// Bytes read past the terminator (start of the body).
+    leftover: Vec<u8>,
+}
+
+/// Accumulate until the blank line that ends the head.
+fn read_head(stream: &mut impl Read) -> Result<Head, HttpError> {
+    let mut acc: Vec<u8> = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    loop {
+        if let Some(end) = find_terminator(&acc) {
+            let leftover = acc[end + 4..].to_vec();
+            acc.truncate(end);
+            return Ok(Head {
+                bytes: acc,
+                leftover,
+            });
+        }
+        if acc.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                if acc.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::Truncated);
+            }
+            Ok(n) => acc.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if acc.is_empty() {
+                    return Err(HttpError::Closed);
+                }
+                return Err(HttpError::Truncated);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reason phrases for the statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response. `extra_headers` are emitted verbatim.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_bytes(bytes: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let mut cursor = io::Cursor::new(bytes.to_vec());
+        read_request(&mut cursor, max_body)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\nX-Gqr-Client: abc\r\n\r\nhello";
+        let req = parse_bytes(raw, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.header("x-gqr-client"), Some("abc"));
+        assert_eq!(req.body, b"hello");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x HTTP/9.9\r\n\r\n",
+            b"GET  /x HTTP/1.1\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: zap\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse_bytes(raw, 1024), Err(HttpError::Malformed(_))),
+                "accepted {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_error_not_a_hang() {
+        let raw = b"POST /search HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        assert!(matches!(parse_bytes(raw, 1024), Err(HttpError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_from_the_header_alone() {
+        let raw = b"POST /search HTTP/1.1\r\nContent-Length: 5000\r\n\r\n";
+        match parse_bytes(raw, 1024) {
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                assert_eq!(declared, 5000);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 100));
+        assert!(matches!(
+            parse_bytes(&raw, 1024),
+            Err(HttpError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn clean_eof_reports_closed() {
+        assert!(matches!(parse_bytes(b"", 1024), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn response_writing_golden() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            "application/json",
+            &[("retry-after", "2".to_string())],
+            b"{}",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,490 @@
+//! A small, dependency-free JSON reader/writer for the wire layer.
+//!
+//! The serving crate deliberately avoids serde: the wire schema is tiny,
+//! fixed, and versioned by hand (see [`crate::wire`]), and the server must
+//! not pull the whole derive machinery into the query hot path. This module
+//! is a strict recursive-descent parser over UTF-8 bytes plus a writer that
+//! round-trips everything the schema needs.
+//!
+//! Deviations from full JSON are conservative rejections, never extensions:
+//! input depth is capped (stack safety against `[[[[...` bombs), numbers
+//! must fit `f64`, and top-level scalars are allowed (the RFC 8259 stance).
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved so output is deterministic.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Compact JSON serialization (`to_string` comes via `Display`).
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Json {
+    /// Member lookup on an object (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Append the compact serialization to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Escape-and-quote a string per JSON rules.
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON has no NaN/Inf; map them to null rather than emit invalid output.
+fn write_number(n: f64, out: &mut String) {
+    if n.is_finite() {
+        // Rust's Display for f64 is the shortest round-trip form.
+        out.push_str(&n.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Where and why parsing failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &[u8]) -> Result<Json, JsonError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &[u8], value: Json) -> Result<Json, JsonError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(members)),
+                _ => {
+                    self.pos -= self.pos.min(1);
+                    return Err(self.err("expected ',' or '}' in object"));
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => {
+                    self.pos -= self.pos.min(1);
+                    return Err(self.err("expected ',' or ']' in array"));
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let cp = self.hex4()?;
+                        // Surrogate pairs: a high surrogate must be followed
+                        // by an escaped low surrogate.
+                        let c = if (0xD800..0xDC00).contains(&cp) {
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("unpaired surrogate"));
+                            }
+                            let low = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(cp)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => return Err(self.err("invalid unicode escape")),
+                        }
+                    }
+                    _ => return Err(self.err("invalid escape")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences: back up and take
+                    // the full char from the source slice.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8"))?;
+                        let end = start + len;
+                        let chunk = self
+                            .input
+                            .get(start..end)
+                            .ok_or_else(|| self.err("truncated UTF-8"))?;
+                        let s =
+                            std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            cp = cp * 16 + digit;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_schema_shapes() {
+        let src = br#"{"query":[1.5,-2.0,3e1],"k":10,"flags":{"early_stop":true,"name":"gqr \"v1\""},"extra":null}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(10));
+        assert_eq!(v.get("query").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("query").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(30.0)
+        );
+        let reparsed = parse(v.to_string().as_bytes()).unwrap();
+        assert_eq!(v, reparsed);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            &b"{"[..],
+            b"[1,2,",
+            b"{\"a\" 1}",
+            b"\"unterminated",
+            b"01x",
+            b"nul",
+            b"[1] trailing",
+            b"{\"a\":1,}",
+            b"\"bad \\q escape\"",
+            b"1e999",
+        ] {
+            assert!(
+                parse(bad).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let mut deep = Vec::new();
+        deep.extend(std::iter::repeat_n(b'[', MAX_DEPTH + 2));
+        deep.extend(std::iter::repeat_n(b']', MAX_DEPTH + 2));
+        assert!(parse(&deep).is_err());
+        let mut ok = Vec::new();
+        ok.extend(std::iter::repeat_n(b'[', 8));
+        ok.push(b'1');
+        ok.extend(std::iter::repeat_n(b']', 8));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse(r#""é€ 😀""#.as_bytes()).unwrap();
+        assert_eq!(v.as_str(), Some("é€ 😀"));
+        assert!(parse(br#""\ud800 alone""#).is_err());
+    }
+
+    #[test]
+    fn writer_escapes_and_normalizes() {
+        let v = Json::Obj(vec![
+            ("s".into(), Json::Str("a\"b\\c\nd\u{1}".into())),
+            ("nan".into(), Json::Num(f64::NAN)),
+        ]);
+        assert_eq!(v.to_string(), r#"{"s":"a\"b\\c\nd\u0001","nan":null}"#);
+    }
+}

@@ -1,0 +1,396 @@
+//! Open-loop load generator for the HTTP front door.
+//!
+//! **Open loop** means arrivals are scheduled ahead of time from a Poisson
+//! process at the target QPS and fired at their scheduled instants whether
+//! or not earlier requests have finished — the generator never slows down
+//! because the server does. This is the load shape that actually exposes
+//! queue collapse: a closed-loop client self-throttles and hides it
+//! (coordinated omission). Latency is therefore measured from the
+//! *scheduled* arrival, so time a request spends waiting behind a slow
+//! sender counts against the server, exactly as a real client would see.
+//!
+//! The generator is deliberately dependency-free and in-repo so benches and
+//! `ci.sh` can drive a server without external tooling.
+
+use crate::json::Json;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What to run against which server.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:8080`.
+    pub addr: String,
+    /// Target offered load in queries/second.
+    pub qps: f64,
+    /// Measured window.
+    pub duration: Duration,
+    /// Untimed lead-in at the same rate (fills caches, spins up threads).
+    pub warmup: Duration,
+    /// Sender threads (each keeps one persistent connection).
+    pub senders: usize,
+    /// JSON body sent to `POST /search`.
+    pub body: String,
+    /// Value for the `x-gqr-client` header, if any.
+    pub client: Option<String>,
+    /// RNG seed for the arrival process.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: String::new(),
+            qps: 100.0,
+            duration: Duration::from_secs(2),
+            warmup: Duration::from_millis(200),
+            senders: 4,
+            body: String::new(),
+            client: None,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+/// Aggregated outcome of one load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// The target rate this run offered.
+    pub target_qps: f64,
+    /// Requests fired in the measured window.
+    pub offered: u64,
+    /// 200s.
+    pub completed: u64,
+    /// 429/503/504: the server protecting itself.
+    pub shed: u64,
+    /// Transport failures and any other HTTP status.
+    pub errors: u64,
+    /// Completed requests per second of measured wall time.
+    pub achieved_qps: f64,
+    /// Latency percentiles over *completed* requests, in microseconds,
+    /// measured from scheduled arrival (coordinated-omission-free).
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Worst completed request.
+    pub max_us: u64,
+}
+
+impl LoadReport {
+    /// Fraction of offered requests the server refused.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+
+    /// Serialize for result files.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("target_qps".into(), Json::Num(self.target_qps)),
+            ("offered".into(), Json::Num(self.offered as f64)),
+            ("completed".into(), Json::Num(self.completed as f64)),
+            ("shed".into(), Json::Num(self.shed as f64)),
+            ("errors".into(), Json::Num(self.errors as f64)),
+            ("achieved_qps".into(), Json::Num(self.achieved_qps)),
+            ("p50_us".into(), Json::Num(self.p50_us as f64)),
+            ("p90_us".into(), Json::Num(self.p90_us as f64)),
+            ("p99_us".into(), Json::Num(self.p99_us as f64)),
+            ("p999_us".into(), Json::Num(self.p999_us as f64)),
+            ("max_us".into(), Json::Num(self.max_us as f64)),
+        ])
+    }
+}
+
+/// xorshift64*: deterministic, seedable, no dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in (0, 1].
+    fn next_unit(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// Exponential inter-arrival gap for rate `lambda` (per second).
+    fn next_gap(&mut self, lambda: f64) -> Duration {
+        Duration::from_secs_f64(-self.next_unit().ln() / lambda)
+    }
+}
+
+/// Fire Poisson arrivals at `cfg.qps` for warmup + duration; report on the
+/// measured window only.
+pub fn run(cfg: &LoadgenConfig) -> LoadReport {
+    assert!(cfg.qps > 0.0, "qps must be positive");
+    assert!(cfg.senders >= 1, "need at least one sender");
+
+    // Pre-build the absolute schedule so senders do no RNG work on the
+    // critical path.
+    let mut rng = Rng(cfg.seed | 1);
+    let total = cfg.warmup + cfg.duration;
+    let start = Instant::now() + Duration::from_millis(5);
+    let measure_from = start + cfg.warmup;
+    let mut schedule = Vec::new();
+    let mut t = Duration::ZERO;
+    loop {
+        t += rng.next_gap(cfg.qps);
+        if t >= total {
+            break;
+        }
+        schedule.push(start + t);
+    }
+
+    // Round-robin the schedule over senders: each sender's share stays
+    // time-ordered, so per-sender sends are monotone.
+    let offered = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for sender_idx in 0..cfg.senders {
+            let schedule = &schedule;
+            let offered = &offered;
+            let completed = &completed;
+            let shed = &shed;
+            let errors = &errors;
+            let latencies = &latencies;
+            scope.spawn(move || {
+                let mut conn: Option<TcpStream> = None;
+                let mut local_lat = Vec::new();
+                for at in schedule.iter().skip(sender_idx).step_by(cfg.senders) {
+                    let now = Instant::now();
+                    if *at > now {
+                        std::thread::sleep(*at - now);
+                    }
+                    let measured = *at >= measure_from;
+                    if measured {
+                        offered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    match post_search(&mut conn, cfg) {
+                        Ok(status) => {
+                            if !measured {
+                                continue;
+                            }
+                            match status {
+                                200 => {
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                    let lat = at.elapsed();
+                                    local_lat.push(lat.as_micros() as u64);
+                                }
+                                429 | 503 | 504 => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            conn = None;
+                            if measured {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(local_lat);
+            });
+        }
+    });
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let idx = ((lat.len() as f64) * p).ceil() as usize;
+        lat[idx.clamp(1, lat.len()) - 1]
+    };
+    let completed = completed.into_inner();
+    LoadReport {
+        target_qps: cfg.qps,
+        offered: offered.into_inner(),
+        completed,
+        shed: shed.into_inner(),
+        errors: errors.into_inner(),
+        achieved_qps: completed as f64 / cfg.duration.as_secs_f64(),
+        p50_us: pct(0.50),
+        p90_us: pct(0.90),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        max_us: lat.last().copied().unwrap_or(0),
+    }
+}
+
+/// Run a stepped sweep at each target rate, resting briefly between steps
+/// so one step's backlog cannot bleed into the next measurement.
+pub fn sweep(base: &LoadgenConfig, steps: &[f64]) -> Vec<LoadReport> {
+    let mut reports = Vec::with_capacity(steps.len());
+    for (i, &qps) in steps.iter().enumerate() {
+        let mut cfg = base.clone();
+        cfg.qps = qps;
+        cfg.seed = base
+            .seed
+            .wrapping_add(i as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            | 1;
+        reports.push(run(&cfg));
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    reports
+}
+
+/// POST the configured body on the (lazily re-established) connection and
+/// return the HTTP status.
+fn post_search(conn: &mut Option<TcpStream>, cfg: &LoadgenConfig) -> io::Result<u16> {
+    for attempt in 0..2 {
+        if conn.is_none() {
+            let stream = TcpStream::connect(&cfg.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            stream.set_nodelay(true)?;
+            *conn = Some(stream);
+        }
+        let stream = conn.as_mut().unwrap();
+        let sent = send_request(stream, cfg);
+        match sent.and_then(|()| read_response(stream)) {
+            Ok((status, close)) => {
+                if close {
+                    *conn = None;
+                }
+                return Ok(status);
+            }
+            Err(e) => {
+                // A keep-alive connection the server closed between requests
+                // surfaces as an error on the next use; retry once fresh.
+                *conn = None;
+                if attempt == 1 {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    unreachable!("loop returns on success or second failure")
+}
+
+fn send_request(stream: &mut TcpStream, cfg: &LoadgenConfig) -> io::Result<()> {
+    let mut head = format!(
+        "POST /search HTTP/1.1\r\nhost: {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        cfg.addr,
+        cfg.body.len()
+    );
+    if let Some(client) = &cfg.client {
+        head.push_str("x-gqr-client: ");
+        head.push_str(client);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(cfg.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Parse a response: status code plus whether the server will close.
+fn read_response(stream: &mut TcpStream) -> io::Result<(u16, bool)> {
+    let mut acc = Vec::with_capacity(512);
+    let mut buf = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = acc.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        if acc.len() > 64 * 1024 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "head too big"));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in head"));
+        }
+        acc.extend_from_slice(&buf[..n]);
+    };
+    let head = std::str::from_utf8(&acc[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().unwrap_or(0);
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        }
+    }
+    let mut have = acc.len() - head_end - 4;
+    while have < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in body"));
+        }
+        have += n;
+    }
+    Ok((status, close))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_gaps_average_to_the_rate() {
+        let mut rng = Rng(42);
+        let lambda = 1000.0;
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.next_gap(lambda).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 1.0 / lambda).abs() < 0.05 / lambda * 10.0, "{mean}");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = LoadReport {
+            target_qps: 100.0,
+            offered: 200,
+            completed: 150,
+            shed: 50,
+            errors: 0,
+            achieved_qps: 75.0,
+            p50_us: 100,
+            p90_us: 200,
+            p99_us: 300,
+            p999_us: 400,
+            max_us: 500,
+        };
+        let doc = report.to_json();
+        assert_eq!(doc.get("completed").unwrap().as_u64(), Some(150));
+        assert_eq!(doc.get("p99_us").unwrap().as_u64(), Some(300));
+        assert!((report.shed_rate() - 0.25).abs() < 1e-9);
+    }
+}

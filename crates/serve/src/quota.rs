@@ -1,0 +1,182 @@
+//! Per-client token-bucket quotas.
+//!
+//! Each client (keyed by the `x-gqr-client` header, hashed to a
+//! [`ClientId`]) owns a bucket of `burst` tokens refilled at `rate_per_sec`.
+//! A request spends one token; an empty bucket means HTTP 429 with a
+//! `Retry-After` telling the client when one token will exist. Buckets are
+//! lazily created and refilled on access, so idle clients cost nothing.
+//!
+//! Requests without a client header draw from a shared anonymous bucket —
+//! quotas would be pointless if omitting the header bypassed them.
+
+use gqr_core::engine::ClientId;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Quota policy applied to every client.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuotaConfig {
+    /// Steady-state tokens per second.
+    pub rate_per_sec: f64,
+    /// Bucket capacity (burst size).
+    pub burst: f64,
+}
+
+impl QuotaConfig {
+    /// Validate and normalize: both knobs must be positive and finite.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Option<QuotaConfig> {
+        if rate_per_sec > 0.0 && rate_per_sec.is_finite() && burst >= 1.0 && burst.is_finite() {
+            Some(QuotaConfig {
+                rate_per_sec,
+                burst,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+/// Shared token-bucket table.
+pub struct ClientQuotas {
+    config: QuotaConfig,
+    buckets: Mutex<HashMap<u64, Bucket>>,
+}
+
+/// Outcome of a quota check.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Admission {
+    /// A token was spent; proceed.
+    Admitted,
+    /// Bucket empty; retry after this long.
+    Throttled(Duration),
+}
+
+impl ClientQuotas {
+    /// A quota table enforcing `config` for every client.
+    pub fn new(config: QuotaConfig) -> ClientQuotas {
+        ClientQuotas {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> QuotaConfig {
+        self.config
+    }
+
+    /// Try to spend one token for `client` at time `now`.
+    pub fn check(&self, client: ClientId, now: Instant) -> Admission {
+        let mut buckets = self.buckets.lock().unwrap();
+        let bucket = buckets.entry(client.get()).or_insert(Bucket {
+            tokens: self.config.burst,
+            refilled: now,
+        });
+        // Refill for elapsed time, clamped at capacity. `saturating_duration_
+        // since` guards against `now` from before the bucket's creation
+        // (possible across threads since Instant is monotonic per-call-site
+        // only in the happens-before sense).
+        let elapsed = now.saturating_duration_since(bucket.refilled);
+        bucket.tokens = (bucket.tokens + elapsed.as_secs_f64() * self.config.rate_per_sec)
+            .min(self.config.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Admission::Admitted
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            Admission::Throttled(Duration::from_secs_f64(deficit / self.config.rate_per_sec))
+        }
+    }
+
+    /// Drop buckets that have been idle long enough to be full again (call
+    /// occasionally; keeps the table bounded by the active client set).
+    pub fn evict_idle(&self, now: Instant) {
+        let full_after = Duration::from_secs_f64(self.config.burst / self.config.rate_per_sec);
+        self.buckets
+            .lock()
+            .unwrap()
+            .retain(|_, b| now.saturating_duration_since(b.refilled) < full_after);
+    }
+
+    /// Number of tracked clients (for metrics/tests).
+    pub fn n_clients(&self) -> usize {
+        self.buckets.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quotas(rate: f64, burst: f64) -> ClientQuotas {
+        ClientQuotas::new(QuotaConfig::new(rate, burst).unwrap())
+    }
+
+    #[test]
+    fn burst_then_throttle() {
+        let q = quotas(10.0, 3.0);
+        let c = ClientId::from_name("alice");
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert_eq!(q.check(c, t0), Admission::Admitted);
+        }
+        match q.check(c, t0) {
+            Admission::Throttled(wait) => {
+                // One token refills in 1/10 s.
+                assert!(wait <= Duration::from_millis(101), "{wait:?}");
+                assert!(wait >= Duration::from_millis(90), "{wait:?}");
+            }
+            other => panic!("expected throttle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refill_restores_admission() {
+        let q = quotas(100.0, 1.0);
+        let c = ClientId::from_name("bob");
+        let t0 = Instant::now();
+        assert_eq!(q.check(c, t0), Admission::Admitted);
+        assert!(matches!(q.check(c, t0), Admission::Throttled(_)));
+        // 20 ms later two tokens worth have refilled (capped at burst=1).
+        let t1 = t0 + Duration::from_millis(20);
+        assert_eq!(q.check(c, t1), Admission::Admitted);
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let q = quotas(1.0, 1.0);
+        let t0 = Instant::now();
+        assert_eq!(q.check(ClientId::from_name("a"), t0), Admission::Admitted);
+        assert!(matches!(
+            q.check(ClientId::from_name("a"), t0),
+            Admission::Throttled(_)
+        ));
+        assert_eq!(q.check(ClientId::from_name("b"), t0), Admission::Admitted);
+        assert_eq!(q.n_clients(), 2);
+    }
+
+    #[test]
+    fn idle_buckets_evict() {
+        let q = quotas(1000.0, 1.0);
+        let t0 = Instant::now();
+        q.check(ClientId::from_name("x"), t0);
+        assert_eq!(q.n_clients(), 1);
+        q.evict_idle(t0 + Duration::from_secs(1));
+        assert_eq!(q.n_clients(), 0);
+    }
+
+    #[test]
+    fn config_rejects_nonsense() {
+        assert!(QuotaConfig::new(0.0, 5.0).is_none());
+        assert!(QuotaConfig::new(-1.0, 5.0).is_none());
+        assert!(QuotaConfig::new(10.0, 0.5).is_none());
+        assert!(QuotaConfig::new(f64::INFINITY, 5.0).is_none());
+    }
+}

@@ -1,0 +1,548 @@
+//! The HTTP front door: a fixed-size handler pool feeding the persistent
+//! [`Executor`], with admission control at every layer.
+//!
+//! # Threading model
+//!
+//! One **accept thread** owns the listener and pushes accepted sockets into
+//! a bounded connection queue. A fixed pool of **handler threads** pops
+//! connections and speaks HTTP on them (keep-alive: one connection may
+//! carry many requests). Handlers never run searches inline — each admitted
+//! `/search` is submitted to the server's [`Executor`] with the request's
+//! absolute deadline and the handler blocks on the ticket, so search
+//! parallelism and queue policy live in one place regardless of how many
+//! connections are open.
+//!
+//! # Admission control
+//!
+//! Overload is shed at the cheapest possible point, never queued into
+//! collapse:
+//!
+//! 1. connection queue full → the accept thread answers `503` +
+//!    `Retry-After` on the raw socket and closes it;
+//! 2. per-client token bucket empty → `429` + `Retry-After` before the body
+//!    is even parsed into params;
+//! 3. executor queue full → `503` + `Retry-After`;
+//! 4. deadline already spent by queue wait → the executor drops the job
+//!    unrun and the client gets `504`.
+//!
+//! # Graceful drain
+//!
+//! [`Server::shutdown`] stops accepting, lets every admitted request finish
+//! (handlers drain the connection queue, each keep-alive connection closes
+//! after its in-flight exchange), then shuts the executor down. No admitted
+//! request is lost; `/healthz` flips to `503 draining` immediately so load
+//! balancers stop routing here.
+
+use crate::http::{self, HttpError, Request};
+use crate::quota::{Admission, ClientQuotas, QuotaConfig};
+use crate::wire;
+use gqr_core::engine::ClientId;
+use gqr_core::executor::{Executor, JobError, SubmitError};
+use gqr_core::index::Index;
+use gqr_core::metrics::{metric_name, MetricsRegistry};
+use gqr_core::request::SearchRequest;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything tunable about the server.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Connection-handler threads.
+    pub handlers: usize,
+    /// Executor workers running searches (`0` → same as `handlers`).
+    pub workers: usize,
+    /// Executor queue capacity: admitted-but-not-running searches.
+    pub queue_capacity: usize,
+    /// Accepted connections waiting for a handler before the accept thread
+    /// starts shedding with `503`.
+    pub backlog: usize,
+    /// Cap on `POST /search` body size in bytes.
+    pub max_body_bytes: usize,
+    /// End-to-end budget stamped on requests that carry no `timeout_ms`.
+    pub default_timeout: Duration,
+    /// Socket read timeout; also bounds how long an idle keep-alive
+    /// connection can delay a drain.
+    pub read_timeout: Duration,
+    /// Per-client token-bucket policy (`None` → no quotas).
+    pub quota: Option<QuotaConfig>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            handlers: 4,
+            workers: 0,
+            queue_capacity: 128,
+            backlog: 64,
+            max_body_bytes: 1 << 20,
+            default_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(5),
+            quota: None,
+        }
+    }
+}
+
+/// What a finished drain can report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests answered 200 over the server's lifetime.
+    pub served: u64,
+    /// Requests shed (429/503) over the server's lifetime.
+    pub shed: u64,
+    /// Admitted searches still in flight when the drain began — all of them
+    /// completed before shutdown returned.
+    pub inflight_at_drain: u64,
+}
+
+/// Bounded handoff from the accept thread to the handler pool.
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.queue.lock().unwrap();
+        if q.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block for a connection; `None` once draining and empty.
+    fn pop(&self, draining: &AtomicBool) -> Option<TcpStream> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(stream) = q.pop_front() {
+                return Some(stream);
+            }
+            if draining.load(Ordering::Acquire) {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+
+    fn notify_all(&self) {
+        self.ready.notify_all();
+    }
+}
+
+struct Shared {
+    index: &'static (dyn Index + Sync),
+    exec: Executor,
+    quotas: Option<ClientQuotas>,
+    metrics: MetricsRegistry,
+    conns: ConnQueue,
+    draining: AtomicBool,
+    config: ServerConfig,
+    served: AtomicU64,
+    shed: AtomicU64,
+    inflight: AtomicU64,
+}
+
+/// A running query server. Dropping it without [`Server::shutdown`] aborts
+/// ungracefully (threads are detached); call `shutdown` to drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    handler_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept thread and handler pool, and return. The
+    /// index must be `'static`: servers outlive scoped borrows, so leak the
+    /// index (`Box::leak`) or use a global.
+    pub fn start(index: &'static (dyn Index + Sync), config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // Share the index's registry so query-path and serving-path metrics
+        // export together; if the index was built without one, the server
+        // still keeps its own so `/metrics` is never a dead endpoint.
+        let mut metrics = index.metrics().clone();
+        if !metrics.is_enabled() {
+            metrics = MetricsRegistry::enabled();
+        }
+        let workers = if config.workers == 0 {
+            config.handlers
+        } else {
+            config.workers
+        };
+        let exec = Executor::builder()
+            .workers(workers)
+            .queue_capacity(config.queue_capacity)
+            .metrics(metrics.clone())
+            .build();
+        let shared = Arc::new(Shared {
+            index,
+            exec,
+            quotas: config.quota.map(ClientQuotas::new),
+            metrics,
+            conns: ConnQueue {
+                queue: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+                capacity: config.backlog,
+            },
+            draining: AtomicBool::new(false),
+            config: config.clone(),
+            served: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("gqr-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+
+        let mut handler_threads = Vec::with_capacity(config.handlers);
+        for i in 0..config.handlers.max(1) {
+            let handler_shared = Arc::clone(&shared);
+            handler_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gqr-handler-{i}"))
+                    .spawn(move || handler_loop(handler_shared))?,
+            );
+        }
+
+        Ok(Server {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+            handler_threads,
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered 200 so far.
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed so far (any 429/503).
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stop accepting, finish everything admitted, stop the
+    /// executor, join all threads.
+    pub fn shutdown(self) -> DrainReport {
+        let inflight_at_drain = self.shared.inflight.load(Ordering::Relaxed);
+        self.shared.draining.store(true, Ordering::Release);
+        // Unblock the accept thread with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread {
+            let _ = t.join();
+        }
+        // Handlers drain the connection queue, then exit.
+        self.shared.conns.notify_all();
+        for t in self.handler_threads {
+            let _ = t.join();
+        }
+        // Every admitted search has now been waited on by its handler;
+        // stopping the executor loses nothing.
+        self.shared.exec.shutdown();
+        self.shared.metrics.incr("gqr_http_drains_completed_total");
+        DrainReport {
+            served: self.shared.served.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            inflight_at_drain,
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => continue,
+        };
+        if shared.draining.load(Ordering::Acquire) {
+            // The wake-up connection (or any raced client) gets a clean
+            // refusal rather than a hang.
+            let _ = refuse(stream, 503, "draining", Some(1));
+            break;
+        }
+        shared.metrics.incr("gqr_http_connections_total");
+        if let Err(stream) = shared.conns.push(stream) {
+            // Backlog full: shed on the raw socket, never queue deeper.
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.incr(&metric_name(
+                "gqr_http_shed_total",
+                &[("reason", "backlog")],
+            ));
+            let _ = refuse(stream, 503, "connection backlog full", Some(1));
+        }
+    }
+}
+
+/// Minimal one-shot error response on a connection we will not serve.
+fn refuse(
+    mut stream: TcpStream,
+    status: u16,
+    message: &str,
+    retry_after_secs: Option<u64>,
+) -> io::Result<()> {
+    let body = wire::encode_error(status, message);
+    let mut extra = Vec::new();
+    if let Some(secs) = retry_after_secs {
+        extra.push(("retry-after", secs.to_string()));
+    }
+    http::write_response(
+        &mut stream,
+        status,
+        "application/json",
+        &extra,
+        body.as_bytes(),
+        true,
+    )?;
+    stream.shutdown(std::net::Shutdown::Both)
+}
+
+fn handler_loop(shared: Arc<Shared>) {
+    while let Some(stream) = shared.conns.pop(&shared.draining) {
+        serve_connection(&shared, stream);
+    }
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let req = match http::read_request(&mut stream, shared.config.max_body_bytes) {
+            Ok(req) => req,
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Malformed(why)) => {
+                let _ = respond_error(shared, &mut stream, 400, why, None, true);
+                return;
+            }
+            Err(HttpError::HeadTooLarge) => {
+                let _ = respond_error(
+                    shared,
+                    &mut stream,
+                    400,
+                    "request head too large",
+                    None,
+                    true,
+                );
+                return;
+            }
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                let msg = format!("body of {declared} bytes exceeds limit of {limit}");
+                let _ = respond_error(shared, &mut stream, 413, &msg, None, true);
+                return;
+            }
+            Err(HttpError::Truncated) => {
+                // Framing is broken; a response may not be readable, but try.
+                let _ = respond_error(shared, &mut stream, 400, "truncated request", None, true);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        };
+        let close = req.wants_close() || shared.draining.load(Ordering::Acquire);
+        let served = handle_request(shared, &mut stream, &req, close);
+        if served.is_err() || close {
+            return;
+        }
+    }
+}
+
+fn handle_request(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    req: &Request,
+    close: bool,
+) -> io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/search") => handle_search(shared, stream, req, close),
+        ("GET", "/healthz") => {
+            if shared.draining.load(Ordering::Acquire) {
+                respond(shared, stream, 503, "text/plain", b"draining\n", &[], true)
+            } else {
+                respond(shared, stream, 200, "text/plain", b"ok\n", &[], close)
+            }
+        }
+        ("GET", "/metrics") => {
+            let text = shared.metrics.snapshot().to_prometheus();
+            respond(
+                shared,
+                stream,
+                200,
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+                &[],
+                close,
+            )
+        }
+        ("POST" | "GET", "/search" | "/healthz" | "/metrics") => {
+            respond_error(shared, stream, 405, "method not allowed", None, close)
+        }
+        _ => respond_error(shared, stream, 404, "no such route", None, close),
+    }
+}
+
+fn handle_search(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    req: &Request,
+    close: bool,
+) -> io::Result<()> {
+    let started = Instant::now();
+    shared.metrics.incr(&metric_name(
+        "gqr_http_requests_total",
+        &[("route", "search")],
+    ));
+
+    // Identity first: quota decisions must not depend on parsing work.
+    let client = match req.header("x-gqr-client") {
+        Some(name) => ClientId::from_name(name),
+        None => ClientId::new(0),
+    };
+    if let Some(quotas) = &shared.quotas {
+        if let Admission::Throttled(wait) = quotas.check(client, started) {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .incr(&metric_name("gqr_http_shed_total", &[("reason", "quota")]));
+            let secs = wait.as_secs_f64().ceil().max(1.0) as u64;
+            return respond_error(
+                shared,
+                stream,
+                429,
+                "client quota exhausted",
+                Some(secs),
+                close,
+            );
+        }
+    }
+
+    let decoded = match wire::decode_search(&req.body) {
+        Ok(d) => d,
+        Err(e) => return respond_error(shared, stream, 400, &e.message, None, close),
+    };
+    let mut params = match decoded.to_params() {
+        Ok(p) => p,
+        Err(e) => return respond_error(shared, stream, 400, &e.to_string(), None, close),
+    };
+    let deadline = started + decoded.timeout.unwrap_or(shared.config.default_timeout);
+    params.deadline = Some(deadline);
+    params.client_id = Some(client);
+
+    let index = shared.index;
+    let query = decoded.query;
+    let ticket = match shared.exec.try_submit_with_deadline(deadline, move || {
+        index.run(SearchRequest::new(&query).params(params))
+    }) {
+        Ok(t) => t,
+        Err(SubmitError::QueueFull) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.incr(&metric_name(
+                "gqr_http_shed_total",
+                &[("reason", "queue_full")],
+            ));
+            return respond_error(shared, stream, 503, "search queue full", Some(1), close);
+        }
+        Err(SubmitError::ShutDown) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            return respond_error(shared, stream, 503, "draining", Some(1), close);
+        }
+    };
+
+    shared.inflight.fetch_add(1, Ordering::Relaxed);
+    let outcome = ticket.wait();
+    shared.inflight.fetch_sub(1, Ordering::Relaxed);
+    match outcome {
+        Ok(res) => {
+            let body = wire::encode_response(&res);
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .record_duration("gqr_http_request_ns", started.elapsed());
+            respond(
+                shared,
+                stream,
+                200,
+                "application/json",
+                body.as_bytes(),
+                &[],
+                close,
+            )
+        }
+        Err(JobError::DeadlineMissed) => {
+            shared.metrics.incr(&metric_name(
+                "gqr_http_shed_total",
+                &[("reason", "deadline")],
+            ));
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            respond_error(
+                shared,
+                stream,
+                504,
+                "deadline passed before execution",
+                None,
+                close,
+            )
+        }
+        Err(JobError::Panicked(_)) => {
+            respond_error(shared, stream, 500, "search panicked", None, close)
+        }
+    }
+}
+
+fn respond(
+    shared: &Shared,
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra: &[(&str, String)],
+    close: bool,
+) -> io::Result<()> {
+    shared.metrics.incr(&metric_name(
+        "gqr_http_responses_total",
+        &[("status", status.to_string().as_str())],
+    ));
+    http::write_response(stream, status, content_type, extra, body, close)
+}
+
+fn respond_error(
+    shared: &Shared,
+    stream: &mut impl Write,
+    status: u16,
+    message: &str,
+    retry_after_secs: Option<u64>,
+    close: bool,
+) -> io::Result<()> {
+    let body = wire::encode_error(status, message);
+    let mut extra = Vec::new();
+    if let Some(secs) = retry_after_secs {
+        extra.push(("retry-after", secs.to_string()));
+    }
+    respond(
+        shared,
+        stream,
+        status,
+        "application/json",
+        body.as_bytes(),
+        &extra,
+        close,
+    )
+}

@@ -1,0 +1,338 @@
+//! The versioned wire schema: JSON in, JSON out.
+//!
+//! Request body for `POST /search`:
+//!
+//! ```json
+//! {
+//!   "query": [0.1, 0.2, 0.3],
+//!   "k": 10,
+//!   "candidates": 200,
+//!   "strategy": "GQR",
+//!   "mih_blocks": 2,
+//!   "early_stop": false,
+//!   "timeout_ms": 50
+//! }
+//! ```
+//!
+//! Only `query` and `k` are required. `strategy` is one of the report names
+//! `HR`, `GHR`, `QR`, `GQR`, `MIH` (default `GQR`); `MIH` reads
+//! `mih_blocks` (default 2). `timeout_ms` becomes an absolute deadline the
+//! moment the request is admitted, so queue wait spends it too.
+//!
+//! Response body:
+//!
+//! ```json
+//! {
+//!   "ids": [5, 9],
+//!   "distances": [0.0, 1.4],
+//!   "stats": {"buckets_probed": 3, "empty_buckets": 0,
+//!             "items_collected": 40, "items_evaluated": 40,
+//!             "duplicates_skipped": 0},
+//!   "trace_id": null
+//! }
+//! ```
+//!
+//! Errors use one envelope everywhere: `{"error":{"code":C,"message":M}}`
+//! with `C` mirroring the HTTP status. Unknown request fields are rejected
+//! (fail-closed: a typo'd `candidtes` must not silently run an unbounded
+//! scan).
+
+use crate::json::{parse, Json};
+use gqr_core::engine::{ParamError, ProbeStrategy, SearchParams};
+use gqr_core::SearchResponse;
+use std::time::Duration;
+
+/// Decoded `POST /search` body, ready to become a [`SearchParams`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireRequest {
+    /// The query vector.
+    pub query: Vec<f32>,
+    /// Number of neighbors requested.
+    pub k: usize,
+    /// Candidate budget `N` (defaults to the engine default).
+    pub candidates: Option<usize>,
+    /// Probing strategy.
+    pub strategy: ProbeStrategy,
+    /// Early-stop toggle.
+    pub early_stop: Option<bool>,
+    /// Per-request end-to-end budget, if the client set one.
+    pub timeout: Option<Duration>,
+}
+
+/// Why a request body was rejected (always maps to HTTP 400).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable cause, safe to echo to the client.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn bad(message: impl Into<String>) -> WireError {
+    WireError {
+        message: message.into(),
+    }
+}
+
+/// Decode and validate a `POST /search` body.
+pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
+    let doc = parse(body).map_err(|e| bad(e.to_string()))?;
+    let members = match &doc {
+        Json::Obj(members) => members,
+        _ => return Err(bad("request body must be a JSON object")),
+    };
+    let mut query = None;
+    let mut k = None;
+    let mut candidates = None;
+    let mut strategy_name: Option<String> = None;
+    let mut mih_blocks = None;
+    let mut early_stop = None;
+    let mut timeout = None;
+    for (key, value) in members {
+        match key.as_str() {
+            "query" => {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| bad("\"query\" must be an array of numbers"))?;
+                let mut q = Vec::with_capacity(items.len());
+                for item in items {
+                    let n = item
+                        .as_f64()
+                        .ok_or_else(|| bad("\"query\" must be an array of numbers"))?;
+                    q.push(n as f32);
+                }
+                if q.is_empty() {
+                    return Err(bad("\"query\" must not be empty"));
+                }
+                query = Some(q);
+            }
+            "k" => {
+                let n = value
+                    .as_u64()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| bad("\"k\" must be a positive integer"))?;
+                k = Some(n as usize);
+            }
+            "candidates" => {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| bad("\"candidates\" must be a non-negative integer"))?;
+                candidates = Some(n as usize);
+            }
+            "strategy" => {
+                let s = value
+                    .as_str()
+                    .ok_or_else(|| bad("\"strategy\" must be a string"))?;
+                strategy_name = Some(s.to_string());
+            }
+            "mih_blocks" => {
+                let n = value
+                    .as_u64()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| bad("\"mih_blocks\" must be a positive integer"))?;
+                mih_blocks = Some(n as usize);
+            }
+            "early_stop" => {
+                let b = value
+                    .as_bool()
+                    .ok_or_else(|| bad("\"early_stop\" must be a boolean"))?;
+                early_stop = Some(b);
+            }
+            "timeout_ms" => {
+                let n = value
+                    .as_u64()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| bad("\"timeout_ms\" must be a positive integer"))?;
+                timeout = Some(Duration::from_millis(n));
+            }
+            other => return Err(bad(format!("unknown field \"{other}\""))),
+        }
+    }
+    let query = query.ok_or_else(|| bad("missing required field \"query\""))?;
+    let k = k.ok_or_else(|| bad("missing required field \"k\""))?;
+    let strategy = match strategy_name.as_deref() {
+        None | Some("GQR") => ProbeStrategy::GenerateQdRanking,
+        Some("QR") => ProbeStrategy::QdRanking,
+        Some("HR") => ProbeStrategy::HammingRanking,
+        Some("GHR") => ProbeStrategy::GenerateHammingRanking,
+        Some("MIH") => ProbeStrategy::MultiIndexHashing {
+            blocks: mih_blocks.unwrap_or(2),
+        },
+        Some(other) => {
+            return Err(bad(format!(
+                "unknown strategy \"{other}\" (expected HR, GHR, QR, GQR, or MIH)"
+            )))
+        }
+    };
+    if mih_blocks.is_some() && !matches!(strategy, ProbeStrategy::MultiIndexHashing { .. }) {
+        return Err(bad(
+            "\"mih_blocks\" is only valid with \"strategy\": \"MIH\"",
+        ));
+    }
+    Ok(WireRequest {
+        query,
+        k,
+        candidates,
+        strategy,
+        early_stop,
+        timeout,
+    })
+}
+
+impl WireRequest {
+    /// Materialize engine parameters (deadline and client id are stamped by
+    /// the server at admission time, not here).
+    pub fn to_params(&self) -> Result<SearchParams, ParamError> {
+        let mut b = SearchParams::for_k(self.k).strategy(self.strategy);
+        if let Some(n) = self.candidates {
+            b = b.candidates(n);
+        }
+        if let Some(es) = self.early_stop {
+            b = b.early_stop(es);
+        }
+        b.build()
+    }
+}
+
+/// Encode a [`SearchResponse`] as the wire JSON body.
+pub fn encode_response(res: &SearchResponse) -> String {
+    let ids = Json::Arr(res.ids.iter().map(|&id| Json::Num(id as f64)).collect());
+    let distances = Json::Arr(res.distances.iter().map(|&d| Json::Num(d as f64)).collect());
+    let stats = Json::Obj(vec![
+        (
+            "buckets_probed".into(),
+            Json::Num(res.stats.buckets_probed as f64),
+        ),
+        (
+            "empty_buckets".into(),
+            Json::Num(res.stats.empty_buckets as f64),
+        ),
+        (
+            "items_collected".into(),
+            Json::Num(res.stats.items_collected as f64),
+        ),
+        (
+            "items_evaluated".into(),
+            Json::Num(res.stats.items_evaluated as f64),
+        ),
+        (
+            "duplicates_skipped".into(),
+            Json::Num(res.stats.duplicates_skipped as f64),
+        ),
+    ]);
+    let trace_id = match res.trace_id {
+        Some(id) => Json::Str(format!("{id:016x}")),
+        None => Json::Null,
+    };
+    Json::Obj(vec![
+        ("ids".into(), ids),
+        ("distances".into(), distances),
+        ("stats".into(), stats),
+        ("trace_id".into(), trace_id),
+    ])
+    .to_string()
+}
+
+/// Encode the error envelope `{"error":{"code":...,"message":...}}`.
+pub fn encode_error(code: u16, message: &str) -> String {
+    Json::Obj(vec![(
+        "error".into(),
+        Json::Obj(vec![
+            ("code".into(), Json::Num(code as f64)),
+            ("message".into(), Json::Str(message.to_string())),
+        ]),
+    )])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gqr_core::stats::ProbeStats;
+
+    #[test]
+    fn decodes_a_full_request() {
+        let body = br#"{"query":[1,2.5,-3],"k":5,"candidates":100,"strategy":"MIH","mih_blocks":3,"early_stop":false,"timeout_ms":25}"#;
+        let req = decode_search(body).unwrap();
+        assert_eq!(req.query, vec![1.0, 2.5, -3.0]);
+        assert_eq!(req.k, 5);
+        assert_eq!(req.candidates, Some(100));
+        assert_eq!(req.strategy, ProbeStrategy::MultiIndexHashing { blocks: 3 });
+        assert_eq!(req.early_stop, Some(false));
+        assert_eq!(req.timeout, Some(Duration::from_millis(25)));
+        let params = req.to_params().unwrap();
+        assert_eq!(params.k, 5);
+        assert_eq!(params.n_candidates, 100);
+    }
+
+    #[test]
+    fn minimal_request_defaults_to_gqr() {
+        let req = decode_search(br#"{"query":[0.5],"k":1}"#).unwrap();
+        assert_eq!(req.strategy, ProbeStrategy::GenerateQdRanking);
+        assert_eq!(req.candidates, None);
+        assert_eq!(req.timeout, None);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        for (body, needle) in [
+            (&br#"{"k":3}"#[..], "query"),
+            (br#"{"query":[1],"k":0}"#, "k"),
+            (br#"{"query":[],"k":3}"#, "query"),
+            (br#"{"query":[1],"k":3,"bogus":1}"#, "bogus"),
+            (br#"{"query":[1],"k":3,"strategy":"ZZZ"}"#, "strategy"),
+            (br#"{"query":[1],"k":3,"mih_blocks":2}"#, "mih_blocks"),
+            (br#"{"query":["a"],"k":3}"#, "query"),
+            (br#"[1,2,3]"#, "object"),
+            (br#"{"query":[1],"k":3"#, "JSON"),
+        ] {
+            let err = decode_search(body).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{}: expected {needle:?} in {:?}",
+                String::from_utf8_lossy(body),
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn golden_response_encoding() {
+        let mut res = SearchResponse::from_ranked(
+            vec![(5, 0.0), (9, 1.5)],
+            ProbeStats {
+                buckets_probed: 3,
+                empty_buckets: 1,
+                items_collected: 40,
+                items_evaluated: 38,
+                duplicates_skipped: 0,
+            },
+        );
+        res.trace_id = Some(0xabc);
+        let got = encode_response(&res);
+        let want = concat!(
+            r#"{"ids":[5,9],"distances":[0,1.5],"#,
+            r#""stats":{"buckets_probed":3,"empty_buckets":1,"items_collected":40,"#,
+            r#""items_evaluated":38,"duplicates_skipped":0},"#,
+            r#""trace_id":"0000000000000abc"}"#
+        );
+        assert_eq!(got, want);
+        // And the envelope round-trips through our own parser.
+        let doc = crate::json::parse(got.as_bytes()).unwrap();
+        assert_eq!(doc.get("ids").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn golden_error_encoding() {
+        assert_eq!(
+            encode_error(429, "quota exhausted"),
+            r#"{"error":{"code":429,"message":"quota exhausted"}}"#
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! End-to-end wire tests: a real server on an ephemeral port, raw TCP
+//! clients, every rejection path, and graceful drain under in-flight load.
+
+use gqr_core::engine::QueryEngine;
+use gqr_core::index::Index;
+use gqr_core::metrics::MetricsRegistry;
+use gqr_core::table::HashTable;
+use gqr_l2h::pcah::Pcah;
+use gqr_serve::quota::QuotaConfig;
+use gqr_serve::server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A leaked, process-lifetime engine over a noisy grid. Servers need
+/// `'static` indexes; tests leak a fresh one each (they are small).
+fn static_index(n: u32, metrics: MetricsRegistry) -> &'static (dyn Index + Sync) {
+    let mut data = Vec::new();
+    for i in 0..n {
+        data.push((i % 50) as f32 + 0.01 * (i as f32).sin());
+        data.push((i / 50) as f32);
+    }
+    let data: &'static [f32] = Vec::leak(data);
+    let model: &'static Pcah = Box::leak(Box::new(Pcah::train(data, 2, 2).unwrap()));
+    let table: &'static HashTable = Box::leak(Box::new(HashTable::build(model, data, 2)));
+    let engine = QueryEngine::new(model, table, data, 2).with_metrics(metrics);
+    Box::leak(Box::new(engine))
+}
+
+fn start(config: ServerConfig) -> Server {
+    let index = static_index(2500, MetricsRegistry::enabled());
+    Server::start(index, config).expect("bind")
+}
+
+/// One raw HTTP exchange: send bytes, read until EOF, split head/body.
+fn exchange(addr: std::net::SocketAddr, raw: &[u8]) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8_lossy(&response).to_string();
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((&text, ""));
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    (status, head.to_string(), body.to_string())
+}
+
+fn post_search(
+    addr: std::net::SocketAddr,
+    body: &str,
+    client: Option<&str>,
+) -> (u16, String, String) {
+    let client_header = match client {
+        Some(c) => format!("x-gqr-client: {c}\r\n"),
+        None => String::new(),
+    };
+    let raw = format!(
+        "POST /search HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{}connection: close\r\n\r\n{}",
+        body.len(),
+        client_header,
+        body
+    );
+    exchange(addr, raw.as_bytes())
+}
+
+#[test]
+fn search_round_trips_over_http() {
+    let server = start(ServerConfig::default());
+    let (status, _, body) = post_search(
+        server.addr(),
+        r#"{"query":[3.0,4.0],"k":5,"candidates":500}"#,
+        None,
+    );
+    assert_eq!(status, 200, "{body}");
+    let doc = gqr_serve::json::parse(body.as_bytes()).unwrap();
+    assert_eq!(doc.get("ids").unwrap().as_array().unwrap().len(), 5);
+    assert_eq!(doc.get("distances").unwrap().as_array().unwrap().len(), 5);
+    assert!(doc.get("stats").unwrap().get("items_evaluated").is_some());
+    let report = server.shutdown();
+    assert_eq!(report.served, 1);
+    assert_eq!(report.inflight_at_drain, 0);
+}
+
+#[test]
+fn healthz_metrics_and_unknown_routes() {
+    let server = start(ServerConfig::default());
+    let addr = server.addr();
+    let (status, _, body) = exchange(addr, b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    let (status, _, _) = post_search(addr, r#"{"query":[1.0,1.0],"k":3}"#, None);
+    assert_eq!(status, 200);
+
+    let (status, _, body) = exchange(addr, b"GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("gqr_http_responses_total{status=\"200\"}"),
+        "prometheus export missing serving counters:\n{body}"
+    );
+
+    let (status, _, _) = exchange(addr, b"GET /nope HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert_eq!(status, 404);
+    let (status, _, _) = exchange(addr, b"GET /search HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert_eq!(status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_http_is_rejected() {
+    let server = start(ServerConfig::default());
+    let (status, _, body) = exchange(server.addr(), b"NONSENSE\r\n\r\n");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"error\""));
+    server.shutdown();
+}
+
+#[test]
+fn truncated_body_is_rejected() {
+    let server = start(ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    // Declare 100 bytes, send 5, then half-close: the server must answer
+    // 400 (or close) rather than hang.
+    stream
+        .write_all(b"POST /search HTTP/1.1\r\ncontent-length: 100\r\n\r\n{\"q\"")
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let text = String::from_utf8_lossy(&response);
+    assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_payload_is_rejected_with_413() {
+    let server = start(ServerConfig {
+        max_body_bytes: 256,
+        ..ServerConfig::default()
+    });
+    let big = format!(r#"{{"query":[{}],"k":1}}"#, "1.0,".repeat(200) + "1.0");
+    assert!(big.len() > 256);
+    let (status, _, body) = post_search(server.addr(), &big, None);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("\"code\":413"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn invalid_json_gets_a_typed_400() {
+    let server = start(ServerConfig::default());
+    let addr = server.addr();
+    for (bad, needle) in [
+        ("{not json", "invalid JSON"),
+        (r#"{"query":[1,2],"k":0}"#, "positive integer"),
+        (r#"{"query":[1,2]}"#, "missing required field"),
+        (r#"{"query":[1,2],"k":1,"whatever":1}"#, "unknown field"),
+    ] {
+        let (status, _, body) = post_search(addr, bad, None);
+        assert_eq!(status, 400, "{bad} -> {body}");
+        assert!(body.contains("\"error\""), "{body}");
+        assert!(body.contains(needle), "expected {needle:?} in {body}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn quota_exhaustion_returns_429_with_retry_after() {
+    let server = start(ServerConfig {
+        quota: Some(QuotaConfig::new(1.0, 2.0).unwrap()),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let body = r#"{"query":[1.0,1.0],"k":1}"#;
+    assert_eq!(post_search(addr, body, Some("alice")).0, 200);
+    assert_eq!(post_search(addr, body, Some("alice")).0, 200);
+    let (status, head, resp_body) = post_search(addr, body, Some("alice"));
+    assert_eq!(status, 429, "{resp_body}");
+    assert!(
+        head.to_lowercase().contains("retry-after:"),
+        "missing retry-after: {head}"
+    );
+    assert!(resp_body.contains("quota"), "{resp_body}");
+    // Other clients are unaffected.
+    assert_eq!(post_search(addr, body, Some("bob")).0, 200);
+    let report = server.shutdown();
+    assert_eq!(report.shed, 1);
+}
+
+#[test]
+fn drain_completes_inflight_requests() {
+    let server = start(ServerConfig {
+        handlers: 4,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    // Exhaustive scans keep workers busy long enough for the drain to race
+    // real in-flight work.
+    let body = r#"{"query":[25.0,25.0],"k":50,"candidates":100000,"timeout_ms":10000}"#;
+    let clients: Vec<_> = (0..6)
+        .map(|_| std::thread::spawn(move || post_search(addr, body, None).0))
+        .collect();
+    std::thread::sleep(Duration::from_millis(10));
+    let report = server.shutdown();
+    let mut completed = 0;
+    for c in clients {
+        let status = c.join().unwrap();
+        // Every request that reached the server must get a real answer:
+        // either it was admitted (200) or refused cleanly (503 at the
+        // accept gate after drain began). Nothing may be dropped.
+        assert!(status == 200 || status == 503, "got {status}");
+        if status == 200 {
+            completed += 1;
+        }
+    }
+    assert_eq!(report.served, completed, "admitted requests lost in drain");
+    assert!(
+        completed >= 1,
+        "nothing completed — drain raced everything out"
+    );
+}
+
+#[test]
+fn healthz_flips_to_draining() {
+    let server = start(ServerConfig::default());
+    let addr = server.addr();
+    let (status, _, _) = exchange(addr, b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert_eq!(status, 200);
+    server.shutdown();
+    // The listener is gone after shutdown; connecting must fail fast.
+    assert!(TcpStream::connect(addr).is_err());
+}
+
+#[test]
+fn loadgen_drives_a_live_server() {
+    use gqr_serve::loadgen::{self, LoadgenConfig};
+    let server = start(ServerConfig::default());
+    let cfg = LoadgenConfig {
+        addr: server.addr().to_string(),
+        qps: 200.0,
+        duration: Duration::from_millis(500),
+        warmup: Duration::from_millis(100),
+        senders: 2,
+        body: r#"{"query":[10.0,10.0],"k":5,"candidates":200}"#.to_string(),
+        client: Some("loadgen".to_string()),
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(&cfg);
+    assert!(report.offered > 0);
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(report.completed, report.offered - report.shed, "{report:?}");
+    assert!(report.completed > 0, "{report:?}");
+    assert!(report.p99_us >= report.p50_us, "{report:?}");
+    let drain = server.shutdown();
+    assert!(drain.served >= report.completed);
+}

@@ -38,11 +38,7 @@ fn main() {
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            found += res
-                .neighbors
-                .iter()
-                .filter(|(id, _)| t.contains(id))
-                .count();
+            found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
         }
         println!(
             "  {budget:>6}   {:>17.3}   {:?}",
@@ -59,7 +55,7 @@ fn main() {
         .expect("valid search params");
     let res = engine.search(&probe, &params);
     println!("\nvectors most cosine-similar to #777:");
-    for (id, dist) in &res.neighbors {
+    for (id, dist) in res.neighbors() {
         println!("  #{id:<7} cosine similarity {:.4}", 1.0 - dist);
     }
 }

@@ -65,7 +65,7 @@ fn main() {
         total_items += res.stats.items_evaluated;
         // The duplicate finds itself at distance 0; its partner must be the
         // planted original.
-        if res.neighbors.iter().any(|&(id, _)| id == src) {
+        if res.ids.contains(&src) {
             detected += 1;
         }
     }

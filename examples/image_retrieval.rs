@@ -50,11 +50,7 @@ fn main() {
             let start = Instant::now();
             let res = engine.search(q, &params);
             latencies.push(start.elapsed());
-            found += res
-                .neighbors
-                .iter()
-                .filter(|(id, _)| t.contains(id))
-                .count();
+            found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
         }
         latencies.sort();
         let recall = found as f64 / (20 * queries.len()) as f64;
@@ -73,7 +69,7 @@ fn main() {
         .expect("valid search params");
     let res = engine.search(&probe_img, &params);
     println!("\nimages most similar to #1234 (squared distances):");
-    for (id, dist) in &res.neighbors {
+    for (id, dist) in res.neighbors() {
         println!("  #{id:<7} {dist:.4}");
     }
     println!(

@@ -50,11 +50,7 @@ fn main() {
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = index.search(q, &params);
-            found += res
-                .neighbors
-                .iter()
-                .filter(|(id, _)| t.contains(id))
-                .count();
+            found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
         }
         let recall = found as f64 / (20 * queries.len()) as f64;
         println!(

@@ -72,7 +72,7 @@ fn main() {
             SearchRequest::new(q).params(params).deadline(deadline),
         );
         latencies.push(start.elapsed());
-        assert_eq!(res.neighbors.len(), 10);
+        assert_eq!(res.len(), 10);
         if Instant::now() > deadline {
             misses += 1;
         }
@@ -99,11 +99,8 @@ fn main() {
             .params(params)
             .filter(|id| id % 2 == 0),
     );
-    assert!(res.neighbors.iter().all(|&(id, _)| id % 2 == 0));
-    println!(
-        "filtered request returned {} even-id neighbors",
-        res.neighbors.len()
-    );
+    assert!(res.ids.iter().all(|&id| id % 2 == 0));
+    println!("filtered request returned {} even-id neighbors", res.len());
 
     // -- The operator's view ----------------------------------------------
     exec.shutdown();

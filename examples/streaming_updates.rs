@@ -70,7 +70,7 @@ fn main() {
     let mut stale = 0;
     for q in &queries {
         let res = index.run(SearchRequest::new(q).params(params));
-        stale += res.neighbors.iter().filter(|(id, _)| id % 10 == 0).count();
+        stale += res.ids.iter().filter(|&&id| id % 10 == 0).count();
     }
     println!(
         "{} queries served; {} results referenced retired items (must be 0)",

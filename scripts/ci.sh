@@ -57,6 +57,27 @@ cargo run -q --release --bin gqr -- delete --snapshot "$SNAPDIR/index.gqr" --id 
 cargo run -q --release --bin gqr -- load-index --snapshot "$SNAPDIR/index.gqr" \
     --queries 10 --k 5 --strategy gqr
 
+echo "==> HTTP serve smoke (CLI: serve + loadgen + /metrics + SIGTERM drain)"
+./target/release/gqr serve --snapshot "$SNAPDIR/index.gqr" \
+    --addr 127.0.0.1:0 --addr-file "$SNAPDIR/addr" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SNAPDIR/addr" ] && break; sleep 0.1; done
+[ -s "$SNAPDIR/addr" ] || { echo "serve smoke FAILED: server never bound"; exit 1; }
+ADDR="$(cat "$SNAPDIR/addr")"
+./target/release/gqr loadgen --addr "$ADDR" --dim 16 \
+    --qps 200 --duration-s 1 --out "$SNAPDIR/loadgen.json"
+grep -q '"errors":0' "$SNAPDIR/loadgen.json" \
+    || { echo "serve smoke FAILED: loadgen saw errors ($SNAPDIR/loadgen.json)"; exit 1; }
+curl -sf "http://$ADDR/metrics" | grep -q 'gqr_http_requests_total' \
+    || { echo "serve smoke FAILED: /metrics missing serving counters"; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "serve smoke FAILED: drain exited non-zero"; exit 1; }
+
+echo "==> HTTP serving bench (smoke, admission-control gate)"
+GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench http_serving
+grep -q '"gate_pass":true' results/BENCH_serving.json \
+    || { echo "serving gate FAILED (results/BENCH_serving.json)"; exit 1; }
+
 echo "==> snapshot cold-start bench (smoke)"
 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench snapshot
 

@@ -12,7 +12,7 @@
 //! serde); datasets use the TEXMEX `fvecs` format so real GIST/SIFT files
 //! drop in directly.
 
-use gqr::core::engine::{ProbeStrategy, QueryEngine, SearchParams, SearchResult};
+use gqr::core::engine::{ProbeStrategy, QueryEngine, SearchParams, SearchResponse};
 use gqr::core::live::MutableIndex;
 use gqr::core::request::SearchRequest;
 use gqr::core::shard::ShardedIndex;
@@ -73,6 +73,8 @@ fn main() {
         "insert" => cmd_insert(&flags),
         "delete" => cmd_delete(&flags),
         "trace-dump" => cmd_trace_dump(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "--help" | "-h" | "help" => {
             usage_and_exit(None);
         }
@@ -106,6 +108,12 @@ fn usage_and_exit(err: Option<&str>) -> ! {
          \x20 trace-dump --snapshot FILE --queries N --k K [--strategy gqr|ghr|hr|qr|mih]\n\
          \x20          [--candidates N] [--sample-every N] [--format jsonl|chrome|slow]\n\
          \x20          [--out FILE]   (chrome output opens in Perfetto / chrome://tracing)\n\
+         \x20 serve    --snapshot FILE [--addr HOST:PORT] [--handlers N] [--workers N]\n\
+         \x20          [--queue N] [--backlog N] [--timeout-ms T] [--quota-rate R]\n\
+         \x20          [--quota-burst B] [--addr-file FILE]   (SIGTERM drains gracefully)\n\
+         \x20 loadgen  --addr HOST:PORT --qps Q [--duration-s S] [--warmup-s S]\n\
+         \x20          [--senders N] [--k K] [--candidates N] [--query \"x1,x2,...\"]\n\
+         \x20          [--dim D] [--client NAME] [--sweep \"q1,q2,...\"] [--out FILE]\n\
          \n\
          presets: cifar60k gist1m tiny5m sift10m sift1m deep1m msong1m glove1.2m\n\
          \x20        glove2.2m audio50k nuswide ukbench1m imagenet2.3m"
@@ -314,7 +322,7 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         res.stats.buckets_probed,
         res.stats.items_evaluated
     );
-    for (id, dist) in &res.neighbors {
+    for (id, dist) in res.neighbors() {
         println!("  #{id:<8} sq-dist {dist:.5}");
     }
     Ok(())
@@ -352,11 +360,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            found += res
-                .neighbors
-                .iter()
-                .filter(|(id, _)| t.contains(id))
-                .count();
+            found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
         }
         println!(
             "{:<9} {:>8.3}   {:>9.3?}",
@@ -430,7 +434,7 @@ enum LoadedEngine<'a> {
 }
 
 impl LoadedEngine<'_> {
-    fn search(&self, query: &[f32], params: &SearchParams) -> SearchResult {
+    fn search(&self, query: &[f32], params: &SearchParams) -> SearchResponse {
         match self {
             LoadedEngine::Single(e) => e.search(query, params),
             LoadedEngine::Sharded(s) => s.search(query, params),
@@ -576,7 +580,7 @@ fn cmd_load_live(path: &str, flags: &HashMap<String, String>) -> Result<(), Stri
             res.stats.buckets_probed,
             res.stats.items_evaluated
         );
-        for (id, dist) in &res.neighbors {
+        for (id, dist) in res.neighbors() {
             println!("  #{id:<8} sq-dist {dist:.5}");
         }
         return Ok(());
@@ -597,9 +601,9 @@ fn cmd_load_live(path: &str, flags: &HashMap<String, String>) -> Result<(), Stri
     for (q, t) in queries.iter().zip(&truth) {
         let res = index.run(SearchRequest::new(q).params(params));
         found += res
-            .neighbors
+            .ids
             .iter()
-            .filter(|(id, _)| t.iter().any(|&p| ids[p as usize] == *id))
+            .filter(|&&id| t.iter().any(|&p| ids[p as usize] == id))
             .count();
     }
     println!(
@@ -671,7 +675,7 @@ fn cmd_load_index(flags: &HashMap<String, String>) -> Result<(), String> {
             res.stats.buckets_probed,
             res.stats.items_evaluated
         );
-        for (id, dist) in &res.neighbors {
+        for (id, dist) in res.neighbors() {
             println!("  #{id:<8} sq-dist {dist:.5}");
         }
         return Ok(());
@@ -685,11 +689,7 @@ fn cmd_load_index(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut found = 0usize;
     for (q, t) in queries.iter().zip(&truth) {
         let res = engine.search(q, &params);
-        found += res
-            .neighbors
-            .iter()
-            .filter(|(id, _)| t.contains(id))
-            .count();
+        found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
     }
     println!(
         "{:<9} recall@{k} {:.3}   {:?} total (budget {n_candidates}/query, {n_queries} queries)",
@@ -777,6 +777,221 @@ fn cmd_trace_dump(flags: &HashMap<String, String>) -> Result<(), String> {
             );
         }
         None => print!("{output}"),
+    }
+    Ok(())
+}
+
+/// SIGTERM/SIGINT flag for `gqr serve` graceful drain. Raw FFI keeps the
+/// workspace free of a libc dependency; `signal(2)` with a plain function
+/// pointer is async-signal-safe for a store into an atomic.
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_sig: i32) {
+    SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+fn install_drain_signals() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_shutdown_signal as *const () as usize);
+        signal(SIGINT, on_shutdown_signal as *const () as usize);
+    }
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use gqr::core::index::Index;
+    use gqr::core::metrics::MetricsRegistry;
+    use gqr::serve::server::{Server, ServerConfig};
+    use gqr::serve::QuotaConfig;
+
+    let path = get(flags, "snapshot")?;
+    let mut config = ServerConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8080".to_string()),
+        ..ServerConfig::default()
+    };
+    if let Some(n) = flags.get("handlers") {
+        config.handlers = n.parse().map_err(|_| "bad --handlers")?;
+    }
+    if let Some(n) = flags.get("workers") {
+        config.workers = n.parse().map_err(|_| "bad --workers")?;
+    }
+    if let Some(n) = flags.get("queue") {
+        config.queue_capacity = n.parse().map_err(|_| "bad --queue")?;
+    }
+    if let Some(n) = flags.get("backlog") {
+        config.backlog = n.parse().map_err(|_| "bad --backlog")?;
+    }
+    if let Some(ms) = flags.get("timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --timeout-ms")?;
+        config.default_timeout = std::time::Duration::from_millis(ms);
+    }
+    match (flags.get("quota-rate"), flags.get("quota-burst")) {
+        (None, None) => {}
+        (rate, burst) => {
+            let rate: f64 = rate
+                .map(|s| s.parse().map_err(|_| "bad --quota-rate"))
+                .transpose()?
+                .unwrap_or(100.0);
+            let burst: f64 = burst
+                .map(|s| s.parse().map_err(|_| "bad --quota-burst"))
+                .transpose()?
+                .unwrap_or(rate.max(1.0));
+            config.quota =
+                Some(QuotaConfig::new(rate, burst).ok_or("quota rate/burst must be positive")?);
+        }
+    }
+
+    // Servers run until signalled, so the index may as well live for the
+    // process: leak it to get the 'static borrow the handler pool needs.
+    let metrics = MetricsRegistry::enabled();
+    let index: &'static (dyn Index + Sync) = if is_live_snapshot(path)? {
+        let index = load_mutable(path)?;
+        println!(
+            "serving live snapshot {path}: {} items, epoch {}",
+            index.n_items(),
+            index.epoch()
+        );
+        Box::leak(Box::new(index))
+    } else {
+        let loaded = gqr::persist::load_index(std::path::Path::new(path))
+            .map_err(|e| format!("loading {path}: {e}"))?;
+        println!(
+            "serving snapshot {path}: {} items × {} dims, {} shard(s), model {}",
+            loaded.n_items(),
+            loaded.dim(),
+            loaded.shards().len(),
+            loaded.model().name()
+        );
+        let loaded: &'static LoadedIndex = Box::leak(Box::new(loaded));
+        match engine_from(loaded)? {
+            LoadedEngine::Single(e) => Box::leak(Box::new(e.with_metrics(metrics))),
+            LoadedEngine::Sharded(s) => Box::leak(Box::new(s.with_metrics(metrics))),
+        }
+    };
+
+    install_drain_signals();
+    let server = Server::start(index, config).map_err(|e| format!("starting server: {e}"))?;
+    println!("listening on http://{}", server.addr());
+    if let Some(addr_file) = flags.get("addr-file") {
+        std::fs::write(addr_file, server.addr().to_string())
+            .map_err(|e| format!("writing {addr_file}: {e}"))?;
+    }
+    while !SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("draining...");
+    let report = server.shutdown();
+    println!(
+        "drained: {} served, {} shed, {} in flight at drain (all completed)",
+        report.served, report.shed, report.inflight_at_drain
+    );
+    Ok(())
+}
+
+fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<(), String> {
+    use gqr::serve::json::Json;
+    use gqr::serve::loadgen::{self, LoadgenConfig};
+
+    let addr = get(flags, "addr")?.to_string();
+    let k: usize = flags
+        .get("k")
+        .map(|s| s.parse().map_err(|_| "bad --k"))
+        .transpose()?
+        .unwrap_or(10);
+    let candidates: usize = flags
+        .get("candidates")
+        .map(|s| s.parse().map_err(|_| "bad --candidates"))
+        .transpose()?
+        .unwrap_or(1_000);
+    let query: Vec<f32> = match (flags.get("query"), flags.get("dim")) {
+        (Some(csv), _) => csv
+            .split(',')
+            .map(|x| x.trim().parse().map_err(|_| "bad --query"))
+            .collect::<Result<_, _>>()?,
+        (None, Some(dim)) => {
+            let dim: usize = dim.parse().map_err(|_| "bad --dim")?;
+            (0..dim).map(|i| (i as f32 * 0.37).sin()).collect()
+        }
+        (None, None) => return Err("need --query or --dim".into()),
+    };
+    let body = format!(
+        "{{\"query\":[{}],\"k\":{k},\"candidates\":{candidates}}}",
+        query
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let base = LoadgenConfig {
+        addr,
+        qps: flags
+            .get("qps")
+            .map(|s| s.parse().map_err(|_| "bad --qps"))
+            .transpose()?
+            .unwrap_or(100.0),
+        duration: std::time::Duration::from_secs_f64(
+            flags
+                .get("duration-s")
+                .map(|s| s.parse().map_err(|_| "bad --duration-s"))
+                .transpose()?
+                .unwrap_or(2.0),
+        ),
+        warmup: std::time::Duration::from_secs_f64(
+            flags
+                .get("warmup-s")
+                .map(|s| s.parse().map_err(|_| "bad --warmup-s"))
+                .transpose()?
+                .unwrap_or(0.25),
+        ),
+        senders: flags
+            .get("senders")
+            .map(|s| s.parse().map_err(|_| "bad --senders"))
+            .transpose()?
+            .unwrap_or(4),
+        body,
+        client: flags.get("client").cloned(),
+        ..LoadgenConfig::default()
+    };
+
+    let reports = match flags.get("sweep") {
+        Some(csv) => {
+            let steps: Vec<f64> = csv
+                .split(',')
+                .map(|x| x.trim().parse().map_err(|_| "bad --sweep"))
+                .collect::<Result<_, _>>()?;
+            loadgen::sweep(&base, &steps)
+        }
+        None => vec![loadgen::run(&base)],
+    };
+
+    for r in &reports {
+        println!(
+            "qps {:>8.1} target | offered {:>6} ok {:>6} shed {:>5} err {:>3} | p50 {:>7}us p99 {:>8}us p999 {:>8}us",
+            r.target_qps, r.offered, r.completed, r.shed, r.errors, r.p50_us, r.p99_us, r.p999_us
+        );
+    }
+
+    if let Some(out) = flags.get("out") {
+        let doc = Json::Obj(vec![
+            ("bench".into(), Json::Str("serving".into())),
+            (
+                "steps".into(),
+                Json::Arr(reports.iter().map(|r| r.to_json()).collect()),
+            ),
+        ]);
+        if let Some(parent) = std::path::Path::new(out).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(out, doc.to_string()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
     }
     Ok(())
 }

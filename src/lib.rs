@@ -19,6 +19,9 @@
 //! * [`linalg`] ([`gqr_linalg`]) — the small dense linear algebra layer.
 //! * [`mplsh`] ([`gqr_mplsh`]) — Multi-Probe LSH, the querying method §5
 //!   contrasts GQR against.
+//! * [`serve`] ([`gqr_serve`]) — the HTTP/1.1 + JSON front door: `gqr
+//!   serve` exposes any snapshot at `POST /search` with admission control,
+//!   per-client quotas, and graceful drain; `gqr loadgen` drives it.
 //!
 //! ## Five-minute tour
 //!
@@ -43,9 +46,9 @@
 //!     .build()
 //!     .unwrap();
 //! let query = ds.row(0).to_vec();
-//! let result = engine.search(&query, &params);
-//! assert_eq!(result.neighbors.len(), 10);
-//! assert_eq!(result.neighbors[0].0, 0, "the item itself is its own 1-NN");
+//! let result = engine.run(SearchRequest::new(&query).params(params));
+//! assert_eq!(result.len(), 10);
+//! assert_eq!(result.ids[0], 0, "the item itself is its own 1-NN");
 //! ```
 
 #![warn(missing_docs)]
@@ -56,12 +59,13 @@ pub use gqr_eval as eval;
 pub use gqr_l2h as l2h;
 pub use gqr_linalg as linalg;
 pub use gqr_mplsh as mplsh;
+pub use gqr_serve as serve;
 pub use gqr_vq as vq;
 
 /// The names most applications need.
 pub mod prelude {
     pub use gqr_core::engine::{
-        ParamError, ProbeStrategy, QueryEngine, SearchParams, SearchParamsBuilder, SearchResult,
+        ClientId, ParamError, ProbeStrategy, QueryEngine, SearchParams, SearchParamsBuilder,
     };
     pub use gqr_core::executor::{Executor, ExecutorBuilder, JobError, SubmitError, Ticket};
     pub use gqr_core::index::Index;
@@ -74,6 +78,7 @@ pub mod prelude {
     pub use gqr_core::multi_table::MultiTableIndex;
     pub use gqr_core::persist::{load_index, save_index, LoadedIndex, PersistError};
     pub use gqr_core::request::SearchRequest;
+    pub use gqr_core::response::{Checkpoint, SearchResponse};
     pub use gqr_core::shard::{ShardBuildError, ShardedIndex, ShardedIndexBuilder};
     pub use gqr_core::table::HashTable;
     pub use gqr_core::{hamming, quantization_distance};
@@ -87,4 +92,7 @@ pub mod prelude {
     pub use gqr_l2h::ssh::Ssh;
     pub use gqr_l2h::{HashModel, QueryEncoding};
     pub use gqr_linalg::vecops::Metric;
+    pub use gqr_serve::loadgen::{LoadReport, LoadgenConfig};
+    pub use gqr_serve::quota::QuotaConfig;
+    pub use gqr_serve::server::{DrainReport, Server, ServerConfig};
 }

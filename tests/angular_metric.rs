@@ -32,7 +32,7 @@ fn exhaustive_angular_search_is_exact() {
     };
     for (q, t) in queries.iter().zip(&truth) {
         let res = engine.search(q, &params);
-        let ids: Vec<u32> = res.neighbors.iter().map(|&(i, _)| i).collect();
+        let ids: Vec<u32> = res.ids.to_vec();
         assert_eq!(
             &ids, t,
             "exhaustive angular search must match angular brute force"
@@ -81,11 +81,7 @@ fn budgeted_angular_search_beats_random_candidates() {
     let mut found = 0usize;
     for (q, t) in queries.iter().zip(&truth) {
         let res = engine.search(q, &params);
-        found += res
-            .neighbors
-            .iter()
-            .filter(|(id, _)| t.contains(id))
-            .count();
+        found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
     }
     let recall = found as f64 / (10 * queries.len()) as f64;
     // Evaluating a random 5% of items would land recall ≈ 0.05; SRP + QD

@@ -44,7 +44,7 @@ fn every_trainer_and_strategy_is_exact_when_exhaustive() {
             };
             for (q, t) in queries.iter().zip(&truth) {
                 let res = engine.search(q, &params);
-                let ids: Vec<u32> = res.neighbors.iter().map(|&(i, _)| i).collect();
+                let ids: Vec<u32> = res.ids.to_vec();
                 assert_eq!(
                     &ids,
                     t,
@@ -75,11 +75,7 @@ fn gqr_recall_is_monotone_in_budget() {
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            found += res
-                .neighbors
-                .iter()
-                .filter(|(id, _)| t.contains(id))
-                .count();
+            found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
         }
         let recall = found as f64 / (10 * queries.len()) as f64;
         assert!(
@@ -123,8 +119,8 @@ fn gqr_equals_qr_for_every_model() {
                 // Identical probe order within QD ties is not guaranteed, but
                 // the *distances* of the results must agree (same buckets up
                 // to equal-QD permutations, same candidate count).
-                let dq: Vec<f32> = qr.neighbors.iter().map(|&(_, d)| d).collect();
-                let dg: Vec<f32> = gqr.neighbors.iter().map(|&(_, d)| d).collect();
+                let dq: Vec<f32> = qr.distances.to_vec();
+                let dg: Vec<f32> = gqr.distances.to_vec();
                 assert_eq!(dq.len(), dg.len(), "{}", model.name());
                 for (a, b) in dq.iter().zip(&dg) {
                     assert!(
@@ -158,11 +154,7 @@ fn gqr_beats_or_matches_hamming_on_candidate_quality() {
         let mut found = 0usize;
         for (q, t) in queries.iter().zip(&truth) {
             let res = engine.search(q, &params);
-            found += res
-                .neighbors
-                .iter()
-                .filter(|(id, _)| t.contains(id))
-                .count();
+            found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
         }
         found as f64 / (10 * queries.len()) as f64
     };
@@ -282,11 +274,7 @@ fn multi_table_recall_tracks_single_table_across_budgets() {
             let mut found = 0usize;
             for (q, t) in queries.iter().zip(&truth) {
                 let res = idx.search(q, &params);
-                found += res
-                    .neighbors
-                    .iter()
-                    .filter(|(id, _)| t.contains(id))
-                    .count();
+                found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
             }
             auc += found as f64 / (10 * queries.len()) as f64;
         }

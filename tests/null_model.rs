@@ -21,11 +21,7 @@ fn recall_at_budget(ds: &Dataset, budget: usize) -> f64 {
     let mut found = 0usize;
     for (q, t) in queries.iter().zip(&truth) {
         let res = engine.search(q, &params);
-        found += res
-            .neighbors
-            .iter()
-            .filter(|(id, _)| t.contains(id))
-            .count();
+        found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
     }
     found as f64 / (10 * queries.len()) as f64
 }

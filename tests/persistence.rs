@@ -87,8 +87,8 @@ fn hash_table_roundtrip_preserves_search_results() {
     };
     for q in ds.sample_queries(10, 3) {
         assert_eq!(
-            engine1.search(&q, &params).neighbors,
-            engine2.search(&q, &params).neighbors
+            engine1.search(&q, &params).ranked(),
+            engine2.search(&q, &params).ranked()
         );
     }
 }

@@ -45,8 +45,8 @@ fn engine_roundtrip_is_bit_identical_for_every_strategy() {
             let a = engine.search(q, &params);
             let b = engine2.search(q, &params);
             assert_eq!(
-                a.neighbors,
-                b.neighbors,
+                a.ranked(),
+                b.ranked(),
                 "{} diverged after snapshot round-trip",
                 strat.name()
             );
@@ -77,8 +77,8 @@ fn sharded_roundtrip_is_bit_identical_for_every_strategy() {
             let a = index.search(q, &params);
             let b = index2.search(q, &params);
             assert_eq!(
-                a.neighbors,
-                b.neighbors,
+                a.ranked(),
+                b.ranked(),
                 "sharded {} diverged after snapshot round-trip",
                 strat.name()
             );
