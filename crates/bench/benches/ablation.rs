@@ -21,7 +21,7 @@ use std::hint::black_box;
 fn bench_early_stop(c: &mut Criterion) {
     let ds = DatasetSpec::cifar60k().scale(Scale::Smoke).generate(61);
     let model = ModelKind::Itq.train(ds.as_slice(), ds.dim(), 10, 0);
-    let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
     let engine = QueryEngine::new(model.as_ref(), &table, ds.as_slice(), ds.dim());
     let q = ds.sample_queries(1, 5).remove(0);
 

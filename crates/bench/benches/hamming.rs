@@ -1,0 +1,195 @@
+//! Popcount-kernel benchmark across the generic code widths: scalar
+//! reference vs the dispatched Hamming batch kernel at m ∈ {32, 64, 128,
+//! 256} (1-, 1-, 2-, and 4-block codes), plus a wide-code end-to-end query
+//! latency row over a 128-bit table.
+//!
+//! Set `GQR_BENCH_SMOKE=1` to shrink iteration counts for CI smoke runs;
+//! the baseline section self-times both paths and records
+//! `results/BENCH_hamming.json` (plain `std` formatting — no JSON
+//! dependency). Its `gate_pass` field requires the dispatched kernel to be
+//! ≥ 1.5x the scalar path at m = 128 when the AVX2 popcount is active; on
+//! scalar-only hardware or under `GQR_FORCE_SCALAR=1` the gate is waived
+//! (both paths are the same code, so there is no speedup to demand).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gqr_core::engine::{QueryEngine, SearchParams};
+use gqr_core::table::HashTable;
+use gqr_l2h::lsh::Lsh;
+use gqr_linalg::kernels::{self, active_kernel, hamming_batch, scalar, KernelKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("GQR_BENCH_SMOKE").is_some()
+}
+
+/// Blocks backing an m-bit code (m = 32 still occupies one u64 block).
+fn blocks_for(m: usize) -> usize {
+    m.div_ceil(64).max(1)
+}
+
+fn random_codes(rng: &mut ChaCha8Rng, n: usize, m: usize) -> Vec<u64> {
+    let blocks = blocks_for(m);
+    let top_mask = if m.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (m % 64)) - 1
+    };
+    (0..n * blocks)
+        .map(|i| {
+            let word: u64 = rng.gen();
+            // Zero the bits above m in the last block of each code, as the
+            // encoders do.
+            if i % blocks == blocks - 1 {
+                word & top_mask
+            } else {
+                word
+            }
+        })
+        .collect()
+}
+
+fn bench_hamming_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamming");
+    group.sample_size(30);
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    let rows_n = if smoke() { 256 } else { 4096 };
+    for &m in &[32usize, 64, 128, 256] {
+        let blocks = blocks_for(m);
+        let q = random_codes(&mut rng, 1, m);
+        let codes = random_codes(&mut rng, rows_n, m);
+        let mut out = vec![0u32; rows_n];
+        group.throughput(Throughput::Elements(rows_n as u64));
+        group.bench_with_input(BenchmarkId::new("scalar_rows", m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0u32;
+                for row in codes.chunks_exact(blocks) {
+                    acc += scalar::hamming_row(black_box(&q), black_box(row));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dispatched_batch", m), &m, |bench, _| {
+            bench.iter(|| {
+                hamming_batch(black_box(&q), black_box(&codes), &mut out);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Self-timed scalar-vs-dispatched popcount baseline plus a wide-code query
+/// latency row, recorded to `results/BENCH_hamming.json`. Runs in every
+/// environment (the criterion harness may be stubbed in offline CI; this
+/// section only needs `std`).
+fn bench_hamming_baseline(c: &mut Criterion) {
+    c.bench_function("hamming_baseline_record", |b| b.iter(|| 0));
+
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let rows_n = if smoke() { 2048 } else { 16384 };
+    let reps = if smoke() { 50 } else { 400 };
+    let mut lines = Vec::new();
+    let mut speedup_128 = 0.0f64;
+    for &m in &[32usize, 64, 128, 256] {
+        let blocks = blocks_for(m);
+        let q = random_codes(&mut rng, 1, m);
+        let codes = random_codes(&mut rng, rows_n, m);
+        let mut out = vec![0u32; rows_n];
+
+        // Warm both paths, then time scalar row scan vs dispatched batch.
+        let mut sink = 0u64;
+        for row in codes.chunks_exact(blocks) {
+            sink += u64::from(scalar::hamming_row(&q, row));
+        }
+        hamming_batch(&q, &codes, &mut out);
+        let t = Instant::now();
+        for _ in 0..reps {
+            for row in codes.chunks_exact(blocks) {
+                sink += u64::from(scalar::hamming_row(black_box(&q), black_box(row)));
+            }
+        }
+        let scalar_ns = t.elapsed().as_nanos() as f64 / (reps * rows_n) as f64;
+        let t = Instant::now();
+        for _ in 0..reps {
+            hamming_batch(black_box(&q), black_box(&codes), &mut out);
+            sink += u64::from(out[0]);
+        }
+        let batch_ns = t.elapsed().as_nanos() as f64 / (reps * rows_n) as f64;
+        black_box(sink);
+        let speedup = scalar_ns / batch_ns;
+        if m == 128 {
+            speedup_128 = speedup;
+        }
+        println!(
+            "hamming: m={m} kernel={} scalar_row={scalar_ns:.2}ns/row \
+             dispatched_batch={batch_ns:.2}ns/row speedup={speedup:.2}x",
+            kernels::kernel_name()
+        );
+        lines.push(format!(
+            "    {{\"m\": {m}, \"rows\": {rows_n}, \"scalar_row_ns\": {scalar_ns:.2}, \
+             \"dispatched_batch_ns\": {batch_ns:.2}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+
+    // Wide-code end-to-end latency: Hamming-ranking search over a 128-bit
+    // table, the path a `serve --snapshot wide.gqr` deployment exercises.
+    let (n, dim, m, n_queries) = if smoke() {
+        (2000usize, 16usize, 128usize, 20usize)
+    } else {
+        (20_000, 32, 128, 100)
+    };
+    let data: Vec<f32> = (0..n * dim).map(|_| rng.gen()).collect();
+    let model = Lsh::train(&data, dim, m, 41).unwrap();
+    let table: HashTable<u128> = HashTable::build(&model, &data, dim);
+    let engine = QueryEngine::new(&model, &table, &data, dim);
+    let params = SearchParams::for_k(10)
+        .candidates(200)
+        .max_buckets(SearchParams::DEFAULT_BUCKET_CAP)
+        .strategy(gqr_core::engine::ProbeStrategy::HammingRanking)
+        .build()
+        .unwrap();
+    let queries: Vec<Vec<f32>> = (0..n_queries)
+        .map(|_| (0..dim).map(|_| rng.gen()).collect())
+        .collect();
+    for q in &queries {
+        black_box(engine.search(q, &params));
+    }
+    let t = Instant::now();
+    for q in &queries {
+        black_box(engine.search(q, &params));
+    }
+    let query_us = t.elapsed().as_micros() as f64 / n_queries as f64;
+    println!(
+        "hamming: wide query m={m} n={n} kernel={} hr_latency={query_us:.1}us/query",
+        kernels::kernel_name()
+    );
+
+    // Gate: demand the SIMD speedup only where SIMD is actually running.
+    let simd_active = active_kernel() == KernelKind::Avx2Fma;
+    let gate_pass = !simd_active || speedup_128 >= 1.5;
+    let json = format!(
+        "{{\n  \"bench\": \"hamming\",\n  \"kernel\": \"{}\",\n  \
+         \"gate\": \"dispatched >= 1.5x scalar at m=128 when AVX2 active\",\n  \
+         \"simd_active\": {simd_active},\n  \"speedup_m128\": {speedup_128:.3},\n  \
+         \"gate_pass\": {gate_pass},\n  \
+         \"wide_query\": {{\"m\": {m}, \"n\": {n}, \"k\": 10, \"strategy\": \"HR\", \
+         \"latency_us\": {query_us:.2}}},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        kernels::kernel_name(),
+        lines.join(",\n")
+    );
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("BENCH_hamming.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("hamming: could not write {}: {e}", path.display());
+        } else {
+            println!("hamming: baseline recorded to {}", path.display());
+        }
+    }
+}
+
+criterion_group!(benches, bench_hamming_widths, bench_hamming_baseline);
+criterion_main!(benches);

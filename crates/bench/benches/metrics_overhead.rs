@@ -16,7 +16,7 @@ use std::hint::black_box;
 fn bench_metrics_overhead(c: &mut Criterion) {
     let ds = DatasetSpec::cifar60k().scale(Scale::Smoke).generate(51);
     let model = ModelKind::Itq.train(ds.as_slice(), ds.dim(), 10, 0);
-    let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
     let q = ds.sample_queries(1, 9).remove(0);
     let params = SearchParams::for_k(20)
         .candidates(200)

@@ -34,7 +34,7 @@ fn bench_mutation_churn(c: &mut Criterion) {
     };
 
     let model = Itq::train(ds.as_slice(), ds.dim(), bits).unwrap();
-    let index = MutableIndex::builder(Arc::new(model))
+    let index: MutableIndex<_> = MutableIndex::builder(Arc::new(model))
         .compaction_threshold(usize::MAX) // compaction timed explicitly below
         .build(ds.as_slice(), ds.dim());
     let writer = index.writer();

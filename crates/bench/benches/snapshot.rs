@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gqr_core::engine::QueryEngine;
-use gqr_core::persist::load_index;
+use gqr_core::persist::{load_index, LoadedIndex};
 use gqr_core::table::HashTable;
 use gqr_dataset::{DatasetSpec, Scale};
 use gqr_l2h::itq::Itq;
@@ -34,7 +34,7 @@ fn bench_snapshot_cold_start(c: &mut Criterion) {
 
     // Warm: one full train+build, persisted for the load side.
     let model = Itq::train(ds.as_slice(), ds.dim(), bits).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let mut engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
     engine.enable_mih(2);
     let bytes = engine.save_snapshot(&path).unwrap();
@@ -43,7 +43,7 @@ fn bench_snapshot_cold_start(c: &mut Criterion) {
     let t = Instant::now();
     for _ in 0..reps {
         let model = Itq::train(ds.as_slice(), ds.dim(), bits).unwrap();
-        let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+        let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
         let mut engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
         engine.enable_mih(2);
         black_box(engine.table().n_items());
@@ -53,7 +53,7 @@ fn bench_snapshot_cold_start(c: &mut Criterion) {
     // Cold-start path B: load the snapshot and borrow an engine from it.
     let t = Instant::now();
     for _ in 0..reps {
-        let loaded = load_index(&path).unwrap();
+        let loaded: LoadedIndex = load_index(&path).unwrap();
         let engine = QueryEngine::from_snapshot(&loaded).unwrap();
         black_box(engine.table().n_items());
     }

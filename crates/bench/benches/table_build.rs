@@ -16,7 +16,13 @@ fn bench_build(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(ds.n() as u64));
     group.bench_function(BenchmarkId::new("hash_table", ds.n()), |b| {
-        b.iter(|| black_box(HashTable::build(model.as_ref(), ds.as_slice(), ds.dim())))
+        b.iter(|| {
+            black_box(HashTable::<u64>::build(
+                model.as_ref(),
+                ds.as_slice(),
+                ds.dim(),
+            ))
+        })
     });
 
     let codes: Vec<u64> = ds.rows().map(|r| model.encode(r)).collect();

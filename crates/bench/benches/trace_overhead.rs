@@ -49,7 +49,7 @@ fn bench_trace_overhead(c: &mut Criterion) {
 
     let ds = DatasetSpec::cifar60k().scale(Scale::Smoke).generate(51);
     let model = ModelKind::Itq.train(ds.as_slice(), ds.dim(), 10, 0);
-    let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
     let (n_queries, repeats) = if smoke() { (100, 5) } else { (400, 9) };
     let queries = ds.sample_queries(n_queries, 9);
     let params = SearchParams::for_k(20)

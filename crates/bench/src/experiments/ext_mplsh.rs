@@ -28,7 +28,7 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         let data = ctx.dataset.as_slice();
 
         let model = ModelKind::Itq.train(data, ctx.dim(), ctx.code_length, cfg.seed);
-        let table = HashTable::build(model.as_ref(), data, ctx.dim());
+        let table: HashTable = HashTable::build(model.as_ref(), data, ctx.dim());
         let engine = engine_for(model.as_ref(), &table, &ctx);
 
         let width = 1.5 * MpLshIndex::suggest_width(data, ctx.dim());

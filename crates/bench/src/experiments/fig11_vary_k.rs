@@ -25,7 +25,8 @@ pub fn run(cfg: &Config) -> io::Result<()> {
             let ctx = ExperimentContext::prepare_with_k(&spec, cfg, k);
             let model =
                 ModelKind::Itq.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, cfg.seed);
-            let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+            let table: HashTable =
+                HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
             let engine = engine_for(model.as_ref(), &table, &ctx);
             let budgets = budget_ladder(ctx.n(), k, 0.6);
 

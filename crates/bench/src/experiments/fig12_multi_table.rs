@@ -80,7 +80,8 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         }
 
         // Single-table GQR reference.
-        let table = HashTable::build(models[0].as_ref(), ctx.dataset.as_slice(), ctx.dim());
+        let table: HashTable =
+            HashTable::build(models[0].as_ref(), ctx.dataset.as_slice(), ctx.dim());
         let engine = engine_for(models[0].as_ref(), &table, &ctx);
         let gqr = strategy_curve(
             "GQR (1)",

@@ -36,7 +36,7 @@ pub fn run(cfg: &Config) -> io::Result<()> {
 
         let model =
             ModelKind::Pcah.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, cfg.seed);
-        let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+        let table: HashTable = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
         let engine = engine_for(model.as_ref(), &table, &ctx);
         curves.push(strategy_curve(
             "PCAH+GQR",

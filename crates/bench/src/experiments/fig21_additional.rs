@@ -34,7 +34,8 @@ pub fn run(cfg: &Config) -> io::Result<()> {
         let mut curves = Vec::new();
         for kind in [ModelKind::Itq, ModelKind::Pcah] {
             let model = kind.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, cfg.seed);
-            let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+            let table: HashTable =
+                HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
             let engine = engine_for(model.as_ref(), &table, &ctx);
             curves.push(strategy_curve(
                 format!("{}+GQR", kind.name()),

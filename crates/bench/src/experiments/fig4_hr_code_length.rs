@@ -30,7 +30,7 @@ pub fn run(cfg: &Config) -> io::Result<()> {
     let mut rows = Vec::new();
     for &m in &code_lengths {
         let model = ModelKind::Itq.train(ctx.dataset.as_slice(), ctx.dim(), m, cfg.seed);
-        let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+        let table: HashTable = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
         let engine = engine_for(model.as_ref(), &table, &ctx);
         let budgets = budget_ladder(ctx.n(), cfg.k, 0.5);
         let label = format!("HR-{m}");

@@ -42,7 +42,7 @@ pub(crate) fn run_strategies(
     ladder_frac: f64,
 ) -> Vec<RecallCurve> {
     let model = kind.train(ctx.dataset.as_slice(), ctx.dim(), ctx.code_length, seed);
-    let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+    let table: HashTable = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
     let mut engine = engine_for(model.as_ref(), &table, ctx);
     if strategies
         .iter()

@@ -454,7 +454,7 @@ mod tests {
     fn strategy_curve_reaches_full_recall_when_probing_everything() {
         let ctx = smoke_ctx();
         let model = ModelKind::Pcah.train(ctx.dataset.as_slice(), ctx.dim(), 8, 1);
-        let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+        let table: HashTable = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
         let engine = engine_for(model.as_ref(), &table, &ctx);
         let budgets = vec![50, ctx.n()];
         let curve = strategy_curve(
@@ -564,7 +564,7 @@ mod tests {
     fn engine_for_shares_context_registry() {
         let ctx = smoke_ctx();
         let model = ModelKind::Pcah.train(ctx.dataset.as_slice(), ctx.dim(), 8, 1);
-        let table = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
+        let table: HashTable = HashTable::build(model.as_ref(), ctx.dataset.as_slice(), ctx.dim());
         let engine = engine_for(model.as_ref(), &table, &ctx);
         let params = SearchParams::for_k(5)
             .candidates(100)

@@ -192,7 +192,7 @@ mod tests {
     fn parallel_matches_serial() {
         let data = grid();
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         let engine = QueryEngine::new(&model, &table, &data, 2);
         let queries: Vec<Vec<f32>> = (0..30)
             .map(|i| vec![(i % 19) as f32 + 0.3, (i / 2) as f32])
@@ -216,7 +216,7 @@ mod tests {
     fn explicit_executor_matches_serial() {
         let data = grid();
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         let engine = QueryEngine::new(&model, &table, &data, 2);
         let queries: Vec<Vec<f32>> = (0..40)
             .map(|i| vec![(i % 19) as f32 + 0.1, (i % 13) as f32])
@@ -239,7 +239,7 @@ mod tests {
     fn batch_recall_aggregates() {
         let data = grid();
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         let engine = QueryEngine::new(&model, &table, &data, 2);
         let queries: Vec<Vec<f32>> = vec![vec![0.0, 0.0], vec![5.0, 5.0]];
         let truth = vec![vec![0u32], vec![105u32]];
@@ -272,7 +272,7 @@ mod tests {
     fn empty_batch() {
         let data = grid();
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         let engine = QueryEngine::new(&model, &table, &data, 2);
         let out = engine.search_batch(&[], &SearchParams::default(), 4);
         assert!(out.is_empty());

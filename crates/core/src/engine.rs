@@ -6,6 +6,7 @@
 //! incremental, which also enables the checkpointed instrumentation behind
 //! every recall–time curve in the evaluation).
 
+use crate::code::{typed_encoding, CodeWord};
 use crate::metrics::{
     metric_name, MarkerKind, MetricsRegistry, Phase, PhaseSpans, SpanId, TraceContext,
 };
@@ -152,6 +153,16 @@ impl Default for SearchParams {
 }
 
 impl SearchParams {
+    /// Default bucket cap applied at the serving boundaries (HTTP wire,
+    /// CLI) when the caller does not set `max_buckets` explicitly. The
+    /// generate-to-probe strategies enumerate a 2^m bucket space; at wide
+    /// code lengths an unreachable candidate budget would otherwise spin
+    /// effectively forever. A million generated buckets finishes in well
+    /// under a second and is far past the point where extra probing stops
+    /// improving recall. Library callers constructing [`SearchParams`]
+    /// directly are unaffected.
+    pub const DEFAULT_BUCKET_CAP: usize = 1_000_000;
+
     /// Start a validating builder for a `k`-NN search. The candidate budget
     /// defaults to `max(1000, k)` so a bare `for_k(n).build()` is always
     /// valid; override it with [`SearchParamsBuilder::candidates`].
@@ -298,13 +309,13 @@ impl SearchParamsBuilder {
 /// an owned one; [`ShardedIndex`](crate::shard::ShardedIndex) builds one per
 /// shard once and lends it to the short-lived engines it constructs per
 /// query, so the (expensive) substring tables are never rebuilt.
-enum MihHandle<'a> {
-    Owned(MihIndex),
-    Borrowed(&'a MihIndex),
+enum MihHandle<'a, C: CodeWord = u64> {
+    Owned(MihIndex<C>),
+    Borrowed(&'a MihIndex<C>),
 }
 
-impl MihHandle<'_> {
-    fn get(&self) -> &MihIndex {
+impl<C: CodeWord> MihHandle<'_, C> {
+    fn get(&self) -> &MihIndex<C> {
         match self {
             MihHandle::Owned(m) => m,
             MihHandle::Borrowed(m) => m,
@@ -313,13 +324,17 @@ impl MihHandle<'_> {
 }
 
 /// A querying engine over one hash table.
-pub struct QueryEngine<'a, M: HashModel + ?Sized> {
+///
+/// Generic over the code width `C` (default `u64`): the width is fixed when
+/// the table is built, and everything downstream — probers, MIH, bucket
+/// lookups — is monomorphized over it. Narrow call sites are unchanged.
+pub struct QueryEngine<'a, M: HashModel + ?Sized, C: CodeWord = u64> {
     model: &'a M,
-    table: &'a HashTable,
+    table: &'a HashTable<C>,
     data: &'a [f32],
     dim: usize,
     metric: Metric,
-    mih: Option<MihHandle<'a>>,
+    mih: Option<MihHandle<'a, C>>,
     metrics: MetricsRegistry,
     /// Overrides the metric family the per-query spans flush under:
     /// `(component, extra labels)`. `None` means the default
@@ -327,11 +342,17 @@ pub struct QueryEngine<'a, M: HashModel + ?Sized> {
     span_scope: Option<(String, Vec<(String, String)>)>,
 }
 
-impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
+impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
     /// Engine over `table` built from `model`, with `data` (row-major,
     /// `dim` columns) available for exact re-ranking.
-    pub fn new(model: &'a M, table: &'a HashTable, data: &'a [f32], dim: usize) -> Self {
+    pub fn new(model: &'a M, table: &'a HashTable<C>, data: &'a [f32], dim: usize) -> Self {
         assert_eq!(model.dim(), dim, "model and data dimensionality differ");
+        assert!(
+            model.code_length() <= C::BITS,
+            "{}-bit codes do not fit the {}-bit code word",
+            model.code_length(),
+            C::BITS
+        );
         assert!(data.len().is_multiple_of(dim), "data must be n×dim");
         // Dynamic tables (insert/remove) may hold fewer items than the data
         // buffer has rows; every indexed id must stay addressable.
@@ -439,7 +460,7 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
     /// index must have been built over this table's codes. Lets callers that
     /// construct engines per query (the sharded serving path) pay the MIH
     /// build cost once instead of per search.
-    pub fn with_mih(mut self, mih: &'a MihIndex) -> Self {
+    pub fn with_mih(mut self, mih: &'a MihIndex<C>) -> Self {
         assert_eq!(
             mih.code_length(),
             self.table.code_length(),
@@ -449,28 +470,8 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         self
     }
 
-    /// Persist everything this engine serves from — model, table, vectors,
-    /// and the MIH side index if one is attached — as a one-shard snapshot
-    /// at `path` (crash-safe; see [`crate::persist`]). Returns the bytes
-    /// written. Reload with [`crate::persist::load_index`] +
-    /// [`QueryEngine::from_snapshot`].
-    pub fn save_snapshot(
-        &self,
-        path: &std::path::Path,
-    ) -> Result<u64, crate::persist::PersistError> {
-        crate::persist::save_index(
-            path,
-            self.model,
-            self.table,
-            self.data,
-            self.dim,
-            self.mih.as_ref().map(|h| h.get()),
-            self.metric,
-        )
-    }
-
     /// The hash table.
-    pub fn table(&self) -> &HashTable {
+    pub fn table(&self) -> &HashTable<C> {
         self.table
     }
 
@@ -607,12 +608,12 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         let mut spans = PhaseSpans::new(&self.metrics);
         let t = spans.begin();
         let ts = trace.begin_opt(troot, Phase::HashQuery.as_str(), t);
-        let qe = self.model.encode_query(query);
+        let qe = typed_encoding::<C>(self.model.encode_query_wide(query));
         spans.end(Phase::HashQuery, t);
         trace.end(ts);
         let t = spans.begin();
         let ts = trace.begin_opt(troot, Phase::ProbeGenerate.as_str(), t);
-        let mut prober: Box<dyn Prober + '_> = match params.strategy {
+        let mut prober: Box<dyn Prober<C> + '_> = match params.strategy {
             ProbeStrategy::HammingRanking => Box::new(HammingRanking::new(self.table)),
             ProbeStrategy::GenerateHammingRanking => {
                 Box::new(GenerateHammingRanking::new(self.table.code_length()))
@@ -773,12 +774,21 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
         let mut spans = PhaseSpans::new(&self.metrics);
         let t = spans.begin();
         let ts = trace.begin_opt(troot, Phase::HashQuery.as_str(), t);
-        let code = self.model.encode(query);
+        let code = C::from_blocks(self.model.encode_wide(query).blocks());
         spans.end(Phase::HashQuery, t);
         trace.end(ts);
         let t = spans.begin();
         let ts = trace.begin_opt(troot, Phase::ProbeGenerate.as_str(), t);
         let mut searcher = mih.search(code);
+        // Same contract as the bucket-generation path: `max_buckets` bounds
+        // substring-bucket lookups, occupied or not. The cap lives inside
+        // the searcher because one radius expansion enumerates C(bits, r)
+        // masks per block (up to 64-bit substrings) — a between-batch check
+        // could overshoot by an entire radius shell. Items found before the
+        // cap fires are still evaluated, like buckets already generated.
+        if let Some(mb) = params.max_buckets {
+            searcher.set_lookup_cap(mb);
+        }
         spans.end(Phase::ProbeGenerate, t);
         trace.end(ts);
         let mut topk = TopK::new(params.k);
@@ -879,6 +889,28 @@ impl<'a, M: HashModel + ?Sized> QueryEngine<'a, M> {
     }
 }
 
+impl<M: HashModel + ?Sized, C: CodeWord> QueryEngine<'_, M, C> {
+    /// Persist everything this engine serves from — model, table, vectors,
+    /// and the MIH side index if one is attached — as a one-shard snapshot
+    /// at `path` (crash-safe; see [`crate::persist`]). Returns the bytes
+    /// written. Reload with [`crate::persist::load_index`] +
+    /// [`crate::persist::LoadedIndex`].
+    pub fn save_snapshot(
+        &self,
+        path: &std::path::Path,
+    ) -> Result<u64, crate::persist::PersistError> {
+        crate::persist::save_index(
+            path,
+            self.model,
+            self.table,
+            self.data,
+            self.dim,
+            self.mih.as_ref().map(|h| h.get()),
+            self.metric,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -909,7 +941,7 @@ mod tests {
     fn engine_fixture() -> (Vec<f32>, Pcah, HashTable) {
         let (data, dim) = grid();
         let model = Pcah::train(&data, dim, 2).unwrap();
-        let table = HashTable::build(&model, &data, dim);
+        let table: HashTable = HashTable::build(&model, &data, dim);
         (data, model, table)
     }
 

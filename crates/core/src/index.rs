@@ -11,6 +11,7 @@
 //! pair is the only query entry point (the legacy per-feature wrappers
 //! are gone).
 
+use crate::code::CodeWord;
 use crate::engine::{QueryEngine, SearchResponse};
 use crate::live::{MutableIndex, ShardedMutableIndex};
 use crate::metrics::MetricsRegistry;
@@ -38,7 +39,7 @@ pub trait Index {
     fn metrics(&self) -> &MetricsRegistry;
 }
 
-impl<M: HashModel + ?Sized> Index for QueryEngine<'_, M> {
+impl<M: HashModel + ?Sized, C: CodeWord> Index for QueryEngine<'_, M, C> {
     fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         QueryEngine::run(self, req)
     }
@@ -80,7 +81,7 @@ impl Index for MultiTableIndex<'_> {
     }
 }
 
-impl<M: HashModel + ?Sized + 'static> Index for MutableIndex<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> Index for MutableIndex<M, C> {
     fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         MutableIndex::run(self, req)
     }
@@ -94,7 +95,7 @@ impl<M: HashModel + ?Sized + 'static> Index for MutableIndex<M> {
     }
 }
 
-impl<M: HashModel + ?Sized + 'static> Index for ShardedMutableIndex<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> Index for ShardedMutableIndex<M, C> {
     fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         ShardedMutableIndex::run(self, req)
     }
@@ -141,7 +142,7 @@ mod tests {
     fn every_index_shape_answers_through_the_trait() {
         let data = grid(100);
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         let q = [4.2f32, 3.1];
 
         let engine = QueryEngine::new(&model, &table, &data, 2);
@@ -152,11 +153,11 @@ mod tests {
         assert_eq!(query_dyn(&sharded, &q, 5), expect);
         assert_eq!(Index::n_items(&sharded), 100);
 
-        let mutable = MutableIndex::build(Arc::new(model.clone()), &data, 2);
+        let mutable: MutableIndex<_> = MutableIndex::build(Arc::new(model.clone()), &data, 2);
         assert_eq!(query_dyn(&mutable, &q, 5), expect);
         assert_eq!(Index::n_items(&mutable), 100);
 
-        let sharded_mutable =
+        let sharded_mutable: ShardedMutableIndex<_> =
             ShardedMutableIndex::build(MutableIndex::builder(Arc::new(model.clone())), &data, 2, 3);
         assert_eq!(query_dyn(&sharded_mutable, &q, 5), expect);
         assert_eq!(Index::n_items(&sharded_mutable), 100);

@@ -40,7 +40,7 @@
 //!     data.push((i / 20) as f32);
 //! }
 //! let model = Pcah::train(&data, 2, 2).unwrap();
-//! let table = HashTable::build(&model, &data, 2);
+//! let table: HashTable = HashTable::build(&model, &data, 2);
 //! let engine = QueryEngine::new(&model, &table, &data, 2);
 //!
 //! let params = SearchParams { k: 5, n_candidates: 50, ..Default::default() };
@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 pub mod batch;
 pub mod code;
+pub mod dispatch;
 pub mod engine;
 pub mod executor;
 pub mod index;

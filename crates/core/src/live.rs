@@ -46,6 +46,7 @@
 //! the residue class `id ≡ s (mod S)` — mutations route by `id % S`
 //! without any shared allocator.
 
+use crate::code::CodeWord;
 use crate::engine::{QueryEngine, SearchResponse};
 use crate::executor::Executor;
 use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, SpanId};
@@ -60,6 +61,7 @@ use gqr_linalg::vecops::Metric;
 use gqr_linalg::wire::{ByteReader, ByteWriter, WireError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
+use std::marker::PhantomData;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
@@ -76,21 +78,21 @@ pub const DEFAULT_COMPACTION_THRESHOLD: usize = 512;
 /// segment is large and shared (`Arc`); the delta segment is small and
 /// cloned copy-on-write by each mutation.
 #[derive(Clone)]
-struct Segment {
+struct Segment<C: CodeWord = u64> {
     /// Row-major vectors, `dim` columns.
     data: Vec<f32>,
     /// Slot → external id.
     ids: Vec<u32>,
     /// Slot → bucket code (cached so compaction never re-encodes).
-    codes: Vec<u64>,
+    codes: Vec<C>,
     /// Slot-addressed hash table (dense ids `0..rows`).
-    table: HashTable,
+    table: HashTable<C>,
     /// MIH block tables over `codes`, when MIH is enabled.
-    mih: Option<MihIndex>,
+    mih: Option<MihIndex<C>>,
 }
 
-impl Segment {
-    fn empty(code_length: usize) -> Segment {
+impl<C: CodeWord> Segment<C> {
+    fn empty(code_length: usize) -> Segment<C> {
         Segment {
             data: Vec::new(),
             ids: Vec::new(),
@@ -109,7 +111,7 @@ impl Segment {
     }
 
     /// Append one row; the caller rebuilds the MIH afterwards if needed.
-    fn push(&mut self, row: &[f32], id: u32, code: u64) {
+    fn push(&mut self, row: &[f32], id: u32, code: C) {
         let local = self.ids.len() as u32;
         self.data.extend_from_slice(row);
         self.ids.push(id);
@@ -132,17 +134,17 @@ impl Segment {
 /// global slots. Obtained from [`MutableIndex::pin`]; everything reachable
 /// from a generation is frozen, so a pinned generation can be queried
 /// concurrently with any number of mutations.
-pub struct Generation {
+pub struct Generation<C: CodeWord = u64> {
     epoch: u64,
-    base: Arc<Segment>,
-    delta: Segment,
+    base: Arc<Segment<C>>,
+    delta: Segment<C>,
     /// Deleted global slots (base slot `s` → `s`; delta row `j` →
     /// `base_rows + j`). Shared between generations when a mutation does
     /// not touch it.
     tombstones: Arc<HashSet<u32>>,
 }
 
-impl Generation {
+impl<C: CodeWord> Generation<C> {
     /// The epoch counter: bumped by exactly one per published mutation or
     /// compaction.
     pub fn epoch(&self) -> u64 {
@@ -194,7 +196,7 @@ impl Generation {
     }
 
     /// `(vector, external id, code)` of global slot `g`.
-    fn row(&self, g: usize, dim: usize) -> (&[f32], u32, u64) {
+    fn row(&self, g: usize, dim: usize) -> (&[f32], u32, C) {
         let base_rows = self.base.rows();
         if g < base_rows {
             (
@@ -224,7 +226,7 @@ struct WriterState {
 /// The epoch-versioned vector store behind [`MutableIndex`]: owns the
 /// vectors, publishes [`Generation`]s, serializes writers, and runs
 /// compaction. Shared by every handle (`Arc`); all methods take `&self`.
-pub struct VersionedStore<M: HashModel + ?Sized> {
+pub struct VersionedStore<M: HashModel + ?Sized, C: CodeWord = u64> {
     model: Arc<M>,
     dim: usize,
     metric: Metric,
@@ -232,27 +234,27 @@ pub struct VersionedStore<M: HashModel + ?Sized> {
     compaction_threshold: usize,
     background_compaction: bool,
     id_step: u32,
-    current: RwLock<Arc<Generation>>,
+    current: RwLock<Arc<Generation<C>>>,
     writer: Mutex<WriterState>,
     /// Guards against concurrent compactions (the flag is set before the
     /// rebuild starts and cleared after the swap).
     compacting: AtomicBool,
     /// Self-reference so background compaction jobs can keep the store
     /// alive on the executor without a reference cycle.
-    myself: Weak<VersionedStore<M>>,
+    myself: Weak<VersionedStore<M, C>>,
     metrics: MetricsRegistry,
 }
 
-impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
     /// Pin the current generation: one brief read-lock to clone the `Arc`,
     /// after which the caller holds a frozen, consistent view.
-    fn pin(&self) -> Arc<Generation> {
+    fn pin(&self) -> Arc<Generation<C>> {
         self.current.read().clone()
     }
 
     /// Swap in a new generation and refresh the size gauges. Callers hold
     /// the writer mutex, so publishes are totally ordered.
-    fn publish(&self, gen: Generation) {
+    fn publish(&self, gen: Generation<C>) {
         if self.metrics.is_enabled() {
             self.metrics.set("gqr_live_epoch", gen.epoch);
             self.metrics.set("gqr_delta_items", gen.delta.rows() as u64);
@@ -280,11 +282,15 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
 
     /// Append one row to a copy of `gen`'s delta and return the new delta
     /// plus the row's global slot.
-    fn grown_delta(&self, gen: &Generation, vector: &[f32], id: u32) -> (Segment, u32) {
+    fn grown_delta(&self, gen: &Generation<C>, vector: &[f32], id: u32) -> (Segment<C>, u32) {
         let total = gen.base.rows() + gen.delta.rows();
         assert!(total < u32::MAX as usize, "slot space is u32");
         let mut delta = gen.delta.clone();
-        delta.push(vector, id, self.model.encode(vector));
+        delta.push(
+            vector,
+            id,
+            C::from_blocks(self.model.encode_wide(vector).blocks()),
+        );
         delta.rebuild_mih(self.mih_blocks);
         ((delta), (total) as u32)
     }
@@ -544,7 +550,11 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
     }
 
     /// A short-lived engine over one frozen segment.
-    fn segment_engine<'s>(&'s self, seg: &'s Segment, label: &'static str) -> QueryEngine<'s, M> {
+    fn segment_engine<'s>(
+        &'s self,
+        seg: &'s Segment<C>,
+        label: &'static str,
+    ) -> QueryEngine<'s, M, C> {
         let mut engine = QueryEngine::new(&*self.model, &seg.table, &seg.data, self.dim)
             .with_metric(self.metric)
             .with_metrics(self.metrics.clone())
@@ -562,7 +572,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
     /// filter speaks external ids. Checkpoints are rejected (per-segment
     /// snapshots cannot be merged); a deadline tightens the per-segment
     /// soft time limit.
-    fn run_pinned(&self, gen: &Generation, req: SearchRequest<'_>) -> SearchResponse {
+    fn run_pinned(&self, gen: &Generation<C>, req: SearchRequest<'_>) -> SearchResponse {
         let parts = req.into_parts();
         let (query, mut params) = (parts.query, parts.params);
         let deadline = params.deadline;
@@ -589,7 +599,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
         let base_rows = gen.base.rows() as u32;
         let mut topk = TopK::new(params.k);
         let mut stats = ProbeStats::default();
-        let segments: [(&Segment, u32, &'static str); 2] =
+        let segments: [(&Segment<C>, u32, &'static str); 2] =
             [(&gen.base, 0, "base"), (&gen.delta, base_rows, "delta")];
         for (track, (seg, offset, label)) in segments.into_iter().enumerate() {
             if seg.rows() == 0 {
@@ -668,6 +678,7 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
         let w = self.writer.lock();
         let gen = self.pin();
         let mut sw = SnapshotWriter::new();
+        sw.set_code_width(C::BITS);
         sw.add_model(&*self.model)?;
         sw.add_manifest(self.metric, &[(gen.base.rows(), gen.base.mih.is_some())]);
         sw.add_vectors(&gen.base.data, self.dim);
@@ -699,7 +710,15 @@ impl<M: HashModel + ?Sized + 'static> VersionedStore<M> {
 
         let mut d = ByteWriter::new();
         d.put_u32_slice(&gen.delta.ids);
-        d.put_u64_slice(&gen.delta.codes);
+        // Codes flatten to C::BLOCKS little-endian u64 blocks per row; for
+        // u64 codes this is byte-identical to the v2 payload.
+        let mut flat = Vec::with_capacity(gen.delta.codes.len() * C::BLOCKS);
+        for code in &gen.delta.codes {
+            for b in 0..C::BLOCKS {
+                flat.push(code.block(b));
+            }
+        }
+        d.put_u64_slice(&flat);
         d.put_f32_slice(&gen.delta.data);
         sw.add_section(SectionKind::DeltaSegment, d.into_bytes());
         sw.write(path)
@@ -773,19 +792,29 @@ fn decode_live_state(bytes: &[u8]) -> Result<LiveState, WireError> {
 }
 
 /// Decoded [`SectionKind::DeltaSegment`] payload.
-struct DeltaPayload {
+struct DeltaPayload<C: CodeWord = u64> {
     ids: Vec<u32>,
-    codes: Vec<u64>,
+    codes: Vec<C>,
     data: Vec<f32>,
 }
 
-fn decode_delta(bytes: &[u8]) -> Result<DeltaPayload, WireError> {
+fn decode_delta<C: CodeWord>(bytes: &[u8]) -> Result<DeltaPayload<C>, WireError> {
     let mut r = ByteReader::new(bytes);
     let ids = r.get_u32_vec()?;
-    let codes = r.get_u64_vec()?;
+    let flat = r.get_u64_vec()?;
     let data = r.get_f32_vec()?;
-    if codes.len() != ids.len() {
+    if flat.len() != ids.len() * C::BLOCKS {
         return Err(WireError::Malformed("delta ids and codes disagree"));
+    }
+    let mut codes = Vec::with_capacity(ids.len());
+    for chunk in flat.chunks_exact(C::BLOCKS) {
+        for (i, &b) in chunk.iter().enumerate() {
+            let width_here = C::BITS.saturating_sub(i * 64).min(64);
+            if width_here < 64 && b >> width_here != 0 {
+                return Err(WireError::Malformed("delta code exceeds the code width"));
+            }
+        }
+        codes.push(C::from_blocks(chunk));
     }
     r.expect_end()?;
     Ok(DeltaPayload { ids, codes, data })
@@ -794,16 +823,17 @@ fn decode_delta(bytes: &[u8]) -> Result<DeltaPayload, WireError> {
 /// Configures and builds a [`MutableIndex`] (mirror of
 /// [`SearchParamsBuilder`](crate::engine::SearchParamsBuilder) on the
 /// construction side).
-pub struct MutableIndexBuilder<M: HashModel + ?Sized> {
+pub struct MutableIndexBuilder<M: HashModel + ?Sized, C: CodeWord = u64> {
     model: Arc<M>,
     metric: Metric,
     metrics: MetricsRegistry,
     mih_blocks: Option<usize>,
     compaction_threshold: usize,
     background_compaction: bool,
+    code: PhantomData<C>,
 }
 
-impl<M: HashModel + ?Sized + 'static> MutableIndexBuilder<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> MutableIndexBuilder<M, C> {
     /// Exact-evaluation metric (default squared Euclidean).
     pub fn metric(mut self, metric: Metric) -> Self {
         self.metric = metric;
@@ -846,7 +876,7 @@ impl<M: HashModel + ?Sized + 'static> MutableIndexBuilder<M> {
 
     /// Build over `data` (row-major, `dim` columns). Initial rows get
     /// external ids `0..n`.
-    pub fn build(self, data: &[f32], dim: usize) -> MutableIndex<M> {
+    pub fn build(self, data: &[f32], dim: usize) -> MutableIndex<M, C> {
         let n = data.len() / dim.max(1);
         self.build_with_ids(data, dim, (0..n as u32).collect(), n as u32, 1)
     }
@@ -861,7 +891,7 @@ impl<M: HashModel + ?Sized + 'static> MutableIndexBuilder<M> {
         ids: Vec<u32>,
         next_id: u32,
         id_step: u32,
-    ) -> MutableIndex<M> {
+    ) -> MutableIndex<M, C> {
         assert_eq!(
             self.model.dim(),
             dim,
@@ -874,9 +904,15 @@ impl<M: HashModel + ?Sized + 'static> MutableIndexBuilder<M> {
         let n = data.len() / dim;
         assert_eq!(ids.len(), n, "one external id per row");
         assert!(n < u32::MAX as usize, "id space is u32");
-        let codes: Vec<u64> = data
+        assert!(
+            self.model.code_length() <= C::BITS,
+            "code length {} exceeds the {}-bit code word",
+            self.model.code_length(),
+            C::BITS
+        );
+        let codes: Vec<C> = data
             .chunks_exact(dim)
-            .map(|row| self.model.encode(row))
+            .map(|row| C::from_blocks(self.model.encode_wide(row).blocks()))
             .collect();
         let table = HashTable::from_codes(self.model.code_length(), &codes);
         let mut base = Segment {
@@ -935,7 +971,7 @@ impl<M: HashModel + ?Sized + 'static> MutableIndexBuilder<M> {
 ///     data.push((i / 20) as f32);
 /// }
 /// let model = Pcah::train(&data, 2, 2).unwrap();
-/// let index = MutableIndex::build(Arc::new(model), &data, 2);
+/// let index: MutableIndex<_> = MutableIndex::build(Arc::new(model), &data, 2);
 /// let writer = index.writer();
 /// let id = writer.insert(&[3.0, 4.0]);
 /// assert!(writer.delete(5));
@@ -945,11 +981,11 @@ impl<M: HashModel + ?Sized + 'static> MutableIndexBuilder<M> {
 /// assert_eq!(res.ids[0], id, "the fresh insert is its own 1-NN");
 /// assert!(res.ids.iter().all(|&got| got != 5), "deleted id is masked");
 /// ```
-pub struct MutableIndex<M: HashModel + ?Sized = dyn HashModel> {
-    store: Arc<VersionedStore<M>>,
+pub struct MutableIndex<M: HashModel + ?Sized = dyn HashModel, C: CodeWord = u64> {
+    store: Arc<VersionedStore<M, C>>,
 }
 
-impl<M: HashModel + ?Sized + 'static> Clone for MutableIndex<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> Clone for MutableIndex<M, C> {
     fn clone(&self) -> Self {
         MutableIndex {
             store: Arc::clone(&self.store),
@@ -957,9 +993,9 @@ impl<M: HashModel + ?Sized + 'static> Clone for MutableIndex<M> {
     }
 }
 
-impl<M: HashModel + ?Sized + 'static> MutableIndex<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> MutableIndex<M, C> {
     /// Start a builder around the hashing model.
-    pub fn builder(model: Arc<M>) -> MutableIndexBuilder<M> {
+    pub fn builder(model: Arc<M>) -> MutableIndexBuilder<M, C> {
         MutableIndexBuilder {
             model,
             metric: Metric::SquaredEuclidean,
@@ -967,17 +1003,18 @@ impl<M: HashModel + ?Sized + 'static> MutableIndex<M> {
             mih_blocks: None,
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             background_compaction: false,
+            code: PhantomData,
         }
     }
 
     /// Build with defaults over `data` (row-major, `dim` columns).
-    pub fn build(model: Arc<M>, data: &[f32], dim: usize) -> MutableIndex<M> {
+    pub fn build(model: Arc<M>, data: &[f32], dim: usize) -> MutableIndex<M, C> {
         Self::builder(model).build(data, dim)
     }
 
     /// A writer handle routing mutations into the store. Writers serialize
     /// on an internal mutex; any number of handles may coexist.
-    pub fn writer(&self) -> IndexWriter<M> {
+    pub fn writer(&self) -> IndexWriter<M, C> {
         IndexWriter {
             store: Arc::clone(&self.store),
         }
@@ -986,7 +1023,7 @@ impl<M: HashModel + ?Sized + 'static> MutableIndex<M> {
     /// Pin the current generation (one `Arc` clone under a brief read
     /// lock). Queries against the pinned generation see exactly its epoch
     /// regardless of concurrent mutations.
-    pub fn pin(&self) -> Arc<Generation> {
+    pub fn pin(&self) -> Arc<Generation<C>> {
         self.store.pin()
     }
 
@@ -1003,7 +1040,7 @@ impl<M: HashModel + ?Sized + 'static> MutableIndex<M> {
     /// evaluate time before any distance is computed, and the per-segment
     /// top-k merge to the global result. Neighbor ids are external ids; a
     /// request filter also speaks external ids. Checkpoints are rejected.
-    pub fn run_pinned(&self, gen: &Generation, req: SearchRequest<'_>) -> SearchResponse {
+    pub fn run_pinned(&self, gen: &Generation<C>, req: SearchRequest<'_>) -> SearchResponse {
         self.store.run_pinned(gen, req)
     }
 
@@ -1066,7 +1103,7 @@ impl<M: HashModel + ?Sized + 'static> MutableIndex<M> {
     }
 }
 
-impl<M: HashModel + ?Sized + 'static> std::fmt::Debug for MutableIndex<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> std::fmt::Debug for MutableIndex<M, C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let gen = self.store.pin();
         f.debug_struct("MutableIndex")
@@ -1079,12 +1116,12 @@ impl<M: HashModel + ?Sized + 'static> std::fmt::Debug for MutableIndex<M> {
     }
 }
 
-impl MutableIndex<dyn HashModel> {
+impl<C: CodeWord> MutableIndex<dyn HashModel, C> {
     /// Reload a snapshot written by [`MutableIndex::save_snapshot`] — or
     /// any plain one-shard index snapshot, which loads with an empty delta,
     /// identity ids, and a fresh allocator. Sharded snapshots are rejected
     /// with [`PersistError::WrongShardCount`].
-    pub fn from_snapshot(path: &Path) -> Result<MutableIndex<dyn HashModel>, PersistError> {
+    pub fn from_snapshot(path: &Path) -> Result<MutableIndex<dyn HashModel, C>, PersistError> {
         let file = SnapshotFile::read(path)?;
         Self::from_snapshot_file(&file)
     }
@@ -1093,7 +1130,13 @@ impl MutableIndex<dyn HashModel> {
     /// already checksum-verified) [`SnapshotFile`].
     pub fn from_snapshot_file(
         file: &SnapshotFile,
-    ) -> Result<MutableIndex<dyn HashModel>, PersistError> {
+    ) -> Result<MutableIndex<dyn HashModel, C>, PersistError> {
+        if file.code_width() != C::BITS {
+            return Err(PersistError::WidthMismatch {
+                found: file.code_width(),
+                expected: C::BITS,
+            });
+        }
         let model: Arc<dyn HashModel> = Arc::from(file.model()?);
         let (data, dim) = file.vectors()?;
         let (metric, manifest) = file.manifest()?;
@@ -1261,11 +1304,11 @@ impl MutableIndex<dyn HashModel> {
 /// Mutation handle for a [`MutableIndex`]. All methods take `&self`;
 /// concurrent writers serialize on the store's writer mutex, and every
 /// mutation publishes one new epoch.
-pub struct IndexWriter<M: HashModel + ?Sized = dyn HashModel> {
-    store: Arc<VersionedStore<M>>,
+pub struct IndexWriter<M: HashModel + ?Sized = dyn HashModel, C: CodeWord = u64> {
+    store: Arc<VersionedStore<M, C>>,
 }
 
-impl<M: HashModel + ?Sized + 'static> Clone for IndexWriter<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> Clone for IndexWriter<M, C> {
     fn clone(&self) -> Self {
         IndexWriter {
             store: Arc::clone(&self.store),
@@ -1273,7 +1316,7 @@ impl<M: HashModel + ?Sized + 'static> Clone for IndexWriter<M> {
     }
 }
 
-impl<M: HashModel + ?Sized + 'static> IndexWriter<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> IndexWriter<M, C> {
     /// Insert one vector; returns its freshly allocated external id. The
     /// row is hashed through the model into the delta segment and is
     /// visible to every query that pins a later epoch.
@@ -1304,23 +1347,23 @@ impl<M: HashModel + ?Sized + 'static> IndexWriter<M> {
 /// external id `i` always lives in shard `i % S` (each shard's allocator
 /// hands out its own residue class), so deletes and upserts route without
 /// any directory. Inserts round-robin across shards.
-pub struct ShardedMutableIndex<M: HashModel + ?Sized = dyn HashModel> {
-    shards: Vec<MutableIndex<M>>,
+pub struct ShardedMutableIndex<M: HashModel + ?Sized = dyn HashModel, C: CodeWord = u64> {
+    shards: Vec<MutableIndex<M, C>>,
     round_robin: AtomicUsize,
     metrics: MetricsRegistry,
 }
 
-impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> ShardedMutableIndex<M, C> {
     /// Partition `data` row-wise (row `i` → shard `i % n_shards`, keeping
     /// external id `i`) and build one [`MutableIndex`] per shard with this
     /// builder's configuration. The builder's metrics registry is shared by
     /// every shard.
     pub fn build(
-        builder: MutableIndexBuilder<M>,
+        builder: MutableIndexBuilder<M, C>,
         data: &[f32],
         dim: usize,
         n_shards: usize,
-    ) -> ShardedMutableIndex<M> {
+    ) -> ShardedMutableIndex<M, C> {
         assert!(n_shards > 0, "need at least one shard");
         assert!(
             dim > 0 && data.len().is_multiple_of(dim),
@@ -1345,6 +1388,7 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
                 mih_blocks: builder.mih_blocks,
                 compaction_threshold: builder.compaction_threshold,
                 background_compaction: builder.background_compaction,
+                code: PhantomData,
             };
             shards.push(shard_builder.build_with_ids(
                 &shard_data,
@@ -1377,7 +1421,7 @@ impl<M: HashModel + ?Sized + 'static> ShardedMutableIndex<M> {
     }
 
     /// The shard owning external id `id`.
-    fn shard_of(&self, id: u32) -> &MutableIndex<M> {
+    fn shard_of(&self, id: u32) -> &MutableIndex<M, C> {
         &self.shards[id as usize % self.shards.len()]
     }
 
@@ -1524,7 +1568,7 @@ fn merge_ext(k: usize, results: Vec<SearchResponse>) -> SearchResponse {
     SearchResponse::from_ranked(topk.into_sorted(), stats)
 }
 
-impl<M: HashModel + ?Sized + 'static> std::fmt::Debug for ShardedMutableIndex<M> {
+impl<M: HashModel + ?Sized + 'static, C: CodeWord> std::fmt::Debug for ShardedMutableIndex<M, C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedMutableIndex")
             .field("n_shards", &self.n_shards())
@@ -1622,7 +1666,7 @@ mod tests {
     fn all_five_strategies_agree_during_churn() {
         let data = grid(200);
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let index = MutableIndex::builder(Arc::new(model))
+        let index: MutableIndex<_> = MutableIndex::builder(Arc::new(model))
             .mih_blocks(2)
             .build(&data, 2);
         let writer = index.writer();
@@ -1659,7 +1703,7 @@ mod tests {
         let data = grid(100);
         let model = Pcah::train(&data, 2, 2).unwrap();
         let metrics = MetricsRegistry::enabled();
-        let index = MutableIndex::builder(Arc::new(model))
+        let index: MutableIndex<_> = MutableIndex::builder(Arc::new(model))
             .compaction_threshold(16)
             .metrics(metrics.clone())
             .build(&data, 2);
@@ -1749,7 +1793,8 @@ mod tests {
     fn sharded_routing_is_id_stable() {
         let data = grid(101);
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let index = ShardedMutableIndex::build(MutableIndex::builder(Arc::new(model)), &data, 2, 3);
+        let index: ShardedMutableIndex<_> =
+            ShardedMutableIndex::build(MutableIndex::builder(Arc::new(model)), &data, 2, 3);
         assert_eq!(index.n_shards(), 3);
         assert_eq!(index.n_items(), 101);
         // Fresh ids continue the residue classes.
@@ -1770,8 +1815,9 @@ mod tests {
     fn sharded_run_matches_unsharded_exhaustively() {
         let data = grid(90);
         let model = Arc::new(Pcah::train(&data, 2, 2).unwrap());
-        let flat = MutableIndex::build(Arc::clone(&model), &data, 2);
-        let sharded = ShardedMutableIndex::build(MutableIndex::builder(model), &data, 2, 4);
+        let flat: MutableIndex<_> = MutableIndex::build(Arc::clone(&model), &data, 2);
+        let sharded: ShardedMutableIndex<_> =
+            ShardedMutableIndex::build(MutableIndex::builder(model), &data, 2, 4);
         let exec = Executor::builder().workers(2).build();
         for q in [[3.0f32, 1.0], [15.0, 3.5], [0.0, 0.0]] {
             let a = flat.run(SearchRequest::new(&q).params(exhaustive(7)));
@@ -1790,7 +1836,7 @@ mod tests {
 
         let data = grid(70);
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let index = MutableIndex::builder(Arc::new(model))
+        let index: MutableIndex<_> = MutableIndex::builder(Arc::new(model))
             .mih_blocks(2)
             .build(&data, 2);
         let writer = index.writer();
@@ -1802,7 +1848,7 @@ mod tests {
         }
         index.save_snapshot(&path).unwrap();
 
-        let reloaded = MutableIndex::from_snapshot(&path).unwrap();
+        let reloaded: MutableIndex = MutableIndex::from_snapshot(&path).unwrap();
         assert_eq!(reloaded.n_items(), index.n_items());
         assert_eq!(reloaded.epoch(), index.epoch());
         let q = [33.0f32, 30.0];
@@ -1826,7 +1872,7 @@ mod tests {
 
         let data = grid(40);
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         crate::persist::save_index(
             &path,
             &model,
@@ -1838,7 +1884,7 @@ mod tests {
         )
         .unwrap();
 
-        let index = MutableIndex::from_snapshot(&path).unwrap();
+        let index: MutableIndex = MutableIndex::from_snapshot(&path).unwrap();
         assert_eq!(index.n_items(), 40);
         assert_eq!(index.epoch(), 0);
         let id = index.writer().insert(&[5.5, 5.5]);
@@ -1851,7 +1897,7 @@ mod tests {
         let data = grid(50);
         let model = Pcah::train(&data, 2, 2).unwrap();
         let metrics = MetricsRegistry::enabled();
-        let index = MutableIndex::builder(Arc::new(model))
+        let index: MutableIndex<_> = MutableIndex::builder(Arc::new(model))
             .compaction_threshold(8)
             .background_compaction(true)
             .metrics(metrics.clone())

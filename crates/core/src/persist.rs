@@ -15,13 +15,18 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic "GQRSNAP\0"
-//! 8       2     format version (u16, currently 1)
+//! 8       2     format version (u16, currently 3)
 //! 10      2     section count (u16)
-//! 12      4     CRC32 over bytes 0..12 and the whole TOC
-//! 16      24×n  TOC entries: kind u16, reserved u16, offset u64, len u64,
+//! 12      2     code width in bits (u16: 32, 64, 128, 192, or 256)
+//! 14      2     reserved (zero)
+//! 16      4     CRC32 over bytes 0..16 and the whole TOC
+//! 20      24×n  TOC entries: kind u16, reserved u16, offset u64, len u64,
 //!               crc32 u32 (one per section, payload CRC)
 //! ...           section payloads at their TOC offsets
 //! ```
+//!
+//! Version 2 files use a 16-byte header without the width field (the CRC
+//! sits at offset 12); they are still accepted and read as 64-bit codes.
 //!
 //! Every byte of the file is covered by a check: the magic and version by
 //! direct comparison, the header+TOC by the header CRC, and each payload by
@@ -42,6 +47,7 @@
 //! `fsync`s the directory. A crash at any point leaves either the old file
 //! or the new file, never a torn mixture.
 
+use crate::code::CodeWord;
 use crate::engine::QueryEngine;
 use crate::metrics::MetricsRegistry;
 use crate::probe::mih::MihIndex;
@@ -71,11 +77,24 @@ pub const MAGIC: [u8; 8] = *b"GQRSNAP\0";
 /// History: v1 was the initial frozen-index layout; v2 added the live
 /// mutation sections ([`SectionKind::DeltaSegment`],
 /// [`SectionKind::LiveState`]) written by
-/// [`crate::live::MutableIndex::save_snapshot`].
-pub const FORMAT_VERSION: u16 = 2;
+/// [`crate::live::MutableIndex::save_snapshot`]; v3 widened the header by
+/// four bytes to carry the code width (bits per hash code), enabling
+/// [`CodeWord`] widths beyond `u64`. v3 readers still accept v2 files
+/// (implicitly 64-bit) — the one exception to the exact-match policy.
+pub const FORMAT_VERSION: u16 = 3;
 
-/// Size of the fixed header preceding the TOC.
-const HEADER_BYTES: usize = 16;
+/// The previous format version, still accepted on read (implicit 64-bit
+/// code width, 16-byte header).
+pub const FORMAT_VERSION_V2: u16 = 2;
+
+/// Size of the fixed v3 header preceding the TOC.
+const HEADER_BYTES: usize = 20;
+/// Size of the v2 header (no code-width field).
+const HEADER_BYTES_V2: usize = 16;
+
+/// Code widths a snapshot may declare, in bits. Exactly the widths with a
+/// [`CodeWord`] implementation.
+pub const VALID_CODE_WIDTHS: [u16; 5] = [32, 64, 128, 192, 256];
 /// Size of one TOC entry.
 const TOC_ENTRY_BYTES: usize = 24;
 
@@ -208,6 +227,20 @@ pub enum PersistError {
         /// Shards the caller can accept.
         expected: usize,
     },
+    /// The header's code-width field is not one of [`VALID_CODE_WIDTHS`].
+    UnsupportedWidth {
+        /// Width found in the file, in bits.
+        found: u16,
+    },
+    /// The snapshot's code width differs from the [`CodeWord`] type the
+    /// caller asked to load it as. Use the width-dispatch layer
+    /// ([`crate::dispatch`]) to load a snapshot of unknown width.
+    WidthMismatch {
+        /// Width declared by the file, in bits.
+        found: usize,
+        /// Width of the requested `CodeWord` type, in bits.
+        expected: usize,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -240,6 +273,13 @@ impl std::fmt::Display for PersistError {
             PersistError::WrongShardCount { found, expected } => {
                 write!(f, "snapshot holds {found} shard(s), expected {expected}")
             }
+            PersistError::UnsupportedWidth { found } => {
+                write!(f, "unsupported code width {found} bits in snapshot header")
+            }
+            PersistError::WidthMismatch { found, expected } => write!(
+                f,
+                "snapshot holds {found}-bit codes, caller expected {expected}-bit"
+            ),
         }
     }
 }
@@ -266,15 +306,34 @@ fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> PersistError + '_ {
 // ---------------------------------------------------------------------------
 
 /// Builds a snapshot section by section, then writes it crash-safely.
-#[derive(Default)]
 pub struct SnapshotWriter {
     sections: Vec<(SectionKind, Vec<u8>)>,
+    code_width: u16,
+}
+
+impl Default for SnapshotWriter {
+    fn default() -> SnapshotWriter {
+        SnapshotWriter {
+            sections: Vec::new(),
+            code_width: 64,
+        }
+    }
 }
 
 impl SnapshotWriter {
-    /// Empty snapshot.
+    /// Empty snapshot (code width defaults to 64 bits).
     pub fn new() -> SnapshotWriter {
         SnapshotWriter::default()
+    }
+
+    /// Declare the code width recorded in the header. Must be one of
+    /// [`VALID_CODE_WIDTHS`].
+    pub fn set_code_width(&mut self, bits: usize) {
+        assert!(
+            VALID_CODE_WIDTHS.contains(&(bits as u16)),
+            "code width {bits} has no CodeWord implementation"
+        );
+        self.code_width = bits as u16;
     }
 
     /// Append a raw section. Sections are written (and read back) in
@@ -299,14 +358,14 @@ impl SnapshotWriter {
     }
 
     /// Append one hash-table section.
-    pub fn add_table(&mut self, table: &HashTable) {
+    pub fn add_table<C: CodeWord>(&mut self, table: &HashTable<C>) {
         let mut w = ByteWriter::new();
         table.wire_write(&mut w);
         self.add_section(SectionKind::HashTable, w.into_bytes());
     }
 
     /// Append one prebuilt-MIH section.
-    pub fn add_mih(&mut self, mih: &MihIndex) {
+    pub fn add_mih<C: CodeWord>(&mut self, mih: &MihIndex<C>) {
         let mut w = ByteWriter::new();
         mih.wire_write(&mut w);
         self.add_section(SectionKind::MihIndex, w.into_bytes());
@@ -375,9 +434,11 @@ impl SnapshotWriter {
         head.put_bytes(&MAGIC);
         head.put_u16(FORMAT_VERSION);
         head.put_u16(self.sections.len() as u16);
+        head.put_u16(self.code_width);
+        head.put_u16(0); // reserved
         let head_partial = head.into_bytes();
 
-        // Header CRC covers bytes 0..12 plus the entire TOC.
+        // Header CRC covers bytes 0..16 plus the entire TOC.
         let mut crc_input = head_partial.clone();
         crc_input.extend_from_slice(&toc);
         let header_crc = crc32(&crc_input);
@@ -433,6 +494,8 @@ impl SnapshotWriter {
 #[derive(Debug)]
 pub struct SnapshotFile {
     sections: Vec<(SectionKind, Vec<u8>)>,
+    /// Code width declared by the header, in bits (64 for v2 files).
+    code_width: u16,
     /// Total file size in bytes.
     pub file_bytes: u64,
 }
@@ -445,9 +508,11 @@ impl SnapshotFile {
         Self::parse(&bytes)
     }
 
-    /// Validate and slice an in-memory snapshot image.
+    /// Validate and slice an in-memory snapshot image. Accepts the current
+    /// v3 layout and the legacy v2 layout (16-byte header, implicit 64-bit
+    /// codes).
     pub fn parse(bytes: &[u8]) -> Result<SnapshotFile, PersistError> {
-        if bytes.len() < HEADER_BYTES {
+        if bytes.len() < HEADER_BYTES_V2 {
             if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
                 return Err(PersistError::NotASnapshot);
             }
@@ -457,31 +522,50 @@ impl SnapshotFile {
             return Err(PersistError::NotASnapshot);
         }
         let version = u16::from_le_bytes([bytes[8], bytes[9]]);
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V2 {
             return Err(PersistError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
         let n_sections = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
-        let header_crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
-        let toc_end = HEADER_BYTES + n_sections * TOC_ENTRY_BYTES;
+        // v2: CRC at offset 12, no width field. v3: width u16 at 12,
+        // reserved u16 at 14, CRC at 16. Both CRCs cover everything before
+        // the CRC field plus the TOC.
+        let (header_bytes, crc_at, code_width) = if version == FORMAT_VERSION_V2 {
+            (HEADER_BYTES_V2, 12usize, 64u16)
+        } else {
+            if bytes.len() < HEADER_BYTES {
+                return Err(PersistError::Truncated { what: "header" });
+            }
+            let width = u16::from_le_bytes([bytes[12], bytes[13]]);
+            (HEADER_BYTES, 16usize, width)
+        };
+        let header_crc = u32::from_le_bytes(
+            bytes[crc_at..crc_at + 4]
+                .try_into()
+                .expect("length checked"),
+        );
+        let toc_end = header_bytes + n_sections * TOC_ENTRY_BYTES;
         if bytes.len() < toc_end {
             return Err(PersistError::Truncated {
                 what: "table of contents",
             });
         }
-        let mut crc_input = Vec::with_capacity(12 + toc_end - HEADER_BYTES);
-        crc_input.extend_from_slice(&bytes[..12]);
-        crc_input.extend_from_slice(&bytes[HEADER_BYTES..toc_end]);
+        let mut crc_input = Vec::with_capacity(crc_at + toc_end - header_bytes);
+        crc_input.extend_from_slice(&bytes[..crc_at]);
+        crc_input.extend_from_slice(&bytes[header_bytes..toc_end]);
         if crc32(&crc_input) != header_crc {
             return Err(PersistError::ChecksumMismatch {
                 section: "table of contents",
             });
         }
+        if !VALID_CODE_WIDTHS.contains(&code_width) {
+            return Err(PersistError::UnsupportedWidth { found: code_width });
+        }
 
         let mut sections = Vec::with_capacity(n_sections);
-        let mut r = ByteReader::new(&bytes[HEADER_BYTES..toc_end]);
+        let mut r = ByteReader::new(&bytes[header_bytes..toc_end]);
         for _ in 0..n_sections {
             let tag = r.get_u16().expect("TOC length checked");
             let _reserved = r.get_u16().expect("TOC length checked");
@@ -506,8 +590,14 @@ impl SnapshotFile {
         }
         Ok(SnapshotFile {
             sections,
+            code_width,
             file_bytes: bytes.len() as u64,
         })
+    }
+
+    /// Code width declared by the header, in bits (64 for v2 files).
+    pub fn code_width(&self) -> usize {
+        self.code_width as usize
     }
 
     /// All sections of `kind`, in file order.
@@ -590,7 +680,7 @@ impl SnapshotFile {
     }
 
     /// Decode every hash-table section, in shard order.
-    pub fn tables(&self) -> Result<Vec<HashTable>, PersistError> {
+    pub fn tables<C: CodeWord>(&self) -> Result<Vec<HashTable<C>>, PersistError> {
         self.sections_of(SectionKind::HashTable)
             .map(|bytes| {
                 let mut r = ByteReader::new(bytes);
@@ -603,7 +693,7 @@ impl SnapshotFile {
     }
 
     /// Decode every MIH section, in shard order.
-    pub fn mihs(&self) -> Result<Vec<MihIndex>, PersistError> {
+    pub fn mihs<C: CodeWord>(&self) -> Result<Vec<MihIndex<C>>, PersistError> {
         self.sections_of(SectionKind::MihIndex)
             .map(|bytes| {
                 let mut r = ByteReader::new(bytes);
@@ -653,11 +743,11 @@ pub fn corrupt(kind: SectionKind) -> impl Fn(WireError) -> PersistError {
 // ---------------------------------------------------------------------------
 
 /// One shard reconstructed from a snapshot.
-pub struct LoadedShard {
+pub struct LoadedShard<C: CodeWord = u64> {
     /// The shard's hash table.
-    pub table: HashTable,
+    pub table: HashTable<C>,
     /// Prebuilt MIH side index, when the snapshot carried one.
-    pub mih: Option<MihIndex>,
+    pub mih: Option<MihIndex<C>>,
     /// Global id of the shard's first row.
     pub offset: u32,
     /// Rows in this shard.
@@ -668,15 +758,15 @@ pub struct LoadedShard {
 /// [`QueryEngine::from_snapshot`] and
 /// [`ShardedIndex::from_snapshot`](crate::shard::ShardedIndex::from_snapshot)
 /// borrow from.
-pub struct LoadedIndex {
+pub struct LoadedIndex<C: CodeWord = u64> {
     model: Box<dyn HashModel>,
     data: Vec<f32>,
     dim: usize,
     metric: Metric,
-    shards: Vec<LoadedShard>,
+    shards: Vec<LoadedShard<C>>,
 }
 
-impl std::fmt::Debug for LoadedIndex {
+impl<C: CodeWord> std::fmt::Debug for LoadedIndex<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LoadedIndex")
             .field("model", &self.model.name())
@@ -688,7 +778,12 @@ impl std::fmt::Debug for LoadedIndex {
     }
 }
 
-impl LoadedIndex {
+impl<C: CodeWord> LoadedIndex<C> {
+    /// Code width of the index, in bits.
+    pub fn code_width(&self) -> usize {
+        C::BITS
+    }
+
     /// The reconstructed hash model.
     pub fn model(&self) -> &dyn HashModel {
         self.model.as_ref()
@@ -710,7 +805,7 @@ impl LoadedIndex {
     }
 
     /// Shards in offset order (`len() == 1` for single-engine snapshots).
-    pub fn shards(&self) -> &[LoadedShard] {
+    pub fn shards(&self) -> &[LoadedShard<C>] {
         &self.shards
     }
 
@@ -723,16 +818,17 @@ impl LoadedIndex {
 /// Save a single-engine index (one table, optional MIH) as a one-shard
 /// snapshot. Returns the bytes written. Prefer
 /// [`QueryEngine::save_snapshot`] when an engine is already constructed.
-pub fn save_index<M: HashModel + ?Sized>(
+pub fn save_index<M: HashModel + ?Sized, C: CodeWord>(
     path: &Path,
     model: &M,
-    table: &HashTable,
+    table: &HashTable<C>,
     data: &[f32],
     dim: usize,
-    mih: Option<&MihIndex>,
+    mih: Option<&MihIndex<C>>,
     metric: Metric,
 ) -> Result<u64, PersistError> {
     let mut w = SnapshotWriter::new();
+    w.set_code_width(C::BITS);
     w.add_model(model)?;
     w.add_manifest(metric, &[(data.len() / dim.max(1), mih.is_some())]);
     w.add_vectors(data, dim);
@@ -745,17 +841,17 @@ pub fn save_index<M: HashModel + ?Sized>(
 
 /// Load an index snapshot, validating checksums and cross-section
 /// consistency before constructing anything.
-pub fn load_index(path: &Path) -> Result<LoadedIndex, PersistError> {
+pub fn load_index<C: CodeWord>(path: &Path) -> Result<LoadedIndex<C>, PersistError> {
     load_index_metered(path, &MetricsRegistry::disabled())
 }
 
 /// [`load_index`] with observability: records the load latency under
 /// `gqr_snapshot_load_seconds` (nanosecond values, like every duration
 /// histogram in the registry) and the file size under `gqr_snapshot_bytes`.
-pub fn load_index_metered(
+pub fn load_index_metered<C: CodeWord>(
     path: &Path,
     metrics: &MetricsRegistry,
-) -> Result<LoadedIndex, PersistError> {
+) -> Result<LoadedIndex<C>, PersistError> {
     let started = std::time::Instant::now();
     let file = SnapshotFile::read(path)?;
     let loaded = assemble_index(&file)?;
@@ -766,10 +862,18 @@ pub fn load_index_metered(
 
 /// Cross-validate the sections of an index snapshot and assemble the
 /// owning [`LoadedIndex`].
-fn assemble_index(file: &SnapshotFile) -> Result<LoadedIndex, PersistError> {
+pub(crate) fn assemble_index<C: CodeWord>(
+    file: &SnapshotFile,
+) -> Result<LoadedIndex<C>, PersistError> {
     if file.sections_of(SectionKind::LiveState).next().is_some() {
         return Err(PersistError::Inconsistent {
             detail: "snapshot holds live mutation state; load it with MutableIndex::from_snapshot",
+        });
+    }
+    if file.code_width() != C::BITS {
+        return Err(PersistError::WidthMismatch {
+            found: file.code_width(),
+            expected: C::BITS,
         });
     }
     let model = file.model()?;
@@ -843,12 +947,12 @@ fn assemble_index(file: &SnapshotFile) -> Result<LoadedIndex, PersistError> {
     })
 }
 
-impl<'a> QueryEngine<'a, dyn HashModel + 'a> {
+impl<'a, C: CodeWord> QueryEngine<'a, dyn HashModel + 'a, C> {
     /// Engine borrowing a loaded single-shard snapshot; fails with
     /// [`PersistError::WrongShardCount`] on sharded snapshots (use
     /// [`ShardedIndex::from_snapshot`](crate::shard::ShardedIndex::from_snapshot)
     /// for those).
-    pub fn from_snapshot(snap: &'a LoadedIndex) -> Result<Self, PersistError> {
+    pub fn from_snapshot(snap: &'a LoadedIndex<C>) -> Result<Self, PersistError> {
         if snap.shards().len() != 1 {
             return Err(PersistError::WrongShardCount {
                 found: snap.shards().len(),

@@ -3,7 +3,7 @@
 //! demand, by XOR-ing fixed-weight flip masks.
 
 use super::Prober;
-use crate::code::FixedWeightMasks;
+use crate::code::{CodeWord, FixedWeightMasks};
 use gqr_l2h::QueryEncoding;
 
 /// On-demand Hamming-distance bucket generator.
@@ -12,22 +12,26 @@ use gqr_l2h::QueryEncoding;
 /// Gosper's-hack enumeration (increasing numeric order — the paper breaks
 /// intra-radius ties arbitrarily). No allocation after construction.
 #[derive(Clone, Debug)]
-pub struct GenerateHammingRanking {
+pub struct GenerateHammingRanking<C: CodeWord = u64> {
     m: usize,
-    code: u64,
+    code: C,
     radius: usize,
-    masks: FixedWeightMasks,
-    pending: Option<u64>,
+    masks: FixedWeightMasks<C>,
+    pending: Option<C>,
     exhausted: bool,
 }
 
-impl GenerateHammingRanking {
+impl<C: CodeWord> GenerateHammingRanking<C> {
     /// Prober over an `m`-bit code space.
-    pub fn new(m: usize) -> GenerateHammingRanking {
-        assert!((1..=64).contains(&m), "code length must be in 1..=64");
+    pub fn new(m: usize) -> GenerateHammingRanking<C> {
+        assert!(
+            (1..=C::BITS).contains(&m),
+            "code length must be in 1..={}",
+            C::BITS
+        );
         GenerateHammingRanking {
             m,
-            code: 0,
+            code: C::zero(),
             radius: 0,
             masks: FixedWeightMasks::new(m, 0),
             pending: None,
@@ -36,7 +40,7 @@ impl GenerateHammingRanking {
     }
 
     /// Advance to the next flip mask, rolling over to the next radius.
-    fn advance(&mut self) -> Option<u64> {
+    fn advance(&mut self) -> Option<C> {
         loop {
             if let Some(mask) = self.masks.next() {
                 return Some(mask);
@@ -60,8 +64,8 @@ impl GenerateHammingRanking {
     }
 }
 
-impl Prober for GenerateHammingRanking {
-    fn reset(&mut self, query: &QueryEncoding) {
+impl<C: CodeWord> Prober<C> for GenerateHammingRanking<C> {
+    fn reset(&mut self, query: &QueryEncoding<C>) {
         debug_assert_eq!(query.flip_costs.len(), self.m);
         self.code = query.code;
         self.radius = 0;
@@ -72,13 +76,13 @@ impl Prober for GenerateHammingRanking {
 
     fn peek_cost(&mut self) -> Option<f64> {
         self.fill();
-        self.pending.map(|m| m.count_ones() as f64)
+        self.pending.map(|m| m.popcount() as f64)
     }
 
-    fn next_bucket(&mut self) -> Option<u64> {
+    fn next_bucket(&mut self) -> Option<C> {
         self.fill();
         let mask = self.pending.take()?;
-        Some(self.code ^ mask)
+        Some(self.code.xor(mask))
     }
 
     fn name(&self) -> &'static str {

@@ -18,6 +18,7 @@
 //! no allocation per bucket, heap size ≤ number of buckets generated.
 
 use super::Prober;
+use crate::code::CodeWord;
 use gqr_l2h::QueryEncoding;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -25,23 +26,23 @@ use std::collections::BinaryHeap;
 /// Heap entry: a sorted flipping vector, its QD, and the same flips mapped
 /// back to original bit positions (so emitting a bucket is one XOR).
 #[derive(Copy, Clone, Debug)]
-struct Entry {
+struct Entry<C: CodeWord> {
     qd: f64,
     /// Flips in sorted-cost space; bit `i` flips the `i`-th cheapest cost.
-    sorted_mask: u64,
+    sorted_mask: C,
     /// The same flips mapped through the sort permutation to code space.
-    orig_mask: u64,
+    orig_mask: C,
 }
 
-impl PartialEq for Entry {
+impl<C: CodeWord> PartialEq for Entry<C> {
     fn eq(&self, other: &Self) -> bool {
         self.qd == other.qd && self.sorted_mask == other.sorted_mask
     }
 }
 
-impl Eq for Entry {}
+impl<C: CodeWord> Eq for Entry<C> {}
 
-impl Ord for Entry {
+impl<C: CodeWord> Ord for Entry<C> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we pop the smallest QD.
         // Mask tiebreak keeps emission deterministic under equal costs.
@@ -53,7 +54,7 @@ impl Ord for Entry {
     }
 }
 
-impl PartialOrd for Entry {
+impl<C: CodeWord> PartialOrd for Entry<C> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
@@ -61,9 +62,9 @@ impl PartialOrd for Entry {
 
 /// On-demand quantization-distance bucket generator (the paper's GQR).
 #[derive(Clone, Debug)]
-pub struct GenerateQdRanking {
+pub struct GenerateQdRanking<C: CodeWord = u64> {
     m: usize,
-    code: u64,
+    code: C,
     /// Flipping costs sorted ascending (`p̄(q)`).
     sorted_costs: Vec<f64>,
     /// `perm[i]` = original bit index of the `i`-th smallest cost (the
@@ -71,18 +72,22 @@ pub struct GenerateQdRanking {
     perm: Vec<u32>,
     /// Scratch for the argsort.
     order: Vec<u32>,
-    heap: BinaryHeap<Entry>,
+    heap: BinaryHeap<Entry<C>>,
     emitted_root: bool,
     exhausted: bool,
 }
 
-impl GenerateQdRanking {
+impl<C: CodeWord> GenerateQdRanking<C> {
     /// Prober over an `m`-bit code space.
-    pub fn new(m: usize) -> GenerateQdRanking {
-        assert!((1..=64).contains(&m), "code length must be in 1..=64");
+    pub fn new(m: usize) -> GenerateQdRanking<C> {
+        assert!(
+            (1..=C::BITS).contains(&m),
+            "code length must be in 1..={}",
+            C::BITS
+        );
         GenerateQdRanking {
             m,
-            code: 0,
+            code: C::zero(),
             sorted_costs: Vec::with_capacity(m),
             perm: Vec::with_capacity(m),
             order: (0..m as u32).collect(),
@@ -99,8 +104,8 @@ impl GenerateQdRanking {
     }
 }
 
-impl Prober for GenerateQdRanking {
-    fn reset(&mut self, query: &QueryEncoding) {
+impl<C: CodeWord> Prober<C> for GenerateQdRanking<C> {
+    fn reset(&mut self, query: &QueryEncoding<C>) {
         assert_eq!(
             query.flip_costs.len(),
             self.m,
@@ -129,8 +134,8 @@ impl Prober for GenerateQdRanking {
         // Seed: v̄ʳ = (1, 0, …, 0) — flip only the cheapest bit.
         self.heap.push(Entry {
             qd: self.sorted_costs[0],
-            sorted_mask: 1,
-            orig_mask: 1u64 << self.perm[0],
+            sorted_mask: C::from_u64(1),
+            orig_mask: C::from_u64(1).shl(self.perm[0] as usize),
         });
         self.emitted_root = false;
         self.exhausted = false;
@@ -146,7 +151,7 @@ impl Prober for GenerateQdRanking {
         self.heap.peek().map(|e| e.qd)
     }
 
-    fn next_bucket(&mut self) -> Option<u64> {
+    fn next_bucket(&mut self) -> Option<C> {
         if self.exhausted {
             return None;
         }
@@ -161,23 +166,29 @@ impl Prober for GenerateQdRanking {
             return None;
         };
         // j = index of the rightmost (highest-index) set bit of v̄.
-        let j = (63 - top.sorted_mask.leading_zeros()) as usize;
+        let j = top
+            .sorted_mask
+            .top_set_bit()
+            .expect("heap entries have a non-zero sorted mask");
         if j + 1 < self.m {
             let step = self.sorted_costs[j + 1];
             // Append: v̄⁺ keeps bit j and sets bit j+1.
             self.heap.push(Entry {
                 qd: top.qd + step,
-                sorted_mask: top.sorted_mask | (1u64 << (j + 1)),
-                orig_mask: top.orig_mask | (1u64 << self.perm[j + 1]),
+                sorted_mask: top.sorted_mask.with_bit(j + 1),
+                orig_mask: top.orig_mask.with_bit(self.perm[j + 1] as usize),
             });
             // Swap: v̄⁻ moves bit j to j+1.
             self.heap.push(Entry {
                 qd: top.qd + step - self.sorted_costs[j],
-                sorted_mask: (top.sorted_mask & !(1u64 << j)) | (1u64 << (j + 1)),
-                orig_mask: (top.orig_mask & !(1u64 << self.perm[j])) | (1u64 << self.perm[j + 1]),
+                sorted_mask: top.sorted_mask.without_bit(j).with_bit(j + 1),
+                orig_mask: top
+                    .orig_mask
+                    .without_bit(self.perm[j] as usize)
+                    .with_bit(self.perm[j + 1] as usize),
             });
         }
-        Some(self.code ^ top.orig_mask)
+        Some(self.code.xor(top.orig_mask))
     }
 
     fn name(&self) -> &'static str {

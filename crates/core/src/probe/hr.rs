@@ -3,31 +3,43 @@
 //! the paper's "slow start" cost up front.
 
 use super::Prober;
-use crate::code::hamming;
+use crate::code::CodeWord;
 use crate::table::HashTable;
 use gqr_l2h::QueryEncoding;
 
 /// Upfront-sorting Hamming prober over one table's occupied buckets.
 ///
 /// Sorting is a bucket sort into `m + 1` radius levels (`O(B)`), exactly the
-/// "efficient bucket sort" the paper credits HR with; ties within a level
-/// keep the table's arbitrary iteration order.
-pub struct HammingRanking<'t> {
-    table: &'t HashTable,
+/// "efficient bucket sort" the paper credits HR with. The distance pass is
+/// routed through the batched popcount kernel in `gqr-linalg` (runtime
+/// scalar/AVX2 dispatch); ties within a level probe in ascending numeric
+/// code order so the emission order is identical for every code width wide
+/// enough to hold `m`.
+pub struct HammingRanking<'t, C: CodeWord = u64> {
+    table: &'t HashTable<C>,
     /// Bucket codes grouped by radius; `levels[r]` holds codes at Hamming
     /// distance `r` from the query.
-    levels: Vec<Vec<u64>>,
+    levels: Vec<Vec<C>>,
+    /// Scratch: occupied codes in table order (kernel input mirror).
+    codes: Vec<C>,
+    /// Scratch: the same codes as contiguous little-endian u64 blocks.
+    blocks: Vec<u64>,
+    /// Scratch: kernel output, one distance per occupied code.
+    dists: Vec<u32>,
     radius: usize,
     cursor: usize,
 }
 
-impl<'t> HammingRanking<'t> {
+impl<'t, C: CodeWord> HammingRanking<'t, C> {
     /// Prober over `table`'s occupied buckets.
-    pub fn new(table: &'t HashTable) -> HammingRanking<'t> {
+    pub fn new(table: &'t HashTable<C>) -> HammingRanking<'t, C> {
         let m = table.code_length();
         HammingRanking {
             table,
             levels: vec![Vec::new(); m + 1],
+            codes: Vec::new(),
+            blocks: Vec::new(),
+            dists: Vec::new(),
             radius: 0,
             cursor: 0,
         }
@@ -41,16 +53,31 @@ impl<'t> HammingRanking<'t> {
     }
 }
 
-impl Prober for HammingRanking<'_> {
-    fn reset(&mut self, query: &QueryEncoding) {
+impl<C: CodeWord> Prober<C> for HammingRanking<'_, C> {
+    fn reset(&mut self, query: &QueryEncoding<C>) {
         for level in &mut self.levels {
             level.clear();
         }
         // The upfront O(B) pass over every occupied bucket — the cost QR/HR
-        // pay before the first probe.
+        // pay before the first probe — batched through the popcount kernel.
+        self.codes.clear();
+        self.blocks.clear();
         for code in self.table.codes() {
-            let r = hamming(code, query.code) as usize;
-            self.levels[r].push(code);
+            self.codes.push(code);
+            for b in 0..C::BLOCKS {
+                self.blocks.push(code.block(b));
+            }
+        }
+        let mut qblocks = [0u64; crate::code::MAX_BLOCKS];
+        query.code.write_blocks(&mut qblocks);
+        self.dists.resize(self.codes.len(), 0);
+        gqr_linalg::kernels::hamming_batch(&qblocks[..C::BLOCKS], &self.blocks, &mut self.dists);
+        for (i, &code) in self.codes.iter().enumerate() {
+            self.levels[self.dists[i] as usize].push(code);
+        }
+        // Numeric tiebreak within a level: width-independent probe order.
+        for level in &mut self.levels {
+            level.sort_unstable();
         }
         self.radius = 0;
         self.cursor = 0;
@@ -61,7 +88,7 @@ impl Prober for HammingRanking<'_> {
         (self.radius < self.levels.len()).then_some(self.radius as f64)
     }
 
-    fn next_bucket(&mut self) -> Option<u64> {
+    fn next_bucket(&mut self) -> Option<C> {
         self.skip_empty_levels();
         if self.radius >= self.levels.len() {
             return None;

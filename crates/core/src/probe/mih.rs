@@ -10,54 +10,64 @@
 //! slightly slower than plain hash lookup at the short code lengths used for
 //! bucket indexes (the appendix's observation).
 
-use crate::code::{hamming, FixedWeightMasks};
+use crate::code::{hamming, CodeWord, FixedWeightMasks};
 use std::collections::HashMap;
 
 /// One substring block: bit range and substring hash table.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+///
+/// A substring is at most 64 bits wide regardless of the full code width,
+/// so substring keys and flip masks stay plain `u64`s — only the full codes
+/// are width-generic.
+#[derive(Clone, Debug)]
 struct Block {
     /// First bit of the substring in the full code.
     lo: usize,
-    /// Substring width in bits.
+    /// Substring width in bits (≤ 64).
     bits: usize,
     /// substring code → item ids.
-    table: HashMap<u32, Vec<u32>>,
+    table: HashMap<u64, Vec<u32>>,
 }
 
 impl Block {
     #[inline]
-    fn extract(&self, code: u64) -> u32 {
-        ((code >> self.lo) & ((1u64 << self.bits) - 1)) as u32
+    fn extract<C: CodeWord>(&self, code: C) -> u64 {
+        code.extract(self.lo, self.bits)
     }
 }
 
 /// A built multi-index-hashing index over one table's codes.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
-pub struct MihIndex {
+#[derive(Clone, Debug)]
+pub struct MihIndex<C: CodeWord = u64> {
     m: usize,
     blocks: Vec<Block>,
     /// Full code per item, for the filtering step.
-    codes: Vec<u64>,
+    codes: Vec<C>,
 }
 
-impl MihIndex {
+impl<C: CodeWord> MihIndex<C> {
     /// Build with `s` substring blocks over per-item `codes` of length
-    /// `code_length`. Panics unless `1 ≤ s ≤ code_length ≤ 63`.
-    pub fn build(code_length: usize, codes: &[u64], s: usize) -> MihIndex {
+    /// `code_length`. Panics unless `1 ≤ s ≤ code_length ≤ C::BITS` and
+    /// every block fits in 64 bits (`s ≥ ⌈m/64⌉`).
+    pub fn build(code_length: usize, codes: &[C], s: usize) -> MihIndex<C> {
         assert!(
-            (1..64).contains(&code_length),
-            "code length must be in 1..=63"
+            (1..=C::BITS).contains(&code_length),
+            "code length must be in 1..={}",
+            C::BITS
         );
         assert!(s >= 1 && s <= code_length, "need 1 <= s <= m");
+        assert!(
+            code_length.div_ceil(s) <= 64,
+            "substring blocks must fit in 64 bits (need s >= m/64)"
+        );
         let base = code_length / s;
         let extra = code_length % s;
         let mut blocks = Vec::with_capacity(s);
         let mut lo = 0;
         for b in 0..s {
             let bits = base + usize::from(b < extra);
-            let mut table: HashMap<u32, Vec<u32>> = HashMap::new();
+            let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
             for (i, &code) in codes.iter().enumerate() {
-                let sub = ((code >> lo) & ((1u64 << bits) - 1)) as u32;
+                let sub = code.extract(lo, bits);
                 table.entry(sub).or_default().push(i as u32);
             }
             blocks.push(Block { lo, bits, table });
@@ -86,16 +96,29 @@ impl MihIndex {
     /// reloaded index visits candidates in the exact order of the original.
     pub(crate) fn wire_write(&self, w: &mut gqr_linalg::wire::ByteWriter) {
         w.put_usize(self.m);
-        w.put_u64_slice(&self.codes);
+        let mut code_blocks = Vec::with_capacity(self.codes.len() * C::BLOCKS);
+        for code in &self.codes {
+            for b in 0..C::BLOCKS {
+                code_blocks.push(code.block(b));
+            }
+        }
+        w.put_u64_slice(&code_blocks);
         w.put_usize(self.blocks.len());
         for block in &self.blocks {
             w.put_usize(block.lo);
             w.put_usize(block.bits);
-            let mut keys: Vec<u32> = block.table.keys().copied().collect();
+            let mut keys: Vec<u64> = block.table.keys().copied().collect();
             keys.sort_unstable();
             w.put_usize(keys.len());
             for key in keys {
-                w.put_u32(key);
+                // Substring keys are `u32` on the wire when the block fits in
+                // 32 bits — byte-identical to the v2 stream — and `u64` for
+                // the wider blocks only wide codes produce.
+                if block.bits <= 32 {
+                    w.put_u32(key as u32);
+                } else {
+                    w.put_u64(key);
+                }
                 w.put_u32_slice(&block.table[&key]);
             }
         }
@@ -105,13 +128,26 @@ impl MihIndex {
     /// the block partition and substring tables.
     pub(crate) fn wire_read(
         r: &mut gqr_linalg::wire::ByteReader<'_>,
-    ) -> Result<MihIndex, gqr_linalg::wire::WireError> {
+    ) -> Result<MihIndex<C>, gqr_linalg::wire::WireError> {
         use gqr_linalg::wire::WireError;
         let m = r.get_usize()?;
-        if !(1..64).contains(&m) {
+        if !(1..=C::BITS).contains(&m) {
             return Err(WireError::Malformed("MIH code length out of range"));
         }
-        let codes = r.get_u64_vec()?;
+        let raw = r.get_u64_vec()?;
+        if raw.len() % C::BLOCKS != 0 {
+            return Err(WireError::Malformed("MIH code payload not block-aligned"));
+        }
+        let mut codes = Vec::with_capacity(raw.len() / C::BLOCKS);
+        for chunk in raw.chunks_exact(C::BLOCKS) {
+            for (i, &b) in chunk.iter().enumerate() {
+                let width_here = C::BITS.saturating_sub(i * 64).min(64);
+                if width_here < 64 && b >> width_here != 0 {
+                    return Err(WireError::Malformed("MIH code exceeds code width"));
+                }
+            }
+            codes.push(C::from_blocks(chunk));
+        }
         let n_blocks = r.get_usize()?;
         if n_blocks == 0 || n_blocks > m {
             return Err(WireError::Malformed("MIH block count out of range"));
@@ -121,16 +157,20 @@ impl MihIndex {
         for _ in 0..n_blocks {
             let lo = r.get_usize()?;
             let bits = r.get_usize()?;
-            if lo != next_lo || bits == 0 || lo + bits > m {
+            if lo != next_lo || bits == 0 || bits > 64 || lo + bits > m {
                 return Err(WireError::Malformed("MIH blocks are not a bit partition"));
             }
             next_lo = lo + bits;
             let n_keys = r.get_usize()?;
-            let mut table: HashMap<u32, Vec<u32>> = HashMap::with_capacity(n_keys);
+            let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(n_keys);
             let mut total = 0usize;
             for _ in 0..n_keys {
-                let key = r.get_u32()?;
-                if bits < 32 && key >= (1u32 << bits) {
+                let key = if bits <= 32 {
+                    r.get_u32()? as u64
+                } else {
+                    r.get_u64()?
+                };
+                if bits < 64 && key >= (1u64 << bits) {
                     return Err(WireError::Malformed("MIH substring key exceeds width"));
                 }
                 let ids = r.get_u32_vec()?;
@@ -157,7 +197,7 @@ impl MihIndex {
 
     /// Start a search for `query_code`; the searcher yields item-id batches
     /// in ascending *full* Hamming distance.
-    pub fn search(&self, query_code: u64) -> MihSearcher<'_> {
+    pub fn search(&self, query_code: C) -> MihSearcher<'_, C> {
         MihSearcher {
             index: self,
             query: query_code,
@@ -167,15 +207,17 @@ impl MihIndex {
             visited: vec![false; self.codes.len()],
             remaining: self.codes.len(),
             lookups: 0,
+            lookup_cap: usize::MAX,
+            capped: false,
             duplicates: 0,
         }
     }
 }
 
 /// Progressive MIH search state for one query.
-pub struct MihSearcher<'a> {
-    index: &'a MihIndex,
-    query: u64,
+pub struct MihSearcher<'a, C: CodeWord = u64> {
+    index: &'a MihIndex<C>,
+    query: C,
     /// Next per-block substring radius to expand.
     radius: usize,
     /// Items found so far, grouped by full Hamming distance.
@@ -185,10 +227,24 @@ pub struct MihSearcher<'a> {
     visited: Vec<bool>,
     remaining: usize,
     lookups: usize,
+    /// Stop expanding once this many substring-bucket lookups have run.
+    lookup_cap: usize,
+    /// Set when the cap fired mid-expansion; already-found items are then
+    /// flushed in ascending full distance and the search ends.
+    capped: bool,
     duplicates: usize,
 }
 
-impl MihSearcher<'_> {
+impl<C: CodeWord> MihSearcher<'_, C> {
+    /// Bound the number of substring-bucket lookups. A single radius
+    /// expansion enumerates `C(bits, r)` masks per block — exponential in
+    /// the substring width — so budget-limited callers must cap *inside*
+    /// the expansion, not between batches. Once the cap fires, items found
+    /// so far are still emitted (in ascending full distance); no further
+    /// buckets are probed.
+    pub fn set_lookup_cap(&mut self, cap: usize) {
+        self.lookup_cap = cap;
+    }
     /// Append the next confirmed batch of item ids (one full-distance level)
     /// to `out`. Returns the level's Hamming distance, or `None` when every
     /// indexed item has been emitted. Batches arrive in strictly ascending
@@ -213,9 +269,10 @@ impl MihSearcher<'_> {
                 }
             }
 
-            if self.remaining == 0 {
-                // Every indexed item has been found; flush unemitted levels
-                // without waiting for the pigeonhole bound to catch up.
+            if self.remaining == 0 || self.capped {
+                // Every indexed item has been found (or the lookup cap
+                // fired); flush unemitted levels without waiting for the
+                // pigeonhole bound to catch up.
                 while self.emitted_level <= self.index.m {
                     let dist = self.emitted_level as u32;
                     let level = &mut self.levels[self.emitted_level];
@@ -234,14 +291,18 @@ impl MihSearcher<'_> {
             // Expand one more substring radius across all blocks.
             let r = self.radius;
             self.radius += 1;
-            for block in &self.index.blocks {
+            'expand: for block in &self.index.blocks {
                 if r > block.bits {
                     continue;
                 }
                 let q_sub = block.extract(self.query);
-                for mask in FixedWeightMasks::new(block.bits, r) {
+                for mask in FixedWeightMasks::<u64>::new(block.bits, r) {
+                    if self.lookups >= self.lookup_cap {
+                        self.capped = true;
+                        break 'expand;
+                    }
                     self.lookups += 1;
-                    let probe = q_sub ^ (mask as u32);
+                    let probe = q_sub ^ mask;
                     let Some(items) = block.table.get(&probe) else {
                         continue;
                     };
@@ -380,5 +441,35 @@ mod tests {
         let mut out = Vec::new();
         assert!(s.next_batch(&mut out).is_some());
         assert!(s.lookups() > 2, "must have expanded past radius 0");
+    }
+
+    #[test]
+    fn lookup_cap_stops_mid_expansion_and_flushes_found_items() {
+        // Wide substrings (32 bits per block): radius 2 alone costs
+        // 2·C(32,2) = 992 lookups, so the cap must bite *inside* an
+        // expansion, not between radius batches. Item 0 sits in the query's
+        // own bucket; item 1 has substring distance 3 in both blocks and is
+        // only reachable at radius 3 (> 10k cumulative lookups).
+        let codes = vec![0u64, 0b111 | (0b111 << 32)];
+        let mih = MihIndex::build(64, &codes, 2);
+        let mut s = mih.search(0);
+        s.set_lookup_cap(100);
+        let mut out = Vec::new();
+        let mut found = Vec::new();
+        while s.next_batch(&mut out).is_some() {
+            found.append(&mut out);
+        }
+        assert!(s.lookups() <= 100, "cap exceeded: {}", s.lookups());
+        assert_eq!(found, vec![0], "near item flushed, deep item not probed");
+        // The uncapped search keeps expanding until it reaches the deep
+        // item — far past where the cap stopped.
+        let mut unbounded = mih.search(0);
+        let mut all = Vec::new();
+        while unbounded.next_batch(&mut out).is_some() {
+            all.append(&mut out);
+        }
+        assert!(unbounded.lookups() > 100);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1]);
     }
 }

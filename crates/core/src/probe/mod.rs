@@ -25,16 +25,19 @@ pub use gqr::GenerateQdRanking;
 pub use hr::HammingRanking;
 pub use qr::QdRanking;
 
+use crate::code::CodeWord;
 use gqr_l2h::QueryEncoding;
 
 /// A source of bucket codes in strategy order for one query.
 ///
 /// Implementations are reset per query via [`Prober::reset`] so heaps and
 /// scratch buffers are reused across a query batch (no per-probe
-/// allocation on the hot path).
-pub trait Prober {
+/// allocation on the hot path). Generic over the code width `C`
+/// (default `u64`): a prober emits bucket codes of the same width as the
+/// table it probes.
+pub trait Prober<C: CodeWord = u64> {
     /// Prepare for a new query.
-    fn reset(&mut self, query: &QueryEncoding);
+    fn reset(&mut self, query: &QueryEncoding<C>);
 
     /// Cost indicator of the bucket that [`Prober::next_bucket`] would
     /// return: QD for the QD probers, Hamming distance for the Hamming
@@ -44,7 +47,7 @@ pub trait Prober {
 
     /// Next bucket code to probe, or `None` when the code space (or the
     /// occupied-bucket list) is exhausted.
-    fn next_bucket(&mut self) -> Option<u64>;
+    fn next_bucket(&mut self) -> Option<C>;
 
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
@@ -52,6 +55,7 @@ pub trait Prober {
 
 #[cfg(test)]
 pub(crate) mod test_support {
+    use crate::code::CodeWord;
     use gqr_l2h::QueryEncoding;
 
     /// Query encoding with explicit costs for prober tests.
@@ -63,7 +67,7 @@ pub(crate) mod test_support {
     }
 
     /// Collect all buckets a prober emits after a reset.
-    pub fn drain(p: &mut dyn super::Prober, q: &QueryEncoding) -> Vec<u64> {
+    pub fn drain<C: CodeWord>(p: &mut dyn super::Prober<C>, q: &QueryEncoding<C>) -> Vec<C> {
         p.reset(q);
         let mut out = Vec::new();
         while let Some(b) = p.next_bucket() {

@@ -6,22 +6,22 @@
 //! the slow-start cost that motivates GQR (paper §4.2/§5).
 
 use super::Prober;
-use crate::code::quantization_distance;
+use crate::code::{quantization_distance, CodeWord};
 use crate::table::HashTable;
 use gqr_l2h::QueryEncoding;
 
 /// Upfront-sorting quantization-distance prober over one table's occupied
 /// buckets.
-pub struct QdRanking<'t> {
-    table: &'t HashTable,
+pub struct QdRanking<'t, C: CodeWord = u64> {
+    table: &'t HashTable<C>,
     /// `(qd, code)` for every occupied bucket, ascending.
-    sorted: Vec<(f64, u64)>,
+    sorted: Vec<(f64, C)>,
     cursor: usize,
 }
 
-impl<'t> QdRanking<'t> {
+impl<'t, C: CodeWord> QdRanking<'t, C> {
     /// Prober over `table`'s occupied buckets.
-    pub fn new(table: &'t HashTable) -> QdRanking<'t> {
+    pub fn new(table: &'t HashTable<C>) -> QdRanking<'t, C> {
         QdRanking {
             table,
             sorted: Vec::new(),
@@ -30,8 +30,8 @@ impl<'t> QdRanking<'t> {
     }
 }
 
-impl Prober for QdRanking<'_> {
-    fn reset(&mut self, query: &QueryEncoding) {
+impl<C: CodeWord> Prober<C> for QdRanking<'_, C> {
+    fn reset(&mut self, query: &QueryEncoding<C>) {
         self.sorted.clear();
         self.sorted.reserve(self.table.n_buckets());
         for code in self.table.codes() {
@@ -50,7 +50,7 @@ impl Prober for QdRanking<'_> {
         self.sorted.get(self.cursor).map(|&(qd, _)| qd)
     }
 
-    fn next_bucket(&mut self) -> Option<u64> {
+    fn next_bucket(&mut self) -> Option<C> {
         let &(_, code) = self.sorted.get(self.cursor)?;
         self.cursor += 1;
         Some(code)

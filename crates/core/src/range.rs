@@ -121,7 +121,7 @@ mod tests {
     fn range_search_is_exact_and_certified_for_linear_models() {
         let data = grid();
         let model = Lsh::train(&data, 2, 6, 3).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         let engine = QueryEngine::new(&model, &table, &data, 2);
         for (q, radius) in [
             ([7.2f32, 7.9], 1.5f32),
@@ -150,7 +150,7 @@ mod tests {
         let mut data = grid();
         data.extend_from_slice(&[7.0, 7.0]); // duplicate of grid point (7,7)
         let model = Lsh::train(&data, 2, 6, 3).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         let engine = QueryEngine::new(&model, &table, &data, 2);
         let res = engine.search_within(&[7.0, 7.0], 0.0);
         let ids: Vec<u32> = res.matches.iter().map(|&(id, _)| id).collect();
@@ -161,7 +161,7 @@ mod tests {
     fn nonlinear_model_falls_back_to_exhaustive_but_stays_exact() {
         let data = grid();
         let model = SpectralHashing::train(&data, 2, 6).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         let engine = QueryEngine::new(&model, &table, &data, 2);
         let res = engine.search_within(&[10.0, 10.0], 2.0);
         let mut got: Vec<u32> = res.matches.iter().map(|&(id, _)| id).collect();
@@ -176,7 +176,7 @@ mod tests {
     fn empty_result_for_far_query() {
         let data = grid();
         let model = Lsh::train(&data, 2, 6, 3).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         let engine = QueryEngine::new(&model, &table, &data, 2);
         let res = engine.search_within(&[100.0, 100.0], 1.0);
         assert!(res.matches.is_empty());

@@ -25,7 +25,7 @@
 //!     data.push((i / 20) as f32);
 //! }
 //! let model = Pcah::train(&data, 2, 2).unwrap();
-//! let table = HashTable::build(&model, &data, 2);
+//! let table: HashTable = HashTable::build(&model, &data, 2);
 //! let engine = QueryEngine::new(&model, &table, &data, 2);
 //!
 //! let params = SearchParams::for_k(5).candidates(50).build().unwrap();

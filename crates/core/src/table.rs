@@ -1,12 +1,15 @@
 //! The hash table: bucket code → item ids.
 
+use crate::code::CodeWord;
 use gqr_l2h::HashModel;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-/// Identity-style hasher for bucket codes. Codes are short (≤ 64 bits) and
+/// Identity-style hasher for bucket codes. Codes are short (≤ 256 bits) and
 /// already well-mixed by the hash functions, so hashing them again with
-/// SipHash wastes the hot lookup path; a multiply-fold is enough.
+/// SipHash wastes the hot lookup path; a multiply-fold is enough. Wide
+/// codes feed one `write_u64` per block; the fold chains them, and a
+/// single-block (u64) code hashes exactly as it always has.
 #[derive(Default)]
 pub struct CodeHasher(u64);
 
@@ -17,39 +20,60 @@ impl Hasher for CodeHasher {
     }
 
     fn write(&mut self, _bytes: &[u8]) {
-        unreachable!("CodeHasher only hashes u64 bucket codes");
+        unreachable!("CodeHasher only hashes bucket code blocks");
     }
 
     #[inline]
     fn write_u64(&mut self, v: u64) {
-        // Fibonacci multiply to spread low-entropy codes across buckets.
-        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // Fibonacci multiply to spread low-entropy codes across buckets;
+        // the XOR chains multi-block codes (a no-op on the first block).
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
     }
 }
 
-type CodeMap<V> = HashMap<u64, V, BuildHasherDefault<CodeHasher>>;
+type CodeMap<C, V> = HashMap<C, V, BuildHasherDefault<CodeHasher>>;
 
 /// A single hash table: every item is stored in the bucket of its binary
 /// code. Item payloads (the vectors) stay outside; buckets hold `u32` ids.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
-pub struct HashTable {
+/// Generic over the code width (default `u64`, the narrow path).
+#[derive(Clone, Debug)]
+pub struct HashTable<C: CodeWord = u64> {
     code_length: usize,
-    buckets: CodeMap<Vec<u32>>,
+    buckets: CodeMap<C, Vec<u32>>,
     n_items: usize,
     /// Largest item id ever inserted (not lowered on remove); the engine
     /// checks its data buffer covers this.
     max_id: Option<u32>,
 }
 
-impl HashTable {
+impl<C: CodeWord> HashTable<C> {
     /// Hash every row of `data` (row-major, `dim` columns) with `model`.
-    pub fn build<M: HashModel + ?Sized>(model: &M, data: &[f32], dim: usize) -> HashTable {
+    /// Panics if the model's code length exceeds the table's code width.
+    pub fn build<M: HashModel + ?Sized>(model: &M, data: &[f32], dim: usize) -> HashTable<C> {
         assert_eq!(model.dim(), dim, "model and data dimensionality differ");
         assert!(data.len().is_multiple_of(dim), "data must be n×dim");
+        assert!(
+            model.code_length() <= C::BITS,
+            "model code length {} exceeds the {}-bit code width",
+            model.code_length(),
+            C::BITS
+        );
         let n = data.len() / dim;
-        let mut buckets: CodeMap<Vec<u32>> = HashMap::default();
+        let mut buckets: CodeMap<C, Vec<u32>> = HashMap::default();
         for (i, row) in data.chunks_exact(dim).enumerate() {
-            buckets.entry(model.encode(row)).or_default().push(i as u32);
+            let code = C::from_blocks(model.encode_wide(row).blocks());
+            buckets.entry(code).or_default().push(i as u32);
         }
         let max_id = n.checked_sub(1).map(|i| i as u32);
         HashTable {
@@ -61,10 +85,10 @@ impl HashTable {
     }
 
     /// Build from precomputed codes (one per item).
-    pub fn from_codes(code_length: usize, codes: &[u64]) -> HashTable {
-        let mut buckets: CodeMap<Vec<u32>> = HashMap::default();
+    pub fn from_codes(code_length: usize, codes: &[C]) -> HashTable<C> {
+        let mut buckets: CodeMap<C, Vec<u32>> = HashMap::default();
         for (i, &c) in codes.iter().enumerate() {
-            debug_assert!(code_length == 64 || c < (1u64 << code_length));
+            debug_assert!(c.and(C::low_mask(code_length).not()).is_zero());
             buckets.entry(c).or_default().push(i as u32);
         }
         let max_id = codes.len().checked_sub(1).map(|i| i as u32);
@@ -102,24 +126,24 @@ impl HashTable {
 
     /// Item ids in bucket `code`, or an empty slice.
     #[inline]
-    pub fn bucket(&self, code: u64) -> &[u32] {
+    pub fn bucket(&self, code: C) -> &[u32] {
         self.buckets.get(&code).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Whether bucket `code` holds any items.
     #[inline]
-    pub fn contains(&self, code: u64) -> bool {
+    pub fn contains(&self, code: C) -> bool {
         self.buckets.contains_key(&code)
     }
 
     /// Iterate over `(code, items)` pairs of occupied buckets (arbitrary
     /// order). HR and QR consume this to sort all buckets upfront.
-    pub fn occupied(&self) -> impl Iterator<Item = (u64, &[u32])> + '_ {
+    pub fn occupied(&self) -> impl Iterator<Item = (C, &[u32])> + '_ {
         self.buckets.iter().map(|(&c, v)| (c, v.as_slice()))
     }
 
     /// All occupied bucket codes (arbitrary order).
-    pub fn codes(&self) -> impl Iterator<Item = u64> + '_ {
+    pub fn codes(&self) -> impl Iterator<Item = C> + '_ {
         self.buckets.keys().copied()
     }
 
@@ -129,13 +153,13 @@ impl HashTable {
     /// and not mutated); paths like MIH construction consume this instead of
     /// re-encoding every vector. Panics when ids have holes (e.g. after
     /// removals).
-    pub fn dense_codes(&self) -> Vec<u64> {
+    pub fn dense_codes(&self) -> Vec<C> {
         assert_eq!(
             self.max_id.map_or(0, |m| m as usize + 1),
             self.n_items,
             "dense_codes requires a dense id space 0..n_items"
         );
-        let mut codes = vec![0u64; self.n_items];
+        let mut codes = vec![C::zero(); self.n_items];
         let mut filled = 0usize;
         for (&code, items) in &self.buckets {
             for &id in items {
@@ -162,8 +186,8 @@ impl HashTable {
 
     /// Insert an item id under its code (incremental indexing). The caller
     /// owns id assignment; inserting an id twice creates two entries.
-    pub fn insert(&mut self, code: u64, id: u32) {
-        debug_assert!(self.code_length == 64 || code < (1u64 << self.code_length));
+    pub fn insert(&mut self, code: C, id: u32) {
+        debug_assert!(code.and(C::low_mask(self.code_length).not()).is_zero());
         self.buckets.entry(code).or_default().push(id);
         self.n_items += 1;
         self.max_id = Some(self.max_id.map_or(id, |m| m.max(id)));
@@ -176,7 +200,7 @@ impl HashTable {
             self.code_length,
             "model/table code length mismatch"
         );
-        self.insert(model.encode(item), id);
+        self.insert(C::from_blocks(model.encode_wide(item).blocks()), id);
     }
 
     /// Remove one occurrence of `id` from bucket `code`. Returns whether the
@@ -185,7 +209,7 @@ impl HashTable {
     /// capacity is released once deletions empty most of it (a
     /// delete-heavy workload would otherwise hold peak-size allocations
     /// forever).
-    pub fn remove(&mut self, code: u64, id: u32) -> bool {
+    pub fn remove(&mut self, code: C, id: u32) -> bool {
         let Some(items) = self.buckets.get_mut(&code) else {
             return false;
         };
@@ -209,7 +233,7 @@ impl HashTable {
     /// Approximate heap size of the table in bytes (keys + id payload), used
     /// by the memory-consumption comparisons (Fig 12 discussion).
     pub fn approx_bytes(&self) -> usize {
-        let per_bucket = std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>();
+        let per_bucket = std::mem::size_of::<C>() + std::mem::size_of::<Vec<u32>>();
         self.buckets.len() * per_bucket + self.n_items * std::mem::size_of::<u32>()
     }
 
@@ -231,11 +255,13 @@ impl HashTable {
                 w.put_u32(0);
             }
         }
-        let mut codes: Vec<u64> = self.buckets.keys().copied().collect();
+        let mut codes: Vec<C> = self.buckets.keys().copied().collect();
         codes.sort_unstable();
         w.put_usize(codes.len());
         for code in codes {
-            w.put_u64(code);
+            for b in 0..C::BLOCKS {
+                w.put_u64(code.block(b));
+            }
             w.put_u32_slice(&self.buckets[&code]);
         }
     }
@@ -245,10 +271,10 @@ impl HashTable {
     /// rejected instead of panicking later in the engine.
     pub(crate) fn wire_read(
         r: &mut gqr_linalg::wire::ByteReader<'_>,
-    ) -> Result<HashTable, gqr_linalg::wire::WireError> {
+    ) -> Result<HashTable<C>, gqr_linalg::wire::WireError> {
         use gqr_linalg::wire::WireError;
         let code_length = r.get_usize()?;
-        if code_length == 0 || code_length > 64 {
+        if code_length == 0 || code_length > C::BITS {
             return Err(WireError::Malformed("table code length out of range"));
         }
         let n_items = r.get_usize()?;
@@ -260,12 +286,22 @@ impl HashTable {
             _ => return Err(WireError::Malformed("table max_id flag out of range")),
         };
         let n_buckets = r.get_usize()?;
-        let mut buckets: CodeMap<Vec<u32>> = HashMap::default();
+        let mut buckets: CodeMap<C, Vec<u32>> = HashMap::default();
         buckets.reserve(n_buckets.min(n_items));
         let mut total = 0usize;
+        let mut blocks = [0u64; 4];
         for _ in 0..n_buckets {
-            let code = r.get_u64()?;
-            if code_length < 64 && code >= (1u64 << code_length) {
+            for (i, b) in blocks.iter_mut().enumerate().take(C::BLOCKS) {
+                *b = r.get_u64()?;
+                // Bits beyond the storage width must be clear before
+                // from_blocks (which would panic instead of erroring).
+                let width_here = C::BITS.saturating_sub(i * 64).min(64);
+                if width_here < 64 && *b >> width_here != 0 {
+                    return Err(WireError::Malformed("bucket code exceeds code width"));
+                }
+            }
+            let code = C::from_blocks(&blocks[..C::BLOCKS]);
+            if !code.and(C::low_mask(code_length).not()).is_zero() {
                 return Err(WireError::Malformed("bucket code exceeds code length"));
             }
             let ids = r.get_u32_vec()?;
@@ -301,7 +337,7 @@ mod tests {
 
     #[test]
     fn insert_and_remove_roundtrip() {
-        let mut table = HashTable::from_codes(4, &[0b0001, 0b0010]);
+        let mut table = HashTable::from_codes(4, &[0b0001u64, 0b0010]);
         table.insert(0b0001, 7);
         assert_eq!(table.n_items(), 3);
         assert_eq!(table.bucket(0b0001), &[0, 7]);
@@ -320,7 +356,7 @@ mod tests {
     fn insert_item_uses_model_encoding() {
         let data = grid_data();
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let mut table = HashTable::build(&model, &data, 2);
+        let mut table: HashTable = HashTable::build(&model, &data, 2);
         let new_item = [3.0f32, -1.0];
         table.insert_item(&model, &new_item, 100);
         let code = model.encode(&new_item);
@@ -341,7 +377,7 @@ mod tests {
     fn every_item_lands_in_exactly_one_bucket() {
         let data = grid_data();
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         assert_eq!(table.n_items(), 100);
         let total: usize = table.occupied().map(|(_, items)| items.len()).sum();
         assert_eq!(total, 100);
@@ -359,7 +395,7 @@ mod tests {
     fn bucket_lookup_matches_encoding() {
         let data = grid_data();
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let table = HashTable::build(&model, &data, 2);
+        let table: HashTable = HashTable::build(&model, &data, 2);
         for (i, row) in data.chunks_exact(2).enumerate() {
             let code = model.encode(row);
             assert!(table.bucket(code).contains(&(i as u32)));
@@ -368,7 +404,7 @@ mod tests {
 
     #[test]
     fn missing_bucket_is_empty() {
-        let table = HashTable::from_codes(4, &[0b0001, 0b0001, 0b1000]);
+        let table = HashTable::from_codes(4, &[0b0001u64, 0b0001, 0b1000]);
         assert_eq!(table.bucket(0b0001), &[0, 1]);
         assert_eq!(table.bucket(0b0010), &[] as &[u32]);
         assert!(!table.contains(0b0010));
@@ -392,7 +428,7 @@ mod tests {
         assert_eq!(table.dense_codes(), codes);
         let data = grid_data();
         let model = Pcah::train(&data, 2, 2).unwrap();
-        let built = HashTable::build(&model, &data, 2);
+        let built: HashTable = HashTable::build(&model, &data, 2);
         let dense = built.dense_codes();
         for (i, row) in data.chunks_exact(2).enumerate() {
             assert_eq!(dense[i], model.encode(row));
@@ -402,7 +438,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dense id space")]
     fn dense_codes_rejects_holes() {
-        let mut table = HashTable::from_codes(4, &[1, 5, 9]);
+        let mut table = HashTable::from_codes(4, &[1u64, 5, 9]);
         table.remove(5, 1);
         let _ = table.dense_codes();
     }
@@ -445,7 +481,7 @@ mod tests {
 
     #[test]
     fn approx_bytes_scales_with_content() {
-        let small = HashTable::from_codes(4, &[1, 2]);
+        let small = HashTable::from_codes(4, &[1u64, 2]);
         let big = HashTable::from_codes(4, &(0..1000u64).map(|i| i % 16).collect::<Vec<_>>());
         assert!(big.approx_bytes() > small.approx_bytes());
     }

@@ -61,7 +61,7 @@ fn odd_dims_match_brute_force_bitwise() {
     for dim in [7usize, 13] {
         let data = dataset(150, dim, dim as u64);
         let model = Pcah::train(&data, dim, 6).unwrap();
-        let table = HashTable::build(&model, &data, dim);
+        let table: HashTable = HashTable::build(&model, &data, dim);
         let engine = QueryEngine::new(&model, &table, &data, dim);
         let q: Vec<f32> = data[..dim].iter().map(|&x| x + 0.05).collect();
         let expect = brute_force(&data, dim, &q, 5);
@@ -92,7 +92,7 @@ fn scratch_capacity_does_not_change_results() {
     let dim = 13;
     let data = dataset(200, dim, 9);
     let model = Pcah::train(&data, dim, 6).unwrap();
-    let table = HashTable::build(&model, &data, dim);
+    let table: HashTable = HashTable::build(&model, &data, dim);
     let mut engine = QueryEngine::new(&model, &table, &data, dim);
     engine.enable_mih(2);
     let q: Vec<f32> = data[dim..2 * dim].iter().map(|&x| x + 0.02).collect();
@@ -138,7 +138,7 @@ fn filtered_ragged_tiles_match_reference() {
     let dim = 7;
     let data = dataset(180, dim, 3);
     let model = Pcah::train(&data, dim, 6).unwrap();
-    let table = HashTable::build(&model, &data, dim);
+    let table: HashTable = HashTable::build(&model, &data, dim);
     let engine = QueryEngine::new(&model, &table, &data, dim);
     let q: Vec<f32> = data[..dim].iter().map(|&x| x + 0.01).collect();
 
@@ -196,7 +196,7 @@ fn buckets_smaller_than_a_tile() {
     let dim = 5;
     let data = dataset(9, dim, 17);
     let model = Pcah::train(&data, dim, 4).unwrap();
-    let table = HashTable::build(&model, &data, dim);
+    let table: HashTable = HashTable::build(&model, &data, dim);
     let engine = QueryEngine::new(&model, &table, &data, dim);
     let q = vec![0.1f32; dim];
     let expect = brute_force(&data, dim, &q, 4);

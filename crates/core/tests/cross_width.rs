@@ -1,0 +1,452 @@
+//! The code-width generalization's headline suite:
+//!
+//! * **Cross-width equivalence** — every probe strategy returns bit-identical
+//!   top-k (same ids, same f32 distance bit patterns) at m ∈ {16, 32, 64}
+//!   no matter which wide-enough `CodeWord` backs the table.
+//! * **Popcount oracle** — `CodeWord::hamming` at every width agrees with a
+//!   brute-force u8-bitvec loop that never touches `count_ones`.
+//! * **Wide-code search oracle** — all five strategies recover the exact
+//!   Euclidean k-NN at m ∈ {96, 128, 256} on a planted code layout whose
+//!   occupied buckets sit within enumerable Hamming radius.
+//! * **Golden recall pins** — budget-limited recall at m = 128 is pinned to
+//!   the exact value the deterministic pipeline produces today.
+
+use gqr_core::code::{CodeWord, U192, U256};
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::table::HashTable;
+use gqr_l2h::lsh::Lsh;
+use gqr_l2h::{CodeBlocks, HashModel, QueryEncoding, WideQueryEncoding};
+
+/// Deterministic xorshift stream, same sequence on every platform.
+fn rng_stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+fn random_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut next = rng_stream(seed);
+    (0..n * dim)
+        .map(|_| (next() % 2_000) as f32 / 100.0 - 10.0)
+        .collect()
+}
+
+/// Exhaustive scan with the engine's own distance kernel. Using
+/// `sq_dist_f32` (not a naive re-sum, which rounds differently) keeps the
+/// comparison about *which neighbors the probe strategies select*, so the
+/// `to_bits` equality below is exact rather than epsilon-based.
+fn brute_force_topk(data: &[f32], dim: usize, q: &[f32], k: usize) -> Vec<(u32, f32)> {
+    let mut all: Vec<(u32, f32)> = data
+        .chunks_exact(dim)
+        .enumerate()
+        .map(|(i, row)| (i as u32, gqr_linalg::kernels::sq_dist_f32(row, q)))
+        .collect();
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// All five strategies; MIH uses `blocks` substrings.
+fn strategies(blocks: usize) -> [ProbeStrategy; 5] {
+    [
+        ProbeStrategy::HammingRanking,
+        ProbeStrategy::QdRanking,
+        ProbeStrategy::GenerateHammingRanking,
+        ProbeStrategy::GenerateQdRanking,
+        ProbeStrategy::MultiIndexHashing { blocks },
+    ]
+}
+
+/// Run every strategy over every query at one width; distances are captured
+/// as raw bit patterns so the cross-width comparison is exact, not
+/// approximate.
+#[allow(clippy::too_many_arguments)]
+fn run_all_strategies<C: CodeWord>(
+    model: &dyn HashModel,
+    data: &[f32],
+    dim: usize,
+    queries: &[Vec<f32>],
+    k: usize,
+    candidates: usize,
+    max_buckets: usize,
+    mih_blocks: usize,
+) -> Vec<(Vec<u32>, Vec<u32>)> {
+    let table: HashTable<C> = HashTable::build(model, data, dim);
+    let mut engine = QueryEngine::new(model, &table, data, dim);
+    engine.enable_mih(mih_blocks);
+    let mut out = Vec::new();
+    for strat in strategies(mih_blocks) {
+        let params = SearchParams::for_k(k)
+            .candidates(candidates)
+            .max_buckets(max_buckets)
+            .strategy(strat)
+            .build()
+            .unwrap();
+        for q in queries {
+            let res = engine.search(q, &params);
+            out.push((
+                res.ids.clone(),
+                res.distances.iter().map(|d| d.to_bits()).collect(),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_strategy_is_bit_identical_across_wide_enough_widths() {
+    let dim = 8;
+    let n = 200;
+    let data = random_data(n, dim, 11);
+    let mut next = rng_stream(99);
+    let queries: Vec<Vec<f32>> = (0..8)
+        .map(|i| {
+            let row = &data[(i * 17 % n) * dim..(i * 17 % n) * dim + dim];
+            row.iter()
+                .map(|&x| x + (next() % 100) as f32 / 400.0)
+                .collect()
+        })
+        .collect();
+
+    for m in [16usize, 32, 64] {
+        let model = Lsh::train(&data, dim, m, 5).unwrap();
+        // Keep MIH substrings at ≤ 16 bits: with only 200 random codes a
+        // wider substring space would make the searcher enumerate masks
+        // far past anything occupied before giving up.
+        let mih_blocks = (m / 16).max(2);
+        let run = |bits: usize| match bits {
+            32 => run_all_strategies::<u32>(&model, &data, dim, &queries, 10, 60, 400, mih_blocks),
+            64 => run_all_strategies::<u64>(&model, &data, dim, &queries, 10, 60, 400, mih_blocks),
+            128 => {
+                run_all_strategies::<u128>(&model, &data, dim, &queries, 10, 60, 400, mih_blocks)
+            }
+            192 => {
+                run_all_strategies::<U192>(&model, &data, dim, &queries, 10, 60, 400, mih_blocks)
+            }
+            256 => {
+                run_all_strategies::<U256>(&model, &data, dim, &queries, 10, 60, 400, mih_blocks)
+            }
+            _ => unreachable!(),
+        };
+        let baseline = run(64);
+        assert!(
+            baseline.iter().any(|(ids, _)| !ids.is_empty()),
+            "m = {m}: baseline found nothing; the fixture is too weak"
+        );
+        for bits in [32usize, 128, 192, 256] {
+            if bits < m {
+                continue;
+            }
+            let got = run(bits);
+            assert_eq!(
+                baseline, got,
+                "m = {m}: {bits}-bit words diverge from the 64-bit baseline"
+            );
+        }
+    }
+}
+
+/// Naive u8-bitvec Hamming distance: expand both codes to little-endian
+/// bytes and count differing bits one at a time. Deliberately the dumbest
+/// possible implementation — no `count_ones`, no word-level tricks — so it
+/// cannot share a bug with the kernels under test.
+fn oracle_hamming(a: &[u64], b: &[u64], m: usize) -> u32 {
+    let to_bytes = |blocks: &[u64]| -> Vec<u8> {
+        let mut v = Vec::new();
+        for &w in blocks {
+            v.extend_from_slice(&w.to_le_bytes());
+        }
+        v
+    };
+    let (ab, bb) = (to_bytes(a), to_bytes(b));
+    let mut dist = 0u32;
+    for i in 0..m {
+        let (byte, bit) = (i / 8, i % 8);
+        let x = ab.get(byte).copied().unwrap_or(0) >> bit & 1;
+        let y = bb.get(byte).copied().unwrap_or(0) >> bit & 1;
+        if x != y {
+            dist += 1;
+        }
+    }
+    dist
+}
+
+fn random_wide_code(next: &mut impl FnMut() -> u64, m: usize) -> Vec<u64> {
+    (0..m.div_ceil(64))
+        .map(|blk| {
+            let live = (m - blk * 64).min(64);
+            let mask = if live == 64 {
+                u64::MAX
+            } else {
+                (1 << live) - 1
+            };
+            next() & mask
+        })
+        .collect()
+}
+
+fn check_popcount_oracle<C: CodeWord>(m: usize) {
+    let mut next = rng_stream(m as u64);
+    let codes: Vec<Vec<u64>> = (0..60).map(|_| random_wide_code(&mut next, m)).collect();
+    for (i, a) in codes.iter().enumerate() {
+        let ca = C::from_blocks(a);
+        assert_eq!(
+            ca.popcount(),
+            oracle_hamming(a, &[], m),
+            "popcount at m = {m}"
+        );
+        for b in codes.iter().skip(i) {
+            let cb = C::from_blocks(b);
+            let expected = oracle_hamming(a, b, m);
+            assert_eq!(
+                C::hamming(ca, cb),
+                expected,
+                "{}-bit hamming disagrees with the bitvec oracle at m = {m}",
+                C::BITS
+            );
+            assert_eq!(C::hamming(cb, ca), expected, "hamming must be symmetric");
+        }
+    }
+}
+
+#[test]
+fn codeword_hamming_matches_the_u8_bitvec_oracle() {
+    check_popcount_oracle::<u128>(96);
+    check_popcount_oracle::<u128>(128);
+    check_popcount_oracle::<U192>(96);
+    check_popcount_oracle::<U192>(128);
+    check_popcount_oracle::<U192>(192);
+    check_popcount_oracle::<U256>(96);
+    check_popcount_oracle::<U256>(128);
+    check_popcount_oracle::<U256>(256);
+}
+
+/// A hash model with a planted code layout: row `i`'s code is `base`
+/// XOR-ed with at most one low-cost flip bit, so every occupied bucket
+/// sits within Hamming radius 2 of every query (query flip + item flip)
+/// and the generate-to-probe strategies can enumerate the whole occupied
+/// set — radius-2 at m = 256 is 1 + 256 + C(256, 2) ≈ 33k buckets, well
+/// inside the test's bucket cap, where radius 4 would be ~174M. Flip
+/// costs are small on the planted bits and large elsewhere, keeping GQR's
+/// best-first frontier tiny. Bits are planted in every 64-bit block so the
+/// high blocks of wide words are exercised, not just block 0.
+struct PlantedModel {
+    dim: usize,
+    m: usize,
+    codes: Vec<CodeBlocks>,
+    cheap_bits: Vec<usize>,
+}
+
+impl PlantedModel {
+    fn new(dim: usize, m: usize, n: usize) -> PlantedModel {
+        assert!(m > 64, "planted fixture targets wide codes");
+        let n_blocks = m.div_ceil(64);
+        // One candidate flip bit per block plus one extra in the top block.
+        let cheap_bits: Vec<usize> = (0..n_blocks).map(|b| b * 64 + 7).chain([m - 2]).collect();
+        let mut base = CodeBlocks::zero(m);
+        // A base pattern with bits in every block.
+        for i in (0..m).step_by(5) {
+            if !cheap_bits.contains(&i) {
+                base.set_bit(i);
+            }
+        }
+        let mut next = rng_stream(m as u64 ^ 0xABCD);
+        let codes = (0..n)
+            .map(|_| {
+                let mut c = base;
+                // At most ONE planted flip per item, always setting a bit
+                // the base leaves clear: any two codes then differ in at
+                // most two bits, so every occupied bucket is reachable at
+                // enumeration radius 2 from any query.
+                if next() % 2 == 1 {
+                    c.set_bit(cheap_bits[(next() % cheap_bits.len() as u64) as usize]);
+                }
+                c
+            })
+            .collect();
+        PlantedModel {
+            dim,
+            m,
+            codes,
+            cheap_bits,
+        }
+    }
+
+    fn row_index(&self, x: &[f32]) -> usize {
+        // Row vectors carry their index in component 0 (see planted_data).
+        x[0].round() as usize % self.codes.len()
+    }
+}
+
+impl HashModel for PlantedModel {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn code_length(&self) -> usize {
+        self.m
+    }
+
+    fn encode(&self, _x: &[f32]) -> u64 {
+        panic!("planted model is wide-only; use encode_wide")
+    }
+
+    fn encode_query(&self, _q: &[f32]) -> QueryEncoding {
+        panic!("planted model is wide-only; use encode_query_wide")
+    }
+
+    fn encode_wide(&self, x: &[f32]) -> CodeBlocks {
+        self.codes[self.row_index(x)]
+    }
+
+    fn encode_query_wide(&self, q: &[f32]) -> WideQueryEncoding {
+        let mut flip_costs = vec![10.0; self.m];
+        for &b in &self.cheap_bits {
+            flip_costs[b] = 0.25 + b as f64 * 1e-3;
+        }
+        QueryEncoding {
+            code: self.encode_wide(q),
+            flip_costs,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "planted"
+    }
+}
+
+/// Rows whose component 0 is the row index (the planted model's key) and
+/// whose remaining components are deterministic pseudo-random noise, so
+/// Euclidean distances are distinct and brute force has a unique answer.
+fn planted_data(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut next = rng_stream(seed);
+    let mut data = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        data.push(i as f32);
+        for _ in 1..dim {
+            data.push((next() % 1_000) as f32 / 50.0);
+        }
+    }
+    data
+}
+
+#[test]
+fn all_five_strategies_pass_the_brute_force_oracle_at_wide_widths() {
+    let dim = 6;
+    let n = 40;
+    let k = 5;
+    for (m, mih_blocks) in [(96usize, 2usize), (128, 2), (256, 4)] {
+        let model = PlantedModel::new(dim, m, n);
+        let data = planted_data(n, dim, m as u64);
+
+        // The planted layout must stay within enumeration reach, and its
+        // pairwise distances must agree with the bitvec oracle.
+        for a in &model.codes {
+            for b in &model.codes {
+                let d = oracle_hamming(a.blocks(), b.blocks(), m);
+                assert!(d <= 2, "planted codes drifted out of radius (d = {d})");
+                let (ca, cb) = (U256::from_blocks(a.blocks()), U256::from_blocks(b.blocks()));
+                assert_eq!(U256::hamming(ca, cb), d);
+            }
+        }
+
+        let run = |strat: ProbeStrategy, query: &[f32]| -> Vec<(u32, u32)> {
+            let table: HashTable<U256> = HashTable::build(&model, &data, dim);
+            let mut engine = QueryEngine::new(&model, &table, &data, dim);
+            engine.enable_mih(mih_blocks);
+            // The bucket cap and time limit are safety nets: a correct run
+            // stays within radius 2 (≤ 33k generated buckets at m = 256),
+            // so hitting either means the enumeration went off the planted
+            // layout — the result then fails the oracle assert instead of
+            // hanging the suite.
+            let params = SearchParams::for_k(k)
+                .candidates(n)
+                .max_buckets(40_000)
+                .time_limit(std::time::Duration::from_secs(30))
+                .build()
+                .unwrap();
+            let params = SearchParams {
+                strategy: strat,
+                ..params
+            };
+            engine
+                .search(query, &params)
+                .neighbors()
+                .map(|(id, d)| (id, d.to_bits()))
+                .collect()
+        };
+
+        for qi in [0usize, 7, n - 1] {
+            let query = data[qi * dim..(qi + 1) * dim].to_vec();
+            let expected: Vec<(u32, u32)> = brute_force_topk(&data, dim, &query, k)
+                .into_iter()
+                .map(|(id, d)| (id, d.to_bits()))
+                .collect();
+            assert_eq!(expected[0].0, qi as u32, "self-query must find itself");
+            for strat in strategies(mih_blocks) {
+                let got = run(strat, &query);
+                assert_eq!(
+                    got,
+                    expected,
+                    "{} diverges from brute force at m = {m}, query {qi}",
+                    strat.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_recall_is_pinned_for_128_bit_codes() {
+    // Budget-limited recall of the table-driven strategies on a fully
+    // deterministic pipeline (xorshift data, seeded LSH). The pinned values
+    // were produced by this exact test; any drift in wide-code encoding,
+    // table layout, or ranking shows up as a recall change here before it
+    // shows up in a benchmark.
+    let dim = 12;
+    let n = 400;
+    let k = 10;
+    let m = 128;
+    let data = random_data(n, dim, 31);
+    let model = Lsh::train(&data, dim, m, 9).unwrap();
+    let table: HashTable<u128> = HashTable::build(&model, &data, dim);
+    let engine = QueryEngine::new(&model, &table, &data, dim);
+
+    let queries: Vec<Vec<f32>> = (0..40)
+        .map(|i| data[(i * 9 % n) * dim..(i * 9 % n) * dim + dim].to_vec())
+        .collect();
+
+    let mut recalls = Vec::new();
+    for strat in [ProbeStrategy::HammingRanking, ProbeStrategy::QdRanking] {
+        let params = SearchParams::for_k(k)
+            .candidates(80)
+            .strategy(strat)
+            .build()
+            .unwrap();
+        let mut found = 0usize;
+        for q in &queries {
+            let truth: Vec<u32> = brute_force_topk(&data, dim, q, k)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            let res = engine.search(q, &params);
+            found += res.ids.iter().filter(|id| truth.contains(id)).count();
+        }
+        recalls.push(found);
+    }
+    assert_eq!(
+        recalls,
+        vec![GOLDEN_HR_HITS, GOLDEN_QR_HITS],
+        "budget-limited recall drifted (k·queries = {})",
+        k * queries.len()
+    );
+}
+
+/// Pinned hit counts for `golden_recall_is_pinned_for_128_bit_codes`
+/// (out of k × 40 queries = 400).
+const GOLDEN_HR_HITS: usize = 393;
+const GOLDEN_QR_HITS: usize = 397;

@@ -15,7 +15,7 @@ fn fixture() -> (Vec<f32>, Lsh, HashTable) {
         data.push((i / 40) as f32 + 0.001 * (i % 11) as f32);
     }
     let model = Lsh::train(&data, 2, 9, 5).unwrap();
-    let table = HashTable::build(&model, &data, 2);
+    let table: HashTable = HashTable::build(&model, &data, 2);
     (data, model, table)
 }
 

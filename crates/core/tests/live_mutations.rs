@@ -92,7 +92,7 @@ fn queries() -> Vec<Vec<f32>> {
 fn churned_index_returns_only_live_ids_and_exact_neighbors() {
     let data = grid(500);
     let model = Arc::new(model(&data));
-    let index = MutableIndex::builder(Arc::clone(&model))
+    let index: MutableIndex<_> = MutableIndex::builder(Arc::clone(&model))
         .mih_blocks(3)
         .compaction_threshold(usize::MAX)
         .build(&data, 2);
@@ -159,7 +159,7 @@ fn compaction_is_invisible_to_queries_for_every_strategy() {
 fn filter_composes_with_tombstones() {
     let data = grid(500);
     let model = Arc::new(model(&data));
-    let index = MutableIndex::builder(Arc::clone(&model))
+    let index: MutableIndex<_> = MutableIndex::builder(Arc::clone(&model))
         .compaction_threshold(usize::MAX)
         .build(&data, 2);
     let live = churn(&index, &data);
@@ -190,7 +190,7 @@ fn snapshot_round_trips_delta_and_tombstones() {
 
     let data = grid(400);
     let model = Arc::new(model(&data));
-    let index = MutableIndex::builder(Arc::clone(&model))
+    let index: MutableIndex<_> = MutableIndex::builder(Arc::clone(&model))
         .compaction_threshold(usize::MAX)
         .build(&data, 2);
     let live = churn(&index, &data);
@@ -198,7 +198,7 @@ fn snapshot_round_trips_delta_and_tombstones() {
     assert!(gen.delta_rows() > 0 && gen.n_tombstones() > 0);
 
     index.save_snapshot(&path).unwrap();
-    let loaded = MutableIndex::from_snapshot(&path).unwrap();
+    let loaded: MutableIndex = MutableIndex::from_snapshot(&path).unwrap();
     let lgen = loaded.pin();
     assert_eq!(lgen.epoch(), gen.epoch());
     assert_eq!(lgen.delta_rows(), gen.delta_rows());
@@ -224,7 +224,7 @@ fn mutation_metrics_use_pinned_names() {
     let data = grid(200);
     let model = Arc::new(model(&data));
     let metrics = MetricsRegistry::enabled();
-    let index = MutableIndex::builder(Arc::clone(&model))
+    let index: MutableIndex<_> = MutableIndex::builder(Arc::clone(&model))
         .metrics(metrics.clone())
         .compaction_threshold(usize::MAX)
         .build(&data, 2);
@@ -272,7 +272,7 @@ fn mutations_and_compaction_record_traces_with_markers() {
         sample_every: 1,
         ..TraceConfig::default()
     });
-    let index = MutableIndex::builder(Arc::clone(&model))
+    let index: MutableIndex<_> = MutableIndex::builder(Arc::clone(&model))
         .metrics(metrics.clone())
         .compaction_threshold(usize::MAX)
         .build(&data, 2);

@@ -34,7 +34,7 @@ fn readers_see_consistent_pinned_generations_during_churn() {
     // A small threshold so the stress run crosses several compactions;
     // keep compaction on the writer thread so the test is deterministic in
     // its thread count.
-    let index = MutableIndex::builder(model)
+    let index: MutableIndex<_> = MutableIndex::builder(model)
         .compaction_threshold(64)
         .build(&data, 2);
 

@@ -63,7 +63,7 @@ fn exhaustive(strategy: ProbeStrategy) -> SearchParams {
 fn sharded_matches_unsharded_for_all_strategies_and_shard_counts() {
     let (data, dim) = dataset();
     let model = Pcah::train(&data, dim, 4).unwrap();
-    let table = HashTable::build(&model, &data, dim);
+    let table: HashTable = HashTable::build(&model, &data, dim);
     let mut reference = QueryEngine::new(&model, &table, &data, dim);
     reference.enable_mih(2);
 
@@ -121,7 +121,7 @@ fn executor_fanout_matches_serial_sharded_path() {
 fn filtered_sharded_matches_filtered_engine() {
     let (data, dim) = dataset();
     let model = Pcah::train(&data, dim, 4).unwrap();
-    let table = HashTable::build(&model, &data, dim);
+    let table: HashTable = HashTable::build(&model, &data, dim);
     let mut reference = QueryEngine::new(&model, &table, &data, dim);
     reference.enable_mih(2);
     let accept = |id: u32| id.is_multiple_of(3);

@@ -13,7 +13,7 @@ fn fixture() -> (Vec<f32>, Lsh, HashTable) {
         data.push((i / 50) as f32);
     }
     let model = Lsh::train(&data, 2, 10, 3).unwrap();
-    let table = HashTable::build(&model, &data, 2);
+    let table: HashTable = HashTable::build(&model, &data, 2);
     (data, model, table)
 }
 

@@ -23,7 +23,7 @@ fn fixture() -> (Vec<f32>, Lsh) {
 #[test]
 fn deadline_missed_query_is_force_traced_with_marker() {
     let (data, model) = fixture();
-    let table = HashTable::build(&model, &data, 2);
+    let table: HashTable = HashTable::build(&model, &data, 2);
     let metrics = MetricsRegistry::enabled();
     metrics.enable_tracing(TraceConfig {
         sample_every: u64::MAX,
@@ -75,7 +75,7 @@ fn deadline_missed_query_is_force_traced_with_marker() {
 fn empty_index_query_records_well_formed_trace() {
     let (data, model) = fixture();
     // A table over zero rows: every probe finds nothing.
-    let table = HashTable::build(&model, &[], 2);
+    let table: HashTable = HashTable::build(&model, &[], 2);
     let metrics = MetricsRegistry::enabled();
     metrics.enable_tracing(TraceConfig {
         sample_every: 1,
@@ -100,7 +100,7 @@ fn empty_index_query_records_well_formed_trace() {
 #[test]
 fn filter_rejecting_everything_keeps_zero_and_flushes() {
     let (data, model) = fixture();
-    let table = HashTable::build(&model, &data, 2);
+    let table: HashTable = HashTable::build(&model, &data, 2);
     let metrics = MetricsRegistry::enabled();
     metrics.enable_tracing(TraceConfig {
         sample_every: u64::MAX,
@@ -141,7 +141,7 @@ fn filter_rejecting_everything_keeps_zero_and_flushes() {
 #[test]
 fn unsampled_queries_leave_no_trace() {
     let (data, model) = fixture();
-    let table = HashTable::build(&model, &data, 2);
+    let table: HashTable = HashTable::build(&model, &data, 2);
     let metrics = MetricsRegistry::enabled();
     metrics.enable_tracing(TraceConfig {
         sample_every: u64::MAX,
@@ -169,7 +169,7 @@ fn unsampled_queries_leave_no_trace() {
 #[test]
 fn event_cap_overflow_keeps_trace_well_formed() {
     let (data, model) = fixture();
-    let table = HashTable::build(&model, &data, 2);
+    let table: HashTable = HashTable::build(&model, &data, 2);
     let metrics = MetricsRegistry::enabled();
     metrics.enable_tracing(TraceConfig {
         sample_every: 1,

@@ -73,7 +73,7 @@ fn strategies() -> [ProbeStrategy; 5] {
 fn full_budget_matches_oracle_exactly() {
     let (data, queries) = fixture();
     let model = Pcah::train(&data, DIM, BITS).unwrap();
-    let table = HashTable::build(&model, &data, DIM);
+    let table: HashTable = HashTable::build(&model, &data, DIM);
     let mut engine = QueryEngine::new(&model, &table, &data, DIM);
     engine.enable_mih(MIH_BLOCKS);
     let truth = exact_knn_batch(&data, DIM, &queries, K);
@@ -110,7 +110,7 @@ fn full_budget_matches_oracle_exactly() {
 fn budgeted_recall_is_pinned() {
     let (data, queries) = fixture();
     let model = Pcah::train(&data, DIM, BITS).unwrap();
-    let table = HashTable::build(&model, &data, DIM);
+    let table: HashTable = HashTable::build(&model, &data, DIM);
     let mut engine = QueryEngine::new(&model, &table, &data, DIM);
     engine.enable_mih(MIH_BLOCKS);
     let truth = exact_knn_batch(&data, DIM, &queries, K);

@@ -122,7 +122,7 @@ impl KmeansHashing {
             });
         }
         let min_rows = 1usize << b;
-        let n = check_training_input(data, dim, m, crate::MAX_CODE_LENGTH, min_rows)?;
+        let n = check_training_input(data, dim, m, crate::MAX_NARROW_CODE_LENGTH, min_rows)?;
 
         // Even dimension split.
         let base = dim / n_sub;
@@ -474,7 +474,7 @@ impl KmeansHashing {
         let dim = r.get_usize()?;
         let m = r.get_usize()?;
         let affinity_error = r.get_f64()?;
-        if m == 0 || m > crate::MAX_CODE_LENGTH {
+        if m == 0 || m > crate::MAX_NARROW_CODE_LENGTH {
             return Err(WireError::Malformed("KMH code length out of range"));
         }
         let n_sub = r.get_usize()?;

@@ -47,8 +47,112 @@ pub mod ssh;
 
 use gqr_linalg::Matrix;
 
-/// Maximum supported code length: codes are packed into a `u64`.
-pub const MAX_CODE_LENGTH: usize = 64;
+/// Maximum supported code length: codes are packed into up to
+/// [`CODE_BLOCKS`] 64-bit blocks.
+pub const MAX_CODE_LENGTH: usize = 256;
+
+/// Widest code a single `u64` holds — the ceiling for the narrow
+/// [`HashModel::encode`]/[`sign_code`] path. Models with longer codes go
+/// through [`HashModel::encode_wide`].
+pub const MAX_NARROW_CODE_LENGTH: usize = 64;
+
+/// Number of 64-bit blocks backing [`CodeBlocks`] (`MAX_CODE_LENGTH / 64`).
+pub const CODE_BLOCKS: usize = MAX_CODE_LENGTH / 64;
+
+/// A width-agnostic binary code: up to [`MAX_CODE_LENGTH`] bits packed
+/// little-endian into `u64` blocks (bit `i` lives in block `i / 64` at
+/// position `i % 64`).
+///
+/// This is the currency between hash models (which know the code length at
+/// runtime) and `gqr-core`'s monomorphized `CodeWord` widths: models emit
+/// `CodeBlocks`, the engine converts them to the narrowest word that fits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CodeBlocks {
+    blocks: [u64; CODE_BLOCKS],
+    len: usize,
+}
+
+impl CodeBlocks {
+    /// The all-zeros code of `len` bits. Panics if `len` exceeds
+    /// [`MAX_CODE_LENGTH`].
+    pub fn zero(len: usize) -> CodeBlocks {
+        assert!(
+            len <= MAX_CODE_LENGTH,
+            "code length {len} exceeds {MAX_CODE_LENGTH}"
+        );
+        CodeBlocks {
+            blocks: [0; CODE_BLOCKS],
+            len,
+        }
+    }
+
+    /// Wrap a narrow (≤ 64-bit) code.
+    pub fn from_u64(code: u64, len: usize) -> CodeBlocks {
+        assert!(
+            len <= MAX_NARROW_CODE_LENGTH,
+            "narrow code length {len} exceeds 64"
+        );
+        let mut c = CodeBlocks::zero(len);
+        c.blocks[0] = code;
+        c
+    }
+
+    /// Build from explicit blocks (low block first); `blocks` may be
+    /// shorter than [`CODE_BLOCKS`].
+    pub fn from_blocks(blocks: &[u64], len: usize) -> CodeBlocks {
+        let mut c = CodeBlocks::zero(len);
+        assert!(blocks.len() <= CODE_BLOCKS, "too many code blocks");
+        c.blocks[..blocks.len()].copy_from_slice(blocks);
+        c
+    }
+
+    /// Code length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the code has zero bits of length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i` (panics if `i ≥ len`).
+    #[inline]
+    pub fn set_bit(&mut self, i: usize) {
+        assert!(
+            i < self.len,
+            "bit {i} out of range for {}-bit code",
+            self.len
+        );
+        self.blocks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Read bit `i` (panics if `i ≥ len`).
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(
+            i < self.len,
+            "bit {i} out of range for {}-bit code",
+            self.len
+        );
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// The occupied blocks, low block first (`ceil(len / 64)` of them).
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks[..self.n_blocks()]
+    }
+
+    /// Number of occupied 64-bit blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.len.div_ceil(64).max(1)
+    }
+
+    /// The low 64 bits — the whole code when `len ≤ 64`.
+    pub fn low_u64(&self) -> u64 {
+        self.blocks[0]
+    }
+}
 
 /// Errors produced by trainers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,15 +194,22 @@ impl std::error::Error for TrainError {}
 
 /// A query's code plus the information QD ranking needs: per-bit flipping
 /// costs (for sign-threshold models, `|pᵢ(q)|`).
+///
+/// Generic over the code representation: `u64` (the default, for codes up
+/// to 64 bits), [`CodeBlocks`] on the model side of the wide path, or any
+/// `gqr-core` `CodeWord` width once the engine has picked one.
 #[derive(Clone, Debug)]
-pub struct QueryEncoding {
+pub struct QueryEncoding<C = u64> {
     /// The query's own bucket code (bit `i` in position `i`).
-    pub code: u64,
+    pub code: C,
     /// Cost of flipping bit `i` of the code — the paper's `|pᵢ(q)|` term in
     /// Definition 1 (or the codeword-distance delta for K-means hashing).
     /// Always non-negative, `flip_costs.len() == code_length`.
     pub flip_costs: Vec<f64>,
 }
+
+/// The width-agnostic query encoding wide models emit.
+pub type WideQueryEncoding = QueryEncoding<CodeBlocks>;
 
 /// A trained hashing model: items → `m`-bit codes, queries → codes +
 /// flipping costs.
@@ -112,11 +223,32 @@ pub trait HashModel: Send + Sync {
     /// Code length `m` (≤ [`MAX_CODE_LENGTH`]).
     fn code_length(&self) -> usize;
 
-    /// Bucket code of an item (indexing path).
+    /// Bucket code of an item (indexing path). Only defined for
+    /// `code_length ≤ 64`; wide models panic here and serve
+    /// [`encode_wide`](HashModel::encode_wide) instead.
     fn encode(&self, x: &[f32]) -> u64;
 
-    /// Code and per-bit flipping costs of a query (search path).
+    /// Code and per-bit flipping costs of a query (search path). Narrow
+    /// (≤ 64-bit) counterpart of
+    /// [`encode_query_wide`](HashModel::encode_query_wide).
     fn encode_query(&self, q: &[f32]) -> QueryEncoding;
+
+    /// Width-agnostic bucket code of an item. The default delegates to
+    /// [`encode`](HashModel::encode), which is correct for every model with
+    /// `code_length ≤ 64`; models supporting longer codes must override.
+    fn encode_wide(&self, x: &[f32]) -> CodeBlocks {
+        CodeBlocks::from_u64(self.encode(x), self.code_length())
+    }
+
+    /// Width-agnostic query encoding. Same default/override contract as
+    /// [`encode_wide`](HashModel::encode_wide).
+    fn encode_query_wide(&self, q: &[f32]) -> WideQueryEncoding {
+        let qe = self.encode_query(q);
+        QueryEncoding {
+            code: CodeBlocks::from_u64(qe.code, self.code_length()),
+            flip_costs: qe.flip_costs,
+        }
+    }
 
     /// The spectral norm `σ_max(H)` of the hashing matrix, when the model is
     /// linear (Theorem 1). Used to materialize the Theorem-2 lower bound
@@ -139,14 +271,31 @@ pub trait HashModel: Send + Sync {
 }
 
 /// Quantize a projected vector by sign thresholding: bit `i` is 1 iff
-/// `p[i] ≥ 0` (the paper's §2.1 quantization rule).
+/// `p[i] ≥ 0` (the paper's §2.1 quantization rule). Narrow path: panics on
+/// projections longer than 64 (use [`sign_code_blocks`]).
 #[inline]
 pub fn sign_code(projection: &[f64]) -> u64 {
-    debug_assert!(projection.len() <= MAX_CODE_LENGTH);
+    assert!(
+        projection.len() <= MAX_NARROW_CODE_LENGTH,
+        "sign_code packs into a u64: {} bits exceed 64 (use sign_code_blocks)",
+        projection.len()
+    );
     let mut code = 0u64;
     for (i, &p) in projection.iter().enumerate() {
         if p >= 0.0 {
             code |= 1u64 << i;
+        }
+    }
+    code
+}
+
+/// Width-agnostic sign thresholding: the same quantization rule as
+/// [`sign_code`] for projections up to [`MAX_CODE_LENGTH`] bits.
+pub fn sign_code_blocks(projection: &[f64]) -> CodeBlocks {
+    let mut code = CodeBlocks::zero(projection.len());
+    for (i, &p) in projection.iter().enumerate() {
+        if p >= 0.0 {
+            code.set_bit(i);
         }
     }
     code
@@ -167,7 +316,7 @@ impl LinearHasher {
         assert_eq!(w.rows(), bias.len(), "one bias per hash function");
         assert!(
             w.rows() <= MAX_CODE_LENGTH,
-            "code length exceeds u64 packing"
+            "code length exceeds {MAX_CODE_LENGTH}-bit packing"
         );
         let spectral_norm = w.spectral_norm();
         LinearHasher {
@@ -214,15 +363,30 @@ impl LinearHasher {
         out
     }
 
-    /// Item encoding: sign-threshold the projection.
+    /// Item encoding: sign-threshold the projection (narrow path; panics
+    /// when `code_length > 64` — use [`LinearHasher::encode_wide`]).
     pub fn encode(&self, x: &[f32]) -> u64 {
         sign_code(&self.project(x))
     }
 
-    /// Query encoding: code plus `|pᵢ(q)|` flipping costs.
+    /// Query encoding: code plus `|pᵢ(q)|` flipping costs (narrow path).
     pub fn encode_query(&self, q: &[f32]) -> QueryEncoding {
         let p = self.project(q);
         let code = sign_code(&p);
+        let flip_costs = p.into_iter().map(f64::abs).collect();
+        QueryEncoding { code, flip_costs }
+    }
+
+    /// Width-agnostic item encoding: works for any `code_length` up to
+    /// [`MAX_CODE_LENGTH`].
+    pub fn encode_wide(&self, x: &[f32]) -> CodeBlocks {
+        sign_code_blocks(&self.project(x))
+    }
+
+    /// Width-agnostic query encoding.
+    pub fn encode_query_wide(&self, q: &[f32]) -> WideQueryEncoding {
+        let p = self.project(q);
+        let code = sign_code_blocks(&p);
         let flip_costs = p.into_iter().map(f64::abs).collect();
         QueryEncoding { code, flip_costs }
     }

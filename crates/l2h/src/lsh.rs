@@ -79,6 +79,14 @@ impl HashModel for Lsh {
         self.hasher.encode_query(q)
     }
 
+    fn encode_wide(&self, x: &[f32]) -> crate::CodeBlocks {
+        self.hasher.encode_wide(x)
+    }
+
+    fn encode_query_wide(&self, q: &[f32]) -> crate::WideQueryEncoding {
+        self.hasher.encode_query_wide(q)
+    }
+
     fn spectral_norm(&self) -> Option<f64> {
         Some(self.hasher.spectral_norm())
     }
@@ -186,9 +194,11 @@ mod tests {
             Err(TrainError::BadCodeLength { .. })
         ));
         assert!(matches!(
-            Lsh::train(&data, 4, 65, 1),
+            Lsh::train(&data, 4, 257, 1),
             Err(TrainError::BadCodeLength { .. })
         ));
+        // 65 sat beyond the old u64 ceiling; wide code words made it legal.
+        assert!(Lsh::train(&data, 4, 65, 1).is_ok());
     }
 
     #[test]

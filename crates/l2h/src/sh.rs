@@ -52,7 +52,7 @@ impl SpectralHashing {
     /// per-direction range estimation, analytic eigenvalue ranking over all
     /// (direction, mode) candidates, smallest-`m` selected.
     pub fn train(data: &[f32], dim: usize, m: usize) -> Result<SpectralHashing, TrainError> {
-        let _n = check_training_input(data, dim, m, crate::MAX_CODE_LENGTH, 2)?;
+        let _n = check_training_input(data, dim, m, crate::MAX_NARROW_CODE_LENGTH, 2)?;
         let n_dirs = m.min(dim);
         let pca = Pca::fit(data, dim, n_dirs);
 
@@ -164,7 +164,7 @@ impl SpectralHashing {
         use gqr_linalg::wire::WireError;
         let pca = r.get_pca()?;
         let n = r.get_usize()?;
-        if n == 0 || n > crate::MAX_CODE_LENGTH {
+        if n == 0 || n > crate::MAX_NARROW_CODE_LENGTH {
             return Err(WireError::Malformed("SH function count out of range"));
         }
         let mut functions = Vec::with_capacity(n);

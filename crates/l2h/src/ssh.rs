@@ -226,6 +226,14 @@ impl HashModel for Ssh {
         self.hasher.encode_query(q)
     }
 
+    fn encode_wide(&self, x: &[f32]) -> crate::CodeBlocks {
+        self.hasher.encode_wide(x)
+    }
+
+    fn encode_query_wide(&self, q: &[f32]) -> crate::WideQueryEncoding {
+        self.hasher.encode_query_wide(q)
+    }
+
     fn spectral_norm(&self) -> Option<f64> {
         Some(self.hasher.spectral_norm())
     }

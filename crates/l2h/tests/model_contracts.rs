@@ -8,7 +8,7 @@ use gqr_l2h::lsh::Lsh;
 use gqr_l2h::pcah::Pcah;
 use gqr_l2h::sh::SpectralHashing;
 use gqr_l2h::ssh::{pairs_from_labels, Ssh};
-use gqr_l2h::HashModel;
+use gqr_l2h::{HashModel, TrainError, MAX_CODE_LENGTH};
 use proptest::prelude::*;
 
 fn train_all(data: &[f32], dim: usize, m: usize) -> Vec<Box<dyn HashModel>> {
@@ -23,6 +23,37 @@ fn train_all(data: &[f32], dim: usize, m: usize) -> Vec<Box<dyn HashModel>> {
         Box::new(Ssh::train(data, dim, m.min(dim), &pairs).unwrap()),
         Box::new(IsoHash::train(data, dim, m.min(dim)).unwrap()),
     ]
+}
+
+#[test]
+fn out_of_range_code_lengths_are_typed_errors() {
+    // The m ≤ 64 ceiling used to be a silent truncation; now every trainer
+    // validates against MAX_CODE_LENGTH and reports a typed error.
+    let dim = 4;
+    let data: Vec<f32> = (0..40 * dim).map(|i| (i % 13) as f32 * 0.3).collect();
+    for m in [0usize, MAX_CODE_LENGTH + 1, MAX_CODE_LENGTH * 2] {
+        assert!(
+            matches!(
+                Lsh::train(&data, dim, m, 1),
+                Err(TrainError::BadCodeLength { .. })
+            ),
+            "LSH accepted m = {m}"
+        );
+        assert!(
+            matches!(
+                SpectralHashing::train(&data, dim, m),
+                Err(TrainError::BadCodeLength { .. })
+            ),
+            "SH accepted m = {m}"
+        );
+        assert!(
+            matches!(
+                Pcah::train(&data, dim, m),
+                Err(TrainError::BadCodeLength { .. })
+            ),
+            "PCAH accepted m = {m}"
+        );
+    }
 }
 
 fn data_strategy() -> impl Strategy<Value = (usize, Vec<f32>)> {
@@ -40,8 +71,8 @@ proptest! {
             let name = model.name();
             prop_assert_eq!(model.dim(), dim, "{}", name);
             let eff_m = model.code_length();
-            prop_assert!((1..=64).contains(&eff_m), "{}", name);
-            let span = if eff_m == 64 { u64::MAX } else { (1u64 << eff_m) - 1 };
+            prop_assert!((1..=MAX_CODE_LENGTH).contains(&eff_m), "{}", name);
+            let span = if eff_m >= 64 { u64::MAX } else { (1u64 << eff_m) - 1 };
 
             for row in data.chunks_exact(dim).take(10) {
                 // encode is deterministic and within the code span.
@@ -49,6 +80,20 @@ proptest! {
                 let c2 = model.encode(row);
                 prop_assert_eq!(c1, c2, "{} determinism", name);
                 prop_assert!(c1 <= span, "{} code {} exceeds span", name, c1);
+
+                // encode_wide agrees with encode on the low block and
+                // clears every bit past the code length.
+                let wide = model.encode_wide(row);
+                prop_assert_eq!(wide.blocks()[0], c1, "{} wide/narrow mismatch", name);
+                for (i, &b) in wide.blocks().iter().enumerate() {
+                    let live = eff_m.saturating_sub(i * 64).min(64);
+                    if live < 64 {
+                        prop_assert_eq!(
+                            b >> live, 0,
+                            "{} block {} has bits past code length", name, i
+                        );
+                    }
+                }
 
                 // encode_query agrees with encode and provides one
                 // non-negative finite cost per bit.
@@ -58,11 +103,39 @@ proptest! {
                 for &c in &qe.flip_costs {
                     prop_assert!(c >= 0.0 && c.is_finite(), "{} bad flip cost {c}", name);
                 }
+                let qw = model.encode_query_wide(row);
+                prop_assert_eq!(qw.code.blocks()[0], c1, "{} wide query code", name);
+                prop_assert_eq!(qw.flip_costs.len(), eff_m, "{} wide flip costs", name);
             }
 
             // Spectral norm, when exposed, is positive and finite.
             if let Some(sn) = model.spectral_norm() {
                 prop_assert!(sn > 0.0 && sn.is_finite(), "{} spectral norm {sn}", name);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_models_honor_the_same_contract((dim, data) in data_strategy(), m in 65usize..=256) {
+        // LSH is the one trainer whose code length is dim-independent, so
+        // it exercises every width past the old u64 ceiling.
+        let model = Lsh::train(&data, dim, m, 7).unwrap();
+        prop_assert_eq!(model.code_length(), m);
+        for row in data.chunks_exact(dim).take(8) {
+            let w1 = model.encode_wide(row);
+            let w2 = model.encode_wide(row);
+            prop_assert_eq!(w1.blocks(), w2.blocks(), "wide determinism");
+            for (i, &b) in w1.blocks().iter().enumerate() {
+                let live = m.saturating_sub(i * 64).min(64);
+                if live < 64 {
+                    prop_assert_eq!(b >> live, 0, "bits past code length in block {}", i);
+                }
+            }
+            let qw = model.encode_query_wide(row);
+            prop_assert_eq!(qw.code.blocks(), w1.blocks(), "wide query/item code mismatch");
+            prop_assert_eq!(qw.flip_costs.len(), m);
+            for &c in &qw.flip_costs {
+                prop_assert!(c >= 0.0 && c.is_finite(), "bad wide flip cost {}", c);
             }
         }
     }

@@ -202,6 +202,45 @@ pub fn angular_dist_batch(q: &[f32], rows: &[f32], out: &mut [f32]) {
 }
 
 // ---------------------------------------------------------------------------
+// Dispatched popcount Hamming kernels (block-packed binary codes)
+// ---------------------------------------------------------------------------
+
+/// Hamming distance between two codes packed as little-endian `u64` blocks
+/// (dispatched row kernel). Both slices must have the same length.
+#[inline]
+pub fn hamming_row(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    scalar::hamming_row(a, b)
+}
+
+/// Hamming distance from one query code to every code in a contiguous
+/// block-packed tile: `codes` holds `out.len()` codes of `query.len()`
+/// blocks each. `out[i]` receives `popcount(query ⊕ codes[i])`.
+///
+/// Dispatched like the distance kernels: an AVX2 nibble-lookup (vpshufb)
+/// popcount when the CPU supports it, the scalar per-block `count_ones`
+/// loop otherwise; `GQR_FORCE_SCALAR=1` pins the scalar path. Both paths
+/// are **bit-identical** (integer arithmetic), unlike the float kernels.
+/// This is the bucket-rank hot path of Hamming ranking: one call scores
+/// every occupied bucket of a table.
+pub fn hamming_batch(query: &[u64], codes: &[u64], out: &mut [u32]) {
+    assert_eq!(
+        codes.len(),
+        query.len() * out.len(),
+        "tile must be n×blocks"
+    );
+    match active_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => unsafe { avx2::hamming_batch(query, codes, out) },
+        _ => {
+            for (row, d) in codes.chunks_exact(query.len().max(1)).zip(out.iter_mut()) {
+                *d = scalar::hamming_row(query, row);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // ScoreBlock: gather-then-score scratch tile
 // ---------------------------------------------------------------------------
 
@@ -336,6 +375,19 @@ impl ScoreBlock {
 /// can compare the dispatched kernels against this reference in the same
 /// process, independent of `GQR_FORCE_SCALAR`.
 pub mod scalar {
+    /// Hamming distance between two block-packed codes: per-block XOR +
+    /// `count_ones`. The reference the AVX2 popcount kernel must match
+    /// bit-for-bit.
+    #[inline]
+    pub fn hamming_row(a: &[u64], b: &[u64]) -> u32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0u32;
+        for (&x, &y) in a.iter().zip(b) {
+            acc += (x ^ y).count_ones();
+        }
+        acc
+    }
+
     /// Squared Euclidean distance, unrolled over four independent
     /// accumulators (the pre-SIMD hot kernel, kept bit-for-bit).
     #[inline]
@@ -694,6 +746,87 @@ mod avx2 {
             nb = (*b.add(i)).mul_add(*b.add(i), nb);
         }
         (dot, nb)
+    }
+
+    /// Per-64-bit-lane popcounts of one 256-bit vector via the nibble
+    /// lookup (vpshufb) + byte-sum (vpsadbw) technique: each of the four
+    /// `u64` lanes of the result holds the popcount of the corresponding
+    /// input lane.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcnt_lanes(v: __m256i) -> __m256i {
+        #[rustfmt::skip]
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+        let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    /// Batch popcount Hamming over a block-packed code tile. The 1-, 2-,
+    /// and 4-block layouts (m ≤ 64, 128, 256) each map a whole 256-bit
+    /// vector to 4/2/1 codes; other block counts take the scalar row loop.
+    /// Integer arithmetic, so every path is bit-identical to
+    /// `scalar::hamming_row`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn hamming_batch(query: &[u64], codes: &[u64], out: &mut [u32]) {
+        let blocks = query.len();
+        let mut lanes = [0u64; 4];
+        match blocks {
+            1 => {
+                let q = _mm256_set1_epi64x(query[0] as i64);
+                let vecs = out.len() / 4;
+                for i in 0..vecs {
+                    let v = _mm256_loadu_si256(codes.as_ptr().add(i * 4) as *const __m256i);
+                    let p = popcnt_lanes(_mm256_xor_si256(q, v));
+                    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, p);
+                    for l in 0..4 {
+                        out[i * 4 + l] = lanes[l] as u32;
+                    }
+                }
+                for r in vecs * 4..out.len() {
+                    out[r] = (query[0] ^ codes[r]).count_ones();
+                }
+            }
+            2 => {
+                let q = _mm256_setr_epi64x(
+                    query[0] as i64,
+                    query[1] as i64,
+                    query[0] as i64,
+                    query[1] as i64,
+                );
+                let vecs = out.len() / 2;
+                for i in 0..vecs {
+                    let v = _mm256_loadu_si256(codes.as_ptr().add(i * 4) as *const __m256i);
+                    let p = popcnt_lanes(_mm256_xor_si256(q, v));
+                    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, p);
+                    out[i * 2] = (lanes[0] + lanes[1]) as u32;
+                    out[i * 2 + 1] = (lanes[2] + lanes[3]) as u32;
+                }
+                if out.len() % 2 == 1 {
+                    let r = out.len() - 1;
+                    out[r] = super::scalar::hamming_row(query, &codes[r * 2..r * 2 + 2]);
+                }
+            }
+            4 => {
+                let q = _mm256_loadu_si256(query.as_ptr() as *const __m256i);
+                for (i, o) in out.iter_mut().enumerate() {
+                    let v = _mm256_loadu_si256(codes.as_ptr().add(i * 4) as *const __m256i);
+                    let p = popcnt_lanes(_mm256_xor_si256(q, v));
+                    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, p);
+                    *o = (lanes[0] + lanes[1] + lanes[2] + lanes[3]) as u32;
+                }
+            }
+            _ => {
+                for (row, d) in codes.chunks_exact(blocks.max(1)).zip(out.iter_mut()) {
+                    *d = super::scalar::hamming_row(query, row);
+                }
+            }
+        }
     }
 
     #[target_feature(enable = "avx2", enable = "fma")]

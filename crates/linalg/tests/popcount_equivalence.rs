@@ -1,0 +1,171 @@
+//! Popcount-kernel equivalence suite: the dispatched Hamming kernels must
+//! satisfy the metric axioms against a naive bit-loop oracle that never
+//! touches `count_ones`, and the batch kernel must be bit-identical to the
+//! row kernel for every tile shape (including the AVX2 4-, 2-, and 1-block
+//! fast paths and the any-width fallback).
+//!
+//! Run under both auto dispatch and `GQR_FORCE_SCALAR=1` (scripts/ci.sh
+//! does both); the assertions themselves are dispatch-agnostic.
+
+use gqr_linalg::kernels::{
+    active_kernel, force_scalar_requested, hamming_batch, hamming_row, scalar, KernelKind,
+};
+use proptest::prelude::*;
+
+/// Naive oracle: walk every bit of every block one at a time. Deliberately
+/// the dumbest possible implementation — no `count_ones`, no word-level
+/// tricks — so it cannot share a bug with the kernels under test.
+fn oracle_hamming(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len());
+    let mut dist = 0u32;
+    for (&x, &y) in a.iter().zip(b) {
+        for bit in 0..64 {
+            if (x >> bit) & 1 != (y >> bit) & 1 {
+                dist += 1;
+            }
+        }
+    }
+    dist
+}
+
+fn oracle_weight(a: &[u64]) -> u32 {
+    let zeros = vec![0u64; a.len()];
+    oracle_hamming(a, &zeros)
+}
+
+/// Deterministic xorshift code generator (the proptest stub only supplies
+/// range strategies, so block values come from a seeded stream).
+fn gen_code(seed: u64, blocks: usize) -> Vec<u64> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..blocks)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96 })]
+
+    /// The dispatched row kernel agrees with the bit-loop oracle for every
+    /// block count the engine's code widths use (1 = u64, 2 = u128,
+    /// 3 = U192, 4 = U256) and beyond.
+    #[test]
+    fn row_kernel_matches_bit_loop_oracle(
+        blocks in 1usize..=6,
+        seed in 0u64..1_000_000_000,
+    ) {
+        let a = gen_code(seed, blocks);
+        let b = gen_code(seed ^ 0xDEAD_BEEF, blocks);
+        prop_assert_eq!(hamming_row(&a, &b), oracle_hamming(&a, &b));
+        prop_assert_eq!(hamming_row(&a, &a), 0);
+    }
+
+    /// Metric axioms, oracle-checked: identity, symmetry, the XOR-weight
+    /// identity d(a, b) = weight(a ⊕ b), and the triangle inequality.
+    #[test]
+    fn metric_axioms_hold(
+        blocks in 1usize..=5,
+        seed in 0u64..1_000_000_000,
+    ) {
+        let a = gen_code(seed, blocks);
+        let b = gen_code(seed.wrapping_add(1), blocks);
+        let c = gen_code(seed.wrapping_add(2), blocks);
+        // Symmetry.
+        let dab = hamming_row(&a, &b);
+        prop_assert_eq!(hamming_row(&b, &a), dab);
+        // Hamming distance is the popcount of the XOR.
+        let x: Vec<u64> = a.iter().zip(&b).map(|(&p, &q)| p ^ q).collect();
+        prop_assert_eq!(dab, oracle_weight(&x));
+        // Triangle inequality.
+        let dbc = hamming_row(&b, &c);
+        let dac = hamming_row(&a, &c);
+        prop_assert!(dac <= dab + dbc, "triangle violated: {} > {} + {}", dac, dab, dbc);
+    }
+
+    /// The batch kernel is bit-identical to the row kernel over random tile
+    /// shapes — block counts crossing the AVX2 specializations and row
+    /// counts crossing its 4-row unroll — and both match the oracle.
+    #[test]
+    fn batch_matches_rows(
+        blocks in 1usize..=5,
+        n_rows in 1usize..=11,
+        seed in 0u64..1_000_000_000,
+    ) {
+        let query = gen_code(seed, blocks);
+        let codes = gen_code(seed ^ 0x00C0_FFEE, n_rows * blocks);
+        let mut out = vec![0u32; n_rows];
+        hamming_batch(&query, &codes, &mut out);
+        for (r, row) in codes.chunks_exact(blocks).enumerate() {
+            prop_assert_eq!(out[r], hamming_row(&query, row), "row {}", r);
+            prop_assert_eq!(out[r], oracle_hamming(&query, row), "oracle row {}", r);
+        }
+    }
+}
+
+/// Deterministic sweep pinning the shapes the property tests sample: every
+/// block count the code widths use × row counts around the AVX2 4-row
+/// unroll, with all-zeros, all-ones, and alternating bit patterns.
+#[test]
+fn deterministic_shape_sweep() {
+    let patterns: [u64; 5] = [0, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555, 1];
+    for blocks in 1usize..=5 {
+        for n_rows in [1usize, 2, 3, 4, 5, 7, 8, 9, 16, 33] {
+            let query: Vec<u64> = (0..blocks).map(|i| patterns[i % patterns.len()]).collect();
+            let codes: Vec<u64> = (0..n_rows * blocks)
+                .map(|i| patterns[(i * 3 + 1) % patterns.len()].rotate_left(i as u32))
+                .collect();
+            let mut out = vec![0u32; n_rows];
+            hamming_batch(&query, &codes, &mut out);
+            for (r, row) in codes.chunks_exact(blocks).enumerate() {
+                let want = oracle_hamming(&query, row);
+                assert_eq!(out[r], want, "batch blocks {blocks} rows {n_rows} row {r}");
+                assert_eq!(
+                    hamming_row(&query, row),
+                    want,
+                    "row blocks {blocks} rows {n_rows} row {r}"
+                );
+            }
+        }
+    }
+    // Extremes: distance is 0 on equal codes and 64·blocks on complements.
+    for blocks in 1usize..=4 {
+        let a = vec![0x0123_4567_89AB_CDEFu64; blocks];
+        let not_a: Vec<u64> = a.iter().map(|&x| !x).collect();
+        assert_eq!(hamming_row(&a, &a), 0);
+        assert_eq!(hamming_row(&a, &not_a), 64 * blocks as u32);
+    }
+}
+
+/// The `GQR_FORCE_SCALAR` override pins the scalar popcount path; under it
+/// the dispatched kernels must match the scalar reference exactly. Under
+/// auto dispatch on AVX2 hardware the SIMD path must actually be selected
+/// — and still agree with scalar, since popcount is integer arithmetic.
+#[test]
+fn force_scalar_override_is_honored() {
+    if force_scalar_requested() {
+        assert_eq!(active_kernel(), KernelKind::Scalar);
+    } else {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            assert_eq!(
+                active_kernel(),
+                KernelKind::Avx2Fma,
+                "AVX2+FMA hardware must select the SIMD popcount"
+            );
+        }
+    }
+    // Whichever path is active, it must equal the scalar reference bit for
+    // bit — popcount has no float reassociation escape hatch.
+    let query = gen_code(7, 4);
+    let codes = gen_code(8, 40);
+    let mut out = vec![0u32; 10];
+    hamming_batch(&query, &codes, &mut out);
+    for (r, row) in codes.chunks_exact(4).enumerate() {
+        assert_eq!(out[r], scalar::hamming_row(&query, row));
+    }
+}

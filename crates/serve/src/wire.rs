@@ -18,6 +18,11 @@
 //! `HR`, `GHR`, `QR`, `GQR`, `MIH` (default `GQR`); `MIH` reads
 //! `mih_blocks` (default 2). `timeout_ms` becomes an absolute deadline the
 //! moment the request is admitted, so queue wait spends it too.
+//! `max_buckets` bounds bucket probes and defaults to
+//! [`SearchParams::DEFAULT_BUCKET_CAP`]: the generate-to-probe strategies
+//! enumerate a 2^m bucket space, so with wide code words an unreachable
+//! candidate budget would otherwise pin a handler until its deadline on
+//! every such request. Pass a larger value explicitly to probe deeper.
 //!
 //! Response body:
 //!
@@ -51,6 +56,9 @@ pub struct WireRequest {
     pub k: usize,
     /// Candidate budget `N` (defaults to the engine default).
     pub candidates: Option<usize>,
+    /// Bucket-probe bound (defaults to
+    /// [`SearchParams::DEFAULT_BUCKET_CAP`]).
+    pub max_buckets: Option<usize>,
     /// Probing strategy.
     pub strategy: ProbeStrategy,
     /// Early-stop toggle.
@@ -90,6 +98,7 @@ pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
     let mut query = None;
     let mut k = None;
     let mut candidates = None;
+    let mut max_buckets = None;
     let mut strategy_name: Option<String> = None;
     let mut mih_blocks = None;
     let mut early_stop = None;
@@ -124,6 +133,13 @@ pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
                     .as_u64()
                     .ok_or_else(|| bad("\"candidates\" must be a non-negative integer"))?;
                 candidates = Some(n as usize);
+            }
+            "max_buckets" => {
+                let n = value
+                    .as_u64()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| bad("\"max_buckets\" must be a positive integer"))?;
+                max_buckets = Some(n as usize);
             }
             "strategy" => {
                 let s = value
@@ -179,6 +195,7 @@ pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
         query,
         k,
         candidates,
+        max_buckets,
         strategy,
         early_stop,
         timeout,
@@ -193,6 +210,9 @@ impl WireRequest {
         if let Some(n) = self.candidates {
             b = b.candidates(n);
         }
+        // Always bound bucket probes: over HTTP an unbounded generate
+        // enumeration is a denial-of-service hazard at wide code widths.
+        b = b.max_buckets(self.max_buckets.unwrap_or(SearchParams::DEFAULT_BUCKET_CAP));
         if let Some(es) = self.early_stop {
             b = b.early_stop(es);
         }

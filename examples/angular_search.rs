@@ -20,7 +20,7 @@ fn main() {
 
     // Sign random projections approximate angles; 13 bits ≈ log2(n/10).
     let model = Lsh::train(ds.as_slice(), ds.dim(), 13, 5).expect("training");
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let engine =
         QueryEngine::new(&model, &table, ds.as_slice(), ds.dim()).with_metric(Metric::Angular);
 

@@ -42,7 +42,7 @@ fn main() {
 
     let m = 13;
     let model = Itq::train(corpus.as_slice(), dim, m).expect("training");
-    let table = HashTable::build(&model, corpus.as_slice(), dim);
+    let table: HashTable = HashTable::build(&model, corpus.as_slice(), dim);
     let engine = QueryEngine::new(&model, &table, corpus.as_slice(), dim);
 
     // For each planted duplicate, ask: "is something almost identical

@@ -26,7 +26,7 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     println!(
         "indexed in {:?} ({} buckets)",
         t0.elapsed(),

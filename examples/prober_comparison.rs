@@ -17,7 +17,7 @@ fn main() {
     let ds = DatasetSpec::audio50k().scale(Scale::Smoke).generate(11);
     let m = 8;
     let model = Pcah::train(ds.as_slice(), ds.dim(), m).expect("training");
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     println!(
         "{} items, {}-bit codes, {} occupied of {} possible buckets\n",
         ds.n(),

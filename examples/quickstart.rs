@@ -21,7 +21,7 @@ fn main() {
 
     // Learn similarity-preserving hash functions and build the index.
     let model = Itq::train(ds.as_slice(), ds.dim(), m).expect("training");
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     println!(
         "index: {} occupied buckets, {:.1} items/bucket on average",
         table.n_buckets(),

@@ -25,7 +25,7 @@ fn main() {
     let m = 11;
     let model = Itq::train(snapshot.as_slice(), dim, m).expect("training");
     let metrics = MetricsRegistry::enabled();
-    let index = MutableIndex::builder(Arc::new(model))
+    let index: MutableIndex<_> = MutableIndex::builder(Arc::new(model))
         .metrics(metrics.clone())
         .compaction_threshold(2_048)
         .build(snapshot.as_slice(), dim);

@@ -90,4 +90,12 @@ GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench serving
 echo "==> kernel bench (smoke)"
 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench distance
 
+echo "==> popcount bench (smoke, 1.5x SIMD gate at m=128)"
+GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench hamming
+grep -q '"gate_pass": true' results/BENCH_hamming.json \
+    || { echo "popcount gate FAILED (results/BENCH_hamming.json)"; exit 1; }
+GQR_FORCE_SCALAR=1 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench hamming
+grep -q '"gate_pass": true' results/BENCH_hamming.json \
+    || { echo "popcount gate FAILED under GQR_FORCE_SCALAR (results/BENCH_hamming.json)"; exit 1; }
+
 echo "==> ci.sh: all green"

@@ -12,6 +12,8 @@
 //! serde); datasets use the TEXMEX `fvecs` format so real GIST/SIFT files
 //! drop in directly.
 
+use gqr::core::code::CodeWord;
+use gqr::core::dispatch::{load_index_any, AnyLoadedIndex, CodeWidth};
 use gqr::core::engine::{ProbeStrategy, QueryEngine, SearchParams, SearchResponse};
 use gqr::core::live::MutableIndex;
 use gqr::core::request::SearchRequest;
@@ -29,6 +31,56 @@ use gqr::persist::{LoadedIndex, SectionKind, SnapshotFile};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::process::exit;
+
+/// Monomorphize `$body` with `$C` aliased to the [`CodeWord`] type whose
+/// capacity is exactly `$bits`. The enclosing function must return
+/// `Result<_, String>`: unsupported widths bail out with an error.
+macro_rules! dispatch_bits {
+    ($bits:expr, $C:ident, $body:expr) => {
+        match CodeWidth::from_bits($bits) {
+            Some(CodeWidth::W32) => {
+                type $C = u32;
+                $body
+            }
+            Some(CodeWidth::W64) => {
+                type $C = u64;
+                $body
+            }
+            Some(CodeWidth::W128) => {
+                type $C = u128;
+                $body
+            }
+            Some(CodeWidth::W192) => {
+                type $C = gqr::core::code::U192;
+                $body
+            }
+            Some(CodeWidth::W256) => {
+                type $C = gqr::core::code::U256;
+                $body
+            }
+            None => {
+                return Err(format!(
+                    "unsupported code width {} bits (expected 32|64|128|192|256)",
+                    $bits
+                ))
+            }
+        }
+    };
+}
+
+/// Bind `$l` to the typed [`LoadedIndex`] inside an [`AnyLoadedIndex`] and
+/// evaluate `$body` once, monomorphized at the snapshot's width.
+macro_rules! with_any_index {
+    ($any:expr, $l:ident, $body:expr) => {
+        match $any {
+            AnyLoadedIndex::W32($l) => $body,
+            AnyLoadedIndex::W64($l) => $body,
+            AnyLoadedIndex::W128($l) => $body,
+            AnyLoadedIndex::W192($l) => $body,
+            AnyLoadedIndex::W256($l) => $body,
+        }
+    };
+}
 
 /// On-disk model container: a tagged union over the trainers.
 #[derive(Serialize, Deserialize)]
@@ -97,12 +149,12 @@ fn usage_and_exit(err: Option<&str>) -> ! {
          \x20 train    --data FILE --algo itq|pcah|sh|kmh|lsh|isohash --bits M --model FILE [--seed S]\n\
          \x20 build    --data FILE --model FILE --index FILE\n\
          \x20 query    --data FILE --model FILE --index FILE --row I --k K\n\
-         \x20          [--strategy gqr|ghr|hr|qr] [--candidates N]\n\
+         \x20          [--strategy gqr|ghr|hr|qr] [--candidates N] [--max-buckets N]\n\
          \x20 eval     --data FILE --model FILE --index FILE --queries N --k K [--candidates N]\n\
          \x20 save-index --data FILE --snapshot FILE (--model FILE | --algo A --bits M [--seed S])\n\
-         \x20          [--shards N] [--mih-blocks B]\n\
+         \x20          [--shards N] [--mih-blocks B] [--width 32|64|128|192|256]\n\
          \x20 load-index --snapshot FILE --k K (--row I | --queries N)\n\
-         \x20          [--strategy gqr|ghr|hr|qr|mih] [--candidates N]\n\
+         \x20          [--strategy gqr|ghr|hr|qr|mih] [--candidates N] [--max-buckets N]\n\
          \x20 insert   --snapshot FILE --vector \"x1,x2,...\" [--out FILE] [--compact 1]\n\
          \x20 delete   --snapshot FILE --id N [--out FILE] [--compact 1]\n\
          \x20 trace-dump --snapshot FILE --queries N --k K [--strategy gqr|ghr|hr|qr|mih]\n\
@@ -262,11 +314,29 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `--max-buckets` with the serving-boundary default: CLI queries always
+/// bound bucket probes so a generate strategy over wide codes terminates
+/// even when the candidate budget is unreachable.
+fn max_buckets_flag(flags: &HashMap<String, String>) -> Result<usize, String> {
+    flags
+        .get("max-buckets")
+        .map(|s| s.parse().map_err(|_| "bad --max-buckets".to_string()))
+        .transpose()
+        .map(|v| v.unwrap_or(SearchParams::DEFAULT_BUCKET_CAP))
+}
+
 fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
     let ds = load_dataset(flags)?;
     let model = load_model(flags)?;
+    let m = model.as_model().code_length();
+    if m > 64 {
+        return Err(format!(
+            "build writes the legacy JSON index, which is limited to 64-bit codes \
+             (model has {m} bits); use save-index, which picks the code width automatically"
+        ));
+    }
     let start = std::time::Instant::now();
-    let table = HashTable::build(model.as_model(), ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(model.as_model(), ds.as_slice(), ds.dim());
     let out = get(flags, "index")?;
     save_json(out, &table)?;
     println!(
@@ -303,12 +373,14 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --candidates"))
         .transpose()?
         .unwrap_or(1_000);
+    let max_buckets = max_buckets_flag(flags)?;
     let strat = strategy(flags.get("strategy").map(String::as_str).unwrap_or("gqr"))?;
 
     let engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
     let params = SearchParams::for_k(k)
         .candidates(n_candidates)
         .strategy(strat)
+        .max_buckets(max_buckets)
         .build()
         .map_err(|e| format!("invalid search parameters: {e}"))?;
     let query = ds.row(row).to_vec();
@@ -337,6 +409,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --candidates"))
         .transpose()?
         .unwrap_or(1_000);
+    let max_buckets = max_buckets_flag(flags)?;
 
     let queries = ds.sample_queries(n_queries, 7);
     let truth = brute_force_knn(&ds, &queries, k, 0);
@@ -354,6 +427,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
         let params = SearchParams::for_k(k)
             .candidates(n_candidates)
             .strategy(strat)
+            .max_buckets(max_buckets)
             .build()
             .map_err(|e| format!("invalid search parameters: {e}"))?;
         let start = std::time::Instant::now();
@@ -397,6 +471,41 @@ fn cmd_save_index(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --mih-blocks"))
         .transpose()?;
     let out = get(flags, "snapshot")?;
+    let m = model.as_model().code_length();
+    let width_bits: usize = match flags.get("width") {
+        Some(s) => {
+            let b: usize = s.parse().map_err(|_| "bad --width")?;
+            if CodeWidth::from_bits(b).is_none() {
+                return Err(format!(
+                    "--width {b} is not a supported code width (32|64|128|192|256)"
+                ));
+            }
+            if b < m {
+                return Err(format!(
+                    "--width {b} is narrower than the model's {m}-bit codes"
+                ));
+            }
+            b
+        }
+        // The sharded fan-out is monomorphic over u64, so sharded saves
+        // default to 64-bit words; single-shard saves take the narrowest
+        // width that fits the model.
+        None if shards > 1 => 64,
+        None => CodeWidth::narrowest_for(m)
+            .ok_or_else(|| format!("model code length {m} exceeds the 256-bit ceiling"))?
+            .bits(),
+    };
+    if shards > 1 && width_bits != 64 {
+        return Err(format!(
+            "sharded snapshots currently use 64-bit codes only ({m}-bit model needs \
+             {width_bits}-bit words); drop --shards or use --width 64"
+        ));
+    }
+    if m > width_bits {
+        return Err(format!(
+            "model code length {m} does not fit {width_bits}-bit words"
+        ));
+    }
     let start = std::time::Instant::now();
     let bytes = if shards > 1 {
         let mut index = ShardedIndex::build(model.as_model(), ds.as_slice(), ds.dim(), shards);
@@ -407,17 +516,19 @@ fn cmd_save_index(flags: &HashMap<String, String>) -> Result<(), String> {
             .save_snapshot(std::path::Path::new(out))
             .map_err(|e| e.to_string())?
     } else {
-        let table = HashTable::build(model.as_model(), ds.as_slice(), ds.dim());
-        let mut engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
-        if let Some(b) = mih_blocks {
-            engine.enable_mih(b);
-        }
-        engine
-            .save_snapshot(std::path::Path::new(out))
-            .map_err(|e| e.to_string())?
+        dispatch_bits!(width_bits, C, {
+            let table: HashTable<C> = HashTable::build(model.as_model(), ds.as_slice(), ds.dim());
+            let mut engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
+            if let Some(b) = mih_blocks {
+                engine.enable_mih(b);
+            }
+            engine
+                .save_snapshot(std::path::Path::new(out))
+                .map_err(|e| e.to_string())?
+        })
     };
     println!(
-        "saved {shards}-shard snapshot of {} × {} ({bytes} bytes, model {}) to {out} in {:?}",
+        "saved {shards}-shard snapshot of {} × {} ({bytes} bytes, model {}, {width_bits}-bit codes) to {out} in {:?}",
         ds.n(),
         ds.dim(),
         model.as_model().name(),
@@ -427,13 +538,14 @@ fn cmd_save_index(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// A query front end over a loaded snapshot: one engine for one-shard
-/// snapshots, the sharded fan-out otherwise.
-enum LoadedEngine<'a> {
-    Single(QueryEngine<'a, dyn HashModel + 'a>),
+/// snapshots, the sharded fan-out otherwise. The sharded variant exists
+/// only at 64-bit width (wide snapshots are single-shard).
+enum LoadedEngine<'a, C: CodeWord = u64> {
+    Single(QueryEngine<'a, dyn HashModel + 'a, C>),
     Sharded(ShardedIndex<'a, dyn HashModel + 'a>),
 }
 
-impl LoadedEngine<'_> {
+impl<C: CodeWord> LoadedEngine<'_, C> {
     fn search(&self, query: &[f32], params: &SearchParams) -> SearchResponse {
         match self {
             LoadedEngine::Single(e) => e.search(query, params),
@@ -442,26 +554,37 @@ impl LoadedEngine<'_> {
     }
 }
 
-fn engine_from(loaded: &LoadedIndex) -> Result<LoadedEngine<'_>, String> {
+fn engine_from<C: CodeWord>(loaded: &LoadedIndex<C>) -> Result<LoadedEngine<'_, C>, String> {
     if loaded.shards().len() == 1 {
         QueryEngine::from_snapshot(loaded)
             .map(LoadedEngine::Single)
             .map_err(|e| e.to_string())
     } else {
-        Ok(LoadedEngine::Sharded(ShardedIndex::from_snapshot(loaded)))
+        // The sharded fan-out is monomorphic over u64; prove C == u64 at
+        // runtime (the only sharded snapshots ever written are 64-bit).
+        let loaded64 = (loaded as &dyn std::any::Any)
+            .downcast_ref::<LoadedIndex<u64>>()
+            .ok_or_else(|| {
+                format!(
+                    "sharded snapshots are only supported at 64-bit width (this one is {}-bit)",
+                    C::BITS
+                )
+            })?;
+        Ok(LoadedEngine::Sharded(ShardedIndex::from_snapshot(loaded64)))
     }
 }
 
-/// Whether the snapshot carries live mutation state (and so must be loaded
-/// through [`MutableIndex::from_snapshot`] rather than `load_index`).
-fn is_live_snapshot(path: &str) -> Result<bool, String> {
+/// Peek at the snapshot header: whether it carries live mutation state
+/// (and so must be loaded through [`MutableIndex::from_snapshot`] rather
+/// than `load_index`), and the code width it was written at.
+fn snapshot_kind(path: &str) -> Result<(bool, usize), String> {
     let file = SnapshotFile::read(std::path::Path::new(path))
         .map_err(|e| format!("loading {path}: {e}"))?;
     let live = file.sections_of(SectionKind::LiveState).next().is_some();
-    Ok(live)
+    Ok((live, file.code_width()))
 }
 
-fn load_mutable(path: &str) -> Result<MutableIndex, String> {
+fn load_mutable<C: CodeWord>(path: &str) -> Result<MutableIndex<dyn HashModel, C>, String> {
     MutableIndex::from_snapshot(std::path::Path::new(path))
         .map_err(|e| format!("loading {path}: {e}"))
 }
@@ -476,72 +599,79 @@ fn cmd_insert(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|_| format!("bad component '{}' in --vector", s.trim()))
         })
         .collect::<Result<_, _>>()?;
-    let index = load_mutable(path)?;
-    if vector.len() != index.dim() {
-        return Err(format!(
-            "--vector has {} components, index expects {}",
-            vector.len(),
-            index.dim()
-        ));
-    }
-    let id = index.writer().insert(&vector);
-    if flags.contains_key("compact") {
-        index.compact();
-    }
-    let out = flags.get("out").map(String::as_str).unwrap_or(path);
-    let bytes = index
-        .save_snapshot(std::path::Path::new(out))
-        .map_err(|e| e.to_string())?;
-    let gen = index.pin();
-    println!(
-        "inserted id {id}: epoch {}, {} live rows ({} delta, {} tombstones); wrote {bytes} bytes to {out}",
-        gen.epoch(),
-        gen.n_live(),
-        gen.delta_rows(),
-        gen.n_tombstones()
-    );
-    Ok(())
+    let (_, width_bits) = snapshot_kind(path)?;
+    dispatch_bits!(width_bits, C, {
+        let index: MutableIndex<dyn HashModel, C> = load_mutable(path)?;
+        if vector.len() != index.dim() {
+            return Err(format!(
+                "--vector has {} components, index expects {}",
+                vector.len(),
+                index.dim()
+            ));
+        }
+        let id = index.writer().insert(&vector);
+        if flags.contains_key("compact") {
+            index.compact();
+        }
+        let out = flags.get("out").map(String::as_str).unwrap_or(path);
+        let bytes = index
+            .save_snapshot(std::path::Path::new(out))
+            .map_err(|e| e.to_string())?;
+        let gen = index.pin();
+        println!(
+            "inserted id {id}: epoch {}, {} live rows ({} delta, {} tombstones); wrote {bytes} bytes to {out}",
+            gen.epoch(),
+            gen.n_live(),
+            gen.delta_rows(),
+            gen.n_tombstones()
+        );
+        Ok(())
+    })
 }
 
 fn cmd_delete(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = get(flags, "snapshot")?;
     let id: u32 = get_num(flags, "id")?;
-    let index = load_mutable(path)?;
-    if !index.writer().delete(id) {
-        return Err(format!("id {id} is not live in {path}"));
-    }
-    if flags.contains_key("compact") {
-        index.compact();
-    }
-    let out = flags.get("out").map(String::as_str).unwrap_or(path);
-    let bytes = index
-        .save_snapshot(std::path::Path::new(out))
-        .map_err(|e| e.to_string())?;
-    let gen = index.pin();
-    println!(
-        "deleted id {id}: epoch {}, {} live rows ({} delta, {} tombstones); wrote {bytes} bytes to {out}",
-        gen.epoch(),
-        gen.n_live(),
-        gen.delta_rows(),
-        gen.n_tombstones()
-    );
-    Ok(())
+    let (_, width_bits) = snapshot_kind(path)?;
+    dispatch_bits!(width_bits, C, {
+        let index: MutableIndex<dyn HashModel, C> = load_mutable(path)?;
+        if !index.writer().delete(id) {
+            return Err(format!("id {id} is not live in {path}"));
+        }
+        if flags.contains_key("compact") {
+            index.compact();
+        }
+        let out = flags.get("out").map(String::as_str).unwrap_or(path);
+        let bytes = index
+            .save_snapshot(std::path::Path::new(out))
+            .map_err(|e| e.to_string())?;
+        let gen = index.pin();
+        println!(
+            "deleted id {id}: epoch {}, {} live rows ({} delta, {} tombstones); wrote {bytes} bytes to {out}",
+            gen.epoch(),
+            gen.n_live(),
+            gen.delta_rows(),
+            gen.n_tombstones()
+        );
+        Ok(())
+    })
 }
 
 /// `load-index` over a snapshot with live mutation state: external ids are
 /// sparse, so `--row` addresses an external id and recall evaluation maps
 /// brute-force positions back through the live id list.
-fn cmd_load_live(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+fn run_load_live<C: CodeWord>(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     let start = std::time::Instant::now();
-    let index = load_mutable(path)?;
+    let index: MutableIndex<dyn HashModel, C> = load_mutable(path)?;
     let gen = index.pin();
     println!(
-        "loaded live index: {} rows × {} dims (epoch {}, {} delta, {} tombstones) from {path} in {:?}",
+        "loaded live index: {} rows × {} dims (epoch {}, {} delta, {} tombstones, {}-bit codes) from {path} in {:?}",
         gen.n_live(),
         index.dim(),
         gen.epoch(),
         gen.delta_rows(),
         gen.n_tombstones(),
+        C::BITS,
         start.elapsed()
     );
     let k: usize = get_num(flags, "k")?;
@@ -550,6 +680,7 @@ fn cmd_load_live(path: &str, flags: &HashMap<String, String>) -> Result<(), Stri
         .map(|s| s.parse().map_err(|_| "bad --candidates"))
         .transpose()?
         .unwrap_or(1_000);
+    let max_buckets = max_buckets_flag(flags)?;
     let strat_name = flags.get("strategy").map(String::as_str).unwrap_or("gqr");
     let strat = if strat_name.eq_ignore_ascii_case("mih") {
         let Some(blocks) = index.mih_blocks() else {
@@ -562,6 +693,7 @@ fn cmd_load_live(path: &str, flags: &HashMap<String, String>) -> Result<(), Stri
     let params = SearchParams::for_k(k)
         .candidates(n_candidates)
         .strategy(strat)
+        .max_buckets(max_buckets)
         .build()
         .map_err(|e| format!("invalid search parameters: {e}"))?;
 
@@ -617,26 +749,38 @@ fn cmd_load_live(path: &str, flags: &HashMap<String, String>) -> Result<(), Stri
 
 fn cmd_load_index(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = get(flags, "snapshot")?;
-    if is_live_snapshot(path)? {
-        return cmd_load_live(path, flags);
+    let (live, width_bits) = snapshot_kind(path)?;
+    if live {
+        return dispatch_bits!(width_bits, C, run_load_live::<C>(path, flags));
     }
     let start = std::time::Instant::now();
-    let loaded = gqr::persist::load_index(std::path::Path::new(path))
-        .map_err(|e| format!("loading {path}: {e}"))?;
+    let any =
+        load_index_any(std::path::Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
     println!(
-        "loaded {} items × {} dims ({} shard(s), model {}) from {path} in {:?}",
-        loaded.n_items(),
-        loaded.dim(),
-        loaded.shards().len(),
-        loaded.model().name(),
+        "loaded {} items × {} dims ({} shard(s), model {}, {} codes) from {path} in {:?}",
+        any.n_items(),
+        any.dim(),
+        any.n_shards(),
+        any.model_name(),
+        any.width(),
         start.elapsed()
     );
+    with_any_index!(&any, loaded, run_frozen_queries(loaded, flags))
+}
+
+/// The query/eval half of `load-index`, monomorphized at the snapshot's
+/// code width.
+fn run_frozen_queries<C: CodeWord>(
+    loaded: &LoadedIndex<C>,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
     let k: usize = get_num(flags, "k")?;
     let n_candidates: usize = flags
         .get("candidates")
         .map(|s| s.parse().map_err(|_| "bad --candidates"))
         .transpose()?
         .unwrap_or(1_000);
+    let max_buckets = max_buckets_flag(flags)?;
     let strat_name = flags.get("strategy").map(String::as_str).unwrap_or("gqr");
     let strat = if strat_name.eq_ignore_ascii_case("mih") {
         if loaded.shards().iter().any(|s| s.mih.is_none()) {
@@ -648,10 +792,11 @@ fn cmd_load_index(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         strategy(strat_name)?
     };
-    let engine = engine_from(&loaded)?;
+    let engine = engine_from(loaded)?;
     let params = SearchParams::for_k(k)
         .candidates(n_candidates)
         .strategy(strat)
+        .max_buckets(max_buckets)
         .build()
         .map_err(|e| format!("invalid search parameters: {e}"))?;
 
@@ -703,16 +848,24 @@ fn cmd_load_index(flags: &HashMap<String, String>) -> Result<(), String> {
 /// `trace-dump`: load a snapshot, run sampled queries with tracing enabled,
 /// and print (or write) the captured traces in the requested format.
 fn cmd_trace_dump(flags: &HashMap<String, String>) -> Result<(), String> {
-    use gqr::core::metrics::{to_chrome_trace, MetricsRegistry, TraceConfig};
-
     let path = get(flags, "snapshot")?;
-    if is_live_snapshot(path)? {
+    let (live, _) = snapshot_kind(path)?;
+    if live {
         return Err(
             "trace-dump reads frozen snapshots; compact the live index into one first".into(),
         );
     }
-    let loaded = gqr::persist::load_index(std::path::Path::new(path))
-        .map_err(|e| format!("loading {path}: {e}"))?;
+    let any =
+        load_index_any(std::path::Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    with_any_index!(&any, loaded, run_trace_dump(loaded, flags))
+}
+
+fn run_trace_dump<C: CodeWord>(
+    loaded: &LoadedIndex<C>,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    use gqr::core::metrics::{to_chrome_trace, MetricsRegistry, TraceConfig};
+
     let k: usize = get_num(flags, "k")?;
     let n_queries: usize = get_num(flags, "queries")?;
     let n_candidates: usize = flags
@@ -720,6 +873,7 @@ fn cmd_trace_dump(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --candidates"))
         .transpose()?
         .unwrap_or(1_000);
+    let max_buckets = max_buckets_flag(flags)?;
     let sample_every: u64 = flags
         .get("sample-every")
         .map(|s| s.parse().map_err(|_| "bad --sample-every"))
@@ -738,6 +892,7 @@ fn cmd_trace_dump(flags: &HashMap<String, String>) -> Result<(), String> {
     let params = SearchParams::for_k(k)
         .candidates(n_candidates)
         .strategy(strat)
+        .max_buckets(max_buckets)
         .build()
         .map_err(|e| format!("invalid search parameters: {e}"))?;
 
@@ -749,7 +904,7 @@ fn cmd_trace_dump(flags: &HashMap<String, String>) -> Result<(), String> {
             ..TraceConfig::default()
         })
         .expect("enabled registry accepts tracing");
-    let engine = match engine_from(&loaded)? {
+    let engine = match engine_from(loaded)? {
         LoadedEngine::Single(e) => LoadedEngine::Single(e.with_metrics(metrics.clone())),
         LoadedEngine::Sharded(s) => LoadedEngine::Sharded(s.with_metrics(metrics.clone())),
     };
@@ -852,29 +1007,39 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     // Servers run until signalled, so the index may as well live for the
     // process: leak it to get the 'static borrow the handler pool needs.
     let metrics = MetricsRegistry::enabled();
-    let index: &'static (dyn Index + Sync) = if is_live_snapshot(path)? {
-        let index = load_mutable(path)?;
-        println!(
-            "serving live snapshot {path}: {} items, epoch {}",
-            index.n_items(),
-            index.epoch()
-        );
-        Box::leak(Box::new(index))
+    let (live, width_bits) = snapshot_kind(path)?;
+    let index: &'static (dyn Index + Sync) = if live {
+        dispatch_bits!(width_bits, C, {
+            let index: MutableIndex<dyn HashModel, C> = load_mutable(path)?;
+            println!(
+                "serving live snapshot {path}: {} items, epoch {}, {width_bits}-bit codes",
+                index.n_items(),
+                index.epoch()
+            );
+            Box::leak(Box::new(index)) as &'static (dyn Index + Sync)
+        })
     } else {
-        let loaded = gqr::persist::load_index(std::path::Path::new(path))
+        let any = load_index_any(std::path::Path::new(path))
             .map_err(|e| format!("loading {path}: {e}"))?;
         println!(
-            "serving snapshot {path}: {} items × {} dims, {} shard(s), model {}",
-            loaded.n_items(),
-            loaded.dim(),
-            loaded.shards().len(),
-            loaded.model().name()
+            "serving snapshot {path}: {} items × {} dims, {} shard(s), model {}, {} codes",
+            any.n_items(),
+            any.dim(),
+            any.n_shards(),
+            any.model_name(),
+            any.width()
         );
-        let loaded: &'static LoadedIndex = Box::leak(Box::new(loaded));
-        match engine_from(loaded)? {
-            LoadedEngine::Single(e) => Box::leak(Box::new(e.with_metrics(metrics))),
-            LoadedEngine::Sharded(s) => Box::leak(Box::new(s.with_metrics(metrics))),
-        }
+        with_any_index!(any, loaded, {
+            let loaded = &*Box::leak(Box::new(loaded));
+            match engine_from(loaded)? {
+                LoadedEngine::Single(e) => {
+                    Box::leak(Box::new(e.with_metrics(metrics))) as &'static (dyn Index + Sync)
+                }
+                LoadedEngine::Sharded(s) => {
+                    Box::leak(Box::new(s.with_metrics(metrics))) as &'static (dyn Index + Sync)
+                }
+            }
+        })
     };
 
     install_drain_signals();

@@ -36,7 +36,7 @@
 //! let model = Itq::train(ds.as_slice(), ds.dim(), m).unwrap();
 //!
 //! // 3. Index every item by its binary code.
-//! let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+//! let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
 //!
 //! // 4. Query with generate-to-probe QD ranking.
 //! let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());

@@ -19,7 +19,7 @@ fn exhaustive_angular_search_is_exact() {
     let (ds, queries, truth) = fixture();
     // Sign random projections are the classic angle-preserving hash family.
     let model = Lsh::train(ds.as_slice(), ds.dim(), 10, 7).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let engine =
         QueryEngine::new(&model, &table, ds.as_slice(), ds.dim()).with_metric(Metric::Angular);
     assert_eq!(engine.metric(), Metric::Angular);
@@ -67,7 +67,7 @@ fn angular_and_euclidean_rankings_differ() {
 fn budgeted_angular_search_beats_random_candidates() {
     let (ds, queries, truth) = fixture();
     let model = Lsh::train(ds.as_slice(), ds.dim(), 10, 7).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let engine =
         QueryEngine::new(&model, &table, ds.as_slice(), ds.dim()).with_metric(Metric::Angular);
     let budget = ds.n() / 20;

@@ -360,3 +360,112 @@ fn bad_strategy_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
 }
+
+#[test]
+fn wide_snapshot_serves_over_http() {
+    use std::io::{Read, Write};
+
+    let dir = tmpdir("wide_serve");
+    let data = dir.join("d.fvecs");
+    let snap = dir.join("index128.gqr");
+    let addr_file = dir.join("addr.txt");
+
+    let out = bin()
+        .args(["generate", "--preset", "audio50k", "--scale", "smoke"])
+        .args(["--out", data.to_str().unwrap(), "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 128 bits exceeds the old u64 ceiling; save-index must auto-pick a
+    // wide code word and say so.
+    let out = bin()
+        .args(["save-index", "--data", data.to_str().unwrap()])
+        .args(["--algo", "lsh", "--bits", "128"])
+        .args(["--snapshot", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "save-index failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("128-bit codes"),
+        "save-index must report the code width:\n{text}"
+    );
+
+    // Serve it on an ephemeral port; the width travels through the
+    // load-dispatch layer, invisible to the HTTP wire format.
+    let mut child = bin()
+        .args(["serve", "--snapshot", snap.to_str().unwrap()])
+        .args(["--addr", "127.0.0.1:0"])
+        .args(["--addr-file", addr_file.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if !s.trim().is_empty() {
+                break s.trim().to_string();
+            }
+        }
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("server never wrote its address file");
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            let mut err = String::new();
+            if let Some(mut e) = child.stderr.take() {
+                let _ = e.read_to_string(&mut err);
+            }
+            panic!("server exited early ({status}): {err}");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+
+    // One real search over the wire (the smoke-scale preset is 16-dim).
+    // Hamming ranking scores every occupied bucket, so k results are
+    // guaranteed even though the codes are 128-bit.
+    let query: Vec<String> = (0..16).map(|i| format!("{}.5", i % 7)).collect();
+    let body = format!(
+        "{{\"query\":[{}],\"k\":5,\"candidates\":200,\"strategy\":\"HR\"}}",
+        query.join(",")
+    );
+    let raw = format!(
+        "POST /search HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let text = String::from_utf8_lossy(&response);
+    let (head, resp_body) = text.split_once("\r\n\r\n").unwrap_or((&*text, ""));
+    assert!(
+        head.contains("200"),
+        "search over a 128-bit index must succeed:\n{text}"
+    );
+    let doc = gqr::serve::json::parse(resp_body.as_bytes()).unwrap();
+    assert_eq!(
+        doc.get("ids").unwrap().as_array().unwrap().len(),
+        5,
+        "wide-code search must return k ids:\n{resp_body}"
+    );
+    assert_eq!(doc.get("distances").unwrap().as_array().unwrap().len(), 5);
+}

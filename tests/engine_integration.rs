@@ -25,7 +25,7 @@ fn models(ds: &Dataset, m: usize) -> Vec<Box<dyn HashModel>> {
 fn every_trainer_and_strategy_is_exact_when_exhaustive() {
     let (ds, queries, truth) = fixture();
     for model in models(&ds, 8) {
-        let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
+        let table: HashTable = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
         let mut engine = QueryEngine::new(model.as_ref(), &table, ds.as_slice(), ds.dim());
         engine.enable_mih(2);
         for strategy in [
@@ -61,7 +61,7 @@ fn every_trainer_and_strategy_is_exact_when_exhaustive() {
 fn gqr_recall_is_monotone_in_budget() {
     let (ds, queries, truth) = fixture();
     let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
     let mut last_recall = 0.0f64;
     for budget in [20usize, 100, 500, 2000] {
@@ -92,7 +92,7 @@ fn gqr_equals_qr_for_every_model() {
     // Algorithm 2 is semantically identical to Algorithm 1 (R1 + R2).
     let (ds, queries, _) = fixture();
     for model in models(&ds, 8) {
-        let table = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
+        let table: HashTable = HashTable::build(model.as_ref(), ds.as_slice(), ds.dim());
         let engine = QueryEngine::new(model.as_ref(), &table, ds.as_slice(), ds.dim());
         for budget in [50usize, 300] {
             for q in queries.iter().take(5) {
@@ -140,7 +140,7 @@ fn gqr_beats_or_matches_hamming_on_candidate_quality() {
     // GQR's recall (averaged over queries) is at least GHR's.
     let (ds, queries, truth) = fixture();
     let model = Itq::train(ds.as_slice(), ds.dim(), 10).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
     let budget = 100;
     let recall = |strategy: ProbeStrategy| {
@@ -174,7 +174,7 @@ fn phase_spans_account_for_most_of_the_wall_time() {
     // them (the residual is loop glue and stats bookkeeping).
     let (ds, queries, _) = fixture();
     let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let metrics = MetricsRegistry::enabled();
     let engine =
         QueryEngine::new(&model, &table, ds.as_slice(), ds.dim()).with_metrics(metrics.clone());
@@ -229,7 +229,7 @@ fn phase_spans_account_for_most_of_the_wall_time() {
 fn disabled_metrics_record_nothing() {
     let (ds, queries, _) = fixture();
     let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let metrics = MetricsRegistry::disabled();
     let engine =
         QueryEngine::new(&model, &table, ds.as_slice(), ds.dim()).with_metrics(metrics.clone());

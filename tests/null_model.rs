@@ -8,7 +8,7 @@ use gqr::prelude::*;
 fn recall_at_budget(ds: &Dataset, budget: usize) -> f64 {
     let m = 10;
     let model = Itq::train(ds.as_slice(), ds.dim(), m).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
     let queries = ds.sample_queries(30, 5);
     let truth = brute_force_knn(ds, &queries, 10, 2);

@@ -69,12 +69,12 @@ fn nonlinear_models_roundtrip() {
 fn hash_table_roundtrip_preserves_search_results() {
     let ds = fixture();
     let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let engine1 = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
 
     let path = tmpdir("table_rt").join("snap.gqr");
     engine1.save_snapshot(&path).unwrap();
-    let loaded = load_index(&path).unwrap();
+    let loaded: LoadedIndex = load_index(&path).unwrap();
     assert_eq!(loaded.n_items(), table.n_items());
     let engine2 = QueryEngine::from_snapshot(&loaded).unwrap();
     assert_eq!(engine2.table().n_items(), table.n_items());

@@ -21,8 +21,10 @@ use gqr::vq::opq::{Opq, OpqOptions};
 use gqr::vq::pq::PqOptions;
 use proptest::prelude::*;
 
-const HEADER_BYTES: usize = 16;
+// v3 header: magic(8) version(2) count(2) width(2) reserved(2) crc(4).
+const HEADER_BYTES: usize = 20;
 const TOC_ENTRY_BYTES: usize = 24;
+const WIDTH_OFFSET: usize = 12;
 
 /// 300 rows × 8 dims, fully deterministic (no RNG, so no stub drift).
 fn tiny_data() -> (Vec<f32>, usize) {
@@ -48,7 +50,7 @@ fn full_snapshot() -> &'static [u8] {
 fn full_snapshot_bytes() -> Vec<u8> {
     let (data, dim) = tiny_data();
     let model = Pcah::train(&data, dim, 8).unwrap();
-    let table = HashTable::build(&model, &data, dim);
+    let table: HashTable = HashTable::build(&model, &data, dim);
     let mut engine = QueryEngine::new(&model, &table, &data, dim);
     engine.enable_mih(2);
 
@@ -205,6 +207,39 @@ fn sampled_payload_byte_flips_are_detected_and_named() {
 }
 
 #[test]
+fn width_field_byte_flips_are_rejected() {
+    // The header CRC covers the code-width field, so any flip there must
+    // surface as a typed parse error rather than a misdispatched load.
+    let bytes = full_snapshot();
+    let toc = toc_entries(bytes);
+    for offset in [WIDTH_OFFSET, WIDTH_OFFSET + 1] {
+        for mask in [0x01u8, 0x10, 0x80, 0xff] {
+            assert_flip_detected(bytes, &toc, offset, mask);
+        }
+    }
+}
+
+#[test]
+fn bogus_width_with_valid_crc_is_a_typed_error() {
+    // Forge a header that passes the CRC but declares a width with no
+    // CodeWord implementation: the parser must name the width, not panic
+    // or fall back to 64-bit.
+    use gqr::linalg::wire::crc32;
+    let bytes = full_snapshot();
+    let toc = toc_entries(bytes);
+    let toc_end = HEADER_BYTES + toc.len() * TOC_ENTRY_BYTES;
+    let mut forged = bytes.to_vec();
+    forged[WIDTH_OFFSET..WIDTH_OFFSET + 2].copy_from_slice(&48u16.to_le_bytes());
+    let mut crc_input = forged[..16].to_vec();
+    crc_input.extend_from_slice(&forged[HEADER_BYTES..toc_end]);
+    forged[16..20].copy_from_slice(&crc32(&crc_input).to_le_bytes());
+    match SnapshotFile::parse(&forged) {
+        Err(PersistError::UnsupportedWidth { found }) => assert_eq!(found, 48),
+        other => panic!("expected UnsupportedWidth, got {other:?}"),
+    }
+}
+
+#[test]
 fn every_truncation_length_fails_cleanly() {
     let bytes = full_snapshot();
     // Every prefix of the header/TOC region, then a dense sample beyond.
@@ -229,7 +264,7 @@ fn version_skew_is_rejected_with_a_clear_error() {
     skewed[8] = (FORMAT_VERSION + 1) as u8;
     skewed[9] = ((FORMAT_VERSION + 1) >> 8) as u8;
     std::fs::write(&path, &skewed).unwrap();
-    match load_index(&path) {
+    match load_index::<u64>(&path) {
         Err(PersistError::UnsupportedVersion { found, supported }) => {
             assert_eq!(found, FORMAT_VERSION + 1);
             assert_eq!(supported, FORMAT_VERSION);
@@ -242,7 +277,7 @@ fn version_skew_is_rejected_with_a_clear_error() {
 fn end_to_end_load_rejects_corrupted_file() {
     let (data, dim) = tiny_data();
     let model = Pcah::train(&data, dim, 8).unwrap();
-    let table = HashTable::build(&model, &data, dim);
+    let table: HashTable = HashTable::build(&model, &data, dim);
     let engine = QueryEngine::new(&model, &table, &data, dim);
     let dir = tmpdir("e2e_corrupt");
     let path = dir.join("engine.gqr");
@@ -251,7 +286,10 @@ fn end_to_end_load_rejects_corrupted_file() {
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
     std::fs::write(&path, &bytes).unwrap();
-    assert!(load_index(&path).is_err(), "corrupted snapshot loaded");
+    assert!(
+        load_index::<u64>(&path).is_err(),
+        "corrupted snapshot loaded"
+    );
 }
 
 proptest! {

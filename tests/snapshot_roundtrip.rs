@@ -29,13 +29,13 @@ fn params_for(strat: ProbeStrategy) -> SearchParams {
 fn engine_roundtrip_is_bit_identical_for_every_strategy() {
     let ds = fixture();
     let model = Itq::train(ds.as_slice(), ds.dim(), 10).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let mut engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
     engine.enable_mih(2);
 
     let path = tmpdir("engine_rt").join("engine.gqr");
     engine.save_snapshot(&path).unwrap();
-    let loaded = load_index(&path).unwrap();
+    let loaded: LoadedIndex = load_index(&path).unwrap();
     let engine2 = QueryEngine::from_snapshot(&loaded).unwrap();
 
     let queries = ds.sample_queries(20, 9);
@@ -63,7 +63,7 @@ fn sharded_roundtrip_is_bit_identical_for_every_strategy() {
 
     let path = tmpdir("shard_rt").join("sharded.gqr");
     index.save_snapshot(&path).unwrap();
-    let loaded = load_index(&path).unwrap();
+    let loaded: LoadedIndex = load_index(&path).unwrap();
     assert_eq!(loaded.shards().len(), 3);
     assert_eq!(loaded.n_items(), ds.n());
     let index2 = ShardedIndex::from_snapshot(&loaded);
@@ -93,7 +93,7 @@ fn sharded_snapshot_is_rejected_by_single_engine_constructor() {
     let index = ShardedIndex::build(&model, ds.as_slice(), ds.dim(), 2);
     let path = tmpdir("shard_rej").join("sharded.gqr");
     index.save_snapshot(&path).unwrap();
-    let loaded = load_index(&path).unwrap();
+    let loaded: LoadedIndex = load_index(&path).unwrap();
     let err = QueryEngine::from_snapshot(&loaded)
         .err()
         .expect("must fail");
@@ -128,17 +128,170 @@ fn mplsh_roundtrip_is_bit_identical() {
     }
 }
 
+/// Strategies for the wide-code round-trips. MIH substrings are kept at
+/// 16 bits (96 / 6): with random-ish codes a wider substring space would
+/// make the searcher enumerate masks far past anything occupied.
+const WIDE_STRATEGIES: [ProbeStrategy; 5] = [
+    ProbeStrategy::HammingRanking,
+    ProbeStrategy::GenerateHammingRanking,
+    ProbeStrategy::QdRanking,
+    ProbeStrategy::GenerateQdRanking,
+    ProbeStrategy::MultiIndexHashing { blocks: 6 },
+];
+
+/// Wide params bound bucket generation so the generate-to-probe strategies
+/// stay cheap in a 2^96 code space; both sides of each comparison run with
+/// identical caps, so bit-identity is unaffected.
+fn wide_params_for(strat: ProbeStrategy) -> SearchParams {
+    SearchParams::for_k(10)
+        .candidates(400)
+        .max_buckets(20_000)
+        .strategy(strat)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn wide_engine_roundtrip_is_bit_identical_for_every_strategy() {
+    // 96-bit codes: the table, MIH index, and snapshot codec all run on
+    // u128 words, and the v3 header carries the width.
+    let ds = fixture();
+    let model = Lsh::train(ds.as_slice(), ds.dim(), 96, 17).unwrap();
+    let table: HashTable<u128> = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let mut engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+    engine.enable_mih(6);
+
+    let path = tmpdir("wide_engine_rt").join("engine96.gqr");
+    engine.save_snapshot(&path).unwrap();
+    let loaded: LoadedIndex<u128> = load_index(&path).unwrap();
+    assert_eq!(
+        loaded.code_width(),
+        128,
+        "96-bit codes pack into u128 words"
+    );
+    let engine2 = QueryEngine::from_snapshot(&loaded).unwrap();
+
+    let queries = ds.sample_queries(20, 21);
+    for strat in WIDE_STRATEGIES {
+        let params = wide_params_for(strat);
+        for q in &queries {
+            let a = engine.search(q, &params);
+            let b = engine2.search(q, &params);
+            assert_eq!(
+                a.ranked(),
+                b.ranked(),
+                "wide {} diverged after snapshot round-trip",
+                strat.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_live_roundtrip_preserves_results_and_membership() {
+    use std::sync::Arc;
+    let ds = fixture();
+    let model = Lsh::train(ds.as_slice(), ds.dim(), 96, 23).unwrap();
+    let index: MutableIndex<_, u128> =
+        MutableIndex::builder(Arc::new(model)).build(ds.as_slice(), ds.dim());
+
+    // Mutate: a few arrivals and a few retirements, so the snapshot has a
+    // non-empty delta segment and tombstone set at a wide width.
+    let writer = index.writer();
+    let extra = ds.sample_queries(5, 29);
+    for v in &extra {
+        writer.insert(v);
+    }
+    for id in [3u32, 11, 19] {
+        assert!(writer.delete(id));
+    }
+
+    let path = tmpdir("wide_live_rt").join("live96.gqr");
+    index.save_snapshot(&path).unwrap();
+    let index2: MutableIndex<dyn HashModel, u128> = MutableIndex::from_snapshot(&path).unwrap();
+    assert_eq!(index2.n_items(), index.n_items());
+
+    let params = wide_params_for(ProbeStrategy::HammingRanking);
+    for q in ds.sample_queries(15, 31) {
+        let a = index.run(SearchRequest::new(&q).params(params));
+        let b = index2.run(SearchRequest::new(&q).params(params));
+        assert_eq!(a.ids, b.ids, "live wide index diverged after round-trip");
+        assert!(
+            !a.ids.iter().any(|id| [3u32, 11, 19].contains(id)),
+            "tombstoned ids resurfaced"
+        );
+    }
+}
+
+/// Rewrite a v3 snapshot into the legacy v2 layout: 16-byte header (no
+/// width field, CRC at offset 12), every payload shifted 4 bytes down.
+fn as_v2_bytes(v3: &[u8]) -> Vec<u8> {
+    use gqr::linalg::wire::crc32;
+    const V3_HEADER: usize = 20;
+    const V2_HEADER: usize = 16;
+    const TOC_ENTRY: usize = 24;
+    let n_sections = u16::from_le_bytes([v3[10], v3[11]]) as usize;
+    let toc_end = V3_HEADER + n_sections * TOC_ENTRY;
+
+    let mut out = Vec::with_capacity(v3.len() - 4);
+    out.extend_from_slice(&v3[..8]); // magic
+    out.extend_from_slice(&2u16.to_le_bytes()); // version
+    out.extend_from_slice(&v3[10..12]); // section count
+    out.extend_from_slice(&[0u8; 4]); // CRC placeholder
+    for i in 0..n_sections {
+        let e = V3_HEADER + i * TOC_ENTRY;
+        let mut entry = v3[e..e + TOC_ENTRY].to_vec();
+        let off = u64::from_le_bytes(entry[4..12].try_into().unwrap()) - 4;
+        entry[4..12].copy_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&entry);
+    }
+    out.extend_from_slice(&v3[toc_end..]);
+    let mut crc_input = out[..12].to_vec();
+    crc_input.extend_from_slice(&out[V2_HEADER..V2_HEADER + n_sections * TOC_ENTRY]);
+    let crc = crc32(&crc_input).to_le_bytes();
+    out[12..16].copy_from_slice(&crc);
+    out
+}
+
+#[test]
+fn legacy_v2_snapshot_still_loads_as_64_bit() {
+    let ds = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 10).unwrap();
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+
+    let dir = tmpdir("v2_compat");
+    let v3_path = dir.join("v3.gqr");
+    engine.save_snapshot(&v3_path).unwrap();
+    let v2_path = dir.join("v2.gqr");
+    std::fs::write(&v2_path, as_v2_bytes(&std::fs::read(&v3_path).unwrap())).unwrap();
+
+    // A v2 header has no width field; the reader must default it to 64.
+    let parsed = gqr::persist::SnapshotFile::read(&v2_path).unwrap();
+    assert_eq!(parsed.code_width(), 64);
+    let loaded: LoadedIndex = load_index(&v2_path).unwrap();
+    let engine2 = QueryEngine::from_snapshot(&loaded).unwrap();
+    let params = params_for(ProbeStrategy::HammingRanking);
+    for q in ds.sample_queries(10, 37) {
+        assert_eq!(
+            engine.search(&q, &params).ranked(),
+            engine2.search(&q, &params).ranked(),
+            "v2 snapshot must behave exactly like its v3 source"
+        );
+    }
+}
+
 #[test]
 fn metered_load_records_snapshot_metrics() {
     let ds = fixture();
     let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
     let path = tmpdir("metered").join("engine.gqr");
     let saved_bytes = engine.save_snapshot(&path).unwrap();
 
     let metrics = MetricsRegistry::enabled();
-    let loaded = gqr::persist::load_index_metered(&path, &metrics).unwrap();
+    let loaded: LoadedIndex = gqr::persist::load_index_metered(&path, &metrics).unwrap();
     assert_eq!(loaded.n_items(), ds.n());
     let snap = metrics.snapshot();
     assert_eq!(

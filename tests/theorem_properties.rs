@@ -51,7 +51,7 @@ proptest! {
     fn theorem2_qd_lower_bounds_true_distance((dim, data) in dataset_strategy()) {
         let m = dim.min(4);
         let model = Itq::train(&data, dim, m).unwrap();
-        let table = HashTable::build(&model, &data, dim);
+        let table: HashTable = HashTable::build(&model, &data, dim);
         let sigma = model.spectral_norm().unwrap();
         let mu = 1.0 / (sigma * (m as f64).sqrt());
 

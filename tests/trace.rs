@@ -47,7 +47,7 @@ fn span_names(t: &Trace) -> Vec<&'static str> {
 fn single_engine_trace_covers_all_phases_with_qd_trajectory() {
     let (ds, params) = fixture();
     let model = Itq::train(ds.as_slice(), ds.dim(), 10).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let metrics = traced_metrics();
     let engine =
         QueryEngine::new(&model, &table, ds.as_slice(), ds.dim()).with_metrics(metrics.clone());
@@ -208,7 +208,7 @@ fn chrome_export_matches_golden_schema() {
 fn slow_log_reports_forced_slow_queries() {
     let (ds, params) = fixture();
     let model = Itq::train(ds.as_slice(), ds.dim(), 10).unwrap();
-    let table = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
     let metrics = MetricsRegistry::enabled();
     metrics.enable_tracing(TraceConfig {
         sample_every: 1,
