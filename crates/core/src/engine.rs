@@ -12,6 +12,7 @@ use crate::metrics::{
 };
 use crate::probe::mih::MihIndex;
 use crate::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
+use crate::recall::{RecallController, RecallModel, RecallTarget};
 use crate::request::SearchRequest;
 pub use crate::response::{Checkpoint, SearchResponse};
 use crate::stats::ProbeStats;
@@ -98,6 +99,15 @@ pub struct SearchParams {
     /// attribution in the serving layer). Purely observational inside the
     /// engine — it never changes what a search returns.
     pub client_id: Option<ClientId>,
+    /// Recall SLA: stop probing once the attached [`RecallModel`] predicts
+    /// recall@k has cleared `target + margin` (see [`crate::recall`]).
+    /// Replaces the hand-tuned candidate budget — the builder rejects the
+    /// combination of an explicit budget and a target, and lifts
+    /// `n_candidates` to unbounded when a target is set. On an engine with
+    /// no calibration model attached (or a strategy the model does not
+    /// cover) the target is ignored and `gqr_recall_uncalibrated_total` is
+    /// bumped, so the other stop conditions still bound the search.
+    pub recall_target: Option<RecallTarget>,
 }
 
 /// A compact caller identity carried on [`SearchParams::client_id`].
@@ -148,6 +158,7 @@ impl Default for SearchParams {
             time_limit: None,
             deadline: None,
             client_id: None,
+            recall_target: None,
         }
     }
 }
@@ -173,6 +184,7 @@ impl SearchParams {
                 n_candidates: 1_000.max(k),
                 ..SearchParams::default()
             },
+            explicit_candidates: false,
         }
     }
 
@@ -196,6 +208,9 @@ impl SearchParams {
         ) {
             return Err(ParamError::ZeroMihBlocks);
         }
+        if self.recall_target.is_some_and(|t| !t.is_valid()) {
+            return Err(ParamError::InvalidRecallTarget);
+        }
         Ok(())
     }
 }
@@ -214,6 +229,12 @@ pub enum ParamError {
     },
     /// `MultiIndexHashing { blocks: 0 }`: MIH needs at least one substring.
     ZeroMihBlocks,
+    /// The recall target or margin is non-finite or out of range (target
+    /// must be in `(0, 1]`, margin ≥ 0).
+    InvalidRecallTarget,
+    /// A recall target and an explicit candidate budget were both set: the
+    /// SLA replaces the budget, so the combination is ambiguous. Pick one.
+    RecallTargetWithBudget,
 }
 
 impl std::fmt::Display for ParamError {
@@ -225,6 +246,13 @@ impl std::fmt::Display for ParamError {
                 "candidate budget {n_candidates} cannot fill a top-{k} result set"
             ),
             ParamError::ZeroMihBlocks => write!(f, "MIH needs at least one substring block"),
+            ParamError::InvalidRecallTarget => {
+                write!(f, "recall target must be in (0, 1] with a margin >= 0")
+            }
+            ParamError::RecallTargetWithBudget => write!(
+                f,
+                "a recall target replaces the candidate budget; set one or the other"
+            ),
         }
     }
 }
@@ -251,12 +279,43 @@ impl std::error::Error for ParamError {}
 #[derive(Clone, Copy, Debug)]
 pub struct SearchParamsBuilder {
     params: SearchParams,
+    /// Whether the caller set `n_candidates` themselves (as opposed to the
+    /// `for_k` default) — a recall target is mutually exclusive with an
+    /// explicit budget, not with the default the caller never chose.
+    explicit_candidates: bool,
 }
 
 impl SearchParamsBuilder {
     /// Candidate budget `N` (stop probing after this many evaluated items).
+    /// Mutually exclusive with [`SearchParamsBuilder::recall_target`].
     pub fn candidates(mut self, n: usize) -> Self {
         self.params.n_candidates = n;
+        self.explicit_candidates = true;
+        self
+    }
+
+    /// Recall SLA: probe until the engine's calibration model predicts
+    /// recall@k ≥ `target` (with the default confidence margin; adjust with
+    /// [`SearchParamsBuilder::recall_margin`]). Replaces the candidate
+    /// budget — [`SearchParamsBuilder::build`] rejects combining this with
+    /// an explicit [`SearchParamsBuilder::candidates`], lifts the budget to
+    /// unbounded, and caps probing at
+    /// [`SearchParams::DEFAULT_BUCKET_CAP`] buckets unless the caller set
+    /// their own [`SearchParamsBuilder::max_buckets`].
+    pub fn recall_target(mut self, target: f32) -> Self {
+        let margin = self
+            .params
+            .recall_target
+            .map_or(RecallTarget::DEFAULT_MARGIN, |t| t.margin);
+        self.params.recall_target = Some(RecallTarget { target, margin });
+        self
+    }
+
+    /// Confidence margin for the recall SLA (see [`RecallTarget::margin`]);
+    /// order-independent with [`SearchParamsBuilder::recall_target`].
+    pub fn recall_margin(mut self, margin: f32) -> Self {
+        let target = self.params.recall_target.map_or(0.0, |t| t.target);
+        self.params.recall_target = Some(RecallTarget { target, margin });
         self
     }
 
@@ -299,7 +358,18 @@ impl SearchParamsBuilder {
     }
 
     /// Validate and produce the parameters.
-    pub fn build(self) -> Result<SearchParams, ParamError> {
+    pub fn build(mut self) -> Result<SearchParams, ParamError> {
+        if self.params.recall_target.is_some() {
+            if self.explicit_candidates {
+                return Err(ParamError::RecallTargetWithBudget);
+            }
+            // The SLA is the stopping criterion: lift the default budget out
+            // of the way and keep the bucket cap as the safety backstop.
+            self.params.n_candidates = usize::MAX;
+            if self.params.max_buckets.is_none() {
+                self.params.max_buckets = Some(SearchParams::DEFAULT_BUCKET_CAP);
+            }
+        }
         self.params.validate()?;
         Ok(self.params)
     }
@@ -335,6 +405,7 @@ pub struct QueryEngine<'a, M: HashModel + ?Sized, C: CodeWord = u64> {
     dim: usize,
     metric: Metric,
     mih: Option<MihHandle<'a, C>>,
+    recall: Option<&'a RecallModel>,
     metrics: MetricsRegistry,
     /// Overrides the metric family the per-query spans flush under:
     /// `(component, extra labels)`. `None` means the default
@@ -369,6 +440,7 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
             dim,
             metric: Metric::SquaredEuclidean,
             mih: None,
+            recall: None,
             metrics: MetricsRegistry::disabled(),
             span_scope: None,
         }
@@ -468,6 +540,31 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         );
         self.mih = Some(MihHandle::Borrowed(mih));
         self
+    }
+
+    /// Attach a calibration model (builder style): searches carrying a
+    /// [`SearchParams::recall_target`] consult it to stop probing once the
+    /// predicted recall clears the target. Build one offline with
+    /// [`crate::recall::Calibrator`] or load it from a snapshot section.
+    pub fn with_recall_model(mut self, model: &'a RecallModel) -> Self {
+        self.recall = Some(model);
+        self
+    }
+
+    /// Replace the calibration model in place (for engines already built).
+    pub fn set_recall_model(&mut self, model: &'a RecallModel) {
+        self.recall = Some(model);
+    }
+
+    /// The attached calibration model, if any.
+    pub fn recall_model(&self) -> Option<&'a RecallModel> {
+        self.recall
+    }
+
+    /// The attached MIH side index, if any (the calibrator replays MIH
+    /// trajectories through it).
+    pub(crate) fn mih_index(&self) -> Option<&MihIndex<C>> {
+        self.mih.as_ref().map(|h| h.get())
     }
 
     /// The hash table.
@@ -593,6 +690,24 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         self.run(SearchRequest::new(query).params(*params))
     }
 
+    /// Per-query recall controller for `params`, when a target is set and
+    /// the attached model covers the strategy. A target without usable
+    /// calibration degrades to the budget stops (counted per strategy under
+    /// `gqr_recall_uncalibrated_total`) rather than failing the query.
+    fn recall_controller(&self, params: &SearchParams) -> Option<RecallController<'a>> {
+        let target = params.recall_target?;
+        let controller = self
+            .recall
+            .and_then(|m| m.controller(params.strategy, target, params.k));
+        if controller.is_none() {
+            self.metrics.incr(&metric_name(
+                "gqr_recall_uncalibrated_total",
+                &[("strategy", params.strategy.name())],
+            ));
+        }
+        controller
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn run_buckets<'q>(
         &self,
@@ -645,6 +760,7 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         let mut stats = ProbeStats::default();
         let mut checkpoints = Vec::with_capacity(budgets.len());
         let mut next_budget = budgets.iter().copied().peekable();
+        let mut controller = self.recall_controller(params);
 
         let n_items = self.table.n_items();
         while stats.items_evaluated < params.n_candidates && stats.items_evaluated < n_items {
@@ -659,8 +775,9 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
             }
             // QD of the bucket about to be probed, captured *before*
             // `next_bucket` consumes it — this is the per-step difficulty
-            // signal the QD trajectory is made of. Only read when sampled.
-            let step_qd = if trace.is_sampled() {
+            // signal both the trace and the recall controller consume. Only
+            // read when one of them is listening.
+            let step_qd = if trace.is_sampled() || controller.is_some() {
                 Some(prober.peek_cost().unwrap_or(-1.0))
             } else {
                 None
@@ -692,6 +809,12 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
                 stats.empty_buckets += 1;
                 if let Some(qd) = step_qd {
                     trace.qd_step(troot, bucket_rank, qd, 0, 0);
+                    if let Some(c) = controller.as_mut() {
+                        if c.observe(bucket_rank as u64, qd, stats.items_evaluated) {
+                            self.recall_stop(c, &stats, params, trace, troot);
+                            break;
+                        }
+                    }
                 }
                 continue;
             }
@@ -738,6 +861,12 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
                 );
                 checkpoints.push(self.snapshot(b, &stats, start, &topk));
             }
+            if let (Some(c), Some(qd)) = (controller.as_mut(), step_qd) {
+                if c.observe(bucket_rank as u64, qd, stats.items_evaluated) {
+                    self.recall_stop(c, &stats, params, trace, troot);
+                    break;
+                }
+            }
         }
         // Flush budgets the table couldn't fill.
         for b in next_budget {
@@ -751,7 +880,32 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         #[cfg(debug_assertions)]
         stats.checked_invariants();
         self.flush_spans(&spans, params.strategy.name(), start.elapsed());
-        (SearchResponse::from_ranked(neighbors, stats), checkpoints)
+        let mut response = SearchResponse::from_ranked(neighbors, stats);
+        response.predicted_recall = controller.as_ref().map(|c| c.predicted());
+        (response, checkpoints)
+    }
+
+    /// Record a recall-SLA stop: the per-strategy counter plus a trace
+    /// marker carrying the probe position and the prediction (in thousandths
+    /// — markers are integer-payload).
+    fn recall_stop(
+        &self,
+        controller: &RecallController<'_>,
+        stats: &ProbeStats,
+        params: &SearchParams,
+        trace: &TraceContext,
+        troot: SpanId,
+    ) {
+        self.metrics.incr(&metric_name(
+            "gqr_recall_stops_total",
+            &[("strategy", params.strategy.name())],
+        ));
+        trace.marker(
+            troot,
+            MarkerKind::RecallStop,
+            stats.buckets_probed as u64,
+            (controller.predicted() as f64 * 1000.0) as u64,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -795,6 +949,7 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         let mut stats = ProbeStats::default();
         let mut checkpoints = Vec::with_capacity(budgets.len());
         let mut next_budget = budgets.iter().copied().peekable();
+        let mut controller = self.recall_controller(params);
         let mut batch = Vec::new();
 
         while stats.items_evaluated < params.n_candidates {
@@ -846,6 +1001,7 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
                 }
                 next_budget.next();
                 stats.buckets_probed = searcher.lookups();
+                stats.empty_buckets = searcher.empty_lookups();
                 stats.duplicates_skipped = searcher.duplicates();
                 trace.marker(
                     troot,
@@ -855,8 +1011,19 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
                 );
                 checkpoints.push(self.snapshot(b, &stats, start, &topk));
             }
+            if let Some(c) = controller.as_mut() {
+                // The Hamming level of the batch just evaluated is the MIH
+                // analogue of the QD step cost.
+                let level = got.unwrap_or(0) as f64;
+                if c.observe(searcher.lookups() as u64, level, stats.items_evaluated) {
+                    stats.buckets_probed = searcher.lookups();
+                    self.recall_stop(c, &stats, params, trace, troot);
+                    break;
+                }
+            }
         }
         stats.buckets_probed = searcher.lookups();
+        stats.empty_buckets = searcher.empty_lookups();
         stats.duplicates_skipped = searcher.duplicates();
         for b in next_budget {
             checkpoints.push(self.snapshot(b, &stats, start, &topk));
@@ -869,7 +1036,9 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         #[cfg(debug_assertions)]
         stats.checked_invariants();
         self.flush_spans(&spans, params.strategy.name(), start.elapsed());
-        (SearchResponse::from_ranked(neighbors, stats), checkpoints)
+        let mut response = SearchResponse::from_ranked(neighbors, stats);
+        response.predicted_recall = controller.as_ref().map(|c| c.predicted());
+        (response, checkpoints)
     }
 
     fn snapshot(
@@ -907,6 +1076,7 @@ impl<M: HashModel + ?Sized, C: CodeWord> QueryEngine<'_, M, C> {
             self.dim,
             self.mih.as_ref().map(|h| h.get()),
             self.metric,
+            self.recall,
         )
     }
 }

@@ -61,6 +61,7 @@ pub mod multi_table;
 pub mod persist;
 pub mod probe;
 pub mod range;
+pub mod recall;
 pub mod request;
 pub mod response;
 pub mod shard;
@@ -83,6 +84,7 @@ pub use persist::{
     SnapshotFile, SnapshotWriter, FORMAT_VERSION,
 };
 pub use probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
+pub use recall::{Calibrator, RecallController, RecallModel, RecallTarget};
 pub use request::SearchRequest;
 pub use response::{Checkpoint, SearchResponse};
 pub use shard::{ShardBuildError, ShardedIndex, ShardedIndexBuilder};

@@ -52,6 +52,7 @@ use crate::executor::Executor;
 use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, SpanId};
 use crate::persist::{corrupt, PersistError, SectionKind, SnapshotFile, SnapshotWriter};
 use crate::probe::mih::MihIndex;
+use crate::recall::RecallModel;
 use crate::request::SearchRequest;
 use crate::stats::ProbeStats;
 use crate::table::HashTable;
@@ -243,6 +244,11 @@ pub struct VersionedStore<M: HashModel + ?Sized, C: CodeWord = u64> {
     /// alive on the executor without a reference cycle.
     myself: Weak<VersionedStore<M, C>>,
     metrics: MetricsRegistry,
+    /// Owned recall calibration model, attached to every segment engine so
+    /// requests with a `recall_target` terminate adaptively. Calibration is
+    /// against a frozen index; mutations drift the distribution, so treat
+    /// the model as advisory on a heavily mutated store until recalibrated.
+    recall: Option<RecallModel>,
 }
 
 impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
@@ -562,6 +568,9 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
         if let Some(mih) = &seg.mih {
             engine = engine.with_mih(mih);
         }
+        if let Some(model) = &self.recall {
+            engine = engine.with_recall_model(model);
+        }
         engine
     }
 
@@ -599,6 +608,11 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
         let base_rows = gen.base.rows() as u32;
         let mut topk = TopK::new(params.k);
         let mut stats = ProbeStats::default();
+        // Row-weighted recall prediction across the searched segments
+        // (mirrors the sharded merge): `None` unless every non-empty
+        // segment produced a prediction.
+        let mut predicted = Some(0.0f64);
+        let searched_rows: usize = gen.base.rows() + gen.delta.rows();
         let segments: [(&Segment<C>, u32, &'static str); 2] =
             [(&gen.base, 0, "base"), (&gen.delta, base_rows, "delta")];
         for (track, (seg, offset, label)) in segments.into_iter().enumerate() {
@@ -630,6 +644,12 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
             let res = self.segment_engine(seg, label).run(seg_req);
             lane.end(seg_span);
             stats.merge(&res.stats);
+            predicted = match (predicted, res.predicted_recall) {
+                (Some(acc), Some(p)) if searched_rows > 0 => {
+                    Some(acc + p as f64 * seg.rows() as f64 / searched_rows as f64)
+                }
+                _ => None,
+            };
             for (local, dist) in res.neighbors() {
                 topk.push(dist, local + offset);
             }
@@ -665,6 +685,7 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
         }
         let mut out = SearchResponse::from_ranked(neighbors, stats);
         out.trace_id = trace_id;
+        out.predicted_recall = predicted.map(|p| p.clamp(0.0, 1.0) as f32);
         out
     }
 
@@ -721,6 +742,9 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
         d.put_u64_slice(&flat);
         d.put_f32_slice(&gen.delta.data);
         sw.add_section(SectionKind::DeltaSegment, d.into_bytes());
+        if let Some(model) = &self.recall {
+            sw.add_recall_model(model);
+        }
         sw.write(path)
     }
 }
@@ -830,6 +854,7 @@ pub struct MutableIndexBuilder<M: HashModel + ?Sized, C: CodeWord = u64> {
     mih_blocks: Option<usize>,
     compaction_threshold: usize,
     background_compaction: bool,
+    recall: Option<RecallModel>,
     code: PhantomData<C>,
 }
 
@@ -871,6 +896,15 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> MutableIndexBuilder<M, C> {
     /// under the writer lock.
     pub fn background_compaction(mut self, on: bool) -> Self {
         self.background_compaction = on;
+        self
+    }
+
+    /// Attach a calibrated [`RecallModel`] (owned): every per-segment query
+    /// engine consults it when a request sets a
+    /// [`recall_target`](crate::engine::SearchParamsBuilder::recall_target),
+    /// and [`MutableIndex::save_snapshot`] persists it.
+    pub fn recall_model(mut self, model: RecallModel) -> Self {
+        self.recall = Some(model);
         self
     }
 
@@ -949,6 +983,7 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> MutableIndexBuilder<M, C> {
             compacting: AtomicBool::new(false),
             myself: myself.clone(),
             metrics: self.metrics,
+            recall: self.recall,
         });
         MutableIndex { store }
     }
@@ -1003,6 +1038,7 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> MutableIndex<M, C> {
             mih_blocks: None,
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             background_compaction: false,
+            recall: None,
             code: PhantomData,
         }
     }
@@ -1100,6 +1136,11 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> MutableIndex<M, C> {
     /// Reload with [`MutableIndex::from_snapshot`].
     pub fn save_snapshot(&self, path: &Path) -> Result<u64, PersistError> {
         self.store.save_snapshot(path)
+    }
+
+    /// The attached recall calibration model, if any.
+    pub fn recall_model(&self) -> Option<&RecallModel> {
+        self.store.recall.as_ref()
     }
 }
 
@@ -1275,6 +1316,7 @@ impl<C: CodeWord> MutableIndex<dyn HashModel, C> {
             });
         }
 
+        let recall = file.recall_model()?;
         let store = Arc::new_cyclic(|myself| VersionedStore {
             model,
             dim,
@@ -1296,6 +1338,7 @@ impl<C: CodeWord> MutableIndex<dyn HashModel, C> {
             compacting: AtomicBool::new(false),
             myself: myself.clone(),
             metrics: MetricsRegistry::disabled(),
+            recall,
         });
         Ok(MutableIndex { store })
     }
@@ -1388,6 +1431,7 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> ShardedMutableIndex<M, C> {
                 mih_blocks: builder.mih_blocks,
                 compaction_threshold: builder.compaction_threshold,
                 background_compaction: builder.background_compaction,
+                recall: builder.recall.clone(),
                 code: PhantomData,
             };
             shards.push(shard_builder.build_with_ids(
@@ -1881,6 +1925,7 @@ mod tests {
             2,
             None,
             Metric::SquaredEuclidean,
+            None,
         )
         .unwrap();
 

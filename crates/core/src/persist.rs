@@ -15,7 +15,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic "GQRSNAP\0"
-//! 8       2     format version (u16, currently 3)
+//! 8       2     format version (u16, currently 4)
 //! 10      2     section count (u16)
 //! 12      2     code width in bits (u16: 32, 64, 128, 192, or 256)
 //! 14      2     reserved (zero)
@@ -79,15 +79,22 @@ pub const MAGIC: [u8; 8] = *b"GQRSNAP\0";
 /// [`SectionKind::LiveState`]) written by
 /// [`crate::live::MutableIndex::save_snapshot`]; v3 widened the header by
 /// four bytes to carry the code width (bits per hash code), enabling
-/// [`CodeWord`] widths beyond `u64`. v3 readers still accept v2 files
-/// (implicitly 64-bit) — the one exception to the exact-match policy.
-pub const FORMAT_VERSION: u16 = 3;
+/// [`CodeWord`] widths beyond `u64`; v4 added the optional
+/// [`SectionKind::RecallModel`] section holding the adaptive recall
+/// controller's calibration tables (header layout unchanged from v3).
+/// Readers accept v2 (implicitly 64-bit) and v3 files in addition to v4 —
+/// the exceptions to the exact-match policy.
+pub const FORMAT_VERSION: u16 = 4;
 
-/// The previous format version, still accepted on read (implicit 64-bit
+/// The v3 format version, still accepted on read (identical header layout;
+/// predates the recall-model section).
+pub const FORMAT_VERSION_V3: u16 = 3;
+
+/// The v2 format version, still accepted on read (implicit 64-bit
 /// code width, 16-byte header).
 pub const FORMAT_VERSION_V2: u16 = 2;
 
-/// Size of the fixed v3 header preceding the TOC.
+/// Size of the fixed v3/v4 header preceding the TOC.
 const HEADER_BYTES: usize = 20;
 /// Size of the v2 header (no code-width field).
 const HEADER_BYTES_V2: usize = 16;
@@ -128,6 +135,10 @@ pub enum SectionKind {
     /// A mutable index's overlay state: id allocator, epoch, compaction
     /// config, base-slot external ids, and tombstoned slots.
     LiveState = 11,
+    /// Calibrated recall-controller tables ([`crate::recall::RecallModel`]):
+    /// the per-strategy binned trajectory → recall mapping behind
+    /// recall-target SLAs. Optional; at most one per snapshot.
+    RecallModel = 12,
 }
 
 impl SectionKind {
@@ -145,6 +156,7 @@ impl SectionKind {
             SectionKind::Mplsh => "MPLSH index",
             SectionKind::DeltaSegment => "delta segment",
             SectionKind::LiveState => "live state",
+            SectionKind::RecallModel => "recall model",
         }
     }
 
@@ -161,6 +173,7 @@ impl SectionKind {
             9 => SectionKind::Mplsh,
             10 => SectionKind::DeltaSegment,
             11 => SectionKind::LiveState,
+            12 => SectionKind::RecallModel,
             _ => return None,
         })
     }
@@ -414,6 +427,13 @@ impl SnapshotWriter {
         self.add_section(SectionKind::Imi, w.into_bytes());
     }
 
+    /// Append the calibrated recall-controller tables.
+    pub fn add_recall_model(&mut self, model: &crate::recall::RecallModel) {
+        let mut w = ByteWriter::new();
+        model.wire_write(&mut w);
+        self.add_section(SectionKind::RecallModel, w.into_bytes());
+    }
+
     /// Serialize header + TOC + payloads into one buffer.
     fn encode(&self) -> Vec<u8> {
         let toc_len = self.sections.len() * TOC_ENTRY_BYTES;
@@ -522,14 +542,15 @@ impl SnapshotFile {
             return Err(PersistError::NotASnapshot);
         }
         let version = u16::from_le_bytes([bytes[8], bytes[9]]);
-        if version != FORMAT_VERSION && version != FORMAT_VERSION_V2 {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V3 && version != FORMAT_VERSION_V2
+        {
             return Err(PersistError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
         let n_sections = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
-        // v2: CRC at offset 12, no width field. v3: width u16 at 12,
+        // v2: CRC at offset 12, no width field. v3/v4: width u16 at 12,
         // reserved u16 at 14, CRC at 16. Both CRCs cover everything before
         // the CRC field plus the TOC.
         let (header_bytes, crc_at, code_width) = if version == FORMAT_VERSION_V2 {
@@ -717,6 +738,23 @@ impl SnapshotFile {
         decode(&mut r).map_err(corrupt(SectionKind::Opq))
     }
 
+    /// Decode the recall-model section, when present (`Ok(None)` for
+    /// snapshots saved before calibration or by older writers).
+    pub fn recall_model(&self) -> Result<Option<crate::recall::RecallModel>, PersistError> {
+        let Some(bytes) = self.sections_of(SectionKind::RecallModel).next() else {
+            return Ok(None);
+        };
+        let mut r = ByteReader::new(bytes);
+        let decode = |r: &mut ByteReader<'_>| -> Result<crate::recall::RecallModel, WireError> {
+            let m = crate::recall::RecallModel::wire_read(r)?;
+            r.expect_end()?;
+            Ok(m)
+        };
+        decode(&mut r)
+            .map(Some)
+            .map_err(corrupt(SectionKind::RecallModel))
+    }
+
     /// Decode the inverted-multi-index section.
     pub fn imi(&self) -> Result<InvertedMultiIndex, PersistError> {
         let bytes = self.section(SectionKind::Imi)?;
@@ -764,6 +802,7 @@ pub struct LoadedIndex<C: CodeWord = u64> {
     dim: usize,
     metric: Metric,
     shards: Vec<LoadedShard<C>>,
+    recall: Option<crate::recall::RecallModel>,
 }
 
 impl<C: CodeWord> std::fmt::Debug for LoadedIndex<C> {
@@ -813,11 +852,17 @@ impl<C: CodeWord> LoadedIndex<C> {
     pub fn n_items(&self) -> usize {
         self.shards.iter().map(|s| s.rows).sum()
     }
+
+    /// The calibrated recall model, when the snapshot carried one.
+    pub fn recall_model(&self) -> Option<&crate::recall::RecallModel> {
+        self.recall.as_ref()
+    }
 }
 
 /// Save a single-engine index (one table, optional MIH) as a one-shard
 /// snapshot. Returns the bytes written. Prefer
 /// [`QueryEngine::save_snapshot`] when an engine is already constructed.
+#[allow(clippy::too_many_arguments)]
 pub fn save_index<M: HashModel + ?Sized, C: CodeWord>(
     path: &Path,
     model: &M,
@@ -826,6 +871,7 @@ pub fn save_index<M: HashModel + ?Sized, C: CodeWord>(
     dim: usize,
     mih: Option<&MihIndex<C>>,
     metric: Metric,
+    recall: Option<&crate::recall::RecallModel>,
 ) -> Result<u64, PersistError> {
     let mut w = SnapshotWriter::new();
     w.set_code_width(C::BITS);
@@ -835,6 +881,9 @@ pub fn save_index<M: HashModel + ?Sized, C: CodeWord>(
     w.add_table(table);
     if let Some(mih) = mih {
         w.add_mih(mih);
+    }
+    if let Some(recall) = recall {
+        w.add_recall_model(recall);
     }
     w.write(path)
 }
@@ -938,12 +987,14 @@ pub(crate) fn assemble_index<C: CodeWord>(
             detail: "file holds more MIH sections than the manifest promises",
         });
     }
+    let recall = file.recall_model()?;
     Ok(LoadedIndex {
         model,
         data,
         dim,
         metric,
         shards,
+        recall,
     })
 }
 
@@ -964,6 +1015,9 @@ impl<'a, C: CodeWord> QueryEngine<'a, dyn HashModel + 'a, C> {
             .with_metric(snap.metric());
         if let Some(mih) = &shard.mih {
             engine = engine.with_mih(mih);
+        }
+        if let Some(recall) = snap.recall_model() {
+            engine = engine.with_recall_model(recall);
         }
         Ok(engine)
     }

@@ -207,6 +207,7 @@ impl<C: CodeWord> MihIndex<C> {
             visited: vec![false; self.codes.len()],
             remaining: self.codes.len(),
             lookups: 0,
+            misses: 0,
             lookup_cap: usize::MAX,
             capped: false,
             duplicates: 0,
@@ -227,6 +228,9 @@ pub struct MihSearcher<'a, C: CodeWord = u64> {
     visited: Vec<bool>,
     remaining: usize,
     lookups: usize,
+    /// Lookups that hit no substring bucket (the MIH analogue of an empty
+    /// generated bucket).
+    misses: usize,
     /// Stop expanding once this many substring-bucket lookups have run.
     lookup_cap: usize,
     /// Set when the cap fired mid-expansion; already-found items are then
@@ -304,6 +308,7 @@ impl<C: CodeWord> MihSearcher<'_, C> {
                     self.lookups += 1;
                     let probe = q_sub ^ mask;
                     let Some(items) = block.table.get(&probe) else {
+                        self.misses += 1;
                         continue;
                     };
                     for &id in items {
@@ -325,6 +330,14 @@ impl<C: CodeWord> MihSearcher<'_, C> {
     /// Substring-bucket lookups performed so far.
     pub fn lookups(&self) -> usize {
         self.lookups
+    }
+
+    /// Lookups so far that hit no substring bucket. Reported as
+    /// `ProbeStats::empty_buckets` so MIH probing cost reads like the
+    /// bucket-ranking strategies: probe units issued vs probe units that
+    /// found nothing.
+    pub fn empty_lookups(&self) -> usize {
+        self.misses
     }
 
     /// Duplicate candidate hits suppressed so far (MIH's extra cost).
@@ -441,6 +454,23 @@ mod tests {
         let mut out = Vec::new();
         assert!(s.next_batch(&mut out).is_some());
         assert!(s.lookups() > 2, "must have expanded past radius 0");
+    }
+
+    #[test]
+    fn empty_lookups_count_missed_substring_buckets() {
+        // One far item: most generated substring probes hit nothing.
+        let codes = vec![0b111111u64];
+        let mih = MihIndex::build(6, &codes, 2);
+        let mut s = mih.search(0);
+        let mut out = Vec::new();
+        while s.next_batch(&mut out).is_some() {
+            out.clear();
+        }
+        assert!(s.empty_lookups() > 0, "missed probes must be counted");
+        assert!(
+            s.empty_lookups() < s.lookups(),
+            "at least one probe hit the occupied bucket"
+        );
     }
 
     #[test]

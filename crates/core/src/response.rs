@@ -36,6 +36,13 @@ pub struct SearchResponse {
     /// tracing registry; `None` otherwise. Clients can quote it back to
     /// correlate with `trace-dump` output.
     pub trace_id: Option<u64>,
+    /// Recall@k the calibration model predicted for this result, when the
+    /// search ran under a [`recall_target`](crate::engine::SearchParams::recall_target)
+    /// and the engine had a calibrated [`RecallModel`](crate::recall::RecallModel)
+    /// covering the strategy; `None` otherwise. Compare against measured
+    /// recall to audit the SLA (`gqr-bench`'s recall bench does exactly
+    /// that).
+    pub predicted_recall: Option<f32>,
 }
 
 impl SearchResponse {
@@ -54,6 +61,7 @@ impl SearchResponse {
             stats,
             checkpoints: Vec::new(),
             trace_id: None,
+            predicted_recall: None,
         }
     }
 

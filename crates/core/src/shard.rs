@@ -21,6 +21,7 @@ use crate::executor::Executor;
 use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, SpanId, TraceContext};
 use crate::persist::{LoadedIndex, PersistError, SnapshotWriter};
 use crate::probe::mih::MihIndex;
+use crate::recall::RecallModel;
 use crate::request::SearchRequest;
 use crate::stats::ProbeStats;
 use crate::table::HashTable;
@@ -66,6 +67,7 @@ pub struct ShardedIndex<'a, M: HashModel + ?Sized> {
     metric: Metric,
     shards: Vec<Shard<'a>>,
     metrics: MetricsRegistry,
+    recall: Option<&'a RecallModel>,
 }
 
 /// Why a [`ShardedIndexBuilder`] refused to build.
@@ -257,6 +259,7 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
             metric: Metric::SquaredEuclidean,
             shards,
             metrics: MetricsRegistry::disabled(),
+            recall: None,
         }
     }
 
@@ -289,6 +292,9 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
                 w.add_mih(mih);
             }
         }
+        if let Some(model) = self.recall {
+            w.add_recall_model(model);
+        }
         w.write(path)
     }
 
@@ -305,6 +311,21 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
     pub fn with_metric(mut self, metric: Metric) -> Self {
         self.metric = metric;
         self
+    }
+
+    /// Attach a calibrated [`RecallModel`] (builder style): every per-shard
+    /// engine consults it when a request sets
+    /// [`SearchParams::recall_target`](crate::engine::SearchParamsBuilder::recall_target),
+    /// and the merged response's `predicted_recall` is the shard-row-weighted
+    /// average of the per-shard predictions.
+    pub fn with_recall_model(mut self, model: &'a RecallModel) -> Self {
+        self.recall = Some(model);
+        self
+    }
+
+    /// The attached recall calibration model, if any.
+    pub fn recall_model(&self) -> Option<&'a RecallModel> {
+        self.recall
     }
 
     /// Build each shard's multi-index-hashing side index (required before
@@ -347,6 +368,9 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
             .with_span_scope("gqr_shard", vec![("shard".to_string(), i.to_string())]);
         if let Some(mih) = &shard.mih {
             engine = engine.with_mih(mih);
+        }
+        if let Some(model) = self.recall {
+            engine = engine.with_recall_model(model);
         }
         engine
     }
@@ -510,8 +534,21 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
         let merge_span = trace.begin_at(troot, "merge", merge_start);
         let mut topk = TopK::new(params.k);
         let mut stats = ProbeStats::default();
+        // Shard-row-weighted average of per-shard recall predictions: each
+        // shard's controller only sees its own partition, so its estimate
+        // speaks for `rows / total` of the id space. `None` unless every
+        // shard produced a prediction (a partially-calibrated fan-out would
+        // otherwise over-claim).
+        let mut predicted = Some(0.0f64);
+        let total_rows: usize = self.shards.iter().map(|s| s.table.n_items()).sum();
         for (shard, res) in self.shards.iter().zip(shard_results) {
             stats.merge(&res.stats);
+            predicted = match (predicted, res.predicted_recall) {
+                (Some(acc), Some(p)) if total_rows > 0 => {
+                    Some(acc + p as f64 * shard.table.n_items() as f64 / total_rows as f64)
+                }
+                _ => None,
+            };
             for (local, dist) in res.neighbors() {
                 topk.push(dist, local + shard.offset);
             }
@@ -544,6 +581,7 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
         }
         let mut out = SearchResponse::from_ranked(neighbors, stats);
         out.trace_id = trace_id;
+        out.predicted_recall = predicted.map(|p| p.clamp(0.0, 1.0) as f32);
         out
     }
 }
@@ -576,6 +614,7 @@ impl<'a> ShardedIndex<'a, dyn HashModel + 'a> {
             metric: snap.metric(),
             shards,
             metrics: MetricsRegistry::disabled(),
+            recall: snap.recall_model(),
         }
     }
 }

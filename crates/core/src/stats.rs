@@ -3,12 +3,21 @@
 use serde::Serialize;
 
 /// Counters accumulated during one search (or one query batch when summed).
+///
+/// Bucket counting is uniform across strategies: one *probe unit* is one
+/// hash-bucket lookup issued before the search terminated. For the ranking
+/// strategies (HR/GHR/QR/GQR) that is one full-code bucket; for MIH it is
+/// one substring-bucket lookup (each radius expansion issues many). This is
+/// the unit the recall bench and the adaptive controller compare across
+/// strategies — "buckets" never means MIH radius shells.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct ProbeStats {
-    /// Bucket codes handed out by the prober (occupied or not).
+    /// Probe units issued by the prober, occupied or not: full-code bucket
+    /// codes for the ranking strategies, substring-bucket lookups for MIH.
     pub buckets_probed: usize,
-    /// Probed codes that had no bucket in the table. Only generate-to-probe
-    /// strategies can hit empty codes; HR/QR sort occupied buckets only.
+    /// Probe units that found no bucket in the table. Only strategies that
+    /// generate codes can miss — GHR/GQR generated codes and MIH substring
+    /// probes; HR/QR sort occupied buckets only and always report 0.
     pub empty_buckets: usize,
     /// Item ids collected from probed buckets (before dedup).
     pub items_collected: usize,

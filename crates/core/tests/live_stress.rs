@@ -13,7 +13,7 @@ use gqr_core::live::MutableIndex;
 use gqr_core::request::SearchRequest;
 use gqr_l2h::lsh::Lsh;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 fn iters() -> usize {
@@ -46,10 +46,15 @@ fn readers_see_consistent_pinned_generations_during_churn() {
         ..Default::default()
     };
 
+    // Per-reader progress counters: the writer keeps the index alive until
+    // every reader has completed at least one query, so a slow-to-schedule
+    // reader thread cannot race the (fast, in-memory) mutation loop.
+    let progress: Vec<Arc<AtomicUsize>> = (0..3).map(|_| Arc::new(AtomicUsize::new(0))).collect();
     let readers: Vec<_> = (0..3)
         .map(|r| {
             let index = index.clone();
             let stop = Arc::clone(&stop);
+            let progress = Arc::clone(&progress[r]);
             std::thread::spawn(move || {
                 let mut queries = 0usize;
                 let mut epochs_seen = HashSet::new();
@@ -68,6 +73,7 @@ fn readers_see_consistent_pinned_generations_during_churn() {
                         );
                     }
                     queries += 1;
+                    progress.store(queries, Ordering::Relaxed);
                 }
                 (queries, epochs_seen.len())
             })
@@ -96,6 +102,9 @@ fn readers_see_consistent_pinned_generations_during_churn() {
         final_epoch >= iters() as u64,
         "every mutation publishes a new epoch"
     );
+    while progress.iter().any(|p| p.load(Ordering::Relaxed) == 0) {
+        std::thread::yield_now();
+    }
     stop.store(true, Ordering::Relaxed);
 
     for reader in readers {

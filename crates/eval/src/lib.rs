@@ -13,8 +13,11 @@
 //! * [`report`] — CSV/Markdown/JSON emission under `results/`.
 //! * [`oracle`] — brute-force exact k-NN with `f64` accumulation, the
 //!   kernel-independent reference the golden tests pin recall against.
+//! * [`calibrate`] — one-call recall-model calibration: exact oracle
+//!   ground truth fed through `gqr-core`'s [`Calibrator`](gqr_core::recall::Calibrator).
 
 #![warn(missing_docs)]
+pub mod calibrate;
 pub mod curve;
 pub mod metrics;
 pub mod oracle;
@@ -22,6 +25,7 @@ pub mod plot;
 pub mod report;
 pub mod timer;
 
+pub use calibrate::calibrate_with_oracle;
 pub use curve::{recall_items_curve, recall_time_curve, time_to_recall, CurvePoint, RecallCurve};
 pub use metrics::{precision, recall};
 pub use oracle::{exact_knn, exact_knn_batch};

@@ -81,6 +81,9 @@ pub enum MarkerKind {
     /// Compaction finished: `a` = base rows after, `b` = delta rows after
     /// (replayed concurrent appends).
     CompactionEnd,
+    /// The adaptive recall controller stopped the search: `a` = probe units
+    /// issued, `b` = predicted recall in thousandths.
+    RecallStop,
 }
 
 impl MarkerKind {
@@ -94,6 +97,7 @@ impl MarkerKind {
             MarkerKind::Tombstone => "tombstone",
             MarkerKind::CompactionBegin => "compaction_begin",
             MarkerKind::CompactionEnd => "compaction_end",
+            MarkerKind::RecallStop => "recall_stop",
         }
     }
 }

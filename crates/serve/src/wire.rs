@@ -23,6 +23,9 @@
 //! enumerate a 2^m bucket space, so with wide code words an unreachable
 //! candidate budget would otherwise pin a handler until its deadline on
 //! every such request. Pass a larger value explicitly to probe deeper.
+//! `recall_target` (a number in `(0, 1]`, optional `recall_margin` ≥ 0)
+//! switches the engine to adaptive termination against the served index's
+//! calibrated recall model; it is mutually exclusive with `candidates`.
 //!
 //! Response body:
 //!
@@ -33,9 +36,14 @@
 //!   "stats": {"buckets_probed": 3, "empty_buckets": 0,
 //!             "items_collected": 40, "items_evaluated": 40,
 //!             "duplicates_skipped": 0},
+//!   "predicted_recall": null,
 //!   "trace_id": null
 //! }
 //! ```
+//!
+//! `predicted_recall` is the controller's recall estimate at termination
+//! (non-null only when the request set `recall_target` and the index
+//! carries a calibration model covering the strategy).
 //!
 //! Errors use one envelope everywhere: `{"error":{"code":C,"message":M}}`
 //! with `C` mirroring the HTTP status. Unknown request fields are rejected
@@ -65,6 +73,11 @@ pub struct WireRequest {
     pub early_stop: Option<bool>,
     /// Per-request end-to-end budget, if the client set one.
     pub timeout: Option<Duration>,
+    /// Adaptive-termination recall target (mutually exclusive with
+    /// `candidates`).
+    pub recall_target: Option<f32>,
+    /// Confidence margin stacked on `recall_target`.
+    pub recall_margin: Option<f32>,
 }
 
 /// Why a request body was rejected (always maps to HTTP 400).
@@ -103,6 +116,8 @@ pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
     let mut mih_blocks = None;
     let mut early_stop = None;
     let mut timeout = None;
+    let mut recall_target = None;
+    let mut recall_margin = None;
     for (key, value) in members {
         match key.as_str() {
             "query" => {
@@ -167,6 +182,20 @@ pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
                     .ok_or_else(|| bad("\"timeout_ms\" must be a positive integer"))?;
                 timeout = Some(Duration::from_millis(n));
             }
+            "recall_target" => {
+                let t = value
+                    .as_f64()
+                    .filter(|t| t.is_finite() && *t > 0.0 && *t <= 1.0)
+                    .ok_or_else(|| bad("\"recall_target\" must be a number in (0, 1]"))?;
+                recall_target = Some(t as f32);
+            }
+            "recall_margin" => {
+                let m = value
+                    .as_f64()
+                    .filter(|m| m.is_finite() && *m >= 0.0)
+                    .ok_or_else(|| bad("\"recall_margin\" must be a non-negative number"))?;
+                recall_margin = Some(m as f32);
+            }
             other => return Err(bad(format!("unknown field \"{other}\""))),
         }
     }
@@ -191,6 +220,14 @@ pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
             "\"mih_blocks\" is only valid with \"strategy\": \"MIH\"",
         ));
     }
+    if recall_target.is_some() && candidates.is_some() {
+        return Err(bad(
+            "\"recall_target\" is mutually exclusive with \"candidates\"",
+        ));
+    }
+    if recall_margin.is_some() && recall_target.is_none() {
+        return Err(bad("\"recall_margin\" requires \"recall_target\""));
+    }
     Ok(WireRequest {
         query,
         k,
@@ -199,6 +236,8 @@ pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
         strategy,
         early_stop,
         timeout,
+        recall_target,
+        recall_margin,
     })
 }
 
@@ -215,6 +254,12 @@ impl WireRequest {
         b = b.max_buckets(self.max_buckets.unwrap_or(SearchParams::DEFAULT_BUCKET_CAP));
         if let Some(es) = self.early_stop {
             b = b.early_stop(es);
+        }
+        if let Some(t) = self.recall_target {
+            b = b.recall_target(t);
+        }
+        if let Some(m) = self.recall_margin {
+            b = b.recall_margin(m);
         }
         b.build()
     }
@@ -246,6 +291,10 @@ pub fn encode_response(res: &SearchResponse) -> String {
             Json::Num(res.stats.duplicates_skipped as f64),
         ),
     ]);
+    let predicted_recall = match res.predicted_recall {
+        Some(p) => Json::Num(p as f64),
+        None => Json::Null,
+    };
     let trace_id = match res.trace_id {
         Some(id) => Json::Str(format!("{id:016x}")),
         None => Json::Null,
@@ -254,6 +303,7 @@ pub fn encode_response(res: &SearchResponse) -> String {
         ("ids".into(), ids),
         ("distances".into(), distances),
         ("stats".into(), stats),
+        ("predicted_recall".into(), predicted_recall),
         ("trace_id".into(), trace_id),
     ])
     .to_string()
@@ -311,6 +361,23 @@ mod tests {
             (br#"{"query":["a"],"k":3}"#, "query"),
             (br#"[1,2,3]"#, "object"),
             (br#"{"query":[1],"k":3"#, "JSON"),
+            (br#"{"query":[1],"k":3,"recall_target":0}"#, "recall_target"),
+            (
+                br#"{"query":[1],"k":3,"recall_target":1.5}"#,
+                "recall_target",
+            ),
+            (
+                br#"{"query":[1],"k":3,"recall_target":0.9,"candidates":10}"#,
+                "mutually exclusive",
+            ),
+            (
+                br#"{"query":[1],"k":3,"recall_margin":0.1}"#,
+                "recall_target",
+            ),
+            (
+                br#"{"query":[1],"k":3,"recall_target":0.9,"recall_margin":-1}"#,
+                "recall_margin",
+            ),
         ] {
             let err = decode_search(body).unwrap_err();
             assert!(
@@ -340,12 +407,36 @@ mod tests {
             r#"{"ids":[5,9],"distances":[0,1.5],"#,
             r#""stats":{"buckets_probed":3,"empty_buckets":1,"items_collected":40,"#,
             r#""items_evaluated":38,"duplicates_skipped":0},"#,
-            r#""trace_id":"0000000000000abc"}"#
+            r#""predicted_recall":null,"trace_id":"0000000000000abc"}"#
         );
         assert_eq!(got, want);
         // And the envelope round-trips through our own parser.
         let doc = crate::json::parse(got.as_bytes()).unwrap();
         assert_eq!(doc.get("ids").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn recall_target_maps_to_adaptive_params() {
+        let req = decode_search(br#"{"query":[1],"k":3,"recall_target":0.9,"recall_margin":0.05}"#)
+            .unwrap();
+        assert_eq!(req.recall_target, Some(0.9));
+        assert_eq!(req.recall_margin, Some(0.05));
+        let params = req.to_params().unwrap();
+        let t = params.recall_target.expect("recall target lifted");
+        assert_eq!(t.target, 0.9);
+        assert_eq!(t.margin, 0.05);
+        assert_eq!(params.n_candidates, usize::MAX);
+    }
+
+    #[test]
+    fn predicted_recall_encodes_as_number() {
+        let mut res = SearchResponse::from_ranked(vec![(1, 0.5)], ProbeStats::default());
+        res.predicted_recall = Some(0.75);
+        let got = encode_response(&res);
+        assert!(
+            got.contains(r#""predicted_recall":0.75"#),
+            "missing predicted_recall: {got}"
+        );
     }
 
     #[test]

@@ -25,6 +25,9 @@ echo "==> snapshot corruption + round-trip suites"
 cargo test -q --test snapshot_corruption
 cargo test -q --test snapshot_roundtrip
 
+echo "==> recall SLA conformance suite"
+cargo test -q -p gqr-core --test recall_sla
+
 echo "==> mutation stress (bounded)"
 GQR_STRESS_ITERS=800 cargo test -q -p gqr-core --test live_stress
 
@@ -89,6 +92,14 @@ GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench serving
 
 echo "==> kernel bench (smoke)"
 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench distance
+
+echo "==> recall controller bench (smoke, 25% probe-reduction gate at recall@10 >= 0.9)"
+GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench recall
+grep -q '"gate_pass": true' results/BENCH_recall.json \
+    || { echo "recall controller gate FAILED (results/BENCH_recall.json)"; exit 1; }
+GQR_FORCE_SCALAR=1 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench recall
+grep -q '"gate_pass": true' results/BENCH_recall.json \
+    || { echo "recall controller gate FAILED under GQR_FORCE_SCALAR (results/BENCH_recall.json)"; exit 1; }
 
 echo "==> popcount bench (smoke, 1.5x SIMD gate at m=128)"
 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench hamming

@@ -122,6 +122,7 @@ fn main() {
         "eval" => cmd_eval(&flags),
         "save-index" => cmd_save_index(&flags),
         "load-index" => cmd_load_index(&flags),
+        "calibrate" => cmd_calibrate(&flags),
         "insert" => cmd_insert(&flags),
         "delete" => cmd_delete(&flags),
         "trace-dump" => cmd_trace_dump(&flags),
@@ -155,6 +156,11 @@ fn usage_and_exit(err: Option<&str>) -> ! {
          \x20          [--shards N] [--mih-blocks B] [--width 32|64|128|192|256]\n\
          \x20 load-index --snapshot FILE --k K (--row I | --queries N)\n\
          \x20          [--strategy gqr|ghr|hr|qr|mih] [--candidates N] [--max-buckets N]\n\
+         \x20          [--recall-target T] [--recall-margin M]   (adaptive termination;\n\
+         \x20          needs a calibrated snapshot, excludes --candidates)\n\
+         \x20 calibrate --snapshot FILE --k K --sample N [--quantile Q] [--out FILE]\n\
+         \x20          (learns the recall model from N stored rows vs exact ground\n\
+         \x20          truth and re-writes the snapshot with it)\n\
          \x20 insert   --snapshot FILE --vector \"x1,x2,...\" [--out FILE] [--compact 1]\n\
          \x20 delete   --snapshot FILE --id N [--out FILE] [--compact 1]\n\
          \x20 trace-dump --snapshot FILE --queries N --k K [--strategy gqr|ghr|hr|qr|mih]\n\
@@ -323,6 +329,50 @@ fn max_buckets_flag(flags: &HashMap<String, String>) -> Result<usize, String> {
         .map(|s| s.parse().map_err(|_| "bad --max-buckets".to_string()))
         .transpose()
         .map(|v| v.unwrap_or(SearchParams::DEFAULT_BUCKET_CAP))
+}
+
+/// Build [`SearchParams`] from the snapshot query flags: either a fixed
+/// `--candidates` budget (default 1000) or adaptive `--recall-target` /
+/// `--recall-margin` termination — never both.
+fn snapshot_params(
+    flags: &HashMap<String, String>,
+    k: usize,
+    strat: ProbeStrategy,
+) -> Result<SearchParams, String> {
+    let max_buckets = max_buckets_flag(flags)?;
+    let mut b = SearchParams::for_k(k)
+        .strategy(strat)
+        .max_buckets(max_buckets);
+    if let Some(t) = flags.get("recall-target") {
+        if flags.contains_key("candidates") {
+            return Err("--recall-target is mutually exclusive with --candidates".into());
+        }
+        b = b.recall_target(t.parse().map_err(|_| "bad --recall-target")?);
+        if let Some(m) = flags.get("recall-margin") {
+            b = b.recall_margin(m.parse().map_err(|_| "bad --recall-margin")?);
+        }
+    } else {
+        if flags.contains_key("recall-margin") {
+            return Err("--recall-margin requires --recall-target".into());
+        }
+        let n_candidates: usize = flags
+            .get("candidates")
+            .map(|s| s.parse().map_err(|_| "bad --candidates"))
+            .transpose()?
+            .unwrap_or(1_000);
+        b = b.candidates(n_candidates);
+    }
+    b.build()
+        .map_err(|e| format!("invalid search parameters: {e}"))
+}
+
+/// Human-readable per-query budget for result banners: the fixed candidate
+/// count, or the recall target when termination is adaptive.
+fn budget_label(params: &SearchParams) -> String {
+    match params.recall_target {
+        Some(t) => format!("recall-target {}", t.target),
+        None => format!("{} candidates", params.n_candidates),
+    }
 }
 
 fn cmd_build(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -675,12 +725,6 @@ fn run_load_live<C: CodeWord>(path: &str, flags: &HashMap<String, String>) -> Re
         start.elapsed()
     );
     let k: usize = get_num(flags, "k")?;
-    let n_candidates: usize = flags
-        .get("candidates")
-        .map(|s| s.parse().map_err(|_| "bad --candidates"))
-        .transpose()?
-        .unwrap_or(1_000);
-    let max_buckets = max_buckets_flag(flags)?;
     let strat_name = flags.get("strategy").map(String::as_str).unwrap_or("gqr");
     let strat = if strat_name.eq_ignore_ascii_case("mih") {
         let Some(blocks) = index.mih_blocks() else {
@@ -690,12 +734,10 @@ fn run_load_live<C: CodeWord>(path: &str, flags: &HashMap<String, String>) -> Re
     } else {
         strategy(strat_name)?
     };
-    let params = SearchParams::for_k(k)
-        .candidates(n_candidates)
-        .strategy(strat)
-        .max_buckets(max_buckets)
-        .build()
-        .map_err(|e| format!("invalid search parameters: {e}"))?;
+    let params = snapshot_params(flags, k, strat)?;
+    if params.recall_target.is_some() && index.recall_model().is_none() {
+        return Err("snapshot has no recall model; run `gqr calibrate` first".into());
+    }
 
     if let Some(id) = flags.get("row") {
         let id: u32 = id.parse().map_err(|_| "bad --row")?;
@@ -712,6 +754,9 @@ fn run_load_live<C: CodeWord>(path: &str, flags: &HashMap<String, String>) -> Re
             res.stats.buckets_probed,
             res.stats.items_evaluated
         );
+        if let Some(p) = res.predicted_recall {
+            println!("  predicted recall {p:.3}");
+        }
         for (id, dist) in res.neighbors() {
             println!("  #{id:<8} sq-dist {dist:.5}");
         }
@@ -739,10 +784,11 @@ fn run_load_live<C: CodeWord>(path: &str, flags: &HashMap<String, String>) -> Re
             .count();
     }
     println!(
-        "{:<9} recall@{k} {:.3}   {:?} total (budget {n_candidates}/query, {n_queries} queries)",
+        "{:<9} recall@{k} {:.3}   {:?} total ({}/query, {n_queries} queries)",
         strat.name(),
         found as f64 / (k * queries.len()) as f64,
-        start.elapsed()
+        start.elapsed(),
+        budget_label(&params)
     );
     Ok(())
 }
@@ -775,12 +821,6 @@ fn run_frozen_queries<C: CodeWord>(
     flags: &HashMap<String, String>,
 ) -> Result<(), String> {
     let k: usize = get_num(flags, "k")?;
-    let n_candidates: usize = flags
-        .get("candidates")
-        .map(|s| s.parse().map_err(|_| "bad --candidates"))
-        .transpose()?
-        .unwrap_or(1_000);
-    let max_buckets = max_buckets_flag(flags)?;
     let strat_name = flags.get("strategy").map(String::as_str).unwrap_or("gqr");
     let strat = if strat_name.eq_ignore_ascii_case("mih") {
         if loaded.shards().iter().any(|s| s.mih.is_none()) {
@@ -793,12 +833,10 @@ fn run_frozen_queries<C: CodeWord>(
         strategy(strat_name)?
     };
     let engine = engine_from(loaded)?;
-    let params = SearchParams::for_k(k)
-        .candidates(n_candidates)
-        .strategy(strat)
-        .max_buckets(max_buckets)
-        .build()
-        .map_err(|e| format!("invalid search parameters: {e}"))?;
+    let params = snapshot_params(flags, k, strat)?;
+    if params.recall_target.is_some() && loaded.recall_model().is_none() {
+        return Err("snapshot has no recall model; run `gqr calibrate` first".into());
+    }
 
     if let Some(row) = flags.get("row") {
         let row: usize = row.parse().map_err(|_| "bad --row")?;
@@ -820,6 +858,9 @@ fn run_frozen_queries<C: CodeWord>(
             res.stats.buckets_probed,
             res.stats.items_evaluated
         );
+        if let Some(p) = res.predicted_recall {
+            println!("  predicted recall {p:.3}");
+        }
         for (id, dist) in res.neighbors() {
             println!("  #{id:<8} sq-dist {dist:.5}");
         }
@@ -832,14 +873,104 @@ fn run_frozen_queries<C: CodeWord>(
     let truth = brute_force_knn(&ds, &queries, k, 0);
     let start = std::time::Instant::now();
     let mut found = 0usize;
+    let mut probed = 0usize;
     for (q, t) in queries.iter().zip(&truth) {
         let res = engine.search(q, &params);
+        probed += res.stats.buckets_probed;
         found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
     }
     println!(
-        "{:<9} recall@{k} {:.3}   {:?} total (budget {n_candidates}/query, {n_queries} queries)",
+        "{:<9} recall@{k} {:.3}   {:?} total ({}/query, {n_queries} queries, {:.1} buckets/query)",
         strat.name(),
         found as f64 / (k * queries.len()) as f64,
+        start.elapsed(),
+        budget_label(&params),
+        probed as f64 / queries.len().max(1) as f64
+    );
+    Ok(())
+}
+
+/// `calibrate`: learn a recall model for a frozen single-shard snapshot
+/// from a sample of stored rows against exact ground truth, and re-write
+/// the snapshot with the model attached.
+fn cmd_calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = get(flags, "snapshot")?;
+    let (live, _) = snapshot_kind(path)?;
+    if live {
+        return Err(
+            "calibrate reads frozen snapshots; compact the live index into one first".into(),
+        );
+    }
+    let any =
+        load_index_any(std::path::Path::new(path)).map_err(|e| format!("loading {path}: {e}"))?;
+    with_any_index!(&any, loaded, run_calibrate(loaded, path, flags))
+}
+
+fn run_calibrate<C: CodeWord>(
+    loaded: &LoadedIndex<C>,
+    path: &str,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    use gqr::core::recall::Calibrator;
+    use gqr::eval::exact_knn;
+
+    if loaded.shards().len() != 1 {
+        return Err("calibrate currently supports single-shard snapshots only".into());
+    }
+    let k: usize = get_num(flags, "k")?;
+    let sample: usize = get_num(flags, "sample")?;
+    if k == 0 || sample == 0 {
+        return Err("--k and --sample must be positive".into());
+    }
+    let quantile: Option<f32> = flags
+        .get("quantile")
+        .map(|s| s.parse().map_err(|_| "bad --quantile"))
+        .transpose()?;
+
+    let mut engine = QueryEngine::from_snapshot(loaded).map_err(|e| e.to_string())?;
+    let dim = loaded.dim();
+    let ds = Dataset::new("snapshot", dim, loaded.data().to_vec());
+    let sample_rows = ds.sample_queries(sample, 7);
+    let queries: Vec<f32> = sample_rows.iter().flat_map(|q| q.iter().copied()).collect();
+    let ground_truth: Vec<Vec<u32>> = sample_rows
+        .iter()
+        .map(|q| exact_knn(loaded.data(), dim, q, k))
+        .collect();
+
+    let mut strategies = vec![
+        ProbeStrategy::GenerateQdRanking,
+        ProbeStrategy::GenerateHammingRanking,
+        ProbeStrategy::HammingRanking,
+        ProbeStrategy::QdRanking,
+    ];
+    if let Some(mih) = &loaded.shards()[0].mih {
+        strategies.push(ProbeStrategy::MultiIndexHashing {
+            blocks: mih.n_blocks(),
+        });
+    }
+
+    let start = std::time::Instant::now();
+    let mut calibrator = Calibrator::new(k);
+    if let Some(q) = quantile {
+        if !(0.0..=0.5).contains(&q) {
+            return Err("--quantile must be in [0, 0.5]".into());
+        }
+        calibrator = calibrator.quantile(q);
+    }
+    for &strat in &strategies {
+        calibrator.observe(&engine, strat, &queries, &ground_truth);
+    }
+    let model = calibrator.finalize();
+    let covered = model.calibrated_strategies().join(", ");
+
+    engine.set_recall_model(&model);
+    let out = flags.get("out").map(String::as_str).unwrap_or(path);
+    let bytes = engine
+        .save_snapshot(std::path::Path::new(out))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "calibrated recall@{k} over {} sample queries ({covered}) in {:?}; wrote {bytes} bytes to {out}",
+        sample_rows.len(),
         start.elapsed()
     );
     Ok(())

@@ -77,6 +77,7 @@ pub mod prelude {
     };
     pub use gqr_core::multi_table::MultiTableIndex;
     pub use gqr_core::persist::{load_index, save_index, LoadedIndex, PersistError};
+    pub use gqr_core::recall::{Calibrator, RecallController, RecallModel, RecallTarget};
     pub use gqr_core::request::SearchRequest;
     pub use gqr_core::response::{Checkpoint, SearchResponse};
     pub use gqr_core::shard::{ShardBuildError, ShardedIndex, ShardedIndexBuilder};

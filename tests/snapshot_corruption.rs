@@ -54,6 +54,17 @@ fn full_snapshot_bytes() -> Vec<u8> {
     let mut engine = QueryEngine::new(&model, &table, &data, dim);
     engine.enable_mih(2);
 
+    // A small calibrated recall model, so the sweep covers its section too.
+    let queries: Vec<f32> = data[..16 * dim].to_vec();
+    let gt: Vec<Vec<u32>> = queries
+        .chunks_exact(dim)
+        .map(|q| gqr::eval::exact_knn(&data, dim, q, 5))
+        .collect();
+    let mut cal = Calibrator::new(5).bucket_cap(128);
+    cal.observe(&engine, ProbeStrategy::GenerateQdRanking, &queries, &gt);
+    let recall = cal.finalize();
+    engine.set_recall_model(&recall);
+
     let dir = tmpdir("corrupt_base");
     let path = dir.join("full.gqr");
     engine.save_snapshot(&path).unwrap();
@@ -68,6 +79,7 @@ fn full_snapshot_bytes() -> Vec<u8> {
         SectionKind::Vectors,
         SectionKind::HashTable,
         SectionKind::MihIndex,
+        SectionKind::RecallModel,
     ] {
         w.add_section(kind, base.section(kind).unwrap().to_vec());
     }
@@ -150,6 +162,7 @@ fn expected_section(toc: &[(u16, usize, usize)], offset: usize) -> Option<&'stat
                 7 => "IMI index",
                 8 => "PQ codes",
                 9 => "MPLSH index",
+                12 => "recall model",
                 _ => panic!("valid snapshot has an unknown section kind {kind}"),
             });
         }

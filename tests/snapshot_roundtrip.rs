@@ -305,3 +305,74 @@ fn metered_load_records_snapshot_metrics() {
         .expect("load latency histogram must be recorded");
     assert_eq!(hist.count, 1);
 }
+
+/// Calibrate a small recall model for `engine` over every strategy.
+fn calibrate_small(engine: &QueryEngine<'_, Itq, u64>, ds: &Dataset) -> RecallModel {
+    let sample = ds.sample_queries(24, 5);
+    let queries: Vec<f32> = sample.iter().flat_map(|q| q.iter().copied()).collect();
+    let gt: Vec<Vec<u32>> = sample
+        .iter()
+        .map(|q| gqr::eval::exact_knn(ds.as_slice(), ds.dim(), q, 10))
+        .collect();
+    let mut cal = Calibrator::new(10).bucket_cap(256);
+    for strat in ALL_STRATEGIES {
+        cal.observe(engine, strat, &queries, &gt);
+    }
+    cal.finalize()
+}
+
+#[test]
+fn recall_model_roundtrip_is_bit_identical() {
+    let ds = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 10).unwrap();
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let mut engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+    engine.enable_mih(2);
+    let recall = calibrate_small(&engine, &ds);
+    engine.set_recall_model(&recall);
+
+    let dir = tmpdir("recall_rt");
+    let path = dir.join("calibrated.gqr");
+    engine.save_snapshot(&path).unwrap();
+    let loaded: LoadedIndex = load_index(&path).unwrap();
+
+    // Structural equality of the decoded section.
+    let back = loaded.recall_model().expect("recall model section present");
+    assert_eq!(back, &recall, "decoded model differs from the saved one");
+
+    // Saving the loaded engine again must produce the identical file:
+    // the recall section (like every other) is a pure function of state.
+    let engine2 = QueryEngine::from_snapshot(&loaded).unwrap();
+    assert!(
+        engine2.recall_model().is_some(),
+        "loaded engine must attach the model"
+    );
+    let path2 = dir.join("resaved.gqr");
+    engine2.save_snapshot(&path2).unwrap();
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&path2).unwrap(),
+        "save -> load -> save must be byte-identical"
+    );
+
+    // Behavioral equivalence: adaptive searches agree bit-for-bit,
+    // including the predicted recall the controller reports.
+    for strat in ALL_STRATEGIES {
+        let params = SearchParams::for_k(10)
+            .strategy(strat)
+            .recall_target(0.9)
+            .build()
+            .unwrap();
+        for q in ds.sample_queries(10, 13) {
+            let a = engine.search(&q, &params);
+            let b = engine2.search(&q, &params);
+            assert_eq!(a.ranked(), b.ranked(), "{} diverged", strat.name());
+            assert_eq!(
+                a.predicted_recall.map(f32::to_bits),
+                b.predicted_recall.map(f32::to_bits),
+                "{} predicted recall diverged",
+                strat.name()
+            );
+        }
+    }
+}
