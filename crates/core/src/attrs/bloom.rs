@@ -1,0 +1,148 @@
+//! Value-membership bloom filter for high-cardinality columns.
+//!
+//! Columns with many distinct values (user ids, SKUs, timestamps) don't
+//! get per-value posting bitmaps — that would store one bitmap per row in
+//! the worst case. Instead the store keeps a bloom filter over the
+//! column's *value set*: `contains` answers "might any row hold this
+//! value?" with **zero false negatives** and a bounded false-positive
+//! rate. A definite miss lets the planner prove an `Eq`/`In` predicate
+//! matches nothing without touching a single row; a "maybe" falls through
+//! to the exact per-row check, so the omni-index contract (never drop a
+//! true match) holds by construction.
+
+use gqr_linalg::wire::{ByteReader, ByteWriter, WireError};
+
+/// Bits per distinct value; ~10 bits with 7 hashes gives a false-positive
+/// rate under 1%.
+const BITS_PER_VALUE: usize = 10;
+/// Number of probe positions per value (`k ≈ bits/n · ln 2`).
+const HASHES: u32 = 7;
+
+/// A fixed-size bloom filter keyed by 64-bit value hashes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bloom {
+    words: Vec<u64>,
+    /// Distinct values inserted (for sizing diagnostics and estimates).
+    n_values: u64,
+}
+
+/// FNV-1a over the value bytes: stable across platforms and snapshot
+/// versions (the filter is persisted, so the hash is part of the format).
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Bloom {
+    /// An empty filter sized for `expected` distinct values.
+    pub fn with_capacity(expected: usize) -> Bloom {
+        let bits = (expected.max(1) * BITS_PER_VALUE)
+            .next_power_of_two()
+            .max(64);
+        Bloom {
+            words: vec![0u64; bits / 64],
+            n_values: 0,
+        }
+    }
+
+    fn positions(&self, key: u64) -> impl Iterator<Item = usize> + '_ {
+        // Double hashing: h1 + i·h2 walks HASHES positions.
+        let mask = self.words.len() as u64 * 64 - 1;
+        let h1 = fnv1a(&key.to_le_bytes(), 0);
+        let h2 = fnv1a(&key.to_le_bytes(), 0x9e37_79b9_7f4a_7c15) | 1;
+        (0..HASHES as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2)) & mask) as usize)
+    }
+
+    /// Insert a value hash (see [`Bloom::hash_int`] / [`Bloom::hash_str`]).
+    pub fn insert(&mut self, key: u64) {
+        for pos in self.positions(key).collect::<Vec<_>>() {
+            self.words[pos >> 6] |= 1u64 << (pos & 63);
+        }
+        self.n_values += 1;
+    }
+
+    /// Whether the value *might* be present. `false` is definitive.
+    pub fn contains(&self, key: u64) -> bool {
+        self.positions(key)
+            .all(|pos| self.words[pos >> 6] & (1u64 << (pos & 63)) != 0)
+    }
+
+    /// Distinct values inserted.
+    pub fn n_values(&self) -> u64 {
+        self.n_values
+    }
+
+    /// Stable hash for an integer value.
+    pub fn hash_int(v: i64) -> u64 {
+        fnv1a(&v.to_le_bytes(), 0x6a09_e667_f3bc_c908)
+    }
+
+    /// Stable hash for a string value.
+    pub fn hash_str(s: &str) -> u64 {
+        fnv1a(s.as_bytes(), 0xbb67_ae85_84ca_a73b)
+    }
+
+    /// Serialize: value count, then the filter words.
+    pub fn wire_write(&self, w: &mut ByteWriter) {
+        w.put_u64(self.n_values);
+        w.put_u64_slice(&self.words);
+    }
+
+    /// Deserialize, rejecting non-power-of-two filter sizes.
+    pub fn wire_read(r: &mut ByteReader<'_>) -> Result<Bloom, WireError> {
+        let n_values = r.get_u64()?;
+        let words = r.get_u64_vec()?;
+        if words.is_empty() || !words.len().is_power_of_two() {
+            return Err(WireError::Malformed("bloom size is not a power of two"));
+        }
+        Ok(Bloom { words, n_values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let mut bloom = Bloom::with_capacity(1000);
+        for v in 0..1000i64 {
+            bloom.insert(Bloom::hash_int(v * 7 - 3500));
+        }
+        for v in 0..1000i64 {
+            assert!(bloom.contains(Bloom::hash_int(v * 7 - 3500)));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_bounded() {
+        let mut bloom = Bloom::with_capacity(1000);
+        for v in 0..1000i64 {
+            bloom.insert(Bloom::hash_int(v));
+        }
+        let fp = (10_000..30_000i64)
+            .filter(|&v| bloom.contains(Bloom::hash_int(v)))
+            .count();
+        // 10 bits/value, 7 hashes ⇒ theoretical ~0.8%; allow 3%.
+        assert!(fp < 600, "false-positive count too high: {fp}/20000");
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut bloom = Bloom::with_capacity(10);
+        bloom.insert(Bloom::hash_str("red"));
+        bloom.insert(Bloom::hash_str("green"));
+        let mut w = ByteWriter::new();
+        bloom.wire_write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = Bloom::wire_read(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(bloom, back);
+        assert!(back.contains(Bloom::hash_str("red")));
+    }
+}

@@ -6,6 +6,7 @@
 //! incremental, which also enables the checkpointed instrumentation behind
 //! every recall–time curve in the evaluation).
 
+use crate::attrs::{AttributeStore, Bitmap, FilterPlan};
 use crate::code::{typed_encoding, CodeWord};
 use crate::metrics::{
     metric_name, MarkerKind, MetricsRegistry, Phase, PhaseSpans, SpanId, TraceContext,
@@ -406,6 +407,7 @@ pub struct QueryEngine<'a, M: HashModel + ?Sized, C: CodeWord = u64> {
     metric: Metric,
     mih: Option<MihHandle<'a, C>>,
     recall: Option<&'a RecallModel>,
+    attrs: Option<&'a AttributeStore>,
     metrics: MetricsRegistry,
     /// Overrides the metric family the per-query spans flush under:
     /// `(component, extra labels)`. `None` means the default
@@ -441,6 +443,7 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
             metric: Metric::SquaredEuclidean,
             mih: None,
             recall: None,
+            attrs: None,
             metrics: MetricsRegistry::disabled(),
             span_scope: None,
         }
@@ -561,6 +564,32 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         self.recall
     }
 
+    /// Attach an attribute store (builder style): requests carrying a
+    /// structured [`Predicate`](crate::attrs::Predicate) are planned
+    /// against it — the engine picks pre-filtering, post-filtering, or
+    /// brute force over the survivor set by estimated selectivity. The
+    /// store's item ids must be this engine's row ids.
+    pub fn with_attrs(mut self, attrs: &'a AttributeStore) -> Self {
+        self.set_attrs(attrs);
+        self
+    }
+
+    /// Replace the attribute store in place (for engines already built).
+    pub fn set_attrs(&mut self, attrs: &'a AttributeStore) {
+        assert!(
+            attrs.n_items() <= self.data.len() / self.dim,
+            "attribute store describes {} items but the data buffer holds {} rows",
+            attrs.n_items(),
+            self.data.len() / self.dim
+        );
+        self.attrs = Some(attrs);
+    }
+
+    /// The attached attribute store, if any.
+    pub fn attrs(&self) -> Option<&'a AttributeStore> {
+        self.attrs
+    }
+
     /// The attached MIH side index, if any (the calibrator replays MIH
     /// trajectories through it).
     pub(crate) fn mih_index(&self) -> Option<&MihIndex<C>> {
@@ -615,6 +644,7 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         let parts = req.into_parts();
         let (query, budgets) = (parts.query, parts.budgets);
         let (mut params, mut filter) = (parts.params, parts.filter);
+        let predicate = parts.predicate;
         let deadline = params.deadline;
         scratch.ensure_dim(self.dim);
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
@@ -642,8 +672,74 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
             }
         };
         let start = Instant::now();
-        let (mut result, checkpoints) = match params.strategy {
-            ProbeStrategy::MultiIndexHashing { .. } => self.run_mih(
+        let (mut result, checkpoints) = if let Some(pred) = predicate.as_ref() {
+            // Plan the predicate: the store's posting lists give an exact
+            // survivor set (and exact selectivity) when every leaf is
+            // indexed, an estimate otherwise. The arm decides how the
+            // filter composes with probing; the user's closure filter (if
+            // any) must also accept — both gates apply.
+            let store = self.attrs.expect(
+                "request carries a predicate but the engine has no attribute store \
+                 (attach one with with_attrs, and validate() the predicate first)",
+            );
+            let brute_budget = if params.n_candidates < usize::MAX {
+                params.n_candidates
+            } else {
+                4096usize.max(16 * params.k)
+            };
+            let choice = store.plan(pred, brute_budget);
+            self.metrics.incr(&metric_name(
+                "gqr_filter_plans_total",
+                &[("plan", choice.plan.name())],
+            ));
+            let ppm = (choice.selectivity * 1e6) as u64;
+            self.metrics.record("gqr_filter_selectivity_ppm", ppm);
+            trace.marker(troot, MarkerKind::FilterPlan, choice.plan.tag(), ppm);
+            match choice.plan {
+                FilterPlan::BruteForce { survivors } => self.run_brute(
+                    query,
+                    &params,
+                    budgets,
+                    start,
+                    &survivors,
+                    filter.as_deref_mut(),
+                    scratch,
+                    &trace,
+                    troot,
+                ),
+                FilterPlan::PreFilter { survivors } => {
+                    let mut keep = |id: u32| {
+                        survivors.contains(id) && filter.as_deref_mut().is_none_or(|f| f(id))
+                    };
+                    self.run_probe(
+                        query,
+                        &params,
+                        budgets,
+                        start,
+                        Some(&mut keep),
+                        scratch,
+                        &trace,
+                        troot,
+                    )
+                }
+                FilterPlan::PostFilter => {
+                    let mut keep = |id: u32| {
+                        store.matches(pred, id) && filter.as_deref_mut().is_none_or(|f| f(id))
+                    };
+                    self.run_probe(
+                        query,
+                        &params,
+                        budgets,
+                        start,
+                        Some(&mut keep),
+                        scratch,
+                        &trace,
+                        troot,
+                    )
+                }
+            }
+        } else {
+            self.run_probe(
                 query,
                 &params,
                 budgets,
@@ -652,17 +748,7 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
                 scratch,
                 &trace,
                 troot,
-            ),
-            _ => self.run_buckets(
-                query,
-                &params,
-                budgets,
-                start,
-                filter.as_deref_mut(),
-                scratch,
-                &trace,
-                troot,
-            ),
+            )
         };
         result.checkpoints = checkpoints;
         result.trace_id = trace.id();
@@ -706,6 +792,133 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
             ));
         }
         controller
+    }
+
+    /// Dispatch to the strategy's probing loop — the shared tail of every
+    /// planner arm except brute force.
+    #[allow(clippy::too_many_arguments)]
+    fn run_probe<'q>(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+        budgets: &[usize],
+        start: Instant,
+        filter: Option<&mut (dyn FnMut(u32) -> bool + 'q)>,
+        scratch: &mut ScoreBlock,
+        trace: &TraceContext,
+        troot: SpanId,
+    ) -> (SearchResponse, Vec<Checkpoint>) {
+        match params.strategy {
+            ProbeStrategy::MultiIndexHashing { .. } => {
+                self.run_mih(query, params, budgets, start, filter, scratch, trace, troot)
+            }
+            _ => self.run_buckets(query, params, budgets, start, filter, scratch, trace, troot),
+        }
+    }
+
+    /// The planner's brute-force arm: the exact survivor set is smaller
+    /// than the candidate budget, so probing buckets would only re-derive
+    /// a superset — evaluate the survivors directly. No hashing, no probe
+    /// generation; the result is exact over the filtered subset (predicted
+    /// recall 1.0 when a recall target asked for a prediction).
+    #[allow(clippy::too_many_arguments)]
+    fn run_brute<'q>(
+        &self,
+        query: &[f32],
+        params: &SearchParams,
+        budgets: &[usize],
+        start: Instant,
+        survivors: &Bitmap,
+        mut filter: Option<&mut (dyn FnMut(u32) -> bool + 'q)>,
+        scratch: &mut ScoreBlock,
+        trace: &TraceContext,
+        troot: SpanId,
+    ) -> (SearchResponse, Vec<Checkpoint>) {
+        let mut spans = PhaseSpans::new(&self.metrics);
+        let mut topk = TopK::new(params.k);
+        let mut stats = ProbeStats::default();
+        let mut checkpoints = Vec::with_capacity(budgets.len());
+        let mut next_budget = budgets.iter().copied().peekable();
+        let n_rows = self.data.len() / self.dim;
+        let t = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::Evaluate.as_str(), t);
+        let mut expired = params.time_limit.is_some_and(|tl| start.elapsed() >= tl);
+        if !expired {
+            for id in survivors.iter() {
+                if id as usize >= n_rows {
+                    break; // survivors are sorted; nothing else is addressable
+                }
+                stats.items_collected += 1;
+                if let Some(f) = filter.as_deref_mut() {
+                    if !f(id) {
+                        continue;
+                    }
+                }
+                if scratch.is_full() {
+                    stats.items_evaluated +=
+                        scratch.flush(query, self.metric, |id, d| topk.push(d, id));
+                    while let Some(&b) = next_budget.peek() {
+                        if stats.items_evaluated < b {
+                            break;
+                        }
+                        next_budget.next();
+                        trace.marker(
+                            troot,
+                            MarkerKind::Checkpoint,
+                            b as u64,
+                            stats.items_evaluated as u64,
+                        );
+                        checkpoints.push(self.snapshot(b, &stats, start, &topk));
+                    }
+                    if params.time_limit.is_some_and(|tl| start.elapsed() >= tl) {
+                        expired = true;
+                        break;
+                    }
+                }
+                let row = &self.data[id as usize * self.dim..(id as usize + 1) * self.dim];
+                scratch.push(id, row);
+            }
+        }
+        stats.items_evaluated += scratch.flush(query, self.metric, |id, d| topk.push(d, id));
+        spans.end(Phase::Evaluate, t);
+        trace.end(ts);
+        while let Some(&b) = next_budget.peek() {
+            if stats.items_evaluated < b {
+                break;
+            }
+            next_budget.next();
+            trace.marker(
+                troot,
+                MarkerKind::Checkpoint,
+                b as u64,
+                stats.items_evaluated as u64,
+            );
+            checkpoints.push(self.snapshot(b, &stats, start, &topk));
+        }
+        for b in next_budget {
+            checkpoints.push(self.snapshot(b, &stats, start, &topk));
+        }
+        let t = spans.begin();
+        let ts = trace.begin_opt(troot, Phase::Rerank.as_str(), t);
+        let neighbors = topk.into_sorted();
+        spans.end(Phase::Rerank, t);
+        trace.end(ts);
+        #[cfg(debug_assertions)]
+        stats.checked_invariants();
+        self.flush_spans(&spans, params.strategy.name(), start.elapsed());
+        let evaluated = stats.items_evaluated;
+        let mut response = SearchResponse::from_ranked(neighbors, stats);
+        // The survivor set is exact and fully evaluated — recall over the
+        // filtered universe is 1.0 by construction. If the time limit cut
+        // the sweep short, report the evaluated fraction instead.
+        response.predicted_recall = params.recall_target.map(|_| {
+            if expired {
+                evaluated as f32 / survivors.len().max(1) as f32
+            } else {
+                1.0
+            }
+        });
+        (response, checkpoints)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -761,6 +974,9 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         let mut checkpoints = Vec::with_capacity(budgets.len());
         let mut next_budget = budgets.iter().copied().peekable();
         let mut controller = self.recall_controller(params);
+        // Occupied buckets where the filter rejected every item — the
+        // pre-filter arm's payoff: no distance computed for the bucket.
+        let mut buckets_skipped: u64 = 0;
 
         let n_items = self.table.n_items();
         while stats.items_evaluated < params.n_candidates && stats.items_evaluated < n_items {
@@ -844,6 +1060,9 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
             stats.items_evaluated += scratch.flush(query, self.metric, |id, d| topk.push(d, id));
             spans.end(Phase::Evaluate, t);
             trace.end(ts);
+            if filter.is_some() && stats.items_evaluated == evaluated_before {
+                buckets_skipped += 1;
+            }
             if let Some(qd) = step_qd {
                 let kept = (stats.items_evaluated - evaluated_before) as u32;
                 trace.qd_step(troot, bucket_rank, qd, items.len() as u32, kept);
@@ -877,6 +1096,11 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         let neighbors = topk.into_sorted();
         spans.end(Phase::Rerank, t);
         trace.end(ts);
+        if buckets_skipped > 0 {
+            self.metrics
+                .add("gqr_filter_buckets_skipped_total", buckets_skipped);
+            trace.marker(troot, MarkerKind::FilterSkip, buckets_skipped, 0);
+        }
         #[cfg(debug_assertions)]
         stats.checked_invariants();
         self.flush_spans(&spans, params.strategy.name(), start.elapsed());
@@ -951,6 +1175,9 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         let mut next_budget = budgets.iter().copied().peekable();
         let mut controller = self.recall_controller(params);
         let mut batch = Vec::new();
+        // Non-empty candidate batches the filter rejected wholesale (the
+        // MIH analogue of a skipped bucket).
+        let mut batches_skipped: u64 = 0;
 
         while stats.items_evaluated < params.n_candidates {
             if params.time_limit.is_some_and(|tl| start.elapsed() >= tl) {
@@ -989,6 +1216,9 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
             stats.items_evaluated += scratch.flush(query, self.metric, |id, d| topk.push(d, id));
             spans.end(Phase::Evaluate, t);
             trace.end(ts);
+            if filter.is_some() && !batch.is_empty() && stats.items_evaluated == evaluated_before {
+                batches_skipped += 1;
+            }
             if trace.is_sampled() {
                 // MIH enumerates by Hamming radius, not quantization
                 // distance; -1.0 marks QD as unavailable for this batch.
@@ -1033,6 +1263,11 @@ impl<'a, M: HashModel + ?Sized, C: CodeWord> QueryEngine<'a, M, C> {
         let neighbors = topk.into_sorted();
         spans.end(Phase::Rerank, t);
         trace.end(ts);
+        if batches_skipped > 0 {
+            self.metrics
+                .add("gqr_filter_buckets_skipped_total", batches_skipped);
+            trace.marker(troot, MarkerKind::FilterSkip, batches_skipped, 0);
+        }
         #[cfg(debug_assertions)]
         stats.checked_invariants();
         self.flush_spans(&spans, params.strategy.name(), start.elapsed());
@@ -1077,6 +1312,7 @@ impl<M: HashModel + ?Sized, C: CodeWord> QueryEngine<'_, M, C> {
             self.mih.as_ref().map(|h| h.get()),
             self.metric,
             self.recall,
+            self.attrs,
         )
     }
 }

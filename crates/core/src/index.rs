@@ -11,6 +11,7 @@
 //! pair is the only query entry point (the legacy per-feature wrappers
 //! are gone).
 
+use crate::attrs::AttributeStore;
 use crate::code::CodeWord;
 use crate::engine::{QueryEngine, SearchResponse};
 use crate::live::{MutableIndex, ShardedMutableIndex};
@@ -37,6 +38,15 @@ pub trait Index {
 
     /// The metrics registry observing this index.
     fn metrics(&self) -> &MetricsRegistry;
+
+    /// The attribute store backing structured predicates, if one is
+    /// attached. Serving surfaces use this to validate a request's
+    /// [`Predicate`](crate::attrs::Predicate) against the schema before
+    /// submitting it; `None` means predicate-carrying requests cannot be
+    /// answered.
+    fn attrs(&self) -> Option<&AttributeStore> {
+        None
+    }
 }
 
 impl<M: HashModel + ?Sized, C: CodeWord> Index for QueryEngine<'_, M, C> {
@@ -50,6 +60,10 @@ impl<M: HashModel + ?Sized, C: CodeWord> Index for QueryEngine<'_, M, C> {
 
     fn metrics(&self) -> &MetricsRegistry {
         QueryEngine::metrics(self)
+    }
+
+    fn attrs(&self) -> Option<&AttributeStore> {
+        QueryEngine::attrs(self)
     }
 }
 
@@ -65,6 +79,10 @@ impl<M: HashModel + ?Sized + Sync> Index for ShardedIndex<'_, M> {
     fn metrics(&self) -> &MetricsRegistry {
         ShardedIndex::metrics(self)
     }
+
+    fn attrs(&self) -> Option<&AttributeStore> {
+        ShardedIndex::attrs(self)
+    }
 }
 
 impl Index for MultiTableIndex<'_> {
@@ -78,6 +96,10 @@ impl Index for MultiTableIndex<'_> {
 
     fn metrics(&self) -> &MetricsRegistry {
         MultiTableIndex::metrics(self)
+    }
+
+    fn attrs(&self) -> Option<&AttributeStore> {
+        MultiTableIndex::attrs(self)
     }
 }
 
@@ -93,6 +115,10 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> Index for MutableIndex<M, C> 
     fn metrics(&self) -> &MetricsRegistry {
         MutableIndex::metrics(self)
     }
+
+    fn attrs(&self) -> Option<&AttributeStore> {
+        MutableIndex::attrs(self)
+    }
 }
 
 impl<M: HashModel + ?Sized + 'static, C: CodeWord> Index for ShardedMutableIndex<M, C> {
@@ -106,6 +132,10 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> Index for ShardedMutableIndex
 
     fn metrics(&self) -> &MetricsRegistry {
         ShardedMutableIndex::metrics(self)
+    }
+
+    fn attrs(&self) -> Option<&AttributeStore> {
+        ShardedMutableIndex::attrs(self)
     }
 }
 

@@ -49,6 +49,7 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod attrs;
 pub mod batch;
 pub mod code;
 pub mod dispatch;
@@ -69,6 +70,10 @@ pub mod stats;
 pub mod table;
 pub mod topk;
 
+pub use attrs::{
+    AttrError, AttrValue, AttributeStore, AttributeStoreBuilder, Bitmap, Bloom, ColumnKind,
+    FilterPlan, PlanChoice, Predicate, PredicateError,
+};
 pub use code::{hamming, quantization_distance};
 pub use engine::{
     ClientId, ParamError, ProbeStrategy, QueryEngine, SearchParams, SearchParamsBuilder,

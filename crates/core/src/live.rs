@@ -46,6 +46,7 @@
 //! the residue class `id ≡ s (mod S)` — mutations route by `id % S`
 //! without any shared allocator.
 
+use crate::attrs::{AttributeStore, FilterPlan};
 use crate::code::CodeWord;
 use crate::engine::{QueryEngine, SearchResponse};
 use crate::executor::Executor;
@@ -249,6 +250,12 @@ pub struct VersionedStore<M: HashModel + ?Sized, C: CodeWord = u64> {
     /// against a frozen index; mutations drift the distribution, so treat
     /// the model as advisory on a heavily mutated store until recalibrated.
     recall: Option<RecallModel>,
+    /// Attribute store keyed by **external** ids, fixed at build time.
+    /// Rows inserted after the store was built have no attributes and
+    /// match no predicate (the documented missing-attribute semantics);
+    /// rebuild the index to re-attribute. `Arc` so sharded wrappers share
+    /// one copy.
+    attrs: Option<Arc<AttributeStore>>,
 }
 
 impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
@@ -585,7 +592,7 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
         let parts = req.into_parts();
         let (query, mut params) = (parts.query, parts.params);
         let deadline = params.deadline;
-        let mut filter = parts.filter;
+        let filter = parts.filter;
         assert!(
             parts.budgets.is_empty(),
             "checkpoints are not supported on the mutable path"
@@ -599,6 +606,44 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
                     .trace_begin("live", parts.trace || admitted_late);
                 (ctx, SpanId::ROOT, true)
             }
+        };
+        // Predicate → composed filter over **external** ids (the attribute
+        // store outlives mutations; appended rows have no attributes and
+        // match nothing). Tombstone masking wraps this below, so deleted
+        // rows never reach the predicate. No brute arm on the mutable path
+        // — the survivor bitmap acts as a pre-filter.
+        let predicate = parts.predicate;
+        let planned = predicate.as_ref().map(|pred| {
+            let store = self.attrs.as_deref().expect(
+                "request carries a predicate but the mutable index has no attribute \
+                 store (attach one with MutableIndexBuilder::attrs, and validate() first)",
+            );
+            let choice = store.plan(pred, 0);
+            self.metrics.incr(&metric_name(
+                "gqr_filter_plans_total",
+                &[("plan", choice.plan.name())],
+            ));
+            let ppm = (choice.selectivity * 1e6) as u64;
+            self.metrics.record("gqr_filter_selectivity_ppm", ppm);
+            trace.marker(troot, MarkerKind::FilterPlan, choice.plan.tag(), ppm);
+            (store, choice.plan)
+        });
+        let mut filter: Option<Box<dyn FnMut(u32) -> bool + '_>> = match planned {
+            Some((store, plan)) => {
+                let pred = predicate.as_ref().expect("planned implies predicate");
+                let mut user = filter;
+                Some(match plan {
+                    FilterPlan::BruteForce { survivors } | FilterPlan::PreFilter { survivors } => {
+                        Box::new(move |ext: u32| {
+                            survivors.contains(ext) && user.as_deref_mut().is_none_or(|f| f(ext))
+                        })
+                    }
+                    FilterPlan::PostFilter => Box::new(move |ext: u32| {
+                        store.matches(pred, ext) && user.as_deref_mut().is_none_or(|f| f(ext))
+                    }),
+                })
+            }
+            None => filter,
         };
         if let Some(d) = deadline {
             let remaining = d.saturating_duration_since(Instant::now());
@@ -745,6 +790,9 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> VersionedStore<M, C> {
         if let Some(model) = &self.recall {
             sw.add_recall_model(model);
         }
+        if let Some(attrs) = &self.attrs {
+            sw.add_attrs(attrs);
+        }
         sw.write(path)
     }
 }
@@ -855,6 +903,7 @@ pub struct MutableIndexBuilder<M: HashModel + ?Sized, C: CodeWord = u64> {
     compaction_threshold: usize,
     background_compaction: bool,
     recall: Option<RecallModel>,
+    attrs: Option<Arc<AttributeStore>>,
     code: PhantomData<C>,
 }
 
@@ -905,6 +954,15 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> MutableIndexBuilder<M, C> {
     /// and [`MutableIndex::save_snapshot`] persists it.
     pub fn recall_model(mut self, model: RecallModel) -> Self {
         self.recall = Some(model);
+        self
+    }
+
+    /// Attach an attribute store keyed by **external** ids (owned):
+    /// requests carrying a structured
+    /// [`Predicate`](crate::attrs::Predicate) are planned against it. Rows
+    /// inserted after build have no attributes and match no predicate.
+    pub fn attrs(mut self, attrs: AttributeStore) -> Self {
+        self.attrs = Some(Arc::new(attrs));
         self
     }
 
@@ -984,6 +1042,7 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> MutableIndexBuilder<M, C> {
             myself: myself.clone(),
             metrics: self.metrics,
             recall: self.recall,
+            attrs: self.attrs,
         });
         MutableIndex { store }
     }
@@ -1039,6 +1098,7 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> MutableIndex<M, C> {
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             background_compaction: false,
             recall: None,
+            attrs: None,
             code: PhantomData,
         }
     }
@@ -1068,6 +1128,12 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> MutableIndex<M, C> {
     pub fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
         let gen = self.store.pin();
         self.store.run_pinned(&gen, req)
+    }
+
+    /// The attribute store backing structured predicates, if one was
+    /// attached at build time (keyed by external ids).
+    pub fn attrs(&self) -> Option<&AttributeStore> {
+        self.store.attrs.as_deref()
     }
 
     /// Execute one request against an explicitly pinned generation: the
@@ -1317,6 +1383,7 @@ impl<C: CodeWord> MutableIndex<dyn HashModel, C> {
         }
 
         let recall = file.recall_model()?;
+        let attrs = file.attrs()?.map(Arc::new);
         let store = Arc::new_cyclic(|myself| VersionedStore {
             model,
             dim,
@@ -1339,6 +1406,7 @@ impl<C: CodeWord> MutableIndex<dyn HashModel, C> {
             myself: myself.clone(),
             metrics: MetricsRegistry::disabled(),
             recall,
+            attrs,
         });
         Ok(MutableIndex { store })
     }
@@ -1432,6 +1500,7 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> ShardedMutableIndex<M, C> {
                 compaction_threshold: builder.compaction_threshold,
                 background_compaction: builder.background_compaction,
                 recall: builder.recall.clone(),
+                attrs: builder.attrs.clone(),
                 code: PhantomData,
             };
             shards.push(shard_builder.build_with_ids(
@@ -1494,6 +1563,10 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> ShardedMutableIndex<M, C> {
         let (query, params) = (parts.query, parts.params);
         let deadline = params.deadline;
         let mut filter = parts.filter;
+        // Shards speak external ids, and every shard holds the same shared
+        // attribute store — the predicate passes through untouched and
+        // each shard plans it locally.
+        let predicate = parts.predicate;
         assert!(
             parts.budgets.is_empty(),
             "checkpoints are not supported on the sharded path"
@@ -1522,6 +1595,9 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> ShardedMutableIndex<M, C> {
                 if let Some(f) = filter.as_deref_mut() {
                     shard_req = shard_req.filter(|id: u32| f(id));
                 }
+                if let Some(p) = &predicate {
+                    shard_req = shard_req.predicate(p.clone());
+                }
                 let res = shard.run(shard_req);
                 lane.end(shard_span);
                 res
@@ -1538,10 +1614,11 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> ShardedMutableIndex<M, C> {
     }
 
     /// Execute one request by fanning the shards out as one job each on
-    /// `exec`. Filtered requests fall back to the serial path (a `FnMut`
-    /// filter cannot be shared across concurrent shards).
+    /// `exec`. Filtered requests (closure or predicate) fall back to the
+    /// serial path (a `FnMut` filter cannot be shared across concurrent
+    /// shards).
     pub fn run_on(&self, exec: &Executor, req: SearchRequest<'_>) -> SearchResponse {
-        if req.has_filter() {
+        if req.has_filter() || req.has_predicate() {
             return self.run(req);
         }
         let parts = req.into_parts();
@@ -1596,6 +1673,12 @@ impl<M: HashModel + ?Sized + 'static, C: CodeWord> ShardedMutableIndex<M, C> {
             self.metrics.trace_finish(trace, missed);
         }
         merged
+    }
+
+    /// The attribute store backing structured predicates, if one was
+    /// attached at build time (every shard shares the same store).
+    pub fn attrs(&self) -> Option<&AttributeStore> {
+        self.shards.first().and_then(|s| s.attrs())
     }
 }
 
@@ -1925,6 +2008,7 @@ mod tests {
             2,
             None,
             Metric::SquaredEuclidean,
+            None,
             None,
         )
         .unwrap();

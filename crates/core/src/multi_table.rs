@@ -9,6 +9,7 @@
 //! another table are skipped — the de-duplication cost that makes
 //! multi-table setups trade memory for recall.
 
+use crate::attrs::{AttributeStore, FilterPlan};
 use crate::engine::{ProbeStrategy, SearchParams, SearchResponse};
 use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, Phase, PhaseSpans, SpanId};
 use crate::probe::{GenerateHammingRanking, GenerateQdRanking, HammingRanking, Prober, QdRanking};
@@ -28,6 +29,7 @@ pub struct MultiTableIndex<'a> {
     data: &'a [f32],
     dim: usize,
     metrics: MetricsRegistry,
+    attrs: Option<&'a AttributeStore>,
 }
 
 impl<'a> MultiTableIndex<'a> {
@@ -48,6 +50,7 @@ impl<'a> MultiTableIndex<'a> {
             data,
             dim,
             metrics: MetricsRegistry::disabled(),
+            attrs: None,
         }
     }
 
@@ -63,6 +66,19 @@ impl<'a> MultiTableIndex<'a> {
     /// The attached metrics registry (disabled unless one was attached).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Attach an attribute store (builder style): requests carrying a
+    /// structured [`Predicate`](crate::attrs::Predicate) are planned
+    /// against it and composed into the merged probing loop's filter.
+    pub fn with_attrs(mut self, attrs: &'a AttributeStore) -> Self {
+        self.attrs = Some(attrs);
+        self
+    }
+
+    /// The attached attribute store, if any.
+    pub fn attrs(&self) -> Option<&'a AttributeStore> {
+        self.attrs
     }
 
     /// Number of tables.
@@ -99,7 +115,7 @@ impl<'a> MultiTableIndex<'a> {
         let parts = req.into_parts();
         let (query, mut params) = (parts.query, parts.params);
         let deadline = params.deadline;
-        let mut filter = parts.filter;
+        let filter = parts.filter;
         assert!(
             parts.budgets.is_empty(),
             "checkpoints are not supported on the multi-table path"
@@ -113,6 +129,42 @@ impl<'a> MultiTableIndex<'a> {
                     .trace_begin("multi_table", parts.trace || admitted_late);
                 (ctx, SpanId::ROOT, true)
             }
+        };
+        // Predicate → composed filter (same fold as the sharded surface:
+        // no brute arm on a probing merge, so an exact survivor set acts as
+        // a pre-filter and everything else post-filters).
+        let predicate = parts.predicate;
+        let planned = predicate.as_ref().map(|pred| {
+            let store = self.attrs.expect(
+                "request carries a predicate but the multi-table index has no attribute \
+                 store (attach one with with_attrs, and validate() the predicate first)",
+            );
+            let choice = store.plan(pred, 0);
+            self.metrics.incr(&metric_name(
+                "gqr_filter_plans_total",
+                &[("plan", choice.plan.name())],
+            ));
+            let ppm = (choice.selectivity * 1e6) as u64;
+            self.metrics.record("gqr_filter_selectivity_ppm", ppm);
+            trace.marker(troot, MarkerKind::FilterPlan, choice.plan.tag(), ppm);
+            (store, choice.plan)
+        });
+        let mut filter: Option<Box<dyn FnMut(u32) -> bool + '_>> = match planned {
+            Some((store, plan)) => {
+                let pred = predicate.as_ref().expect("planned implies predicate");
+                let mut user = filter;
+                Some(match plan {
+                    FilterPlan::BruteForce { survivors } | FilterPlan::PreFilter { survivors } => {
+                        Box::new(move |id: u32| {
+                            survivors.contains(id) && user.as_deref_mut().is_none_or(|f| f(id))
+                        })
+                    }
+                    FilterPlan::PostFilter => Box::new(move |id: u32| {
+                        store.matches(pred, id) && user.as_deref_mut().is_none_or(|f| f(id))
+                    }),
+                })
+            }
+            None => filter,
         };
         assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
         if let Some(d) = deadline {

@@ -15,7 +15,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic "GQRSNAP\0"
-//! 8       2     format version (u16, currently 4)
+//! 8       2     format version (u16, currently 5)
 //! 10      2     section count (u16)
 //! 12      2     code width in bits (u16: 32, 64, 128, 192, or 256)
 //! 14      2     reserved (zero)
@@ -81,10 +81,16 @@ pub const MAGIC: [u8; 8] = *b"GQRSNAP\0";
 /// four bytes to carry the code width (bits per hash code), enabling
 /// [`CodeWord`] widths beyond `u64`; v4 added the optional
 /// [`SectionKind::RecallModel`] section holding the adaptive recall
-/// controller's calibration tables (header layout unchanged from v3).
-/// Readers accept v2 (implicitly 64-bit) and v3 files in addition to v4 —
-/// the exceptions to the exact-match policy.
-pub const FORMAT_VERSION: u16 = 4;
+/// controller's calibration tables (header layout unchanged from v3); v5
+/// added the optional [`SectionKind::Attributes`] section holding the typed
+/// attribute store behind structured predicate filtering (header layout
+/// again unchanged). Readers accept v2 (implicitly 64-bit), v3, and v4
+/// files in addition to v5 — the exceptions to the exact-match policy.
+pub const FORMAT_VERSION: u16 = 5;
+
+/// The v4 format version, still accepted on read (identical header layout;
+/// predates the attribute-store section).
+pub const FORMAT_VERSION_V4: u16 = 4;
 
 /// The v3 format version, still accepted on read (identical header layout;
 /// predates the recall-model section).
@@ -139,6 +145,10 @@ pub enum SectionKind {
     /// the per-strategy binned trajectory → recall mapping behind
     /// recall-target SLAs. Optional; at most one per snapshot.
     RecallModel = 12,
+    /// The typed attribute store ([`crate::attrs::AttributeStore`]): column
+    /// schemas, row values, and the bitmap/bloom pre-filter structures
+    /// behind structured predicates. Optional; at most one per snapshot.
+    Attributes = 13,
 }
 
 impl SectionKind {
@@ -157,6 +167,7 @@ impl SectionKind {
             SectionKind::DeltaSegment => "delta segment",
             SectionKind::LiveState => "live state",
             SectionKind::RecallModel => "recall model",
+            SectionKind::Attributes => "attribute store",
         }
     }
 
@@ -174,6 +185,7 @@ impl SectionKind {
             10 => SectionKind::DeltaSegment,
             11 => SectionKind::LiveState,
             12 => SectionKind::RecallModel,
+            13 => SectionKind::Attributes,
             _ => return None,
         })
     }
@@ -434,6 +446,13 @@ impl SnapshotWriter {
         self.add_section(SectionKind::RecallModel, w.into_bytes());
     }
 
+    /// Append the typed attribute store (structured-predicate filtering).
+    pub fn add_attrs(&mut self, attrs: &crate::attrs::AttributeStore) {
+        let mut w = ByteWriter::new();
+        attrs.wire_write(&mut w);
+        self.add_section(SectionKind::Attributes, w.into_bytes());
+    }
+
     /// Serialize header + TOC + payloads into one buffer.
     fn encode(&self) -> Vec<u8> {
         let toc_len = self.sections.len() * TOC_ENTRY_BYTES;
@@ -529,8 +548,8 @@ impl SnapshotFile {
     }
 
     /// Validate and slice an in-memory snapshot image. Accepts the current
-    /// v3 layout and the legacy v2 layout (16-byte header, implicit 64-bit
-    /// codes).
+    /// layout (v3 through v5 share it) and the legacy v2 layout (16-byte
+    /// header, implicit 64-bit codes).
     pub fn parse(bytes: &[u8]) -> Result<SnapshotFile, PersistError> {
         if bytes.len() < HEADER_BYTES_V2 {
             if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
@@ -542,7 +561,10 @@ impl SnapshotFile {
             return Err(PersistError::NotASnapshot);
         }
         let version = u16::from_le_bytes([bytes[8], bytes[9]]);
-        if version != FORMAT_VERSION && version != FORMAT_VERSION_V3 && version != FORMAT_VERSION_V2
+        if version != FORMAT_VERSION
+            && version != FORMAT_VERSION_V4
+            && version != FORMAT_VERSION_V3
+            && version != FORMAT_VERSION_V2
         {
             return Err(PersistError::UnsupportedVersion {
                 found: version,
@@ -550,7 +572,7 @@ impl SnapshotFile {
             });
         }
         let n_sections = u16::from_le_bytes([bytes[10], bytes[11]]) as usize;
-        // v2: CRC at offset 12, no width field. v3/v4: width u16 at 12,
+        // v2: CRC at offset 12, no width field. v3+: width u16 at 12,
         // reserved u16 at 14, CRC at 16. Both CRCs cover everything before
         // the CRC field plus the TOC.
         let (header_bytes, crc_at, code_width) = if version == FORMAT_VERSION_V2 {
@@ -755,6 +777,23 @@ impl SnapshotFile {
             .map_err(corrupt(SectionKind::RecallModel))
     }
 
+    /// Decode the attribute-store section, when present (`Ok(None)` for
+    /// snapshots saved without attributes or by older writers).
+    pub fn attrs(&self) -> Result<Option<crate::attrs::AttributeStore>, PersistError> {
+        let Some(bytes) = self.sections_of(SectionKind::Attributes).next() else {
+            return Ok(None);
+        };
+        let mut r = ByteReader::new(bytes);
+        let decode = |r: &mut ByteReader<'_>| -> Result<crate::attrs::AttributeStore, WireError> {
+            let a = crate::attrs::AttributeStore::wire_read(r)?;
+            r.expect_end()?;
+            Ok(a)
+        };
+        decode(&mut r)
+            .map(Some)
+            .map_err(corrupt(SectionKind::Attributes))
+    }
+
     /// Decode the inverted-multi-index section.
     pub fn imi(&self) -> Result<InvertedMultiIndex, PersistError> {
         let bytes = self.section(SectionKind::Imi)?;
@@ -803,6 +842,7 @@ pub struct LoadedIndex<C: CodeWord = u64> {
     metric: Metric,
     shards: Vec<LoadedShard<C>>,
     recall: Option<crate::recall::RecallModel>,
+    attrs: Option<crate::attrs::AttributeStore>,
 }
 
 impl<C: CodeWord> std::fmt::Debug for LoadedIndex<C> {
@@ -857,6 +897,12 @@ impl<C: CodeWord> LoadedIndex<C> {
     pub fn recall_model(&self) -> Option<&crate::recall::RecallModel> {
         self.recall.as_ref()
     }
+
+    /// The typed attribute store, when the snapshot carried one. Keyed by
+    /// global ids (the same id space the neighbor lists use).
+    pub fn attrs(&self) -> Option<&crate::attrs::AttributeStore> {
+        self.attrs.as_ref()
+    }
 }
 
 /// Save a single-engine index (one table, optional MIH) as a one-shard
@@ -872,6 +918,7 @@ pub fn save_index<M: HashModel + ?Sized, C: CodeWord>(
     mih: Option<&MihIndex<C>>,
     metric: Metric,
     recall: Option<&crate::recall::RecallModel>,
+    attrs: Option<&crate::attrs::AttributeStore>,
 ) -> Result<u64, PersistError> {
     let mut w = SnapshotWriter::new();
     w.set_code_width(C::BITS);
@@ -884,6 +931,9 @@ pub fn save_index<M: HashModel + ?Sized, C: CodeWord>(
     }
     if let Some(recall) = recall {
         w.add_recall_model(recall);
+    }
+    if let Some(attrs) = attrs {
+        w.add_attrs(attrs);
     }
     w.write(path)
 }
@@ -988,6 +1038,14 @@ pub(crate) fn assemble_index<C: CodeWord>(
         });
     }
     let recall = file.recall_model()?;
+    let attrs = file.attrs()?;
+    if let Some(a) = &attrs {
+        if a.n_items() > total_rows {
+            return Err(PersistError::Inconsistent {
+                detail: "attribute store covers more rows than the vectors section",
+            });
+        }
+    }
     Ok(LoadedIndex {
         model,
         data,
@@ -995,6 +1053,7 @@ pub(crate) fn assemble_index<C: CodeWord>(
         metric,
         shards,
         recall,
+        attrs,
     })
 }
 
@@ -1018,6 +1077,9 @@ impl<'a, C: CodeWord> QueryEngine<'a, dyn HashModel + 'a, C> {
         }
         if let Some(recall) = snap.recall_model() {
             engine = engine.with_recall_model(recall);
+        }
+        if let Some(attrs) = snap.attrs() {
+            engine = engine.with_attrs(attrs);
         }
         Ok(engine)
     }

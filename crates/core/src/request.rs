@@ -36,6 +36,7 @@
 //! assert!(result.ids.iter().all(|&id| id % 2 == 0));
 //! ```
 
+use crate::attrs::Predicate;
 use crate::engine::SearchParams;
 use gqr_metrics::{SpanId, TraceContext};
 use std::time::Instant;
@@ -54,6 +55,7 @@ pub struct SearchRequest<'a> {
     params: SearchParams,
     budgets: &'a [usize],
     filter: Option<SearchFilter<'a>>,
+    predicate: Option<Predicate>,
     trace: bool,
     trace_parent: Option<(TraceContext, SpanId)>,
 }
@@ -66,6 +68,7 @@ impl<'a> SearchRequest<'a> {
             params: SearchParams::default(),
             budgets: &[],
             filter: None,
+            predicate: None,
             trace: false,
             trace_parent: None,
         }
@@ -92,6 +95,20 @@ impl<'a> SearchRequest<'a> {
     /// to mask tombstoned rows at evaluate time.
     pub fn filter(mut self, filter: impl FnMut(u32) -> bool + 'a) -> Self {
         self.filter = Some(Box::new(filter));
+        self
+    }
+
+    /// Restrict the search with a structured [`Predicate`] over the index's
+    /// attribute store. Unlike the closure [`SearchRequest::filter`] (which
+    /// is always evaluated per item), a predicate is *planned*: the engine
+    /// estimates its selectivity from the store's posting lists and picks
+    /// pre-filtering, post-filtering, or brute force over the survivor set.
+    /// Requires the execution surface to hold an
+    /// [`AttributeStore`](crate::attrs::AttributeStore); validate with
+    /// [`AttributeStore::validate`](crate::attrs::AttributeStore::validate)
+    /// first. A closure filter may be set alongside — both must accept.
+    pub fn predicate(mut self, predicate: Predicate) -> Self {
+        self.predicate = Some(predicate);
         self
     }
 
@@ -150,6 +167,16 @@ impl<'a> SearchRequest<'a> {
         self.filter.is_some()
     }
 
+    /// Whether the request carries a structured predicate.
+    pub fn has_predicate(&self) -> bool {
+        self.predicate.is_some()
+    }
+
+    /// The structured predicate, if any.
+    pub fn predicate_ref(&self) -> Option<&Predicate> {
+        self.predicate.as_ref()
+    }
+
     /// The absolute deadline, if any (stored on the params).
     pub fn deadline_at(&self) -> Option<Instant> {
         self.params.deadline
@@ -162,6 +189,7 @@ impl<'a> SearchRequest<'a> {
             params: self.params,
             budgets: self.budgets,
             filter: self.filter,
+            predicate: self.predicate,
             trace: self.trace,
             trace_parent: self.trace_parent,
         }
@@ -176,6 +204,8 @@ pub(crate) struct RequestParts<'a> {
     pub params: SearchParams,
     pub budgets: &'a [usize],
     pub filter: Option<SearchFilter<'a>>,
+    /// The structured predicate (owned — it crossed the wire).
+    pub predicate: Option<Predicate>,
     /// The request's explicit trace opt-in.
     pub trace: bool,
     /// An already-open trace to emit under instead of starting one.
@@ -189,6 +219,7 @@ impl std::fmt::Debug for SearchRequest<'_> {
             .field("params", &self.params)
             .field("checkpoints", &self.budgets.len())
             .field("filtered", &self.filter.is_some())
+            .field("predicate", &self.predicate)
             .field("deadline", &self.params.deadline)
             .finish()
     }

@@ -16,6 +16,7 @@
 //! family (phase spans labelled `{shard, strategy}`) and the merge through
 //! `gqr_sharded_*`.
 
+use crate::attrs::{AttributeStore, FilterPlan};
 use crate::engine::{QueryEngine, SearchParams, SearchResponse};
 use crate::executor::Executor;
 use crate::metrics::{metric_name, MarkerKind, MetricsRegistry, SpanId, TraceContext};
@@ -68,6 +69,7 @@ pub struct ShardedIndex<'a, M: HashModel + ?Sized> {
     shards: Vec<Shard<'a>>,
     metrics: MetricsRegistry,
     recall: Option<&'a RecallModel>,
+    attrs: Option<&'a AttributeStore>,
 }
 
 /// Why a [`ShardedIndexBuilder`] refused to build.
@@ -260,6 +262,7 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
             shards,
             metrics: MetricsRegistry::disabled(),
             recall: None,
+            attrs: None,
         }
     }
 
@@ -295,6 +298,9 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
         if let Some(model) = self.recall {
             w.add_recall_model(model);
         }
+        if let Some(attrs) = self.attrs {
+            w.add_attrs(attrs);
+        }
         w.write(path)
     }
 
@@ -326,6 +332,20 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
     /// The attached recall calibration model, if any.
     pub fn recall_model(&self) -> Option<&'a RecallModel> {
         self.recall
+    }
+
+    /// Attach an attribute store keyed by **global** item ids (builder
+    /// style): requests carrying a structured
+    /// [`Predicate`](crate::attrs::Predicate) are planned once at the
+    /// fan-out level and composed into the per-shard filters.
+    pub fn with_attrs(mut self, attrs: &'a AttributeStore) -> Self {
+        self.attrs = Some(attrs);
+        self
+    }
+
+    /// The attached attribute store, if any.
+    pub fn attrs(&self) -> Option<&'a AttributeStore> {
+        self.attrs
     }
 
     /// Build each shard's multi-index-hashing side index (required before
@@ -389,7 +409,7 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
         let parts = req.into_parts();
         let (query, mut params) = (parts.query, parts.params);
         let deadline = params.deadline;
-        let mut filter = parts.filter;
+        let filter = parts.filter;
         assert!(
             parts.budgets.is_empty(),
             "checkpoints are not supported on the sharded path"
@@ -405,6 +425,44 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
             }
         };
         fold_deadline(&mut params, deadline);
+        // A predicate is planned once here, over global ids, and becomes
+        // part of the composed filter every shard engine sees. The brute
+        // arm doesn't exist at this level (each shard probes its own
+        // table), so the planner runs with a zero brute budget: an exact
+        // survivor set acts as a pre-filter, anything else post-filters.
+        let predicate = parts.predicate;
+        let planned = predicate.as_ref().map(|pred| {
+            let store = self.attrs.expect(
+                "request carries a predicate but the sharded index has no attribute \
+                 store (attach one with with_attrs, and validate() the predicate first)",
+            );
+            let choice = store.plan(pred, 0);
+            self.metrics.incr(&metric_name(
+                "gqr_filter_plans_total",
+                &[("plan", choice.plan.name())],
+            ));
+            let ppm = (choice.selectivity * 1e6) as u64;
+            self.metrics.record("gqr_filter_selectivity_ppm", ppm);
+            trace.marker(troot, MarkerKind::FilterPlan, choice.plan.tag(), ppm);
+            (store, choice.plan)
+        });
+        let mut keep: Option<Box<dyn FnMut(u32) -> bool + '_>> = match planned {
+            Some((store, plan)) => {
+                let pred = predicate.as_ref().expect("planned implies predicate");
+                let mut user = filter;
+                Some(match plan {
+                    FilterPlan::BruteForce { survivors } | FilterPlan::PreFilter { survivors } => {
+                        Box::new(move |id: u32| {
+                            survivors.contains(id) && user.as_deref_mut().is_none_or(|f| f(id))
+                        })
+                    }
+                    FilterPlan::PostFilter => Box::new(move |id: u32| {
+                        store.matches(pred, id) && user.as_deref_mut().is_none_or(|f| f(id))
+                    }),
+                })
+            }
+            None => filter,
+        };
         let start = Instant::now();
         let fanout = trace.begin_arg(troot, "fanout", self.shards.len() as u64);
         let mut shard_results = Vec::with_capacity(self.shards.len());
@@ -417,7 +475,7 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
             let mut shard_req = SearchRequest::new(query)
                 .params(params)
                 .with_trace_parent(lane.clone(), shard_span);
-            if let Some(f) = filter.as_deref_mut() {
+            if let Some(f) = keep.as_deref_mut() {
                 // Shard engines see local ids; the caller's filter speaks
                 // global ids.
                 shard_req = shard_req.filter(move |local: u32| f(local + offset));
@@ -442,10 +500,11 @@ impl<'a, M: HashModel + ?Sized> ShardedIndex<'a, M> {
     /// semantics (including the merged result), with the per-shard searches
     /// running on the executor's persistent workers.
     ///
-    /// Filtered requests fall back to the serial path: a `FnMut` filter
-    /// cannot be shared across concurrently-searching shards.
+    /// Filtered requests (closure or predicate) fall back to the serial
+    /// path: a `FnMut` filter cannot be shared across
+    /// concurrently-searching shards.
     pub fn run_on(&self, exec: &Executor, req: SearchRequest<'_>) -> SearchResponse {
-        if req.has_filter() {
+        if req.has_filter() || req.has_predicate() {
             return self.run(req);
         }
         let parts = req.into_parts();
@@ -615,6 +674,7 @@ impl<'a> ShardedIndex<'a, dyn HashModel + 'a> {
             shards,
             metrics: MetricsRegistry::disabled(),
             recall: snap.recall_model(),
+            attrs: snap.attrs(),
         }
     }
 }

@@ -1,0 +1,160 @@
+//! Name-pinning tests for the filtered-search observability surface.
+//!
+//! Dashboards and alert rules key on the literal metric names, so a rename
+//! is a breaking change: these tests spell out every `gqr_filter_*` name
+//! (and label set) the engine emits, one assertion per planner arm, plus
+//! the trace markers (`filter_plan`, `filter_skip`) a sampled trace carries.
+
+use gqr_core::attrs::{AttributeStore, Predicate};
+use gqr_core::engine::{ProbeStrategy, QueryEngine, SearchParams};
+use gqr_core::metrics::{EventData, MarkerKind, MetricsRegistry, TraceConfig};
+use gqr_core::request::SearchRequest;
+use gqr_core::table::HashTable;
+use gqr_l2h::lsh::Lsh;
+
+const N: usize = 2000;
+const DIM: usize = 2;
+
+fn fixture() -> (Vec<f32>, Lsh, AttributeStore) {
+    let mut data = Vec::new();
+    for i in 0..N as u32 {
+        data.push((i % 40) as f32 + 0.001 * (i % 7) as f32);
+        data.push((i / 40) as f32);
+    }
+    let model = Lsh::train(&data, DIM, 10, 3).unwrap();
+    let attrs = AttributeStore::builder(N)
+        // 50% selectivity with postings: the pre-filter arm at tight budgets.
+        .tag_column(
+            "parity",
+            (0..N)
+                .map(|i| if i % 2 == 0 { "even" } else { "odd" })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+        // 10% selectivity with postings: small survivor sets -> brute arm.
+        .int_column("bucket", (0..N).map(|i| (i % 10) as i64).collect())
+        .unwrap()
+        // 2000 distinct values: above the postings cap, bloom-only, so
+        // eq() has no exact bitmap and the planner must post-filter.
+        .int_column("uid", (0..N).map(|i| i as i64).collect())
+        .unwrap()
+        .build();
+    (data, model, attrs)
+}
+
+fn params() -> SearchParams {
+    SearchParams {
+        k: 5,
+        n_candidates: 300,
+        strategy: ProbeStrategy::GenerateQdRanking,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn filter_metric_names_are_pinned_per_arm() {
+    let (data, model, attrs) = fixture();
+    let table: HashTable = HashTable::build(&model, &data, DIM);
+    let metrics = MetricsRegistry::enabled();
+    let engine = QueryEngine::new(&model, &table, &data, DIM)
+        .with_metrics(metrics.clone())
+        .with_attrs(&attrs);
+    let query = vec![10.0, 10.0];
+
+    // An unfiltered query must not touch any gqr_filter_* series.
+    engine.search(&query, &params());
+    for name in metrics.counter_names() {
+        assert!(
+            !name.starts_with("gqr_filter_"),
+            "unfiltered search leaked {name}"
+        );
+    }
+    assert!(!metrics
+        .histogram_names()
+        .iter()
+        .any(|n| n == "gqr_filter_selectivity_ppm"));
+
+    // brute: eq bucket=3 has 200 survivors, under the 300-candidate budget.
+    let r = engine.run(
+        SearchRequest::new(&query)
+            .params(params())
+            .predicate(Predicate::eq("bucket", 3i64)),
+    );
+    assert!(!r.is_empty());
+    // pre: eq parity=even has 1000 survivors at selectivity 0.5 — too many
+    // to brute-force, exactly at the pre-filter ceiling.
+    engine.run(
+        SearchRequest::new(&query)
+            .params(params())
+            .predicate(Predicate::eq("parity", "even")),
+    );
+    // post: uid is bloom-only (no postings), so no exact survivor set.
+    engine.run(
+        SearchRequest::new(&query)
+            .params(params())
+            .predicate(Predicate::eq("uid", 3i64)),
+    );
+
+    assert_eq!(
+        metrics.counter_value("gqr_filter_plans_total{plan=\"brute\"}"),
+        Some(1)
+    );
+    assert_eq!(
+        metrics.counter_value("gqr_filter_plans_total{plan=\"pre\"}"),
+        Some(1)
+    );
+    assert_eq!(
+        metrics.counter_value("gqr_filter_plans_total{plan=\"post\"}"),
+        Some(1)
+    );
+    let hist = metrics
+        .histogram("gqr_filter_selectivity_ppm")
+        .expect("selectivity histogram must exist under its pinned name");
+    assert_eq!(hist.count(), 3, "one selectivity sample per filtered query");
+
+    // The post-filter query above matched a single row out of 2000: every
+    // other probed bucket was rejected wholesale and must be counted.
+    let skipped = metrics
+        .counter_value("gqr_filter_buckets_skipped_total")
+        .expect("buckets-skipped counter must exist under its pinned name");
+    assert!(skipped > 0, "a 1-in-2000 filter must skip whole buckets");
+}
+
+#[test]
+fn filtered_query_trace_carries_plan_and_skip_markers() {
+    let (data, model, attrs) = fixture();
+    let table: HashTable = HashTable::build(&model, &data, DIM);
+    let metrics = MetricsRegistry::enabled();
+    metrics.enable_tracing(TraceConfig {
+        sample_every: u64::MAX,
+        ..TraceConfig::default()
+    });
+    let engine = QueryEngine::new(&model, &table, &data, DIM)
+        .with_metrics(metrics.clone())
+        .with_attrs(&attrs);
+    let query = vec![10.0, 10.0];
+    engine.search(&query, &params()); // burn ordinal 0 (always sampled)
+    let res = engine.run(
+        SearchRequest::new(&query)
+            .params(params())
+            .predicate(Predicate::eq("uid", 3i64))
+            .trace(),
+    );
+    assert_eq!(res.ids, vec![3], "only row 3 survives eq(uid, 3)");
+
+    let tracing = metrics.tracing().unwrap();
+    let store = tracing.store();
+    let traces = store.recent();
+    let t = traces.last().expect("opt-in trace must be recorded");
+    t.check_well_formed().unwrap();
+    let has = |kind: MarkerKind| {
+        t.events
+            .iter()
+            .any(|e| matches!(&e.data, EventData::Marker { kind: k, .. } if *k == kind))
+    };
+    assert!(has(MarkerKind::FilterPlan), "filter_plan marker missing");
+    assert!(
+        has(MarkerKind::FilterSkip),
+        "filter_skip marker missing: a 1-in-2000 filter skips buckets"
+    );
+}

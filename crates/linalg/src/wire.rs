@@ -302,7 +302,7 @@ impl<'a> ByteReader<'a> {
 
     /// Read a length prefix for elements of `elem_size` bytes, validating it
     /// against the remaining buffer before any allocation happens.
-    fn get_len(&mut self, elem_size: usize) -> Result<usize, WireError> {
+    pub fn get_len(&mut self, elem_size: usize) -> Result<usize, WireError> {
         let len = self.get_usize()?;
         let bytes = len
             .checked_mul(elem_size)

@@ -84,6 +84,13 @@ pub enum MarkerKind {
     /// The adaptive recall controller stopped the search: `a` = probe units
     /// issued, `b` = predicted recall in thousandths.
     RecallStop,
+    /// The filter planner chose an execution arm: `a` = arm tag
+    /// (0 = brute-force-over-bitmap, 1 = pre-filter, 2 = post-filter),
+    /// `b` = estimated selectivity in parts per million.
+    FilterPlan,
+    /// Filtering skipped whole buckets (every item rejected before any
+    /// distance was computed): `a` = buckets skipped this query.
+    FilterSkip,
 }
 
 impl MarkerKind {
@@ -98,6 +105,8 @@ impl MarkerKind {
             MarkerKind::CompactionBegin => "compaction_begin",
             MarkerKind::CompactionEnd => "compaction_end",
             MarkerKind::RecallStop => "recall_stop",
+            MarkerKind::FilterPlan => "filter_plan",
+            MarkerKind::FilterSkip => "filter_skip",
         }
     }
 }

@@ -447,9 +447,33 @@ fn handle_search(
     params.client_id = Some(client);
 
     let index = shared.index;
+    // Validate the filter against the served schema before admitting any
+    // work: unknown columns, type mismatches, and filters against an index
+    // with no attribute store are all client errors, not query failures.
+    if let Some(pred) = &decoded.filter {
+        let Some(store) = index.attrs() else {
+            return respond_error(
+                shared,
+                stream,
+                400,
+                "this index has no attribute store; \"filter\" is not supported",
+                None,
+                close,
+            );
+        };
+        if let Err(e) = store.validate(pred) {
+            let msg = format!("invalid \"filter\": {e}");
+            return respond_error(shared, stream, 400, &msg, None, close);
+        }
+    }
     let query = decoded.query;
+    let filter = decoded.filter;
     let ticket = match shared.exec.try_submit_with_deadline(deadline, move || {
-        index.run(SearchRequest::new(&query).params(params))
+        let mut req = SearchRequest::new(&query).params(params);
+        if let Some(pred) = filter {
+            req = req.predicate(pred);
+        }
+        index.run(req)
     }) {
         Ok(t) => t,
         Err(SubmitError::QueueFull) => {

@@ -10,7 +10,11 @@
 //!   "strategy": "GQR",
 //!   "mih_blocks": 2,
 //!   "early_stop": false,
-//!   "timeout_ms": 50
+//!   "timeout_ms": 50,
+//!   "filter": {"op": "and", "args": [
+//!     {"op": "eq", "column": "color", "value": "red"},
+//!     {"op": "range", "column": "price", "min": 10, "max": 99}
+//!   ]}
 //! }
 //! ```
 //!
@@ -26,6 +30,16 @@
 //! `recall_target` (a number in `(0, 1]`, optional `recall_margin` ≥ 0)
 //! switches the engine to adaptive termination against the served index's
 //! calibrated recall model; it is mutually exclusive with `candidates`.
+//!
+//! `filter` is a structured predicate over the index's attribute columns,
+//! a tree of `{"op": ...}` objects: `eq` (`column`, `value`), `in`
+//! (`column`, `values`, non-empty), `range` (`column`, inclusive `min`
+//! and/or `max`, integers only), `and` / `or` (`args`, non-empty), and
+//! `not` (`arg`). Values are JSON integers for `int` columns and strings
+//! for `tag` columns. The decode is fail-closed — unknown ops, unknown
+//! keys inside a filter node, wrong value types, and empty clauses are all
+//! 400s — and the server additionally validates column names and types
+//! against the served index's schema before running anything.
 //!
 //! Response body:
 //!
@@ -52,7 +66,7 @@
 
 use crate::json::{parse, Json};
 use gqr_core::engine::{ParamError, ProbeStrategy, SearchParams};
-use gqr_core::SearchResponse;
+use gqr_core::{AttrValue, Predicate, SearchResponse};
 use std::time::Duration;
 
 /// Decoded `POST /search` body, ready to become a [`SearchParams`].
@@ -78,6 +92,8 @@ pub struct WireRequest {
     pub recall_target: Option<f32>,
     /// Confidence margin stacked on `recall_target`.
     pub recall_margin: Option<f32>,
+    /// Structured attribute predicate, when the client sent a `filter`.
+    pub filter: Option<Predicate>,
 }
 
 /// Why a request body was rejected (always maps to HTTP 400).
@@ -101,6 +117,190 @@ fn bad(message: impl Into<String>) -> WireError {
     }
 }
 
+/// JSON integer in the i64 range (exact; rejects fractions and values
+/// beyond 2^53 where `f64` loses integer precision).
+fn as_i64(value: &Json) -> Option<i64> {
+    match value {
+        Json::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
+        _ => None,
+    }
+}
+
+/// Decode one predicate leaf value: JSON integers become
+/// [`AttrValue::Int`], strings become [`AttrValue::Str`].
+fn decode_attr_value(value: &Json, ctx: &str) -> Result<AttrValue, WireError> {
+    if let Some(n) = as_i64(value) {
+        return Ok(AttrValue::Int(n));
+    }
+    if let Some(s) = value.as_str() {
+        return Ok(AttrValue::Str(s.to_string()));
+    }
+    Err(bad(format!("{ctx} must be an integer or a string")))
+}
+
+/// Decode a `filter` JSON node into a [`Predicate`], fail-closed: every
+/// node needs an `"op"`, carries exactly the keys its op defines, and the
+/// decoded tree re-runs the structural checks (non-empty clauses, bounded
+/// nesting). Schema validation against a concrete store happens later,
+/// server-side.
+pub fn decode_predicate(value: &Json) -> Result<Predicate, WireError> {
+    let pred = decode_predicate_node(value)?;
+    pred.check_shape().map_err(|e| bad(e.to_string()))?;
+    Ok(pred)
+}
+
+fn decode_predicate_node(value: &Json) -> Result<Predicate, WireError> {
+    let members = match value {
+        Json::Obj(members) => members,
+        _ => return Err(bad("\"filter\" nodes must be JSON objects")),
+    };
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("\"filter\" nodes need a string \"op\""))?;
+    let allowed: &[&str] = match op {
+        "eq" => &["op", "column", "value"],
+        "in" => &["op", "column", "values"],
+        "range" => &["op", "column", "min", "max"],
+        "and" | "or" => &["op", "args"],
+        "not" => &["op", "arg"],
+        other => {
+            return Err(bad(format!(
+                "unknown filter op \"{other}\" (expected eq, in, range, and, or, or not)"
+            )))
+        }
+    };
+    for (key, _) in members {
+        if !allowed.contains(&key.as_str()) {
+            return Err(bad(format!("unknown key \"{key}\" in \"{op}\" filter")));
+        }
+    }
+    let column = || {
+        value
+            .get("column")
+            .and_then(Json::as_str)
+            .filter(|c| !c.is_empty())
+            .map(str::to_string)
+            .ok_or_else(|| {
+                bad(format!(
+                    "\"{op}\" filter needs a non-empty string \"column\""
+                ))
+            })
+    };
+    match op {
+        "eq" => {
+            let v = value
+                .get("value")
+                .ok_or_else(|| bad("\"eq\" filter needs a \"value\""))?;
+            Ok(Predicate::Eq {
+                column: column()?,
+                value: decode_attr_value(v, "\"eq\" \"value\"")?,
+            })
+        }
+        "in" => {
+            let items = value
+                .get("values")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("\"in\" filter needs an array \"values\""))?;
+            let values = items
+                .iter()
+                .map(|v| decode_attr_value(v, "\"in\" values"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Predicate::is_in(column()?, values).map_err(|e| bad(e.to_string()))
+        }
+        "range" => {
+            let bound = |key: &str| -> Result<Option<i64>, WireError> {
+                match value.get(key) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(v) => as_i64(v)
+                        .map(Some)
+                        .ok_or_else(|| bad(format!("\"range\" \"{key}\" must be an integer"))),
+                }
+            };
+            let (min, max) = (bound("min")?, bound("max")?);
+            Predicate::range(column()?, min, max).map_err(|e| bad(e.to_string()))
+        }
+        "and" | "or" => {
+            let items = value
+                .get("args")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad(format!("\"{op}\" filter needs an array \"args\"")))?;
+            let args = items
+                .iter()
+                .map(decode_predicate_node)
+                .collect::<Result<Vec<_>, _>>()?;
+            if op == "and" {
+                Predicate::and(args).map_err(|e| bad(e.to_string()))
+            } else {
+                Predicate::or(args).map_err(|e| bad(e.to_string()))
+            }
+        }
+        "not" => {
+            let arg = value
+                .get("arg")
+                .ok_or_else(|| bad("\"not\" filter needs an \"arg\""))?;
+            Ok(Predicate::negate(decode_predicate_node(arg)?))
+        }
+        _ => unreachable!("op already matched against the allowed set"),
+    }
+}
+
+/// Encode a [`Predicate`] back into the wire JSON shape
+/// ([`decode_predicate`]'s inverse). The CLI uses this to build request
+/// bodies from parsed `--filter` expressions.
+pub fn encode_predicate(pred: &Predicate) -> Json {
+    let value_json = |v: &AttrValue| match v {
+        AttrValue::Int(n) => Json::Num(*n as f64),
+        AttrValue::Str(s) => Json::Str(s.clone()),
+    };
+    match pred {
+        Predicate::Eq { column, value } => Json::Obj(vec![
+            ("op".into(), Json::Str("eq".into())),
+            ("column".into(), Json::Str(column.clone())),
+            ("value".into(), value_json(value)),
+        ]),
+        Predicate::In { column, values } => Json::Obj(vec![
+            ("op".into(), Json::Str("in".into())),
+            ("column".into(), Json::Str(column.clone())),
+            (
+                "values".into(),
+                Json::Arr(values.iter().map(value_json).collect()),
+            ),
+        ]),
+        Predicate::Range { column, min, max } => {
+            let mut members = vec![
+                ("op".into(), Json::Str("range".into())),
+                ("column".into(), Json::Str(column.clone())),
+            ];
+            if let Some(lo) = min {
+                members.push(("min".into(), Json::Num(*lo as f64)));
+            }
+            if let Some(hi) = max {
+                members.push(("max".into(), Json::Num(*hi as f64)));
+            }
+            Json::Obj(members)
+        }
+        Predicate::And(args) | Predicate::Or(args) => {
+            let op = if matches!(pred, Predicate::And(_)) {
+                "and"
+            } else {
+                "or"
+            };
+            Json::Obj(vec![
+                ("op".into(), Json::Str(op.into())),
+                (
+                    "args".into(),
+                    Json::Arr(args.iter().map(encode_predicate).collect()),
+                ),
+            ])
+        }
+        Predicate::Not(arg) => Json::Obj(vec![
+            ("op".into(), Json::Str("not".into())),
+            ("arg".into(), encode_predicate(arg)),
+        ]),
+    }
+}
+
 /// Decode and validate a `POST /search` body.
 pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
     let doc = parse(body).map_err(|e| bad(e.to_string()))?;
@@ -118,6 +318,7 @@ pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
     let mut timeout = None;
     let mut recall_target = None;
     let mut recall_margin = None;
+    let mut filter = None;
     for (key, value) in members {
         match key.as_str() {
             "query" => {
@@ -196,6 +397,9 @@ pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
                     .ok_or_else(|| bad("\"recall_margin\" must be a non-negative number"))?;
                 recall_margin = Some(m as f32);
             }
+            "filter" => {
+                filter = Some(decode_predicate(value)?);
+            }
             other => return Err(bad(format!("unknown field \"{other}\""))),
         }
     }
@@ -238,6 +442,7 @@ pub fn decode_search(body: &[u8]) -> Result<WireRequest, WireError> {
         timeout,
         recall_target,
         recall_margin,
+        filter,
     })
 }
 
@@ -387,6 +592,120 @@ mod tests {
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn decodes_a_nested_filter() {
+        let body = br#"{"query":[1],"k":3,"filter":{"op":"and","args":[
+            {"op":"eq","column":"color","value":"red"},
+            {"op":"range","column":"price","min":10,"max":99},
+            {"op":"not","arg":{"op":"in","column":"size","values":["s","m"]}}
+        ]}}"#;
+        let req = decode_search(body).unwrap();
+        let pred = req.filter.expect("filter decoded");
+        let Predicate::And(args) = &pred else {
+            panic!("expected And, got {pred:?}");
+        };
+        assert_eq!(args.len(), 3);
+        assert_eq!(
+            args[0],
+            Predicate::Eq {
+                column: "color".into(),
+                value: AttrValue::Str("red".into()),
+            }
+        );
+        assert_eq!(
+            args[1],
+            Predicate::Range {
+                column: "price".into(),
+                min: Some(10),
+                max: Some(99),
+            }
+        );
+        assert!(matches!(&args[2], Predicate::Not(_)));
+    }
+
+    #[test]
+    fn filter_encoding_round_trips() {
+        let pred = Predicate::and(vec![
+            Predicate::Eq {
+                column: "color".into(),
+                value: AttrValue::Str("red".into()),
+            },
+            Predicate::Or(vec![
+                Predicate::Range {
+                    column: "price".into(),
+                    min: None,
+                    max: Some(42),
+                },
+                Predicate::In {
+                    column: "price".into(),
+                    values: vec![AttrValue::Int(-7), AttrValue::Int(1000)],
+                },
+            ]),
+            Predicate::negate(Predicate::Eq {
+                column: "price".into(),
+                value: AttrValue::Int(0),
+            }),
+        ])
+        .unwrap();
+        let encoded = encode_predicate(&pred);
+        // Golden wire shape: op-discriminated objects all the way down.
+        assert_eq!(
+            encoded.to_string(),
+            concat!(
+                r#"{"op":"and","args":[{"op":"eq","column":"color","value":"red"},"#,
+                r#"{"op":"or","args":[{"op":"range","column":"price","max":42},"#,
+                r#"{"op":"in","column":"price","values":[-7,1000]}]},"#,
+                r#"{"op":"not","arg":{"op":"eq","column":"price","value":0}}]}"#
+            )
+        );
+        let back = decode_predicate(&encoded).unwrap();
+        assert_eq!(back, pred);
+    }
+
+    #[test]
+    fn rejects_bad_filters() {
+        for (filter, needle) in [
+            (r#"[1]"#, "object"),
+            (r#"{"column":"c","value":1}"#, "op"),
+            (r#"{"op":"between","column":"c"}"#, "unknown filter op"),
+            (r#"{"op":"eq","column":"c","value":1,"bogus":2}"#, "bogus"),
+            (r#"{"op":"eq","column":"","value":1}"#, "column"),
+            (r#"{"op":"eq","column":"c"}"#, "value"),
+            (r#"{"op":"eq","column":"c","value":1.5}"#, "integer"),
+            (r#"{"op":"eq","column":"c","value":true}"#, "integer"),
+            (r#"{"op":"in","column":"c","values":[]}"#, "at least one"),
+            (r#"{"op":"range","column":"c"}"#, "at least one of"),
+            (r#"{"op":"range","column":"c","min":5,"max":1}"#, "exceeds"),
+            (r#"{"op":"range","column":"c","min":0.5}"#, "integer"),
+            (r#"{"op":"and","args":[]}"#, "at least one"),
+            (r#"{"op":"or","args":1}"#, "args"),
+            (r#"{"op":"not"}"#, "arg"),
+        ] {
+            let body = format!(r#"{{"query":[1],"k":3,"filter":{filter}}}"#);
+            let err = decode_search(body.as_bytes()).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{filter}: expected {needle:?} in {:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn filter_nesting_depth_is_bounded() {
+        let mut filter = r#"{"op":"eq","column":"c","value":1}"#.to_string();
+        for _ in 0..Predicate::MAX_DEPTH {
+            filter = format!(r#"{{"op":"not","arg":{filter}}}"#);
+        }
+        let body = format!(r#"{{"query":[1],"k":3,"filter":{filter}}}"#);
+        let err = decode_search(body.as_bytes()).unwrap_err();
+        assert!(
+            err.message.contains("nesting"),
+            "expected depth rejection, got {:?}",
+            err.message
+        );
     }
 
     #[test]

@@ -69,6 +69,78 @@ fn post_search(
     exchange(addr, raw.as_bytes())
 }
 
+/// Like [`static_index`], but with an attribute store attached: `parity`
+/// tags alternate even/odd, `idx` holds each row's id as an integer.
+fn static_filtered_index(n: u32, metrics: MetricsRegistry) -> &'static (dyn Index + Sync) {
+    let mut data = Vec::new();
+    for i in 0..n {
+        data.push((i % 50) as f32 + 0.01 * (i as f32).sin());
+        data.push((i / 50) as f32);
+    }
+    let data: &'static [f32] = Vec::leak(data);
+    let model: &'static Pcah = Box::leak(Box::new(Pcah::train(data, 2, 2).unwrap()));
+    let table: &'static HashTable = Box::leak(Box::new(HashTable::build(model, data, 2)));
+    let attrs = gqr_core::AttributeStore::builder(n as usize)
+        .tag_column(
+            "parity",
+            (0..n)
+                .map(|i| if i % 2 == 0 { "even" } else { "odd" })
+                .collect(),
+        )
+        .unwrap()
+        .int_column("idx", (0..n as i64).collect())
+        .unwrap()
+        .build();
+    let attrs: &'static gqr_core::AttributeStore = Box::leak(Box::new(attrs));
+    let engine = QueryEngine::new(model, table, data, 2)
+        .with_metrics(metrics)
+        .with_attrs(attrs);
+    Box::leak(Box::new(engine))
+}
+
+#[test]
+fn filtered_search_over_http_honors_the_predicate() {
+    let index = static_filtered_index(2500, MetricsRegistry::enabled());
+    let server = Server::start(index, ServerConfig::default()).expect("bind");
+    let body = concat!(
+        r#"{"query":[25.0,25.0],"k":10,"candidates":2000,"filter":"#,
+        r#"{"op":"and","args":[{"op":"eq","column":"parity","value":"even"},"#,
+        r#"{"op":"range","column":"idx","min":100,"max":2000}]}}"#
+    );
+    let (status, _, resp) = post_search(server.addr(), body, None);
+    assert_eq!(status, 200, "{resp}");
+    let doc = gqr_serve::json::parse(resp.as_bytes()).unwrap();
+    let ids = doc.get("ids").unwrap().as_array().unwrap();
+    assert_eq!(ids.len(), 10);
+    for id in ids {
+        let id = id.as_u64().unwrap();
+        assert!(id % 2 == 0, "odd id {id} leaked through the filter");
+        assert!((100..=2000).contains(&id), "id {id} outside the range");
+    }
+    // Schema violations are typed 400s, not query failures.
+    let (status, _, resp) = post_search(
+        server.addr(),
+        r#"{"query":[1.0,1.0],"k":3,"filter":{"op":"eq","column":"nope","value":1}}"#,
+        None,
+    );
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("unknown column"), "{resp}");
+    server.shutdown();
+}
+
+#[test]
+fn filter_against_attributeless_index_is_a_400() {
+    let server = start(ServerConfig::default());
+    let (status, _, resp) = post_search(
+        server.addr(),
+        r#"{"query":[1.0,1.0],"k":3,"filter":{"op":"eq","column":"parity","value":"even"}}"#,
+        None,
+    );
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("no attribute store"), "{resp}");
+    server.shutdown();
+}
+
 #[test]
 fn search_round_trips_over_http() {
     let server = start(ServerConfig::default());

@@ -28,6 +28,11 @@ cargo test -q --test snapshot_roundtrip
 echo "==> recall SLA conformance suite"
 cargo test -q -p gqr-core --test recall_sla
 
+echo "==> filtered-search suites (planner equivalence, zero false negatives, metric names)"
+cargo test -q -p gqr-core --test predicate_equivalence
+cargo test -q -p gqr-core --test filtered_search
+cargo test -q -p gqr-core --test filter_metrics
+
 echo "==> mutation stress (bounded)"
 GQR_STRESS_ITERS=800 cargo test -q -p gqr-core --test live_stress
 
@@ -100,6 +105,11 @@ grep -q '"gate_pass": true' results/BENCH_recall.json \
 GQR_FORCE_SCALAR=1 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench recall
 grep -q '"gate_pass": true' results/BENCH_recall.json \
     || { echo "recall controller gate FAILED under GQR_FORCE_SCALAR (results/BENCH_recall.json)"; exit 1; }
+
+echo "==> filtered-search bench (smoke, 5x planner gate at selectivity <= 0.01)"
+GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench filtered
+grep -q '"gate_pass": true' results/BENCH_filtered.json \
+    || { echo "filtered planner gate FAILED (results/BENCH_filtered.json)"; exit 1; }
 
 echo "==> popcount bench (smoke, 1.5x SIMD gate at m=128)"
 GQR_BENCH_SMOKE=1 cargo bench -q -p gqr-bench --bench hamming

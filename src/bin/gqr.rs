@@ -12,6 +12,7 @@
 //! serde); datasets use the TEXMEX `fvecs` format so real GIST/SIFT files
 //! drop in directly.
 
+use gqr::core::attrs::{AttributeStore, Predicate};
 use gqr::core::code::CodeWord;
 use gqr::core::dispatch::{load_index_any, AnyLoadedIndex, CodeWidth};
 use gqr::core::engine::{ProbeStrategy, QueryEngine, SearchParams, SearchResponse};
@@ -151,11 +152,15 @@ fn usage_and_exit(err: Option<&str>) -> ! {
          \x20 build    --data FILE --model FILE --index FILE\n\
          \x20 query    --data FILE --model FILE --index FILE --row I --k K\n\
          \x20          [--strategy gqr|ghr|hr|qr] [--candidates N] [--max-buckets N]\n\
+         \x20          [--attrs FILE --filter PRED]   (PRED is the wire JSON, e.g.\n\
+         \x20          '{{\"op\":\"eq\",\"column\":\"color\",\"value\":\"red\"}}')\n\
          \x20 eval     --data FILE --model FILE --index FILE --queries N --k K [--candidates N]\n\
          \x20 save-index --data FILE --snapshot FILE (--model FILE | --algo A --bits M [--seed S])\n\
          \x20          [--shards N] [--mih-blocks B] [--width 32|64|128|192|256]\n\
+         \x20          [--attrs FILE]   (TSV: header 'name:int\\tname:tag', one row per item)\n\
          \x20 load-index --snapshot FILE --k K (--row I | --queries N)\n\
          \x20          [--strategy gqr|ghr|hr|qr|mih] [--candidates N] [--max-buckets N]\n\
+         \x20          [--filter PRED]   (needs a snapshot saved with --attrs)\n\
          \x20          [--recall-target T] [--recall-margin M]   (adaptive termination;\n\
          \x20          needs a calibrated snapshot, excludes --candidates)\n\
          \x20 calibrate --snapshot FILE --k K --sample N [--quantile Q] [--out FILE]\n\
@@ -172,6 +177,7 @@ fn usage_and_exit(err: Option<&str>) -> ! {
          \x20 loadgen  --addr HOST:PORT --qps Q [--duration-s S] [--warmup-s S]\n\
          \x20          [--senders N] [--k K] [--candidates N] [--query \"x1,x2,...\"]\n\
          \x20          [--dim D] [--client NAME] [--sweep \"q1,q2,...\"] [--out FILE]\n\
+         \x20          [--filter PRED]   (sent as the request's \"filter\" field)\n\
          \n\
          presets: cifar60k gist1m tiny5m sift10m sift1m deep1m msong1m glove1.2m\n\
          \x20        glove2.2m audio50k nuswide ukbench1m imagenet2.3m"
@@ -250,6 +256,85 @@ fn load_model(flags: &HashMap<String, String>) -> Result<ModelFile, String> {
 fn save_json<T: Serialize>(path: &str, value: &T) -> Result<(), String> {
     let text = serde_json::to_string(value).map_err(|e| e.to_string())?;
     std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Parse `--filter`: the same op-discriminated JSON the HTTP `"filter"`
+/// field accepts, e.g. `{"op":"eq","column":"color","value":"red"}`.
+fn parse_filter(flags: &HashMap<String, String>) -> Result<Option<Predicate>, String> {
+    let Some(expr) = flags.get("filter") else {
+        return Ok(None);
+    };
+    let json =
+        gqr::serve::json::parse(expr.as_bytes()).map_err(|e| format!("bad --filter JSON: {e}"))?;
+    gqr::serve::wire::decode_predicate(&json)
+        .map(Some)
+        .map_err(|e| format!("bad --filter: {e}"))
+}
+
+/// Load a per-item attribute file for `--attrs`: a header line of
+/// tab-separated `name:int` / `name:tag` column specs, then one
+/// tab-separated value row per item (row i holds item id i's attributes).
+fn load_attrs(path: &str, n_items: usize) -> Result<AttributeStore, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| format!("{path}: empty attribute file"))?;
+    let mut cols: Vec<(&str, bool)> = Vec::new();
+    for spec in header.split('\t') {
+        let Some((name, kind)) = spec.rsplit_once(':') else {
+            return Err(format!(
+                "{path}: header field '{spec}' is not 'name:int' or 'name:tag'"
+            ));
+        };
+        let is_int = match kind {
+            "int" => true,
+            "tag" => false,
+            other => return Err(format!("{path}: unknown column kind '{other}' (int|tag)")),
+        };
+        cols.push((name, is_int));
+    }
+    let mut values: Vec<Vec<&str>> = vec![Vec::with_capacity(n_items); cols.len()];
+    for (row, line) in lines.enumerate() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != cols.len() {
+            return Err(format!(
+                "{path}: row {row} has {} fields, header declares {}",
+                fields.len(),
+                cols.len()
+            ));
+        }
+        for (col, field) in values.iter_mut().zip(fields) {
+            col.push(field);
+        }
+    }
+    if let Some(col) = values.first() {
+        if col.len() != n_items {
+            return Err(format!(
+                "{path}: {} value rows for {n_items} items",
+                col.len()
+            ));
+        }
+    }
+    let mut builder = AttributeStore::builder(n_items);
+    for ((name, is_int), vals) in cols.into_iter().zip(values) {
+        builder = if is_int {
+            let ints = vals
+                .iter()
+                .enumerate()
+                .map(|(row, v)| {
+                    v.trim().parse::<i64>().map_err(|_| {
+                        format!("{path}: row {row}, column '{name}': '{v}' is not an integer")
+                    })
+                })
+                .collect::<Result<Vec<i64>, String>>()?;
+            builder.int_column(name, ints)
+        } else {
+            builder.tag_column(name, vals)
+        }
+        .map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(builder.build())
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -426,7 +511,24 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     let max_buckets = max_buckets_flag(flags)?;
     let strat = strategy(flags.get("strategy").map(String::as_str).unwrap_or("gqr"))?;
 
-    let engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
+    let filter = parse_filter(flags)?;
+    let attrs = flags
+        .get("attrs")
+        .map(|p| load_attrs(p, ds.n()))
+        .transpose()?;
+    if filter.is_some() && attrs.is_none() {
+        return Err("--filter needs --attrs (the JSON index carries no attribute store)".into());
+    }
+
+    let mut engine = QueryEngine::new(model.as_model(), &table, ds.as_slice(), ds.dim());
+    if let Some(store) = &attrs {
+        engine.set_attrs(store);
+    }
+    if let (Some(pred), Some(store)) = (&filter, &attrs) {
+        store
+            .validate(pred)
+            .map_err(|e| format!("bad --filter: {e}"))?;
+    }
     let params = SearchParams::for_k(k)
         .candidates(n_candidates)
         .strategy(strat)
@@ -435,7 +537,10 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| format!("invalid search parameters: {e}"))?;
     let query = ds.row(row).to_vec();
     let start = std::time::Instant::now();
-    let res = engine.search(&query, &params);
+    let res = match filter {
+        Some(pred) => engine.run(SearchRequest::new(&query).params(params).predicate(pred)),
+        None => engine.search(&query, &params),
+    };
     println!(
         "{} nearest neighbors of row {row} ({} in {:?}, {} buckets probed, {} items evaluated):",
         k,
@@ -556,12 +661,20 @@ fn cmd_save_index(flags: &HashMap<String, String>) -> Result<(), String> {
             "model code length {m} does not fit {width_bits}-bit words"
         ));
     }
+    let attrs = flags
+        .get("attrs")
+        .map(|p| load_attrs(p, ds.n()))
+        .transpose()?;
     let start = std::time::Instant::now();
     let bytes = if shards > 1 {
         let mut index = ShardedIndex::build(model.as_model(), ds.as_slice(), ds.dim(), shards);
         if let Some(b) = mih_blocks {
             index.enable_mih(b);
         }
+        let index = match &attrs {
+            Some(store) => index.with_attrs(store),
+            None => index,
+        };
         index
             .save_snapshot(std::path::Path::new(out))
             .map_err(|e| e.to_string())?
@@ -572,13 +685,20 @@ fn cmd_save_index(flags: &HashMap<String, String>) -> Result<(), String> {
             if let Some(b) = mih_blocks {
                 engine.enable_mih(b);
             }
+            if let Some(store) = &attrs {
+                engine.set_attrs(store);
+            }
             engine
                 .save_snapshot(std::path::Path::new(out))
                 .map_err(|e| e.to_string())?
         })
     };
+    let attrs_note = match &attrs {
+        Some(store) => format!(", {} attribute column(s)", store.n_columns()),
+        None => String::new(),
+    };
     println!(
-        "saved {shards}-shard snapshot of {} × {} ({bytes} bytes, model {}, {width_bits}-bit codes) to {out} in {:?}",
+        "saved {shards}-shard snapshot of {} × {} ({bytes} bytes, model {}, {width_bits}-bit codes{attrs_note}) to {out} in {:?}",
         ds.n(),
         ds.dim(),
         model.as_model().name(),
@@ -600,6 +720,15 @@ impl<C: CodeWord> LoadedEngine<'_, C> {
         match self {
             LoadedEngine::Single(e) => e.search(query, params),
             LoadedEngine::Sharded(s) => s.search(query, params),
+        }
+    }
+
+    /// The request-level entry point; needed for predicate-carrying
+    /// queries, which have no `search`-style shorthand.
+    fn run(&self, req: SearchRequest<'_>) -> SearchResponse {
+        match self {
+            LoadedEngine::Single(e) => e.run(req),
+            LoadedEngine::Sharded(s) => s.run(req),
         }
     }
 }
@@ -837,6 +966,15 @@ fn run_frozen_queries<C: CodeWord>(
     if params.recall_target.is_some() && loaded.recall_model().is_none() {
         return Err("snapshot has no recall model; run `gqr calibrate` first".into());
     }
+    let filter = parse_filter(flags)?;
+    if let Some(pred) = &filter {
+        let Some(store) = loaded.attrs() else {
+            return Err("snapshot has no attribute store; re-save with --attrs".into());
+        };
+        store
+            .validate(pred)
+            .map_err(|e| format!("bad --filter: {e}"))?;
+    }
 
     if let Some(row) = flags.get("row") {
         let row: usize = row.parse().map_err(|_| "bad --row")?;
@@ -849,7 +987,10 @@ fn run_frozen_queries<C: CodeWord>(
         let dim = loaded.dim();
         let query = loaded.data()[row * dim..(row + 1) * dim].to_vec();
         let start = std::time::Instant::now();
-        let res = engine.search(&query, &params);
+        let res = match filter {
+            Some(pred) => engine.run(SearchRequest::new(&query).params(params).predicate(pred)),
+            None => engine.search(&query, &params),
+        };
         println!(
             "{} nearest neighbors of row {row} ({} in {:?}, {} buckets probed, {} items evaluated):",
             k,
@@ -870,12 +1011,42 @@ fn run_frozen_queries<C: CodeWord>(
     let n_queries: usize = get_num(flags, "queries")?;
     let ds = Dataset::new("snapshot", loaded.dim(), loaded.data().to_vec());
     let queries = ds.sample_queries(n_queries, 7);
-    let truth = brute_force_knn(&ds, &queries, k, 0);
+    // With a filter, ground truth is exact k-NN restricted to the rows
+    // the predicate admits — the same contract the engine must honor.
+    let truth = match &filter {
+        Some(pred) => {
+            let store = loaded.attrs().expect("validated above");
+            let matching: Vec<u32> = (0..loaded.n_items() as u32)
+                .filter(|&id| store.matches(pred, id))
+                .collect();
+            let dim = ds.dim();
+            let data = ds.as_slice();
+            queries
+                .iter()
+                .map(|q| {
+                    let mut scored: Vec<(f32, u32)> = matching
+                        .iter()
+                        .map(|&id| {
+                            let row = &data[id as usize * dim..(id as usize + 1) * dim];
+                            let d: f32 = row.iter().zip(q).map(|(x, y)| (x - y) * (x - y)).sum();
+                            (d, id)
+                        })
+                        .collect();
+                    scored.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    scored.into_iter().take(k).map(|(_, id)| id).collect()
+                })
+                .collect()
+        }
+        None => brute_force_knn(&ds, &queries, k, 0),
+    };
     let start = std::time::Instant::now();
     let mut found = 0usize;
     let mut probed = 0usize;
     for (q, t) in queries.iter().zip(&truth) {
-        let res = engine.search(q, &params);
+        let res = match &filter {
+            Some(pred) => engine.run(SearchRequest::new(q).params(params).predicate(pred.clone())),
+            None => engine.search(q, &params),
+        };
         probed += res.stats.buckets_probed;
         found += res.ids.iter().filter(|&&id| t.contains(&id)).count();
     }
@@ -1218,8 +1389,12 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         (None, None) => return Err("need --query or --dim".into()),
     };
+    let filter_field = match parse_filter(flags)? {
+        Some(pred) => format!(",\"filter\":{}", gqr::serve::wire::encode_predicate(&pred)),
+        None => String::new(),
+    };
     let body = format!(
-        "{{\"query\":[{}],\"k\":{k},\"candidates\":{candidates}}}",
+        "{{\"query\":[{}],\"k\":{k},\"candidates\":{candidates}{filter_field}}}",
         query
             .iter()
             .map(|x| x.to_string())

@@ -64,6 +64,10 @@ pub use gqr_vq as vq;
 
 /// The names most applications need.
 pub mod prelude {
+    pub use gqr_core::attrs::{
+        AttrError, AttrValue, AttributeStore, AttributeStoreBuilder, FilterPlan, PlanChoice,
+        Predicate, PredicateError,
+    };
     pub use gqr_core::engine::{
         ClientId, ParamError, ProbeStrategy, QueryEngine, SearchParams, SearchParamsBuilder,
     };

@@ -361,6 +361,183 @@ fn bad_strategy_rejected() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
 }
 
+/// Full hybrid-search path: save a snapshot with an attribute store from a
+/// TSV, query it filtered from the CLI, then serve it and send a filtered
+/// search over HTTP — every returned id must satisfy the predicate.
+#[test]
+fn filtered_snapshot_pipeline_works() {
+    use std::io::{Read, Write};
+
+    let dir = tmpdir("filtered_pipeline");
+    let data = dir.join("d.fvecs");
+    let attrs = dir.join("attrs.tsv");
+    let snap = dir.join("index.gqr");
+    let addr_file = dir.join("addr.txt");
+
+    let out = bin()
+        .args(["generate", "--preset", "audio50k", "--scale", "smoke"])
+        .args(["--out", data.to_str().unwrap(), "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // "wrote N vectors × D dims to ..." — the attrs file needs one row per item.
+    let text = String::from_utf8_lossy(&out.stdout);
+    let n: usize = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| panic!("cannot parse item count from: {text}"));
+
+    let mut tsv = String::from("parity:tag\tidx:int\n");
+    for i in 0..n {
+        let parity = if i % 2 == 0 { "even" } else { "odd" };
+        tsv.push_str(&format!("{parity}\t{i}\n"));
+    }
+    std::fs::write(&attrs, tsv).unwrap();
+
+    let out = bin()
+        .args(["save-index", "--data", data.to_str().unwrap()])
+        .args(["--algo", "pcah", "--bits", "8"])
+        .args(["--attrs", attrs.to_str().unwrap()])
+        .args(["--snapshot", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "save-index --attrs failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("2 attribute column(s)"),
+        "save-index must report the attribute columns:\n{text}"
+    );
+
+    // CLI filtered query: every neighbor of row 3 must be an even id.
+    let out = bin()
+        .args(["load-index", "--snapshot", snap.to_str().unwrap()])
+        .args(["--row", "3", "--k", "5", "--candidates", "500"])
+        .args([
+            "--filter",
+            r#"{"op":"eq","column":"parity","value":"even"}"#,
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "filtered load-index failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let ids: Vec<u32> = text
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix('#'))
+        .filter_map(|l| l.split_whitespace().next())
+        .filter_map(|w| w.parse().ok())
+        .collect();
+    assert!(!ids.is_empty(), "no neighbors printed:\n{text}");
+    assert!(
+        ids.iter().all(|id| id % 2 == 0),
+        "a filtered query leaked odd ids: {ids:?}\n{text}"
+    );
+
+    // A predicate naming a column the store lacks is rejected up front.
+    let out = bin()
+        .args(["load-index", "--snapshot", snap.to_str().unwrap()])
+        .args(["--row", "3", "--k", "5"])
+        .args(["--filter", r#"{"op":"eq","column":"nope","value":1}"#])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "unknown column must be rejected");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown column"),
+        "error should name the schema violation"
+    );
+
+    // Serve the same snapshot and run the filtered search over HTTP.
+    let mut child = bin()
+        .args(["serve", "--snapshot", snap.to_str().unwrap()])
+        .args(["--addr", "127.0.0.1:0"])
+        .args(["--addr-file", addr_file.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if !s.trim().is_empty() {
+                break s.trim().to_string();
+            }
+        }
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("server never wrote its address file");
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            let mut err = String::new();
+            if let Some(mut e) = child.stderr.take() {
+                let _ = e.read_to_string(&mut err);
+            }
+            panic!("server exited early ({status}): {err}");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+
+    let query: Vec<String> = (0..16).map(|i| format!("{}.25", i % 5)).collect();
+    let filter = format!(
+        r#"{{"op":"and","args":[{{"op":"eq","column":"parity","value":"even"}},{{"op":"range","column":"idx","max":{}}}]}}"#,
+        n / 2
+    );
+    let body = format!(
+        "{{\"query\":[{}],\"k\":5,\"candidates\":500,\"strategy\":\"HR\",\"filter\":{filter}}}",
+        query.join(",")
+    );
+    let raw = format!(
+        "POST /search HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let text = String::from_utf8_lossy(&response);
+    let (head, resp_body) = text.split_once("\r\n\r\n").unwrap_or((&*text, ""));
+    assert!(
+        head.contains("200"),
+        "filtered search over HTTP must succeed:\n{text}"
+    );
+    let doc = gqr::serve::json::parse(resp_body.as_bytes()).unwrap();
+    let ids: Vec<u64> = doc
+        .get("ids")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert!(
+        !ids.is_empty(),
+        "filtered search returned no ids:\n{resp_body}"
+    );
+    assert!(
+        ids.iter().all(|&id| id % 2 == 0 && id <= n as u64 / 2),
+        "HTTP results must satisfy the predicate: {ids:?}"
+    );
+}
+
 #[test]
 fn wide_snapshot_serves_over_http() {
     use std::io::{Read, Write};

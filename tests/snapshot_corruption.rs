@@ -51,8 +51,21 @@ fn full_snapshot_bytes() -> Vec<u8> {
     let (data, dim) = tiny_data();
     let model = Pcah::train(&data, dim, 8).unwrap();
     let table: HashTable = HashTable::build(&model, &data, dim);
+    let n = data.len() / dim;
+    let attrs = AttributeStore::builder(n)
+        .tag_column(
+            "parity",
+            (0..n)
+                .map(|i| if i % 2 == 0 { "even" } else { "odd" })
+                .collect(),
+        )
+        .unwrap()
+        .int_column("group", (0..n).map(|i| (i % 5) as i64).collect())
+        .unwrap()
+        .build();
     let mut engine = QueryEngine::new(&model, &table, &data, dim);
     engine.enable_mih(2);
+    engine.set_attrs(&attrs);
 
     // A small calibrated recall model, so the sweep covers its section too.
     let queries: Vec<f32> = data[..16 * dim].to_vec();
@@ -80,6 +93,7 @@ fn full_snapshot_bytes() -> Vec<u8> {
         SectionKind::HashTable,
         SectionKind::MihIndex,
         SectionKind::RecallModel,
+        SectionKind::Attributes,
     ] {
         w.add_section(kind, base.section(kind).unwrap().to_vec());
     }
@@ -163,6 +177,7 @@ fn expected_section(toc: &[(u16, usize, usize)], offset: usize) -> Option<&'stat
                 8 => "PQ codes",
                 9 => "MPLSH index",
                 12 => "recall model",
+                13 => "attribute store",
                 _ => panic!("valid snapshot has an unknown section kind {kind}"),
             });
         }

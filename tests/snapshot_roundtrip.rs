@@ -321,6 +321,162 @@ fn calibrate_small(engine: &QueryEngine<'_, Itq, u64>, ds: &Dataset) -> RecallMo
     cal.finalize()
 }
 
+/// Attribute columns for `ds`: a 2-symbol tag and a low-cardinality int.
+fn attrs_for(ds: &Dataset) -> AttributeStore {
+    let n = ds.n();
+    let parity: Vec<&str> = (0..n)
+        .map(|i| if i % 2 == 0 { "even" } else { "odd" })
+        .collect();
+    let group: Vec<i64> = (0..n).map(|i| (i % 7) as i64).collect();
+    AttributeStore::builder(n)
+        .tag_column("parity", parity)
+        .unwrap()
+        .int_column("group", group)
+        .unwrap()
+        .build()
+}
+
+#[test]
+fn attrs_roundtrip_is_bit_identical() {
+    let ds = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 10).unwrap();
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let attrs = attrs_for(&ds);
+    let mut engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+    engine.enable_mih(2);
+    engine.set_attrs(&attrs);
+
+    let dir = tmpdir("attrs_rt");
+    let path = dir.join("attrs.gqr");
+    engine.save_snapshot(&path).unwrap();
+    let loaded: LoadedIndex = load_index(&path).unwrap();
+
+    // The decoded store answers every predicate row-for-row like the
+    // original (postings and blooms are rebuilt, not deserialized, so this
+    // checks the rebuild too).
+    let back = loaded.attrs().expect("attribute section present");
+    assert_eq!(back.n_items(), attrs.n_items());
+    assert_eq!(back.n_columns(), attrs.n_columns());
+    let preds = [
+        Predicate::eq("parity", AttrValue::Str("even".into())),
+        Predicate::range("group", Some(2), Some(5)).unwrap(),
+    ];
+    for pred in &preds {
+        back.validate(pred).unwrap();
+        for id in 0..ds.n() as u32 {
+            assert_eq!(back.matches(pred, id), attrs.matches(pred, id));
+        }
+    }
+
+    // save -> load -> save is byte-identical: the attrs wire form is
+    // canonical.
+    let engine2 = QueryEngine::from_snapshot(&loaded).unwrap();
+    assert!(engine2.attrs().is_some(), "loaded engine must attach attrs");
+    let path2 = dir.join("resaved.gqr");
+    engine2.save_snapshot(&path2).unwrap();
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&path2).unwrap(),
+        "save -> load -> save must be byte-identical"
+    );
+
+    // Filtered searches agree bit-for-bit across the round trip.
+    for strat in ALL_STRATEGIES {
+        let params = params_for(strat);
+        for q in ds.sample_queries(10, 17) {
+            for pred in &preds {
+                let a = engine.run(
+                    SearchRequest::new(&q)
+                        .params(params)
+                        .predicate(pred.clone()),
+                );
+                let b = engine2.run(
+                    SearchRequest::new(&q)
+                        .params(params)
+                        .predicate(pred.clone()),
+                );
+                assert_eq!(
+                    a.ranked(),
+                    b.ranked(),
+                    "filtered {} diverged after snapshot round-trip",
+                    strat.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_attrs_roundtrip_preserves_filtering() {
+    let ds = fixture();
+    let model = Pcah::train(ds.as_slice(), ds.dim(), 10).unwrap();
+    let attrs = attrs_for(&ds);
+    let index = ShardedIndex::build(&model, ds.as_slice(), ds.dim(), 3).with_attrs(&attrs);
+
+    let path = tmpdir("shard_attrs_rt").join("sharded.gqr");
+    index.save_snapshot(&path).unwrap();
+    let loaded: LoadedIndex = load_index(&path).unwrap();
+    assert!(
+        loaded.attrs().is_some(),
+        "sharded snapshot must carry attrs"
+    );
+    let index2 = ShardedIndex::from_snapshot(&loaded);
+
+    let pred = Predicate::eq("parity", AttrValue::Str("odd".into()));
+    let params = params_for(ProbeStrategy::GenerateQdRanking);
+    for q in ds.sample_queries(10, 19) {
+        let a = index.run(
+            SearchRequest::new(&q)
+                .params(params)
+                .predicate(pred.clone()),
+        );
+        let b = index2.run(
+            SearchRequest::new(&q)
+                .params(params)
+                .predicate(pred.clone()),
+        );
+        assert_eq!(a.ranked(), b.ranked(), "sharded filtered search diverged");
+        assert!(a.ids.iter().all(|&id| id % 2 == 1), "predicate leaked");
+    }
+}
+
+#[test]
+fn oversized_attrs_are_rejected_at_load() {
+    // A snapshot whose attribute store covers more rows than the vectors
+    // section is inconsistent — assemble_index must refuse it.
+    use gqr::persist::{SectionKind, SnapshotFile, SnapshotWriter};
+    let ds = fixture();
+    let model = Itq::train(ds.as_slice(), ds.dim(), 8).unwrap();
+    let table: HashTable = HashTable::build(&model, ds.as_slice(), ds.dim());
+    let engine = QueryEngine::new(&model, &table, ds.as_slice(), ds.dim());
+    let dir = tmpdir("attrs_oversized");
+    let path = dir.join("base.gqr");
+    engine.save_snapshot(&path).unwrap();
+
+    let oversized = AttributeStore::builder(ds.n() + 1)
+        .int_column("x", vec![0i64; ds.n() + 1])
+        .unwrap()
+        .build();
+    let base = SnapshotFile::read(&path).unwrap();
+    let mut w = SnapshotWriter::new();
+    for kind in [
+        SectionKind::Model,
+        SectionKind::ShardManifest,
+        SectionKind::Vectors,
+        SectionKind::HashTable,
+    ] {
+        w.add_section(kind, base.section(kind).unwrap().to_vec());
+    }
+    w.add_attrs(&oversized);
+    let bad = dir.join("oversized.gqr");
+    w.write(&bad).unwrap();
+    let err = load_index::<u64>(&bad).expect_err("must be rejected");
+    assert!(
+        err.to_string().contains("attribute store"),
+        "error must name the inconsistency: {err}"
+    );
+}
+
 #[test]
 fn recall_model_roundtrip_is_bit_identical() {
     let ds = fixture();
